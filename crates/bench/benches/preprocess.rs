@@ -1,0 +1,40 @@
+//! Criterion bench for experiment E7: preprocessing (static DFS, tree index,
+//! structure D) as a function of m.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pardfs_graph::generators;
+use pardfs_query::StructureD;
+use pardfs_seq::augment::AugmentedGraph;
+use pardfs_seq::static_dfs::static_dfs;
+use pardfs_tree::TreeIndex;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn bench_preprocess(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e7_preprocess");
+    group.sample_size(10);
+    for &(n, factor) in &[(2048usize, 4usize), (2048, 16), (8192, 4)] {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let m = factor * n;
+        let graph = generators::random_connected_gnm(n, m, &mut rng);
+        let aug = AugmentedGraph::new(&graph);
+        let idx = TreeIndex::build(&static_dfs(aug.graph(), aug.pseudo_root()));
+        group.throughput(Throughput::Elements(m as u64));
+        group.bench_with_input(
+            BenchmarkId::new("build_d", format!("n{n}_m{m}")),
+            &m,
+            |b, _| b.iter(|| StructureD::build(aug.graph(), idx.clone())),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("static_dfs_plus_index", format!("n{n}_m{m}")),
+            &m,
+            |b, _| {
+                b.iter(|| TreeIndex::build(&static_dfs(aug.graph(), aug.pseudo_root())))
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_preprocess);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Criterion bench for the query layer: batched independent queries on D
+//! (Theorem 8) — the inner loop of every traversal.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pardfs_graph::generators;
+use pardfs_query::{QueryOracle, StructureD, VertexQuery};
+use pardfs_seq::augment::AugmentedGraph;
+use pardfs_seq::static_dfs::static_dfs;
+use pardfs_tree::TreeIndex;
+use rand::prelude::*;
+use rand_chacha::ChaCha8Rng;
+
+fn bench_queries(c: &mut Criterion) {
+    let mut group = c.benchmark_group("d_query_batches");
+    group.sample_size(20);
+    let mut rng = ChaCha8Rng::seed_from_u64(11);
+    let n = 8192usize;
+    let graph = generators::random_connected_gnm(n, 8 * n, &mut rng);
+    let aug = AugmentedGraph::new(&graph);
+    let idx = TreeIndex::build(&static_dfs(aug.graph(), aug.pseudo_root()));
+    let d = StructureD::build(aug.graph(), idx.clone());
+    let verts = idx.pre_order_vertices().to_vec();
+    for &batch in &[64usize, 1024, 8192] {
+        let queries: Vec<VertexQuery> = (0..batch)
+            .map(|_| {
+                let w = verts[rng.gen_range(0..verts.len())];
+                let a = verts[rng.gen_range(0..verts.len())];
+                let anc = idx.ancestor_at_level(a, rng.gen_range(0..=idx.level(a)));
+                VertexQuery::new(w, a, anc)
+            })
+            .collect();
+        group.throughput(Throughput::Elements(batch as u64));
+        group.bench_with_input(BenchmarkId::new("answer_batch", batch), &batch, |b, _| {
+            b.iter(|| d.answer_batch(&queries))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_queries);
+criterion_main!(benches);

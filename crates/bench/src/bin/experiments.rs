@@ -1,0 +1,65 @@
+//! Print the experiment tables of EXPERIMENTS.md.
+//!
+//! ```text
+//! cargo run -p pardfs-bench --release --bin experiments -- all          # quick scale
+//! cargo run -p pardfs-bench --release --bin experiments -- all --full  # recorded scale
+//! cargo run -p pardfs-bench --release --bin experiments -- e3 e5       # selected tables
+//! ```
+
+use pardfs_bench::experiments as exp;
+use pardfs_bench::experiments::Scale;
+use pardfs_bench::Table;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = if args.iter().any(|a| a == "--full") {
+        Scale::Full
+    } else {
+        Scale::Quick
+    };
+    let selected: Vec<String> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(|a| a.to_lowercase())
+        .collect();
+    let want = |id: &str| {
+        selected.is_empty() || selected.iter().any(|s| s == id || s == "all")
+    };
+
+    let mut tables: Vec<Table> = Vec::new();
+    if want("e1") {
+        tables.push(exp::e1_update_time(scale));
+    }
+    if want("e2") {
+        tables.push(exp::e2_scalability(scale));
+    }
+    if want("e3") {
+        tables.push(exp::e3_query_rounds(scale));
+    }
+    if want("e3b") {
+        tables.push(exp::e3b_ablation(scale));
+    }
+    if want("e4") {
+        tables.push(exp::e4_fault_tolerant(scale));
+    }
+    if want("e5") {
+        tables.push(exp::e5_streaming(scale));
+    }
+    if want("e6") {
+        tables.push(exp::e6_congest(scale));
+    }
+    if want("e7") {
+        tables.push(exp::e7_preprocess(scale));
+    }
+    if want("e8") {
+        tables.push(exp::e8_update_kinds(scale));
+    }
+
+    if tables.is_empty() {
+        eprintln!("unknown experiment id; use e1 e2 e3 e3b e4 e5 e6 e7 e8 or all");
+        std::process::exit(2);
+    }
+    for t in tables {
+        println!("{}", t.render());
+    }
+}

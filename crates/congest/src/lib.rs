@@ -1,0 +1,406 @@
+//! # pardfs-congest
+//!
+//! Distributed fully dynamic DFS in the synchronous `CONGEST(B)` model
+//! (Theorem 16 of the paper, Section 6.2).
+//!
+//! Every vertex of the user graph hosts a processor; communication happens in
+//! synchronous rounds along graph edges, `B` words per edge per round. Each
+//! node stores `O(n)` words: the current DFS tree, the partially built tree
+//! and its own adjacency list. An update is absorbed exactly as in the
+//! shared-memory engine, except that every set of independent `D` queries is
+//! evaluated by a **pipelined convergecast + broadcast** over a BFS tree of
+//! each affected component: each node computes the partial answers of all
+//! queries from its local adjacency list, the partial answers are combined on
+//! the way up the BFS tree and the combined answers are broadcast back down —
+//! `O(D + q/B)` rounds for `q` queries, `O(q·D)`-ish messages, matching the
+//! paper's `CONGEST(n/D)` accounting when `B = n/D`.
+//!
+//! The crate provides:
+//!
+//! * [`Network`] — the synchronous round/message/word accountant: BFS-tree
+//!   construction and pipelined broadcast/convergecast cost simulation.
+//! * [`BroadcastOracle`] — a [`QueryOracle`] whose `answer_batch` charges the
+//!   network for one convergecast/broadcast phase and answers the queries from
+//!   per-node adjacency only.
+//! * [`DistributedDynamicDfs`] — the maintainer of Theorem 16, reporting
+//!   rounds and messages per update.
+//!
+//! The pseudo root of the augmented graph is not a network node; queries whose
+//! answer is a pseudo edge are resolved locally (they correspond to "this
+//! piece becomes a component root", which needs no communication).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod network;
+
+use network::Network;
+use pardfs_core::reduction::ReductionInput;
+use pardfs_core::{reduce_update, Rerooter, Strategy, UpdateStats};
+use pardfs_graph::{Graph, Update, Vertex};
+use pardfs_query::{EdgeHit, QueryOracle, VertexQuery};
+use pardfs_seq::augment::AugmentedGraph;
+use pardfs_seq::check::check_spanning_dfs_tree;
+use pardfs_seq::static_dfs::static_dfs;
+use pardfs_tree::rooted::NO_VERTEX;
+use pardfs_tree::TreeIndex;
+use parking_lot::Mutex;
+
+/// Per-update distributed cost.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CongestStats {
+    /// Synchronous communication rounds.
+    pub rounds: u64,
+    /// Messages sent (each of at most `B` words).
+    pub messages: u64,
+    /// Total words carried by those messages.
+    pub words: u64,
+    /// Broadcast phases (one per set of independent queries).
+    pub broadcast_phases: u64,
+}
+
+impl CongestStats {
+    fn add(&mut self, other: CongestStats) {
+        self.rounds += other.rounds;
+        self.messages += other.messages;
+        self.words += other.words;
+        self.broadcast_phases += other.broadcast_phases;
+    }
+}
+
+/// A [`QueryOracle`] that answers batches from per-node adjacency lists and
+/// charges the simulated network for the convergecast/broadcast needed to
+/// combine and disseminate the answers.
+pub struct BroadcastOracle<'a> {
+    graph: &'a Graph,
+    idx: &'a TreeIndex,
+    pseudo_root: Vertex,
+    network: &'a Mutex<Network>,
+}
+
+impl<'a> BroadcastOracle<'a> {
+    /// Create an oracle over the augmented graph, the current tree and the
+    /// network accountant.
+    pub fn new(
+        graph: &'a Graph,
+        idx: &'a TreeIndex,
+        pseudo_root: Vertex,
+        network: &'a Mutex<Network>,
+    ) -> Self {
+        BroadcastOracle {
+            graph,
+            idx,
+            pseudo_root,
+            network,
+        }
+    }
+
+    fn on_path(&self, z: Vertex, a: Vertex, b: Vertex) -> bool {
+        if !self.idx.contains(z) {
+            return false;
+        }
+        if a == b {
+            return z == a;
+        }
+        if !self.idx.contains(a) || !self.idx.contains(b) {
+            return false;
+        }
+        (self.idx.is_ancestor(a, z) && self.idx.is_ancestor(z, b))
+            || (self.idx.is_ancestor(b, z) && self.idx.is_ancestor(z, a))
+    }
+}
+
+impl QueryOracle for BroadcastOracle<'_> {
+    fn answer_batch(&self, queries: &[VertexQuery]) -> Vec<Option<EdgeHit>> {
+        // Each query's partial answer is computed locally at its source node
+        // from that node's adjacency list, then combined network-wide.
+        let mut out = Vec::with_capacity(queries.len());
+        for q in queries {
+            let mut best: Option<(u32, Vertex)> = None;
+            if self.graph.is_active(q.w) {
+                for &z in self.graph.neighbors(q.w) {
+                    if q.near == q.far && !self.idx.contains(q.near) {
+                        if z == q.near {
+                            best = Some((0, z));
+                        }
+                        continue;
+                    }
+                    if !self.on_path(z, q.near, q.far) {
+                        continue;
+                    }
+                    let rank = self.idx.level(z).abs_diff(self.idx.level(q.near));
+                    if best.map_or(true, |(r, _)| rank < r) {
+                        best = Some((rank, z));
+                    }
+                }
+            }
+            out.push(best.map(|(rank, z)| EdgeHit {
+                from: q.w,
+                on_path: z,
+                rank_from_near: rank,
+            }));
+        }
+        // Network charge: partial answers whose source is the pseudo root (or
+        // whose only purpose is reaching the pseudo root) need no
+        // communication; everything else is one pipelined
+        // convergecast + broadcast of one word-pair per query.
+        let communicated = queries
+            .iter()
+            .filter(|q| q.w != self.pseudo_root && q.near != self.pseudo_root)
+            .count() as u64;
+        self.network
+            .lock()
+            .charge_query_phase(communicated.max(1) * 2);
+        out
+    }
+}
+
+/// Distributed fully dynamic DFS maintainer (Theorem 16).
+#[derive(Debug)]
+pub struct DistributedDynamicDfs {
+    aug: AugmentedGraph,
+    idx: TreeIndex,
+    strategy: Strategy,
+    bandwidth: usize,
+    last_engine_stats: UpdateStats,
+    last_congest_stats: CongestStats,
+    total_congest_stats: CongestStats,
+}
+
+impl DistributedDynamicDfs {
+    /// Build the maintainer. `bandwidth` is `B`, the number of words a message
+    /// may carry (the paper uses `B = n / D`).
+    pub fn new(user_graph: &Graph, bandwidth: usize) -> Self {
+        Self::with_strategy(user_graph, bandwidth, Strategy::Phased)
+    }
+
+    /// Build the maintainer with an explicit rerooting strategy.
+    pub fn with_strategy(user_graph: &Graph, bandwidth: usize, strategy: Strategy) -> Self {
+        let aug = AugmentedGraph::new(user_graph);
+        let idx = TreeIndex::build(&static_dfs(aug.graph(), aug.pseudo_root()));
+        DistributedDynamicDfs {
+            aug,
+            idx,
+            strategy,
+            bandwidth: bandwidth.max(1),
+            last_engine_stats: UpdateStats::default(),
+            last_congest_stats: CongestStats::default(),
+            total_congest_stats: CongestStats::default(),
+        }
+    }
+
+    /// The current DFS tree of the augmented graph.
+    pub fn tree(&self) -> &TreeIndex {
+        &self.idx
+    }
+
+    /// Message bandwidth `B` in words.
+    pub fn bandwidth(&self) -> usize {
+        self.bandwidth
+    }
+
+    /// Parent of user vertex `v` in the maintained DFS forest.
+    pub fn forest_parent(&self, v: Vertex) -> Option<Vertex> {
+        let vi = self.aug.to_internal(v);
+        if !self.idx.contains(vi) {
+            return None;
+        }
+        self.idx
+            .parent(vi)
+            .filter(|&p| p != self.aug.pseudo_root())
+            .map(|p| self.aug.to_user(p))
+    }
+
+    /// Engine statistics of the most recent update.
+    pub fn last_engine_stats(&self) -> UpdateStats {
+        self.last_engine_stats
+    }
+
+    /// Distributed cost of the most recent update.
+    pub fn last_congest_stats(&self) -> CongestStats {
+        self.last_congest_stats
+    }
+
+    /// Accumulated distributed cost.
+    pub fn total_congest_stats(&self) -> CongestStats {
+        self.total_congest_stats
+    }
+
+    /// Per-node space in words: current tree + partially built tree + own
+    /// adjacency (the `O(n)` space claim).
+    pub fn per_node_space_words(&self) -> usize {
+        2 * self.idx.capacity()
+            + self
+                .aug
+                .graph()
+                .vertices()
+                .map(|v| self.aug.graph().degree(v))
+                .max()
+                .unwrap_or(0)
+    }
+
+    /// Validate the maintained tree.
+    pub fn check(&self) -> Result<(), String> {
+        check_spanning_dfs_tree(self.aug.graph(), &self.idx)
+    }
+
+    /// Apply one dynamic update (user ids), charging the simulated network.
+    pub fn apply_update(&mut self, update: &Update) -> Option<Vertex> {
+        let internal = self.aug.translate(update);
+        let proot = self.aug.pseudo_root();
+        let mut stats = UpdateStats::default();
+        let mut input = ReductionInput::default();
+
+        // 1. Apply the update to the (distributed) graph state.
+        let inserted = match &internal {
+            Update::InsertVertex { .. } => {
+                let nv = self.aug.apply_internal(&internal);
+                if let Some(nv) = nv {
+                    let nbrs: Vec<Vertex> = self
+                        .aug
+                        .graph()
+                        .neighbors(nv)
+                        .iter()
+                        .copied()
+                        .filter(|&x| x != proot)
+                        .collect();
+                    input.inserted = Some(nv);
+                    input.inserted_neighbors = nbrs;
+                }
+                nv
+            }
+            other => self.aug.apply_internal(other),
+        };
+
+        // 2. Build the network accountant for this recovery stage: a BFS tree
+        //    per component of the *user* graph, plus the broadcast of the
+        //    update description to every node.
+        let user_graph = self.user_view();
+        let mut network = Network::new(&user_graph, self.bandwidth);
+        network.build_bfs_forest();
+        network.broadcast_words(internal.description_words());
+        let network = Mutex::new(network);
+
+        // 3. Reduction + reroot, every query set charged to the network.
+        let oracle = BroadcastOracle::new(self.aug.graph(), &self.idx, proot, &network);
+        let mut new_par: Vec<Vertex> = parent_array(&self.idx);
+        if new_par.len() < self.aug.graph().capacity() {
+            new_par.resize(self.aug.graph().capacity(), NO_VERTEX);
+        }
+        let jobs = reduce_update(&self.idx, &oracle, proot, &internal, &input, &mut new_par, &mut stats);
+        stats.reroot_jobs = jobs.len() as u64;
+        let engine = Rerooter::new(&self.idx, &oracle, self.strategy);
+        stats.reroot = engine.run(&jobs, &mut new_par);
+
+        // 4. Broadcast the new DFS tree (its changed parent pointers) so every
+        //    node stores the updated tree.
+        let changed = stats.reroot.relinked_vertices as usize + 1;
+        {
+            let mut net = network.lock();
+            net.broadcast_words(2 * changed);
+        }
+        let congest = network.into_inner().finish();
+
+        self.idx = TreeIndex::from_parent_slice(&new_par, proot);
+        self.last_engine_stats = stats;
+        self.last_congest_stats = congest;
+        self.total_congest_stats.add(congest);
+        inserted.map(|v| self.aug.to_user(v))
+    }
+
+    /// The user graph (internal ids minus the pseudo root), used as the
+    /// communication topology.
+    fn user_view(&self) -> Graph {
+        let g = self.aug.graph();
+        let mut user = Graph::new(g.capacity());
+        for v in 0..g.capacity() as Vertex {
+            if v == self.aug.pseudo_root() || !g.is_active(v) {
+                user.delete_vertex(v);
+            }
+        }
+        for e in g.edges() {
+            if e.0 != self.aug.pseudo_root() && e.1 != self.aug.pseudo_root() {
+                user.insert_edge(e.0, e.1);
+            }
+        }
+        user
+    }
+}
+
+fn parent_array(idx: &TreeIndex) -> Vec<Vertex> {
+    let mut out = vec![NO_VERTEX; idx.capacity()];
+    for &v in idx.pre_order_vertices() {
+        out[v as usize] = idx.parent(v).unwrap_or(v);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pardfs_graph::generators;
+    use pardfs_graph::updates::{random_update_sequence, UpdateMix};
+    use rand::prelude::*;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn distributed_maintainer_stays_valid() {
+        let mut rng = ChaCha8Rng::seed_from_u64(15);
+        let g = generators::random_connected_gnm(30, 70, &mut rng);
+        let updates = random_update_sequence(&g, 20, &UpdateMix::default(), &mut rng);
+        let mut d = DistributedDynamicDfs::new(&g, 8);
+        d.check().unwrap();
+        for (i, u) in updates.iter().enumerate() {
+            d.apply_update(u);
+            d.check()
+                .unwrap_or_else(|e| panic!("update {i} ({u:?}) broke the DFS tree: {e}"));
+            let s = d.last_congest_stats();
+            assert!(s.rounds > 0);
+            assert!(s.messages > 0);
+        }
+        assert!(d.total_congest_stats().rounds > 0);
+    }
+
+    #[test]
+    fn rounds_scale_with_diameter() {
+        // A long path (large D) needs far more rounds per update than a star
+        // (D = 2) of the same size, for the same bandwidth.
+        let n = 120usize;
+        let mut path_dfs = DistributedDynamicDfs::new(&generators::path(n), 4);
+        let mut star_dfs = DistributedDynamicDfs::new(&generators::star(n), 4);
+        path_dfs.apply_update(&Update::DeleteEdge(60, 61));
+        star_dfs.apply_update(&Update::DeleteEdge(0, 50));
+        path_dfs.check().unwrap();
+        star_dfs.check().unwrap();
+        assert!(
+            path_dfs.last_congest_stats().rounds > 4 * star_dfs.last_congest_stats().rounds,
+            "path: {} rounds, star: {} rounds",
+            path_dfs.last_congest_stats().rounds,
+            star_dfs.last_congest_stats().rounds
+        );
+    }
+
+    #[test]
+    fn bandwidth_trades_against_rounds() {
+        let g = generators::grid(8, 8);
+        let mut narrow = DistributedDynamicDfs::new(&g, 1);
+        let mut wide = DistributedDynamicDfs::new(&g, 64);
+        narrow.apply_update(&Update::DeleteEdge(27, 28));
+        wide.apply_update(&Update::DeleteEdge(27, 28));
+        narrow.check().unwrap();
+        wide.check().unwrap();
+        assert!(narrow.last_congest_stats().rounds >= wide.last_congest_stats().rounds);
+    }
+
+    #[test]
+    fn message_size_limit_is_respected() {
+        let g = generators::grid(5, 5);
+        let mut d = DistributedDynamicDfs::new(&g, 3);
+        d.apply_update(&Update::InsertEdge(0, 24));
+        d.apply_update(&Update::DeleteVertex(12));
+        d.check().unwrap();
+        let s = d.total_congest_stats();
+        // No message may carry more than B words.
+        assert!(s.words <= s.messages * 3);
+    }
+}

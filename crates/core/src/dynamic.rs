@@ -1,0 +1,336 @@
+//! The parallel fully dynamic DFS maintainer (Theorem 13).
+//!
+//! Per update: record the update in `D`'s overlay, apply it to the augmented
+//! graph, run the reduction (Section 3), reroot the affected subtrees with the
+//! parallel engine (Section 4), then rebuild the tree index and `D` on the new
+//! tree — the `O(log n)`-time, `m`-processor preprocessing of Theorem 8 — so
+//! the next update again starts from a structure in which every edge is a back
+//! edge.
+
+use crate::reduction::{reduce_update, ReductionInput};
+use crate::reroot::{Rerooter, Strategy};
+use crate::stats::UpdateStats;
+use pardfs_graph::{Graph, Update, Vertex};
+use pardfs_query::StructureD;
+use pardfs_seq::augment::AugmentedGraph;
+use pardfs_seq::check::check_spanning_dfs_tree;
+use pardfs_seq::static_dfs::static_dfs;
+use pardfs_tree::rooted::NO_VERTEX;
+use pardfs_tree::TreeIndex;
+use std::time::Instant;
+
+/// Parallel fully dynamic DFS of an undirected graph.
+///
+/// The maintained structure is a DFS tree of the *augmented* graph (user graph
+/// plus a pseudo root adjacent to every vertex, Section 2); its children are
+/// the roots of a DFS forest of the user graph. The public API speaks user
+/// vertex ids throughout.
+#[derive(Debug)]
+pub struct DynamicDfs {
+    aug: AugmentedGraph,
+    idx: TreeIndex,
+    d: StructureD,
+    strategy: Strategy,
+    last_stats: UpdateStats,
+    updates_applied: u64,
+}
+
+impl DynamicDfs {
+    /// Build the maintainer with the default (phased) strategy.
+    pub fn new(user_graph: &Graph) -> Self {
+        Self::with_strategy(user_graph, Strategy::Phased)
+    }
+
+    /// Build the maintainer with an explicit rerooting strategy.
+    pub fn with_strategy(user_graph: &Graph, strategy: Strategy) -> Self {
+        let aug = AugmentedGraph::new(user_graph);
+        let idx = TreeIndex::build(&static_dfs(aug.graph(), aug.pseudo_root()));
+        let d = StructureD::build(aug.graph(), idx.clone());
+        DynamicDfs {
+            aug,
+            idx,
+            d,
+            strategy,
+            last_stats: UpdateStats::default(),
+            updates_applied: 0,
+        }
+    }
+
+    /// The rerooting strategy in use.
+    pub fn strategy(&self) -> Strategy {
+        self.strategy
+    }
+
+    /// The current DFS tree of the augmented graph (internal ids; the pseudo
+    /// root is vertex 0 and user vertex `v` is internal `v + 1`).
+    pub fn tree(&self) -> &TreeIndex {
+        &self.idx
+    }
+
+    /// The augmented graph (internal ids).
+    pub fn augmented_graph(&self) -> &Graph {
+        self.aug.graph()
+    }
+
+    /// The pseudo root (internal id).
+    pub fn pseudo_root(&self) -> Vertex {
+        self.aug.pseudo_root()
+    }
+
+    /// Number of user vertices currently in the graph.
+    pub fn num_vertices(&self) -> usize {
+        self.aug.user_num_vertices()
+    }
+
+    /// Number of user edges currently in the graph.
+    pub fn num_edges(&self) -> usize {
+        self.aug.user_num_edges()
+    }
+
+    /// Parent of user vertex `v` in the maintained DFS forest (`None` for
+    /// component roots and vertices not present).
+    pub fn forest_parent(&self, v: Vertex) -> Option<Vertex> {
+        let vi = self.aug.to_internal(v);
+        if !self.idx.contains(vi) {
+            return None;
+        }
+        self.idx
+            .parent(vi)
+            .filter(|&p| p != self.aug.pseudo_root())
+            .map(|p| self.aug.to_user(p))
+    }
+
+    /// Roots of the maintained DFS forest (user ids), one per connected
+    /// component of the user graph.
+    pub fn forest_roots(&self) -> Vec<Vertex> {
+        self.idx
+            .children(self.aug.pseudo_root())
+            .iter()
+            .map(|&c| self.aug.to_user(c))
+            .collect()
+    }
+
+    /// Are user vertices `u` and `v` in the same connected component? (A DFS
+    /// forest answers connectivity for free: same tree ⇔ same component.)
+    pub fn same_component(&self, u: Vertex, v: Vertex) -> bool {
+        let (ui, vi) = (self.aug.to_internal(u), self.aug.to_internal(v));
+        if !self.idx.contains(ui) || !self.idx.contains(vi) {
+            return false;
+        }
+        let proot = self.aug.pseudo_root();
+        self.idx.ancestor_at_level(ui, 1) == self.idx.ancestor_at_level(vi, 1) && ui != proot && vi != proot
+    }
+
+    /// Statistics of the most recent update.
+    pub fn last_stats(&self) -> UpdateStats {
+        self.last_stats
+    }
+
+    /// Total number of updates applied so far.
+    pub fn updates_applied(&self) -> u64 {
+        self.updates_applied
+    }
+
+    /// Validate the maintained tree against the augmented graph (used by tests
+    /// and debug assertions; `O(n + m)`).
+    pub fn check(&self) -> Result<(), String> {
+        check_spanning_dfs_tree(self.aug.graph(), &self.idx)
+    }
+
+    /// Apply one dynamic update (user ids). Returns the user id of the
+    /// inserted vertex for vertex insertions.
+    pub fn apply_update(&mut self, update: &Update) -> Option<Vertex> {
+        let internal = self.aug.translate(update);
+        self.apply_internal(&internal).map(|v| self.aug.to_user(v))
+    }
+
+    fn apply_internal(&mut self, update: &Update) -> Option<Vertex> {
+        let mut stats = UpdateStats::default();
+        let proot = self.aug.pseudo_root();
+
+        // 1. Overlay + graph application (the oracle must describe the updated
+        //    edge set during the reroot).
+        let mut input = ReductionInput::default();
+        let inserted = match update {
+            Update::InsertEdge(u, v) => {
+                self.d.note_insert_edge(*u, *v);
+                self.aug.apply_internal(update)
+            }
+            Update::DeleteEdge(u, v) => {
+                self.d.note_delete_edge(*u, *v);
+                self.aug.apply_internal(update)
+            }
+            Update::DeleteVertex(v) => {
+                self.d.note_delete_vertex(*v);
+                self.aug.apply_internal(update)
+            }
+            Update::InsertVertex { .. } => {
+                let nv = self.aug.apply_internal(update);
+                if let Some(nv) = nv {
+                    let nbrs: Vec<Vertex> = self
+                        .aug
+                        .graph()
+                        .neighbors(nv)
+                        .iter()
+                        .copied()
+                        .filter(|&x| x != proot)
+                        .collect();
+                    self.d.note_insert_vertex(nv, &nbrs);
+                    // Also record the pseudo edge added by the augmentation so
+                    // queries within this very update can see it.
+                    self.d.note_insert_edge(nv, proot);
+                    input.inserted = Some(nv);
+                    input.inserted_neighbors = nbrs;
+                }
+                nv
+            }
+        };
+
+        // 2. Reduction + parallel reroot.
+        let reroot_start = Instant::now();
+        let mut new_par: Vec<Vertex> = old_parents(&self.idx);
+        if new_par.len() < self.aug.graph().capacity() {
+            new_par.resize(self.aug.graph().capacity(), NO_VERTEX);
+        }
+        let jobs = reduce_update(&self.idx, &self.d, proot, update, &input, &mut new_par, &mut stats);
+        stats.reroot_jobs = jobs.len() as u64;
+        let engine = Rerooter::new(&self.idx, &self.d, self.strategy);
+        stats.reroot = engine.run(&jobs, &mut new_par);
+        stats.reroot_micros = reroot_start.elapsed().as_micros() as u64;
+
+        // 3. Rebuild the tree index and D for the next update (Theorem 8).
+        let rebuild_start = Instant::now();
+        let idx = TreeIndex::from_parent_slice(&new_par, proot);
+        let d = StructureD::build(self.aug.graph(), idx.clone());
+        stats.rebuild_micros = rebuild_start.elapsed().as_micros() as u64;
+
+        self.idx = idx;
+        self.d = d;
+        self.last_stats = stats;
+        self.updates_applied += 1;
+        inserted
+    }
+}
+
+/// Extract the parent array of a tree index (`parent[root] == root`,
+/// `NO_VERTEX` outside the tree).
+pub(crate) fn old_parents(idx: &TreeIndex) -> Vec<Vertex> {
+    let mut out = vec![NO_VERTEX; idx.capacity()];
+    for &v in idx.pre_order_vertices() {
+        out[v as usize] = idx.parent(v).unwrap_or(v);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pardfs_graph::generators;
+    use pardfs_graph::updates::{random_update_sequence, UpdateMix};
+    use rand::prelude::*;
+    use rand_chacha::ChaCha8Rng;
+
+    fn exercise(graph: Graph, updates: &[Update], strategy: Strategy) -> DynamicDfs {
+        let mut dfs = DynamicDfs::with_strategy(&graph, strategy);
+        dfs.check().unwrap();
+        for (i, u) in updates.iter().enumerate() {
+            dfs.apply_update(u);
+            dfs.check()
+                .unwrap_or_else(|e| panic!("update {i} ({u:?}) broke the DFS tree: {e}"));
+        }
+        dfs
+    }
+
+    #[test]
+    fn edge_updates_on_small_graphs_both_strategies() {
+        for strategy in [Strategy::Simple, Strategy::Phased] {
+            let g = generators::path(12);
+            let updates = vec![
+                Update::InsertEdge(0, 11),
+                Update::InsertEdge(3, 8),
+                Update::DeleteEdge(5, 6),
+                Update::DeleteEdge(0, 1),
+                Update::InsertEdge(1, 6),
+            ];
+            exercise(g, &updates, strategy);
+        }
+    }
+
+    #[test]
+    fn vertex_updates_on_structured_graphs() {
+        for strategy in [Strategy::Simple, Strategy::Phased] {
+            let g = generators::caterpillar(6, 3);
+            let updates = vec![
+                Update::DeleteVertex(2),
+                Update::InsertVertex {
+                    edges: vec![0, 5, 10],
+                },
+                Update::DeleteVertex(0),
+            ];
+            exercise(g, &updates, strategy);
+        }
+    }
+
+    #[test]
+    fn forest_api_reports_components() {
+        let g = generators::path(6);
+        let mut dfs = DynamicDfs::new(&g);
+        assert_eq!(dfs.forest_roots().len(), 1);
+        assert!(dfs.same_component(0, 5));
+        dfs.apply_update(&Update::DeleteEdge(2, 3));
+        dfs.check().unwrap();
+        assert_eq!(dfs.forest_roots().len(), 2);
+        assert!(!dfs.same_component(0, 5));
+        assert!(dfs.same_component(3, 5));
+        assert_eq!(dfs.num_edges(), 4);
+        // Parent chains never cross the pseudo root.
+        for v in 0..6u32 {
+            if let Some(p) = dfs.forest_parent(v) {
+                assert!(p < 6);
+            }
+        }
+    }
+
+    #[test]
+    fn random_mixed_sequences_both_strategies() {
+        let mut rng = ChaCha8Rng::seed_from_u64(77);
+        for strategy in [Strategy::Simple, Strategy::Phased] {
+            for _ in 0..4 {
+                let n = rng.gen_range(8..50);
+                let m = rng.gen_range(n - 1..(n * (n - 1) / 2).min(3 * n));
+                let g = generators::random_connected_gnm(n, m, &mut rng);
+                let updates = random_update_sequence(&g, 30, &UpdateMix::default(), &mut rng);
+                exercise(g, &updates, strategy);
+            }
+        }
+    }
+
+    #[test]
+    fn dense_graph_edge_churn() {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let g = generators::random_connected_gnm(40, 300, &mut rng);
+        let updates = random_update_sequence(&g, 40, &UpdateMix::edges_only(), &mut rng);
+        let dfs = exercise(g, &updates, Strategy::Phased);
+        assert_eq!(dfs.updates_applied(), 40);
+    }
+
+    #[test]
+    fn stats_are_populated() {
+        let g = generators::broom(20, 10);
+        let mut dfs = DynamicDfs::new(&g);
+        // Deleting a handle edge forces a real reroot of the lower half.
+        dfs.apply_update(&Update::DeleteEdge(5, 6));
+        dfs.check().unwrap();
+        let s = dfs.last_stats();
+        assert_eq!(s.reroot_jobs, 1);
+        assert!(s.reroot.relinked_vertices > 0);
+        assert!(s.reroot.rounds >= 1);
+        assert!(s.total_query_sets() >= 1);
+        // Inserting a cross edge between two bristles re-hangs a leaf in O(1).
+        dfs.apply_update(&Update::InsertEdge(20, 25));
+        dfs.check().unwrap();
+        let s = dfs.last_stats();
+        assert_eq!(s.reroot_jobs, 1);
+        assert_eq!(s.reroot.rounds, 1);
+    }
+}

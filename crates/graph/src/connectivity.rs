@@ -1,0 +1,149 @@
+//! Connectivity helpers: union-find and connected component labelling.
+//!
+//! These are used to validate DFS forests (every tree must span exactly one
+//! connected component) and by the CONGEST simulator when components merge or
+//! split after an update.
+
+use crate::graph::Graph;
+
+/// Union-find (disjoint set union) with path halving and union by size.
+#[derive(Debug, Clone)]
+pub struct DisjointSets {
+    parent: Vec<u32>,
+    size: Vec<u32>,
+    components: usize,
+}
+
+impl DisjointSets {
+    /// Create `n` singleton sets.
+    pub fn new(n: usize) -> Self {
+        DisjointSets {
+            parent: (0..n as u32).collect(),
+            size: vec![1; n],
+            components: n,
+        }
+    }
+
+    /// Representative of the set containing `x`.
+    pub fn find(&mut self, mut x: u32) -> u32 {
+        while self.parent[x as usize] != x {
+            let gp = self.parent[self.parent[x as usize] as usize];
+            self.parent[x as usize] = gp;
+            x = gp;
+        }
+        x
+    }
+
+    /// Merge the sets containing `a` and `b`; returns `true` if they were
+    /// previously distinct.
+    pub fn union(&mut self, a: u32, b: u32) -> bool {
+        let (mut ra, mut rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        if self.size[ra as usize] < self.size[rb as usize] {
+            std::mem::swap(&mut ra, &mut rb);
+        }
+        self.parent[rb as usize] = ra;
+        self.size[ra as usize] += self.size[rb as usize];
+        self.components -= 1;
+        true
+    }
+
+    /// Are `a` and `b` in the same set?
+    pub fn connected(&mut self, a: u32, b: u32) -> bool {
+        self.find(a) == self.find(b)
+    }
+
+    /// Number of disjoint sets remaining (counting singletons).
+    pub fn num_components(&self) -> usize {
+        self.components
+    }
+}
+
+/// Label the connected components of the active subgraph.
+///
+/// Returns `(labels, count)` where `labels[v] == u32::MAX` for inactive
+/// vertices and components are numbered `0..count`.
+pub fn connected_components(g: &Graph) -> (Vec<u32>, usize) {
+    let cap = g.capacity();
+    let mut label = vec![u32::MAX; cap];
+    let mut count = 0u32;
+    let mut stack = Vec::new();
+    for s in g.vertices() {
+        if label[s as usize] != u32::MAX {
+            continue;
+        }
+        label[s as usize] = count;
+        stack.push(s);
+        while let Some(v) = stack.pop() {
+            for &w in g.neighbors(v) {
+                if label[w as usize] == u32::MAX {
+                    label[w as usize] = count;
+                    stack.push(w);
+                }
+            }
+        }
+        count += 1;
+    }
+    (label, count as usize)
+}
+
+/// Is the active subgraph connected (vacuously true for 0 or 1 vertices)?
+pub fn is_connected(g: &Graph) -> bool {
+    let (_, c) = connected_components(g);
+    c <= 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn union_find_basics() {
+        let mut dsu = DisjointSets::new(5);
+        assert_eq!(dsu.num_components(), 5);
+        assert!(dsu.union(0, 1));
+        assert!(dsu.union(1, 2));
+        assert!(!dsu.union(0, 2));
+        assert!(dsu.connected(0, 2));
+        assert!(!dsu.connected(0, 3));
+        assert_eq!(dsu.num_components(), 3);
+    }
+
+    #[test]
+    fn components_of_disconnected_graph() {
+        let mut g = Graph::new(6);
+        g.insert_edge(0, 1);
+        g.insert_edge(1, 2);
+        g.insert_edge(3, 4);
+        let (labels, count) = connected_components(&g);
+        assert_eq!(count, 3);
+        assert_eq!(labels[0], labels[2]);
+        assert_eq!(labels[3], labels[4]);
+        assert_ne!(labels[0], labels[3]);
+        assert_ne!(labels[5], labels[0]);
+        assert!(!is_connected(&g));
+    }
+
+    #[test]
+    fn deleted_vertices_are_unlabelled() {
+        let mut g = Graph::new(4);
+        g.insert_edge(0, 1);
+        g.insert_edge(1, 2);
+        g.insert_edge(2, 3);
+        g.delete_vertex(1);
+        let (labels, count) = connected_components(&g);
+        assert_eq!(labels[1], u32::MAX);
+        assert_eq!(count, 2);
+    }
+
+    #[test]
+    fn connected_graph_is_connected() {
+        let mut g = Graph::new(4);
+        g.insert_edge(0, 1);
+        g.insert_edge(1, 2);
+        g.insert_edge(2, 3);
+        assert!(is_connected(&g));
+    }
+}

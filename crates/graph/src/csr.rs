@@ -1,0 +1,95 @@
+//! Immutable compressed-sparse-row snapshots of a [`Graph`].
+
+use crate::graph::{Graph, Vertex};
+
+/// A compressed-sparse-row (CSR) snapshot of an undirected graph.
+///
+/// CSR is the layout used by the static algorithms (static DFS, BFS-tree
+/// construction in the CONGEST simulator) because it gives contiguous,
+/// cache-friendly neighbour ranges. Inactive vertices simply have an empty
+/// neighbour range.
+#[derive(Debug, Clone)]
+pub struct Csr {
+    offsets: Vec<usize>,
+    targets: Vec<Vertex>,
+    num_vertices: usize,
+    num_edges: usize,
+}
+
+impl Csr {
+    /// Build a CSR snapshot from a dynamic graph.
+    pub fn from_graph(g: &Graph) -> Self {
+        let cap = g.capacity();
+        let mut offsets = Vec::with_capacity(cap + 1);
+        let mut targets = Vec::with_capacity(2 * g.num_edges());
+        offsets.push(0);
+        for v in 0..cap as Vertex {
+            if g.is_active(v) {
+                targets.extend_from_slice(g.neighbors(v));
+            }
+            offsets.push(targets.len());
+        }
+        Csr {
+            offsets,
+            targets,
+            num_vertices: g.num_vertices(),
+            num_edges: g.num_edges(),
+        }
+    }
+
+    /// Number of vertex slots (the id space size).
+    pub fn capacity(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of active vertices at snapshot time.
+    pub fn num_vertices(&self) -> usize {
+        self.num_vertices
+    }
+
+    /// Number of undirected edges at snapshot time.
+    pub fn num_edges(&self) -> usize {
+        self.num_edges
+    }
+
+    /// Neighbours of `v`.
+    pub fn neighbors(&self, v: Vertex) -> &[Vertex] {
+        let v = v as usize;
+        &self.targets[self.offsets[v]..self.offsets[v + 1]]
+    }
+
+    /// Degree of `v`.
+    pub fn degree(&self, v: Vertex) -> usize {
+        self.neighbors(v).len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csr_matches_graph() {
+        let mut g = Graph::new(5);
+        g.insert_edge(0, 1);
+        g.insert_edge(0, 2);
+        g.insert_edge(3, 4);
+        g.delete_vertex(2);
+        let csr = g.csr();
+        assert_eq!(csr.capacity(), 5);
+        assert_eq!(csr.num_vertices(), 4);
+        assert_eq!(csr.num_edges(), 2);
+        for v in 0..5u32 {
+            let mut a: Vec<_> = if g.is_active(v) {
+                g.neighbors(v).to_vec()
+            } else {
+                vec![]
+            };
+            let mut b = csr.neighbors(v).to_vec();
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b, "neighbour mismatch at {v}");
+            assert_eq!(csr.degree(v), a.len());
+        }
+    }
+}

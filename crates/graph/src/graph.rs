@@ -1,0 +1,350 @@
+//! The dynamic undirected [`Graph`] type.
+
+use crate::updates::Update;
+
+/// Vertex identifier. Vertices are dense `u32` indices; identifiers are stable
+/// across updates (deleted vertices leave a hole, inserted vertices get fresh
+/// identifiers at the end of the id space).
+pub type Vertex = u32;
+
+/// An undirected edge, stored as an ordered pair `(min, max)` by [`Edge::new`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Edge(pub Vertex, pub Vertex);
+
+impl Edge {
+    /// Canonicalise an undirected edge so that `e.0 <= e.1`.
+    pub fn new(u: Vertex, v: Vertex) -> Self {
+        if u <= v {
+            Edge(u, v)
+        } else {
+            Edge(v, u)
+        }
+    }
+
+    /// The endpoint different from `v`. Panics if `v` is not an endpoint.
+    pub fn other(&self, v: Vertex) -> Vertex {
+        if self.0 == v {
+            self.1
+        } else {
+            debug_assert_eq!(self.1, v, "vertex {v} is not an endpoint of {self:?}");
+            self.0
+        }
+    }
+}
+
+/// Sentinel for "no vertex".
+pub const INVALID_VERTEX: Vertex = u32::MAX;
+
+/// A dynamic undirected graph stored as adjacency lists.
+///
+/// * Vertex ids are dense indices `0..capacity()`. A vertex may be *inactive*
+///   (deleted or never inserted); inactive vertices have empty adjacency.
+/// * Parallel edges and self loops are rejected — the paper assumes a simple
+///   graph and a DFS tree is only defined for simple graphs.
+/// * All mutation goes through [`Graph::apply`] or the specific
+///   `insert_edge` / `delete_edge` / `insert_vertex` / `delete_vertex` methods,
+///   which keep the edge count and activity flags consistent.
+#[derive(Debug, Clone, Default)]
+pub struct Graph {
+    adj: Vec<Vec<Vertex>>,
+    active: Vec<bool>,
+    num_edges: usize,
+    num_active: usize,
+}
+
+impl Graph {
+    /// Create a graph with `n` active, isolated vertices `0..n`.
+    pub fn new(n: usize) -> Self {
+        Graph {
+            adj: vec![Vec::new(); n],
+            active: vec![true; n],
+            num_edges: 0,
+            num_active: n,
+        }
+    }
+
+    /// Create a graph with `n` vertices and the given undirected edges.
+    ///
+    /// Duplicate edges and self loops are ignored.
+    pub fn with_edges(n: usize, edges: &[(Vertex, Vertex)]) -> Self {
+        let mut g = Graph::new(n);
+        for &(u, v) in edges {
+            let _ = g.insert_edge(u, v);
+        }
+        g
+    }
+
+    /// Total size of the id space (active and inactive vertices).
+    pub fn capacity(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Number of active vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.num_active
+    }
+
+    /// Number of edges currently present.
+    pub fn num_edges(&self) -> usize {
+        self.num_edges
+    }
+
+    /// Is `v` a live vertex?
+    pub fn is_active(&self, v: Vertex) -> bool {
+        (v as usize) < self.active.len() && self.active[v as usize]
+    }
+
+    /// Iterator over the active vertices.
+    pub fn vertices(&self) -> impl Iterator<Item = Vertex> + '_ {
+        (0..self.capacity() as Vertex).filter(move |&v| self.active[v as usize])
+    }
+
+    /// Neighbours of `v` (unordered).
+    pub fn neighbors(&self, v: Vertex) -> &[Vertex] {
+        &self.adj[v as usize]
+    }
+
+    /// Degree of `v`.
+    pub fn degree(&self, v: Vertex) -> usize {
+        self.adj[v as usize].len()
+    }
+
+    /// Does the edge `(u, v)` exist?
+    pub fn has_edge(&self, u: Vertex, v: Vertex) -> bool {
+        if !self.is_active(u) || !self.is_active(v) {
+            return false;
+        }
+        // Scan the smaller adjacency list.
+        let (a, b) = if self.degree(u) <= self.degree(v) {
+            (u, v)
+        } else {
+            (v, u)
+        };
+        self.adj[a as usize].contains(&b)
+    }
+
+    /// Iterator over all edges, each reported once with `u < v`.
+    pub fn edges(&self) -> impl Iterator<Item = Edge> + '_ {
+        self.vertices().flat_map(move |u| {
+            self.neighbors(u)
+                .iter()
+                .filter(move |&&v| u < v)
+                .map(move |&v| Edge(u, v))
+        })
+    }
+
+    /// Insert the undirected edge `(u, v)`.
+    ///
+    /// Returns `true` if the edge was inserted, `false` if it already existed,
+    /// was a self loop, or one endpoint is inactive.
+    pub fn insert_edge(&mut self, u: Vertex, v: Vertex) -> bool {
+        if u == v || !self.is_active(u) || !self.is_active(v) || self.has_edge(u, v) {
+            return false;
+        }
+        self.adj[u as usize].push(v);
+        self.adj[v as usize].push(u);
+        self.num_edges += 1;
+        true
+    }
+
+    /// Delete the undirected edge `(u, v)`. Returns `true` if it was present.
+    pub fn delete_edge(&mut self, u: Vertex, v: Vertex) -> bool {
+        if !self.is_active(u) || !self.is_active(v) {
+            return false;
+        }
+        let pos_u = self.adj[u as usize].iter().position(|&x| x == v);
+        let Some(pu) = pos_u else { return false };
+        self.adj[u as usize].swap_remove(pu);
+        let pv = self.adj[v as usize]
+            .iter()
+            .position(|&x| x == u)
+            .expect("adjacency lists out of sync");
+        self.adj[v as usize].swap_remove(pv);
+        self.num_edges -= 1;
+        true
+    }
+
+    /// Insert a new vertex with the given incident edges and return its id.
+    ///
+    /// Edges to inactive or out-of-range endpoints are silently skipped, as are
+    /// duplicates among `edges`.
+    pub fn insert_vertex(&mut self, edges: &[Vertex]) -> Vertex {
+        let v = self.adj.len() as Vertex;
+        self.adj.push(Vec::new());
+        self.active.push(true);
+        self.num_active += 1;
+        for &u in edges {
+            let _ = self.insert_edge(v, u);
+        }
+        v
+    }
+
+    /// Re-activate a previously deleted vertex id (used when replaying update
+    /// sequences backwards in tests). Returns `false` if `v` is already active
+    /// or out of range.
+    pub fn reactivate_vertex(&mut self, v: Vertex, edges: &[Vertex]) -> bool {
+        let vi = v as usize;
+        if vi >= self.active.len() || self.active[vi] {
+            return false;
+        }
+        self.active[vi] = true;
+        self.num_active += 1;
+        for &u in edges {
+            let _ = self.insert_edge(v, u);
+        }
+        true
+    }
+
+    /// Delete vertex `v` together with all incident edges.
+    ///
+    /// Returns the list of former neighbours (useful for undo / replay), or
+    /// `None` if `v` was not active.
+    pub fn delete_vertex(&mut self, v: Vertex) -> Option<Vec<Vertex>> {
+        if !self.is_active(v) {
+            return None;
+        }
+        let nbrs = std::mem::take(&mut self.adj[v as usize]);
+        for &u in &nbrs {
+            let pu = self.adj[u as usize]
+                .iter()
+                .position(|&x| x == v)
+                .expect("adjacency lists out of sync");
+            self.adj[u as usize].swap_remove(pu);
+        }
+        self.num_edges -= nbrs.len();
+        self.active[v as usize] = false;
+        self.num_active -= 1;
+        Some(nbrs)
+    }
+
+    /// Apply a dynamic [`Update`], returning the id of the inserted vertex when
+    /// the update is a vertex insertion.
+    pub fn apply(&mut self, update: &Update) -> Option<Vertex> {
+        match update {
+            Update::InsertEdge(u, v) => {
+                self.insert_edge(*u, *v);
+                None
+            }
+            Update::DeleteEdge(u, v) => {
+                self.delete_edge(*u, *v);
+                None
+            }
+            Update::InsertVertex { edges } => Some(self.insert_vertex(edges)),
+            Update::DeleteVertex(v) => {
+                self.delete_vertex(*v);
+                None
+            }
+        }
+    }
+
+    /// Build an immutable CSR snapshot of the current graph.
+    pub fn csr(&self) -> crate::csr::Csr {
+        crate::csr::Csr::from_graph(self)
+    }
+
+    /// Sum of all words used by adjacency (for the streaming memory accountant).
+    pub fn adjacency_words(&self) -> usize {
+        self.adj.iter().map(|a| a.len()).sum()
+    }
+
+    /// Sort every adjacency list (stable vertex order); handy for deterministic
+    /// ordered-DFS tests.
+    pub fn sort_adjacency(&mut self) {
+        for a in &mut self.adj {
+            a.sort_unstable();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn edge_canonicalisation() {
+        assert_eq!(Edge::new(5, 2), Edge(2, 5));
+        assert_eq!(Edge::new(2, 5), Edge(2, 5));
+        assert_eq!(Edge::new(3, 3), Edge(3, 3));
+        assert_eq!(Edge::new(2, 5).other(2), 5);
+        assert_eq!(Edge::new(2, 5).other(5), 2);
+    }
+
+    #[test]
+    fn insert_and_delete_edges() {
+        let mut g = Graph::new(4);
+        assert!(g.insert_edge(0, 1));
+        assert!(g.insert_edge(1, 2));
+        assert!(!g.insert_edge(0, 1), "duplicate edge rejected");
+        assert!(!g.insert_edge(2, 2), "self loop rejected");
+        assert_eq!(g.num_edges(), 2);
+        assert!(g.has_edge(1, 0));
+        assert!(g.delete_edge(0, 1));
+        assert!(!g.delete_edge(0, 1));
+        assert_eq!(g.num_edges(), 1);
+        assert!(!g.has_edge(0, 1));
+    }
+
+    #[test]
+    fn vertex_insertion_with_edges() {
+        let mut g = Graph::new(3);
+        g.insert_edge(0, 1);
+        let v = g.insert_vertex(&[0, 2, 2, 7]);
+        assert_eq!(v, 3);
+        assert_eq!(g.num_vertices(), 4);
+        assert!(g.has_edge(v, 0));
+        assert!(g.has_edge(v, 2));
+        assert_eq!(g.degree(v), 2, "duplicate and out-of-range edges skipped");
+    }
+
+    #[test]
+    fn vertex_deletion_removes_incident_edges() {
+        let mut g = Graph::new(4);
+        g.insert_edge(0, 1);
+        g.insert_edge(1, 2);
+        g.insert_edge(1, 3);
+        g.insert_edge(2, 3);
+        let nbrs = g.delete_vertex(1).unwrap();
+        assert_eq!(nbrs.len(), 3);
+        assert_eq!(g.num_edges(), 1);
+        assert_eq!(g.num_vertices(), 3);
+        assert!(!g.is_active(1));
+        assert!(!g.has_edge(0, 1));
+        assert!(g.has_edge(2, 3));
+        assert!(g.delete_vertex(1).is_none());
+    }
+
+    #[test]
+    fn reactivation_roundtrip() {
+        let mut g = Graph::new(3);
+        g.insert_edge(0, 1);
+        g.insert_edge(1, 2);
+        let nbrs = g.delete_vertex(1).unwrap();
+        assert!(g.reactivate_vertex(1, &nbrs));
+        assert!(!g.reactivate_vertex(1, &nbrs));
+        assert_eq!(g.num_edges(), 2);
+        assert!(g.has_edge(0, 1) && g.has_edge(1, 2));
+    }
+
+    #[test]
+    fn apply_updates() {
+        let mut g = Graph::new(2);
+        assert_eq!(g.apply(&Update::InsertEdge(0, 1)), None);
+        let v = g.apply(&Update::InsertVertex { edges: vec![0, 1] });
+        assert_eq!(v, Some(2));
+        g.apply(&Update::DeleteEdge(0, 1));
+        g.apply(&Update::DeleteVertex(0));
+        assert_eq!(g.num_vertices(), 2);
+        assert_eq!(g.num_edges(), 1);
+    }
+
+    #[test]
+    fn edge_iteration_reports_each_edge_once() {
+        let mut g = Graph::new(5);
+        g.insert_edge(0, 1);
+        g.insert_edge(3, 1);
+        g.insert_edge(4, 2);
+        let mut es: Vec<Edge> = g.edges().collect();
+        es.sort();
+        assert_eq!(es, vec![Edge(0, 1), Edge(1, 3), Edge(2, 4)]);
+    }
+}

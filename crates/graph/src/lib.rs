@@ -1,0 +1,37 @@
+//! # pardfs-graph
+//!
+//! Dynamic undirected graph substrate used by every other `pardfs` crate.
+//!
+//! The paper ("Near Optimal Parallel Algorithms for Dynamic DFS in Undirected
+//! Graphs", SPAA 2017) works with an undirected graph `G = (V, E)` subject to an
+//! online sequence of *updates*: insertion/deletion of an edge, and
+//! insertion/deletion of a vertex (a vertex may be inserted together with an
+//! arbitrary set of incident edges). This crate provides:
+//!
+//! * [`Graph`] — an adjacency-list dynamic undirected graph with stable vertex
+//!   identifiers, supporting all four update kinds.
+//! * [`Csr`] — an immutable compressed-sparse-row snapshot for cache-friendly
+//!   static traversals.
+//! * [`Update`] and [`UpdateBatch`] — the update vocabulary shared by the
+//!   sequential baseline, the parallel engine, and the streaming/distributed
+//!   adaptations.
+//! * [`generators`] — graph families and random update sequences used by the
+//!   test-suite and the experiment harness (random `G(n,p)` / `G(n,m)` graphs,
+//!   paths, grids, trees, and the adversarial "broom"/"caterpillar" families
+//!   that exercise the worst cases of the rerooting algorithm).
+//! * [`connectivity`] — union-find based connectivity helpers used to validate
+//!   DFS forests.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod connectivity;
+pub mod csr;
+pub mod generators;
+pub mod graph;
+pub mod updates;
+
+pub use connectivity::{connected_components, is_connected, DisjointSets};
+pub use csr::Csr;
+pub use graph::{Edge, Graph, Vertex, INVALID_VERTEX};
+pub use updates::{Update, UpdateBatch, UpdateKind};

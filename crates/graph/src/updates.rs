@@ -1,0 +1,264 @@
+//! The dynamic update vocabulary of the paper (Section 1.2): edge
+//! insertion/deletion and vertex insertion/deletion, where an inserted vertex
+//! may carry an arbitrary set of incident edges.
+
+use crate::graph::{Graph, Vertex};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// A single dynamic graph update.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Update {
+    /// Insert the undirected edge `(u, v)`.
+    InsertEdge(Vertex, Vertex),
+    /// Delete the undirected edge `(u, v)`.
+    DeleteEdge(Vertex, Vertex),
+    /// Insert a new vertex adjacent to the listed existing vertices.
+    InsertVertex {
+        /// Endpoints of the edges incident to the new vertex.
+        edges: Vec<Vertex>,
+    },
+    /// Delete the vertex and all incident edges.
+    DeleteVertex(Vertex),
+}
+
+/// Coarse classification of an [`Update`], used by the experiment harness to
+/// report per-kind latencies (experiment E8).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UpdateKind {
+    /// Edge insertion.
+    InsertEdge,
+    /// Edge deletion.
+    DeleteEdge,
+    /// Vertex insertion.
+    InsertVertex,
+    /// Vertex deletion.
+    DeleteVertex,
+}
+
+impl Update {
+    /// Classify the update.
+    pub fn kind(&self) -> UpdateKind {
+        match self {
+            Update::InsertEdge(..) => UpdateKind::InsertEdge,
+            Update::DeleteEdge(..) => UpdateKind::DeleteEdge,
+            Update::InsertVertex { .. } => UpdateKind::InsertVertex,
+            Update::DeleteVertex(..) => UpdateKind::DeleteVertex,
+        }
+    }
+
+    /// Number of words needed to describe the update (used by the CONGEST
+    /// simulator to account for propagating the update itself).
+    pub fn description_words(&self) -> usize {
+        match self {
+            Update::InsertEdge(..) | Update::DeleteEdge(..) => 2,
+            Update::DeleteVertex(..) => 1,
+            Update::InsertVertex { edges } => 1 + edges.len(),
+        }
+    }
+}
+
+/// A batch of updates applied as one fault-tolerant event (Theorem 14) or an
+/// online sequence applied one by one (Theorem 13).
+pub type UpdateBatch = Vec<Update>;
+
+/// Configuration for random update-sequence generation.
+#[derive(Debug, Clone)]
+pub struct UpdateMix {
+    /// Relative weight of edge insertions.
+    pub insert_edge: u32,
+    /// Relative weight of edge deletions.
+    pub delete_edge: u32,
+    /// Relative weight of vertex insertions.
+    pub insert_vertex: u32,
+    /// Relative weight of vertex deletions.
+    pub delete_vertex: u32,
+    /// Maximum number of incident edges attached to an inserted vertex.
+    pub max_new_vertex_degree: usize,
+}
+
+impl Default for UpdateMix {
+    fn default() -> Self {
+        UpdateMix {
+            insert_edge: 4,
+            delete_edge: 4,
+            insert_vertex: 1,
+            delete_vertex: 1,
+            max_new_vertex_degree: 8,
+        }
+    }
+}
+
+impl UpdateMix {
+    /// Only edge updates (the most common benchmark setting).
+    pub fn edges_only() -> Self {
+        UpdateMix {
+            insert_edge: 1,
+            delete_edge: 1,
+            insert_vertex: 0,
+            delete_vertex: 0,
+            max_new_vertex_degree: 0,
+        }
+    }
+
+    /// Only vertex updates.
+    pub fn vertices_only(max_degree: usize) -> Self {
+        UpdateMix {
+            insert_edge: 0,
+            delete_edge: 0,
+            insert_vertex: 1,
+            delete_vertex: 1,
+            max_new_vertex_degree: max_degree,
+        }
+    }
+}
+
+/// Generate a random sequence of `count` updates that is *valid* when applied
+/// in order to (a clone of) `graph`: inserted edges do not already exist,
+/// deleted edges/vertices exist at the time of deletion.
+///
+/// The provided graph is not modified; a scratch copy tracks the evolving
+/// state so later updates remain applicable.
+pub fn random_update_sequence<R: Rng>(
+    graph: &Graph,
+    count: usize,
+    mix: &UpdateMix,
+    rng: &mut R,
+) -> Vec<Update> {
+    let mut scratch = graph.clone();
+    let mut updates = Vec::with_capacity(count);
+    let total_weight = mix.insert_edge + mix.delete_edge + mix.insert_vertex + mix.delete_vertex;
+    assert!(total_weight > 0, "update mix must have positive total weight");
+
+    let mut attempts = 0usize;
+    while updates.len() < count && attempts < count * 50 {
+        attempts += 1;
+        let pick = rng.gen_range(0..total_weight);
+        let update = if pick < mix.insert_edge {
+            propose_insert_edge(&scratch, rng)
+        } else if pick < mix.insert_edge + mix.delete_edge {
+            propose_delete_edge(&scratch, rng)
+        } else if pick < mix.insert_edge + mix.delete_edge + mix.insert_vertex {
+            propose_insert_vertex(&scratch, mix.max_new_vertex_degree, rng)
+        } else {
+            propose_delete_vertex(&scratch, rng)
+        };
+        if let Some(u) = update {
+            scratch.apply(&u);
+            updates.push(u);
+        }
+    }
+    updates
+}
+
+fn random_active_vertex<R: Rng>(g: &Graph, rng: &mut R) -> Option<Vertex> {
+    if g.num_vertices() == 0 {
+        return None;
+    }
+    // Rejection sampling over the id space; the id space only grows by the
+    // number of vertex insertions so this terminates quickly in practice.
+    for _ in 0..64 {
+        let v = rng.gen_range(0..g.capacity() as Vertex);
+        if g.is_active(v) {
+            return Some(v);
+        }
+    }
+    g.vertices().next()
+}
+
+fn propose_insert_edge<R: Rng>(g: &Graph, rng: &mut R) -> Option<Update> {
+    let u = random_active_vertex(g, rng)?;
+    let v = random_active_vertex(g, rng)?;
+    if u == v || g.has_edge(u, v) {
+        return None;
+    }
+    Some(Update::InsertEdge(u, v))
+}
+
+fn propose_delete_edge<R: Rng>(g: &Graph, rng: &mut R) -> Option<Update> {
+    let u = random_active_vertex(g, rng)?;
+    if g.degree(u) == 0 {
+        return None;
+    }
+    let v = *g.neighbors(u).choose(rng)?;
+    Some(Update::DeleteEdge(u, v))
+}
+
+fn propose_insert_vertex<R: Rng>(g: &Graph, max_degree: usize, rng: &mut R) -> Option<Update> {
+    let degree = if max_degree == 0 {
+        0
+    } else {
+        rng.gen_range(1..=max_degree)
+    };
+    let mut edges = Vec::with_capacity(degree);
+    for _ in 0..degree {
+        if let Some(v) = random_active_vertex(g, rng) {
+            if !edges.contains(&v) {
+                edges.push(v);
+            }
+        }
+    }
+    Some(Update::InsertVertex { edges })
+}
+
+fn propose_delete_vertex<R: Rng>(g: &Graph, rng: &mut R) -> Option<Update> {
+    if g.num_vertices() <= 2 {
+        return None;
+    }
+    random_active_vertex(g, rng).map(Update::DeleteVertex)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn update_kind_classification() {
+        assert_eq!(Update::InsertEdge(0, 1).kind(), UpdateKind::InsertEdge);
+        assert_eq!(Update::DeleteEdge(0, 1).kind(), UpdateKind::DeleteEdge);
+        assert_eq!(
+            Update::InsertVertex { edges: vec![] }.kind(),
+            UpdateKind::InsertVertex
+        );
+        assert_eq!(Update::DeleteVertex(3).kind(), UpdateKind::DeleteVertex);
+    }
+
+    #[test]
+    fn description_words() {
+        assert_eq!(Update::InsertEdge(0, 1).description_words(), 2);
+        assert_eq!(Update::DeleteVertex(0).description_words(), 1);
+        assert_eq!(
+            Update::InsertVertex { edges: vec![1, 2, 3] }.description_words(),
+            4
+        );
+    }
+
+    #[test]
+    fn random_sequences_are_applicable() {
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let g = crate::generators::random_connected_gnm(40, 120, &mut rng);
+        let updates = random_update_sequence(&g, 100, &UpdateMix::default(), &mut rng);
+        assert!(updates.len() >= 90, "generator should rarely fail proposals");
+        let mut h = g.clone();
+        for u in &updates {
+            // `apply` must actually change the graph for every proposed update.
+            let before = (h.num_edges(), h.num_vertices(), h.capacity());
+            h.apply(u);
+            let after = (h.num_edges(), h.num_vertices(), h.capacity());
+            assert_ne!(before, after, "update {u:?} had no effect");
+        }
+    }
+
+    #[test]
+    fn edges_only_mix_generates_only_edge_updates() {
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        let g = crate::generators::random_connected_gnm(30, 60, &mut rng);
+        let updates = random_update_sequence(&g, 50, &UpdateMix::edges_only(), &mut rng);
+        assert!(updates.iter().all(|u| matches!(
+            u.kind(),
+            UpdateKind::InsertEdge | UpdateKind::DeleteEdge
+        )));
+    }
+}

@@ -1,0 +1,294 @@
+//! The Euler-tour technique for rooted tree functions (Tarjan–Vishkin,
+//! Theorem 4 of the paper).
+//!
+//! Given a rooted tree as a parent array, compute for every vertex its level,
+//! subtree size, pre-order and post-order number *without* a sequential DFS:
+//! the tree is turned into an Euler circuit of its `2(n-1)` arcs, the circuit
+//! is ranked with pointer jumping, and the tree functions fall out of prefix
+//! sums over the ranked arc sequence. Every step is `O(log n)` depth in the
+//! EREW model; the charges land on the supplied [`Pram`] ledger.
+
+use crate::listrank::{list_rank, NIL};
+use crate::primitives::Pram;
+
+/// Sentinel for vertices not present in the tree.
+pub const ABSENT: u32 = u32::MAX;
+
+/// The classical rooted-tree functions computed by the Euler-tour technique.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TreeFunctions {
+    /// Depth of every vertex (root = 0); [`ABSENT`] for vertices not in the tree.
+    pub level: Vec<u32>,
+    /// Subtree size of every vertex; 0 for vertices not in the tree.
+    pub size: Vec<u32>,
+    /// Pre-order number; [`ABSENT`] for vertices not in the tree.
+    pub pre: Vec<u32>,
+    /// Post-order number; [`ABSENT`] for vertices not in the tree.
+    pub post: Vec<u32>,
+}
+
+/// Compute [`TreeFunctions`] for the rooted tree described by `parent`
+/// (`parent[root] == root`; `ABSENT` marks vertices outside the tree).
+///
+/// Panics if the parent array does not describe a single tree rooted at
+/// `root` (unreachable vertices are detected by a rank consistency check).
+pub fn euler_tour_functions(pram: &Pram, parent: &[u32], root: u32) -> TreeFunctions {
+    let cap = parent.len();
+    assert!((root as usize) < cap && parent[root as usize] == root);
+
+    // Children lists and each child's position within its parent's list.
+    let mut children: Vec<Vec<u32>> = vec![Vec::new(); cap];
+    let mut child_pos: Vec<u32> = vec![0; cap];
+    let mut n_tree = 0u32;
+    for v in 0..cap as u32 {
+        let p = parent[v as usize];
+        if p == ABSENT {
+            continue;
+        }
+        n_tree += 1;
+        if v != root {
+            child_pos[v as usize] = children[p as usize].len() as u32;
+            children[p as usize].push(v);
+        }
+    }
+
+    let mut level = vec![ABSENT; cap];
+    let mut size = vec![0u32; cap];
+    let mut pre = vec![ABSENT; cap];
+    let mut post = vec![ABSENT; cap];
+
+    if n_tree == 1 {
+        level[root as usize] = 0;
+        size[root as usize] = 1;
+        pre[root as usize] = 0;
+        post[root as usize] = 0;
+        return TreeFunctions { level, size, pre, post };
+    }
+
+    // Arc numbering: vertex v owns arcs base[v] .. base[v] + deg(v), where its
+    // neighbour list is [parent (unless root)] ++ children.
+    let deg: Vec<u64> = (0..cap)
+        .map(|v| {
+            if parent[v] == ABSENT {
+                0
+            } else {
+                children[v].len() as u64 + u64::from(v as u32 != root)
+            }
+        })
+        .collect();
+    let (base, total_arcs) = pram.exclusive_scan(&deg);
+    let total_arcs = total_arcs as usize;
+    debug_assert_eq!(total_arcs, 2 * (n_tree as usize - 1));
+
+    // Arc id of the down arc (parent(v) -> v) and the up arc (v -> parent(v)).
+    let down_arc = |v: u32| -> usize {
+        let p = parent[v as usize];
+        let parent_slot = u64::from(p != root);
+        (base[p as usize] + parent_slot + child_pos[v as usize] as u64) as usize
+    };
+    let up_arc = |v: u32| -> usize { base[v as usize] as usize };
+
+    // Arc endpoints and the Euler-circuit successor of every arc.
+    // successor(u -> v) = v -> w, where w follows u cyclically in v's list.
+    let mut arc_head = vec![0u32; total_arcs]; // the vertex an arc points to
+    let mut next = vec![NIL; total_arcs];
+    for v in 0..cap as u32 {
+        if parent[v as usize] == ABSENT {
+            continue;
+        }
+        let b = base[v as usize] as usize;
+        let mut nbrs: Vec<u32> = Vec::with_capacity(deg[v as usize] as usize);
+        if v != root {
+            nbrs.push(parent[v as usize]);
+        }
+        nbrs.extend_from_slice(&children[v as usize]);
+        for (i, &w) in nbrs.iter().enumerate() {
+            arc_head[b + i] = w;
+        }
+        // Successor of every arc *into* v: the twin of (v -> nbrs[i]) is an arc
+        // (nbrs[i] -> v); its successor leaves v towards nbrs[(i+1) % deg].
+        for (i, &w) in nbrs.iter().enumerate() {
+            let incoming = if w == parent[v as usize] && v != root {
+                // (parent -> v) is parent's arc towards child v.
+                down_arc(v)
+            } else {
+                // (child w -> v) is w's arc towards its parent v.
+                up_arc(w)
+            };
+            let succ = b + (i + 1) % nbrs.len();
+            next[incoming] = succ as u32;
+        }
+    }
+
+    // Break the circuit just before the start arc (root -> first child).
+    let start = base[root as usize] as usize;
+    let last = (0..total_arcs)
+        .find(|&a| next[a] == start as u32)
+        .expect("euler circuit must close");
+    next[last] = NIL;
+
+    // Rank every arc: distance to the tail, then flip to distance from head.
+    let dist_to_tail = list_rank(pram, &next);
+    let rank_of = |arc: usize| (total_arcs as u32 - 1) - dist_to_tail[arc];
+    debug_assert_eq!(rank_of(start), 0, "start arc must have rank 0");
+
+    // Arc sequence in tour order, plus per-rank indicators for prefix sums.
+    let mut is_down_by_rank = vec![0u64; total_arcs];
+    for v in 0..cap as u32 {
+        if parent[v as usize] == ABSENT || v == root {
+            continue;
+        }
+        is_down_by_rank[rank_of(down_arc(v)) as usize] = 1;
+    }
+    let (down_prefix, total_down) = pram.exclusive_scan(&is_down_by_rank);
+    assert_eq!(
+        total_down,
+        u64::from(n_tree - 1),
+        "parent array has vertices unreachable from the root"
+    );
+
+    // Inclusive counts at a rank r: down arcs = down_prefix[r] + is_down[r],
+    // up arcs = (r + 1) - that.
+    let down_incl = |r: u32| down_prefix[r as usize] + is_down_by_rank[r as usize];
+    let up_incl = |r: u32| (r as u64 + 1) - down_incl(r);
+
+    level[root as usize] = 0;
+    size[root as usize] = n_tree;
+    pre[root as usize] = 0;
+    post[root as usize] = n_tree - 1;
+    for v in 0..cap as u32 {
+        if parent[v as usize] == ABSENT || v == root {
+            continue;
+        }
+        let rd = rank_of(down_arc(v));
+        let ru = rank_of(up_arc(v));
+        debug_assert!(ru > rd);
+        level[v as usize] = (down_incl(rd) - up_incl(rd)) as u32;
+        size[v as usize] = (ru - rd + 1) / 2;
+        pre[v as usize] = down_incl(rd) as u32;
+        post[v as usize] = (up_incl(ru) - 1) as u32;
+    }
+
+    TreeFunctions { level, size, pre, post }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::prelude::*;
+    use rand_chacha::ChaCha8Rng;
+
+    /// Sequential reference: iterative DFS computing the same functions,
+    /// visiting children in the same order (increasing id ⇒ insertion order).
+    fn reference(parent: &[u32], root: u32) -> TreeFunctions {
+        let cap = parent.len();
+        let mut children: Vec<Vec<u32>> = vec![Vec::new(); cap];
+        for v in 0..cap as u32 {
+            if parent[v as usize] != ABSENT && v != root {
+                children[parent[v as usize] as usize].push(v);
+            }
+        }
+        let mut level = vec![ABSENT; cap];
+        let mut size = vec![0u32; cap];
+        let mut pre = vec![ABSENT; cap];
+        let mut post = vec![ABSENT; cap];
+        let mut stack = vec![(root, 0usize)];
+        level[root as usize] = 0;
+        let (mut pc, mut qc) = (0u32, 0u32);
+        pre[root as usize] = pc;
+        pc += 1;
+        while let Some(&mut (v, ref mut ci)) = stack.last_mut() {
+            if *ci < children[v as usize].len() {
+                let c = children[v as usize][*ci];
+                *ci += 1;
+                level[c as usize] = level[v as usize] + 1;
+                pre[c as usize] = pc;
+                pc += 1;
+                stack.push((c, 0));
+            } else {
+                stack.pop();
+                post[v as usize] = qc;
+                qc += 1;
+                size[v as usize] =
+                    1 + children[v as usize].iter().map(|&c| size[c as usize]).sum::<u32>();
+            }
+        }
+        TreeFunctions { level, size, pre, post }
+    }
+
+    fn random_parent(n: usize, rng: &mut impl Rng) -> Vec<u32> {
+        let mut parent = vec![ABSENT; n];
+        parent[0] = 0;
+        for v in 1..n as u32 {
+            parent[v as usize] = rng.gen_range(0..v);
+        }
+        parent
+    }
+
+    #[test]
+    fn single_vertex_tree() {
+        let pram = Pram::new();
+        let f = euler_tour_functions(&pram, &[0], 0);
+        assert_eq!(f.level, vec![0]);
+        assert_eq!(f.size, vec![1]);
+        assert_eq!(f.pre, vec![0]);
+        assert_eq!(f.post, vec![0]);
+    }
+
+    #[test]
+    fn small_hand_tree() {
+        // 0 -> {1, 2}, 1 -> {3}
+        let parent = vec![0, 0, 0, 1];
+        let pram = Pram::new();
+        let f = euler_tour_functions(&pram, &parent, 0);
+        assert_eq!(f, reference(&parent, 0));
+        assert_eq!(f.size, vec![4, 2, 1, 1]);
+        assert_eq!(f.level, vec![0, 1, 1, 2]);
+    }
+
+    #[test]
+    fn matches_reference_on_random_trees() {
+        let mut rng = ChaCha8Rng::seed_from_u64(13);
+        let pram = Pram::new();
+        for _ in 0..8 {
+            let n = rng.gen_range(2..400);
+            let parent = random_parent(n, &mut rng);
+            let f = euler_tour_functions(&pram, &parent, 0);
+            assert_eq!(f, reference(&parent, 0), "n={n}");
+        }
+    }
+
+    #[test]
+    fn matches_reference_on_a_path_and_star() {
+        let pram = Pram::new();
+        // Path 0-1-2-...-99.
+        let parent: Vec<u32> = (0..100u32).map(|v| v.saturating_sub(1)).collect();
+        let f = euler_tour_functions(&pram, &parent, 0);
+        assert_eq!(f, reference(&parent, 0));
+        // Star centred at 0.
+        let parent = vec![0u32; 64];
+        let f = euler_tour_functions(&pram, &parent, 0);
+        assert_eq!(f, reference(&parent, 0));
+    }
+
+    #[test]
+    fn absent_vertices_are_skipped() {
+        let parent = vec![0, 0, ABSENT, 1];
+        let pram = Pram::new();
+        let f = euler_tour_functions(&pram, &parent, 0);
+        assert_eq!(f.level[2], ABSENT);
+        assert_eq!(f.size[2], 0);
+        assert_eq!(f.size[0], 3);
+    }
+
+    #[test]
+    #[should_panic]
+    fn unreachable_vertices_panic() {
+        // 2 and 3 form their own fragment not attached to root 0; depending on
+        // build mode this is caught either by the cycle debug-assertion in
+        // list ranking or by the down-arc consistency check.
+        let parent = vec![0, 0, 3, 3];
+        let pram = Pram::new();
+        let _ = euler_tour_functions(&pram, &parent, 0);
+    }
+}

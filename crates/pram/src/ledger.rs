@@ -1,0 +1,112 @@
+//! Work/depth accounting for the EREW PRAM cost model.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Accumulated model costs of a sequence of PRAM primitives.
+///
+/// * `work` — total number of elementary operations across all processors.
+/// * `depth` — length of the critical path (parallel time), assuming the
+///   primitives are composed sequentially in the order they were charged.
+/// * `steps` — number of primitives charged (each primitive is one or more
+///   synchronous PRAM "super-steps").
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CostReport {
+    /// Total work (operation count).
+    pub work: u64,
+    /// Critical-path length (parallel time in PRAM steps).
+    pub depth: u64,
+    /// Number of charged primitives.
+    pub steps: u64,
+}
+
+impl CostReport {
+    /// Work divided by depth — the parallelism available to a scheduler.
+    pub fn parallelism(&self) -> f64 {
+        if self.depth == 0 {
+            0.0
+        } else {
+            self.work as f64 / self.depth as f64
+        }
+    }
+}
+
+/// Thread-safe accumulator of model costs.
+///
+/// Charging from parallel (rayon) contexts is allowed: `work` adds up, while
+/// `depth` additions should be performed once per sequential composition step
+/// (the primitives in this crate take care of that).
+#[derive(Debug, Default)]
+pub struct CostLedger {
+    work: AtomicU64,
+    depth: AtomicU64,
+    steps: AtomicU64,
+}
+
+impl CostLedger {
+    /// A fresh, zeroed ledger.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Charge one primitive with the given model work and depth.
+    pub fn charge(&self, work: u64, depth: u64) {
+        self.work.fetch_add(work, Ordering::Relaxed);
+        self.depth.fetch_add(depth, Ordering::Relaxed);
+        self.steps.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Snapshot the current totals.
+    pub fn report(&self) -> CostReport {
+        CostReport {
+            work: self.work.load(Ordering::Relaxed),
+            depth: self.depth.load(Ordering::Relaxed),
+            steps: self.steps.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Reset all counters to zero.
+    pub fn reset(&self) {
+        self.work.store(0, Ordering::Relaxed);
+        self.depth.store(0, Ordering::Relaxed);
+        self.steps.store(0, Ordering::Relaxed);
+    }
+}
+
+/// `ceil(log2(n))` with the convention that values `<= 1` cost depth 1.
+pub(crate) fn ceil_log2(n: u64) -> u64 {
+    if n <= 1 {
+        1
+    } else {
+        64 - (n - 1).leading_zeros() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn charging_accumulates() {
+        let ledger = CostLedger::new();
+        ledger.charge(100, 5);
+        ledger.charge(50, 3);
+        let r = ledger.report();
+        assert_eq!(r.work, 150);
+        assert_eq!(r.depth, 8);
+        assert_eq!(r.steps, 2);
+        assert!((r.parallelism() - 150.0 / 8.0).abs() < 1e-9);
+        ledger.reset();
+        assert_eq!(ledger.report(), CostReport::default());
+    }
+
+    #[test]
+    fn ceil_log2_values() {
+        assert_eq!(ceil_log2(0), 1);
+        assert_eq!(ceil_log2(1), 1);
+        assert_eq!(ceil_log2(2), 1);
+        assert_eq!(ceil_log2(3), 2);
+        assert_eq!(ceil_log2(8), 3);
+        assert_eq!(ceil_log2(9), 4);
+        assert_eq!(ceil_log2(1 << 20), 20);
+    }
+}

@@ -1,0 +1,31 @@
+//! # pardfs-pram
+//!
+//! An EREW-PRAM *cost model* layer plus the classical parallel primitives the
+//! paper builds on (Theorems 4–7): prefix sums, parallel merge sort (Cole),
+//! list ranking by pointer jumping, and the Euler-tour technique for rooted
+//! tree functions (Tarjan–Vishkin).
+//!
+//! Real hardware is not a PRAM, so this crate separates two concerns:
+//!
+//! * **Execution** uses [`rayon`] data-parallelism (or plain sequential code
+//!   for small inputs) — this is what makes the wall-clock benchmarks honest.
+//! * **Accounting** charges every primitive its *model* cost (work and depth
+//!   on an EREW PRAM) to a [`CostLedger`]. The experiment harness reports
+//!   these charges next to wall-clock times so the `O(log n)`-depth claims of
+//!   the paper can be checked independently of the host machine.
+//!
+//! The main entry point is [`Pram`], a handle bundling a ledger with the
+//! primitive operations.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod euler;
+pub mod ledger;
+pub mod listrank;
+pub mod primitives;
+
+pub use euler::{euler_tour_functions, TreeFunctions};
+pub use ledger::{CostLedger, CostReport};
+pub use listrank::list_rank;
+pub use primitives::Pram;

@@ -1,0 +1,92 @@
+//! List ranking by pointer jumping (Wyllie's algorithm).
+//!
+//! List ranking is the engine behind the Euler-tour technique (Theorem 4,
+//! Tarjan–Vishkin): given a linked list, compute for every element its
+//! distance from the tail in `O(log n)` pointer-jumping rounds with `O(n)`
+//! processors (`O(n log n)` work).
+
+use crate::primitives::Pram;
+
+/// Sentinel meaning "no successor" (the tail of the list).
+pub const NIL: u32 = u32::MAX;
+
+/// Compute, for every list node, its distance (number of links) to the tail of
+/// its list.
+///
+/// `next[i]` is the successor of node `i`, or [`NIL`] for a tail. Nodes may
+/// form several disjoint lists; each is ranked independently. The input must
+/// be acyclic (a cycle makes the pointer-jumping loop run its maximum
+/// `ceil(log2 n)` rounds and produce meaningless ranks, so debug builds check
+/// for convergence).
+pub fn list_rank(pram: &Pram, next: &[u32]) -> Vec<u32> {
+    let n = next.len();
+    let mut rank: Vec<u32> = next.iter().map(|&s| if s == NIL { 0 } else { 1 }).collect();
+    let mut succ = next.to_vec();
+    if n == 0 {
+        return rank;
+    }
+    let rounds = (usize::BITS - (n - 1).leading_zeros()).max(1);
+    for _ in 0..rounds {
+        // One synchronous pointer-jumping round: every node adds its
+        // successor's rank and jumps over it.
+        let new_pairs: Vec<(u32, u32)> = pram.map_index(n, |i| {
+            let s = succ[i];
+            if s == NIL {
+                (rank[i], NIL)
+            } else {
+                (rank[i] + rank[s as usize], succ[s as usize])
+            }
+        });
+        for (i, (r, s)) in new_pairs.into_iter().enumerate() {
+            rank[i] = r;
+            succ[i] = s;
+        }
+    }
+    debug_assert!(
+        succ.iter().all(|&s| s == NIL),
+        "list_rank input contains a cycle"
+    );
+    rank
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranks_a_simple_list() {
+        // 3 -> 1 -> 4 -> 0 -> 2 (tail)
+        let next = vec![2, 4, NIL, 1, 0];
+        let pram = Pram::new();
+        let rank = list_rank(&pram, &next);
+        assert_eq!(rank, vec![1, 3, 0, 4, 2]);
+    }
+
+    #[test]
+    fn ranks_multiple_lists() {
+        // list A: 0 -> 1 (tail); list B: 2 -> 3 -> 4 (tail)
+        let next = vec![1, NIL, 3, 4, NIL];
+        let pram = Pram::new();
+        let rank = list_rank(&pram, &next);
+        assert_eq!(rank, vec![1, 0, 2, 1, 0]);
+    }
+
+    #[test]
+    fn ranks_long_list() {
+        let n = 10_000u32;
+        // i -> i+1, tail at n-1.
+        let next: Vec<u32> = (0..n).map(|i| if i + 1 == n { NIL } else { i + 1 }).collect();
+        let pram = Pram::new();
+        let rank = list_rank(&pram, &next);
+        for i in 0..n {
+            assert_eq!(rank[i as usize], n - 1 - i);
+        }
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        let pram = Pram::new();
+        assert!(list_rank(&pram, &[]).is_empty());
+        assert_eq!(list_rank(&pram, &[NIL]), vec![0]);
+    }
+}

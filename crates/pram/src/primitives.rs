@@ -1,0 +1,234 @@
+//! The [`Pram`] handle: data-parallel primitives with EREW model accounting.
+
+use crate::ledger::{ceil_log2, CostLedger, CostReport};
+use rayon::prelude::*;
+use std::sync::Arc;
+
+/// Minimum input size before rayon is engaged; below this the sequential code
+/// path is faster and the model accounting is identical.
+const PAR_THRESHOLD: usize = 1 << 12;
+
+/// A handle bundling an EREW PRAM cost ledger with the classical primitives
+/// used throughout the paper's preprocessing (Theorems 4–7).
+#[derive(Debug, Default, Clone)]
+pub struct Pram {
+    ledger: Arc<CostLedger>,
+}
+
+impl Pram {
+    /// Create a new handle with a fresh ledger.
+    pub fn new() -> Self {
+        Pram {
+            ledger: Arc::new(CostLedger::new()),
+        }
+    }
+
+    /// Snapshot the accumulated model costs.
+    pub fn report(&self) -> CostReport {
+        self.ledger.report()
+    }
+
+    /// Reset the ledger.
+    pub fn reset(&self) {
+        self.ledger.reset()
+    }
+
+    /// Access the underlying ledger (shared with clones of this handle).
+    pub fn ledger(&self) -> &CostLedger {
+        &self.ledger
+    }
+
+    /// Exclusive prefix sum: `out[i] = xs[0] + ... + xs[i-1]`, plus the total.
+    ///
+    /// Model cost: `O(n)` work, `O(log n)` depth (Ladner–Fischer scan).
+    pub fn exclusive_scan(&self, xs: &[u64]) -> (Vec<u64>, u64) {
+        let n = xs.len();
+        self.ledger.charge(2 * n as u64, 2 * ceil_log2(n as u64));
+        if n < PAR_THRESHOLD {
+            let mut out = Vec::with_capacity(n);
+            let mut acc = 0u64;
+            for &x in xs {
+                out.push(acc);
+                acc += x;
+            }
+            return (out, acc);
+        }
+        // Block-wise parallel scan: per-block sums, scan of block sums, then a
+        // parallel sweep adding block offsets.
+        let blocks = rayon::current_num_threads().max(1) * 4;
+        let block_len = n.div_ceil(blocks);
+        let block_sums: Vec<u64> = xs
+            .par_chunks(block_len)
+            .map(|c| c.iter().sum::<u64>())
+            .collect();
+        let mut offsets = Vec::with_capacity(block_sums.len());
+        let mut acc = 0u64;
+        for &s in &block_sums {
+            offsets.push(acc);
+            acc += s;
+        }
+        let mut out = vec![0u64; n];
+        out.par_chunks_mut(block_len)
+            .zip(xs.par_chunks(block_len))
+            .zip(offsets.par_iter())
+            .for_each(|((out_c, in_c), &off)| {
+                let mut a = off;
+                for (o, &x) in out_c.iter_mut().zip(in_c) {
+                    *o = a;
+                    a += x;
+                }
+            });
+        (out, acc)
+    }
+
+    /// Total of a slice. Model cost: `O(n)` work, `O(log n)` depth.
+    pub fn reduce_sum(&self, xs: &[u64]) -> u64 {
+        self.ledger
+            .charge(xs.len() as u64, ceil_log2(xs.len() as u64));
+        if xs.len() < PAR_THRESHOLD {
+            xs.iter().sum()
+        } else {
+            xs.par_iter().sum()
+        }
+    }
+
+    /// Index of the minimum element by key (ties towards the smaller index),
+    /// or `None` for an empty slice. Model cost: `O(n)` work, `O(log n)` depth.
+    ///
+    /// This is the "combine partial solutions of independent queries" step of
+    /// Theorem 8, and the per-broadcast combination step of the CONGEST
+    /// algorithm.
+    pub fn argmin_by_key<T, K, F>(&self, xs: &[T], key: F) -> Option<usize>
+    where
+        T: Sync,
+        K: Ord + Send,
+        F: Fn(&T) -> K + Sync,
+    {
+        self.ledger
+            .charge(xs.len() as u64, ceil_log2(xs.len() as u64));
+        if xs.is_empty() {
+            return None;
+        }
+        if xs.len() < PAR_THRESHOLD {
+            return xs
+                .iter()
+                .enumerate()
+                .min_by_key(|(i, x)| (key(x), *i))
+                .map(|(i, _)| i);
+        }
+        xs.par_iter()
+            .enumerate()
+            .min_by_key(|(i, x)| (key(x), *i))
+            .map(|(i, _)| i)
+    }
+
+    /// Sort a vector by key. Model cost (Cole's parallel merge sort,
+    /// Theorem 7): `O(n log n)` work, `O(log n)` depth.
+    pub fn sort_by_key<T, K, F>(&self, xs: &mut Vec<T>, key: F)
+    where
+        T: Send,
+        K: Ord + Send,
+        F: Fn(&T) -> K + Sync + Send,
+    {
+        let n = xs.len() as u64;
+        self.ledger.charge(n * ceil_log2(n), ceil_log2(n));
+        if xs.len() < PAR_THRESHOLD {
+            xs.sort_by_key(key);
+        } else {
+            xs.par_sort_by_key(key);
+        }
+    }
+
+    /// Apply `f` to every element in parallel. Model cost: `O(n)` work,
+    /// `O(1)` depth.
+    pub fn for_each_index<F>(&self, n: usize, f: F)
+    where
+        F: Fn(usize) + Sync + Send,
+    {
+        self.ledger.charge(n as u64, 1);
+        if n < PAR_THRESHOLD {
+            for i in 0..n {
+                f(i);
+            }
+        } else {
+            (0..n).into_par_iter().for_each(f);
+        }
+    }
+
+    /// Map every index to a value in parallel. Model cost: `O(n)` work,
+    /// `O(1)` depth.
+    pub fn map_index<T, F>(&self, n: usize, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync + Send,
+    {
+        self.ledger.charge(n as u64, 1);
+        if n < PAR_THRESHOLD {
+            (0..n).map(f).collect()
+        } else {
+            (0..n).into_par_iter().map(f).collect()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::prelude::*;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn exclusive_scan_small_and_large() {
+        let pram = Pram::new();
+        let (scan, total) = pram.exclusive_scan(&[3, 1, 4, 1, 5]);
+        assert_eq!(scan, vec![0, 3, 4, 8, 9]);
+        assert_eq!(total, 14);
+
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let xs: Vec<u64> = (0..20_000).map(|_| rng.gen_range(0..10)).collect();
+        let (scan, total) = pram.exclusive_scan(&xs);
+        let mut acc = 0u64;
+        for (i, &x) in xs.iter().enumerate() {
+            assert_eq!(scan[i], acc);
+            acc += x;
+        }
+        assert_eq!(total, acc);
+        assert!(pram.report().work > 0);
+        assert!(pram.report().depth > 0);
+    }
+
+    #[test]
+    fn reduce_and_argmin() {
+        let pram = Pram::new();
+        assert_eq!(pram.reduce_sum(&[1, 2, 3, 4]), 10);
+        assert_eq!(pram.argmin_by_key(&[5, 3, 7, 3], |&x| x), Some(1));
+        assert_eq!(pram.argmin_by_key::<u64, u64, _>(&[], |&x| x), None);
+        let big: Vec<u64> = (0..10_000).map(|i| (i * 7919) % 10_007).collect();
+        let idx = pram.argmin_by_key(&big, |&x| x).unwrap();
+        let best = *big.iter().min().unwrap();
+        assert_eq!(big[idx], best);
+    }
+
+    #[test]
+    fn sort_matches_std() {
+        let pram = Pram::new();
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let mut xs: Vec<u32> = (0..9_000).map(|_| rng.gen()).collect();
+        let mut expected = xs.clone();
+        expected.sort_unstable();
+        pram.sort_by_key(&mut xs, |&x| x);
+        assert_eq!(xs, expected);
+    }
+
+    #[test]
+    fn map_and_foreach() {
+        let pram = Pram::new();
+        let squares = pram.map_index(10, |i| i * i);
+        assert_eq!(squares[7], 49);
+        let report_before = pram.report();
+        pram.for_each_index(100, |_| {});
+        let report_after = pram.report();
+        assert_eq!(report_after.work, report_before.work + 100);
+        assert_eq!(report_after.depth, report_before.depth + 1);
+    }
+}

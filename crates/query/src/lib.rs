@@ -1,0 +1,41 @@
+//! # pardfs-query
+//!
+//! The data structure **D** of the paper (Section 5.2, Theorems 8 and 9) and
+//! the *query oracle* abstraction through which every execution model
+//! (shared-memory parallel, semi-streaming, distributed CONGEST) answers the
+//! same batched, independent queries.
+//!
+//! `D` stores, for every vertex, its neighbours sorted by the post-order
+//! number of the neighbour in the DFS tree the structure was built on. Because
+//! every non-tree edge of a DFS tree is a back edge, the neighbours of a
+//! vertex `w` that lie on an ancestor–descendant path `path(x, y)` and are
+//! ancestors of `w` occupy a contiguous post-order window, so each of the
+//! paper's three query types reduces to a binary search per *descendant-side*
+//! vertex plus a reduction over partial results:
+//!
+//! 1. `Query(w, path(x, y))` — one binary search.
+//! 2. `Query(T(w), path(x, y))` — one search per vertex of the subtree.
+//! 3. `Query(path(v, w), path(x, y))` — one search per vertex of one of the
+//!    paths.
+//!
+//! The crate exposes:
+//!
+//! * [`StructureD`] — the sorted-adjacency structure with an *overlay* that
+//!   absorbs edge/vertex updates without rebuilding (Theorem 9), which is what
+//!   the fault-tolerant algorithm relies on;
+//! * [`VertexQuery`] / [`EdgeHit`] — the unit of work handed to an oracle;
+//! * [`QueryOracle`] — the batched-query trait implemented by `StructureD`
+//!   (shared memory), by the semi-streaming pass oracle (`pardfs-stream`) and
+//!   by the CONGEST broadcast oracle (`pardfs-congest`);
+//! * [`CountingOracle`] — a decorator counting batches/queries, used by the
+//!   experiment harness to verify the `O(log^2 n)` bound on sequential query
+//!   rounds (Theorem 3).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod oracle;
+pub mod structure;
+
+pub use oracle::{CountingOracle, EdgeHit, OracleStats, QueryOracle, VertexQuery};
+pub use structure::StructureD;

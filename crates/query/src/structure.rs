@@ -1,0 +1,572 @@
+//! The data structure `D`: post-order sorted adjacency lists with an update
+//! overlay (Theorems 8 and 9).
+
+use crate::oracle::{EdgeHit, QueryOracle, VertexQuery};
+use pardfs_graph::{Graph, Vertex};
+use pardfs_tree::TreeIndex;
+use rayon::prelude::*;
+
+/// Batches smaller than this are answered sequentially.
+const PAR_THRESHOLD: usize = 256;
+
+/// The paper's data structure `D`, built over a DFS tree `T` of a graph `G`.
+///
+/// For every vertex the structure stores the neighbours sorted by their
+/// post-order number in `T`. Because every edge of `G` is a back edge of `T`
+/// (the defining property of a DFS tree), the neighbours of `w` lying on an
+/// ancestor–descendant path and *above* `w` form a contiguous post-order
+/// window, so a query is a binary search (Section 5.2).
+///
+/// The *overlay* absorbs updates applied after the build (Theorem 9): inserted
+/// edges are kept in small per-vertex lists that every query scans linearly,
+/// deleted edges are recorded and filtered out, and deleted vertices are
+/// masked. A query therefore costs `O(log n + k)` after `k` overlay updates,
+/// exactly the bound used by the fault-tolerant algorithm.
+#[derive(Debug, Clone)]
+pub struct StructureD {
+    idx: TreeIndex,
+    sorted_adj: Vec<Vec<Vertex>>,
+    extra_adj: Vec<Vec<Vertex>>,
+    removed: Vec<Vec<Vertex>>,
+    dead: Vec<bool>,
+    overlay_updates: usize,
+}
+
+impl StructureD {
+    /// Build `D` from a graph and (the index of) one of its DFS trees.
+    ///
+    /// Every edge of `graph` whose endpoints are both in the tree must be a
+    /// back edge of the tree (checked in debug builds); edges violating this
+    /// would silently corrupt binary searches, so callers route them through
+    /// the overlay instead.
+    pub fn build(graph: &Graph, idx: TreeIndex) -> Self {
+        let cap = graph.capacity().max(idx.capacity());
+        let sorted_adj: Vec<Vec<Vertex>> = (0..cap as Vertex)
+            .into_par_iter()
+            .map(|v| {
+                if !graph.is_active(v) || !idx.contains(v) {
+                    return Vec::new();
+                }
+                let mut nbrs: Vec<Vertex> = graph
+                    .neighbors(v)
+                    .iter()
+                    .copied()
+                    .filter(|&u| idx.contains(u))
+                    .collect();
+                debug_assert!(
+                    nbrs.iter().all(|&u| idx.is_back_edge(u, v)),
+                    "graph contains a cross edge w.r.t. the supplied DFS tree"
+                );
+                nbrs.sort_unstable_by_key(|&u| idx.post(u));
+                nbrs
+            })
+            .collect();
+        StructureD {
+            idx,
+            sorted_adj,
+            extra_adj: vec![Vec::new(); cap],
+            removed: vec![Vec::new(); cap],
+            dead: vec![false; cap],
+            overlay_updates: 0,
+        }
+    }
+
+    /// The DFS tree index the structure was built on.
+    pub fn tree(&self) -> &TreeIndex {
+        &self.idx
+    }
+
+    /// Number of overlay updates recorded since the build.
+    pub fn overlay_updates(&self) -> usize {
+        self.overlay_updates
+    }
+
+    /// Memory footprint in machine words (adjacency entries only) — the
+    /// `O(m)` size claim of Theorem 8.
+    pub fn size_words(&self) -> usize {
+        self.sorted_adj.iter().map(Vec::len).sum::<usize>()
+            + self.extra_adj.iter().map(Vec::len).sum::<usize>()
+            + self.removed.iter().map(Vec::len).sum::<usize>()
+    }
+
+    fn grow(&mut self, cap: usize) {
+        if cap > self.sorted_adj.len() {
+            self.sorted_adj.resize_with(cap, Vec::new);
+            self.extra_adj.resize_with(cap, Vec::new);
+            self.removed.resize_with(cap, Vec::new);
+            self.dead.resize(cap, false);
+        }
+    }
+
+    /// Discard every overlay record (inserted/deleted edges, dead vertices),
+    /// returning the structure to its as-built state. Used by the fault
+    /// tolerant algorithm, which reuses one build of `D` across many
+    /// independent update batches (Theorem 14).
+    pub fn clear_overlay(&mut self) {
+        for list in &mut self.extra_adj {
+            list.clear();
+        }
+        for list in &mut self.removed {
+            list.clear();
+        }
+        self.dead.iter_mut().for_each(|d| *d = false);
+        self.overlay_updates = 0;
+    }
+
+    /// Record an edge insertion in the overlay.
+    pub fn note_insert_edge(&mut self, u: Vertex, v: Vertex) {
+        if u == v {
+            return;
+        }
+        self.grow((u.max(v) + 1) as usize);
+        self.overlay_updates += 1;
+        // Re-inserting a previously deleted edge cancels the deletion.
+        let was_removed = remove_entry(&mut self.removed[u as usize], v);
+        remove_entry(&mut self.removed[v as usize], u);
+        if was_removed {
+            return;
+        }
+        if !self.extra_adj[u as usize].contains(&v) {
+            self.extra_adj[u as usize].push(v);
+            self.extra_adj[v as usize].push(u);
+        }
+    }
+
+    /// Record an edge deletion in the overlay.
+    pub fn note_delete_edge(&mut self, u: Vertex, v: Vertex) {
+        if u == v {
+            return;
+        }
+        self.grow((u.max(v) + 1) as usize);
+        self.overlay_updates += 1;
+        // Deleting an overlay-inserted edge just drops it from the overlay.
+        let was_extra = remove_entry(&mut self.extra_adj[u as usize], v);
+        remove_entry(&mut self.extra_adj[v as usize], u);
+        if was_extra {
+            return;
+        }
+        if !self.removed[u as usize].contains(&v) {
+            self.removed[u as usize].push(v);
+            self.removed[v as usize].push(u);
+        }
+    }
+
+    /// Record a vertex insertion (with its incident edges) in the overlay.
+    pub fn note_insert_vertex(&mut self, v: Vertex, edges: &[Vertex]) {
+        self.grow((v + 1) as usize);
+        self.overlay_updates += 1;
+        self.dead[v as usize] = false;
+        for &u in edges {
+            self.note_insert_edge(v, u);
+        }
+    }
+
+    /// Record a vertex deletion in the overlay.
+    pub fn note_delete_vertex(&mut self, v: Vertex) {
+        self.grow((v + 1) as usize);
+        self.overlay_updates += 1;
+        self.dead[v as usize] = true;
+    }
+
+    fn is_dead(&self, v: Vertex) -> bool {
+        (v as usize) < self.dead.len() && self.dead[v as usize]
+    }
+
+    fn edge_removed(&self, u: Vertex, v: Vertex) -> bool {
+        (u as usize) < self.removed.len() && self.removed[u as usize].contains(&v)
+    }
+
+    /// Answer a single query (see [`VertexQuery`] for the semantics).
+    pub fn query_vertex(&self, q: VertexQuery) -> Option<EdgeHit> {
+        let VertexQuery { w, near, far } = q;
+        if (w as usize) >= self.sorted_adj.len() || self.is_dead(w) {
+            return None;
+        }
+        let idx = &self.idx;
+
+        // Target is a single vertex that is not part of the build tree
+        // (a vertex inserted after the build): only overlay edges can reach it.
+        if near == far && !idx.contains(near) {
+            if !self.is_dead(near)
+                && self.extra_adj[w as usize].contains(&near)
+                && !self.edge_removed(w, near)
+            {
+                return Some(EdgeHit {
+                    from: w,
+                    on_path: near,
+                    rank_from_near: 0,
+                });
+            }
+            return None;
+        }
+        if !idx.contains(near) || !idx.contains(far) {
+            debug_assert!(false, "query path endpoints must belong to the oracle tree");
+            return None;
+        }
+        let (top, bottom) = if idx.is_ancestor(near, far) {
+            (near, far)
+        } else if idx.is_ancestor(far, near) {
+            (far, near)
+        } else {
+            debug_assert!(false, "query path endpoints are not ancestor-descendant");
+            return None;
+        };
+        let near_level = idx.level(near);
+        let mut best: Option<(u32, Vertex)> = None;
+        let consider = |z: Vertex, best: &mut Option<(u32, Vertex)>| {
+            let d = idx.level(z).abs_diff(near_level);
+            if best.map_or(true, |(bd, _)| d < bd) {
+                *best = Some((d, z));
+            }
+        };
+
+        // Fast path: neighbours of `w` that are ancestors of `w` on the path.
+        if idx.contains(w) {
+            let l = idx.lca(w, bottom);
+            if idx.is_ancestor(top, l) {
+                let adj = &self.sorted_adj[w as usize];
+                let lo = adj.partition_point(|&z| idx.post(z) < idx.post(l));
+                let hi = adj.partition_point(|&z| idx.post(z) <= idx.post(top));
+                if lo < hi {
+                    // Candidates adj[lo..hi] all lie on path(top, l); walk from
+                    // the preferred end until one survives the overlay filters.
+                    let prefer_top = near == top;
+                    let range: Box<dyn Iterator<Item = usize>> = if prefer_top {
+                        Box::new((lo..hi).rev())
+                    } else {
+                        Box::new(lo..hi)
+                    };
+                    for i in range {
+                        let z = adj[i];
+                        if self.is_dead(z) || self.edge_removed(w, z) {
+                            continue;
+                        }
+                        consider(z, &mut best);
+                        break;
+                    }
+                }
+            }
+
+            // Slow path: neighbours of `w` that are descendants of `w` on the
+            // path. This only happens when `w` is an ancestor of the queried
+            // path's lower end; candidates inside the post-order window must be
+            // filtered by an explicit on-path check.
+            if idx.is_ancestor(w, bottom) && w != bottom {
+                let portion_top = if idx.is_ancestor(top, w) { w } else { top };
+                let adj = &self.sorted_adj[w as usize];
+                let sub_lo = idx.post(w) + 1 - idx.size(w);
+                let win_lo = idx.post(bottom).max(sub_lo);
+                let win_hi = idx.post(portion_top).min(idx.post(w).saturating_sub(1));
+                if win_lo <= win_hi {
+                    let lo = adj.partition_point(|&z| idx.post(z) < win_lo);
+                    let hi = adj.partition_point(|&z| idx.post(z) <= win_hi);
+                    for &z in &adj[lo..hi] {
+                        if z == w
+                            || self.is_dead(z)
+                            || self.edge_removed(w, z)
+                            || !idx.is_ancestor(z, bottom)
+                            || !idx.is_ancestor(top, z)
+                        {
+                            continue;
+                        }
+                        consider(z, &mut best);
+                    }
+                }
+            }
+        }
+
+        // Overlay: inserted edges may be cross edges, so membership on the path
+        // is checked explicitly for each of them.
+        for &z in &self.extra_adj[w as usize] {
+            if self.is_dead(z) || self.edge_removed(w, z) || !idx.contains(z) {
+                continue;
+            }
+            if idx.is_ancestor(top, z) && idx.is_ancestor(z, bottom) {
+                consider(z, &mut best);
+            }
+        }
+
+        best.map(|(d, z)| EdgeHit {
+            from: w,
+            on_path: z,
+            rank_from_near: d,
+        })
+    }
+}
+
+fn remove_entry(list: &mut Vec<Vertex>, v: Vertex) -> bool {
+    if let Some(pos) = list.iter().position(|&x| x == v) {
+        list.swap_remove(pos);
+        true
+    } else {
+        false
+    }
+}
+
+impl QueryOracle for StructureD {
+    fn answer_batch(&self, queries: &[VertexQuery]) -> Vec<Option<EdgeHit>> {
+        if queries.len() < PAR_THRESHOLD {
+            queries.iter().map(|&q| self.query_vertex(q)).collect()
+        } else {
+            queries
+                .par_iter()
+                .map(|&q| self.query_vertex(q))
+                .collect()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pardfs_graph::generators;
+    use pardfs_tree::rooted::RootedTree;
+    use rand::prelude::*;
+    use rand_chacha::ChaCha8Rng;
+
+    /// Plain iterative DFS producing a parent array (test-local helper; the
+    /// real static DFS lives in `pardfs-seq`).
+    fn dfs_tree(g: &Graph, root: Vertex) -> TreeIndex {
+        let mut tree = RootedTree::new(g.capacity(), root);
+        let mut stack: Vec<(Vertex, Vertex)> = vec![(root, root)];
+        while let Some((v, p)) = stack.pop() {
+            if v != root && tree.contains(v) {
+                continue;
+            }
+            if v != root {
+                tree.attach(v, p);
+            }
+            for &u in g.neighbors(v) {
+                if u != root && !tree.contains(u) {
+                    stack.push((u, v));
+                }
+            }
+        }
+        TreeIndex::build(&tree)
+    }
+
+    /// Brute force over the *current* edge set described by (graph, overlay).
+    fn brute_force(
+        g: &Graph,
+        idx: &TreeIndex,
+        extra: &[(Vertex, Vertex)],
+        removed: &[(Vertex, Vertex)],
+        dead: &[Vertex],
+        q: VertexQuery,
+    ) -> Option<EdgeHit> {
+        let on_path = |z: Vertex| {
+            idx.contains(z)
+                && idx.contains(q.near)
+                && idx.contains(q.far)
+                && ((idx.is_ancestor(q.near, z) && idx.is_ancestor(z, q.far))
+                    || (idx.is_ancestor(q.far, z) && idx.is_ancestor(z, q.near)))
+        };
+        let single_new = q.near == q.far && !idx.contains(q.near);
+        let mut nbrs: Vec<Vertex> = g.neighbors(q.w).to_vec();
+        for &(a, b) in extra {
+            if a == q.w {
+                nbrs.push(b);
+            }
+            if b == q.w {
+                nbrs.push(a);
+            }
+        }
+        nbrs.retain(|&z| {
+            !removed.contains(&(q.w.min(z), q.w.max(z)))
+                && !dead.contains(&z)
+                && if single_new { z == q.near } else { on_path(z) }
+        });
+        if dead.contains(&q.w) {
+            return None;
+        }
+        let near_level = if idx.contains(q.near) {
+            idx.level(q.near)
+        } else {
+            0
+        };
+        nbrs.into_iter()
+            .map(|z| {
+                let rank = if single_new {
+                    0
+                } else {
+                    idx.level(z).abs_diff(near_level)
+                };
+                (rank, z)
+            })
+            .min()
+            .map(|(rank, z)| EdgeHit {
+                from: q.w,
+                on_path: z,
+                rank_from_near: rank,
+            })
+    }
+
+    fn random_tree_path(idx: &TreeIndex, rng: &mut impl Rng) -> (Vertex, Vertex) {
+        let verts = idx.pre_order_vertices();
+        let a = verts[rng.gen_range(0..verts.len())];
+        // Pick a random ancestor of a (possibly a itself).
+        let l = idx.level(a);
+        let b = idx.ancestor_at_level(a, rng.gen_range(0..=l));
+        if rng.gen_bool(0.5) {
+            (a, b)
+        } else {
+            (b, a)
+        }
+    }
+
+    #[test]
+    fn matches_brute_force_on_random_graphs() {
+        let mut rng = ChaCha8Rng::seed_from_u64(99);
+        for trial in 0..6 {
+            let n = rng.gen_range(10..120);
+            let m = rng.gen_range(n - 1..(n * (n - 1) / 2).min(4 * n));
+            let g = generators::random_connected_gnm(n, m, &mut rng);
+            let idx = dfs_tree(&g, 0);
+            let d = StructureD::build(&g, idx.clone());
+            for _ in 0..300 {
+                let w = rng.gen_range(0..n as Vertex);
+                let (near, far) = random_tree_path(&idx, &mut rng);
+                let q = VertexQuery::new(w, near, far);
+                let expected_rank =
+                    brute_force(&g, &idx, &[], &[], &[], q).map(|h| h.rank_from_near);
+                let got_rank = d.query_vertex(q).map(|h| h.rank_from_near);
+                assert_eq!(got_rank, expected_rank, "trial {trial} query {q:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn hit_vertices_are_really_on_the_path_and_adjacent() {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let g = generators::random_connected_gnm(80, 240, &mut rng);
+        let idx = dfs_tree(&g, 0);
+        let d = StructureD::build(&g, idx.clone());
+        for _ in 0..500 {
+            let w = rng.gen_range(0..80u32);
+            let (near, far) = random_tree_path(&idx, &mut rng);
+            if let Some(hit) = d.query_vertex(VertexQuery::new(w, near, far)) {
+                assert!(g.has_edge(w, hit.on_path));
+                assert!(
+                    (idx.is_ancestor(near, hit.on_path) && idx.is_ancestor(hit.on_path, far))
+                        || (idx.is_ancestor(far, hit.on_path)
+                            && idx.is_ancestor(hit.on_path, near))
+                );
+                assert_eq!(
+                    hit.rank_from_near,
+                    idx.level(hit.on_path).abs_diff(idx.level(near))
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn overlay_insertions_deletions_and_dead_vertices() {
+        let mut rng = ChaCha8Rng::seed_from_u64(17);
+        let g = generators::random_connected_gnm(60, 150, &mut rng);
+        let idx = dfs_tree(&g, 0);
+        let mut d = StructureD::build(&g, idx.clone());
+
+        let mut extra = Vec::new();
+        let mut removed = Vec::new();
+        let mut dead = Vec::new();
+
+        // Delete a handful of existing edges.
+        for (u, v) in generators::sample_edges(&g, 5, &mut rng) {
+            d.note_delete_edge(u, v);
+            removed.push((u.min(v), u.max(v)));
+        }
+        // Insert a handful of fresh (possibly cross) edges.
+        let mut added = 0;
+        while added < 5 {
+            let u = rng.gen_range(0..60u32);
+            let v = rng.gen_range(0..60u32);
+            if u != v && !g.has_edge(u, v) && !extra.contains(&(u.min(v), u.max(v))) {
+                d.note_insert_edge(u, v);
+                extra.push((u.min(v), u.max(v)));
+                added += 1;
+            }
+        }
+        // Kill one vertex.
+        let victim = rng.gen_range(1..60u32);
+        d.note_delete_vertex(victim);
+        dead.push(victim);
+
+        assert!(d.overlay_updates() >= 11);
+
+        for _ in 0..600 {
+            let w = rng.gen_range(0..60u32);
+            let (near, far) = random_tree_path(&idx, &mut rng);
+            let q = VertexQuery::new(w, near, far);
+            let expected =
+                brute_force(&g, &idx, &extra, &removed, &dead, q).map(|h| h.rank_from_near);
+            let got = d.query_vertex(q).map(|h| h.rank_from_near);
+            assert_eq!(got, expected, "query {q:?}");
+        }
+    }
+
+    #[test]
+    fn reinserting_a_deleted_edge_cancels_the_deletion() {
+        let g = generators::path(4);
+        let idx = dfs_tree(&g, 0);
+        let mut d = StructureD::build(&g, idx.clone());
+        d.note_delete_edge(1, 2);
+        assert!(d
+            .query_vertex(VertexQuery::new(2, 1, 1))
+            .is_none());
+        d.note_insert_edge(1, 2);
+        assert!(d
+            .query_vertex(VertexQuery::new(2, 1, 1))
+            .is_some());
+    }
+
+    #[test]
+    fn queries_to_an_inserted_vertex() {
+        let g = generators::path(5);
+        let idx = dfs_tree(&g, 0);
+        let mut d = StructureD::build(&g, idx.clone());
+        // Insert vertex 5 adjacent to 1 and 3.
+        d.note_insert_vertex(5, &[1, 3]);
+        let hit = d.query_vertex(VertexQuery::new(1, 5, 5)).unwrap();
+        assert_eq!(hit.on_path, 5);
+        assert!(d.query_vertex(VertexQuery::new(2, 5, 5)).is_none());
+        // Queries *from* the new vertex against a tree path use its overlay edges.
+        let hit = d.query_vertex(VertexQuery::new(5, 0, 4)).unwrap();
+        assert_eq!(hit.from, 5);
+        assert!(hit.on_path == 1 || hit.on_path == 3);
+        // Nearest to the deep end 4 should be vertex 3.
+        let hit = d.query_vertex(VertexQuery::new(5, 4, 0)).unwrap();
+        assert_eq!(hit.on_path, 3);
+        // Deleting the new vertex silences all of this.
+        d.note_delete_vertex(5);
+        assert!(d.query_vertex(VertexQuery::new(1, 5, 5)).is_none());
+        assert!(d.query_vertex(VertexQuery::new(5, 0, 4)).is_none());
+    }
+
+    #[test]
+    fn batched_answers_match_single_answers() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let g = generators::random_connected_gnm(100, 300, &mut rng);
+        let idx = dfs_tree(&g, 0);
+        let d = StructureD::build(&g, idx.clone());
+        let queries: Vec<VertexQuery> = (0..400)
+            .map(|_| {
+                let w = rng.gen_range(0..100u32);
+                let (near, far) = random_tree_path(&idx, &mut rng);
+                VertexQuery::new(w, near, far)
+            })
+            .collect();
+        let batched = d.answer_batch(&queries);
+        for (q, b) in queries.iter().zip(&batched) {
+            assert_eq!(*b, d.query_vertex(*q));
+        }
+    }
+
+    #[test]
+    fn size_words_is_linear_in_edges() {
+        let mut rng = ChaCha8Rng::seed_from_u64(8);
+        let g = generators::random_connected_gnm(50, 200, &mut rng);
+        let idx = dfs_tree(&g, 0);
+        let d = StructureD::build(&g, idx);
+        assert_eq!(d.size_words(), 2 * 200);
+    }
+}

@@ -1,0 +1,181 @@
+//! Articulation points, bridges and biconnected components via DFS low-points.
+//!
+//! The distributed algorithm (Section 6.2) requires every node to know the
+//! articulation points and bridges of the current DFS tree so that vertex and
+//! edge deletions can be classified locally into "component splits" and
+//! "component survives". The examples also use biconnectivity as the
+//! application-level payload of a maintained DFS tree.
+
+use pardfs_graph::{Graph, Vertex};
+
+/// The result of a biconnectivity analysis of one connected component.
+#[derive(Debug, Clone, Default)]
+pub struct Biconnectivity {
+    /// Vertices whose removal disconnects their component.
+    pub articulation_points: Vec<Vertex>,
+    /// Edges whose removal disconnects their component.
+    pub bridges: Vec<(Vertex, Vertex)>,
+}
+
+/// Compute articulation points and bridges of the connected component of
+/// `root` using the classical low-point DFS (Hopcroft–Tarjan).
+pub fn biconnectivity(g: &Graph, root: Vertex) -> Biconnectivity {
+    assert!(g.is_active(root));
+    let cap = g.capacity();
+    let mut disc = vec![u32::MAX; cap];
+    let mut low = vec![u32::MAX; cap];
+    let mut parent = vec![u32::MAX; cap];
+    let mut child_count = vec![0u32; cap];
+    let mut is_art = vec![false; cap];
+    let mut bridges = Vec::new();
+    let mut timer = 0u32;
+
+    // Iterative low-point DFS: (vertex, neighbour position).
+    let mut stack: Vec<(Vertex, usize)> = Vec::new();
+    disc[root as usize] = timer;
+    low[root as usize] = timer;
+    timer += 1;
+    stack.push((root, 0));
+    while let Some(&mut (v, ref mut i)) = stack.last_mut() {
+        let nbrs = g.neighbors(v);
+        if *i < nbrs.len() {
+            let u = nbrs[*i];
+            *i += 1;
+            if disc[u as usize] == u32::MAX {
+                parent[u as usize] = v;
+                child_count[v as usize] += 1;
+                disc[u as usize] = timer;
+                low[u as usize] = timer;
+                timer += 1;
+                stack.push((u, 0));
+            } else if u != parent[v as usize] {
+                low[v as usize] = low[v as usize].min(disc[u as usize]);
+            }
+        } else {
+            stack.pop();
+            if let Some(&(p, _)) = stack.last() {
+                low[p as usize] = low[p as usize].min(low[v as usize]);
+                if low[v as usize] > disc[p as usize] {
+                    bridges.push((p.min(v), p.max(v)));
+                }
+                if parent[p as usize] != u32::MAX && low[v as usize] >= disc[p as usize] {
+                    is_art[p as usize] = true;
+                }
+            }
+        }
+    }
+    // The root is an articulation point iff it has at least two DFS children.
+    if child_count[root as usize] >= 2 {
+        is_art[root as usize] = true;
+    }
+    let articulation_points = (0..cap as Vertex)
+        .filter(|&v| is_art[v as usize])
+        .collect();
+    bridges.sort_unstable();
+    Biconnectivity {
+        articulation_points,
+        bridges,
+    }
+}
+
+/// Articulation points of the component of `root`.
+pub fn articulation_points(g: &Graph, root: Vertex) -> Vec<Vertex> {
+    biconnectivity(g, root).articulation_points
+}
+
+/// Bridges of the component of `root`, each reported as `(min, max)`.
+pub fn bridges(g: &Graph, root: Vertex) -> Vec<(Vertex, Vertex)> {
+    biconnectivity(g, root).bridges
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pardfs_graph::generators;
+    use pardfs_graph::connectivity::connected_components;
+    use rand::prelude::*;
+    use rand_chacha::ChaCha8Rng;
+
+    /// Brute force: a vertex is an articulation point iff deleting it
+    /// increases the number of components restricted to its component.
+    fn brute_articulation(g: &Graph, root: Vertex) -> Vec<Vertex> {
+        let (labels, _) = connected_components(g);
+        let comp = labels[root as usize];
+        let members: Vec<Vertex> = g.vertices().filter(|&v| labels[v as usize] == comp).collect();
+        let mut out = Vec::new();
+        for &v in &members {
+            if members.len() == 1 {
+                break;
+            }
+            let mut h = g.clone();
+            h.delete_vertex(v);
+            let (labels2, _) = connected_components(&h);
+            let mut seen = std::collections::HashSet::new();
+            for &u in &members {
+                if u != v {
+                    seen.insert(labels2[u as usize]);
+                }
+            }
+            if seen.len() > 1 {
+                out.push(v);
+            }
+        }
+        out
+    }
+
+    fn brute_bridges(g: &Graph, root: Vertex) -> Vec<(Vertex, Vertex)> {
+        let (labels, count) = connected_components(g);
+        let comp = labels[root as usize];
+        let mut out = Vec::new();
+        for e in g.edges() {
+            if labels[e.0 as usize] != comp {
+                continue;
+            }
+            let mut h = g.clone();
+            h.delete_edge(e.0, e.1);
+            let (_, count2) = connected_components(&h);
+            if count2 > count {
+                out.push((e.0, e.1));
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+
+    #[test]
+    fn path_internal_vertices_are_articulation_points() {
+        let g = generators::path(5);
+        let b = biconnectivity(&g, 0);
+        assert_eq!(b.articulation_points, vec![1, 2, 3]);
+        assert_eq!(b.bridges.len(), 4);
+    }
+
+    #[test]
+    fn cycle_has_no_cut_structure() {
+        let g = generators::cycle(6);
+        let b = biconnectivity(&g, 3);
+        assert!(b.articulation_points.is_empty());
+        assert!(b.bridges.is_empty());
+    }
+
+    #[test]
+    fn caterpillar_spine_is_cut() {
+        let g = generators::caterpillar(4, 2); // spine 0..3, legs 4..11
+        let b = biconnectivity(&g, 0);
+        assert_eq!(b.articulation_points, vec![0, 1, 2, 3]);
+        assert_eq!(b.bridges.len(), g.num_edges());
+    }
+
+    #[test]
+    fn matches_brute_force_on_random_graphs() {
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        for _ in 0..8 {
+            let n = rng.gen_range(4..40);
+            let m = rng.gen_range(n - 1..(n * (n - 1) / 2).min(3 * n));
+            let g = generators::random_connected_gnm(n, m, &mut rng);
+            let b = biconnectivity(&g, 0);
+            assert_eq!(b.articulation_points, brute_articulation(&g, 0));
+            assert_eq!(b.bridges, brute_bridges(&g, 0));
+        }
+    }
+}

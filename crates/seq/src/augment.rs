@@ -1,0 +1,203 @@
+//! The pseudo-root augmentation of Section 2.
+//!
+//! To handle disconnected graphs (and vertex insertions that arrive with no
+//! edges), the paper adds a dummy root `r` adjacent to every vertex and
+//! maintains a DFS tree of the augmented graph; the children of `r` are then
+//! the roots of a DFS forest of the original graph. [`AugmentedGraph`] applies
+//! this transformation concretely.
+//!
+//! ## Id scheme
+//!
+//! The pseudo root occupies the *internal* vertex id `0`, and every user
+//! vertex `v` maps to internal id `v + 1`. This keeps the mapping stable under
+//! arbitrary interleavings of vertex insertions and deletions: a vertex
+//! insertion that a stand-alone [`Graph`] would assign user id `c` receives
+//! internal id `c + 1`, so user-visible ids behave exactly as if no
+//! augmentation existed. All maintainers translate at their public API
+//! boundary via [`AugmentedGraph::to_internal`] / [`AugmentedGraph::to_user`].
+
+use pardfs_graph::{Graph, Update, Vertex};
+
+/// The pseudo root's internal vertex id.
+pub const PSEUDO_ROOT: Vertex = 0;
+
+/// A dynamic graph together with its pseudo root, in the shifted id space.
+#[derive(Debug, Clone)]
+pub struct AugmentedGraph {
+    graph: Graph,
+}
+
+impl AugmentedGraph {
+    /// Augment a user graph with a pseudo root adjacent to every active
+    /// vertex. The user graph is copied into the shifted id space.
+    pub fn new(user: &Graph) -> Self {
+        let mut graph = Graph::new(user.capacity() + 1);
+        for v in 0..user.capacity() as Vertex {
+            if !user.is_active(v) {
+                graph.delete_vertex(v + 1);
+            }
+        }
+        for e in user.edges() {
+            graph.insert_edge(e.0 + 1, e.1 + 1);
+        }
+        for v in user.vertices() {
+            graph.insert_edge(PSEUDO_ROOT, v + 1);
+        }
+        AugmentedGraph { graph }
+    }
+
+    /// The augmented graph (pseudo root and pseudo edges included), in the
+    /// internal id space.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// The pseudo root vertex (always internal id 0).
+    pub fn pseudo_root(&self) -> Vertex {
+        PSEUDO_ROOT
+    }
+
+    /// Map a user vertex id to its internal id.
+    pub fn to_internal(&self, v: Vertex) -> Vertex {
+        v + 1
+    }
+
+    /// Map an internal vertex id back to the user id. Panics on the pseudo
+    /// root.
+    pub fn to_user(&self, v: Vertex) -> Vertex {
+        assert_ne!(v, PSEUDO_ROOT, "the pseudo root has no user id");
+        v - 1
+    }
+
+    /// Is `(u, v)` (internal ids) one of the pseudo edges?
+    pub fn is_pseudo_edge(&self, u: Vertex, v: Vertex) -> bool {
+        u == PSEUDO_ROOT || v == PSEUDO_ROOT
+    }
+
+    /// Number of *user* vertices (excluding the pseudo root).
+    pub fn user_num_vertices(&self) -> usize {
+        self.graph.num_vertices() - 1
+    }
+
+    /// Number of *user* edges (excluding pseudo edges).
+    pub fn user_num_edges(&self) -> usize {
+        self.graph.num_edges() - self.user_num_vertices()
+    }
+
+    /// Iterator over user vertices, reported as internal ids.
+    pub fn user_vertices_internal(&self) -> impl Iterator<Item = Vertex> + '_ {
+        self.graph.vertices().filter(|&v| v != PSEUDO_ROOT)
+    }
+
+    /// Translate a user update into internal ids.
+    pub fn translate(&self, update: &Update) -> Update {
+        match update {
+            Update::InsertEdge(u, v) => Update::InsertEdge(u + 1, v + 1),
+            Update::DeleteEdge(u, v) => Update::DeleteEdge(u + 1, v + 1),
+            Update::DeleteVertex(v) => Update::DeleteVertex(v + 1),
+            Update::InsertVertex { edges } => Update::InsertVertex {
+                edges: edges.iter().map(|&e| e + 1).collect(),
+            },
+        }
+    }
+
+    /// Apply an *internal-id* update, keeping the pseudo edges consistent: an
+    /// inserted vertex additionally gains a pseudo edge, and touching the
+    /// pseudo root is rejected.
+    ///
+    /// Returns the internal id of the inserted vertex for vertex insertions.
+    pub fn apply_internal(&mut self, update: &Update) -> Option<Vertex> {
+        match update {
+            Update::DeleteVertex(v) => {
+                assert_ne!(*v, PSEUDO_ROOT, "the pseudo root cannot be deleted");
+                self.graph.apply(update)
+            }
+            Update::InsertVertex { .. } => {
+                let nv = self
+                    .graph
+                    .apply(update)
+                    .expect("vertex insertion returns an id");
+                self.graph.insert_edge(PSEUDO_ROOT, nv);
+                Some(nv)
+            }
+            Update::InsertEdge(u, v) | Update::DeleteEdge(u, v) => {
+                assert!(
+                    *u != PSEUDO_ROOT && *v != PSEUDO_ROOT,
+                    "pseudo edges cannot be updated by the user"
+                );
+                self.graph.apply(update)
+            }
+        }
+    }
+
+    /// Apply a *user-id* update; returns the user id of the inserted vertex
+    /// for vertex insertions.
+    pub fn apply(&mut self, update: &Update) -> Option<Vertex> {
+        let internal = self.translate(update);
+        self.apply_internal(&internal).map(|v| self.to_user(v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pardfs_graph::generators;
+
+    #[test]
+    fn augmentation_connects_everything() {
+        let mut g = generators::path(3);
+        g.insert_vertex(&[]); // isolated user vertex 3
+        let aug = AugmentedGraph::new(&g);
+        assert_eq!(aug.pseudo_root(), 0);
+        assert_eq!(aug.user_num_vertices(), 4);
+        assert_eq!(aug.user_num_edges(), 2);
+        assert!(pardfs_graph::is_connected(aug.graph()));
+        assert!(aug.is_pseudo_edge(0, 2));
+        assert!(!aug.is_pseudo_edge(1, 2));
+        // User edge (0,1) lives at internal (1,2).
+        assert!(aug.graph().has_edge(1, 2));
+    }
+
+    #[test]
+    fn inactive_user_slots_stay_inactive() {
+        let mut g = generators::path(4);
+        g.delete_vertex(2);
+        let aug = AugmentedGraph::new(&g);
+        assert!(!aug.graph().is_active(aug.to_internal(2)));
+        assert_eq!(aug.user_num_vertices(), 3);
+        assert_eq!(aug.user_num_edges(), 1);
+    }
+
+    #[test]
+    fn vertex_insertion_ids_match_the_unaugmented_graph() {
+        let mut user = generators::path(2);
+        let mut aug = AugmentedGraph::new(&user);
+        let expected = user.insert_vertex(&[0]);
+        let got = aug.apply(&Update::InsertVertex { edges: vec![0] }).unwrap();
+        assert_eq!(got, expected);
+        assert!(aug
+            .graph()
+            .has_edge(aug.to_internal(got), aug.pseudo_root()));
+        assert!(aug.graph().has_edge(aug.to_internal(got), aug.to_internal(0)));
+        assert_eq!(aug.user_num_edges(), 2);
+    }
+
+    #[test]
+    fn edge_updates_pass_through() {
+        let g = generators::path(4);
+        let mut aug = AugmentedGraph::new(&g);
+        aug.apply(&Update::InsertEdge(0, 3));
+        assert!(aug.graph().has_edge(aug.to_internal(0), aug.to_internal(3)));
+        aug.apply(&Update::DeleteEdge(1, 2));
+        assert!(!aug.graph().has_edge(aug.to_internal(1), aug.to_internal(2)));
+        assert_eq!(aug.user_num_edges(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "pseudo root")]
+    fn deleting_the_pseudo_root_is_rejected() {
+        let g = generators::path(2);
+        let mut aug = AugmentedGraph::new(&g);
+        aug.apply_internal(&Update::DeleteVertex(PSEUDO_ROOT));
+    }
+}

@@ -1,0 +1,486 @@
+//! The sequential dynamic-DFS baseline (Baswana, Chaudhury, Choudhary, Khan —
+//! reference [6] of the paper).
+//!
+//! A single update is reduced to rerooting disjoint subtrees of the current
+//! DFS tree (Section 3 of the paper); each reroot walks the tree path from the
+//! new root to the old subtree root, and every subtree hanging from that path
+//! is attached by its *lowest* edge to the path (components property,
+//! Lemma 1), recursing only into subtrees whose attachment vertex is not their
+//! old root. All "lowest edge" questions are answered by the data structure
+//! `D` ([`StructureD`]), so a reroot costs `O(path lengths + rerooted subtree
+//! sizes)` local work plus one `D` query per hanging subtree.
+//!
+//! This is the comparison baseline for every parallel experiment, and it also
+//! doubles as an independent implementation against which the parallel
+//! engine's output is cross-checked in tests.
+
+use crate::augment::AugmentedGraph;
+use crate::check::check_spanning_dfs_tree;
+use crate::static_dfs::static_dfs;
+use pardfs_graph::{Graph, Update, Vertex};
+use pardfs_query::{QueryOracle, StructureD, VertexQuery};
+use pardfs_tree::rooted::NO_VERTEX;
+use pardfs_tree::{RootedTree, TreeIndex};
+
+/// Statistics of the most recent update, used by the experiment harness.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SeqUpdateStats {
+    /// Number of subtrees the reduction asked to reroot.
+    pub reroot_jobs: usize,
+    /// Number of vertices whose parent pointer changed.
+    pub relinked_vertices: usize,
+    /// Number of `D` queries issued.
+    pub queries: usize,
+}
+
+/// A reroot job produced by the reduction of Section 3.
+#[derive(Debug, Clone, Copy)]
+struct RerootJob {
+    /// Root of the subtree (in the old tree) that must be rerooted.
+    sub_root: Vertex,
+    /// The vertex of that subtree that becomes its new root.
+    new_root: Vertex,
+    /// The already-finished vertex the new root hangs from.
+    attach_parent: Vertex,
+}
+
+/// Sequential fully dynamic DFS maintainer.
+#[derive(Debug)]
+pub struct SeqRerootDfs {
+    aug: AugmentedGraph,
+    idx: TreeIndex,
+    d: StructureD,
+    last_stats: SeqUpdateStats,
+}
+
+impl SeqRerootDfs {
+    /// Build the maintainer from a user graph: augment with the pseudo root,
+    /// run a static DFS and build `D`.
+    pub fn new(user_graph: &Graph) -> Self {
+        let aug = AugmentedGraph::new(user_graph);
+        let idx = TreeIndex::build(&static_dfs(aug.graph(), aug.pseudo_root()));
+        let d = StructureD::build(aug.graph(), idx.clone());
+        SeqRerootDfs {
+            aug,
+            idx,
+            d,
+            last_stats: SeqUpdateStats::default(),
+        }
+    }
+
+    /// The current DFS tree of the augmented graph (rooted at the pseudo root).
+    pub fn tree(&self) -> &TreeIndex {
+        &self.idx
+    }
+
+    /// The pseudo root.
+    pub fn pseudo_root(&self) -> Vertex {
+        self.aug.pseudo_root()
+    }
+
+    /// The augmented graph (pseudo root included).
+    pub fn graph(&self) -> &Graph {
+        self.aug.graph()
+    }
+
+    /// Parent of user vertex `v` in the maintained DFS *forest* of the user
+    /// graph (`None` when `v` is a component root or not present). Both the
+    /// argument and the result are user ids.
+    pub fn forest_parent(&self, v: Vertex) -> Option<Vertex> {
+        let vi = self.aug.to_internal(v);
+        if !self.idx.contains(vi) {
+            return None;
+        }
+        self.idx
+            .parent(vi)
+            .filter(|&p| p != self.pseudo_root())
+            .map(|p| self.aug.to_user(p))
+    }
+
+    /// Statistics of the most recent update.
+    pub fn last_stats(&self) -> SeqUpdateStats {
+        self.last_stats
+    }
+
+    /// Validate the maintained tree against the augmented graph.
+    pub fn check(&self) -> Result<(), String> {
+        check_spanning_dfs_tree(self.aug.graph(), &self.idx)
+    }
+
+    /// Apply one dynamic update (user vertex ids), returning the user id of
+    /// the inserted vertex for vertex insertions.
+    pub fn apply_update(&mut self, update: &Update) -> Option<Vertex> {
+        let internal = self.aug.translate(update);
+        self.apply_internal(&internal).map(|v| self.aug.to_user(v))
+    }
+
+    /// Apply one dynamic update expressed in internal (augmented) vertex ids.
+    fn apply_internal(&mut self, update: &Update) -> Option<Vertex> {
+        let mut stats = SeqUpdateStats::default();
+        let proot = self.pseudo_root();
+
+        // Record the update in D's overlay first so that reroot queries see the
+        // updated edge set (deleted edges in particular must not be returned).
+        let inserted = match update {
+            Update::InsertEdge(u, v) => {
+                self.d.note_insert_edge(*u, *v);
+                self.aug.apply_internal(update)
+            }
+            Update::DeleteEdge(u, v) => {
+                self.d.note_delete_edge(*u, *v);
+                self.aug.apply_internal(update)
+            }
+            Update::DeleteVertex(v) => {
+                self.d.note_delete_vertex(*v);
+                self.aug.apply_internal(update)
+            }
+            Update::InsertVertex { .. } => {
+                let nv = self.aug.apply_internal(update);
+                if let Some(nv) = nv {
+                    let nbrs: Vec<Vertex> = self
+                        .aug
+                        .graph()
+                        .neighbors(nv)
+                        .iter()
+                        .copied()
+                        .filter(|&x| x != proot)
+                        .collect();
+                    self.d.note_insert_vertex(nv, &nbrs);
+                }
+                nv
+            }
+        };
+
+        // New parent array starts as a copy of the old one; the reduction and
+        // the reroots overwrite exactly the affected entries.
+        let mut new_par: Vec<Vertex> = self.idx.capacity_parent_array();
+        if new_par.len() < self.aug.graph().capacity() {
+            new_par.resize(self.aug.graph().capacity(), NO_VERTEX);
+        }
+
+        let jobs = self.reduce(update, inserted, &mut new_par, &mut stats);
+        stats.reroot_jobs = jobs.len();
+        for job in jobs {
+            self.reroot(job, &mut new_par, &mut stats);
+        }
+
+        // Freeze the new tree and rebuild D on it.
+        let idx = TreeIndex::from_parent_slice(&new_par, proot);
+        let d = StructureD::build(self.aug.graph(), idx.clone());
+        self.idx = idx;
+        self.d = d;
+        self.last_stats = stats;
+        inserted
+    }
+
+    /// The reduction of Section 3: translate an update into reroot jobs,
+    /// applying the trivial parent rewrites (deleted vertex removal, inserted
+    /// vertex attachment) directly to `new_par`.
+    fn reduce(
+        &self,
+        update: &Update,
+        inserted: Option<Vertex>,
+        new_par: &mut [Vertex],
+        stats: &mut SeqUpdateStats,
+    ) -> Vec<RerootJob> {
+        let idx = &self.idx;
+        let proot = self.pseudo_root();
+        match update {
+            Update::InsertEdge(u, v) => {
+                if idx.is_back_edge(*u, *v) {
+                    return Vec::new();
+                }
+                // Reroot the smaller of the two sides at its endpoint and hang
+                // it from the other endpoint.
+                let w = idx.lca(*u, *v);
+                let cu = idx.child_toward(w, *u);
+                let cv = idx.child_toward(w, *v);
+                let (sub_root, new_root, attach_parent) = if idx.size(cu) <= idx.size(cv) {
+                    (cu, *u, *v)
+                } else {
+                    (cv, *v, *u)
+                };
+                vec![RerootJob {
+                    sub_root,
+                    new_root,
+                    attach_parent,
+                }]
+            }
+            Update::DeleteEdge(u, v) => {
+                let (p, c) = if idx.parent(*v) == Some(*u) {
+                    (*u, *v)
+                } else if idx.parent(*u) == Some(*v) {
+                    (*v, *u)
+                } else {
+                    return Vec::new(); // back edge: nothing to do
+                };
+                let hit = self
+                    .lowest_edge_from_subtree(c, p, proot, stats)
+                    .expect("pseudo edges guarantee an attachment");
+                vec![RerootJob {
+                    sub_root: c,
+                    new_root: hit.0,
+                    attach_parent: hit.1,
+                }]
+            }
+            Update::DeleteVertex(u) => {
+                let anchor = idx.parent(*u).unwrap_or(proot);
+                let mut jobs = Vec::new();
+                for &c in idx.children(*u) {
+                    let hit = self
+                        .lowest_edge_from_subtree(c, anchor, proot, stats)
+                        .expect("pseudo edges guarantee an attachment");
+                    jobs.push(RerootJob {
+                        sub_root: c,
+                        new_root: hit.0,
+                        attach_parent: hit.1,
+                    });
+                }
+                new_par[*u as usize] = NO_VERTEX;
+                stats.relinked_vertices += 1;
+                jobs
+            }
+            Update::InsertVertex { .. } => {
+                let nv = inserted.expect("insertion returns the new vertex id");
+                let nbrs: Vec<Vertex> = self
+                    .aug
+                    .graph()
+                    .neighbors(nv)
+                    .iter()
+                    .copied()
+                    .filter(|&x| x != proot)
+                    .collect();
+                let vj = nbrs.first().copied().unwrap_or(proot);
+                new_par[nv as usize] = vj;
+                stats.relinked_vertices += 1;
+                // Group the remaining neighbours by the subtree hanging from
+                // path(vj, root) that contains them; one reroot per subtree.
+                let mut jobs: Vec<RerootJob> = Vec::new();
+                for &vi in nbrs.iter().skip(1) {
+                    if idx.is_ancestor(vi, vj) {
+                        continue; // vi lies on path(vj, root): (nv, vi) is a back edge
+                    }
+                    let a = idx.lca(vi, vj);
+                    let sub_root = idx.child_toward(a, vi);
+                    if jobs.iter().any(|j| j.sub_root == sub_root) {
+                        continue; // subtree already rerooted via an earlier neighbour
+                    }
+                    jobs.push(RerootJob {
+                        sub_root,
+                        new_root: vi,
+                        attach_parent: nv,
+                    });
+                }
+                jobs
+            }
+        }
+    }
+
+    /// `Query(T(c), path(near, far))`: lowest edge (nearest to `near`) from the
+    /// subtree rooted at `c` to the tree path between `near` and `far`.
+    /// Returns `(vertex_in_subtree, vertex_on_path)`.
+    fn lowest_edge_from_subtree(
+        &self,
+        c: Vertex,
+        near: Vertex,
+        far: Vertex,
+        stats: &mut SeqUpdateStats,
+    ) -> Option<(Vertex, Vertex)> {
+        let queries: Vec<VertexQuery> = self
+            .idx
+            .subtree_vertices(c)
+            .iter()
+            .map(|&w| VertexQuery::new(w, near, far))
+            .collect();
+        stats.queries += queries.len();
+        self.d
+            .answer_batch(&queries)
+            .into_iter()
+            .flatten()
+            .min_by_key(|h| (h.rank_from_near, h.from))
+            .map(|h| (h.from, h.on_path))
+    }
+
+    /// Reroot the old subtree `job.sub_root` at `job.new_root`, hanging it from
+    /// `job.attach_parent`, writing the new parents into `new_par`.
+    fn reroot(&self, job: RerootJob, new_par: &mut [Vertex], stats: &mut SeqUpdateStats) {
+        let idx = &self.idx;
+        let mut pending = vec![job];
+        while let Some(RerootJob {
+            sub_root,
+            new_root,
+            attach_parent,
+        }) = pending.pop()
+        {
+            // Fast path of [6]: if the subtree is re-entered through its old
+            // root, its internal structure is already a DFS tree — just re-hang.
+            if new_root == sub_root {
+                new_par[sub_root as usize] = attach_parent;
+                stats.relinked_vertices += 1;
+                continue;
+            }
+            // Walk the tree path new_root -> sub_root, reversing it in T*.
+            let path = pardfs_tree::paths::path_vertices(idx, new_root, sub_root);
+            let mut prev = attach_parent;
+            for &x in &path {
+                new_par[x as usize] = prev;
+                prev = x;
+                stats.relinked_vertices += 1;
+            }
+            // Every subtree hanging from the path is attached by its lowest
+            // edge to the path (components property) and processed recursively.
+            for &x in &path {
+                for &c in idx.children(x) {
+                    if path.contains(&c) {
+                        continue;
+                    }
+                    let hit = self
+                        .lowest_edge_from_subtree(c, sub_root, new_root, stats)
+                        .expect("a hanging subtree always has its tree edge to the path");
+                    pending.push(RerootJob {
+                        sub_root: c,
+                        new_root: hit.0,
+                        attach_parent: hit.1,
+                    });
+                }
+            }
+        }
+    }
+}
+
+/// Helper: clone the parent array of a [`TreeIndex`] back into mutable form.
+trait ParentArrayExt {
+    fn capacity_parent_array(&self) -> Vec<Vertex>;
+}
+
+impl ParentArrayExt for TreeIndex {
+    fn capacity_parent_array(&self) -> Vec<Vertex> {
+        let mut out = vec![NO_VERTEX; self.capacity()];
+        for &v in self.pre_order_vertices() {
+            out[v as usize] = self.parent(v).unwrap_or(v);
+        }
+        out
+    }
+}
+
+/// Convenience: rebuild a DFS tree of the augmented graph from scratch
+/// (the "recompute" baseline of the experiments).
+pub fn recompute_augmented(graph: &Graph, proot: Vertex) -> TreeIndex {
+    TreeIndex::build(&static_dfs(graph, proot))
+}
+
+/// Convenience: build a [`RootedTree`] spanning the augmented graph from a
+/// parent slice (used by tests that cross-check maintainers).
+pub fn tree_from_parent(parent: &[Vertex], root: Vertex) -> RootedTree {
+    RootedTree::from_parent_array(parent.to_vec(), root)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pardfs_graph::generators;
+    use pardfs_graph::updates::{random_update_sequence, UpdateMix};
+    use rand::prelude::*;
+    use rand_chacha::ChaCha8Rng;
+
+    fn exercise(graph: Graph, updates: &[Update]) {
+        let mut dyn_dfs = SeqRerootDfs::new(&graph);
+        dyn_dfs.check().unwrap();
+        for (i, u) in updates.iter().enumerate() {
+            dyn_dfs.apply_update(u);
+            dyn_dfs
+                .check()
+                .unwrap_or_else(|e| panic!("update {i} ({u:?}) broke the DFS tree: {e}"));
+        }
+    }
+
+    #[test]
+    fn edge_insertions_on_a_path() {
+        let g = generators::path(10);
+        let updates = vec![
+            Update::InsertEdge(0, 9),
+            Update::InsertEdge(2, 7),
+            Update::InsertEdge(1, 5),
+        ];
+        exercise(g, &updates);
+    }
+
+    #[test]
+    fn tree_edge_deletions_disconnect_gracefully() {
+        let g = generators::path(8);
+        let updates = vec![
+            Update::DeleteEdge(3, 4),
+            Update::DeleteEdge(0, 1),
+            Update::DeleteEdge(6, 7),
+        ];
+        exercise(g, &updates);
+    }
+
+    #[test]
+    fn vertex_deletion_splits_components() {
+        let g = generators::star(9);
+        exercise(g, &[Update::DeleteVertex(0)]);
+        let g2 = generators::caterpillar(5, 3);
+        exercise(g2, &[Update::DeleteVertex(2), Update::DeleteVertex(0)]);
+    }
+
+    #[test]
+    fn vertex_insertion_with_many_edges() {
+        let g = generators::broom(6, 5);
+        exercise(
+            g,
+            &[Update::InsertVertex {
+                edges: vec![0, 3, 7, 9, 10],
+            }],
+        );
+    }
+
+    #[test]
+    fn isolated_vertex_insertion_and_edge_growth() {
+        let g = Graph::new(3);
+        exercise(
+            g,
+            &[
+                Update::InsertVertex { edges: vec![] },
+                Update::InsertEdge(0, 1),
+                Update::InsertEdge(1, 2),
+                Update::InsertEdge(2, 3),
+                Update::DeleteEdge(1, 2),
+            ],
+        );
+    }
+
+    #[test]
+    fn random_mixed_sequences_keep_the_tree_valid() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2024);
+        for trial in 0..6 {
+            let n = rng.gen_range(8..60);
+            let m = rng.gen_range(n - 1..(n * (n - 1) / 2).min(3 * n));
+            let g = generators::random_connected_gnm(n, m, &mut rng);
+            let updates = random_update_sequence(&g, 40, &UpdateMix::default(), &mut rng);
+            let mut dyn_dfs = SeqRerootDfs::new(&g);
+            for (i, u) in updates.iter().enumerate() {
+                dyn_dfs.apply_update(u);
+                dyn_dfs.check().unwrap_or_else(|e| {
+                    panic!("trial {trial}, update {i} ({u:?}) broke the DFS tree: {e}")
+                });
+            }
+        }
+    }
+
+    #[test]
+    fn forest_parent_hides_the_pseudo_root() {
+        let g = generators::path(4);
+        let mut dyn_dfs = SeqRerootDfs::new(&g);
+        dyn_dfs.apply_update(&Update::DeleteEdge(1, 2));
+        // 0-1 and 2-3 are now separate components; each root's forest parent is None.
+        let mut roots = 0;
+        for v in 0..4u32 {
+            if dyn_dfs.forest_parent(v).is_none() {
+                roots += 1;
+            }
+        }
+        assert_eq!(roots, 2);
+        assert!(dyn_dfs.last_stats().reroot_jobs >= 1);
+    }
+}

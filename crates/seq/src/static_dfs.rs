@@ -1,0 +1,130 @@
+//! Static DFS tree construction (Tarjan, 1972).
+
+use pardfs_graph::{Graph, Vertex};
+use pardfs_tree::{RootedTree, TreeIndex};
+
+/// Compute a DFS tree of the connected component of `root`, as a
+/// [`RootedTree`] over the graph's id space.
+///
+/// Neighbours are explored in reverse adjacency-list order from an explicit
+/// stack, so the traversal is iterative (no recursion-depth limits) and runs
+/// in `O(n + m)` time.
+pub fn static_dfs(g: &Graph, root: Vertex) -> RootedTree {
+    assert!(g.is_active(root), "DFS root must be an active vertex");
+    let mut tree = RootedTree::new(g.capacity(), root);
+    // Stack of (vertex, discovered-from) pairs. A vertex may be pushed several
+    // times (once per incident edge) and is attached to the parent through
+    // which it is *popped* first — this is what makes the result a true DFS
+    // tree rather than a BFS-flavoured spanning tree with cross edges.
+    let mut stack: Vec<(Vertex, Vertex)> = vec![(root, root)];
+    while let Some((v, p)) = stack.pop() {
+        if v != root && tree.contains(v) {
+            continue;
+        }
+        if v != root {
+            tree.attach(v, p);
+        }
+        for &u in g.neighbors(v).iter().rev() {
+            if u != root && !tree.contains(u) {
+                stack.push((u, v));
+            }
+        }
+    }
+    tree
+}
+
+/// Like [`static_dfs`] but returning the frozen [`TreeIndex`].
+pub fn static_dfs_index(g: &Graph, root: Vertex) -> TreeIndex {
+    TreeIndex::build(&static_dfs(g, root))
+}
+
+/// The *ordered* DFS tree: the unique DFS tree obtained by always following
+/// the first unvisited neighbour in adjacency-list order (the P-complete
+/// problem of Reif discussed in Section 1.1). Used in tests as a reference
+/// traversal and to exercise deterministic fixtures.
+pub fn ordered_dfs(g: &Graph, root: Vertex) -> RootedTree {
+    assert!(g.is_active(root), "DFS root must be an active vertex");
+    let mut tree = RootedTree::new(g.capacity(), root);
+    let mut visited = vec![false; g.capacity()];
+    visited[root as usize] = true;
+    // (vertex, next neighbour position) — classic recursive DFS made explicit.
+    let mut stack: Vec<(Vertex, usize)> = vec![(root, 0)];
+    while let Some(&mut (v, ref mut i)) = stack.last_mut() {
+        let nbrs = g.neighbors(v);
+        if *i < nbrs.len() {
+            let u = nbrs[*i];
+            *i += 1;
+            if !visited[u as usize] {
+                visited[u as usize] = true;
+                tree.attach(u, v);
+                stack.push((u, 0));
+            }
+        } else {
+            stack.pop();
+        }
+    }
+    tree
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::check::check_dfs_tree;
+    use pardfs_graph::generators;
+    use rand::prelude::*;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn dfs_of_a_path_is_the_path() {
+        let g = generators::path(6);
+        let t = static_dfs(&g, 0);
+        for v in 1..6u32 {
+            assert_eq!(t.parent(v), Some(v - 1));
+        }
+    }
+
+    #[test]
+    fn dfs_trees_of_random_graphs_are_valid() {
+        let mut rng = ChaCha8Rng::seed_from_u64(31);
+        for _ in 0..10 {
+            let n = rng.gen_range(2..200);
+            let m = rng.gen_range(n - 1..=(n * (n - 1) / 2).min(5 * n));
+            let g = generators::random_connected_gnm(n, m, &mut rng);
+            let idx = static_dfs_index(&g, 0);
+            assert_eq!(idx.num_vertices(), n);
+            check_dfs_tree(&g, &idx).unwrap();
+        }
+    }
+
+    #[test]
+    fn dfs_covers_only_the_roots_component() {
+        let mut g = generators::path(4);
+        g.insert_vertex(&[]); // isolated vertex 4
+        let t = static_dfs(&g, 0);
+        assert!(t.contains(3));
+        assert!(!t.contains(4));
+    }
+
+    #[test]
+    fn ordered_dfs_follows_adjacency_order() {
+        // Triangle 0-1-2 plus pendant 3 on 0, with adjacency of 0 as [1, 2, 3].
+        let mut g = Graph::new(4);
+        g.insert_edge(0, 1);
+        g.insert_edge(0, 2);
+        g.insert_edge(0, 3);
+        g.insert_edge(1, 2);
+        let t = ordered_dfs(&g, 0);
+        // Ordered DFS from 0 goes to 1 first, then 2 via 1, then back to 0 and 3.
+        assert_eq!(t.parent(1), Some(0));
+        assert_eq!(t.parent(2), Some(1));
+        assert_eq!(t.parent(3), Some(0));
+    }
+
+    #[test]
+    fn ordered_dfs_of_dense_graph_is_valid() {
+        let mut rng = ChaCha8Rng::seed_from_u64(77);
+        let g = generators::random_connected_gnm(60, 400, &mut rng);
+        let idx = TreeIndex::build(&ordered_dfs(&g, 0));
+        check_dfs_tree(&g, &idx).unwrap();
+    }
+}

@@ -1,0 +1,541 @@
+//! Immutable index over a rooted tree: orderings, sizes, levels, LCA and
+//! level-ancestor queries.
+//!
+//! This is the in-memory realisation of the paper's Theorem 4 (Tarjan–Vishkin
+//! tree functions), Theorem 6 (parallel LCA) and Theorem 10 (the operations the
+//! rerooting algorithm needs on `T`). The EREW PRAM *cost accounting* for
+//! building these structures lives in `pardfs-pram`; here we care about
+//! providing the queries in `O(1)`/`O(log n)` after an `O(n log n)` build.
+
+use crate::rooted::{RootedTree, NO_VERTEX};
+use pardfs_graph::Vertex;
+
+/// Immutable structural index of a rooted tree.
+///
+/// Construction performs a single traversal computing pre/post order numbers,
+/// levels, subtree sizes, an Euler tour with a sparse-table RMQ for `O(1)` LCA
+/// queries, and a binary-lifting table for level-ancestor queries.
+#[derive(Debug, Clone)]
+pub struct TreeIndex {
+    root: Vertex,
+    parent: Vec<Vertex>,
+    children: Vec<Vec<Vertex>>,
+    pre: Vec<u32>,
+    post: Vec<u32>,
+    level: Vec<u32>,
+    size: Vec<u32>,
+    pre_order: Vec<Vertex>,
+    post_order: Vec<Vertex>,
+    euler: Vec<Vertex>,
+    euler_level: Vec<u32>,
+    first_occ: Vec<u32>,
+    sparse: Vec<Vec<u32>>,
+    up: Vec<Vec<Vertex>>,
+    n_tree: usize,
+}
+
+const UNSET: u32 = u32::MAX;
+
+impl TreeIndex {
+    /// Build the index from a [`RootedTree`].
+    pub fn build(tree: &RootedTree) -> Self {
+        Self::from_parent_slice(tree.parent_array(), tree.root())
+    }
+
+    /// Build the index from a raw parent array (`parent[root] == root`,
+    /// `NO_VERTEX` for vertices outside the tree).
+    pub fn from_parent_slice(parent: &[Vertex], root: Vertex) -> Self {
+        let cap = parent.len();
+        assert!((root as usize) < cap, "root outside id space");
+        assert_eq!(parent[root as usize], root, "parent[root] must equal root");
+
+        let mut children: Vec<Vec<Vertex>> = vec![Vec::new(); cap];
+        let mut n_tree = 0usize;
+        for v in 0..cap as Vertex {
+            let p = parent[v as usize];
+            if p == NO_VERTEX {
+                continue;
+            }
+            n_tree += 1;
+            if v != root {
+                assert_ne!(p, v, "non-root vertex {v} is its own parent");
+                children[p as usize].push(v);
+            }
+        }
+
+        let mut pre = vec![UNSET; cap];
+        let mut post = vec![UNSET; cap];
+        let mut level = vec![UNSET; cap];
+        let mut size = vec![0u32; cap];
+        let mut pre_order = Vec::with_capacity(n_tree);
+        let mut post_order = Vec::with_capacity(n_tree);
+        let mut euler = Vec::with_capacity(2 * n_tree);
+        let mut euler_level = Vec::with_capacity(2 * n_tree);
+        let mut first_occ = vec![UNSET; cap];
+
+        // Iterative DFS: (vertex, next child position).
+        let mut stack: Vec<(Vertex, usize)> = Vec::with_capacity(64);
+        level[root as usize] = 0;
+        pre[root as usize] = 0;
+        pre_order.push(root);
+        first_occ[root as usize] = 0;
+        euler.push(root);
+        euler_level.push(0);
+        stack.push((root, 0));
+        let mut pre_counter = 1u32;
+        let mut post_counter = 0u32;
+        while let Some(&mut (v, ref mut ci)) = stack.last_mut() {
+            if *ci < children[v as usize].len() {
+                let c = children[v as usize][*ci];
+                *ci += 1;
+                level[c as usize] = level[v as usize] + 1;
+                pre[c as usize] = pre_counter;
+                pre_counter += 1;
+                pre_order.push(c);
+                first_occ[c as usize] = euler.len() as u32;
+                euler.push(c);
+                euler_level.push(level[c as usize]);
+                stack.push((c, 0));
+            } else {
+                stack.pop();
+                post[v as usize] = post_counter;
+                post_counter += 1;
+                post_order.push(v);
+                size[v as usize] = 1 + children[v as usize]
+                    .iter()
+                    .map(|&c| size[c as usize])
+                    .sum::<u32>();
+                if let Some(&(p, _)) = stack.last() {
+                    euler.push(p);
+                    euler_level.push(level[p as usize]);
+                }
+            }
+        }
+        assert_eq!(
+            pre_order.len(),
+            n_tree,
+            "parent array contains vertices unreachable from the root"
+        );
+
+        // Sparse table for range-minimum over euler_level (storing argmin
+        // positions so the answering vertex can be recovered).
+        let m = euler.len();
+        let log_m = if m <= 1 { 1 } else { (usize::BITS - (m - 1).leading_zeros()) as usize + 1 };
+        let mut sparse: Vec<Vec<u32>> = Vec::with_capacity(log_m);
+        sparse.push((0..m as u32).collect());
+        let mut k = 1usize;
+        while (1usize << k) <= m {
+            let half = 1usize << (k - 1);
+            let prev = &sparse[k - 1];
+            let mut row = Vec::with_capacity(m - (1 << k) + 1);
+            for i in 0..=(m - (1 << k)) {
+                let a = prev[i];
+                let b = prev[i + half];
+                row.push(if euler_level[a as usize] <= euler_level[b as usize] {
+                    a
+                } else {
+                    b
+                });
+            }
+            sparse.push(row);
+            k += 1;
+        }
+
+        // Binary lifting table.
+        let max_level = pre_order
+            .iter()
+            .map(|&v| level[v as usize])
+            .max()
+            .unwrap_or(0);
+        let levels_pow = if max_level == 0 {
+            1
+        } else {
+            (32 - max_level.leading_zeros()) as usize
+        };
+        let mut up: Vec<Vec<Vertex>> = Vec::with_capacity(levels_pow);
+        let mut base = vec![NO_VERTEX; cap];
+        for &v in &pre_order {
+            base[v as usize] = if v == root { root } else { parent[v as usize] };
+        }
+        up.push(base);
+        for k in 1..levels_pow {
+            let prev = &up[k - 1];
+            let mut row = vec![NO_VERTEX; cap];
+            for &v in &pre_order {
+                let mid = prev[v as usize];
+                if mid != NO_VERTEX {
+                    row[v as usize] = prev[mid as usize];
+                }
+            }
+            up.push(row);
+        }
+
+        TreeIndex {
+            root,
+            parent: parent.to_vec(),
+            children,
+            pre,
+            post,
+            level,
+            size,
+            pre_order,
+            post_order,
+            euler,
+            euler_level,
+            first_occ,
+            sparse,
+            up,
+            n_tree,
+        }
+    }
+
+    /// The root of the indexed tree.
+    pub fn root(&self) -> Vertex {
+        self.root
+    }
+
+    /// Number of vertices in the tree.
+    pub fn num_vertices(&self) -> usize {
+        self.n_tree
+    }
+
+    /// Size of the underlying id space.
+    pub fn capacity(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// Is `v` part of the indexed tree?
+    pub fn contains(&self, v: Vertex) -> bool {
+        (v as usize) < self.parent.len() && self.pre[v as usize] != UNSET
+    }
+
+    /// Parent of `v` (`None` for the root).
+    pub fn parent(&self, v: Vertex) -> Option<Vertex> {
+        debug_assert!(self.contains(v));
+        if v == self.root {
+            None
+        } else {
+            Some(self.parent[v as usize])
+        }
+    }
+
+    /// Children of `v` in traversal order.
+    pub fn children(&self, v: Vertex) -> &[Vertex] {
+        &self.children[v as usize]
+    }
+
+    /// Pre-order number of `v`.
+    pub fn pre(&self, v: Vertex) -> u32 {
+        self.pre[v as usize]
+    }
+
+    /// Post-order number of `v`. Along any root-to-leaf path, post-order
+    /// numbers strictly decrease with depth; this is the ordering the data
+    /// structure `D` sorts adjacency lists by (Section 5.2).
+    pub fn post(&self, v: Vertex) -> u32 {
+        self.post[v as usize]
+    }
+
+    /// Depth of `v` (root has level 0).
+    pub fn level(&self, v: Vertex) -> u32 {
+        self.level[v as usize]
+    }
+
+    /// Number of vertices in the subtree rooted at `v` (including `v`).
+    pub fn size(&self, v: Vertex) -> u32 {
+        self.size[v as usize]
+    }
+
+    /// All tree vertices in pre-order.
+    pub fn pre_order_vertices(&self) -> &[Vertex] {
+        &self.pre_order
+    }
+
+    /// All tree vertices in post-order.
+    pub fn post_order_vertices(&self) -> &[Vertex] {
+        &self.post_order
+    }
+
+    /// The vertices of the subtree rooted at `v`, as a contiguous pre-order
+    /// slice (constant-time access, `size(v)` elements).
+    pub fn subtree_vertices(&self, v: Vertex) -> &[Vertex] {
+        let start = self.pre[v as usize] as usize;
+        let len = self.size[v as usize] as usize;
+        &self.pre_order[start..start + len]
+    }
+
+    /// Is `a` an ancestor of `d` (vertices are ancestors of themselves)?
+    pub fn is_ancestor(&self, a: Vertex, d: Vertex) -> bool {
+        if !self.contains(a) || !self.contains(d) {
+            return false;
+        }
+        let pa = self.pre[a as usize];
+        let pd = self.pre[d as usize];
+        pa <= pd && pd < pa + self.size[a as usize]
+    }
+
+    /// Lowest common ancestor of `u` and `v`.
+    pub fn lca(&self, u: Vertex, v: Vertex) -> Vertex {
+        debug_assert!(self.contains(u) && self.contains(v));
+        let (mut i, mut j) = (
+            self.first_occ[u as usize] as usize,
+            self.first_occ[v as usize] as usize,
+        );
+        if i > j {
+            std::mem::swap(&mut i, &mut j);
+        }
+        let len = j - i + 1;
+        let k = (usize::BITS - 1 - len.leading_zeros()) as usize;
+        let a = self.sparse[k][i];
+        let b = self.sparse[k][j + 1 - (1 << k)];
+        let arg = if self.euler_level[a as usize] <= self.euler_level[b as usize] {
+            a
+        } else {
+            b
+        };
+        self.euler[arg as usize]
+    }
+
+    /// The ancestor of `v` whose level is `target_level`
+    /// (requires `target_level <= level(v)`).
+    pub fn ancestor_at_level(&self, v: Vertex, target_level: u32) -> Vertex {
+        let lv = self.level[v as usize];
+        assert!(target_level <= lv, "requested level below vertex {v}");
+        let mut diff = lv - target_level;
+        let mut cur = v;
+        let mut k = 0usize;
+        while diff > 0 {
+            if diff & 1 == 1 {
+                cur = self.up[k][cur as usize];
+            }
+            diff >>= 1;
+            k += 1;
+        }
+        cur
+    }
+
+    /// The `k`-th ancestor of `v` (0-th is `v` itself).
+    pub fn kth_ancestor(&self, v: Vertex, k: u32) -> Option<Vertex> {
+        let lv = self.level[v as usize];
+        if k > lv {
+            None
+        } else {
+            Some(self.ancestor_at_level(v, lv - k))
+        }
+    }
+
+    /// Child of `anc` on the tree path towards its proper descendant `desc`.
+    pub fn child_toward(&self, anc: Vertex, desc: Vertex) -> Vertex {
+        debug_assert!(self.is_ancestor(anc, desc) && anc != desc);
+        self.ancestor_at_level(desc, self.level[anc as usize] + 1)
+    }
+
+    /// Number of edges on the tree path between `u` and `v`.
+    pub fn path_len(&self, u: Vertex, v: Vertex) -> u32 {
+        let l = self.lca(u, v);
+        self.level[u as usize] + self.level[v as usize] - 2 * self.level[l as usize]
+    }
+
+    /// Does `x` lie on the tree path between `anc` and `desc`
+    /// (`anc` must be an ancestor of `desc`)?
+    pub fn on_path(&self, x: Vertex, anc: Vertex, desc: Vertex) -> bool {
+        debug_assert!(self.is_ancestor(anc, desc));
+        self.is_ancestor(anc, x) && self.is_ancestor(x, desc)
+    }
+
+    /// Is the edge `(u, v)` a back edge with respect to this tree (one endpoint
+    /// an ancestor of the other)? Tree edges count as back edges here, matching
+    /// the paper's usage in Section 5.3.
+    pub fn is_back_edge(&self, u: Vertex, v: Vertex) -> bool {
+        self.is_ancestor(u, v) || self.is_ancestor(v, u)
+    }
+
+    /// Starting at `v`, follow the unique chain of descendants whose subtree
+    /// size exceeds `threshold`, returning the deepest such vertex.
+    ///
+    /// This is the paper's `v_H`: the *smallest* subtree of `τ` with more than
+    /// `threshold` vertices (Section 4). Requires `size(v) > threshold`, and
+    /// uniqueness of the chain requires `threshold >= size(v) / 2` (which is
+    /// how the algorithm always calls it).
+    pub fn heavy_descendant(&self, v: Vertex, threshold: u32) -> Vertex {
+        debug_assert!(self.size(v) > threshold);
+        let mut cur = v;
+        loop {
+            let next = self
+                .children(cur)
+                .iter()
+                .copied()
+                .find(|&c| self.size(c) > threshold);
+            match next {
+                Some(c) => cur = c,
+                None => return cur,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::prelude::*;
+    use rand_chacha::ChaCha8Rng;
+
+    /// Build a random tree parent array on `n` vertices rooted at 0.
+    fn random_parent_array(n: usize, rng: &mut impl Rng) -> Vec<Vertex> {
+        let mut parent = vec![NO_VERTEX; n];
+        parent[0] = 0;
+        for v in 1..n as Vertex {
+            parent[v as usize] = rng.gen_range(0..v);
+        }
+        parent
+    }
+
+    fn naive_lca(parent: &[Vertex], mut u: Vertex, mut v: Vertex) -> Vertex {
+        let depth = |mut x: Vertex| {
+            let mut d = 0;
+            while parent[x as usize] != x {
+                x = parent[x as usize];
+                d += 1;
+            }
+            d
+        };
+        let (mut du, mut dv) = (depth(u), depth(v));
+        while du > dv {
+            u = parent[u as usize];
+            du -= 1;
+        }
+        while dv > du {
+            v = parent[v as usize];
+            dv -= 1;
+        }
+        while u != v {
+            u = parent[u as usize];
+            v = parent[v as usize];
+        }
+        u
+    }
+
+    #[test]
+    fn hand_built_tree_properties() {
+        //        0
+        //       / \
+        //      1   2
+        //     / \   \
+        //    3   4   5
+        //        |
+        //        6
+        let mut t = RootedTree::new(7, 0);
+        for (c, p) in [(1, 0), (2, 0), (3, 1), (4, 1), (5, 2), (6, 4)] {
+            t.attach(c, p);
+        }
+        let idx = TreeIndex::build(&t);
+        assert_eq!(idx.num_vertices(), 7);
+        assert_eq!(idx.size(0), 7);
+        assert_eq!(idx.size(1), 4);
+        assert_eq!(idx.size(4), 2);
+        assert_eq!(idx.level(6), 3);
+        assert_eq!(idx.lca(3, 6), 1);
+        assert_eq!(idx.lca(6, 5), 0);
+        assert_eq!(idx.lca(4, 4), 4);
+        assert!(idx.is_ancestor(1, 6));
+        assert!(!idx.is_ancestor(2, 6));
+        assert!(idx.is_ancestor(6, 6));
+        assert_eq!(idx.child_toward(0, 6), 1);
+        assert_eq!(idx.child_toward(1, 6), 4);
+        assert_eq!(idx.path_len(3, 6), 3);
+        assert_eq!(idx.kth_ancestor(6, 2), Some(1));
+        assert_eq!(idx.kth_ancestor(6, 5), None);
+        assert!(idx.on_path(4, 0, 6));
+        assert!(!idx.on_path(3, 0, 6));
+        assert!(idx.is_back_edge(6, 0));
+        assert!(!idx.is_back_edge(3, 6));
+        let sub: Vec<_> = idx.subtree_vertices(1).to_vec();
+        assert_eq!(sub.len(), 4);
+        assert!(sub.contains(&1) && sub.contains(&3) && sub.contains(&4) && sub.contains(&6));
+    }
+
+    #[test]
+    fn post_order_decreases_along_root_paths() {
+        let mut rng = ChaCha8Rng::seed_from_u64(42);
+        let parent = random_parent_array(200, &mut rng);
+        let idx = TreeIndex::from_parent_slice(&parent, 0);
+        for v in 1..200u32 {
+            let p = parent[v as usize];
+            assert!(
+                idx.post(p) > idx.post(v),
+                "parent must have larger post-order number"
+            );
+            assert!(idx.pre(p) < idx.pre(v));
+            assert_eq!(idx.level(v), idx.level(p) + 1);
+        }
+    }
+
+    #[test]
+    fn lca_matches_naive_on_random_trees() {
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        for _ in 0..5 {
+            let n = rng.gen_range(2..300);
+            let parent = random_parent_array(n, &mut rng);
+            let idx = TreeIndex::from_parent_slice(&parent, 0);
+            for _ in 0..200 {
+                let u = rng.gen_range(0..n as Vertex);
+                let v = rng.gen_range(0..n as Vertex);
+                assert_eq!(idx.lca(u, v), naive_lca(&parent, u, v), "lca({u},{v})");
+            }
+        }
+    }
+
+    #[test]
+    fn sizes_sum_and_subtree_slices_consistent() {
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        let parent = random_parent_array(150, &mut rng);
+        let idx = TreeIndex::from_parent_slice(&parent, 0);
+        for v in 0..150u32 {
+            let slice = idx.subtree_vertices(v);
+            assert_eq!(slice.len() as u32, idx.size(v));
+            for &w in slice {
+                assert!(idx.is_ancestor(v, w));
+            }
+        }
+    }
+
+    #[test]
+    fn heavy_descendant_on_a_path() {
+        // A path 0-1-2-...-9: every subtree size is 10-v, so with threshold 5
+        // the heavy chain ends at vertex 4 (size 6).
+        let mut t = RootedTree::new(10, 0);
+        for v in 1..10u32 {
+            t.attach(v, v - 1);
+        }
+        let idx = TreeIndex::build(&t);
+        assert_eq!(idx.heavy_descendant(0, 5), 4);
+        assert_eq!(idx.heavy_descendant(0, 9), 0);
+    }
+
+    #[test]
+    fn ancestor_at_level_matches_walking() {
+        let mut rng = ChaCha8Rng::seed_from_u64(21);
+        let parent = random_parent_array(120, &mut rng);
+        let idx = TreeIndex::from_parent_slice(&parent, 0);
+        for v in 0..120u32 {
+            let mut cur = v;
+            let mut l = idx.level(v);
+            loop {
+                assert_eq!(idx.ancestor_at_level(v, l), cur);
+                if cur == 0 {
+                    break;
+                }
+                cur = parent[cur as usize];
+                l -= 1;
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unreachable")]
+    fn unreachable_vertices_rejected() {
+        // Vertices 2 and 3 form a cycle detached from the root.
+        let parent = vec![0, 0, 3, 2];
+        let _ = TreeIndex::from_parent_slice(&parent, 0);
+    }
+}

@@ -1,0 +1,34 @@
+//! # pardfs-tree
+//!
+//! Rooted-tree utilities shared by every DFS algorithm in the workspace.
+//!
+//! The paper's rerooting engine constantly asks structural questions about the
+//! *current* DFS tree `T`: lowest common ancestors, ancestor/descendant tests,
+//! subtree sizes, the child of a vertex towards a given descendant, the
+//! vertices of an ancestor–descendant path, and the subtrees hanging from such
+//! a path (Section 5.3, Theorem 10). This crate packages those operations:
+//!
+//! * [`RootedTree`] — a mutable parent-array representation used while a new
+//!   DFS tree `T*` is being assembled.
+//! * [`TreeIndex`] — an immutable index over a rooted tree providing `O(1)`
+//!   pre/post order numbers, levels, subtree sizes and LCA queries (Euler tour
+//!   + sparse-table RMQ, the classical substitute for Schieber–Vishkin), plus
+//!   binary lifting for level-ancestor / child-toward queries.
+//! * [`paths`] — helpers for ancestor–descendant paths: enumeration, length,
+//!   membership, and the "subtrees hanging from a path" primitive.
+//!
+//! All index structures are rebuilt from scratch after every committed update;
+//! their construction is `O(n log n)` work and parallelises trivially, matching
+//! the `O(log n)`-time, `n`-processor bound of Theorem 10 in the EREW PRAM
+//! cost model (see `pardfs-pram` for the explicit accounting).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod index;
+pub mod paths;
+pub mod rooted;
+
+pub use index::TreeIndex;
+pub use pardfs_graph::Vertex;
+pub use rooted::{RootedTree, NO_VERTEX};

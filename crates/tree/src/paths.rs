@@ -1,0 +1,276 @@
+//! Ancestor–descendant path segments and the path primitives of Section 5.3.
+//!
+//! Throughout the paper, every path that is ever traversed, queried or stored
+//! is an *ancestor–descendant path* of the current DFS tree `T`: one endpoint
+//! is an ancestor of the other. [`PathSeg`] is the canonical representation of
+//! such a path (its two endpoints), and the free functions provide the
+//! operations the rerooting engine needs: vertex enumeration, membership,
+//! hanging subtrees, and splitting around a vertex.
+
+use crate::index::TreeIndex;
+use pardfs_graph::Vertex;
+
+/// An ancestor–descendant path of a rooted tree, stored by its endpoints.
+///
+/// `top` is the endpoint closer to the root (the ancestor), `bottom` the
+/// descendant endpoint. A single vertex is the degenerate path with
+/// `top == bottom`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PathSeg {
+    /// Ancestor endpoint.
+    pub top: Vertex,
+    /// Descendant endpoint.
+    pub bottom: Vertex,
+}
+
+impl PathSeg {
+    /// Construct a segment from two endpoints, orienting them so that `top` is
+    /// the ancestor. Panics (in debug builds) if the endpoints are not in
+    /// ancestor–descendant relation.
+    pub fn new(idx: &TreeIndex, a: Vertex, b: Vertex) -> Self {
+        if idx.is_ancestor(a, b) {
+            PathSeg { top: a, bottom: b }
+        } else {
+            debug_assert!(
+                idx.is_ancestor(b, a),
+                "({a}, {b}) is not an ancestor-descendant pair"
+            );
+            PathSeg { top: b, bottom: a }
+        }
+    }
+
+    /// The single-vertex path.
+    pub fn single(v: Vertex) -> Self {
+        PathSeg { top: v, bottom: v }
+    }
+
+    /// Number of vertices on the path.
+    pub fn num_vertices(&self, idx: &TreeIndex) -> u32 {
+        idx.level(self.bottom) - idx.level(self.top) + 1
+    }
+
+    /// Number of edges on the path.
+    pub fn len(&self, idx: &TreeIndex) -> u32 {
+        self.num_vertices(idx) - 1
+    }
+
+    /// Is this a single-vertex path?
+    pub fn is_single(&self) -> bool {
+        self.top == self.bottom
+    }
+
+    /// Does `v` lie on this path?
+    pub fn contains(&self, idx: &TreeIndex, v: Vertex) -> bool {
+        idx.is_ancestor(self.top, v) && idx.is_ancestor(v, self.bottom)
+    }
+
+    /// The vertices of the path ordered from `from` to the other endpoint.
+    /// `from` must be one of the two endpoints.
+    pub fn vertices_from(&self, idx: &TreeIndex, from: Vertex) -> Vec<Vertex> {
+        let mut out = path_vertices(idx, self.bottom, self.top);
+        if from == self.top {
+            out.reverse();
+            out
+        } else {
+            debug_assert_eq!(from, self.bottom, "from must be an endpoint");
+            out
+        }
+    }
+
+    /// The vertices of the path from bottom (descendant) to top (ancestor).
+    pub fn vertices_bottom_up(&self, idx: &TreeIndex) -> Vec<Vertex> {
+        path_vertices(idx, self.bottom, self.top)
+    }
+
+    /// Given a vertex `v` on the path, the endpoint farther from `v`
+    /// (ties broken towards the `top` endpoint, matching the path-halving rule
+    /// "traverse towards the farther end").
+    pub fn farther_end(&self, idx: &TreeIndex, v: Vertex) -> Vertex {
+        debug_assert!(self.contains(idx, v));
+        let to_top = idx.level(v) - idx.level(self.top);
+        let to_bottom = idx.level(self.bottom) - idx.level(v);
+        if to_top >= to_bottom {
+            self.top
+        } else {
+            self.bottom
+        }
+    }
+
+    /// Remove the sub-path from `v` (inclusive) to the endpoint `towards`
+    /// (inclusive), returning the remaining sub-path, if any.
+    ///
+    /// This is the "untraversed remainder" of a path after a traversal walked
+    /// from `v` to `towards`.
+    pub fn remainder_after_walk(
+        &self,
+        idx: &TreeIndex,
+        v: Vertex,
+        towards: Vertex,
+    ) -> Option<PathSeg> {
+        debug_assert!(self.contains(idx, v));
+        debug_assert!(towards == self.top || towards == self.bottom);
+        if towards == self.top {
+            // Walked the upper part [v .. top]; remainder is below v.
+            if v == self.bottom {
+                None
+            } else {
+                Some(PathSeg {
+                    top: idx.child_toward(v, self.bottom),
+                    bottom: self.bottom,
+                })
+            }
+        } else {
+            // Walked the lower part [v .. bottom]; remainder is above v.
+            if v == self.top {
+                None
+            } else {
+                Some(PathSeg {
+                    top: self.top,
+                    bottom: idx.parent(v).expect("v above top has a parent"),
+                })
+            }
+        }
+    }
+}
+
+/// Vertices of the tree path from `from` up to its ancestor `to`, in walking
+/// order (both endpoints included). Panics if `to` is not an ancestor of
+/// `from`.
+pub fn path_vertices(idx: &TreeIndex, from: Vertex, to: Vertex) -> Vec<Vertex> {
+    assert!(
+        idx.is_ancestor(to, from),
+        "path_vertices: {to} is not an ancestor of {from}"
+    );
+    let mut out = Vec::with_capacity((idx.level(from) - idx.level(to) + 1) as usize);
+    let mut cur = from;
+    loop {
+        out.push(cur);
+        if cur == to {
+            break;
+        }
+        cur = idx.parent(cur).expect("walk reached the root before `to`");
+    }
+    out
+}
+
+/// Roots of the subtrees hanging from the path `seg`: children of path
+/// vertices that are not themselves on the path.
+///
+/// The returned roots are full subtrees of the indexed tree; together with the
+/// path they partition the union of the subtrees of the path's vertices.
+pub fn hanging_subtrees(idx: &TreeIndex, seg: &PathSeg) -> Vec<Vertex> {
+    let mut out = Vec::new();
+    for v in seg.vertices_bottom_up(idx) {
+        for &c in idx.children(v) {
+            if !seg.contains(idx, c) {
+                out.push(c);
+            }
+        }
+    }
+    out
+}
+
+/// Roots of the subtrees hanging from the tree path between `from` and its
+/// ancestor `to` (convenience wrapper over [`hanging_subtrees`]).
+pub fn hanging_subtrees_between(idx: &TreeIndex, desc: Vertex, anc: Vertex) -> Vec<Vertex> {
+    hanging_subtrees(
+        idx,
+        &PathSeg {
+            top: anc,
+            bottom: desc,
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rooted::RootedTree;
+
+    /// A small fixture:
+    /// ```text
+    ///         0
+    ///         |
+    ///         1
+    ///        / \
+    ///       2   3
+    ///       |   |\
+    ///       4   5 6
+    ///       |
+    ///       7
+    /// ```
+    fn fixture() -> TreeIndex {
+        let mut t = RootedTree::new(8, 0);
+        for (c, p) in [(1, 0), (2, 1), (3, 1), (4, 2), (5, 3), (6, 3), (7, 4)] {
+            t.attach(c, p);
+        }
+        TreeIndex::build(&t)
+    }
+
+    #[test]
+    fn segment_orientation_and_length() {
+        let idx = fixture();
+        let s = PathSeg::new(&idx, 7, 1);
+        assert_eq!(s.top, 1);
+        assert_eq!(s.bottom, 7);
+        assert_eq!(s.len(&idx), 3);
+        assert_eq!(s.num_vertices(&idx), 4);
+        let single = PathSeg::single(5);
+        assert!(single.is_single());
+        assert_eq!(single.num_vertices(&idx), 1);
+    }
+
+    #[test]
+    fn membership_and_vertices() {
+        let idx = fixture();
+        let s = PathSeg::new(&idx, 0, 4);
+        assert!(s.contains(&idx, 2));
+        assert!(!s.contains(&idx, 3));
+        assert_eq!(s.vertices_bottom_up(&idx), vec![4, 2, 1, 0]);
+        assert_eq!(s.vertices_from(&idx, 0), vec![0, 1, 2, 4]);
+        assert_eq!(s.vertices_from(&idx, 4), vec![4, 2, 1, 0]);
+    }
+
+    #[test]
+    fn farther_end_ties_towards_top() {
+        let idx = fixture();
+        let s = PathSeg::new(&idx, 0, 7); // 0-1-2-4-7
+        assert_eq!(s.farther_end(&idx, 7), 0);
+        assert_eq!(s.farther_end(&idx, 0), 7);
+        assert_eq!(s.farther_end(&idx, 2), 0, "tie resolves to the top end");
+        assert_eq!(s.farther_end(&idx, 4), 0);
+    }
+
+    #[test]
+    fn remainder_after_walk() {
+        let idx = fixture();
+        let s = PathSeg::new(&idx, 0, 7); // 0-1-2-4-7
+        // Walk from 2 up to 0; the remainder is 4-7.
+        let r = s.remainder_after_walk(&idx, 2, 0).unwrap();
+        assert_eq!((r.top, r.bottom), (4, 7));
+        // Walk from 2 down to 7; the remainder is 0-1.
+        let r = s.remainder_after_walk(&idx, 2, 7).unwrap();
+        assert_eq!((r.top, r.bottom), (0, 1));
+        // Walking the whole path leaves nothing.
+        assert!(s.remainder_after_walk(&idx, 0, 7).is_none());
+        assert!(s.remainder_after_walk(&idx, 7, 0).is_none());
+    }
+
+    #[test]
+    fn hanging_subtrees_of_a_path() {
+        let idx = fixture();
+        let s = PathSeg::new(&idx, 0, 4); // 0-1-2-4
+        let mut roots = hanging_subtrees(&idx, &s);
+        roots.sort_unstable();
+        assert_eq!(roots, vec![3, 7]);
+        let mut roots2 = hanging_subtrees_between(&idx, 7, 1);
+        roots2.sort_unstable();
+        assert_eq!(roots2, vec![3]);
+    }
+
+    #[test]
+    fn path_vertices_of_single_vertex() {
+        let idx = fixture();
+        assert_eq!(path_vertices(&idx, 3, 3), vec![3]);
+    }
+}

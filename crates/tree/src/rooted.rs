@@ -1,0 +1,229 @@
+//! Mutable rooted-tree (parent array) representation.
+
+use pardfs_graph::Vertex;
+
+/// Sentinel meaning "no parent / not in the tree".
+pub const NO_VERTEX: Vertex = u32::MAX;
+
+/// A rooted tree (or forest fragment) stored as a parent array over a dense
+/// vertex id space.
+///
+/// * `parent[root] == root` marks the root.
+/// * `parent[v] == NO_VERTEX` marks a vertex that is not part of the tree
+///   (deleted, or simply not in this component).
+///
+/// This is the representation in which a new DFS tree `T*` is assembled by the
+/// rerooting engine: vertices are attached one path at a time by writing their
+/// parent, and the finished array is then frozen into a [`crate::TreeIndex`].
+#[derive(Debug, Clone)]
+pub struct RootedTree {
+    parent: Vec<Vertex>,
+    root: Vertex,
+}
+
+impl RootedTree {
+    /// An empty tree over an id space of `capacity` vertices, rooted at `root`.
+    pub fn new(capacity: usize, root: Vertex) -> Self {
+        let mut parent = vec![NO_VERTEX; capacity];
+        parent[root as usize] = root;
+        RootedTree { parent, root }
+    }
+
+    /// Wrap an existing parent array. `parent[root]` must equal `root`.
+    pub fn from_parent_array(parent: Vec<Vertex>, root: Vertex) -> Self {
+        assert_eq!(
+            parent[root as usize], root,
+            "root must be its own parent in the parent array"
+        );
+        RootedTree { parent, root }
+    }
+
+    /// The root vertex.
+    pub fn root(&self) -> Vertex {
+        self.root
+    }
+
+    /// Size of the vertex id space.
+    pub fn capacity(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// Parent of `v`, or `None` if `v` is the root or not in the tree.
+    pub fn parent(&self, v: Vertex) -> Option<Vertex> {
+        let p = self.parent[v as usize];
+        if p == NO_VERTEX || p == v {
+            None
+        } else {
+            Some(p)
+        }
+    }
+
+    /// Raw parent entry (including the `parent[root] == root` convention).
+    pub fn parent_raw(&self, v: Vertex) -> Vertex {
+        self.parent[v as usize]
+    }
+
+    /// Is `v` part of the tree?
+    pub fn contains(&self, v: Vertex) -> bool {
+        (v as usize) < self.parent.len() && self.parent[v as usize] != NO_VERTEX
+    }
+
+    /// Attach `child` below `parent`. Both must be in the id space; `parent`
+    /// must already be in the tree and `child` must not.
+    pub fn attach(&mut self, child: Vertex, parent: Vertex) {
+        debug_assert!(self.contains(parent), "parent {parent} not in tree");
+        debug_assert!(!self.contains(child), "child {child} already in tree");
+        self.parent[child as usize] = parent;
+    }
+
+    /// Overwrite the parent of `child` unconditionally (used by the sequential
+    /// baseline when it re-hangs a subtree in place).
+    pub fn set_parent(&mut self, child: Vertex, parent: Vertex) {
+        self.parent[child as usize] = parent;
+    }
+
+    /// Remove `v` from the tree (its descendants keep their parent entries and
+    /// become unreachable until re-attached).
+    pub fn detach(&mut self, v: Vertex) {
+        self.parent[v as usize] = NO_VERTEX;
+    }
+
+    /// Grow the id space to `capacity` (new slots are not in the tree).
+    pub fn grow(&mut self, capacity: usize) {
+        if capacity > self.parent.len() {
+            self.parent.resize(capacity, NO_VERTEX);
+        }
+    }
+
+    /// Number of vertices currently in the tree.
+    pub fn len(&self) -> usize {
+        self.parent.iter().filter(|&&p| p != NO_VERTEX).count()
+    }
+
+    /// Is the tree empty?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Consume into the raw parent array.
+    pub fn into_parent_array(self) -> Vec<Vertex> {
+        self.parent
+    }
+
+    /// Borrow the raw parent array.
+    pub fn parent_array(&self) -> &[Vertex] {
+        &self.parent
+    }
+
+    /// Iterator over vertices currently in the tree.
+    pub fn vertices(&self) -> impl Iterator<Item = Vertex> + '_ {
+        self.parent
+            .iter()
+            .enumerate()
+            .filter(|(_, &p)| p != NO_VERTEX)
+            .map(|(v, _)| v as Vertex)
+    }
+
+    /// Walk from `v` to the root, returning the vertices in order (inclusive).
+    /// Cycles (malformed trees) are detected and cause a panic after
+    /// `capacity` steps.
+    pub fn path_to_root(&self, v: Vertex) -> Vec<Vertex> {
+        let mut out = Vec::new();
+        let mut cur = v;
+        for _ in 0..=self.parent.len() {
+            out.push(cur);
+            if cur == self.root {
+                return out;
+            }
+            let p = self.parent[cur as usize];
+            assert_ne!(p, NO_VERTEX, "vertex {cur} is not connected to the root");
+            cur = p;
+        }
+        panic!("cycle detected in parent array");
+    }
+
+    /// Check structural validity: exactly one root, every in-tree vertex
+    /// reaches the root without cycles.
+    pub fn validate(&self) -> Result<(), String> {
+        for v in self.vertices() {
+            let mut cur = v;
+            let mut steps = 0usize;
+            loop {
+                if cur == self.root {
+                    break;
+                }
+                let p = self.parent[cur as usize];
+                if p == NO_VERTEX {
+                    return Err(format!("vertex {v} does not reach the root"));
+                }
+                if p == cur {
+                    return Err(format!("vertex {cur} is a second root"));
+                }
+                cur = p;
+                steps += 1;
+                if steps > self.parent.len() {
+                    return Err(format!("cycle reachable from vertex {v}"));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_tree() -> RootedTree {
+        // 0 is root; 1,2 children of 0; 3,4 children of 1.
+        let mut t = RootedTree::new(5, 0);
+        t.attach(1, 0);
+        t.attach(2, 0);
+        t.attach(3, 1);
+        t.attach(4, 1);
+        t
+    }
+
+    #[test]
+    fn attach_and_query() {
+        let t = small_tree();
+        assert_eq!(t.root(), 0);
+        assert_eq!(t.parent(0), None);
+        assert_eq!(t.parent(3), Some(1));
+        assert_eq!(t.len(), 5);
+        assert!(t.contains(4));
+        assert!(t.validate().is_ok());
+    }
+
+    #[test]
+    fn path_to_root_orders_vertices() {
+        let t = small_tree();
+        assert_eq!(t.path_to_root(4), vec![4, 1, 0]);
+        assert_eq!(t.path_to_root(0), vec![0]);
+    }
+
+    #[test]
+    fn detach_breaks_reachability() {
+        let mut t = small_tree();
+        t.detach(1);
+        assert!(t.validate().is_err());
+    }
+
+    #[test]
+    fn grow_extends_id_space() {
+        let mut t = small_tree();
+        t.grow(10);
+        assert_eq!(t.capacity(), 10);
+        assert!(!t.contains(9));
+        t.attach(9, 2);
+        assert_eq!(t.parent(9), Some(2));
+    }
+
+    #[test]
+    fn from_parent_array_roundtrip() {
+        let t = small_tree();
+        let arr = t.parent_array().to_vec();
+        let t2 = RootedTree::from_parent_array(arr.clone(), 0);
+        assert_eq!(t2.parent_array(), &arr[..]);
+    }
+}

@@ -1,0 +1,55 @@
+//! Quickstart: maintain a DFS forest of a changing graph.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! Builds a random sparse graph, applies a mixed stream of edge and vertex
+//! updates, and after every update prints a one-line summary of what the
+//! parallel dynamic-DFS maintainer did (how many subtrees were rerooted, how
+//! many engine rounds and query sets it took) while asserting that the
+//! maintained tree stays a valid DFS tree.
+
+use pardfs::graph::generators;
+use pardfs::graph::updates::{random_update_sequence, UpdateMix};
+use pardfs::{DynamicDfs, Strategy};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn main() {
+    let mut rng = ChaCha8Rng::seed_from_u64(42);
+    let n = 2_000;
+    let m = 8_000;
+    let graph = generators::random_connected_gnm(n, m, &mut rng);
+    println!("initial graph: {n} vertices, {m} edges");
+
+    let mut dfs = DynamicDfs::with_strategy(&graph, Strategy::Phased);
+    println!(
+        "initial DFS forest built: {} component root(s)\n",
+        dfs.forest_roots().len()
+    );
+
+    let updates = random_update_sequence(&graph, 25, &UpdateMix::default(), &mut rng);
+    for (i, update) in updates.iter().enumerate() {
+        dfs.apply_update(update);
+        dfs.check().expect("the maintained tree must stay a DFS tree");
+        let s = dfs.last_stats();
+        println!(
+            "update {i:>2} {:<14} jobs={} rounds={} query_sets={} relinked={} components={}",
+            format!("{:?}", update.kind()),
+            s.reroot_jobs,
+            s.reroot.rounds,
+            s.total_query_sets(),
+            s.reroot.relinked_vertices,
+            dfs.forest_roots().len(),
+        );
+    }
+
+    println!(
+        "\nfinal graph: {} vertices, {} edges, {} component(s)",
+        dfs.num_vertices(),
+        dfs.num_edges(),
+        dfs.forest_roots().len()
+    );
+    println!("every update was absorbed without recomputing the DFS tree from scratch.");
+}

@@ -1,0 +1,94 @@
+//! A dynamic "social network" scenario: friendships come and go, accounts are
+//! created and deleted, and the application continuously needs
+//! connectivity-style queries (are two users connected? which users bridge
+//! communities?).
+//!
+//! ```text
+//! cargo run --release --example social_network
+//! ```
+//!
+//! A DFS forest is exactly the right index for this: connectivity is "same
+//! tree root", and the tree (plus back edges) supports biconnectivity
+//! analysis. The example maintains the forest with the parallel dynamic-DFS
+//! engine under churn and answers queries after every batch, comparing the
+//! per-update cost against recomputing the forest from scratch.
+
+use pardfs::graph::{generators, Graph, Update};
+use pardfs::seq::articulation::articulation_points;
+use pardfs::seq::static_dfs::static_dfs;
+use pardfs::DynamicDfs;
+use rand::prelude::*;
+use rand_chacha::ChaCha8Rng;
+use std::time::Instant;
+
+fn main() {
+    let mut rng = ChaCha8Rng::seed_from_u64(7);
+    // Communities: path-of-cliques ⇒ pronounced bridge structure.
+    let graph = generators::path_of_cliques(40, 25); // 1000 users
+    let n = graph.num_vertices();
+    println!("social graph: {n} users, {} friendships", graph.num_edges());
+
+    let mut dfs = DynamicDfs::new(&graph);
+    let mut mirror: Graph = graph.clone();
+
+    let mut dynamic_total = 0u128;
+    let mut static_total = 0u128;
+
+    for day in 0..10 {
+        // Each "day": a few friendships form, a few dissolve, one account is
+        // created and one goes away.
+        let mut updates: Vec<Update> = Vec::new();
+        for _ in 0..5 {
+            let (u, v) = (
+                rng.gen_range(0..n as u32),
+                rng.gen_range(0..n as u32),
+            );
+            if u != v && !mirror.has_edge(u, v) && mirror.is_active(u) && mirror.is_active(v) {
+                updates.push(Update::InsertEdge(u, v));
+            }
+        }
+        if let Some((u, v)) = generators::sample_edges(&mirror, 1, &mut rng).first().copied() {
+            updates.push(Update::DeleteEdge(u, v));
+        }
+        let friends: Vec<u32> = (0..3)
+            .filter_map(|_| {
+                let v = rng.gen_range(0..n as u32);
+                mirror.is_active(v).then_some(v)
+            })
+            .collect();
+        updates.push(Update::InsertVertex { edges: friends });
+
+        for update in &updates {
+            let t = Instant::now();
+            dfs.apply_update(update);
+            dynamic_total += t.elapsed().as_micros();
+            mirror.apply(update);
+
+            // Baseline: full recomputation of a DFS forest of the mirror.
+            let t = Instant::now();
+            let root = mirror.vertices().next().unwrap();
+            let _ = static_dfs(&mirror, root);
+            static_total += t.elapsed().as_micros();
+        }
+        dfs.check().expect("DFS forest must stay valid");
+
+        // Application queries on the maintained forest.
+        let components = dfs.forest_roots().len();
+        let (a, b) = (0u32, (n - 1) as u32);
+        let connected = dfs.same_component(a, b);
+        let bridges_hub = articulation_points(&mirror, mirror.vertices().next().unwrap()).len();
+        println!(
+            "day {day:>2}: {:>3} updates applied, {components} communities, \
+             user {a} ↔ user {b}: {}, {} articulation users in the main community",
+            updates.len(),
+            if connected { "connected" } else { "separated" },
+            bridges_hub
+        );
+    }
+
+    println!(
+        "\ncumulative update time: dynamic DFS {:.2} ms vs full recompute {:.2} ms",
+        dynamic_total as f64 / 1000.0,
+        static_total as f64 / 1000.0
+    );
+}

@@ -1,0 +1,51 @@
+//! # pardfs
+//!
+//! Near optimal parallel algorithms for dynamic DFS in undirected graphs —
+//! a reproduction of Khan, SPAA 2017 (arXiv:1705.03637) as a Rust workspace.
+//!
+//! This umbrella crate re-exports the public API of every sub-crate so that
+//! applications can depend on a single crate:
+//!
+//! * [`graph`] — dynamic undirected graphs, generators, update sequences;
+//! * [`tree`] — rooted-tree indexes (orders, sizes, LCA, paths);
+//! * [`pram`] — EREW PRAM cost-model primitives (Theorems 4–7);
+//! * [`query`] — the data structure `D` and the query-oracle abstraction
+//!   (Theorems 8–9);
+//! * [`seq`] — static DFS, validity checking, the sequential dynamic baseline;
+//! * [`core`] — parallel fully dynamic DFS ([`DynamicDfs`]) and fault tolerant
+//!   DFS ([`FaultTolerantDfs`]) — Theorems 1, 13 and 14;
+//! * [`stream`] — semi-streaming dynamic DFS (Theorem 15);
+//! * [`congest`] — distributed CONGEST(B) dynamic DFS (Theorem 16).
+//!
+//! ## Quick start
+//!
+//! ```
+//! use pardfs::{DynamicDfs, graph::generators, graph::Update};
+//!
+//! let mut rng = rand::thread_rng();
+//! let g = generators::random_connected_gnm(100, 300, &mut rng);
+//! let mut dfs = DynamicDfs::new(&g);
+//! let nbr = g.neighbors(0)[0];
+//! dfs.apply_update(&Update::DeleteEdge(0, nbr));
+//! dfs.apply_update(&Update::InsertVertex { edges: vec![3, 7, 42] });
+//! assert!(dfs.check().is_ok());
+//! println!("forest roots: {:?}", dfs.forest_roots());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use pardfs_congest as congest;
+pub use pardfs_core as core;
+pub use pardfs_graph as graph;
+pub use pardfs_pram as pram;
+pub use pardfs_query as query;
+pub use pardfs_seq as seq;
+pub use pardfs_stream as stream;
+pub use pardfs_tree as tree;
+
+pub use pardfs_congest::DistributedDynamicDfs;
+pub use pardfs_core::{DynamicDfs, FaultTolerantDfs, Strategy};
+pub use pardfs_graph::{Graph, Update, Vertex};
+pub use pardfs_seq::SeqRerootDfs;
+pub use pardfs_stream::StreamingDynamicDfs;

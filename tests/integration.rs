@@ -1,0 +1,200 @@
+//! Cross-crate integration tests: the four maintainers (sequential baseline,
+//! parallel, streaming, distributed) and the fault tolerant structure are
+//! driven with the same update sequences and must all produce valid DFS
+//! forests that agree on connectivity with a reference graph.
+
+use pardfs::graph::updates::{random_update_sequence, UpdateMix};
+use pardfs::graph::{connected_components, generators, Graph, Update};
+use pardfs::{
+    DistributedDynamicDfs, DynamicDfs, FaultTolerantDfs, SeqRerootDfs, Strategy,
+    StreamingDynamicDfs,
+};
+use rand::prelude::*;
+use rand_chacha::ChaCha8Rng;
+
+/// Component labels of the reference graph, restricted to original vertices.
+fn components_of(g: &Graph) -> Vec<u32> {
+    let (labels, _) = connected_components(g);
+    labels
+}
+
+#[test]
+fn all_maintainers_agree_with_reference_connectivity() {
+    let mut rng = ChaCha8Rng::seed_from_u64(2026);
+    let n = 60usize;
+    let g = generators::random_connected_gnm(n, 150, &mut rng);
+    let updates = random_update_sequence(&g, 40, &UpdateMix::default(), &mut rng);
+
+    let mut reference = g.clone();
+    let mut seq = SeqRerootDfs::new(&g);
+    let mut par_simple = DynamicDfs::with_strategy(&g, Strategy::Simple);
+    let mut par_phased = DynamicDfs::with_strategy(&g, Strategy::Phased);
+    let mut streaming = StreamingDynamicDfs::new(&g);
+    let mut congest = DistributedDynamicDfs::new(&g, 8);
+
+    for (i, u) in updates.iter().enumerate() {
+        reference.apply(u);
+        seq.apply_update(u);
+        par_simple.apply_update(u);
+        par_phased.apply_update(u);
+        streaming.apply_update(u);
+        congest.apply_update(u);
+
+        seq.check().unwrap_or_else(|e| panic!("seq, update {i}: {e}"));
+        par_simple
+            .check()
+            .unwrap_or_else(|e| panic!("simple, update {i}: {e}"));
+        par_phased
+            .check()
+            .unwrap_or_else(|e| panic!("phased, update {i}: {e}"));
+        streaming
+            .check()
+            .unwrap_or_else(|e| panic!("streaming, update {i}: {e}"));
+        congest
+            .check()
+            .unwrap_or_else(|e| panic!("congest, update {i}: {e}"));
+
+        // Connectivity agreement on the original vertex ids.
+        let labels = components_of(&reference);
+        for a in 0..n as u32 {
+            for b in (a + 1)..n as u32 {
+                if !reference.is_active(a) || !reference.is_active(b) {
+                    continue;
+                }
+                let same = labels[a as usize] == labels[b as usize];
+                assert_eq!(
+                    par_phased.same_component(a, b),
+                    same,
+                    "update {i}: phased connectivity disagrees on ({a},{b})"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn fault_tolerant_agrees_with_fully_dynamic_processing() {
+    let mut rng = ChaCha8Rng::seed_from_u64(404);
+    let g = generators::random_connected_gnm(50, 160, &mut rng);
+    let mut ft = FaultTolerantDfs::new(&g);
+
+    for k in [1usize, 2, 4, 6] {
+        let updates = random_update_sequence(&g, k, &UpdateMix::default(), &mut rng);
+        // Fault tolerant: one shot from the preprocessed structure.
+        let result = ft.tree_after(&updates);
+        result.check().unwrap();
+
+        // Fully dynamic: process the same updates one by one.
+        let mut dynamic = DynamicDfs::new(&g);
+        let mut reference = g.clone();
+        for u in &updates {
+            dynamic.apply_update(u);
+            reference.apply(u);
+        }
+        dynamic.check().unwrap();
+
+        // Both must span the same vertex set (same number of tree vertices).
+        assert_eq!(
+            result.tree().num_vertices(),
+            dynamic.tree().num_vertices(),
+            "k = {k}"
+        );
+    }
+}
+
+#[test]
+fn adversarial_families_exercise_deep_reroots() {
+    // Families whose DFS trees are extremely unbalanced: long paths, brooms,
+    // caterpillars and path-of-cliques. These are the shapes on which naive
+    // rerooting degenerates; every maintainer must still stay correct.
+    let families: Vec<(&str, Graph)> = vec![
+        ("path", generators::path(300)),
+        ("broom", generators::broom(150, 150)),
+        ("caterpillar", generators::caterpillar(100, 2)),
+        ("path_of_cliques", generators::path_of_cliques(30, 6)),
+    ];
+    let mut rng = ChaCha8Rng::seed_from_u64(99);
+    for (name, g) in families {
+        let updates = random_update_sequence(&g, 20, &UpdateMix::edges_only(), &mut rng);
+        let mut dfs = DynamicDfs::new(&g);
+        for (i, u) in updates.iter().enumerate() {
+            dfs.apply_update(u);
+            dfs.check()
+                .unwrap_or_else(|e| panic!("{name}, update {i} ({u:?}): {e}"));
+        }
+        // Query-round bound check (generous constant; exact numbers live in
+        // the experiment harness).
+        let n = dfs.tree().num_vertices() as f64;
+        let log2n = n.log2().max(1.0);
+        assert!(
+            (dfs.last_stats().total_query_sets() as f64) <= 30.0 * log2n * log2n,
+            "{name}: query sets {} too large for n = {n}",
+            dfs.last_stats().total_query_sets()
+        );
+    }
+}
+
+#[test]
+fn growing_a_graph_from_nothing() {
+    // Start from isolated vertices and build up a graph purely through
+    // updates, including vertex insertions that arrive with several edges.
+    let g = Graph::new(4);
+    let mut dfs = DynamicDfs::new(&g);
+    let mut seq = SeqRerootDfs::new(&g);
+    let mut updates: Vec<Update> = vec![
+        Update::InsertEdge(0, 1),
+        Update::InsertEdge(2, 3),
+        Update::InsertVertex { edges: vec![1, 2] }, // vertex 4 bridges the two pairs
+        Update::InsertEdge(0, 3),
+        Update::DeleteVertex(4),
+        Update::InsertVertex { edges: vec![0] },    // vertex 5
+        Update::InsertVertex { edges: vec![5, 3] }, // vertex 6
+        Update::DeleteEdge(0, 1),
+    ];
+    let mut rng = ChaCha8Rng::seed_from_u64(7);
+    // Finish with random churn.
+    let base = {
+        let mut scratch = Graph::new(4);
+        for u in &updates {
+            scratch.apply(u);
+        }
+        scratch
+    };
+    updates.extend(random_update_sequence(&base, 15, &UpdateMix::default(), &mut rng));
+
+    for (i, u) in updates.iter().enumerate() {
+        let a = dfs.apply_update(u);
+        let b = seq.apply_update(u);
+        assert_eq!(a, b, "inserted-vertex ids must agree (update {i})");
+        dfs.check().unwrap_or_else(|e| panic!("core, update {i}: {e}"));
+        seq.check().unwrap_or_else(|e| panic!("seq, update {i}: {e}"));
+    }
+}
+
+#[test]
+fn forest_parent_chains_are_acyclic_and_lead_to_roots() {
+    let mut rng = ChaCha8Rng::seed_from_u64(13);
+    let g = generators::random_connected_gnm(80, 200, &mut rng);
+    let updates = random_update_sequence(&g, 30, &UpdateMix::default(), &mut rng);
+    let mut dfs = DynamicDfs::new(&g);
+    for u in &updates {
+        dfs.apply_update(u);
+    }
+    dfs.check().unwrap();
+    let roots: std::collections::HashSet<u32> = dfs.forest_roots().into_iter().collect();
+    for v in 0..dfs.augmented_graph().capacity() as u32 {
+        let Some(mut cur) = dfs.forest_parent(v).or_else(|| {
+            // v itself may be a root or absent; nothing to walk.
+            None
+        }) else {
+            continue;
+        };
+        let mut steps = 0;
+        while let Some(p) = dfs.forest_parent(cur) {
+            cur = p;
+            steps += 1;
+            assert!(steps <= dfs.augmented_graph().capacity(), "cycle detected");
+        }
+        assert!(roots.contains(&cur), "chain from {v} ends at a non-root {cur}");
+    }
+}

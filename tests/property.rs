@@ -1,0 +1,127 @@
+//! Property-based tests (proptest): for arbitrary random graphs and arbitrary
+//! valid update sequences, every maintainer always produces a valid DFS
+//! forest, and the data structure `D` always agrees with a brute-force scan.
+
+use pardfs::graph::updates::{random_update_sequence, UpdateMix};
+use pardfs::graph::{generators, Graph};
+use pardfs::query::{QueryOracle, StructureD, VertexQuery};
+use pardfs::seq::augment::AugmentedGraph;
+use pardfs::seq::static_dfs::static_dfs;
+use pardfs::tree::TreeIndex;
+use pardfs::{DynamicDfs, FaultTolerantDfs, Strategy, StreamingDynamicDfs};
+use proptest::prelude::*;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// Strategy: the seed fully determines the graph and the update sequence, so
+/// shrinking stays meaningful and failures are reproducible from the seed.
+fn graph_and_updates(
+    seed: u64,
+    n: usize,
+    extra_edges: usize,
+    updates: usize,
+) -> (Graph, Vec<pardfs::Update>) {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let m = (n - 1 + extra_edges).min(n * (n - 1) / 2);
+    let g = generators::random_connected_gnm(n, m, &mut rng);
+    let ups = random_update_sequence(&g, updates, &UpdateMix::default(), &mut rng);
+    (g, ups)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    #[test]
+    fn dynamic_dfs_is_always_a_dfs_tree(
+        seed in any::<u64>(),
+        n in 5usize..40,
+        extra in 0usize..60,
+        strategy_phased in any::<bool>(),
+    ) {
+        let (g, updates) = graph_and_updates(seed, n, extra, 15);
+        let strategy = if strategy_phased { Strategy::Phased } else { Strategy::Simple };
+        let mut dfs = DynamicDfs::with_strategy(&g, strategy);
+        for u in &updates {
+            dfs.apply_update(u);
+            prop_assert!(dfs.check().is_ok(), "{:?} after {u:?}: {:?}", strategy, dfs.check());
+        }
+    }
+
+    #[test]
+    fn streaming_dfs_is_always_a_dfs_tree(
+        seed in any::<u64>(),
+        n in 5usize..30,
+        extra in 0usize..40,
+    ) {
+        let (g, updates) = graph_and_updates(seed, n, extra, 10);
+        let mut dfs = StreamingDynamicDfs::new(&g);
+        for u in &updates {
+            dfs.apply_update(u);
+            prop_assert!(dfs.check().is_ok(), "after {u:?}: {:?}", dfs.check());
+        }
+    }
+
+    #[test]
+    fn fault_tolerant_batches_are_always_dfs_trees(
+        seed in any::<u64>(),
+        n in 5usize..30,
+        extra in 0usize..40,
+        k in 1usize..6,
+    ) {
+        let (g, updates) = graph_and_updates(seed, n, extra, k);
+        let mut ft = FaultTolerantDfs::new(&g);
+        let result = ft.tree_after(&updates);
+        prop_assert!(result.check().is_ok(), "{:?}", result.check());
+        // A second, different batch from the same preprocessed structure.
+        let (_, updates2) = graph_and_updates(seed.wrapping_add(1), n, extra, k);
+        let result2 = ft.tree_after(&updates2);
+        prop_assert!(result2.check().is_ok(), "{:?}", result2.check());
+    }
+
+    #[test]
+    fn structure_d_agrees_with_brute_force(
+        seed in any::<u64>(),
+        n in 5usize..50,
+        extra in 0usize..80,
+    ) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let m = (n - 1 + extra).min(n * (n - 1) / 2);
+        let g = generators::random_connected_gnm(n, m, &mut rng);
+        let aug = AugmentedGraph::new(&g);
+        let idx = TreeIndex::build(&static_dfs(aug.graph(), aug.pseudo_root()));
+        let d = StructureD::build(aug.graph(), idx.clone());
+        let verts = idx.pre_order_vertices();
+        for _ in 0..50 {
+            let w = verts[rng.gen_range(0..verts.len())];
+            let a = verts[rng.gen_range(0..verts.len())];
+            let anc = idx.ancestor_at_level(a, rng.gen_range(0..=idx.level(a)));
+            let (near, far) = if rng.gen_bool(0.5) { (a, anc) } else { (anc, a) };
+            let got = d.answer_batch(&[VertexQuery::new(w, near, far)])[0];
+            // Brute force over the augmented graph's adjacency.
+            let expected = aug
+                .graph()
+                .neighbors(w)
+                .iter()
+                .copied()
+                .filter(|&z| {
+                    (idx.is_ancestor(near, z) && idx.is_ancestor(z, far))
+                        || (idx.is_ancestor(far, z) && idx.is_ancestor(z, near))
+                })
+                .map(|z| idx.level(z).abs_diff(idx.level(near)))
+                .min();
+            prop_assert_eq!(got.map(|h| h.rank_from_near), expected);
+        }
+    }
+}
+
+#[test]
+fn proptest_regression_smoke() {
+    // A fixed case exercising all maintainers quickly, so failures in the
+    // proptest harness configuration itself are caught deterministically.
+    let (g, updates) = graph_and_updates(7, 20, 20, 10);
+    let mut dfs = DynamicDfs::new(&g);
+    for u in &updates {
+        dfs.apply_update(u);
+    }
+    dfs.check().unwrap();
+}
