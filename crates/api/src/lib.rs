@@ -1,0 +1,39 @@
+//! # pardfs-api
+//!
+//! The **unified maintainer API** of the pardfs workspace.
+//!
+//! The paper (Khan, SPAA 2017) presents *one* algorithmic core — reduction of
+//! an update to independent subtree reroots, plus a parallel rerooting
+//! engine — instantiated in four computation models. The workspace mirrors
+//! that structure with five concrete maintainers (parallel, sequential
+//! baseline, fault tolerant, semi-streaming, CONGEST); this crate defines the
+//! *model-independent* surface they all share:
+//!
+//! * [`DfsMaintainer`] — the object-safe trait every backend implements:
+//!   updates (single and batched), forest queries (`forest_parent`,
+//!   `forest_roots`, `same_component`), validity checking and unified
+//!   statistics;
+//! * [`BatchReport`] — what a batch of updates did (applied count, inserted
+//!   vertex ids, per-update statistics);
+//! * [`StatsReport`] — a normalising enum over the per-model statistics
+//!   structures ([`UpdateStats`], [`SeqUpdateStats`], [`StreamStats`],
+//!   [`CongestStats`]), which also live here so every backend crate and the
+//!   bench harness read them from one place.
+//!
+//! The crate deliberately depends only on `pardfs-graph` and `pardfs-tree`;
+//! backend crates depend on it, never the other way around. Runtime backend
+//! *selection* (the `MaintainerBuilder`) lives in the umbrella `pardfs`
+//! crate, which is the only crate that can see every backend.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod maintainer;
+pub mod report;
+pub mod stats;
+
+pub use maintainer::DfsMaintainer;
+pub use report::{BatchReport, StatsReport};
+pub use stats::{
+    CongestStats, RerootStats, SeqUpdateStats, StreamStats, TraversalKind, UpdateStats,
+};

@@ -1,0 +1,73 @@
+//! The [`DfsMaintainer`] trait: one surface over five computation models.
+
+use crate::report::{BatchReport, StatsReport};
+use pardfs_graph::{Update, Vertex};
+use pardfs_tree::TreeIndex;
+
+/// A fully dynamic DFS maintainer of an undirected user graph.
+///
+/// Implementors maintain a DFS tree of the *augmented* graph (the user graph
+/// plus a pseudo root adjacent to every vertex, Section 2 of the paper);
+/// its children are the roots of a DFS forest of the user graph. All methods
+/// speak **user** vertex ids except [`DfsMaintainer::tree`], which exposes
+/// the maintained index in internal ids (pseudo root = 0, user `v` = `v + 1`)
+/// for callers that need the raw structure.
+///
+/// The trait is object safe: the bench harness, examples and conformance
+/// tests drive every backend through `&mut dyn DfsMaintainer`, and the
+/// umbrella crate's `MaintainerBuilder` hands out `Box<dyn DfsMaintainer>`.
+pub trait DfsMaintainer {
+    /// Short, stable backend name ("parallel", "sequential", "streaming",
+    /// "congest", "fault-tolerant"), used in reports and test labels.
+    fn backend_name(&self) -> &'static str;
+
+    /// Apply one dynamic update. Returns the user id of the inserted vertex
+    /// for `InsertVertex` updates, `None` otherwise.
+    fn apply_update(&mut self, update: &Update) -> Option<Vertex>;
+
+    /// Apply a batch of updates and report what happened.
+    ///
+    /// The default implementation applies the updates one by one, collecting
+    /// each update's [`StatsReport`]. Backends with a native batch path (the
+    /// fault tolerant maintainer absorbs a whole batch against its frozen
+    /// preprocessed structure) override this.
+    fn apply_batch(&mut self, updates: &[Update]) -> BatchReport {
+        let mut report = BatchReport::default();
+        for update in updates {
+            if let Some(v) = self.apply_update(update) {
+                report.inserted.push(v);
+            }
+            report.per_update.push(self.stats());
+        }
+        report
+    }
+
+    /// The current DFS tree of the augmented graph (internal ids).
+    fn tree(&self) -> &TreeIndex;
+
+    /// Parent of user vertex `v` in the maintained DFS forest (`None` for
+    /// component roots and vertices not present).
+    fn forest_parent(&self, v: Vertex) -> Option<Vertex>;
+
+    /// Roots of the maintained DFS forest (user ids), one per connected
+    /// component of the user graph.
+    fn forest_roots(&self) -> Vec<Vertex>;
+
+    /// Are user vertices `u` and `v` in the same connected component? (A DFS
+    /// forest answers connectivity for free: same tree ⇔ same component.)
+    fn same_component(&self, u: Vertex, v: Vertex) -> bool;
+
+    /// Number of user vertices currently in the graph.
+    fn num_vertices(&self) -> usize;
+
+    /// Number of user edges currently in the graph.
+    fn num_edges(&self) -> usize;
+
+    /// Validate the maintained tree against the maintained graph
+    /// (`O(n + m)`; used by tests and the builder's checked mode).
+    fn check(&self) -> Result<(), String>;
+
+    /// Statistics of the most recent update (a default report before any
+    /// update has been applied).
+    fn stats(&self) -> StatsReport;
+}

@@ -1,0 +1,239 @@
+//! Unified statistics and batch reporting across backends.
+
+use crate::stats::{CongestStats, SeqUpdateStats, StreamStats, UpdateStats};
+use pardfs_graph::Vertex;
+
+/// The statistics of one update, normalised across backends.
+///
+/// Every variant describes a *single* update; what differs is which model
+/// quantities the backend tracks. The accessor methods project the common
+/// quantities so generic drivers (the bench harness, the conformance tests)
+/// can compare backends without matching on the variant; the per-variant
+/// accessors expose the model-specific counters when callers want them.
+#[derive(Debug, Clone)]
+pub enum StatsReport {
+    /// Shared-memory parallel maintainer (Theorem 13).
+    Parallel(UpdateStats),
+    /// Sequential baseline maintainer (reference [6] of the paper).
+    Sequential(SeqUpdateStats),
+    /// Fault tolerant maintainer (Theorem 14); engine statistics of the
+    /// update, answered from the frozen preprocessed structure.
+    FaultTolerant(UpdateStats),
+    /// Semi-streaming maintainer (Theorem 15).
+    Streaming {
+        /// Engine statistics (reduction + reroot).
+        engine: UpdateStats,
+        /// Stream-access statistics of the same update.
+        stream: StreamStats,
+    },
+    /// Distributed CONGEST maintainer (Theorem 16).
+    Congest {
+        /// Engine statistics (reduction + reroot).
+        engine: UpdateStats,
+        /// Simulated network cost of the same update.
+        congest: CongestStats,
+    },
+}
+
+impl StatsReport {
+    /// Short name of the backend that produced this report.
+    pub fn backend(&self) -> &'static str {
+        match self {
+            StatsReport::Parallel(_) => "parallel",
+            StatsReport::Sequential(_) => "sequential",
+            StatsReport::FaultTolerant(_) => "fault-tolerant",
+            StatsReport::Streaming { .. } => "streaming",
+            StatsReport::Congest { .. } => "congest",
+        }
+    }
+
+    /// Sequential sets of independent `D` queries the update needed — the
+    /// paper's cross-model cost measure (query sets ≙ streaming passes ≙
+    /// broadcast phases). For the sequential baseline this is its
+    /// `answer_batch` call count (its batches run one after another).
+    pub fn total_query_sets(&self) -> u64 {
+        match self {
+            StatsReport::Parallel(s) | StatsReport::FaultTolerant(s) => s.total_query_sets(),
+            StatsReport::Sequential(s) => s.query_batches as u64,
+            StatsReport::Streaming { engine, .. } | StatsReport::Congest { engine, .. } => {
+                engine.total_query_sets()
+            }
+        }
+    }
+
+    /// Number of vertices whose parent pointer the update rewrote.
+    pub fn relinked_vertices(&self) -> u64 {
+        match self {
+            StatsReport::Parallel(s) | StatsReport::FaultTolerant(s) => s.reroot.relinked_vertices,
+            StatsReport::Sequential(s) => s.relinked_vertices as u64,
+            StatsReport::Streaming { engine, .. } | StatsReport::Congest { engine, .. } => {
+                engine.reroot.relinked_vertices
+            }
+        }
+    }
+
+    /// Number of independent subtree reroots the reduction produced.
+    pub fn reroot_jobs(&self) -> u64 {
+        match self {
+            StatsReport::Parallel(s) | StatsReport::FaultTolerant(s) => s.reroot_jobs,
+            StatsReport::Sequential(s) => s.reroot_jobs as u64,
+            StatsReport::Streaming { engine, .. } | StatsReport::Congest { engine, .. } => {
+                engine.reroot_jobs
+            }
+        }
+    }
+
+    /// Engine statistics, for the backends that run the shared parallel
+    /// rerooting engine (everything except the sequential baseline).
+    pub fn engine(&self) -> Option<&UpdateStats> {
+        match self {
+            StatsReport::Parallel(s) | StatsReport::FaultTolerant(s) => Some(s),
+            StatsReport::Streaming { engine, .. } | StatsReport::Congest { engine, .. } => {
+                Some(engine)
+            }
+            StatsReport::Sequential(_) => None,
+        }
+    }
+
+    /// Sequential-baseline statistics, when this report came from it.
+    pub fn sequential(&self) -> Option<&SeqUpdateStats> {
+        match self {
+            StatsReport::Sequential(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Stream-access statistics, when this report came from the streaming
+    /// backend.
+    pub fn stream(&self) -> Option<&StreamStats> {
+        match self {
+            StatsReport::Streaming { stream, .. } => Some(stream),
+            _ => None,
+        }
+    }
+
+    /// Simulated network cost, when this report came from the CONGEST
+    /// backend.
+    pub fn congest(&self) -> Option<&CongestStats> {
+        match self {
+            StatsReport::Congest { congest, .. } => Some(congest),
+            _ => None,
+        }
+    }
+}
+
+/// What applying a batch of updates did.
+#[derive(Debug, Clone, Default)]
+pub struct BatchReport {
+    /// User ids of the vertices created by `InsertVertex` updates, in order.
+    pub inserted: Vec<Vertex>,
+    /// Per-update statistics, in application order (one entry per applied
+    /// update — [`BatchReport::applied`] is derived from it).
+    pub per_update: Vec<StatsReport>,
+}
+
+impl BatchReport {
+    /// Number of updates applied.
+    pub fn applied(&self) -> usize {
+        self.per_update.len()
+    }
+
+    /// Total query sets across the batch.
+    pub fn total_query_sets(&self) -> u64 {
+        self.per_update.iter().map(|r| r.total_query_sets()).sum()
+    }
+
+    /// Total relinked vertices across the batch.
+    pub fn total_relinked_vertices(&self) -> u64 {
+        self.per_update.iter().map(|r| r.relinked_vertices()).sum()
+    }
+
+    /// Maximum query sets any single update in the batch needed.
+    pub fn max_query_sets(&self) -> u64 {
+        self.per_update
+            .iter()
+            .map(|r| r.total_query_sets())
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// True when the batch applied no updates.
+    pub fn is_empty(&self) -> bool {
+        self.per_update.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::RerootStats;
+
+    fn parallel_report(sets: u64, relinked: u64) -> StatsReport {
+        StatsReport::Parallel(UpdateStats {
+            reduction_query_sets: 1,
+            reroot: RerootStats {
+                query_sets: sets - 1,
+                relinked_vertices: relinked,
+                ..Default::default()
+            },
+            ..Default::default()
+        })
+    }
+
+    #[test]
+    fn normalised_accessors_cover_every_variant() {
+        let reports = [
+            parallel_report(4, 7),
+            StatsReport::Sequential(SeqUpdateStats {
+                reroot_jobs: 2,
+                relinked_vertices: 5,
+                queries: 40,
+                query_batches: 3,
+            }),
+            StatsReport::FaultTolerant(UpdateStats::default()),
+            StatsReport::Streaming {
+                engine: UpdateStats::default(),
+                stream: StreamStats::default(),
+            },
+            StatsReport::Congest {
+                engine: UpdateStats::default(),
+                congest: CongestStats::default(),
+            },
+        ];
+        let names: Vec<&str> = reports.iter().map(|r| r.backend()).collect();
+        assert_eq!(
+            names,
+            vec![
+                "parallel",
+                "sequential",
+                "fault-tolerant",
+                "streaming",
+                "congest"
+            ]
+        );
+        assert_eq!(reports[0].total_query_sets(), 4);
+        assert_eq!(reports[0].relinked_vertices(), 7);
+        assert_eq!(reports[1].total_query_sets(), 3);
+        assert_eq!(reports[1].relinked_vertices(), 5);
+        assert!(reports[1].engine().is_none());
+        assert!(reports[3].stream().is_some());
+        assert!(reports[4].congest().is_some());
+    }
+
+    #[test]
+    fn batch_report_aggregates() {
+        let report = BatchReport {
+            inserted: vec![9],
+            per_update: vec![
+                parallel_report(2, 1),
+                parallel_report(5, 3),
+                parallel_report(3, 2),
+            ],
+        };
+        assert_eq!(report.applied(), 3);
+        assert_eq!(report.total_query_sets(), 10);
+        assert_eq!(report.total_relinked_vertices(), 6);
+        assert_eq!(report.max_query_sets(), 5);
+        assert!(!report.is_empty());
+    }
+}

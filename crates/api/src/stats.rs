@@ -1,17 +1,24 @@
-//! Instrumentation for the rerooting engine and the dynamic maintainers.
+//! Instrumentation shared by every maintainer backend.
 //!
 //! The paper's bounds are stated in terms of *sequential sets of independent
 //! queries on `D`* (Theorem 3: `O(log^2 n)` sets per reroot) and EREW PRAM
-//! rounds. Wall-clock time on a multicore machine is reported separately by
-//! the benchmarks; the structures here capture the model quantities so the
-//! experiments can compare them against their theoretical envelopes directly.
+//! rounds; the streaming and distributed adaptations re-interpret the same
+//! quantity as passes and broadcast phases. Wall-clock time on a multicore
+//! machine is reported separately by the benchmarks; the structures here
+//! capture the model quantities so the experiments can compare them against
+//! their theoretical envelopes directly.
+//!
+//! This module is the single home of all per-model statistics types; the
+//! backend crates re-export them from their historical paths
+//! (`pardfs_core::UpdateStats`, `pardfs_seq::SeqUpdateStats`,
+//! `pardfs_stream::StreamStats`, `pardfs_congest::CongestStats`).
 
 /// The traversal a component performed in one engine round.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum TraversalKind {
     /// Walk from the entry vertex to the root of its subtree
-    /// (the sequential baseline's traversal; used by [`crate::Strategy::Simple`]
-    /// and by the phased strategy's heavy-entry case).
+    /// (the sequential baseline's traversal; used by the simple strategy and
+    /// by the phased strategy's heavy-entry case).
     RootPath,
     /// Disintegrating traversal: walk from the entry vertex to `v_H`, the
     /// deepest vertex whose subtree holds more than half of the component's
@@ -58,8 +65,8 @@ pub struct RerootStats {
 }
 
 impl RerootStats {
-    /// Record one traversal of the given kind.
-    pub(crate) fn record_traversal(&mut self, kind: TraversalKind) {
+    /// Record one traversal of the given kind (called by the engine).
+    pub fn record_traversal(&mut self, kind: TraversalKind) {
         match kind {
             TraversalKind::RootPath => self.root_path_traversals += 1,
             TraversalKind::Disintegrate => self.disintegrate_traversals += 1,
@@ -80,11 +87,14 @@ impl RerootStats {
         self.disintegrate_traversals += other.disintegrate_traversals;
         self.path_halve_traversals += other.path_halve_traversals;
         self.trail_attachments += other.trail_attachments;
-        self.max_paths_in_component = self.max_paths_in_component.max(other.max_paths_in_component);
+        self.max_paths_in_component = self
+            .max_paths_in_component
+            .max(other.max_paths_in_component);
     }
 }
 
-/// Statistics of one full update handled by a dynamic maintainer.
+/// Statistics of one full update handled by an engine-based maintainer
+/// (parallel, fault tolerant, streaming, CONGEST).
 #[derive(Debug, Clone, Copy, Default)]
 pub struct UpdateStats {
     /// Reduction cost: query sets used to turn the update into reroot jobs
@@ -108,6 +118,69 @@ impl UpdateStats {
     /// reduction query sets plus the rerooting query sets.
     pub fn total_query_sets(&self) -> u64 {
         self.reduction_query_sets + self.reroot.query_sets
+    }
+}
+
+/// Statistics of one update handled by the sequential baseline maintainer.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SeqUpdateStats {
+    /// Number of subtrees the reduction asked to reroot.
+    pub reroot_jobs: usize,
+    /// Number of vertices whose parent pointer changed.
+    pub relinked_vertices: usize,
+    /// Number of individual `D` queries issued.
+    pub queries: usize,
+    /// Number of `answer_batch` calls issued. The sequential algorithm runs
+    /// its batches one after another, so this is also its count of
+    /// *sequential* query sets — the quantity comparable to
+    /// [`UpdateStats::total_query_sets`].
+    pub query_batches: usize,
+}
+
+/// Counters of the semi-streaming model (Theorem 15).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StreamStats {
+    /// Passes over the edge stream (one per `answer_batch` call).
+    pub passes: u64,
+    /// Total edges scanned across all passes.
+    pub edges_scanned: u64,
+    /// Total queries answered.
+    pub queries: u64,
+    /// Peak number of resident words used for partial query results in a
+    /// single pass (must stay `O(n)` for the model to hold).
+    pub peak_partial_words: u64,
+}
+
+impl StreamStats {
+    /// Accumulate another snapshot (totals add, peaks take the maximum).
+    pub fn merge(&mut self, other: &StreamStats) {
+        self.passes += other.passes;
+        self.edges_scanned += other.edges_scanned;
+        self.queries += other.queries;
+        self.peak_partial_words = self.peak_partial_words.max(other.peak_partial_words);
+    }
+}
+
+/// Per-update distributed cost in the CONGEST(B) model (Theorem 16).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CongestStats {
+    /// Synchronous communication rounds.
+    pub rounds: u64,
+    /// Messages sent (each of at most `B` words).
+    pub messages: u64,
+    /// Total words carried by those messages.
+    pub words: u64,
+    /// Broadcast phases (one per set of independent queries).
+    pub broadcast_phases: u64,
+}
+
+impl CongestStats {
+    /// Accumulate another update's cost.
+    pub fn merge(&mut self, other: &CongestStats) {
+        self.rounds += other.rounds;
+        self.messages += other.messages;
+        self.words += other.words;
+        self.broadcast_phases += other.broadcast_phases;
     }
 }
 
@@ -161,5 +234,38 @@ mod tests {
             ..Default::default()
         };
         assert_eq!(stats.total_query_sets(), 11);
+    }
+
+    #[test]
+    fn stream_and_congest_merge_accumulate() {
+        let mut s = StreamStats {
+            passes: 2,
+            edges_scanned: 10,
+            queries: 4,
+            peak_partial_words: 8,
+        };
+        s.merge(&StreamStats {
+            passes: 1,
+            edges_scanned: 5,
+            queries: 2,
+            peak_partial_words: 16,
+        });
+        assert_eq!(s.passes, 3);
+        assert_eq!(s.peak_partial_words, 16);
+
+        let mut c = CongestStats {
+            rounds: 5,
+            messages: 9,
+            words: 20,
+            broadcast_phases: 2,
+        };
+        c.merge(&CongestStats {
+            rounds: 1,
+            messages: 1,
+            words: 1,
+            broadcast_phases: 1,
+        });
+        assert_eq!(c.rounds, 6);
+        assert_eq!(c.broadcast_phases, 3);
     }
 }

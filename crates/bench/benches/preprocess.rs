@@ -28,9 +28,7 @@ fn bench_preprocess(c: &mut Criterion) {
         group.bench_with_input(
             BenchmarkId::new("static_dfs_plus_index", format!("n{n}_m{m}")),
             &m,
-            |b, _| {
-                b.iter(|| TreeIndex::build(&static_dfs(aug.graph(), aug.pseudo_root())))
-            },
+            |b, _| b.iter(|| TreeIndex::build(&static_dfs(aug.graph(), aug.pseudo_root()))),
         );
     }
     group.finish();

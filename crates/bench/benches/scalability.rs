@@ -11,7 +11,10 @@ fn bench_scalability(c: &mut Criterion) {
     let Workload { graph, updates } = workload(Family::Dense, n, 8, 77);
     for &threads in &[1usize, 2, 4, 8] {
         group.bench_with_input(BenchmarkId::new("threads", threads), &threads, |b, &t| {
-            let pool = rayon::ThreadPoolBuilder::new().num_threads(t).build().unwrap();
+            let pool = rayon::ThreadPoolBuilder::new()
+                .num_threads(t)
+                .build()
+                .unwrap();
             b.iter_batched(
                 || DynamicDfs::new(&graph),
                 |mut dfs| {

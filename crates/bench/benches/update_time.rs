@@ -31,7 +31,10 @@ fn bench_update_time(c: &mut Criterion) {
                 criterion::BatchSize::LargeInput,
             );
         });
-        for (name, strategy) in [("par_simple", Strategy::Simple), ("par_phased", Strategy::Phased)] {
+        for (name, strategy) in [
+            ("par_simple", Strategy::Simple),
+            ("par_phased", Strategy::Phased),
+        ] {
             group.bench_with_input(BenchmarkId::new(name, n), &n, |b, _| {
                 b.iter_batched(
                     || DynamicDfs::with_strategy(&graph, strategy),

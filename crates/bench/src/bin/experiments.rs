@@ -22,9 +22,7 @@ fn main() {
         .filter(|a| !a.starts_with("--"))
         .map(|a| a.to_lowercase())
         .collect();
-    let want = |id: &str| {
-        selected.is_empty() || selected.iter().any(|s| s == id || s == "all")
-    };
+    let want = |id: &str| selected.is_empty() || selected.iter().any(|s| s == id || s == "all");
 
     let mut tables: Vec<Table> = Vec::new();
     if want("e1") {
@@ -54,9 +52,12 @@ fn main() {
     if want("e8") {
         tables.push(exp::e8_update_kinds(scale));
     }
+    if want("e9") {
+        tables.push(exp::e9_backend_matrix(scale));
+    }
 
     if tables.is_empty() {
-        eprintln!("unknown experiment id; use e1 e2 e3 e3b e4 e5 e6 e7 e8 or all");
+        eprintln!("unknown experiment id; use e1 e2 e3 e3b e4 e5 e6 e7 e8 e9 or all");
         std::process::exit(2);
     }
     for t in tables {

@@ -1,19 +1,23 @@
 //! The experiments of EXPERIMENTS.md. Every function regenerates one table;
 //! the binary `experiments` prints them.
+//!
+//! Every experiment that measures a maintainer builds it through
+//! [`MaintainerBuilder`] and feeds it to the one shared [`drive`] loop —
+//! there is no per-backend driver code here. Model-specific columns
+//! (streaming passes, CONGEST rounds) are read from the per-model accessors
+//! of the collected [`pardfs::StatsReport`]s.
 
+use crate::driver::{drive, DriveSummary};
 use crate::table::Table;
 use crate::workloads::{edge_workload, rng, workload, Family, Workload};
-use pardfs_congest::network::diameter;
-use pardfs_congest::DistributedDynamicDfs;
-use pardfs_core::{DynamicDfs, FaultTolerantDfs, Strategy};
-use pardfs_graph::updates::{random_update_sequence, UpdateKind, UpdateMix};
-use pardfs_graph::Graph;
-use pardfs_query::StructureD;
-use pardfs_seq::augment::AugmentedGraph;
-use pardfs_seq::static_dfs::static_dfs;
-use pardfs_seq::SeqRerootDfs;
-use pardfs_stream::StreamingDynamicDfs;
-use pardfs_tree::TreeIndex;
+use pardfs::congest::network::diameter;
+use pardfs::core::FaultTolerantDfs;
+use pardfs::graph::updates::{random_update_sequence, UpdateKind, UpdateMix};
+use pardfs::query::StructureD;
+use pardfs::seq::augment::AugmentedGraph;
+use pardfs::seq::static_dfs::static_dfs;
+use pardfs::tree::TreeIndex;
+use pardfs::{Backend, DfsMaintainer, MaintainerBuilder, Strategy};
 use std::collections::HashMap;
 use std::time::Instant;
 
@@ -53,23 +57,50 @@ fn log2(n: usize) -> f64 {
     (n as f64).log2()
 }
 
+/// Build a backend over the workload graph and run the shared driver.
+fn run_backend(builder: MaintainerBuilder, w: &Workload) -> DriveSummary {
+    let mut dfs = builder.build(&w.graph);
+    drive(dfs.as_mut(), &w.updates)
+}
+
 /// E1 — per-update latency of the parallel algorithm vs. the baselines
 /// (Theorem 1 / 13 against full recomputation and the sequential reroot).
 pub fn e1_update_time(scale: Scale) -> Table {
     let mut t = Table::new(
         "E1: mean per-update time (µs) — parallel dynamic DFS vs baselines",
         &[
-            "family", "n", "m", "static", "seq [6]", "par simple", "par phased", "phased reroot only",
+            "family",
+            "n",
+            "m",
+            "static",
+            "seq [6]",
+            "par simple",
+            "par phased",
+            "phased reroot only",
         ],
     );
+    let contenders = [
+        ("seq", MaintainerBuilder::new(Backend::Sequential)),
+        (
+            "simple",
+            MaintainerBuilder::new(Backend::Parallel).strategy(Strategy::Simple),
+        ),
+        (
+            "phased",
+            MaintainerBuilder::new(Backend::Parallel).strategy(Strategy::Phased),
+        ),
+    ];
     for family in [Family::Sparse, Family::Dense] {
         for &n in &scale.sizes() {
-            let Workload { graph, updates } = workload(family, n, scale.updates(), 10 + n as u64);
-            let m = graph.num_edges();
+            let w = workload(family, n, scale.updates(), 10 + n as u64);
+            let m = w.graph.num_edges();
 
-            // Static recompute baseline: full DFS per update on the evolving graph.
-            let mut mirror = graph.clone();
-            let static_us = updates
+            // Static recompute baseline: full DFS per update on the evolving
+            // graph (not a maintainer — recomputation is the thing the
+            // maintainers exist to avoid).
+            let mut mirror = w.graph.clone();
+            let static_us = w
+                .updates
                 .iter()
                 .map(|u| {
                     mirror.apply(u);
@@ -79,50 +110,22 @@ pub fn e1_update_time(scale: Scale) -> Table {
                     })
                 })
                 .sum::<f64>()
-                / updates.len() as f64;
+                / w.updates.len() as f64;
 
-            let mut seq = SeqRerootDfs::new(&graph);
-            let seq_us = updates
+            let summaries: HashMap<&str, DriveSummary> = contenders
                 .iter()
-                .map(|u| micros(|| {
-                    seq.apply_update(u);
-                }))
-                .sum::<f64>()
-                / updates.len() as f64;
-
-            let mut simple = DynamicDfs::with_strategy(&graph, Strategy::Simple);
-            let simple_us = updates
-                .iter()
-                .map(|u| micros(|| {
-                    simple.apply_update(u);
-                }))
-                .sum::<f64>()
-                / updates.len() as f64;
-
-            let mut phased = DynamicDfs::with_strategy(&graph, Strategy::Phased);
-            let mut reroot_only = 0f64;
-            let phased_us = updates
-                .iter()
-                .map(|u| {
-                    let us = micros(|| {
-                        phased.apply_update(u);
-                    });
-                    reroot_only += phased.last_stats().reroot_micros as f64;
-                    us
-                })
-                .sum::<f64>()
-                / updates.len() as f64;
-            reroot_only /= updates.len() as f64;
+                .map(|(label, builder)| (*label, run_backend(*builder, &w)))
+                .collect();
 
             t.push_row(vec![
                 family.label().into(),
                 n.to_string(),
                 m.to_string(),
                 format!("{static_us:.0}"),
-                format!("{seq_us:.0}"),
-                format!("{simple_us:.0}"),
-                format!("{phased_us:.0}"),
-                format!("{reroot_only:.0}"),
+                format!("{:.0}", summaries["seq"].mean_micros()),
+                format!("{:.0}", summaries["simple"].mean_micros()),
+                format!("{:.0}", summaries["phased"].mean_micros()),
+                format!("{:.0}", summaries["phased"].mean_reroot_micros()),
             ]);
         }
     }
@@ -139,23 +142,15 @@ pub fn e2_scalability(scale: Scale) -> Table {
         format!("E2: per-update time (µs) vs worker threads (dense, n = {n})"),
         &["threads", "mean update µs", "speedup vs 1 thread"],
     );
-    let Workload { graph, updates } = workload(Family::Dense, n, scale.updates(), 77);
+    let w = workload(Family::Dense, n, scale.updates(), 77);
     let mut base = None;
     for threads in [1usize, 2, 4, 8] {
         let pool = rayon::ThreadPoolBuilder::new()
             .num_threads(threads)
             .build()
             .expect("thread pool");
-        let mut dfs = DynamicDfs::new(&graph);
-        let us = pool.install(|| {
-            updates
-                .iter()
-                .map(|u| micros(|| {
-                    dfs.apply_update(u);
-                }))
-                .sum::<f64>()
-                / updates.len() as f64
-        });
+        let mut dfs = MaintainerBuilder::new(Backend::Parallel).build(&w.graph);
+        let us = pool.install(|| drive(dfs.as_mut(), &w.updates).mean_micros());
         let speedup = base.map(|b: f64| b / us).unwrap_or(1.0);
         if base.is_none() {
             base = Some(us);
@@ -174,32 +169,28 @@ pub fn e2_scalability(scale: Scale) -> Table {
 pub fn e3_query_rounds(scale: Scale) -> Table {
     let mut t = Table::new(
         "E3: sequential query sets per update (phased strategy) vs log²n",
-        &["family", "n", "mean sets", "max sets", "log2(n)^2", "max rounds", "trail attach"],
+        &[
+            "family",
+            "n",
+            "mean sets",
+            "max sets",
+            "log2(n)^2",
+            "max rounds",
+            "trail attach",
+        ],
     );
     for family in [Family::Sparse, Family::NearPath, Family::Broom] {
         for &n in &scale.sizes() {
-            let Workload { graph, updates } = workload(family, n, scale.updates(), 33 + n as u64);
-            let mut dfs = DynamicDfs::with_strategy(&graph, Strategy::Phased);
-            let mut sets = Vec::new();
-            let mut max_rounds = 0;
-            let mut trail = 0;
-            for u in &updates {
-                dfs.apply_update(u);
-                let s = dfs.last_stats();
-                sets.push(s.total_query_sets());
-                max_rounds = max_rounds.max(s.reroot.rounds);
-                trail += s.reroot.trail_attachments;
-            }
-            let mean = sets.iter().sum::<u64>() as f64 / sets.len() as f64;
-            let max = *sets.iter().max().unwrap();
+            let w = workload(family, n, scale.updates(), 33 + n as u64);
+            let summary = run_backend(MaintainerBuilder::new(Backend::Parallel), &w);
             t.push_row(vec![
                 family.label().into(),
                 n.to_string(),
-                format!("{mean:.1}"),
-                max.to_string(),
+                format!("{:.1}", summary.mean_query_sets()),
+                summary.max_query_sets().to_string(),
                 format!("{:.1}", log2(n) * log2(n)),
-                max_rounds.to_string(),
-                trail.to_string(),
+                summary.max_rounds().to_string(),
+                summary.total_trail_attachments().to_string(),
             ]);
         }
     }
@@ -212,29 +203,30 @@ pub fn e3_query_rounds(scale: Scale) -> Table {
 pub fn e3b_ablation(scale: Scale) -> Table {
     let mut t = Table::new(
         "E3b: ablation — engine rounds and query sets, simple vs phased",
-        &["family", "n", "strategy", "max rounds", "mean rounds", "max sets"],
+        &[
+            "family",
+            "n",
+            "strategy",
+            "max rounds",
+            "mean rounds",
+            "max sets",
+        ],
     );
     for family in [Family::Broom, Family::NearPath] {
         for &n in &scale.sizes() {
             for strategy in [Strategy::Simple, Strategy::Phased] {
-                let Workload { graph, updates } =
-                    edge_workload(family, n, scale.updates(), 55 + n as u64);
-                let mut dfs = DynamicDfs::with_strategy(&graph, strategy);
-                let mut rounds = Vec::new();
-                let mut sets = Vec::new();
-                for u in &updates {
-                    dfs.apply_update(u);
-                    rounds.push(dfs.last_stats().reroot.rounds);
-                    sets.push(dfs.last_stats().total_query_sets());
-                }
-                let mean = rounds.iter().sum::<u64>() as f64 / rounds.len() as f64;
+                let w = edge_workload(family, n, scale.updates(), 55 + n as u64);
+                let summary = run_backend(
+                    MaintainerBuilder::new(Backend::Parallel).strategy(strategy),
+                    &w,
+                );
                 t.push_row(vec![
                     family.label().into(),
                     n.to_string(),
                     format!("{strategy:?}"),
-                    rounds.iter().max().unwrap().to_string(),
-                    format!("{mean:.1}"),
-                    sets.iter().max().unwrap().to_string(),
+                    summary.max_rounds().to_string(),
+                    format!("{:.1}", summary.mean_rounds()),
+                    summary.max_query_sets().to_string(),
                 ]);
             }
         }
@@ -251,23 +243,30 @@ pub fn e4_fault_tolerant(scale: Scale) -> Table {
     };
     let mut t = Table::new(
         format!("E4: fault tolerant batches (sparse, n = {n})"),
-        &["k", "ft batch µs", "ft query sets", "fully-dynamic µs", "D rebuilt?"],
+        &[
+            "k",
+            "ft batch µs",
+            "ft query sets",
+            "fully-dynamic µs",
+            "D rebuilt?",
+        ],
     );
     let Workload { graph, .. } = workload(Family::Sparse, n, 0, 99);
+    // One preprocessing, reused across every k (that is the point of the
+    // fault tolerant model); `reset` drops the absorbed batch, not `D`.
     let mut ft = FaultTolerantDfs::new(&graph);
     for k in [1usize, 2, 4, 8] {
         let mut r = rng(1000 + k as u64);
         let updates = random_update_sequence(&graph, k, &UpdateMix::default(), &mut r);
         let mut sets = 0u64;
         let ft_us = micros(|| {
-            let result = ft.tree_after(&updates);
-            sets = result.stats.iter().map(|s| s.total_query_sets()).sum();
+            let report = DfsMaintainer::apply_batch(&mut ft, &updates);
+            sets = report.total_query_sets();
         });
+        ft.reset();
         let dyn_us = micros(|| {
-            let mut dfs = DynamicDfs::new(&graph);
-            for u in &updates {
-                dfs.apply_update(u);
-            }
+            let mut dfs = MaintainerBuilder::new(Backend::Parallel).build(&graph);
+            dfs.apply_batch(&updates);
         });
         t.push_row(vec![
             k.to_string(),
@@ -284,29 +283,35 @@ pub fn e4_fault_tolerant(scale: Scale) -> Table {
 pub fn e5_streaming(scale: Scale) -> Table {
     let mut t = Table::new(
         "E5: semi-streaming — passes per update and O(n) residency",
-        &["n", "m", "mean model passes", "max model passes", "log2(n)^2", "raw batches/update", "resident words"],
+        &[
+            "n",
+            "m",
+            "mean model passes",
+            "max model passes",
+            "log2(n)^2",
+            "raw batches/update",
+            "resident words",
+        ],
     );
     for &n in &scale.sizes() {
-        let Workload { graph, updates } = workload(Family::Sparse, n, scale.updates(), 5 + n as u64);
-        let m = graph.num_edges();
-        let mut s = StreamingDynamicDfs::new(&graph);
-        let mut model = Vec::new();
-        let mut raw = Vec::new();
-        for u in &updates {
-            s.apply_update(u);
-            model.push(s.last_update_stats().total_query_sets());
-            raw.push(s.last_stream_stats().passes);
-        }
-        let mean = model.iter().sum::<u64>() as f64 / model.len() as f64;
-        let raw_mean = raw.iter().sum::<u64>() as f64 / raw.len() as f64;
+        let w = workload(Family::Sparse, n, scale.updates(), 5 + n as u64);
+        let m = w.graph.num_edges();
+        // Concrete type: `resident_words` is a streaming-model quantity with
+        // no place on the backend-agnostic trait; the drive still goes
+        // through the shared trait driver.
+        let mut dfs = pardfs::StreamingDynamicDfs::new(&w.graph);
+        let summary = drive(&mut dfs, &w.updates);
+        let raw_passes = summary.collect(|r| r.stream().map_or(0.0, |s| s.passes as f64));
+        let raw_mean = raw_passes.iter().sum::<f64>() / raw_passes.len().max(1) as f64;
+        let resident_words = dfs.resident_words();
         t.push_row(vec![
             n.to_string(),
             m.to_string(),
-            format!("{mean:.1}"),
-            model.iter().max().unwrap().to_string(),
+            format!("{:.1}", summary.mean_query_sets()),
+            summary.max_query_sets().to_string(),
             format!("{:.1}", log2(n) * log2(n)),
             format!("{raw_mean:.1}"),
-            s.resident_words().to_string(),
+            resident_words.to_string(),
         ]);
     }
     t
@@ -321,10 +326,19 @@ pub fn e6_congest(scale: Scale) -> Table {
     };
     let mut t = Table::new(
         format!("E6: CONGEST(n/D) — per-update rounds/messages (n ≈ {n})"),
-        &["topology", "n", "D", "B=n/D", "rounds/update", "D*log2(n)^2", "messages/update", "max words/msg"],
+        &[
+            "topology",
+            "n",
+            "D",
+            "B=n/D",
+            "rounds/update",
+            "D*log2(n)^2",
+            "messages/update",
+            "max words/msg",
+        ],
     );
     let mut r = rng(8);
-    let topologies: Vec<(&str, Graph)> = vec![
+    let topologies = [
         ("random", Family::Sparse.build(n, &mut r)),
         ("grid", Family::Grid.build(n, &mut r)),
         ("near-path", Family::NearPath.build(n, &mut r)),
@@ -334,17 +348,18 @@ pub fn e6_congest(scale: Scale) -> Table {
         let d = diameter(&graph).max(1);
         let bandwidth = (nv / d).max(1);
         let mut r2 = rng(9);
-        let updates = random_update_sequence(&graph, scale.updates().min(20), &UpdateMix::edges_only(), &mut r2);
-        let mut dfs = DistributedDynamicDfs::new(&graph, bandwidth);
-        let mut rounds = 0u64;
-        let mut messages = 0u64;
-        for u in &updates {
-            dfs.apply_update(u);
-            rounds += dfs.last_congest_stats().rounds;
-            messages += dfs.last_congest_stats().messages;
-        }
-        let per_round = rounds as f64 / updates.len() as f64;
-        let per_msg = messages as f64 / updates.len() as f64;
+        let updates = random_update_sequence(
+            &graph,
+            scale.updates().min(20),
+            &UpdateMix::edges_only(),
+            &mut r2,
+        );
+        let mut dfs = MaintainerBuilder::new(Backend::Congest { bandwidth }).build(&graph);
+        let summary = drive(dfs.as_mut(), &updates);
+        let rounds = summary.collect(|r| r.congest().map_or(0.0, |c| c.rounds as f64));
+        let messages = summary.collect(|r| r.congest().map_or(0.0, |c| c.messages as f64));
+        let per_round = rounds.iter().sum::<f64>() / updates.len() as f64;
+        let per_msg = messages.iter().sum::<f64>() / updates.len() as f64;
         t.push_row(vec![
             name.into(),
             nv.to_string(),
@@ -363,13 +378,20 @@ pub fn e6_congest(scale: Scale) -> Table {
 pub fn e7_preprocess(scale: Scale) -> Table {
     let mut t = Table::new(
         "E7: preprocessing cost — static DFS, tree index, structure D",
-        &["n", "m", "static dfs µs", "index µs", "build D µs", "D words (2m)"],
+        &[
+            "n",
+            "m",
+            "static dfs µs",
+            "index µs",
+            "build D µs",
+            "D words (2m)",
+        ],
     );
     for &n in &scale.sizes() {
         for factor in [4usize, 16] {
             let mut r = rng(3 + n as u64);
             let m = (factor * n).min(n * (n - 1) / 2);
-            let graph = pardfs_graph::generators::random_connected_gnm(n, m, &mut r);
+            let graph = pardfs::graph::generators::random_connected_gnm(n, m, &mut r);
             let aug = AugmentedGraph::new(&graph);
             let mut tree = None;
             let dfs_us = micros(|| {
@@ -405,22 +427,30 @@ pub fn e8_update_kinds(scale: Scale) -> Table {
     };
     let mut t = Table::new(
         format!("E8: per-update-kind mean latency (sparse, n = {n})"),
-        &["update kind", "count", "mean µs", "mean query sets", "mean relinked"],
+        &[
+            "update kind",
+            "count",
+            "mean µs",
+            "mean query sets",
+            "mean relinked",
+        ],
     );
     let count = scale.updates() * 4;
-    let Workload { graph, updates } = workload(Family::Sparse, n, count, 2024);
-    let mut dfs = DynamicDfs::new(&graph);
+    let w = workload(Family::Sparse, n, count, 2024);
+    let mut dfs = MaintainerBuilder::new(Backend::Parallel).build(&w.graph);
+    let summary = drive(dfs.as_mut(), &w.updates);
     let mut agg: HashMap<UpdateKind, (u64, f64, u64, u64)> = HashMap::new();
-    for u in &updates {
-        let us = micros(|| {
-            dfs.apply_update(u);
-        });
-        let s = dfs.last_stats();
+    for ((u, us), report) in w
+        .updates
+        .iter()
+        .zip(&summary.micros)
+        .zip(&summary.per_update)
+    {
         let e = agg.entry(u.kind()).or_insert((0, 0.0, 0, 0));
         e.0 += 1;
         e.1 += us;
-        e.2 += s.total_query_sets();
-        e.3 += s.reroot.relinked_vertices;
+        e.2 += report.total_query_sets();
+        e.3 += report.relinked_vertices();
     }
     for kind in [
         UpdateKind::InsertEdge,
@@ -441,6 +471,41 @@ pub fn e8_update_kinds(scale: Scale) -> Table {
     t
 }
 
+/// E9 — the unified surface itself: every backend absorbing the same
+/// workload through the one trait driver, side by side.
+pub fn e9_backend_matrix(scale: Scale) -> Table {
+    let n = match scale {
+        Scale::Quick => 512,
+        Scale::Full => 4096,
+    };
+    let mut t = Table::new(
+        format!("E9: all backends, same workload, one driver (sparse, n = {n})"),
+        &[
+            "backend",
+            "mean µs",
+            "mean query sets",
+            "max query sets",
+            "relinked/update",
+        ],
+    );
+    let w = workload(Family::Sparse, n, scale.updates(), 123);
+    for backend in Backend::all_default() {
+        let mut dfs = MaintainerBuilder::new(backend).build(&w.graph);
+        let name = dfs.backend_name();
+        let summary = drive(dfs.as_mut(), &w.updates);
+        let relinked = summary.collect(|r| r.relinked_vertices() as f64);
+        let relinked_mean = relinked.iter().sum::<f64>() / relinked.len().max(1) as f64;
+        t.push_row(vec![
+            name.into(),
+            format!("{:.0}", summary.mean_micros()),
+            format!("{:.1}", summary.mean_query_sets()),
+            summary.max_query_sets().to_string(),
+            format!("{relinked_mean:.1}"),
+        ]);
+    }
+    t
+}
+
 /// All experiments in EXPERIMENTS.md order.
 pub fn all_experiments(scale: Scale) -> Vec<Table> {
     vec![
@@ -453,6 +518,7 @@ pub fn all_experiments(scale: Scale) -> Vec<Table> {
         e6_congest(scale),
         e7_preprocess(scale),
         e8_update_kinds(scale),
+        e9_backend_matrix(scale),
     ]
 }
 
@@ -460,18 +526,32 @@ pub fn all_experiments(scale: Scale) -> Vec<Table> {
 mod tests {
     use super::*;
 
-    /// Smoke test: every experiment runs end-to-end at a tiny scale and
-    /// produces a non-empty table. (The quick scale itself is exercised by the
-    /// `experiments` binary and the recorded EXPERIMENTS.md runs.)
+    /// Smoke test: representative experiments run end-to-end at a tiny scale
+    /// and produce non-empty tables. (The quick scale itself is exercised by
+    /// the `experiments` binary and the recorded EXPERIMENTS.md runs.)
     #[test]
     fn experiments_smoke() {
-        let tables = vec![
-            e3_query_rounds(Scale::Quick),
-            e5_streaming(Scale::Quick),
-        ];
+        let tables = vec![e3_query_rounds(Scale::Quick), e5_streaming(Scale::Quick)];
         for t in tables {
             assert!(!t.rows.is_empty());
             assert!(t.render().contains("=="));
         }
+    }
+
+    #[test]
+    fn backend_matrix_covers_all_five() {
+        let t = e9_backend_matrix(Scale::Quick);
+        assert_eq!(t.rows.len(), 5);
+        let backends: Vec<&str> = t.rows.iter().map(|r| r[0].as_str()).collect();
+        assert_eq!(
+            backends,
+            vec![
+                "parallel",
+                "sequential",
+                "streaming",
+                "congest",
+                "fault-tolerant"
+            ]
+        );
     }
 }

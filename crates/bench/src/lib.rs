@@ -10,9 +10,11 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod driver;
 pub mod experiments;
 pub mod table;
 pub mod workloads;
 
+pub use driver::{drive, DriveSummary};
 pub use experiments::*;
 pub use table::Table;

@@ -35,38 +35,19 @@
 pub mod network;
 
 use network::Network;
+use pardfs_api::{DfsMaintainer, StatsReport};
 use pardfs_core::reduction::ReductionInput;
 use pardfs_core::{reduce_update, Rerooter, Strategy, UpdateStats};
 use pardfs_graph::{Graph, Update, Vertex};
 use pardfs_query::{EdgeHit, QueryOracle, VertexQuery};
-use pardfs_seq::augment::AugmentedGraph;
+use pardfs_seq::augment::{self, AugmentedGraph};
 use pardfs_seq::check::check_spanning_dfs_tree;
 use pardfs_seq::static_dfs::static_dfs;
 use pardfs_tree::rooted::NO_VERTEX;
 use pardfs_tree::TreeIndex;
 use parking_lot::Mutex;
 
-/// Per-update distributed cost.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct CongestStats {
-    /// Synchronous communication rounds.
-    pub rounds: u64,
-    /// Messages sent (each of at most `B` words).
-    pub messages: u64,
-    /// Total words carried by those messages.
-    pub words: u64,
-    /// Broadcast phases (one per set of independent queries).
-    pub broadcast_phases: u64,
-}
-
-impl CongestStats {
-    fn add(&mut self, other: CongestStats) {
-        self.rounds += other.rounds;
-        self.messages += other.messages;
-        self.words += other.words;
-        self.broadcast_phases += other.broadcast_phases;
-    }
-}
+pub use pardfs_api::CongestStats;
 
 /// A [`QueryOracle`] that answers batches from per-node adjacency lists and
 /// charges the simulated network for the convergecast/broadcast needed to
@@ -129,7 +110,7 @@ impl QueryOracle for BroadcastOracle<'_> {
                         continue;
                     }
                     let rank = self.idx.level(z).abs_diff(self.idx.level(q.near));
-                    if best.map_or(true, |(r, _)| rank < r) {
+                    if best.is_none_or(|(r, _)| rank < r) {
                         best = Some((rank, z));
                     }
                 }
@@ -201,14 +182,28 @@ impl DistributedDynamicDfs {
 
     /// Parent of user vertex `v` in the maintained DFS forest.
     pub fn forest_parent(&self, v: Vertex) -> Option<Vertex> {
-        let vi = self.aug.to_internal(v);
-        if !self.idx.contains(vi) {
-            return None;
-        }
-        self.idx
-            .parent(vi)
-            .filter(|&p| p != self.aug.pseudo_root())
-            .map(|p| self.aug.to_user(p))
+        augment::forest_parent(&self.idx, v)
+    }
+
+    /// Roots of the maintained DFS forest (user ids), one per connected
+    /// component of the user graph.
+    pub fn forest_roots(&self) -> Vec<Vertex> {
+        augment::forest_roots(&self.idx)
+    }
+
+    /// Are user vertices `u` and `v` in the same connected component?
+    pub fn same_component(&self, u: Vertex, v: Vertex) -> bool {
+        augment::same_component(&self.idx, u, v)
+    }
+
+    /// Number of user vertices (network nodes) currently in the graph.
+    pub fn num_vertices(&self) -> usize {
+        self.aug.user_num_vertices()
+    }
+
+    /// Number of user edges (network links) currently in the graph.
+    pub fn num_edges(&self) -> usize {
+        self.aug.user_num_edges()
     }
 
     /// Engine statistics of the most recent update.
@@ -287,7 +282,15 @@ impl DistributedDynamicDfs {
         if new_par.len() < self.aug.graph().capacity() {
             new_par.resize(self.aug.graph().capacity(), NO_VERTEX);
         }
-        let jobs = reduce_update(&self.idx, &oracle, proot, &internal, &input, &mut new_par, &mut stats);
+        let jobs = reduce_update(
+            &self.idx,
+            &oracle,
+            proot,
+            &internal,
+            &input,
+            &mut new_par,
+            &mut stats,
+        );
         stats.reroot_jobs = jobs.len() as u64;
         let engine = Rerooter::new(&self.idx, &oracle, self.strategy);
         stats.reroot = engine.run(&jobs, &mut new_par);
@@ -304,7 +307,7 @@ impl DistributedDynamicDfs {
         self.idx = TreeIndex::from_parent_slice(&new_par, proot);
         self.last_engine_stats = stats;
         self.last_congest_stats = congest;
-        self.total_congest_stats.add(congest);
+        self.total_congest_stats.merge(&congest);
         inserted.map(|v| self.aug.to_user(v))
     }
 
@@ -324,6 +327,51 @@ impl DistributedDynamicDfs {
             }
         }
         user
+    }
+}
+
+impl DfsMaintainer for DistributedDynamicDfs {
+    fn backend_name(&self) -> &'static str {
+        "congest"
+    }
+
+    fn apply_update(&mut self, update: &Update) -> Option<Vertex> {
+        DistributedDynamicDfs::apply_update(self, update)
+    }
+
+    fn tree(&self) -> &TreeIndex {
+        DistributedDynamicDfs::tree(self)
+    }
+
+    fn forest_parent(&self, v: Vertex) -> Option<Vertex> {
+        DistributedDynamicDfs::forest_parent(self, v)
+    }
+
+    fn forest_roots(&self) -> Vec<Vertex> {
+        DistributedDynamicDfs::forest_roots(self)
+    }
+
+    fn same_component(&self, u: Vertex, v: Vertex) -> bool {
+        DistributedDynamicDfs::same_component(self, u, v)
+    }
+
+    fn num_vertices(&self) -> usize {
+        DistributedDynamicDfs::num_vertices(self)
+    }
+
+    fn num_edges(&self) -> usize {
+        DistributedDynamicDfs::num_edges(self)
+    }
+
+    fn check(&self) -> Result<(), String> {
+        DistributedDynamicDfs::check(self)
+    }
+
+    fn stats(&self) -> StatsReport {
+        StatsReport::Congest {
+            engine: self.last_engine_stats,
+            congest: self.last_congest_stats,
+        }
     }
 }
 

@@ -191,7 +191,7 @@ mod tests {
         assert!(narrow.messages > wide.messages);
         assert!(narrow.rounds > base.rounds);
         // Word-per-message budget respected.
-        assert!(narrow.words <= narrow.messages * 1);
+        assert!(narrow.words <= narrow.messages);
         assert!(wide.words <= wide.messages * 50);
     }
 

@@ -10,8 +10,10 @@
 use crate::reduction::{reduce_update, ReductionInput};
 use crate::reroot::{Rerooter, Strategy};
 use crate::stats::UpdateStats;
+use pardfs_api::{DfsMaintainer, StatsReport};
 use pardfs_graph::{Graph, Update, Vertex};
 use pardfs_query::StructureD;
+use pardfs_seq::augment;
 use pardfs_seq::augment::AugmentedGraph;
 use pardfs_seq::check::check_spanning_dfs_tree;
 use pardfs_seq::static_dfs::static_dfs;
@@ -90,35 +92,19 @@ impl DynamicDfs {
     /// Parent of user vertex `v` in the maintained DFS forest (`None` for
     /// component roots and vertices not present).
     pub fn forest_parent(&self, v: Vertex) -> Option<Vertex> {
-        let vi = self.aug.to_internal(v);
-        if !self.idx.contains(vi) {
-            return None;
-        }
-        self.idx
-            .parent(vi)
-            .filter(|&p| p != self.aug.pseudo_root())
-            .map(|p| self.aug.to_user(p))
+        augment::forest_parent(&self.idx, v)
     }
 
     /// Roots of the maintained DFS forest (user ids), one per connected
     /// component of the user graph.
     pub fn forest_roots(&self) -> Vec<Vertex> {
-        self.idx
-            .children(self.aug.pseudo_root())
-            .iter()
-            .map(|&c| self.aug.to_user(c))
-            .collect()
+        augment::forest_roots(&self.idx)
     }
 
     /// Are user vertices `u` and `v` in the same connected component? (A DFS
     /// forest answers connectivity for free: same tree ⇔ same component.)
     pub fn same_component(&self, u: Vertex, v: Vertex) -> bool {
-        let (ui, vi) = (self.aug.to_internal(u), self.aug.to_internal(v));
-        if !self.idx.contains(ui) || !self.idx.contains(vi) {
-            return false;
-        }
-        let proot = self.aug.pseudo_root();
-        self.idx.ancestor_at_level(ui, 1) == self.idx.ancestor_at_level(vi, 1) && ui != proot && vi != proot
+        augment::same_component(&self.idx, u, v)
     }
 
     /// Statistics of the most recent update.
@@ -192,7 +178,15 @@ impl DynamicDfs {
         if new_par.len() < self.aug.graph().capacity() {
             new_par.resize(self.aug.graph().capacity(), NO_VERTEX);
         }
-        let jobs = reduce_update(&self.idx, &self.d, proot, update, &input, &mut new_par, &mut stats);
+        let jobs = reduce_update(
+            &self.idx,
+            &self.d,
+            proot,
+            update,
+            &input,
+            &mut new_par,
+            &mut stats,
+        );
         stats.reroot_jobs = jobs.len() as u64;
         let engine = Rerooter::new(&self.idx, &self.d, self.strategy);
         stats.reroot = engine.run(&jobs, &mut new_par);
@@ -209,6 +203,48 @@ impl DynamicDfs {
         self.last_stats = stats;
         self.updates_applied += 1;
         inserted
+    }
+}
+
+impl DfsMaintainer for DynamicDfs {
+    fn backend_name(&self) -> &'static str {
+        "parallel"
+    }
+
+    fn apply_update(&mut self, update: &Update) -> Option<Vertex> {
+        DynamicDfs::apply_update(self, update)
+    }
+
+    fn tree(&self) -> &TreeIndex {
+        DynamicDfs::tree(self)
+    }
+
+    fn forest_parent(&self, v: Vertex) -> Option<Vertex> {
+        DynamicDfs::forest_parent(self, v)
+    }
+
+    fn forest_roots(&self) -> Vec<Vertex> {
+        DynamicDfs::forest_roots(self)
+    }
+
+    fn same_component(&self, u: Vertex, v: Vertex) -> bool {
+        DynamicDfs::same_component(self, u, v)
+    }
+
+    fn num_vertices(&self) -> usize {
+        DynamicDfs::num_vertices(self)
+    }
+
+    fn num_edges(&self) -> usize {
+        DynamicDfs::num_edges(self)
+    }
+
+    fn check(&self) -> Result<(), String> {
+        DynamicDfs::check(self)
+    }
+
+    fn stats(&self) -> StatsReport {
+        StatsReport::Parallel(self.last_stats)
     }
 }
 
@@ -296,7 +332,7 @@ mod tests {
         let mut rng = ChaCha8Rng::seed_from_u64(77);
         for strategy in [Strategy::Simple, Strategy::Phased] {
             for _ in 0..4 {
-                let n = rng.gen_range(8..50);
+                let n: usize = rng.gen_range(8..50);
                 let m = rng.gen_range(n - 1..(n * (n - 1) / 2).min(3 * n));
                 let g = generators::random_connected_gnm(n, m, &mut rng);
                 let updates = random_update_sequence(&g, 30, &UpdateMix::default(), &mut rng);

@@ -19,9 +19,10 @@ use crate::dynamic::old_parents;
 use crate::reduction::{reduce_update, ReductionInput};
 use crate::reroot::{Rerooter, Strategy};
 use crate::stats::UpdateStats;
+use pardfs_api::{BatchReport, DfsMaintainer, StatsReport};
 use pardfs_graph::{Graph, Update, Vertex};
 use pardfs_query::{EdgeHit, QueryOracle, StructureD, VertexQuery};
-use pardfs_seq::augment::AugmentedGraph;
+use pardfs_seq::augment::{self, AugmentedGraph};
 use pardfs_seq::check::check_spanning_dfs_tree;
 use pardfs_seq::static_dfs::static_dfs;
 use pardfs_tree::rooted::NO_VERTEX;
@@ -118,13 +119,14 @@ pub fn decompose_into_original_segments(
 
 /// The result of absorbing a batch of updates with the fault tolerant
 /// structure: the DFS tree of the updated graph and the per-update statistics.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct FtResult {
     idx: TreeIndex,
-    graph: Graph,
-    pseudo_root: Vertex,
+    aug: AugmentedGraph,
     /// Statistics of every processed update, in order.
     pub stats: Vec<UpdateStats>,
+    /// User ids of the vertices created by `InsertVertex` updates, in order.
+    pub inserted: Vec<Vertex>,
 }
 
 impl FtResult {
@@ -135,34 +137,81 @@ impl FtResult {
 
     /// The updated augmented graph (internal ids).
     pub fn augmented_graph(&self) -> &Graph {
-        &self.graph
+        self.aug.graph()
     }
 
     /// Parent of user vertex `v` in the resulting DFS forest.
     pub fn forest_parent(&self, v: Vertex) -> Option<Vertex> {
-        let vi = v + 1;
-        if !self.idx.contains(vi) {
-            return None;
-        }
-        self.idx
-            .parent(vi)
-            .filter(|&p| p != self.pseudo_root)
-            .map(|p| p - 1)
+        augment::forest_parent(&self.idx, v)
+    }
+
+    /// Roots of the resulting DFS forest (user ids).
+    pub fn forest_roots(&self) -> Vec<Vertex> {
+        augment::forest_roots(&self.idx)
+    }
+
+    /// Are user vertices `u` and `v` connected in the updated graph?
+    pub fn same_component(&self, u: Vertex, v: Vertex) -> bool {
+        augment::same_component(&self.idx, u, v)
+    }
+
+    /// Number of user vertices in the updated graph.
+    pub fn num_vertices(&self) -> usize {
+        self.aug.user_num_vertices()
+    }
+
+    /// Number of user edges in the updated graph (pseudo edges excluded).
+    pub fn num_edges(&self) -> usize {
+        self.aug.user_num_edges()
     }
 
     /// Validate the resulting tree against the updated graph.
     pub fn check(&self) -> Result<(), String> {
-        check_spanning_dfs_tree(&self.graph, &self.idx)
+        check_spanning_dfs_tree(self.aug.graph(), &self.idx)
+    }
+
+    /// The batch's outcome in the unified reporting vocabulary of
+    /// [`pardfs_api`]: one [`StatsReport::FaultTolerant`] per absorbed update
+    /// plus the inserted vertex ids.
+    pub fn batch_report(&self) -> BatchReport {
+        BatchReport {
+            inserted: self.inserted.clone(),
+            per_update: self
+                .stats
+                .iter()
+                .map(|&s| StatsReport::FaultTolerant(s))
+                .collect(),
+        }
     }
 }
 
 /// Fault tolerant DFS: preprocess once, answer any batch of `k` updates.
+///
+/// Two usage styles are supported:
+///
+/// * **Query style** (the paper's setting): call [`FaultTolerantDfs::tree_after`]
+///   with independent batches; each call answers "what would the DFS tree be
+///   after these `k` failures" from the frozen preprocessed structure and
+///   leaves the maintainer untouched.
+/// * **Maintainer style** ([`DfsMaintainer`]): [`DfsMaintainer::apply_update`]
+///   and [`DfsMaintainer::apply_batch`] *accumulate* updates; the maintained
+///   tree is always `tree_after(all updates so far)`. `D` is still never
+///   rebuilt — absorbing the `i`-th update replays the accumulated batch of
+///   size `i` against the original structure, so the cost of the `i`-th update
+///   is `O(i)` query overlays, exactly the Theorem 14 trade-off (cheap for the
+///   small `k` the fault tolerant model targets; use [`crate::DynamicDfs`]
+///   for unbounded update sequences). [`FaultTolerantDfs::reset`] drops the
+///   accumulated batch and returns to the preprocessed state.
 #[derive(Debug)]
 pub struct FaultTolerantDfs {
     aug: AugmentedGraph,
     original_idx: TreeIndex,
     d: StructureD,
     strategy: Strategy,
+    /// Updates absorbed in maintainer style since the last [`Self::reset`].
+    pending: Vec<Update>,
+    /// The tree of the pending batch (`None` ⇔ no pending updates).
+    current: Option<FtResult>,
 }
 
 impl FaultTolerantDfs {
@@ -181,7 +230,22 @@ impl FaultTolerantDfs {
             original_idx,
             d,
             strategy,
+            pending: Vec::new(),
+            current: None,
         }
+    }
+
+    /// The updates accumulated in maintainer style since the last reset.
+    pub fn pending_updates(&self) -> &[Update] {
+        &self.pending
+    }
+
+    /// Drop the accumulated maintainer-style updates, returning to the
+    /// preprocessed graph and tree. The preprocessed structure `D` is
+    /// untouched (it never changes).
+    pub fn reset(&mut self) {
+        self.pending.clear();
+        self.current = None;
     }
 
     /// The preprocessed DFS tree (internal ids).
@@ -204,6 +268,7 @@ impl FaultTolerantDfs {
         let mut graph_aug = self.aug.clone();
         let mut idx = self.original_idx.clone();
         let mut all_stats = Vec::with_capacity(updates.len());
+        let mut all_inserted = Vec::new();
 
         for update in updates {
             let internal = graph_aug.translate(update);
@@ -226,6 +291,7 @@ impl FaultTolerantDfs {
                 Update::InsertVertex { .. } => {
                     let nv = graph_aug.apply_internal(&internal);
                     if let Some(nv) = nv {
+                        all_inserted.push(graph_aug.to_user(nv));
                         let nbrs: Vec<Vertex> = graph_aug
                             .graph()
                             .neighbors(nv)
@@ -250,7 +316,15 @@ impl FaultTolerantDfs {
                 new_par.resize(graph_aug.graph().capacity(), NO_VERTEX);
             }
             let oracle = FaultOracle::new(&self.d);
-            let jobs = reduce_update(&idx, &oracle, proot, &internal, &input, &mut new_par, &mut stats);
+            let jobs = reduce_update(
+                &idx,
+                &oracle,
+                proot,
+                &internal,
+                &input,
+                &mut new_par,
+                &mut stats,
+            );
             stats.reroot_jobs = jobs.len() as u64;
             let engine = Rerooter::new(&idx, &oracle, self.strategy);
             stats.reroot = engine.run(&jobs, &mut new_par);
@@ -266,10 +340,100 @@ impl FaultTolerantDfs {
 
         FtResult {
             idx,
-            graph: graph_aug.graph().clone(),
-            pseudo_root: proot,
+            aug: graph_aug,
             stats: all_stats,
+            inserted: all_inserted,
         }
+    }
+}
+
+impl DfsMaintainer for FaultTolerantDfs {
+    fn backend_name(&self) -> &'static str {
+        "fault-tolerant"
+    }
+
+    fn apply_update(&mut self, update: &Update) -> Option<Vertex> {
+        self.pending.push(update.clone());
+        // `tree_after` needs `&mut self` (the overlay of `D`); lend it the
+        // pending batch without copying the updates.
+        let pending = std::mem::take(&mut self.pending);
+        let result = self.tree_after(&pending);
+        self.pending = pending;
+        let inserted = match update {
+            Update::InsertVertex { .. } => result.inserted.last().copied(),
+            _ => None,
+        };
+        self.current = Some(result);
+        inserted
+    }
+
+    fn apply_batch(&mut self, updates: &[Update]) -> BatchReport {
+        // Native batch path: one absorption of the extended pending batch
+        // instead of one replay per update.
+        let already_applied = self.pending.len();
+        let already_inserted = self.current.as_ref().map(|r| r.inserted.len()).unwrap_or(0);
+        self.pending.extend(updates.iter().cloned());
+        let pending = std::mem::take(&mut self.pending);
+        let result = self.tree_after(&pending);
+        self.pending = pending;
+        let report = BatchReport {
+            inserted: result.inserted[already_inserted..].to_vec(),
+            per_update: result.stats[already_applied..]
+                .iter()
+                .map(|&s| StatsReport::FaultTolerant(s))
+                .collect(),
+        };
+        self.current = Some(result);
+        report
+    }
+
+    fn tree(&self) -> &TreeIndex {
+        self.current
+            .as_ref()
+            .map(|r| r.tree())
+            .unwrap_or(&self.original_idx)
+    }
+
+    fn forest_parent(&self, v: Vertex) -> Option<Vertex> {
+        augment::forest_parent(DfsMaintainer::tree(self), v)
+    }
+
+    fn forest_roots(&self) -> Vec<Vertex> {
+        augment::forest_roots(DfsMaintainer::tree(self))
+    }
+
+    fn same_component(&self, u: Vertex, v: Vertex) -> bool {
+        augment::same_component(DfsMaintainer::tree(self), u, v)
+    }
+
+    fn num_vertices(&self) -> usize {
+        self.current
+            .as_ref()
+            .map(|r| r.num_vertices())
+            .unwrap_or_else(|| self.aug.user_num_vertices())
+    }
+
+    fn num_edges(&self) -> usize {
+        self.current
+            .as_ref()
+            .map(|r| r.num_edges())
+            .unwrap_or_else(|| self.aug.user_num_edges())
+    }
+
+    fn check(&self) -> Result<(), String> {
+        match &self.current {
+            Some(r) => r.check(),
+            None => check_spanning_dfs_tree(self.aug.graph(), &self.original_idx),
+        }
+    }
+
+    fn stats(&self) -> StatsReport {
+        StatsReport::FaultTolerant(
+            self.current
+                .as_ref()
+                .and_then(|r| r.stats.last().copied())
+                .unwrap_or_default(),
+        )
     }
 }
 
@@ -314,8 +478,7 @@ mod tests {
             .iter()
             .max_by_key(|&&v| current.level(v))
             .unwrap();
-        let segs =
-            decompose_into_original_segments(&orig, current, leaf, current.root());
+        let segs = decompose_into_original_segments(&orig, current, leaf, current.root());
         // Every segment must be an ancestor-descendant path of the original
         // tree (or a singleton).
         for (a, b) in segs {
@@ -363,7 +526,10 @@ mod tests {
         r2.check().unwrap();
         assert_eq!(ft.structure_words(), words_before);
         // The second batch must not see the first batch's deletions.
-        assert!(r2.augmented_graph().has_edge(1, 2), "vertex 12 must still exist");
+        assert!(
+            r2.augmented_graph().has_edge(1, 2),
+            "vertex 12 must still exist"
+        );
     }
 
     #[test]
@@ -371,14 +537,18 @@ mod tests {
         let g = generators::broom(8, 4);
         let mut ft = FaultTolerantDfs::new(&g);
         let result = ft.tree_after(&[
-            Update::InsertVertex { edges: vec![0, 5, 9] },
+            Update::InsertVertex {
+                edges: vec![0, 5, 9],
+            },
             Update::InsertVertex { edges: vec![12, 2] },
             Update::DeleteEdge(3, 4),
         ]);
         result.check().unwrap();
-        assert_eq!(result.forest_parent(12).is_some() || {
-            // vertex 12 may itself be a component root
-            true
-        }, true);
+        assert!(
+            result.forest_parent(12).is_some() || {
+                // vertex 12 may itself be a component root
+                true
+            }
+        );
     }
 }

@@ -28,7 +28,12 @@
 //! * [`stats`] — instrumentation: engine rounds, sequential query sets,
 //!   traversal census. These are the quantities the paper's theorems bound
 //!   (`O(log^2 n)` query sets per reroot, `O(log^3 n)` EREW time), and the
-//!   experiment harness reports them next to wall-clock numbers.
+//!   experiment harness reports them next to wall-clock numbers. The types
+//!   themselves live in [`pardfs_api`] (shared by every backend) and are
+//!   re-exported here under their historical paths.
+//!
+//! Both maintainers implement [`pardfs_api::DfsMaintainer`], the unified
+//! trait the bench harness, examples and integration tests program against.
 //!
 //! ## Faithfulness note
 //!
@@ -50,10 +55,12 @@ pub mod dynamic;
 pub mod fault;
 pub mod reduction;
 pub mod reroot;
-pub mod stats;
+
+pub use pardfs_api::stats;
 
 pub use dynamic::DynamicDfs;
 pub use fault::{FaultTolerantDfs, FtResult};
+pub use pardfs_api::{BatchReport, DfsMaintainer, StatsReport};
 pub use reduction::reduce_update;
-pub use reroot::{Rerooter, RerootJob, Strategy};
+pub use reroot::{RerootJob, Rerooter, Strategy};
 pub use stats::{RerootStats, TraversalKind, UpdateStats};

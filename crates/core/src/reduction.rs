@@ -140,9 +140,10 @@ fn lowest_edges_from_subtrees<O: QueryOracle>(
     }
     let mut batch: Vec<VertexQuery> = Vec::new();
     let mut tags: Vec<(usize, u32)> = Vec::new(); // (root index, decomposition rank)
+    let segments = oracle.decompose_path(idx, near, far);
     for (i, &r) in roots.iter().enumerate() {
         for &w in idx.subtree_vertices(r) {
-            for (k, (a, b)) in oracle.decompose_path(idx, near, far).into_iter().enumerate() {
+            for (k, &(a, b)) in segments.iter().enumerate() {
                 batch.push(VertexQuery::new(w, a, b));
                 tags.push((i, k as u32));
             }
@@ -150,11 +151,13 @@ fn lowest_edges_from_subtrees<O: QueryOracle>(
     }
     stats.reduction_query_sets += 1;
     let answers = oracle.answer_batch(&batch);
-    let mut best: Vec<Option<((u32, u32), (Vertex, Vertex))>> = vec![None; roots.len()];
+    // (neighbour order, rank from near) — smaller wins; payload is the edge.
+    type LowestKey = (u32, u32);
+    let mut best: Vec<Option<(LowestKey, (Vertex, Vertex))>> = vec![None; roots.len()];
     for ((i, k), hit) in tags.iter().zip(&answers) {
         if let Some(h) = hit {
             let key = (*k, h.rank_from_near);
-            if best[*i].map_or(true, |(bk, _)| key < bk) {
+            if best[*i].is_none_or(|(bk, _)| key < bk) {
                 best[*i] = Some((key, (h.from, h.on_path)));
             }
         }
@@ -219,7 +222,10 @@ mod tests {
         );
         assert_eq!(jobs.len(), 1);
         let j = jobs[0];
-        assert_eq!(j.sub_root, j.new_root, "a leaf subtree is rerooted at itself");
+        assert_eq!(
+            j.sub_root, j.new_root,
+            "a leaf subtree is rerooted at itself"
+        );
         assert!(j.new_root == aug.to_internal(1) || j.new_root == aug.to_internal(2));
         assert!(j.attach_parent == aug.to_internal(1) || j.attach_parent == aug.to_internal(2));
         assert_ne!(j.new_root, j.attach_parent);
@@ -303,7 +309,8 @@ mod tests {
         // hanging subtree, so at most one reroot job may target it.
         let user = generators::path(5);
         let (mut aug, idx, mut d) = setup(&user);
-        let internal_edges: Vec<Vertex> = [1u32, 3, 4].iter().map(|&v| aug.to_internal(v)).collect();
+        let internal_edges: Vec<Vertex> =
+            [1u32, 3, 4].iter().map(|&v| aug.to_internal(v)).collect();
         let internal = Update::InsertVertex {
             edges: internal_edges.clone(),
         };

@@ -196,11 +196,7 @@ impl<'a, O: QueryOracle> Rerooter<'a, O> {
                 max_paths: c.paths.len() as u64,
             };
         }
-        if let Some(pi) = c
-            .paths
-            .iter()
-            .position(|p| p.contains(self.idx, c.rc))
-        {
+        if let Some(pi) = c.paths.iter().position(|p| p.contains(self.idx, c.rc)) {
             return self.step_path_halve(c, pi);
         }
         let ti = c
@@ -288,14 +284,16 @@ impl<'a, O: QueryOracle> Rerooter<'a, O> {
         }
         // Untouched pieces of the component.
         piece_paths.extend(c.paths.iter().copied());
-        piece_subtrees.extend(
-            c.subtrees
-                .iter()
-                .copied()
-                .filter(|&s| s != sub_root),
-        );
+        piece_subtrees.extend(c.subtrees.iter().copied().filter(|&s| s != sub_root));
 
-        self.regroup(c, segs, piece_paths, piece_subtrees, assignments, Some(kind))
+        self.regroup(
+            c,
+            segs,
+            piece_paths,
+            piece_subtrees,
+            assignments,
+            Some(kind),
+        )
     }
 
     /// Path halving (Section 4.2): traverse from `rc` to the farther end of the
@@ -376,7 +374,7 @@ impl<'a, O: QueryOracle> Rerooter<'a, O> {
         // between a piece and a *path* piece can merge groups. With no path
         // pieces every piece is its own component and no queries are needed.
         let mut dsu: Vec<usize> = (0..n_pieces).collect();
-        fn find(dsu: &mut Vec<usize>, mut x: usize) -> usize {
+        fn find(dsu: &mut [usize], mut x: usize) -> usize {
             while dsu[x] != x {
                 dsu[x] = dsu[dsu[x]];
                 x = dsu[x];
@@ -447,8 +445,7 @@ impl<'a, O: QueryOracle> Rerooter<'a, O> {
             }
             v
         };
-        for i in 0..n_pieces {
-            let g = group_of_piece[i];
+        for (i, &g) in group_of_piece.iter().enumerate().take(n_pieces) {
             for w in piece_vertices(i) {
                 for (s_idx, ts) in trav.iter().enumerate().rev() {
                     let far = if ts.near == ts.seg.top {
@@ -472,7 +469,9 @@ impl<'a, O: QueryOracle> Rerooter<'a, O> {
                 }
             }
         }
-        let mut best: Vec<Option<((u32, u32, u32), EdgeHit)>> = vec![None; groups.len()];
+        // (segment rank, sub rank, rank from near) — lexicographically smaller wins.
+        type AttachKey = (u32, u32, u32);
+        let mut best: Vec<Option<(AttachKey, EdgeHit)>> = vec![None; groups.len()];
         if !batch.is_empty() {
             query_sets += 1;
             query_batches += 1;
@@ -482,7 +481,7 @@ impl<'a, O: QueryOracle> Rerooter<'a, O> {
                 if let Some(h) = hit {
                     let key = (tag.seg_rank, tag.sub_rank, h.rank_from_near);
                     let slot = &mut best[tag.group];
-                    if slot.map_or(true, |(k, _)| key < k) {
+                    if slot.is_none_or(|(k, _)| key < k) {
                         *slot = Some((key, *h));
                     }
                 }

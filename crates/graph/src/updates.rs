@@ -128,7 +128,10 @@ pub fn random_update_sequence<R: Rng>(
     let mut scratch = graph.clone();
     let mut updates = Vec::with_capacity(count);
     let total_weight = mix.insert_edge + mix.delete_edge + mix.insert_vertex + mix.delete_vertex;
-    assert!(total_weight > 0, "update mix must have positive total weight");
+    assert!(
+        total_weight > 0,
+        "update mix must have positive total weight"
+    );
 
     let mut attempts = 0usize;
     while updates.len() < count && attempts < count * 50 {
@@ -230,7 +233,10 @@ mod tests {
         assert_eq!(Update::InsertEdge(0, 1).description_words(), 2);
         assert_eq!(Update::DeleteVertex(0).description_words(), 1);
         assert_eq!(
-            Update::InsertVertex { edges: vec![1, 2, 3] }.description_words(),
+            Update::InsertVertex {
+                edges: vec![1, 2, 3]
+            }
+            .description_words(),
             4
         );
     }
@@ -240,7 +246,10 @@ mod tests {
         let mut rng = ChaCha8Rng::seed_from_u64(7);
         let g = crate::generators::random_connected_gnm(40, 120, &mut rng);
         let updates = random_update_sequence(&g, 100, &UpdateMix::default(), &mut rng);
-        assert!(updates.len() >= 90, "generator should rarely fail proposals");
+        assert!(
+            updates.len() >= 90,
+            "generator should rarely fail proposals"
+        );
         let mut h = g.clone();
         for u in &updates {
             // `apply` must actually change the graph for every proposed update.
@@ -256,9 +265,8 @@ mod tests {
         let mut rng = ChaCha8Rng::seed_from_u64(11);
         let g = crate::generators::random_connected_gnm(30, 60, &mut rng);
         let updates = random_update_sequence(&g, 50, &UpdateMix::edges_only(), &mut rng);
-        assert!(updates.iter().all(|u| matches!(
-            u.kind(),
-            UpdateKind::InsertEdge | UpdateKind::DeleteEdge
-        )));
+        assert!(updates
+            .iter()
+            .all(|u| matches!(u.kind(), UpdateKind::InsertEdge | UpdateKind::DeleteEdge)));
     }
 }

@@ -62,7 +62,12 @@ pub fn euler_tour_functions(pram: &Pram, parent: &[u32], root: u32) -> TreeFunct
         size[root as usize] = 1;
         pre[root as usize] = 0;
         post[root as usize] = 0;
-        return TreeFunctions { level, size, pre, post };
+        return TreeFunctions {
+            level,
+            size,
+            pre,
+            post,
+        };
     }
 
     // Arc numbering: vertex v owns arcs base[v] .. base[v] + deg(v), where its
@@ -164,12 +169,17 @@ pub fn euler_tour_functions(pram: &Pram, parent: &[u32], root: u32) -> TreeFunct
         let ru = rank_of(up_arc(v));
         debug_assert!(ru > rd);
         level[v as usize] = (down_incl(rd) - up_incl(rd)) as u32;
-        size[v as usize] = (ru - rd + 1) / 2;
+        size[v as usize] = (ru - rd).div_ceil(2);
         pre[v as usize] = down_incl(rd) as u32;
         post[v as usize] = (up_incl(ru) - 1) as u32;
     }
 
-    TreeFunctions { level, size, pre, post }
+    TreeFunctions {
+        level,
+        size,
+        pre,
+        post,
+    }
 }
 
 #[cfg(test)]
@@ -209,11 +219,18 @@ mod tests {
                 stack.pop();
                 post[v as usize] = qc;
                 qc += 1;
-                size[v as usize] =
-                    1 + children[v as usize].iter().map(|&c| size[c as usize]).sum::<u32>();
+                size[v as usize] = 1 + children[v as usize]
+                    .iter()
+                    .map(|&c| size[c as usize])
+                    .sum::<u32>();
             }
         }
-        TreeFunctions { level, size, pre, post }
+        TreeFunctions {
+            level,
+            size,
+            pre,
+            post,
+        }
     }
 
     fn random_parent(n: usize, rng: &mut impl Rng) -> Vec<u32> {
@@ -251,7 +268,7 @@ mod tests {
         let mut rng = ChaCha8Rng::seed_from_u64(13);
         let pram = Pram::new();
         for _ in 0..8 {
-            let n = rng.gen_range(2..400);
+            let n: usize = rng.gen_range(2..400);
             let parent = random_parent(n, &mut rng);
             let f = euler_tour_functions(&pram, &parent, 0);
             assert_eq!(f, reference(&parent, 0), "n={n}");

@@ -75,7 +75,9 @@ mod tests {
     fn ranks_long_list() {
         let n = 10_000u32;
         // i -> i+1, tail at n-1.
-        let next: Vec<u32> = (0..n).map(|i| if i + 1 == n { NIL } else { i + 1 }).collect();
+        let next: Vec<u32> = (0..n)
+            .map(|i| if i + 1 == n { NIL } else { i + 1 })
+            .collect();
         let pram = Pram::new();
         let rank = list_rank(&pram, &next);
         for i in 0..n {

@@ -124,7 +124,7 @@ impl Pram {
 
     /// Sort a vector by key. Model cost (Cole's parallel merge sort,
     /// Theorem 7): `O(n log n)` work, `O(log n)` depth.
-    pub fn sort_by_key<T, K, F>(&self, xs: &mut Vec<T>, key: F)
+    pub fn sort_by_key<T, K, F>(&self, xs: &mut [T], key: F)
     where
         T: Send,
         K: Ord + Send,

@@ -215,7 +215,7 @@ impl StructureD {
         let mut best: Option<(u32, Vertex)> = None;
         let consider = |z: Vertex, best: &mut Option<(u32, Vertex)>| {
             let d = idx.level(z).abs_diff(near_level);
-            if best.map_or(true, |(bd, _)| d < bd) {
+            if best.is_none_or(|(bd, _)| d < bd) {
                 *best = Some((d, z));
             }
         };
@@ -308,10 +308,7 @@ impl QueryOracle for StructureD {
         if queries.len() < PAR_THRESHOLD {
             queries.iter().map(|&q| self.query_vertex(q)).collect()
         } else {
-            queries
-                .par_iter()
-                .map(|&q| self.query_vertex(q))
-                .collect()
+            queries.par_iter().map(|&q| self.query_vertex(q)).collect()
         }
     }
 }
@@ -418,7 +415,7 @@ mod tests {
     fn matches_brute_force_on_random_graphs() {
         let mut rng = ChaCha8Rng::seed_from_u64(99);
         for trial in 0..6 {
-            let n = rng.gen_range(10..120);
+            let n: usize = rng.gen_range(10..120);
             let m = rng.gen_range(n - 1..(n * (n - 1) / 2).min(4 * n));
             let g = generators::random_connected_gnm(n, m, &mut rng);
             let idx = dfs_tree(&g, 0);
@@ -510,13 +507,9 @@ mod tests {
         let idx = dfs_tree(&g, 0);
         let mut d = StructureD::build(&g, idx.clone());
         d.note_delete_edge(1, 2);
-        assert!(d
-            .query_vertex(VertexQuery::new(2, 1, 1))
-            .is_none());
+        assert!(d.query_vertex(VertexQuery::new(2, 1, 1)).is_none());
         d.note_insert_edge(1, 2);
-        assert!(d
-            .query_vertex(VertexQuery::new(2, 1, 1))
-            .is_some());
+        assert!(d.query_vertex(VertexQuery::new(2, 1, 1)).is_some());
     }
 
     #[test]

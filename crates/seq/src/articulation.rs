@@ -68,9 +68,7 @@ pub fn biconnectivity(g: &Graph, root: Vertex) -> Biconnectivity {
     if child_count[root as usize] >= 2 {
         is_art[root as usize] = true;
     }
-    let articulation_points = (0..cap as Vertex)
-        .filter(|&v| is_art[v as usize])
-        .collect();
+    let articulation_points = (0..cap as Vertex).filter(|&v| is_art[v as usize]).collect();
     bridges.sort_unstable();
     Biconnectivity {
         articulation_points,
@@ -91,8 +89,8 @@ pub fn bridges(g: &Graph, root: Vertex) -> Vec<(Vertex, Vertex)> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use pardfs_graph::generators;
     use pardfs_graph::connectivity::connected_components;
+    use pardfs_graph::generators;
     use rand::prelude::*;
     use rand_chacha::ChaCha8Rng;
 
@@ -101,7 +99,10 @@ mod tests {
     fn brute_articulation(g: &Graph, root: Vertex) -> Vec<Vertex> {
         let (labels, _) = connected_components(g);
         let comp = labels[root as usize];
-        let members: Vec<Vertex> = g.vertices().filter(|&v| labels[v as usize] == comp).collect();
+        let members: Vec<Vertex> = g
+            .vertices()
+            .filter(|&v| labels[v as usize] == comp)
+            .collect();
         let mut out = Vec::new();
         for &v in &members {
             if members.len() == 1 {
@@ -170,7 +171,7 @@ mod tests {
     fn matches_brute_force_on_random_graphs() {
         let mut rng = ChaCha8Rng::seed_from_u64(4);
         for _ in 0..8 {
-            let n = rng.gen_range(4..40);
+            let n: usize = rng.gen_range(4..40);
             let m = rng.gen_range(n - 1..(n * (n - 1) / 2).min(3 * n));
             let g = generators::random_connected_gnm(n, m, &mut rng);
             let b = biconnectivity(&g, 0);

@@ -14,24 +14,16 @@
 //! doubles as an independent implementation against which the parallel
 //! engine's output is cross-checked in tests.
 
-use crate::augment::AugmentedGraph;
+use crate::augment::{self, AugmentedGraph};
 use crate::check::check_spanning_dfs_tree;
 use crate::static_dfs::static_dfs;
+use pardfs_api::{DfsMaintainer, StatsReport};
 use pardfs_graph::{Graph, Update, Vertex};
 use pardfs_query::{QueryOracle, StructureD, VertexQuery};
 use pardfs_tree::rooted::NO_VERTEX;
 use pardfs_tree::{RootedTree, TreeIndex};
 
-/// Statistics of the most recent update, used by the experiment harness.
-#[derive(Debug, Clone, Copy, Default)]
-pub struct SeqUpdateStats {
-    /// Number of subtrees the reduction asked to reroot.
-    pub reroot_jobs: usize,
-    /// Number of vertices whose parent pointer changed.
-    pub relinked_vertices: usize,
-    /// Number of `D` queries issued.
-    pub queries: usize,
-}
+pub use pardfs_api::SeqUpdateStats;
 
 /// A reroot job produced by the reduction of Section 3.
 #[derive(Debug, Clone, Copy)]
@@ -87,14 +79,28 @@ impl SeqRerootDfs {
     /// graph (`None` when `v` is a component root or not present). Both the
     /// argument and the result are user ids.
     pub fn forest_parent(&self, v: Vertex) -> Option<Vertex> {
-        let vi = self.aug.to_internal(v);
-        if !self.idx.contains(vi) {
-            return None;
-        }
-        self.idx
-            .parent(vi)
-            .filter(|&p| p != self.pseudo_root())
-            .map(|p| self.aug.to_user(p))
+        augment::forest_parent(&self.idx, v)
+    }
+
+    /// Roots of the maintained DFS forest (user ids), one per connected
+    /// component of the user graph.
+    pub fn forest_roots(&self) -> Vec<Vertex> {
+        augment::forest_roots(&self.idx)
+    }
+
+    /// Are user vertices `u` and `v` in the same connected component?
+    pub fn same_component(&self, u: Vertex, v: Vertex) -> bool {
+        augment::same_component(&self.idx, u, v)
+    }
+
+    /// Number of user vertices currently in the graph.
+    pub fn num_vertices(&self) -> usize {
+        self.aug.user_num_vertices()
+    }
+
+    /// Number of user edges currently in the graph.
+    pub fn num_edges(&self) -> usize {
+        self.aug.user_num_edges()
     }
 
     /// Statistics of the most recent update.
@@ -293,6 +299,7 @@ impl SeqRerootDfs {
             .map(|&w| VertexQuery::new(w, near, far))
             .collect();
         stats.queries += queries.len();
+        stats.query_batches += 1;
         self.d
             .answer_batch(&queries)
             .into_iter()
@@ -345,6 +352,48 @@ impl SeqRerootDfs {
                 }
             }
         }
+    }
+}
+
+impl DfsMaintainer for SeqRerootDfs {
+    fn backend_name(&self) -> &'static str {
+        "sequential"
+    }
+
+    fn apply_update(&mut self, update: &Update) -> Option<Vertex> {
+        SeqRerootDfs::apply_update(self, update)
+    }
+
+    fn tree(&self) -> &TreeIndex {
+        SeqRerootDfs::tree(self)
+    }
+
+    fn forest_parent(&self, v: Vertex) -> Option<Vertex> {
+        SeqRerootDfs::forest_parent(self, v)
+    }
+
+    fn forest_roots(&self) -> Vec<Vertex> {
+        SeqRerootDfs::forest_roots(self)
+    }
+
+    fn same_component(&self, u: Vertex, v: Vertex) -> bool {
+        SeqRerootDfs::same_component(self, u, v)
+    }
+
+    fn num_vertices(&self) -> usize {
+        SeqRerootDfs::num_vertices(self)
+    }
+
+    fn num_edges(&self) -> usize {
+        SeqRerootDfs::num_edges(self)
+    }
+
+    fn check(&self) -> Result<(), String> {
+        SeqRerootDfs::check(self)
+    }
+
+    fn stats(&self) -> StatsReport {
+        StatsReport::Sequential(self.last_stats)
     }
 }
 
@@ -454,7 +503,7 @@ mod tests {
     fn random_mixed_sequences_keep_the_tree_valid() {
         let mut rng = ChaCha8Rng::seed_from_u64(2024);
         for trial in 0..6 {
-            let n = rng.gen_range(8..60);
+            let n: usize = rng.gen_range(8..60);
             let m = rng.gen_range(n - 1..(n * (n - 1) / 2).min(3 * n));
             let g = generators::random_connected_gnm(n, m, &mut rng);
             let updates = random_update_sequence(&g, 40, &UpdateMix::default(), &mut rng);

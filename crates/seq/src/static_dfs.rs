@@ -87,7 +87,7 @@ mod tests {
     fn dfs_trees_of_random_graphs_are_valid() {
         let mut rng = ChaCha8Rng::seed_from_u64(31);
         for _ in 0..10 {
-            let n = rng.gen_range(2..200);
+            let n: usize = rng.gen_range(2..200);
             let m = rng.gen_range(n - 1..=(n * (n - 1) / 2).min(5 * n));
             let g = generators::random_connected_gnm(n, m, &mut rng);
             let idx = static_dfs_index(&g, 0);

@@ -33,30 +33,19 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use pardfs_core::{reduce_update, Rerooter, Strategy, UpdateStats};
+use pardfs_api::{DfsMaintainer, StatsReport};
 use pardfs_core::reduction::ReductionInput;
+use pardfs_core::{reduce_update, Rerooter, Strategy, UpdateStats};
 use pardfs_graph::{Graph, Update, Vertex};
 use pardfs_query::{EdgeHit, QueryOracle, VertexQuery};
-use pardfs_seq::augment::AugmentedGraph;
+use pardfs_seq::augment::{self, AugmentedGraph};
 use pardfs_seq::check::check_spanning_dfs_tree;
 use pardfs_seq::static_dfs::static_dfs;
 use pardfs_tree::rooted::NO_VERTEX;
 use pardfs_tree::TreeIndex;
 use std::sync::atomic::{AtomicU64, Ordering};
 
-/// Counters of the streaming model.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct StreamStats {
-    /// Passes over the edge stream (one per `answer_batch` call).
-    pub passes: u64,
-    /// Total edges scanned across all passes.
-    pub edges_scanned: u64,
-    /// Total queries answered.
-    pub queries: u64,
-    /// Peak number of resident words used for partial query results in a
-    /// single pass (must stay `O(n)` for the model to hold).
-    pub peak_partial_words: u64,
-}
+pub use pardfs_api::StreamStats;
 
 /// A [`QueryOracle`] that answers each batch with one pass over the stream.
 ///
@@ -113,7 +102,8 @@ impl<'a> PassOracle<'a> {
 impl QueryOracle for PassOracle<'_> {
     fn answer_batch(&self, queries: &[VertexQuery]) -> Vec<Option<EdgeHit>> {
         self.passes.fetch_add(1, Ordering::Relaxed);
-        self.queries.fetch_add(queries.len() as u64, Ordering::Relaxed);
+        self.queries
+            .fetch_add(queries.len() as u64, Ordering::Relaxed);
         // One partial result (two words) per query — the O(n) space budget.
         self.peak_partial_words
             .fetch_max(2 * queries.len() as u64, Ordering::Relaxed);
@@ -131,7 +121,9 @@ impl QueryOracle for PassOracle<'_> {
         for e in self.stream.edges() {
             scanned += 1;
             for (w, z) in [(e.0, e.1), (e.1, e.0)] {
-                let Some(ids) = by_source.get(&w) else { continue };
+                let Some(ids) = by_source.get(&w) else {
+                    continue;
+                };
                 for &i in ids {
                     let q = &queries[i];
                     if q.near == q.far && !self.idx.contains(q.near) {
@@ -146,7 +138,7 @@ impl QueryOracle for PassOracle<'_> {
                     }
                     let near_level = self.idx.level(q.near);
                     let rank = self.idx.level(z).abs_diff(near_level);
-                    if best[i].map_or(true, |(r, _)| rank < r) {
+                    if best[i].is_none_or(|(r, _)| rank < r) {
                         best[i] = Some((rank, z));
                     }
                 }
@@ -206,14 +198,28 @@ impl StreamingDynamicDfs {
 
     /// Parent of user vertex `v` in the maintained DFS forest.
     pub fn forest_parent(&self, v: Vertex) -> Option<Vertex> {
-        let vi = self.aug.to_internal(v);
-        if !self.idx.contains(vi) {
-            return None;
-        }
-        self.idx
-            .parent(vi)
-            .filter(|&p| p != self.aug.pseudo_root())
-            .map(|p| self.aug.to_user(p))
+        augment::forest_parent(&self.idx, v)
+    }
+
+    /// Roots of the maintained DFS forest (user ids), one per connected
+    /// component of the user graph.
+    pub fn forest_roots(&self) -> Vec<Vertex> {
+        augment::forest_roots(&self.idx)
+    }
+
+    /// Are user vertices `u` and `v` in the same connected component?
+    pub fn same_component(&self, u: Vertex, v: Vertex) -> bool {
+        augment::same_component(&self.idx, u, v)
+    }
+
+    /// Number of user vertices currently in the graph.
+    pub fn num_vertices(&self) -> usize {
+        self.aug.user_num_vertices()
+    }
+
+    /// Number of user edges currently in the stream.
+    pub fn num_edges(&self) -> usize {
+        self.aug.user_num_edges()
     }
 
     /// Engine statistics of the most recent update. `total_query_sets()` is
@@ -277,24 +283,70 @@ impl StreamingDynamicDfs {
             new_par.resize(self.aug.graph().capacity(), NO_VERTEX);
         }
         let oracle = PassOracle::new(self.aug.graph(), &self.idx);
-        let jobs = reduce_update(&self.idx, &oracle, proot, &internal, &input, &mut new_par, &mut stats);
+        let jobs = reduce_update(
+            &self.idx,
+            &oracle,
+            proot,
+            &internal,
+            &input,
+            &mut new_par,
+            &mut stats,
+        );
         stats.reroot_jobs = jobs.len() as u64;
         let engine = Rerooter::new(&self.idx, &oracle, self.strategy);
         stats.reroot = engine.run(&jobs, &mut new_par);
 
         let stream_stats = oracle.stats();
-        drop(oracle);
         self.idx = TreeIndex::from_parent_slice(&new_par, proot);
         self.last_update_stats = stats;
         self.last_stream_stats = stream_stats;
-        self.total_stream_stats.passes += stream_stats.passes;
-        self.total_stream_stats.edges_scanned += stream_stats.edges_scanned;
-        self.total_stream_stats.queries += stream_stats.queries;
-        self.total_stream_stats.peak_partial_words = self
-            .total_stream_stats
-            .peak_partial_words
-            .max(stream_stats.peak_partial_words);
+        self.total_stream_stats.merge(&stream_stats);
         inserted.map(|v| self.aug.to_user(v))
+    }
+}
+
+impl DfsMaintainer for StreamingDynamicDfs {
+    fn backend_name(&self) -> &'static str {
+        "streaming"
+    }
+
+    fn apply_update(&mut self, update: &Update) -> Option<Vertex> {
+        StreamingDynamicDfs::apply_update(self, update)
+    }
+
+    fn tree(&self) -> &TreeIndex {
+        StreamingDynamicDfs::tree(self)
+    }
+
+    fn forest_parent(&self, v: Vertex) -> Option<Vertex> {
+        StreamingDynamicDfs::forest_parent(self, v)
+    }
+
+    fn forest_roots(&self) -> Vec<Vertex> {
+        StreamingDynamicDfs::forest_roots(self)
+    }
+
+    fn same_component(&self, u: Vertex, v: Vertex) -> bool {
+        StreamingDynamicDfs::same_component(self, u, v)
+    }
+
+    fn num_vertices(&self) -> usize {
+        StreamingDynamicDfs::num_vertices(self)
+    }
+
+    fn num_edges(&self) -> usize {
+        StreamingDynamicDfs::num_edges(self)
+    }
+
+    fn check(&self) -> Result<(), String> {
+        StreamingDynamicDfs::check(self)
+    }
+
+    fn stats(&self) -> StatsReport {
+        StatsReport::Streaming {
+            engine: self.last_update_stats,
+            stream: self.last_stream_stats,
+        }
     }
 }
 
@@ -345,7 +397,10 @@ mod tests {
             );
         }
         assert_eq!(oracle.stats().passes, 1);
-        assert_eq!(oracle.stats().edges_scanned as usize, aug.graph().num_edges());
+        assert_eq!(
+            oracle.stats().edges_scanned as usize,
+            aug.graph().num_edges()
+        );
     }
 
     #[test]
@@ -404,7 +459,9 @@ mod tests {
         let mut s = StreamingDynamicDfs::new(&g);
         s.apply_update(&Update::DeleteVertex(0));
         s.check().unwrap();
-        let nv = s.apply_update(&Update::InsertVertex { edges: vec![1, 2, 3] });
+        let nv = s.apply_update(&Update::InsertVertex {
+            edges: vec![1, 2, 3],
+        });
         assert_eq!(nv, Some(6));
         s.check().unwrap();
         assert_eq!(s.forest_parent(0), None);

@@ -120,7 +120,11 @@ impl TreeIndex {
         // Sparse table for range-minimum over euler_level (storing argmin
         // positions so the answering vertex can be recovered).
         let m = euler.len();
-        let log_m = if m <= 1 { 1 } else { (usize::BITS - (m - 1).leading_zeros()) as usize + 1 };
+        let log_m = if m <= 1 {
+            1
+        } else {
+            (usize::BITS - (m - 1).leading_zeros()) as usize + 1
+        };
         let mut sparse: Vec<Vec<u32>> = Vec::with_capacity(log_m);
         sparse.push((0..m as u32).collect());
         let mut k = 1usize;
@@ -474,7 +478,7 @@ mod tests {
     fn lca_matches_naive_on_random_trees() {
         let mut rng = ChaCha8Rng::seed_from_u64(7);
         for _ in 0..5 {
-            let n = rng.gen_range(2..300);
+            let n: usize = rng.gen_range(2..300);
             let parent = random_parent_array(n, &mut rng);
             let idx = TreeIndex::from_parent_slice(&parent, 0);
             for _ in 0..200 {

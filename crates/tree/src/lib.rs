@@ -12,8 +12,8 @@
 //!   DFS tree `T*` is being assembled.
 //! * [`TreeIndex`] — an immutable index over a rooted tree providing `O(1)`
 //!   pre/post order numbers, levels, subtree sizes and LCA queries (Euler tour
-//!   + sparse-table RMQ, the classical substitute for Schieber–Vishkin), plus
-//!   binary lifting for level-ancestor / child-toward queries.
+//!   plus sparse-table RMQ, the classical substitute for Schieber–Vishkin),
+//!   and binary lifting for level-ancestor / child-toward queries.
 //! * [`paths`] — helpers for ancestor–descendant paths: enumeration, length,
 //!   membership, and the "subtrees hanging from a path" primitive.
 //!

@@ -245,7 +245,7 @@ mod tests {
     fn remainder_after_walk() {
         let idx = fixture();
         let s = PathSeg::new(&idx, 0, 7); // 0-1-2-4-7
-        // Walk from 2 up to 0; the remainder is 4-7.
+                                          // Walk from 2 up to 0; the remainder is 4-7.
         let r = s.remainder_after_walk(&idx, 2, 0).unwrap();
         assert_eq!((r.top, r.bottom), (4, 7));
         // Walk from 2 down to 7; the remainder is 0-1.

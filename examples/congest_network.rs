@@ -5,13 +5,15 @@
 //! ```
 //!
 //! Three network topologies with very different diameters absorb the same
-//! kind of updates; the example reports the simulated communication cost
-//! (synchronous rounds and messages of at most `B = n/D` words) per update and
-//! shows that the round count tracks `D · log^2 n`, as the paper predicts.
+//! kind of updates through the unified maintainer surface
+//! (`Backend::Congest { bandwidth }`); the example reads the simulated
+//! communication cost (synchronous rounds and messages of at most `B = n/D`
+//! words) from each update's `StatsReport` and shows that the round count
+//! tracks `D · log^2 n`, as the paper predicts.
 
 use pardfs::congest::network::diameter;
 use pardfs::graph::{generators, Graph, Update};
-use pardfs::DistributedDynamicDfs;
+use pardfs::{Backend, MaintainerBuilder};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
@@ -19,23 +21,26 @@ fn run(name: &str, graph: Graph, updates: &[Update]) {
     let n = graph.num_vertices();
     let d = diameter(&graph).max(1);
     let bandwidth = (n / d).max(1);
-    let mut dfs = DistributedDynamicDfs::new(&graph, bandwidth);
+    let mut dfs = MaintainerBuilder::new(Backend::Congest { bandwidth }).build(&graph);
     let mut rounds = 0u64;
     let mut messages = 0u64;
     for u in updates {
         dfs.apply_update(u);
         dfs.check().expect("distributed DFS forest must stay valid");
-        rounds += dfs.last_congest_stats().rounds;
-        messages += dfs.last_congest_stats().messages;
+        let report = dfs.stats();
+        let cost = report
+            .congest()
+            .expect("congest backend reports network cost");
+        rounds += cost.rounds;
+        messages += cost.messages;
     }
     let per_update_rounds = rounds as f64 / updates.len() as f64;
     let log2n = (n as f64).log2();
     println!(
         "{name:<22} n={n:<6} D={d:<4} B={bandwidth:<5} rounds/update={per_update_rounds:>9.1}  \
-         D·log²n={:>9.1}  messages/update={:>10.1}  node space={} words",
+         D·log²n={:>9.1}  messages/update={:>10.1}",
         d as f64 * log2n * log2n,
         messages as f64 / updates.len() as f64,
-        dfs.per_node_space_words(),
     );
 }
 

@@ -5,15 +5,17 @@
 //! ```
 //!
 //! A leaf–spine style network is preprocessed once. Afterwards, arbitrary
-//! small batches of failures (links or whole switches) arrive; for each batch
-//! the preprocessed structure produces a DFS tree of the surviving network
-//! *without* re-reading the whole graph, and the example reports which racks
-//! lost connectivity. Batches are independent: the preprocessed structure is
-//! reused unchanged for every scenario, which is exactly the fault tolerant
-//! setting of the paper.
+//! small batches of failures (links or whole switches) arrive; each scenario
+//! is absorbed through the unified `DfsMaintainer` batch API
+//! (`apply_batch` → `BatchReport`), producing a DFS tree of the surviving
+//! network *without* re-reading the whole graph, and the example reports
+//! which racks lost connectivity. Scenarios are independent: `reset()`
+//! drops the absorbed batch between them while the preprocessed structure
+//! `D` is reused unchanged, which is exactly the fault tolerant setting of
+//! the paper.
 
 use pardfs::graph::{Graph, Update};
-use pardfs::FaultTolerantDfs;
+use pardfs::{DfsMaintainer, FaultTolerantDfs};
 
 /// Build a small leaf–spine fabric: `spines` spine switches, `leaves` leaf
 /// switches (each connected to every spine), and `hosts_per_leaf` hosts per
@@ -49,14 +51,8 @@ fn main() {
     );
 
     let scenarios: Vec<(&str, Vec<Update>)> = vec![
-        (
-            "single uplink failure",
-            vec![Update::DeleteEdge(0, 4)],
-        ),
-        (
-            "spine switch 0 failure",
-            vec![Update::DeleteVertex(0)],
-        ),
+        ("single uplink failure", vec![Update::DeleteEdge(0, 4)]),
+        ("spine switch 0 failure", vec![Update::DeleteVertex(0)]),
         (
             "leaf switch failure isolates its rack",
             vec![Update::DeleteVertex(4)],
@@ -81,34 +77,27 @@ fn main() {
     ];
 
     for (name, updates) in scenarios {
-        let result = ft.tree_after(&updates);
-        result.check().expect("the recovered tree must be a DFS tree");
-        // Count components among surviving hosts: a host is disconnected from
-        // the first host's component if their forest roots differ.
-        let tree = result.tree();
-        let surviving: Vec<u32> = result
-            .augmented_graph()
-            .vertices()
-            .filter(|&v| v != 0) // skip the pseudo root (internal id 0)
-            .collect();
-        let root_of = |v: u32| tree.ancestor_at_level(v, 1);
-        let reference = root_of(first_host + 1); // +1: internal id space
-        let cut_off = surviving
-            .iter()
-            .filter(|&&v| root_of(v) != reference)
+        let report = ft.apply_batch(&updates);
+        ft.check().expect("the recovered tree must be a DFS tree");
+        // Count nodes cut off from the first host's component: the unified
+        // forest queries answer connectivity directly in user ids. The id
+        // space is the maintained tree's capacity minus the pseudo root, so
+        // switches inserted by the scenario itself are covered too.
+        let roots: std::collections::HashSet<u32> = ft.forest_roots().into_iter().collect();
+        let user_ids = 0..(DfsMaintainer::tree(&ft).capacity() as u32 - 1);
+        let cut_off = user_ids
+            .filter(|&v| ft.forest_parent(v).is_some() || roots.contains(&v))
+            .filter(|&v| !ft.same_component(first_host, v))
             .count();
-        let query_sets: u64 = result.stats.iter().map(|s| s.total_query_sets()).sum();
         println!(
             "{name:<48} -> {} updates, {} query sets, {} nodes outside the main component",
-            updates_len(&result.stats),
-            query_sets,
+            report.applied(),
+            report.total_query_sets(),
             cut_off
         );
+        // Next scenario starts from the intact fabric again; D is untouched.
+        ft.reset();
     }
 
     println!("\nthe preprocessed structure was never rebuilt between scenarios.");
-}
-
-fn updates_len(stats: &[pardfs::core::UpdateStats]) -> usize {
-    stats.len()
 }

@@ -4,15 +4,20 @@
 //! cargo run --release --example quickstart
 //! ```
 //!
-//! Builds a random sparse graph, applies a mixed stream of edge and vertex
-//! updates, and after every update prints a one-line summary of what the
-//! parallel dynamic-DFS maintainer did (how many subtrees were rerooted, how
-//! many engine rounds and query sets it took) while asserting that the
-//! maintained tree stays a valid DFS tree.
+//! Builds a random sparse graph, selects a backend through the
+//! `MaintainerBuilder`, applies a mixed stream of edge and vertex updates,
+//! and after every update prints a one-line summary of what the maintainer
+//! did (how many subtrees were rerooted, how many query sets it took) while
+//! the builder's checked mode asserts the tree stays a valid DFS tree.
+//!
+//! Change `Backend::Parallel` to `Backend::Sequential`, `Backend::Streaming`,
+//! `Backend::Congest { bandwidth: 8 }` or `Backend::FaultTolerant` — the rest
+//! of the program is identical: that is the point of the unified
+//! `DfsMaintainer` surface.
 
 use pardfs::graph::generators;
 use pardfs::graph::updates::{random_update_sequence, UpdateMix};
-use pardfs::{DynamicDfs, Strategy};
+use pardfs::{Backend, CheckMode, MaintainerBuilder, Strategy};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
@@ -23,24 +28,26 @@ fn main() {
     let graph = generators::random_connected_gnm(n, m, &mut rng);
     println!("initial graph: {n} vertices, {m} edges");
 
-    let mut dfs = DynamicDfs::with_strategy(&graph, Strategy::Phased);
+    let mut dfs = MaintainerBuilder::new(Backend::Parallel)
+        .strategy(Strategy::Phased)
+        .check_mode(CheckMode::EveryUpdate) // panic loudly if the tree breaks
+        .build(&graph);
     println!(
-        "initial DFS forest built: {} component root(s)\n",
+        "initial DFS forest built with the {} backend: {} component root(s)\n",
+        dfs.backend_name(),
         dfs.forest_roots().len()
     );
 
     let updates = random_update_sequence(&graph, 25, &UpdateMix::default(), &mut rng);
     for (i, update) in updates.iter().enumerate() {
         dfs.apply_update(update);
-        dfs.check().expect("the maintained tree must stay a DFS tree");
-        let s = dfs.last_stats();
+        let report = dfs.stats();
         println!(
-            "update {i:>2} {:<14} jobs={} rounds={} query_sets={} relinked={} components={}",
+            "update {i:>2} {:<14} jobs={} query_sets={} relinked={} components={}",
             format!("{:?}", update.kind()),
-            s.reroot_jobs,
-            s.reroot.rounds,
-            s.total_query_sets(),
-            s.reroot.relinked_vertices,
+            report.reroot_jobs(),
+            report.total_query_sets(),
+            report.relinked_vertices(),
             dfs.forest_roots().len(),
         );
     }

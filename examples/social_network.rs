@@ -9,14 +9,15 @@
 //!
 //! A DFS forest is exactly the right index for this: connectivity is "same
 //! tree root", and the tree (plus back edges) supports biconnectivity
-//! analysis. The example maintains the forest with the parallel dynamic-DFS
-//! engine under churn and answers queries after every batch, comparing the
+//! analysis. The example maintains the forest through the unified
+//! `DfsMaintainer` surface (the backend is one `MaintainerBuilder` line)
+//! under churn and answers queries after every batch, comparing the
 //! per-update cost against recomputing the forest from scratch.
 
 use pardfs::graph::{generators, Graph, Update};
 use pardfs::seq::articulation::articulation_points;
 use pardfs::seq::static_dfs::static_dfs;
-use pardfs::DynamicDfs;
+use pardfs::{Backend, MaintainerBuilder};
 use rand::prelude::*;
 use rand_chacha::ChaCha8Rng;
 use std::time::Instant;
@@ -28,7 +29,7 @@ fn main() {
     let n = graph.num_vertices();
     println!("social graph: {n} users, {} friendships", graph.num_edges());
 
-    let mut dfs = DynamicDfs::new(&graph);
+    let mut dfs = MaintainerBuilder::new(Backend::Parallel).build(&graph);
     let mut mirror: Graph = graph.clone();
 
     let mut dynamic_total = 0u128;
@@ -39,15 +40,15 @@ fn main() {
         // created and one goes away.
         let mut updates: Vec<Update> = Vec::new();
         for _ in 0..5 {
-            let (u, v) = (
-                rng.gen_range(0..n as u32),
-                rng.gen_range(0..n as u32),
-            );
+            let (u, v) = (rng.gen_range(0..n as u32), rng.gen_range(0..n as u32));
             if u != v && !mirror.has_edge(u, v) && mirror.is_active(u) && mirror.is_active(v) {
                 updates.push(Update::InsertEdge(u, v));
             }
         }
-        if let Some((u, v)) = generators::sample_edges(&mirror, 1, &mut rng).first().copied() {
+        if let Some((u, v)) = generators::sample_edges(&mirror, 1, &mut rng)
+            .first()
+            .copied()
+        {
             updates.push(Update::DeleteEdge(u, v));
         }
         let friends: Vec<u32> = (0..3)

@@ -7,13 +7,16 @@
 //!
 //! The scenario mimics a log-processing pipeline: the edge set lives in an
 //! external store that can only be scanned front-to-back (a "pass"), while the
-//! service keeps just the DFS forest in RAM. After every update the example
-//! reports how many passes were needed and checks that the count stays within
-//! the `O(log^2 n)` envelope of the paper.
+//! service keeps just the DFS forest in RAM. The maintainer is built through
+//! the unified builder (`Backend::Streaming`); the per-update `StatsReport`
+//! exposes both the engine view (model passes = query sets) and the
+//! stream-access view (raw passes, edges scanned) of the same update, and the
+//! example checks the count stays within the `O(log^2 n)` envelope of the
+//! paper.
 
 use pardfs::graph::generators;
 use pardfs::graph::updates::{random_update_sequence, UpdateMix};
-use pardfs::StreamingDynamicDfs;
+use pardfs::{DfsMaintainer, StreamingDynamicDfs};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
@@ -22,6 +25,9 @@ fn main() {
     let n = 3_000;
     let m = 12_000;
     let graph = generators::random_connected_gnm(n, m, &mut rng);
+    // Concrete construction: `resident_words` is a streaming-model quantity
+    // that has no place on the backend-agnostic trait. Everything else below
+    // goes through the unified `DfsMaintainer` surface.
     let mut s = StreamingDynamicDfs::new(&graph);
     println!(
         "stream: {n} vertices, {m} edges; resident state: {} words (O(n))\n",
@@ -36,29 +42,33 @@ fn main() {
         "{:<4} {:<14} {:>14} {:>14} {:>14} {:>12}",
         "#", "update", "model passes", "raw batches", "edges scanned", "envelope"
     );
+    let mut total_passes = 0u64;
+    let mut total_edges = 0u64;
     for (i, u) in updates.iter().enumerate() {
         s.apply_update(u);
         s.check().expect("streamed DFS forest must stay valid");
-        let engine = s.last_update_stats();
-        let stream = s.last_stream_stats();
+        let report = s.stats();
+        let stream = *report
+            .stream()
+            .expect("streaming backend reports stream stats");
+        total_passes += stream.passes;
+        total_edges += stream.edges_scanned;
         println!(
             "{:<4} {:<14} {:>14} {:>14} {:>14} {:>12.0}",
             i,
             format!("{:?}", u.kind()),
-            engine.total_query_sets(),
+            report.total_query_sets(),
             stream.passes,
             stream.edges_scanned,
             envelope
         );
         assert!(
-            (engine.total_query_sets() as f64) < 20.0 * envelope,
+            (report.total_query_sets() as f64) < 20.0 * envelope,
             "pass count escaped the O(log^2 n) envelope"
         );
     }
 
-    let total = s.total_stream_stats();
     println!(
-        "\ntotals: {} passes, {} edges scanned, peak partial-result words {} (budget O(n) = {})",
-        total.passes, total.edges_scanned, total.peak_partial_words, n
+        "\ntotals: {total_passes} passes, {total_edges} edges scanned (budget O(n) = {n} resident words)",
     );
 }

@@ -1,0 +1,322 @@
+//! Runtime backend selection: [`Backend`] × [`Strategy`](crate::Strategy) ×
+//! [`CheckMode`] through a [`MaintainerBuilder`].
+//!
+//! The umbrella crate is the only crate that depends on every backend, so the
+//! factory lives here; the trait it hands out ([`DfsMaintainer`]) lives in
+//! `pardfs-api` and is implemented by each backend crate.
+
+use pardfs_api::{BatchReport, DfsMaintainer, StatsReport};
+use pardfs_congest::DistributedDynamicDfs;
+use pardfs_core::{DynamicDfs, FaultTolerantDfs, Strategy};
+use pardfs_graph::{Graph, Update, Vertex};
+use pardfs_seq::SeqRerootDfs;
+use pardfs_stream::StreamingDynamicDfs;
+use pardfs_tree::TreeIndex;
+
+/// Which maintainer implementation to construct.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Backend {
+    /// Shared-memory parallel maintainer ([`DynamicDfs`], Theorem 13).
+    Parallel,
+    /// Sequential baseline ([`SeqRerootDfs`], reference [6] of the paper).
+    /// Ignores the configured strategy (it *is* the root-path baseline).
+    Sequential,
+    /// Semi-streaming maintainer ([`StreamingDynamicDfs`], Theorem 15).
+    Streaming,
+    /// Distributed CONGEST maintainer ([`DistributedDynamicDfs`],
+    /// Theorem 16) with the given per-message bandwidth `B` in words.
+    Congest {
+        /// Words per message per round (the paper uses `B = n / D`).
+        bandwidth: usize,
+    },
+    /// Fault tolerant maintainer ([`FaultTolerantDfs`], Theorem 14):
+    /// preprocesses once and absorbs each accumulated batch against the
+    /// frozen structure. Best for small numbers of updates between
+    /// [`FaultTolerantDfs::reset`] calls.
+    FaultTolerant,
+}
+
+impl Backend {
+    /// All backends at a default configuration — convenient for conformance
+    /// tests and benchmark sweeps. (Ask the built maintainer for its name
+    /// via [`DfsMaintainer::backend_name`].)
+    pub fn all_default() -> Vec<Backend> {
+        vec![
+            Backend::Parallel,
+            Backend::Sequential,
+            Backend::Streaming,
+            Backend::Congest { bandwidth: 8 },
+            Backend::FaultTolerant,
+        ]
+    }
+}
+
+/// When the built maintainer re-validates its tree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CheckMode {
+    /// Never validate automatically (production default); callers may still
+    /// invoke [`DfsMaintainer::check`] themselves.
+    #[default]
+    Never,
+    /// Validate after every update and **panic** on an invalid tree. Meant
+    /// for tests and debugging: it turns a silently corrupted structure into
+    /// an immediate, located failure, at `O(n + m)` cost per update. Batches
+    /// are applied update-by-update so the panic names the exact offending
+    /// update — a backend's native batch path (the fault tolerant
+    /// absorption) is bypassed in this mode.
+    EveryUpdate,
+}
+
+/// Builder for a runtime-selected [`DfsMaintainer`].
+///
+/// ```
+/// use pardfs::{Backend, MaintainerBuilder, Strategy};
+/// use pardfs::graph::generators;
+///
+/// let g = generators::grid(4, 4);
+/// let mut dfs = MaintainerBuilder::new(Backend::Parallel)
+///     .strategy(Strategy::Phased)
+///     .build(&g);
+/// dfs.apply_update(&pardfs::Update::DeleteEdge(0, 1));
+/// assert!(dfs.check().is_ok());
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct MaintainerBuilder {
+    backend: Backend,
+    strategy: Strategy,
+    check_mode: CheckMode,
+}
+
+impl MaintainerBuilder {
+    /// Start a builder for the given backend with the phased strategy and no
+    /// automatic checking.
+    pub fn new(backend: Backend) -> Self {
+        MaintainerBuilder {
+            backend,
+            strategy: Strategy::Phased,
+            check_mode: CheckMode::Never,
+        }
+    }
+
+    /// Select the rerooting strategy (ignored by [`Backend::Sequential`]).
+    pub fn strategy(mut self, strategy: Strategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// Select the automatic-validation mode.
+    pub fn check_mode(mut self, check_mode: CheckMode) -> Self {
+        self.check_mode = check_mode;
+        self
+    }
+
+    /// The configured backend.
+    pub fn backend(&self) -> Backend {
+        self.backend
+    }
+
+    /// Construct the maintainer over `user_graph`.
+    pub fn build(&self, user_graph: &Graph) -> Box<dyn DfsMaintainer> {
+        let inner: Box<dyn DfsMaintainer> = match self.backend {
+            Backend::Parallel => Box::new(DynamicDfs::with_strategy(user_graph, self.strategy)),
+            Backend::Sequential => Box::new(SeqRerootDfs::new(user_graph)),
+            Backend::Streaming => Box::new(StreamingDynamicDfs::with_strategy(
+                user_graph,
+                self.strategy,
+            )),
+            Backend::Congest { bandwidth } => Box::new(DistributedDynamicDfs::with_strategy(
+                user_graph,
+                bandwidth,
+                self.strategy,
+            )),
+            Backend::FaultTolerant => {
+                Box::new(FaultTolerantDfs::with_strategy(user_graph, self.strategy))
+            }
+        };
+        match self.check_mode {
+            CheckMode::Never => inner,
+            CheckMode::EveryUpdate => Box::new(Checked { inner }),
+        }
+    }
+}
+
+/// Decorator implementing [`CheckMode::EveryUpdate`].
+struct Checked {
+    inner: Box<dyn DfsMaintainer>,
+}
+
+impl Checked {
+    fn validate(&self, context: &str) {
+        if let Err(e) = self.inner.check() {
+            panic!(
+                "{} maintainer holds an invalid DFS tree after {context}: {e}",
+                self.inner.backend_name()
+            );
+        }
+    }
+}
+
+impl DfsMaintainer for Checked {
+    fn backend_name(&self) -> &'static str {
+        self.inner.backend_name()
+    }
+
+    fn apply_update(&mut self, update: &Update) -> Option<Vertex> {
+        let out = self.inner.apply_update(update);
+        self.validate(&format!("{update:?}"));
+        out
+    }
+
+    fn apply_batch(&mut self, updates: &[Update]) -> BatchReport {
+        // Apply update-by-update so a corrupted tree panics at the exact
+        // offending update, as the CheckMode::EveryUpdate contract promises
+        // (this forgoes a backend's native batch path — diagnosis over
+        // speed is what checked mode is for).
+        let mut report = BatchReport::default();
+        for (i, update) in updates.iter().enumerate() {
+            let out = self.inner.apply_update(update);
+            self.validate(&format!("update {i} of a batch ({update:?})"));
+            if let Some(v) = out {
+                report.inserted.push(v);
+            }
+            report.per_update.push(self.inner.stats());
+        }
+        report
+    }
+
+    fn tree(&self) -> &TreeIndex {
+        self.inner.tree()
+    }
+
+    fn forest_parent(&self, v: Vertex) -> Option<Vertex> {
+        self.inner.forest_parent(v)
+    }
+
+    fn forest_roots(&self) -> Vec<Vertex> {
+        self.inner.forest_roots()
+    }
+
+    fn same_component(&self, u: Vertex, v: Vertex) -> bool {
+        self.inner.same_component(u, v)
+    }
+
+    fn num_vertices(&self) -> usize {
+        self.inner.num_vertices()
+    }
+
+    fn num_edges(&self) -> usize {
+        self.inner.num_edges()
+    }
+
+    fn check(&self) -> Result<(), String> {
+        self.inner.check()
+    }
+
+    fn stats(&self) -> StatsReport {
+        self.inner.stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pardfs_graph::generators;
+
+    #[test]
+    fn every_backend_builds_and_updates() {
+        let g = generators::grid(4, 4);
+        for backend in Backend::all_default() {
+            let mut dfs = MaintainerBuilder::new(backend)
+                .check_mode(CheckMode::EveryUpdate)
+                .build(&g);
+            dfs.apply_update(&Update::DeleteEdge(0, 1));
+            dfs.apply_update(&Update::InsertEdge(0, 15));
+            assert!(dfs.check().is_ok(), "{}", dfs.backend_name());
+            assert_eq!(dfs.num_vertices(), 16, "{}", dfs.backend_name());
+            assert_eq!(dfs.forest_roots().len(), 1, "{}", dfs.backend_name());
+            assert!(dfs.same_component(0, 15), "{}", dfs.backend_name());
+        }
+    }
+
+    #[test]
+    fn builder_reports_backend_names() {
+        let g = generators::path(4);
+        let names: Vec<&str> = Backend::all_default()
+            .into_iter()
+            .map(|b| MaintainerBuilder::new(b).build(&g).backend_name())
+            .collect();
+        assert_eq!(
+            names,
+            vec![
+                "parallel",
+                "sequential",
+                "streaming",
+                "congest",
+                "fault-tolerant"
+            ]
+        );
+    }
+
+    #[test]
+    fn strategies_produce_working_parallel_maintainers() {
+        let g = generators::broom(10, 10);
+        for strategy in [Strategy::Simple, Strategy::Phased] {
+            let mut dfs = MaintainerBuilder::new(Backend::Parallel)
+                .strategy(strategy)
+                .check_mode(CheckMode::EveryUpdate)
+                .build(&g);
+            let report = dfs.apply_batch(&[
+                Update::DeleteEdge(4, 5),
+                Update::InsertEdge(0, 19),
+                Update::InsertVertex { edges: vec![1, 7] },
+            ]);
+            assert_eq!(report.applied(), 3);
+            assert_eq!(report.inserted, vec![20]);
+            assert_eq!(report.per_update.len(), 3);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid DFS tree")]
+    fn checked_mode_panics_on_corruption() {
+        // A maintainer whose check always fails.
+        struct Broken(TreeIndex);
+        impl DfsMaintainer for Broken {
+            fn backend_name(&self) -> &'static str {
+                "broken"
+            }
+            fn apply_update(&mut self, _update: &Update) -> Option<Vertex> {
+                None
+            }
+            fn tree(&self) -> &TreeIndex {
+                &self.0
+            }
+            fn forest_parent(&self, _v: Vertex) -> Option<Vertex> {
+                None
+            }
+            fn forest_roots(&self) -> Vec<Vertex> {
+                Vec::new()
+            }
+            fn same_component(&self, _u: Vertex, _v: Vertex) -> bool {
+                false
+            }
+            fn num_vertices(&self) -> usize {
+                0
+            }
+            fn num_edges(&self) -> usize {
+                0
+            }
+            fn check(&self) -> Result<(), String> {
+                Err("intentionally broken".into())
+            }
+            fn stats(&self) -> StatsReport {
+                StatsReport::Parallel(Default::default())
+            }
+        }
+        let idx = TreeIndex::from_parent_slice(&[0], 0);
+        let mut checked = Checked {
+            inner: Box::new(Broken(idx)),
+        };
+        checked.apply_update(&Update::InsertEdge(0, 1));
+    }
+}

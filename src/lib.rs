@@ -6,6 +6,8 @@
 //! This umbrella crate re-exports the public API of every sub-crate so that
 //! applications can depend on a single crate:
 //!
+//! * [`api`] — the unified [`DfsMaintainer`] trait, [`BatchReport`] and the
+//!   cross-backend [`StatsReport`];
 //! * [`graph`] — dynamic undirected graphs, generators, update sequences;
 //! * [`tree`] — rooted-tree indexes (orders, sizes, LCA, paths);
 //! * [`pram`] — EREW PRAM cost-model primitives (Theorems 4–7);
@@ -17,24 +19,46 @@
 //! * [`stream`] — semi-streaming dynamic DFS (Theorem 15);
 //! * [`congest`] — distributed CONGEST(B) dynamic DFS (Theorem 16).
 //!
+//! It also hosts the [`MaintainerBuilder`]: all five backends implement the
+//! same [`DfsMaintainer`] trait, and the builder selects one at runtime by
+//! [`Backend`] × [`Strategy`] × [`CheckMode`].
+//!
 //! ## Quick start
 //!
 //! ```
-//! use pardfs::{DynamicDfs, graph::generators, graph::Update};
+//! use pardfs::{Backend, MaintainerBuilder, Update};
+//! use pardfs::graph::generators;
+//! use rand::SeedableRng;
+//! use rand_chacha::ChaCha8Rng;
 //!
-//! let mut rng = rand::thread_rng();
+//! let mut rng = ChaCha8Rng::seed_from_u64(42);
 //! let g = generators::random_connected_gnm(100, 300, &mut rng);
-//! let mut dfs = DynamicDfs::new(&g);
+//!
+//! // Pick any backend at runtime — Parallel, Sequential, Streaming,
+//! // Congest { bandwidth } or FaultTolerant — same surface.
+//! let mut dfs = MaintainerBuilder::new(Backend::Parallel).build(&g);
+//!
 //! let nbr = g.neighbors(0)[0];
 //! dfs.apply_update(&Update::DeleteEdge(0, nbr));
-//! dfs.apply_update(&Update::InsertVertex { edges: vec![3, 7, 42] });
+//! let report = dfs.apply_batch(&[
+//!     Update::InsertVertex { edges: vec![3, 7, 42] },
+//!     Update::InsertEdge(1, 50),
+//! ]);
+//! assert_eq!(report.applied(), 2);
 //! assert!(dfs.check().is_ok());
-//! println!("forest roots: {:?}", dfs.forest_roots());
+//! println!(
+//!     "forest roots: {:?}, query sets for the batch: {}",
+//!     dfs.forest_roots(),
+//!     report.total_query_sets(),
+//! );
 //! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod builder;
+
+pub use pardfs_api as api;
 pub use pardfs_congest as congest;
 pub use pardfs_core as core;
 pub use pardfs_graph as graph;
@@ -44,6 +68,8 @@ pub use pardfs_seq as seq;
 pub use pardfs_stream as stream;
 pub use pardfs_tree as tree;
 
+pub use builder::{Backend, CheckMode, MaintainerBuilder};
+pub use pardfs_api::{BatchReport, DfsMaintainer, StatsReport};
 pub use pardfs_congest::DistributedDynamicDfs;
 pub use pardfs_core::{DynamicDfs, FaultTolerantDfs, Strategy};
 pub use pardfs_graph::{Graph, Update, Vertex};

@@ -1,0 +1,234 @@
+//! Cross-backend conformance suite: every [`DfsMaintainer`] backend is driven
+//! through the *same* update sequences by the *same* parameterised driver and
+//! must (a) keep a valid DFS tree after every update, (b) agree with a
+//! reference union-find on the exact component structure, and (c) agree with
+//! every other backend on all forest queries that are
+//! structure-independent (component membership, component count, vertex
+//! presence). The maintained DFS *trees* may legitimately differ between
+//! backends — a graph has many DFS trees — so tree shapes are never compared.
+
+use pardfs::graph::updates::{random_update_sequence, UpdateMix};
+use pardfs::graph::{connected_components, generators, Graph, Update};
+use pardfs::{Backend, CheckMode, DfsMaintainer, MaintainerBuilder, Strategy};
+use rand::prelude::*;
+use rand_chacha::ChaCha8Rng;
+
+/// Every backend configuration under conformance test.
+fn contenders() -> Vec<(String, MaintainerBuilder)> {
+    let mut out = vec![
+        (
+            "parallel/simple".to_string(),
+            MaintainerBuilder::new(Backend::Parallel).strategy(Strategy::Simple),
+        ),
+        (
+            "parallel/phased".to_string(),
+            MaintainerBuilder::new(Backend::Parallel).strategy(Strategy::Phased),
+        ),
+        (
+            "sequential".to_string(),
+            MaintainerBuilder::new(Backend::Sequential),
+        ),
+        (
+            "streaming".to_string(),
+            MaintainerBuilder::new(Backend::Streaming),
+        ),
+        (
+            "fault-tolerant".to_string(),
+            MaintainerBuilder::new(Backend::FaultTolerant),
+        ),
+    ];
+    for bandwidth in [1usize, 8] {
+        out.push((
+            format!("congest/B={bandwidth}"),
+            MaintainerBuilder::new(Backend::Congest { bandwidth }),
+        ));
+    }
+    out
+}
+
+/// The parameterised conformance driver: apply `updates` to every backend in
+/// lockstep with a reference graph and assert agreement after every step.
+fn conformance_run(context: &str, graph: &Graph, updates: &[Update]) {
+    let mut reference = graph.clone();
+    let mut maintainers: Vec<(String, Box<dyn DfsMaintainer>)> = contenders()
+        .into_iter()
+        .map(|(name, builder)| (name, builder.build(graph)))
+        .collect();
+
+    for (i, update) in updates.iter().enumerate() {
+        reference.apply(update);
+        let (labels, component_count) = connected_components(&reference);
+
+        for (name, dfs) in &mut maintainers {
+            dfs.apply_update(update);
+            dfs.check().unwrap_or_else(|e| {
+                panic!("{context}: {name}, update {i} ({update:?}) broke the DFS tree: {e}")
+            });
+
+            // Component count: one forest root per component.
+            assert_eq!(
+                dfs.forest_roots().len(),
+                component_count,
+                "{context}: {name}, update {i}: component count"
+            );
+
+            // Exact component structure against the reference labels, on the
+            // whole (padded) id space.
+            let cap = reference.capacity() as u32;
+            for a in 0..cap {
+                if !reference.is_active(a) {
+                    assert!(
+                        dfs.forest_parent(a).is_none(),
+                        "{context}: {name}, update {i}: deleted vertex {a} still has a parent"
+                    );
+                    continue;
+                }
+                for b in (a + 1)..cap {
+                    if !reference.is_active(b) {
+                        continue;
+                    }
+                    let same = labels[a as usize] == labels[b as usize];
+                    assert_eq!(
+                        dfs.same_component(a, b),
+                        same,
+                        "{context}: {name}, update {i}: connectivity disagrees on ({a},{b})"
+                    );
+                }
+            }
+
+            // Forest parents stay inside the component (spot consistency
+            // between the two query surfaces).
+            for a in 0..cap {
+                if let Some(p) = dfs.forest_parent(a) {
+                    assert!(
+                        dfs.same_component(a, p),
+                        "{context}: {name}, update {i}: parent {p} of {a} in another component"
+                    );
+                }
+            }
+        }
+
+        // Vertex-count agreement across all backends.
+        let counts: Vec<usize> = maintainers.iter().map(|(_, d)| d.num_vertices()).collect();
+        assert!(
+            counts.windows(2).all(|w| w[0] == w[1]),
+            "{context}: update {i}: vertex counts diverge: {counts:?}"
+        );
+    }
+}
+
+#[test]
+fn conformance_random_mixed_updates() {
+    let mut rng = ChaCha8Rng::seed_from_u64(2027);
+    for trial in 0..3 {
+        let n = 20 + 10 * trial;
+        let g = generators::random_connected_gnm(n, 3 * n, &mut rng);
+        let updates = random_update_sequence(&g, 15, &UpdateMix::default(), &mut rng);
+        conformance_run(&format!("random trial {trial}"), &g, &updates);
+    }
+}
+
+#[test]
+fn conformance_edge_churn_on_adversarial_shapes() {
+    let mut rng = ChaCha8Rng::seed_from_u64(11);
+    let shapes: Vec<(&str, Graph)> = vec![
+        ("path", generators::path(40)),
+        ("broom", generators::broom(20, 20)),
+        ("caterpillar", generators::caterpillar(12, 2)),
+        ("path_of_cliques", generators::path_of_cliques(8, 5)),
+    ];
+    for (name, g) in shapes {
+        let updates = random_update_sequence(&g, 12, &UpdateMix::edges_only(), &mut rng);
+        conformance_run(name, &g, &updates);
+    }
+}
+
+#[test]
+fn conformance_disconnecting_and_reconnecting() {
+    // Deterministic scripted sequence hitting the component-splitting paths:
+    // cut a path in the middle, cut again, reconnect differently, drop and
+    // re-grow vertices.
+    let g = generators::path(12);
+    let updates = vec![
+        Update::DeleteEdge(5, 6),
+        Update::DeleteEdge(2, 3),
+        Update::InsertEdge(0, 11),
+        Update::DeleteVertex(8),
+        Update::InsertVertex { edges: vec![2, 3] },
+        Update::InsertEdge(5, 7),
+        Update::DeleteEdge(0, 11),
+    ];
+    conformance_run("scripted split/rejoin", &g, &updates);
+}
+
+#[test]
+fn conformance_batch_equals_one_by_one() {
+    // For every backend: applying a batch through apply_batch must leave the
+    // maintainer in a state component-equivalent to applying the updates one
+    // by one, and the report must cover every update.
+    let mut rng = ChaCha8Rng::seed_from_u64(555);
+    let g = generators::random_connected_gnm(30, 80, &mut rng);
+    let updates = random_update_sequence(&g, 10, &UpdateMix::default(), &mut rng);
+
+    let mut reference = g.clone();
+    for u in &updates {
+        reference.apply(u);
+    }
+    let (labels, component_count) = connected_components(&reference);
+
+    for (name, builder) in contenders() {
+        let mut batched = builder.build(&g);
+        let report = batched.apply_batch(&updates);
+        assert_eq!(report.applied(), updates.len(), "{name}");
+        assert_eq!(report.per_update.len(), updates.len(), "{name}");
+        batched
+            .check()
+            .unwrap_or_else(|e| panic!("{name}: batch apply broke the tree: {e}"));
+
+        let mut stepped = builder.build(&g);
+        for u in &updates {
+            stepped.apply_update(u);
+        }
+
+        assert_eq!(
+            batched.forest_roots().len(),
+            component_count,
+            "{name}: batched component count"
+        );
+        let cap = reference.capacity() as u32;
+        for a in 0..cap {
+            for b in (a + 1)..cap {
+                if !reference.is_active(a) || !reference.is_active(b) {
+                    continue;
+                }
+                let same = labels[a as usize] == labels[b as usize];
+                assert_eq!(
+                    batched.same_component(a, b),
+                    same,
+                    "{name}: batched ({a},{b})"
+                );
+                assert_eq!(
+                    stepped.same_component(a, b),
+                    same,
+                    "{name}: stepped ({a},{b})"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn conformance_checked_mode_accepts_all_backends() {
+    // CheckMode::EveryUpdate wraps every backend; a short mixed run must not
+    // trip it.
+    let mut rng = ChaCha8Rng::seed_from_u64(77);
+    let g = generators::random_connected_gnm(25, 60, &mut rng);
+    let updates = random_update_sequence(&g, 8, &UpdateMix::default(), &mut rng);
+    for (name, builder) in contenders() {
+        let mut dfs = builder.check_mode(CheckMode::EveryUpdate).build(&g);
+        for u in &updates {
+            dfs.apply_update(u);
+        }
+        assert!(dfs.check().is_ok(), "{name}");
+    }
+}

@@ -1,22 +1,16 @@
-//! Cross-crate integration tests: the four maintainers (sequential baseline,
-//! parallel, streaming, distributed) and the fault tolerant structure are
-//! driven with the same update sequences and must all produce valid DFS
-//! forests that agree on connectivity with a reference graph.
+//! Cross-crate integration tests, driven through the unified
+//! [`DfsMaintainer`] trait and the [`MaintainerBuilder`]: all five backends
+//! absorb the same update sequences and must produce valid DFS forests that
+//! agree on connectivity with a reference graph. (The exhaustive lockstep
+//! comparison lives in `tests/conformance.rs`; this file covers the
+//! workspace-level wiring — builder, umbrella re-exports, batch API,
+//! fault-tolerant query style — and a few scripted scenarios.)
 
 use pardfs::graph::updates::{random_update_sequence, UpdateMix};
 use pardfs::graph::{connected_components, generators, Graph, Update};
-use pardfs::{
-    DistributedDynamicDfs, DynamicDfs, FaultTolerantDfs, SeqRerootDfs, Strategy,
-    StreamingDynamicDfs,
-};
+use pardfs::{Backend, BatchReport, DfsMaintainer, FaultTolerantDfs, MaintainerBuilder, Strategy};
 use rand::prelude::*;
 use rand_chacha::ChaCha8Rng;
-
-/// Component labels of the reference graph, restricted to original vertices.
-fn components_of(g: &Graph) -> Vec<u32> {
-    let (labels, _) = connected_components(g);
-    labels
-}
 
 #[test]
 fn all_maintainers_agree_with_reference_connectivity() {
@@ -26,36 +20,32 @@ fn all_maintainers_agree_with_reference_connectivity() {
     let updates = random_update_sequence(&g, 40, &UpdateMix::default(), &mut rng);
 
     let mut reference = g.clone();
-    let mut seq = SeqRerootDfs::new(&g);
-    let mut par_simple = DynamicDfs::with_strategy(&g, Strategy::Simple);
-    let mut par_phased = DynamicDfs::with_strategy(&g, Strategy::Phased);
-    let mut streaming = StreamingDynamicDfs::new(&g);
-    let mut congest = DistributedDynamicDfs::new(&g, 8);
+    let mut maintainers: Vec<Box<dyn DfsMaintainer>> = vec![
+        MaintainerBuilder::new(Backend::Sequential).build(&g),
+        MaintainerBuilder::new(Backend::Parallel)
+            .strategy(Strategy::Simple)
+            .build(&g),
+        MaintainerBuilder::new(Backend::Parallel)
+            .strategy(Strategy::Phased)
+            .build(&g),
+        MaintainerBuilder::new(Backend::Streaming).build(&g),
+        MaintainerBuilder::new(Backend::Congest { bandwidth: 8 }).build(&g),
+    ];
 
     for (i, u) in updates.iter().enumerate() {
         reference.apply(u);
-        seq.apply_update(u);
-        par_simple.apply_update(u);
-        par_phased.apply_update(u);
-        streaming.apply_update(u);
-        congest.apply_update(u);
+        let (labels, _) = connected_components(&reference);
 
-        seq.check().unwrap_or_else(|e| panic!("seq, update {i}: {e}"));
-        par_simple
-            .check()
-            .unwrap_or_else(|e| panic!("simple, update {i}: {e}"));
-        par_phased
-            .check()
-            .unwrap_or_else(|e| panic!("phased, update {i}: {e}"));
-        streaming
-            .check()
-            .unwrap_or_else(|e| panic!("streaming, update {i}: {e}"));
-        congest
-            .check()
-            .unwrap_or_else(|e| panic!("congest, update {i}: {e}"));
+        for dfs in &mut maintainers {
+            dfs.apply_update(u);
+            dfs.check()
+                .unwrap_or_else(|e| panic!("{}, update {i}: {e}", dfs.backend_name()));
+        }
 
-        // Connectivity agreement on the original vertex ids.
-        let labels = components_of(&reference);
+        // Connectivity agreement on the original vertex ids (checked on the
+        // phased maintainer; the full cross-backend matrix lives in the
+        // conformance suite).
+        let phased = &maintainers[2];
         for a in 0..n as u32 {
             for b in (a + 1)..n as u32 {
                 if !reference.is_active(a) || !reference.is_active(b) {
@@ -63,7 +53,7 @@ fn all_maintainers_agree_with_reference_connectivity() {
                 }
                 let same = labels[a as usize] == labels[b as usize];
                 assert_eq!(
-                    par_phased.same_component(a, b),
+                    phased.same_component(a, b),
                     same,
                     "update {i}: phased connectivity disagrees on ({a},{b})"
                 );
@@ -80,16 +70,26 @@ fn fault_tolerant_agrees_with_fully_dynamic_processing() {
 
     for k in [1usize, 2, 4, 6] {
         let updates = random_update_sequence(&g, k, &UpdateMix::default(), &mut rng);
-        // Fault tolerant: one shot from the preprocessed structure.
+        // Fault tolerant, query style: one shot from the preprocessed
+        // structure, maintainer state untouched.
         let result = ft.tree_after(&updates);
         result.check().unwrap();
 
+        // The same batch through the unified batch API must agree.
+        let report: BatchReport = ft.apply_batch(&updates);
+        assert_eq!(report.applied(), k);
+        assert_eq!(report.inserted, result.inserted, "k = {k}");
+        assert_eq!(
+            DfsMaintainer::tree(&ft).num_vertices(),
+            result.tree().num_vertices(),
+            "k = {k}"
+        );
+        ft.reset();
+
         // Fully dynamic: process the same updates one by one.
-        let mut dynamic = DynamicDfs::new(&g);
-        let mut reference = g.clone();
+        let mut dynamic = MaintainerBuilder::new(Backend::Parallel).build(&g);
         for u in &updates {
             dynamic.apply_update(u);
-            reference.apply(u);
         }
         dynamic.check().unwrap();
 
@@ -99,6 +99,8 @@ fn fault_tolerant_agrees_with_fully_dynamic_processing() {
             dynamic.tree().num_vertices(),
             "k = {k}"
         );
+        // ... and agree on the resulting forest structure queries.
+        assert_eq!(result.forest_roots().len(), dynamic.forest_roots().len());
     }
 }
 
@@ -116,7 +118,7 @@ fn adversarial_families_exercise_deep_reroots() {
     let mut rng = ChaCha8Rng::seed_from_u64(99);
     for (name, g) in families {
         let updates = random_update_sequence(&g, 20, &UpdateMix::edges_only(), &mut rng);
-        let mut dfs = DynamicDfs::new(&g);
+        let mut dfs = MaintainerBuilder::new(Backend::Parallel).build(&g);
         for (i, u) in updates.iter().enumerate() {
             dfs.apply_update(u);
             dfs.check()
@@ -127,9 +129,9 @@ fn adversarial_families_exercise_deep_reroots() {
         let n = dfs.tree().num_vertices() as f64;
         let log2n = n.log2().max(1.0);
         assert!(
-            (dfs.last_stats().total_query_sets() as f64) <= 30.0 * log2n * log2n,
+            (dfs.stats().total_query_sets() as f64) <= 30.0 * log2n * log2n,
             "{name}: query sets {} too large for n = {n}",
-            dfs.last_stats().total_query_sets()
+            dfs.stats().total_query_sets()
         );
     }
 }
@@ -138,16 +140,18 @@ fn adversarial_families_exercise_deep_reroots() {
 fn growing_a_graph_from_nothing() {
     // Start from isolated vertices and build up a graph purely through
     // updates, including vertex insertions that arrive with several edges.
+    // Inserted-vertex ids must agree across backends (the trait reports them
+    // through the same `apply_update` surface).
     let g = Graph::new(4);
-    let mut dfs = DynamicDfs::new(&g);
-    let mut seq = SeqRerootDfs::new(&g);
+    let mut dfs = MaintainerBuilder::new(Backend::Parallel).build(&g);
+    let mut seq = MaintainerBuilder::new(Backend::Sequential).build(&g);
     let mut updates: Vec<Update> = vec![
         Update::InsertEdge(0, 1),
         Update::InsertEdge(2, 3),
         Update::InsertVertex { edges: vec![1, 2] }, // vertex 4 bridges the two pairs
         Update::InsertEdge(0, 3),
         Update::DeleteVertex(4),
-        Update::InsertVertex { edges: vec![0] },    // vertex 5
+        Update::InsertVertex { edges: vec![0] }, // vertex 5
         Update::InsertVertex { edges: vec![5, 3] }, // vertex 6
         Update::DeleteEdge(0, 1),
     ];
@@ -160,14 +164,21 @@ fn growing_a_graph_from_nothing() {
         }
         scratch
     };
-    updates.extend(random_update_sequence(&base, 15, &UpdateMix::default(), &mut rng));
+    updates.extend(random_update_sequence(
+        &base,
+        15,
+        &UpdateMix::default(),
+        &mut rng,
+    ));
 
     for (i, u) in updates.iter().enumerate() {
         let a = dfs.apply_update(u);
         let b = seq.apply_update(u);
         assert_eq!(a, b, "inserted-vertex ids must agree (update {i})");
-        dfs.check().unwrap_or_else(|e| panic!("core, update {i}: {e}"));
-        seq.check().unwrap_or_else(|e| panic!("seq, update {i}: {e}"));
+        dfs.check()
+            .unwrap_or_else(|e| panic!("core, update {i}: {e}"));
+        seq.check()
+            .unwrap_or_else(|e| panic!("seq, update {i}: {e}"));
     }
 }
 
@@ -176,25 +187,49 @@ fn forest_parent_chains_are_acyclic_and_lead_to_roots() {
     let mut rng = ChaCha8Rng::seed_from_u64(13);
     let g = generators::random_connected_gnm(80, 200, &mut rng);
     let updates = random_update_sequence(&g, 30, &UpdateMix::default(), &mut rng);
-    let mut dfs = DynamicDfs::new(&g);
-    for u in &updates {
-        dfs.apply_update(u);
-    }
+    let mut dfs = MaintainerBuilder::new(Backend::Parallel).build(&g);
+    dfs.apply_batch(&updates);
     dfs.check().unwrap();
     let roots: std::collections::HashSet<u32> = dfs.forest_roots().into_iter().collect();
-    for v in 0..dfs.augmented_graph().capacity() as u32 {
-        let Some(mut cur) = dfs.forest_parent(v).or_else(|| {
-            // v itself may be a root or absent; nothing to walk.
-            None
-        }) else {
-            continue;
+    let cap = dfs.tree().capacity() as u32;
+    for v in 0..cap {
+        let Some(mut cur) = dfs.forest_parent(v) else {
+            continue; // v is a root or absent; nothing to walk.
         };
         let mut steps = 0;
         while let Some(p) = dfs.forest_parent(cur) {
             cur = p;
             steps += 1;
-            assert!(steps <= dfs.augmented_graph().capacity(), "cycle detected");
+            assert!(steps <= cap, "cycle detected");
         }
-        assert!(roots.contains(&cur), "chain from {v} ends at a non-root {cur}");
+        assert!(
+            roots.contains(&cur),
+            "chain from {v} ends at a non-root {cur}"
+        );
+    }
+}
+
+#[test]
+fn batch_reports_expose_normalised_statistics() {
+    let mut rng = ChaCha8Rng::seed_from_u64(31);
+    let g = generators::random_connected_gnm(40, 100, &mut rng);
+    let updates = random_update_sequence(&g, 12, &UpdateMix::edges_only(), &mut rng);
+    for backend in Backend::all_default() {
+        let mut dfs = MaintainerBuilder::new(backend).build(&g);
+        let report = dfs.apply_batch(&updates);
+        assert_eq!(report.applied(), updates.len(), "{}", dfs.backend_name());
+        assert_eq!(report.per_update.len(), updates.len());
+        // Edge-only workloads keep the graph connected or split it; either
+        // way at least one update must have touched the tree.
+        assert!(
+            report.total_relinked_vertices() > 0,
+            "{}: no update relinked anything",
+            dfs.backend_name()
+        );
+        assert!(report.max_query_sets() <= report.total_query_sets());
+        // Every per-update report carries the right backend tag.
+        for r in &report.per_update {
+            assert_eq!(r.backend(), dfs.backend_name());
+        }
     }
 }

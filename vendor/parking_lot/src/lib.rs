@@ -1,0 +1,78 @@
+//! Offline stand-in for the `parking_lot` crate.
+//!
+//! Provides [`Mutex`] with parking_lot's poison-free `lock()` signature,
+//! backed by `std::sync::Mutex`. A poisoned std mutex (a panic while the lock
+//! was held) propagates the panic into the next `lock()` call, which matches
+//! how the workspace uses the lock (short, panic-free critical sections of
+//! the CONGEST network accountant).
+
+#![forbid(unsafe_code)]
+
+use std::sync::{Mutex as StdMutex, MutexGuard as StdMutexGuard};
+
+/// A mutual-exclusion primitive with parking_lot's API shape.
+#[derive(Debug, Default)]
+pub struct Mutex<T> {
+    inner: StdMutex<T>,
+}
+
+impl<T> Mutex<T> {
+    /// Wrap a value.
+    pub fn new(value: T) -> Self {
+        Mutex {
+            inner: StdMutex::new(value),
+        }
+    }
+
+    /// Acquire the lock, blocking the current thread.
+    pub fn lock(&self) -> StdMutexGuard<'_, T> {
+        self.inner
+            .lock()
+            .expect("mutex poisoned: a previous holder panicked")
+    }
+
+    /// Consume the mutex, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.inner
+            .into_inner()
+            .expect("mutex poisoned: a previous holder panicked")
+    }
+}
+
+impl<T> From<T> for Mutex<T> {
+    fn from(value: T) -> Self {
+        Mutex::new(value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::Mutex;
+
+    #[test]
+    fn lock_and_into_inner() {
+        let m = Mutex::new(5u32);
+        *m.lock() += 2;
+        assert_eq!(*m.lock(), 7);
+        assert_eq!(m.into_inner(), 7);
+    }
+
+    #[test]
+    fn shared_across_threads() {
+        let m = std::sync::Arc::new(Mutex::new(0u64));
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let m = m.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        *m.lock() += 1;
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(*m.lock(), 8000);
+    }
+}

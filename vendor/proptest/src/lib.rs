@@ -1,0 +1,180 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Supports the subset of the API this workspace's property tests use:
+//!
+//! * the [`proptest!`] macro with an optional `#![proptest_config(..)]`
+//!   attribute and `arg in strategy` parameter lists;
+//! * [`any::<T>()`] for `u64` / `u32` / `usize` / `bool`, and integer range
+//!   strategies (`5usize..40`, `0u32..=7`, ...);
+//! * [`prop_assert!`] / [`prop_assert_eq!`] (mapped to `assert!` forms).
+//!
+//! Each test runs `config.cases` random cases from a ChaCha stream seeded by
+//! the test's name, so failures are deterministic per test binary. There is
+//! **no shrinking**: a failing case panics with the generated arguments
+//! printed, which is enough to reproduce (the workspace's strategies already
+//! derive everything from small scalar seeds).
+
+#![forbid(unsafe_code)]
+
+use std::ops::{Range, RangeInclusive};
+
+pub use rand_chacha::ChaCha8Rng as TestRng;
+
+/// Runner configuration. Only `cases` is consulted; the other fields exist so
+/// `ProptestConfig { cases: N, ..ProptestConfig::default() }` compiles as it
+/// would against the real crate.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per test.
+    pub cases: u32,
+    /// Accepted for compatibility; shrinking is not implemented.
+    pub max_shrink_iters: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: 256,
+            max_shrink_iters: 0,
+        }
+    }
+}
+
+/// A generator of random values for one test parameter.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draw one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+/// Strategy returned by [`any`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+/// Uniform values over a type's whole domain.
+pub fn any<T>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+macro_rules! impl_any_via_rng {
+    ($($t:ty),*) => {$(
+        impl Strategy for Any<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rand::Standard::from_rng(rng)
+            }
+        }
+    )*};
+}
+impl_any_via_rng!(u32, u64, usize, bool);
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rand::Rng::gen_range(rng, self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rand::Rng::gen_range(rng, self.clone())
+            }
+        }
+    )*};
+}
+impl_range_strategy!(u8, u16, u32, u64, usize, i32, i64);
+
+/// Derive a per-test seed from the test's name (FNV-1a).
+pub fn seed_for(test_name: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in test_name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Assert inside a property body (no-shrink stand-in for proptest's macro).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Assert equality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Declare property tests. Mirrors the real macro's grammar for the forms
+/// used in this workspace.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@with_config ($cfg) $($rest)*);
+    };
+    (@with_config ($cfg:expr)
+        $( #[test] fn $name:ident( $($arg:ident in $strat:expr),* $(,)? ) $body:block )*
+    ) => {
+        $(
+            #[test]
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                let mut __proptest_rng = <$crate::TestRng as rand::SeedableRng>::seed_from_u64(
+                    $crate::seed_for(concat!(module_path!(), "::", stringify!($name))),
+                );
+                for __case in 0..config.cases {
+                    $( let $arg = $crate::Strategy::generate(&$strat, &mut __proptest_rng); )*
+                    let __case_desc = format!(
+                        concat!("case {} of ", stringify!($name), "(", $(stringify!($arg), " = {:?}, ",)* ")"),
+                        __case, $(&$arg),*
+                    );
+                    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| $body));
+                    if let Err(panic) = result {
+                        eprintln!("proptest failure in {__case_desc}");
+                        std::panic::resume_unwind(panic);
+                    }
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@with_config ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// The common imports, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::{any, prop_assert, prop_assert_eq, proptest, ProptestConfig, Strategy};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+        #[test]
+        fn ranges_respect_bounds(n in 5usize..40, b in any::<bool>()) {
+            prop_assert!((5..40).contains(&n));
+            let _ = b;
+        }
+
+        #[test]
+        fn any_u64_spans_the_domain(x in any::<u64>(), y in any::<u64>()) {
+            // Two independent draws colliding would indicate a broken stream.
+            prop_assert!(x != y);
+        }
+    }
+
+    #[test]
+    fn seeds_differ_per_name() {
+        assert_ne!(super::seed_for("a"), super::seed_for("b"));
+        assert_eq!(super::seed_for("a"), super::seed_for("a"));
+    }
+}

@@ -1,0 +1,330 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment for this workspace has no access to crates.io, so
+//! this crate re-implements the *exact* API surface the `pardfs` workspace
+//! uses — `Rng::{gen, gen_range, gen_bool}`, `SeedableRng::{from_seed,
+//! seed_from_u64}`, `seq::SliceRandom::{shuffle, choose}`, `thread_rng` and
+//! the `prelude` — with the same signatures as `rand 0.8`, so swapping the
+//! real crate back in is a one-line `Cargo.toml` change.
+//!
+//! The generators are high-quality non-cryptographic PRNGs (splitmix64 for
+//! seeding and `ThreadRng`); statistical quality is more than sufficient for
+//! the randomized tests and workload generation they back. They are NOT
+//! cryptographically secure and the streams do not bit-match upstream `rand`.
+
+#![forbid(unsafe_code)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// The core of every random number generator: a source of random `u64`s.
+pub trait RngCore {
+    /// Next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Next 32 random bits (upper half of [`RngCore::next_u64`] by default).
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Fill `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let bytes = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Types that [`Rng::gen`] can produce uniformly.
+pub trait Standard: Sized {
+    /// Draw one uniformly random value.
+    fn from_rng<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for u32 {
+    fn from_rng<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32()
+    }
+}
+impl Standard for u64 {
+    fn from_rng<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+impl Standard for usize {
+    fn from_rng<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() as usize
+    }
+}
+impl Standard for bool {
+    fn from_rng<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+impl Standard for f64 {
+    fn from_rng<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 uniformly random mantissa bits in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Ranges that [`Rng::gen_range`] accepts.
+pub trait SampleRange<T> {
+    /// Draw a uniform sample from the range.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// Unbiased uniform integer in `[0, width)` via 128-bit widening multiply
+/// with rejection of the biased zone (Lemire's method).
+fn uniform_below<R: RngCore + ?Sized>(rng: &mut R, width: u64) -> u64 {
+    debug_assert!(width > 0);
+    // Values of (x * width) mod 2^64 below this threshold fall in the biased
+    // zone and are rejected; the expected number of rejections is < 1.
+    let threshold = width.wrapping_neg() % width;
+    loop {
+        let m = (rng.next_u64() as u128) * (width as u128);
+        if (m as u64) >= threshold {
+            return (m >> 64) as u64;
+        }
+    }
+}
+
+macro_rules! impl_sample_range_uint {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let width = (self.end - self.start) as u64;
+                self.start + uniform_below(rng, width) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "cannot sample empty range");
+                let width = (end - start) as u64;
+                if width == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                start + uniform_below(rng, width + 1) as $t
+            }
+        }
+    )*};
+}
+impl_sample_range_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_sample_range_int {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let width = (self.end as i64).wrapping_sub(self.start as i64) as u64;
+                (self.start as i64).wrapping_add(uniform_below(rng, width) as i64) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "cannot sample empty range");
+                let width = (end as i64).wrapping_sub(start as i64) as u64;
+                (start as i64).wrapping_add(uniform_below(rng, width + 1) as i64) as $t
+            }
+        }
+    )*};
+}
+impl_sample_range_int!(i32, i64, isize);
+
+/// User-facing random-value methods, implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// A uniformly random value of type `T`.
+    fn gen<T: Standard>(&mut self) -> T {
+        T::from_rng(self)
+    }
+
+    /// A uniform sample from `range` (half-open or inclusive).
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample_from(self)
+    }
+
+    /// `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "p must be a probability");
+        f64::from_rng(self) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Deterministically seedable generators.
+pub trait SeedableRng: Sized {
+    /// The raw seed type (a byte array).
+    type Seed: Sized + Default + AsMut<[u8]>;
+
+    /// Build from a full seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Build from a `u64`, expanding it through splitmix64 exactly like
+    /// upstream `rand` documents.
+    fn seed_from_u64(mut state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(8) {
+            let bytes = splitmix64(&mut state).to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// One step of the splitmix64 sequence (used for seed expansion).
+pub(crate) fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Slice sampling helpers.
+pub mod seq {
+    use super::{Rng, RngCore};
+
+    /// Random operations on slices (the subset of `rand::seq::SliceRandom`
+    /// the workspace uses).
+    pub trait SliceRandom {
+        /// Element type.
+        type Item;
+
+        /// Fisher–Yates shuffle in place.
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+
+        /// A uniformly random element, or `None` when empty.
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = rng.gen_range(0..=i);
+                self.swap(i, j);
+            }
+        }
+
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                Some(&self[rng.gen_range(0..self.len())])
+            }
+        }
+    }
+}
+
+/// Handle to a per-thread generator, seeded once per thread from the system
+/// clock and a process-wide counter.
+#[derive(Debug, Clone)]
+pub struct ThreadRng {
+    state: u64,
+}
+
+impl RngCore for ThreadRng {
+    fn next_u64(&mut self) -> u64 {
+        splitmix64(&mut self.state)
+    }
+}
+
+/// A fresh per-call handle to the thread-local generator state.
+pub fn thread_rng() -> ThreadRng {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let nanos = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_nanos() as u64)
+        .unwrap_or(0x5EED);
+    let mut state = nanos ^ COUNTER.fetch_add(0x9E37_79B9, Ordering::Relaxed);
+    // Warm the sequence so close-together seeds diverge immediately.
+    splitmix64(&mut state);
+    ThreadRng { state }
+}
+
+/// The common imports, mirroring `rand::prelude`.
+pub mod prelude {
+    pub use crate::seq::SliceRandom;
+    pub use crate::{thread_rng, Rng, RngCore, SeedableRng, ThreadRng};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[derive(Debug)]
+    struct TestRng(u64);
+    impl crate::RngCore for TestRng {
+        fn next_u64(&mut self) -> u64 {
+            crate::splitmix64(&mut self.0)
+        }
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut rng = TestRng(1);
+        for _ in 0..10_000 {
+            let x: u32 = rng.gen_range(3..17);
+            assert!((3..17).contains(&x));
+            let y: usize = rng.gen_range(0..=5);
+            assert!(y <= 5);
+            let z: i32 = rng.gen_range(-5..5);
+            assert!((-5..5).contains(&z));
+        }
+    }
+
+    #[test]
+    fn gen_range_covers_all_values() {
+        let mut rng = TestRng(7);
+        let mut seen = [false; 8];
+        for _ in 0..1_000 {
+            seen[rng.gen_range(0..8usize)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn gen_bool_is_roughly_calibrated() {
+        let mut rng = TestRng(11);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((2_000..3_000).contains(&hits), "got {hits}");
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = TestRng(3);
+        let mut xs: Vec<u32> = (0..100).collect();
+        xs.shuffle(&mut rng);
+        let mut sorted = xs.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(
+            xs,
+            (0..100).collect::<Vec<_>>(),
+            "shuffle left input unchanged"
+        );
+    }
+
+    #[test]
+    fn choose_returns_member() {
+        let mut rng = TestRng(5);
+        let xs = [10u32, 20, 30];
+        for _ in 0..50 {
+            assert!(xs.contains(xs.choose(&mut rng).unwrap()));
+        }
+        let empty: [u32; 0] = [];
+        assert!(empty.choose(&mut rng).is_none());
+    }
+}

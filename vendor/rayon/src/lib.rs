@@ -1,0 +1,191 @@
+//! Offline stand-in for the `rayon` crate.
+//!
+//! The build environment has no crates.io access, so this crate provides the
+//! parallel-iterator *surface* the workspace uses (`par_iter`, `par_chunks`,
+//! `par_chunks_mut`, `par_sort_by_key`, `into_par_iter`, `ThreadPoolBuilder`)
+//! with **sequential** execution: every `par_*` method returns the
+//! corresponding standard iterator, so all downstream adapter chains
+//! (`map`/`zip`/`enumerate`/`sum`/`collect`/`for_each`/`min_by_key`) compile
+//! and run unchanged, on one thread.
+//!
+//! Consequences, stated plainly:
+//!
+//! * results are identical to real rayon (the workspace only uses
+//!   order-insensitive or order-preserving adapters);
+//! * wall-clock scaling experiments (bench E2) will report ~1.0x speedups
+//!   until the real crate is restored — the model-level parallelism metrics
+//!   (engine rounds, query sets) that the paper's theorems bound are computed
+//!   by the algorithms themselves and are unaffected.
+//!
+//! Swapping the real rayon back in is a one-line `Cargo.toml` change; no
+//! source edits are needed.
+
+#![forbid(unsafe_code)]
+
+/// Sequential stand-ins for rayon's parallel iterator traits.
+pub mod prelude {
+    /// `into_par_iter()` for any `IntoIterator` (ranges, vectors, ...).
+    pub trait IntoParallelIterator: IntoIterator + Sized {
+        /// Sequential stand-in: the type's ordinary iterator.
+        fn into_par_iter(self) -> Self::IntoIter {
+            self.into_iter()
+        }
+    }
+    impl<I: IntoIterator> IntoParallelIterator for I {}
+
+    /// `par_iter` / `par_chunks` on slices.
+    pub trait ParallelSlice<T> {
+        /// Sequential stand-in for `par_iter`.
+        fn par_iter(&self) -> std::slice::Iter<'_, T>;
+        /// Sequential stand-in for `par_chunks`.
+        fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T>;
+    }
+
+    impl<T> ParallelSlice<T> for [T] {
+        fn par_iter(&self) -> std::slice::Iter<'_, T> {
+            self.iter()
+        }
+        fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T> {
+            self.chunks(chunk_size)
+        }
+    }
+
+    /// Mutable slice operations: `par_chunks_mut`, `par_sort_by_key`.
+    pub trait ParallelSliceMut<T> {
+        /// Sequential stand-in for `par_chunks_mut`.
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T>;
+        /// Sequential stand-in for `par_sort_by_key`.
+        fn par_sort_by_key<K: Ord, F: FnMut(&T) -> K>(&mut self, f: F);
+    }
+
+    impl<T> ParallelSliceMut<T> for [T] {
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T> {
+            self.chunks_mut(chunk_size)
+        }
+        fn par_sort_by_key<K: Ord, F: FnMut(&T) -> K>(&mut self, f: F) {
+            self.sort_by_key(f);
+        }
+    }
+}
+
+/// The number of threads the "pool" would use. Reports the machine's
+/// parallelism so block-size heuristics keep sensible granularity.
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Error type kept for signature compatibility; construction never fails.
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "thread pool construction cannot fail in the sequential stand-in"
+        )
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Sequential stand-in for `rayon::ThreadPool`: `install` simply runs the
+/// closure on the calling thread.
+#[derive(Debug)]
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    /// Run `op` (on the calling thread).
+    pub fn install<R>(&self, op: impl FnOnce() -> R) -> R {
+        op()
+    }
+
+    /// The configured thread count (advisory only).
+    pub fn current_num_threads(&self) -> usize {
+        self.num_threads
+    }
+}
+
+/// Builder mirroring `rayon::ThreadPoolBuilder`.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// A builder with default settings.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Request a thread count (recorded, not enforced — execution is
+    /// sequential in this stand-in).
+    pub fn num_threads(mut self, num_threads: usize) -> Self {
+        self.num_threads = num_threads;
+        self
+    }
+
+    /// Build the pool. Never fails.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool {
+            num_threads: if self.num_threads == 0 {
+                current_num_threads()
+            } else {
+                self.num_threads
+            },
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_iter_chains_behave_like_std() {
+        let xs: Vec<u64> = (0..100).collect();
+        let doubled: Vec<u64> = xs.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled[99], 198);
+        let total: u64 = xs.par_iter().sum();
+        assert_eq!(total, 4950);
+        let argmin = xs
+            .par_iter()
+            .enumerate()
+            .min_by_key(|(_, &x)| std::cmp::Reverse(x))
+            .map(|(i, _)| i);
+        assert_eq!(argmin, Some(99));
+    }
+
+    #[test]
+    fn chunked_mutation_and_sort() {
+        let mut out = vec![0u64; 10];
+        let xs: Vec<u64> = (0..10).collect();
+        out.par_chunks_mut(3)
+            .zip(xs.par_chunks(3))
+            .for_each(|(o, i)| o.copy_from_slice(i));
+        assert_eq!(out, xs);
+        let mut ys = vec![3u32, 1, 2];
+        ys.par_sort_by_key(|&y| y);
+        assert_eq!(ys, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn ranges_into_par_iter() {
+        let squares: Vec<usize> = (0..5usize).into_par_iter().map(|i| i * i).collect();
+        assert_eq!(squares, vec![0, 1, 4, 9, 16]);
+    }
+
+    #[test]
+    fn pool_installs_on_calling_thread() {
+        let pool = super::ThreadPoolBuilder::new()
+            .num_threads(4)
+            .build()
+            .unwrap();
+        assert_eq!(pool.install(|| 7), 7);
+        assert_eq!(pool.current_num_threads(), 4);
+    }
+}
