@@ -18,7 +18,10 @@
 //! * [`StatsReport`] — a normalising enum over the per-model statistics
 //!   structures ([`UpdateStats`], [`SeqUpdateStats`], [`StreamStats`],
 //!   [`CongestStats`]), which also live here so every backend crate and the
-//!   bench harness read them from one place.
+//!   bench harness read them from one place;
+//! * [`RebuildPolicy`] / [`RebuildPolicyStats`] — the amortized rebuild
+//!   policy of incremental maintainers: when to fold `D`'s update overlay
+//!   back into a fresh build, and what the policy did.
 //!
 //! The crate deliberately depends only on `pardfs-graph` and `pardfs-tree`;
 //! backend crates depend on it, never the other way around. Runtime backend
@@ -29,10 +32,12 @@
 #![warn(missing_docs)]
 
 pub mod maintainer;
+pub mod policy;
 pub mod report;
 pub mod stats;
 
 pub use maintainer::DfsMaintainer;
+pub use policy::{RebuildPolicy, RebuildPolicyStats};
 pub use report::{BatchReport, StatsReport};
 pub use stats::{
     CongestStats, RerootStats, SeqUpdateStats, StreamStats, TraversalKind, UpdateStats,

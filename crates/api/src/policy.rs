@@ -1,0 +1,170 @@
+//! The amortized rebuild policy for maintainers that keep the structure `D`
+//! across updates instead of rebuilding it every time.
+//!
+//! ## The amortization argument
+//!
+//! Rebuilding `D` costs `O(m)` work (Theorem 8). Skipping the rebuild and
+//! recording the update in `D`'s overlay instead costs `O(degree)` once plus
+//! `O(k)` extra per query after `k` overlay records (Theorem 9), and the
+//! reduction + reroot of one update issue `O(log^2 n)` query sets. Balancing
+//! the two, the overlay may grow to `k ≈ m / log n` before the accumulated
+//! per-query penalty rivals one rebuild — rebuilding at that threshold makes
+//! the rebuild an amortized `O(log n)`-per-update event instead of a per-update
+//! `O(m)` cost, which is exactly why the paper confines the heavy work to
+//! preprocessing.
+//!
+//! [`RebuildPolicy`] encodes when to rebuild; [`RebuildPolicyStats`] reports
+//! what the policy did, carried by `StatsReport::Parallel`.
+
+/// When an incremental maintainer rebuilds its structure `D` from scratch.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RebuildPolicy {
+    /// Rebuild after every update (the pre-incremental behaviour; every edge
+    /// is a back edge of the current tree and queries never pay an overlay
+    /// scan, at `O(m)` per update).
+    EveryUpdate,
+    /// Rebuild once the overlay holds more than `factor · m / log₂ n`
+    /// records — the amortized sweet spot. `factor` trades per-query overlay
+    /// cost (large factor) against rebuild frequency (small factor);
+    /// `factor = 1.0` is the default.
+    Amortized {
+        /// The constant `c` in the `c · m / log₂ n` threshold.
+        factor: f64,
+    },
+    /// Never rebuild: the overlay absorbs every update for the lifetime of
+    /// the maintainer (query cost degrades linearly with the overlay size;
+    /// useful for short update sequences and for differential testing).
+    Never,
+}
+
+impl Default for RebuildPolicy {
+    fn default() -> Self {
+        RebuildPolicy::Amortized { factor: 1.0 }
+    }
+}
+
+impl RebuildPolicy {
+    /// The overlay size above which the policy asks for a rebuild, for a
+    /// graph with `m` edges and `n` vertices. `None` means "never".
+    pub fn threshold(&self, m: usize, n: usize) -> Option<u64> {
+        match self {
+            RebuildPolicy::EveryUpdate => Some(0),
+            RebuildPolicy::Never => None,
+            RebuildPolicy::Amortized { factor } => {
+                let log_n = (n.max(2) as f64).log2();
+                let t = (factor * m.max(1) as f64 / log_n).ceil();
+                Some((t as u64).max(1))
+            }
+        }
+    }
+
+    /// Should a maintainer whose overlay holds `overlay_updates` records
+    /// rebuild now? (Strictly greater than the threshold, so
+    /// `Amortized { factor }` always tolerates at least one overlay record.)
+    pub fn should_rebuild(&self, overlay_updates: usize, m: usize, n: usize) -> bool {
+        self.threshold(m, n)
+            .is_some_and(|t| overlay_updates as u64 > t)
+    }
+}
+
+/// What an incremental maintainer's rebuild policy has done so far.
+///
+/// Snapshot counters (`overlay_updates`, `threshold`, `updates_since_rebuild`,
+/// `last_rebuild_micros`) describe the state after the most recent update;
+/// cumulative counters (`rebuilds`, `total_rebuild_micros`) are monotone
+/// non-decreasing over the maintainer's lifetime.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RebuildPolicyStats {
+    /// Number of `D` rebuilds the policy has triggered (the initial build at
+    /// construction is not counted). Monotone.
+    pub rebuilds: u64,
+    /// Overlay records currently pending on `D` (0 right after a rebuild).
+    pub overlay_updates: u64,
+    /// The trigger threshold in effect at the last update (`u64::MAX` for
+    /// [`RebuildPolicy::Never`]).
+    pub threshold: u64,
+    /// Updates absorbed since the last rebuild (or since construction).
+    pub updates_since_rebuild: u64,
+    /// Wall-clock microseconds of the most recent `D` rebuild.
+    pub last_rebuild_micros: u64,
+    /// Total wall-clock microseconds spent rebuilding `D`. Monotone.
+    pub total_rebuild_micros: u64,
+}
+
+impl RebuildPolicyStats {
+    /// Record one policy-triggered rebuild that took `micros` microseconds.
+    pub fn record_rebuild(&mut self, micros: u64) {
+        self.rebuilds += 1;
+        self.last_rebuild_micros = micros;
+        self.total_rebuild_micros += micros;
+        self.updates_since_rebuild = 0;
+        self.overlay_updates = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_update_threshold_is_zero() {
+        let p = RebuildPolicy::EveryUpdate;
+        assert_eq!(p.threshold(1000, 100), Some(0));
+        // One overlay record is already past the threshold.
+        assert!(p.should_rebuild(1, 1000, 100));
+        assert!(!p.should_rebuild(0, 1000, 100));
+    }
+
+    #[test]
+    fn never_has_no_threshold() {
+        let p = RebuildPolicy::Never;
+        assert_eq!(p.threshold(1000, 100), None);
+        assert!(!p.should_rebuild(usize::MAX, 1000, 100));
+    }
+
+    #[test]
+    fn amortized_threshold_boundary_is_exclusive() {
+        // m = 1024, n = 1024 ⇒ log₂ n = 10 ⇒ threshold = ⌈1024/10⌉ = 103.
+        let p = RebuildPolicy::Amortized { factor: 1.0 };
+        let t = p.threshold(1024, 1024).unwrap();
+        assert_eq!(t, 103);
+        assert!(!p.should_rebuild(t as usize, 1024, 1024), "at threshold");
+        assert!(p.should_rebuild(t as usize + 1, 1024, 1024), "just past it");
+    }
+
+    #[test]
+    fn amortized_scales_with_factor_and_m() {
+        let small = RebuildPolicy::Amortized { factor: 0.25 };
+        let big = RebuildPolicy::Amortized { factor: 4.0 };
+        assert!(small.threshold(4096, 512).unwrap() < big.threshold(4096, 512).unwrap());
+        let p = RebuildPolicy::default();
+        assert!(p.threshold(1 << 16, 1 << 10).unwrap() > p.threshold(1 << 10, 1 << 10).unwrap());
+    }
+
+    #[test]
+    fn amortized_threshold_is_at_least_one() {
+        // Degenerate sizes must not turn Amortized into EveryUpdate.
+        let p = RebuildPolicy::Amortized { factor: 0.001 };
+        assert_eq!(p.threshold(1, 2), Some(1));
+        assert!(!p.should_rebuild(1, 1, 2));
+        assert!(p.should_rebuild(2, 1, 2));
+    }
+
+    #[test]
+    fn stats_record_rebuild_resets_snapshots_and_accumulates() {
+        let mut s = RebuildPolicyStats {
+            overlay_updates: 40,
+            updates_since_rebuild: 17,
+            ..Default::default()
+        };
+        s.record_rebuild(250);
+        assert_eq!(s.rebuilds, 1);
+        assert_eq!(s.overlay_updates, 0);
+        assert_eq!(s.updates_since_rebuild, 0);
+        assert_eq!(s.last_rebuild_micros, 250);
+        s.record_rebuild(100);
+        assert_eq!(s.rebuilds, 2);
+        assert_eq!(s.last_rebuild_micros, 100);
+        assert_eq!(s.total_rebuild_micros, 350);
+    }
+}

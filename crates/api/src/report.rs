@@ -1,5 +1,6 @@
 //! Unified statistics and batch reporting across backends.
 
+use crate::policy::RebuildPolicyStats;
 use crate::stats::{CongestStats, SeqUpdateStats, StreamStats, UpdateStats};
 use pardfs_graph::Vertex;
 
@@ -13,7 +14,13 @@ use pardfs_graph::Vertex;
 #[derive(Debug, Clone)]
 pub enum StatsReport {
     /// Shared-memory parallel maintainer (Theorem 13).
-    Parallel(UpdateStats),
+    Parallel {
+        /// Engine statistics (reduction + reroot) of the update.
+        engine: UpdateStats,
+        /// What the amortized rebuild policy has done so far
+        /// ([`crate::RebuildPolicy`]).
+        rebuild: RebuildPolicyStats,
+    },
     /// Sequential baseline maintainer (reference [6] of the paper).
     Sequential(SeqUpdateStats),
     /// Fault tolerant maintainer (Theorem 14); engine statistics of the
@@ -39,7 +46,7 @@ impl StatsReport {
     /// Short name of the backend that produced this report.
     pub fn backend(&self) -> &'static str {
         match self {
-            StatsReport::Parallel(_) => "parallel",
+            StatsReport::Parallel { .. } => "parallel",
             StatsReport::Sequential(_) => "sequential",
             StatsReport::FaultTolerant(_) => "fault-tolerant",
             StatsReport::Streaming { .. } => "streaming",
@@ -53,33 +60,33 @@ impl StatsReport {
     /// `answer_batch` call count (its batches run one after another).
     pub fn total_query_sets(&self) -> u64 {
         match self {
-            StatsReport::Parallel(s) | StatsReport::FaultTolerant(s) => s.total_query_sets(),
+            StatsReport::FaultTolerant(s) => s.total_query_sets(),
             StatsReport::Sequential(s) => s.query_batches as u64,
-            StatsReport::Streaming { engine, .. } | StatsReport::Congest { engine, .. } => {
-                engine.total_query_sets()
-            }
+            StatsReport::Parallel { engine, .. }
+            | StatsReport::Streaming { engine, .. }
+            | StatsReport::Congest { engine, .. } => engine.total_query_sets(),
         }
     }
 
     /// Number of vertices whose parent pointer the update rewrote.
     pub fn relinked_vertices(&self) -> u64 {
         match self {
-            StatsReport::Parallel(s) | StatsReport::FaultTolerant(s) => s.reroot.relinked_vertices,
+            StatsReport::FaultTolerant(s) => s.reroot.relinked_vertices,
             StatsReport::Sequential(s) => s.relinked_vertices as u64,
-            StatsReport::Streaming { engine, .. } | StatsReport::Congest { engine, .. } => {
-                engine.reroot.relinked_vertices
-            }
+            StatsReport::Parallel { engine, .. }
+            | StatsReport::Streaming { engine, .. }
+            | StatsReport::Congest { engine, .. } => engine.reroot.relinked_vertices,
         }
     }
 
     /// Number of independent subtree reroots the reduction produced.
     pub fn reroot_jobs(&self) -> u64 {
         match self {
-            StatsReport::Parallel(s) | StatsReport::FaultTolerant(s) => s.reroot_jobs,
+            StatsReport::FaultTolerant(s) => s.reroot_jobs,
             StatsReport::Sequential(s) => s.reroot_jobs as u64,
-            StatsReport::Streaming { engine, .. } | StatsReport::Congest { engine, .. } => {
-                engine.reroot_jobs
-            }
+            StatsReport::Parallel { engine, .. }
+            | StatsReport::Streaming { engine, .. }
+            | StatsReport::Congest { engine, .. } => engine.reroot_jobs,
         }
     }
 
@@ -87,11 +94,21 @@ impl StatsReport {
     /// rerooting engine (everything except the sequential baseline).
     pub fn engine(&self) -> Option<&UpdateStats> {
         match self {
-            StatsReport::Parallel(s) | StatsReport::FaultTolerant(s) => Some(s),
-            StatsReport::Streaming { engine, .. } | StatsReport::Congest { engine, .. } => {
-                Some(engine)
-            }
+            StatsReport::FaultTolerant(s) => Some(s),
+            StatsReport::Parallel { engine, .. }
+            | StatsReport::Streaming { engine, .. }
+            | StatsReport::Congest { engine, .. } => Some(engine),
             StatsReport::Sequential(_) => None,
+        }
+    }
+
+    /// Rebuild-policy statistics, for backends that maintain `D`
+    /// incrementally under an amortized rebuild policy (currently the
+    /// parallel maintainer).
+    pub fn rebuild_policy(&self) -> Option<&RebuildPolicyStats> {
+        match self {
+            StatsReport::Parallel { rebuild, .. } => Some(rebuild),
+            _ => None,
         }
     }
 
@@ -169,15 +186,18 @@ mod tests {
     use crate::stats::RerootStats;
 
     fn parallel_report(sets: u64, relinked: u64) -> StatsReport {
-        StatsReport::Parallel(UpdateStats {
-            reduction_query_sets: 1,
-            reroot: RerootStats {
-                query_sets: sets - 1,
-                relinked_vertices: relinked,
+        StatsReport::Parallel {
+            engine: UpdateStats {
+                reduction_query_sets: 1,
+                reroot: RerootStats {
+                    query_sets: sets - 1,
+                    relinked_vertices: relinked,
+                    ..Default::default()
+                },
                 ..Default::default()
             },
-            ..Default::default()
-        })
+            rebuild: RebuildPolicyStats::default(),
+        }
     }
 
     #[test]
@@ -216,6 +236,8 @@ mod tests {
         assert_eq!(reports[1].total_query_sets(), 3);
         assert_eq!(reports[1].relinked_vertices(), 5);
         assert!(reports[1].engine().is_none());
+        assert!(reports[0].rebuild_policy().is_some());
+        assert!(reports[1].rebuild_policy().is_none());
         assert!(reports[3].stream().is_some());
         assert!(reports[4].congest().is_some());
     }

@@ -55,9 +55,12 @@ fn main() {
     if want("e9") {
         tables.push(exp::e9_backend_matrix(scale));
     }
+    if want("e10") {
+        tables.push(exp::e10_rebuild_policy(scale));
+    }
 
     if tables.is_empty() {
-        eprintln!("unknown experiment id; use e1 e2 e3 e3b e4 e5 e6 e7 e8 e9 or all");
+        eprintln!("unknown experiment id; use e1 e2 e3 e3b e4 e5 e6 e7 e8 e9 e10 or all");
         std::process::exit(2);
     }
     for t in tables {

@@ -17,7 +17,7 @@ use pardfs::query::StructureD;
 use pardfs::seq::augment::AugmentedGraph;
 use pardfs::seq::static_dfs::static_dfs;
 use pardfs::tree::TreeIndex;
-use pardfs::{Backend, DfsMaintainer, MaintainerBuilder, Strategy};
+use pardfs::{Backend, DfsMaintainer, MaintainerBuilder, RebuildPolicy, Strategy};
 use std::collections::HashMap;
 use std::time::Instant;
 
@@ -506,6 +506,72 @@ pub fn e9_backend_matrix(scale: Scale) -> Table {
     t
 }
 
+/// E10 — the amortized rebuild policy: sweep the threshold factor and show
+/// the crossover between rebuilding `D` on every update and maintaining it
+/// incrementally through the overlay.
+pub fn e10_rebuild_policy(scale: Scale) -> Table {
+    let n = match scale {
+        Scale::Quick => 1024,
+        Scale::Full => 8192,
+    };
+    let mut t = Table::new(
+        format!(
+            "E10: rebuild-policy sweep — incremental D vs per-update rebuild (sparse, n = {n})"
+        ),
+        &[
+            "policy",
+            "threshold",
+            "mean µs",
+            "D rebuilds",
+            "peak overlay",
+            "mean query sets",
+        ],
+    );
+    // Twice the usual sequence length so amortized policies actually cross
+    // their thresholds at quick scale.
+    let w = workload(Family::Sparse, n, scale.updates() * 2, 777);
+    let policies: [(&str, RebuildPolicy); 5] = [
+        ("rebuild every update", RebuildPolicy::EveryUpdate),
+        (
+            "amortized c=0.01",
+            RebuildPolicy::Amortized { factor: 0.01 },
+        ),
+        (
+            "amortized c=1 (default)",
+            RebuildPolicy::Amortized { factor: 1.0 },
+        ),
+        ("amortized c=4", RebuildPolicy::Amortized { factor: 4.0 }),
+        ("never rebuild", RebuildPolicy::Never),
+    ];
+    for (label, policy) in policies {
+        let mut dfs = MaintainerBuilder::new(Backend::Parallel)
+            .rebuild_policy(policy)
+            .build(&w.graph);
+        let summary = drive(dfs.as_mut(), &w.updates);
+        let final_p = dfs.stats().rebuild_policy().copied().unwrap_or_default();
+        let peak_overlay = summary
+            .per_update
+            .iter()
+            .filter_map(|r| r.rebuild_policy().map(|p| p.overlay_updates))
+            .max()
+            .unwrap_or(0);
+        let threshold = if final_p.threshold == u64::MAX {
+            "∞".to_string()
+        } else {
+            final_p.threshold.to_string()
+        };
+        t.push_row(vec![
+            label.into(),
+            threshold,
+            format!("{:.0}", summary.mean_micros()),
+            final_p.rebuilds.to_string(),
+            peak_overlay.to_string(),
+            format!("{:.1}", summary.mean_query_sets()),
+        ]);
+    }
+    t
+}
+
 /// All experiments in EXPERIMENTS.md order.
 pub fn all_experiments(scale: Scale) -> Vec<Table> {
     vec![
@@ -519,6 +585,7 @@ pub fn all_experiments(scale: Scale) -> Vec<Table> {
         e7_preprocess(scale),
         e8_update_kinds(scale),
         e9_backend_matrix(scale),
+        e10_rebuild_policy(scale),
     ]
 }
 
@@ -536,6 +603,21 @@ mod tests {
             assert!(!t.rows.is_empty());
             assert!(t.render().contains("=="));
         }
+    }
+
+    #[test]
+    fn rebuild_policy_sweep_shows_the_trade_off() {
+        let t = e10_rebuild_policy(Scale::Quick);
+        assert_eq!(t.rows.len(), 5);
+        // Every-update rebuilds once per update; never-rebuild not at all,
+        // and its overlay peaks at the full sequence length.
+        let rebuilds: Vec<u64> = t.rows.iter().map(|r| r[3].parse().unwrap()).collect();
+        assert!(rebuilds[0] > 0);
+        assert_eq!(rebuilds[4], 0);
+        assert!(rebuilds[0] >= rebuilds[2], "amortized rebuilds less often");
+        let peaks: Vec<u64> = t.rows.iter().map(|r| r[4].parse().unwrap()).collect();
+        assert_eq!(peaks[0], 0, "every-update never retains overlay");
+        assert!(peaks[4] > 0, "never-rebuild retains the whole overlay");
     }
 
     #[test]

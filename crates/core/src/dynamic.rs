@@ -1,18 +1,26 @@
-//! The parallel fully dynamic DFS maintainer (Theorem 13).
+//! The parallel fully dynamic DFS maintainer (Theorem 13), with **incremental
+//! maintenance of `D`** under an amortized rebuild policy.
 //!
 //! Per update: record the update in `D`'s overlay, apply it to the augmented
 //! graph, run the reduction (Section 3), reroot the affected subtrees with the
-//! parallel engine (Section 4), then rebuild the tree index and `D` on the new
-//! tree — the `O(log n)`-time, `m`-processor preprocessing of Theorem 8 — so
-//! the next update again starts from a structure in which every edge is a back
-//! edge.
+//! parallel engine (Section 4), then rebuild only the `O(n)` tree index on the
+//! new tree. The `O(m)` structure `D` is *not* rebuilt: it stays anchored to
+//! the tree it was last built on (the *base* tree), queries against paths of
+//! the current tree are decomposed into ancestor–descendant segments of the
+//! base tree (the Theorem 9 argument, shared with the fault tolerant
+//! algorithm), and the overlay absorbs the edge/vertex churn. Only when the
+//! overlay outgrows the configured [`RebuildPolicy`] threshold
+//! (`c · m / log₂ n` by default) is `D` rebuilt on the current tree — the
+//! `O(log n)`-time, `m`-processor preprocessing of Theorem 8, now an amortized
+//! rather than per-update event.
 
+use crate::fault::FaultOracle;
 use crate::reduction::{reduce_update, ReductionInput};
-use crate::reroot::{Rerooter, Strategy};
+use crate::reroot::{RerootJob, Rerooter, Strategy};
 use crate::stats::UpdateStats;
-use pardfs_api::{DfsMaintainer, StatsReport};
+use pardfs_api::{DfsMaintainer, RebuildPolicy, RebuildPolicyStats, StatsReport};
 use pardfs_graph::{Graph, Update, Vertex};
-use pardfs_query::StructureD;
+use pardfs_query::{QueryOracle, StructureD};
 use pardfs_seq::augment;
 use pardfs_seq::augment::AugmentedGraph;
 use pardfs_seq::check::check_spanning_dfs_tree;
@@ -31,20 +39,55 @@ use std::time::Instant;
 pub struct DynamicDfs {
     aug: AugmentedGraph,
     idx: TreeIndex,
+    /// `D`, built on the *base* tree (the current tree as of the last
+    /// rebuild) and carrying the overlay of every update applied since.
     d: StructureD,
+    /// True while the base tree and the current tree are one and the same
+    /// (right after a rebuild), letting queries skip path decomposition.
+    d_fresh: bool,
     strategy: Strategy,
+    policy: RebuildPolicy,
+    policy_stats: RebuildPolicyStats,
     last_stats: UpdateStats,
     updates_applied: u64,
 }
 
+/// Run the reduction and the rerooting engine for one (already applied)
+/// update through the given oracle, filling `stats` and `new_par`. Shared by
+/// the dynamic and fault tolerant maintainers — the only difference between
+/// them is which oracle (and which lifetime of `D`) they pass in.
+#[allow(clippy::too_many_arguments)] // mirrors reduce_update's surface plus the strategy
+pub(crate) fn reduce_and_reroot<O: QueryOracle>(
+    idx: &TreeIndex,
+    oracle: &O,
+    proot: Vertex,
+    update: &Update,
+    input: &ReductionInput,
+    new_par: &mut [Vertex],
+    stats: &mut UpdateStats,
+    strategy: Strategy,
+) {
+    let jobs: Vec<RerootJob> = reduce_update(idx, oracle, proot, update, input, new_par, stats);
+    stats.reroot_jobs = jobs.len() as u64;
+    let engine = Rerooter::new(idx, oracle, strategy);
+    stats.reroot = engine.run(&jobs, new_par);
+}
+
 impl DynamicDfs {
-    /// Build the maintainer with the default (phased) strategy.
+    /// Build the maintainer with the default (phased) strategy and the
+    /// default amortized rebuild policy.
     pub fn new(user_graph: &Graph) -> Self {
         Self::with_strategy(user_graph, Strategy::Phased)
     }
 
-    /// Build the maintainer with an explicit rerooting strategy.
+    /// Build the maintainer with an explicit rerooting strategy and the
+    /// default amortized rebuild policy.
     pub fn with_strategy(user_graph: &Graph, strategy: Strategy) -> Self {
+        Self::with_config(user_graph, strategy, RebuildPolicy::default())
+    }
+
+    /// Build the maintainer with an explicit strategy and rebuild policy.
+    pub fn with_config(user_graph: &Graph, strategy: Strategy, policy: RebuildPolicy) -> Self {
         let aug = AugmentedGraph::new(user_graph);
         let idx = TreeIndex::build(&static_dfs(aug.graph(), aug.pseudo_root()));
         let d = StructureD::build(aug.graph(), idx.clone());
@@ -52,7 +95,10 @@ impl DynamicDfs {
             aug,
             idx,
             d,
+            d_fresh: true,
             strategy,
+            policy,
+            policy_stats: RebuildPolicyStats::default(),
             last_stats: UpdateStats::default(),
             updates_applied: 0,
         }
@@ -61,6 +107,38 @@ impl DynamicDfs {
     /// The rerooting strategy in use.
     pub fn strategy(&self) -> Strategy {
         self.strategy
+    }
+
+    /// The rebuild policy in use.
+    pub fn rebuild_policy(&self) -> RebuildPolicy {
+        self.policy
+    }
+
+    /// What the rebuild policy has done so far.
+    pub fn policy_stats(&self) -> RebuildPolicyStats {
+        self.policy_stats
+    }
+
+    /// Number of overlay records currently pending on `D` (0 right after a
+    /// rebuild).
+    pub fn overlay_updates(&self) -> usize {
+        self.d.overlay_updates()
+    }
+
+    /// Rebuild `D` on the current tree right now, regardless of the policy,
+    /// discarding the overlay. Counted in [`Self::policy_stats`] like a
+    /// policy-triggered rebuild.
+    pub fn force_rebuild(&mut self) {
+        let t = Instant::now();
+        self.d = StructureD::build(self.aug.graph(), self.idx.clone());
+        self.d_fresh = true;
+        self.policy_stats
+            .record_rebuild(t.elapsed().as_micros() as u64);
+        let (m, n) = (
+            self.aug.graph().num_edges(),
+            self.aug.graph().num_vertices(),
+        );
+        self.policy_stats.threshold = self.policy.threshold(m, n).unwrap_or(u64::MAX);
     }
 
     /// The current DFS tree of the augmented graph (internal ids; the pseudo
@@ -172,34 +250,58 @@ impl DynamicDfs {
             }
         };
 
-        // 2. Reduction + parallel reroot.
+        // 2. Reduction + parallel reroot. While `D` is anchored to the
+        //    current tree the oracle is `D` itself; once the trees diverge,
+        //    current-tree paths are decomposed into base-tree segments.
         let reroot_start = Instant::now();
         let mut new_par: Vec<Vertex> = old_parents(&self.idx);
         if new_par.len() < self.aug.graph().capacity() {
             new_par.resize(self.aug.graph().capacity(), NO_VERTEX);
         }
-        let jobs = reduce_update(
-            &self.idx,
-            &self.d,
-            proot,
-            update,
-            &input,
-            &mut new_par,
-            &mut stats,
-        );
-        stats.reroot_jobs = jobs.len() as u64;
-        let engine = Rerooter::new(&self.idx, &self.d, self.strategy);
-        stats.reroot = engine.run(&jobs, &mut new_par);
+        if self.d_fresh {
+            reduce_and_reroot(
+                &self.idx,
+                &self.d,
+                proot,
+                update,
+                &input,
+                &mut new_par,
+                &mut stats,
+                self.strategy,
+            );
+        } else {
+            let oracle = FaultOracle::new(&self.d);
+            reduce_and_reroot(
+                &self.idx,
+                &oracle,
+                proot,
+                update,
+                &input,
+                &mut new_par,
+                &mut stats,
+                self.strategy,
+            );
+        }
         stats.reroot_micros = reroot_start.elapsed().as_micros() as u64;
 
-        // 3. Rebuild the tree index and D for the next update (Theorem 8).
+        // 3. Rebuild the O(n) tree index on the new tree; leave D anchored to
+        //    its base tree unless the policy says the overlay has outgrown it.
         let rebuild_start = Instant::now();
-        let idx = TreeIndex::from_parent_slice(&new_par, proot);
-        let d = StructureD::build(self.aug.graph(), idx.clone());
+        self.idx = TreeIndex::from_parent_slice(&new_par, proot);
+        self.d_fresh = false;
+        let (m, n) = (
+            self.aug.graph().num_edges(),
+            self.aug.graph().num_vertices(),
+        );
+        if self.policy.should_rebuild(self.d.overlay_updates(), m, n) {
+            self.force_rebuild();
+        } else {
+            self.policy_stats.threshold = self.policy.threshold(m, n).unwrap_or(u64::MAX);
+            self.policy_stats.updates_since_rebuild += 1;
+        }
+        self.policy_stats.overlay_updates = self.d.overlay_updates() as u64;
         stats.rebuild_micros = rebuild_start.elapsed().as_micros() as u64;
 
-        self.idx = idx;
-        self.d = d;
         self.last_stats = stats;
         self.updates_applied += 1;
         inserted
@@ -244,7 +346,10 @@ impl DfsMaintainer for DynamicDfs {
     }
 
     fn stats(&self) -> StatsReport {
-        StatsReport::Parallel(self.last_stats)
+        StatsReport::Parallel {
+            engine: self.last_stats,
+            rebuild: self.policy_stats,
+        }
     }
 }
 
@@ -267,7 +372,16 @@ mod tests {
     use rand_chacha::ChaCha8Rng;
 
     fn exercise(graph: Graph, updates: &[Update], strategy: Strategy) -> DynamicDfs {
-        let mut dfs = DynamicDfs::with_strategy(&graph, strategy);
+        exercise_with_policy(graph, updates, strategy, RebuildPolicy::default())
+    }
+
+    fn exercise_with_policy(
+        graph: Graph,
+        updates: &[Update],
+        strategy: Strategy,
+        policy: RebuildPolicy,
+    ) -> DynamicDfs {
+        let mut dfs = DynamicDfs::with_config(&graph, strategy, policy);
         dfs.check().unwrap();
         for (i, u) in updates.iter().enumerate() {
             dfs.apply_update(u);
@@ -342,6 +456,27 @@ mod tests {
     }
 
     #[test]
+    fn random_mixed_sequences_every_rebuild_policy() {
+        // The maintained tree must stay a valid DFS tree no matter how long
+        // the overlay is allowed to grow.
+        let mut rng = ChaCha8Rng::seed_from_u64(404);
+        for policy in [
+            RebuildPolicy::EveryUpdate,
+            RebuildPolicy::Amortized { factor: 0.25 },
+            RebuildPolicy::Amortized { factor: 4.0 },
+            RebuildPolicy::Never,
+        ] {
+            for _ in 0..3 {
+                let n: usize = rng.gen_range(8..50);
+                let m = rng.gen_range(n - 1..(n * (n - 1) / 2).min(3 * n));
+                let g = generators::random_connected_gnm(n, m, &mut rng);
+                let updates = random_update_sequence(&g, 30, &UpdateMix::default(), &mut rng);
+                exercise_with_policy(g, &updates, Strategy::Phased, policy);
+            }
+        }
+    }
+
+    #[test]
     fn dense_graph_edge_churn() {
         let mut rng = ChaCha8Rng::seed_from_u64(5);
         let g = generators::random_connected_gnm(40, 300, &mut rng);
@@ -368,5 +503,165 @@ mod tests {
         let s = dfs.last_stats();
         assert_eq!(s.reroot_jobs, 1);
         assert_eq!(s.reroot.rounds, 1);
+    }
+
+    #[test]
+    fn every_update_policy_rebuilds_every_update() {
+        let g = generators::broom(15, 5);
+        let mut dfs = DynamicDfs::with_config(&g, Strategy::Phased, RebuildPolicy::EveryUpdate);
+        for (i, u) in [
+            Update::DeleteEdge(3, 4),
+            Update::InsertEdge(0, 12),
+            Update::DeleteEdge(8, 9),
+        ]
+        .iter()
+        .enumerate()
+        {
+            dfs.apply_update(u);
+            let p = dfs.policy_stats();
+            assert_eq!(p.rebuilds, i as u64 + 1);
+            assert_eq!(p.overlay_updates, 0, "overlay folded into the rebuild");
+            assert_eq!(p.updates_since_rebuild, 0);
+            assert_eq!(p.threshold, 0);
+        }
+    }
+
+    #[test]
+    fn never_policy_accumulates_overlay_and_never_rebuilds() {
+        let mut rng = ChaCha8Rng::seed_from_u64(12);
+        let g = generators::random_connected_gnm(30, 80, &mut rng);
+        let updates = random_update_sequence(&g, 25, &UpdateMix::edges_only(), &mut rng);
+        let dfs = exercise_with_policy(g, &updates, Strategy::Phased, RebuildPolicy::Never);
+        let p = dfs.policy_stats();
+        assert_eq!(p.rebuilds, 0);
+        assert_eq!(p.total_rebuild_micros, 0);
+        assert_eq!(p.threshold, u64::MAX);
+        assert_eq!(p.updates_since_rebuild, 25);
+        assert_eq!(p.overlay_updates, 25, "one overlay record per edge update");
+        assert_eq!(dfs.overlay_updates(), 25);
+    }
+
+    #[test]
+    fn amortized_policy_crosses_the_threshold_exactly_once_past_it() {
+        // n and m chosen so the threshold is small and predictable.
+        let g = generators::path(16); // aug: n = 17, m = 31
+        let policy = RebuildPolicy::Amortized { factor: 0.5 };
+        let mut dfs = DynamicDfs::with_config(&g, Strategy::Phased, policy);
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let updates = random_update_sequence(&g, 12, &UpdateMix::edges_only(), &mut rng);
+        let mut saw_rebuild = false;
+        for u in &updates {
+            let before = dfs.policy_stats();
+            let overlay_before = dfs.overlay_updates() as u64;
+            dfs.apply_update(u);
+            dfs.check().unwrap();
+            let after = dfs.policy_stats();
+            if after.rebuilds > before.rebuilds {
+                saw_rebuild = true;
+                // The rebuild fired only because this update pushed the
+                // overlay strictly past the threshold.
+                assert!(overlay_before + 1 > after.threshold || after.threshold == 0);
+                assert_eq!(after.overlay_updates, 0);
+                assert_eq!(after.updates_since_rebuild, 0);
+            } else {
+                // Below or at the threshold: the overlay is retained.
+                assert!(after.overlay_updates <= after.threshold);
+            }
+        }
+        assert!(
+            saw_rebuild,
+            "12 edge updates must cross a threshold of ⌈0.5·31/log₂17⌉"
+        );
+    }
+
+    #[test]
+    fn force_rebuild_clears_overlay_and_counts_as_rebuild() {
+        let g = generators::path(10);
+        let mut dfs = DynamicDfs::with_config(&g, Strategy::Phased, RebuildPolicy::Never);
+        dfs.apply_update(&Update::DeleteEdge(4, 5));
+        dfs.apply_update(&Update::InsertEdge(0, 9));
+        assert!(dfs.overlay_updates() > 0);
+        let before = dfs.policy_stats();
+        assert_eq!(before.rebuilds, 0);
+        dfs.force_rebuild();
+        let after = dfs.policy_stats();
+        assert_eq!(after.rebuilds, 1);
+        assert_eq!(after.overlay_updates, 0);
+        assert_eq!(
+            after.threshold,
+            u64::MAX,
+            "a manual epoch still reports the configured policy's threshold"
+        );
+        assert_eq!(dfs.overlay_updates(), 0);
+        // The maintainer keeps working from the fresh base tree.
+        dfs.apply_update(&Update::DeleteEdge(7, 8));
+        dfs.check().unwrap();
+    }
+
+    #[test]
+    fn policy_stats_in_stats_report_are_populated_and_monotone() {
+        let mut rng = ChaCha8Rng::seed_from_u64(909);
+        let g = generators::random_connected_gnm(40, 120, &mut rng);
+        let updates = random_update_sequence(&g, 30, &UpdateMix::default(), &mut rng);
+        let mut dfs = DynamicDfs::with_config(&g, Strategy::Phased, RebuildPolicy::EveryUpdate);
+        let mut last = RebuildPolicyStats::default();
+        for u in &updates {
+            dfs.apply_update(u);
+            let report = DfsMaintainer::stats(&dfs);
+            let p = *report
+                .rebuild_policy()
+                .expect("parallel reports carry policy stats");
+            assert!(p.rebuilds >= last.rebuilds, "rebuild count is monotone");
+            assert!(
+                p.total_rebuild_micros >= last.total_rebuild_micros,
+                "total rebuild time is monotone"
+            );
+            assert!(p.rebuilds > 0, "EveryUpdate rebuilds on the first update");
+            last = p;
+        }
+        assert_eq!(last.rebuilds, updates.len() as u64);
+        assert!(
+            last.total_rebuild_micros > 0,
+            "30 rebuilds of a 120-edge D must take measurable time"
+        );
+        // The engine-side timer is populated too.
+        let engine = DfsMaintainer::stats(&dfs);
+        assert!(engine.engine().is_some());
+    }
+
+    #[test]
+    fn incremental_and_every_update_agree_on_components() {
+        // Differential: the same sequence through an incremental maintainer
+        // and a rebuild-every-update maintainer must produce
+        // component-identical forests at every step.
+        let mut rng = ChaCha8Rng::seed_from_u64(2025);
+        let g = generators::random_connected_gnm(35, 90, &mut rng);
+        let updates = random_update_sequence(&g, 40, &UpdateMix::default(), &mut rng);
+        let mut inc = DynamicDfs::with_config(&g, Strategy::Phased, RebuildPolicy::Never);
+        let mut full = DynamicDfs::with_config(&g, Strategy::Phased, RebuildPolicy::EveryUpdate);
+        for (i, u) in updates.iter().enumerate() {
+            inc.apply_update(u);
+            full.apply_update(u);
+            inc.check()
+                .unwrap_or_else(|e| panic!("incremental broke at update {i} ({u:?}): {e}"));
+            full.check().unwrap();
+            assert_eq!(
+                inc.forest_roots().len(),
+                full.forest_roots().len(),
+                "update {i}"
+            );
+            let cap = inc.augmented_graph().capacity() as u32;
+            for a in (0..cap).step_by(3) {
+                for b in (1..cap).step_by(4) {
+                    assert_eq!(
+                        inc.same_component(a.min(b), a.max(b)),
+                        full.same_component(a.min(b), a.max(b)),
+                        "update {i}: components diverge on ({a},{b})"
+                    );
+                }
+            }
+        }
+        assert_eq!(inc.policy_stats().rebuilds, 0);
+        assert_eq!(full.policy_stats().rebuilds, 40);
     }
 }

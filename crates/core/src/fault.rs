@@ -15,9 +15,9 @@
 //! each query — there is no per-update rebuild of `D`, which is what makes the
 //! result achievable with `n` processors.
 
-use crate::dynamic::old_parents;
-use crate::reduction::{reduce_update, ReductionInput};
-use crate::reroot::{Rerooter, Strategy};
+use crate::dynamic::{old_parents, reduce_and_reroot};
+use crate::reduction::ReductionInput;
+use crate::reroot::Strategy;
 use crate::stats::UpdateStats;
 use pardfs_api::{BatchReport, DfsMaintainer, StatsReport};
 use pardfs_graph::{Graph, Update, Vertex};
@@ -196,12 +196,15 @@ impl FtResult {
 /// * **Maintainer style** ([`DfsMaintainer`]): [`DfsMaintainer::apply_update`]
 ///   and [`DfsMaintainer::apply_batch`] *accumulate* updates; the maintained
 ///   tree is always `tree_after(all updates so far)`. `D` is still never
-///   rebuilt — absorbing the `i`-th update replays the accumulated batch of
-///   size `i` against the original structure, so the cost of the `i`-th update
-///   is `O(i)` query overlays, exactly the Theorem 14 trade-off (cheap for the
-///   small `k` the fault tolerant model targets; use [`crate::DynamicDfs`]
-///   for unbounded update sequences). [`FaultTolerantDfs::reset`] drops the
-///   accumulated batch and returns to the preprocessed state.
+///   rebuilt — the overlay records of the accumulated batch stay alive
+///   between calls, so absorbing the `i`-th update resumes from the current
+///   tree and costs **one** absorption (`O(log n + i)` per query from the
+///   overlay scan, not an `O(i)`-update replay; total absorptions over a
+///   batch of `k` are `O(k)`, not `O(k²)`). Query-style [`Self::tree_after`]
+///   calls can be freely interleaved: they stash the maintainer overlay,
+///   run against the pristine structure, and restore it.
+///   [`FaultTolerantDfs::reset`] drops the accumulated batch (and its
+///   overlay) and returns to the preprocessed state.
 #[derive(Debug)]
 pub struct FaultTolerantDfs {
     aug: AugmentedGraph,
@@ -210,8 +213,28 @@ pub struct FaultTolerantDfs {
     strategy: Strategy,
     /// Updates absorbed in maintainer style since the last [`Self::reset`].
     pending: Vec<Update>,
+    /// The overlay records (internal ids) backing the pending updates,
+    /// replayed into `d` after a query-style call wipes the overlay.
+    notes: Vec<OverlayNote>,
     /// The tree of the pending batch (`None` ⇔ no pending updates).
     current: Option<FtResult>,
+    /// Total single-update absorptions performed in maintainer style (the
+    /// quantity the `O(k)` claim bounds; tests pin it).
+    absorptions: u64,
+}
+
+/// One overlay record of the maintainer-style pending batch, in internal ids.
+/// Replaying the sequence through `StructureD`'s `note_*` methods reproduces
+/// the overlay exactly (the notes are order-sensitive: a delete after an
+/// insert cancels differently than the reverse).
+#[derive(Debug, Clone)]
+enum OverlayNote {
+    InsertEdge(Vertex, Vertex),
+    DeleteEdge(Vertex, Vertex),
+    DeleteVertex(Vertex),
+    /// Vertex insertion with its real neighbours; the pseudo edge to the
+    /// root is re-noted alongside, as during the original absorption.
+    InsertVertex(Vertex, Vec<Vertex>),
 }
 
 impl FaultTolerantDfs {
@@ -231,7 +254,9 @@ impl FaultTolerantDfs {
             d,
             strategy,
             pending: Vec::new(),
+            notes: Vec::new(),
             current: None,
+            absorptions: 0,
         }
     }
 
@@ -240,12 +265,116 @@ impl FaultTolerantDfs {
         &self.pending
     }
 
-    /// Drop the accumulated maintainer-style updates, returning to the
-    /// preprocessed graph and tree. The preprocessed structure `D` is
-    /// untouched (it never changes).
+    /// Total single-update absorptions performed in maintainer style since
+    /// construction. With the resumable overlay this grows by exactly one per
+    /// [`DfsMaintainer::apply_update`] — `O(k)` for `k` accumulated updates.
+    pub fn absorptions(&self) -> u64 {
+        self.absorptions
+    }
+
+    /// Drop the accumulated maintainer-style updates (and their overlay
+    /// records), returning to the preprocessed graph and tree. The as-built
+    /// part of the structure `D` is untouched (it never changes).
     pub fn reset(&mut self) {
         self.pending.clear();
+        self.notes.clear();
         self.current = None;
+        self.d.clear_overlay();
+    }
+
+    /// Re-record the pending maintainer-style updates into `d`'s overlay
+    /// (after a query-style call cleared it).
+    fn replay_notes(&mut self) {
+        for note in &self.notes {
+            match note {
+                OverlayNote::InsertEdge(u, v) => self.d.note_insert_edge(*u, *v),
+                OverlayNote::DeleteEdge(u, v) => self.d.note_delete_edge(*u, *v),
+                OverlayNote::DeleteVertex(v) => self.d.note_delete_vertex(*v),
+                OverlayNote::InsertVertex(v, nbrs) => {
+                    self.d.note_insert_vertex(*v, nbrs);
+                    self.d.note_insert_edge(*v, self.aug.pseudo_root());
+                }
+            }
+        }
+    }
+
+    /// Absorb one maintainer-style update, resuming from the current tree:
+    /// the overlay keeps the whole pending batch, so this is a single
+    /// absorption regardless of how many updates came before.
+    fn absorb_one(&mut self, update: &Update) -> Option<Vertex> {
+        if self.current.is_none() {
+            self.current = Some(FtResult {
+                idx: self.original_idx.clone(),
+                aug: self.aug.clone(),
+                stats: Vec::new(),
+                inserted: Vec::new(),
+            });
+        }
+        let proot = self.aug.pseudo_root();
+        let cur = self.current.as_mut().expect("initialised above");
+        let internal = cur.aug.translate(update);
+        let mut stats = UpdateStats::default();
+        let mut input = ReductionInput::default();
+        let mut inserted_user = None;
+
+        match &internal {
+            Update::InsertEdge(u, v) => {
+                self.d.note_insert_edge(*u, *v);
+                self.notes.push(OverlayNote::InsertEdge(*u, *v));
+                cur.aug.apply_internal(&internal);
+            }
+            Update::DeleteEdge(u, v) => {
+                self.d.note_delete_edge(*u, *v);
+                self.notes.push(OverlayNote::DeleteEdge(*u, *v));
+                cur.aug.apply_internal(&internal);
+            }
+            Update::DeleteVertex(v) => {
+                self.d.note_delete_vertex(*v);
+                self.notes.push(OverlayNote::DeleteVertex(*v));
+                cur.aug.apply_internal(&internal);
+            }
+            Update::InsertVertex { .. } => {
+                if let Some(nv) = cur.aug.apply_internal(&internal) {
+                    let user = cur.aug.to_user(nv);
+                    cur.inserted.push(user);
+                    inserted_user = Some(user);
+                    let nbrs: Vec<Vertex> = cur
+                        .aug
+                        .graph()
+                        .neighbors(nv)
+                        .iter()
+                        .copied()
+                        .filter(|&x| x != proot)
+                        .collect();
+                    self.d.note_insert_vertex(nv, &nbrs);
+                    self.d.note_insert_edge(nv, proot);
+                    self.notes.push(OverlayNote::InsertVertex(nv, nbrs.clone()));
+                    input.inserted = Some(nv);
+                    input.inserted_neighbors = nbrs;
+                }
+            }
+        }
+
+        let mut new_par: Vec<Vertex> = old_parents(&cur.idx);
+        if new_par.len() < cur.aug.graph().capacity() {
+            new_par.resize(cur.aug.graph().capacity(), NO_VERTEX);
+        }
+        let oracle = FaultOracle::new(&self.d);
+        reduce_and_reroot(
+            &cur.idx,
+            &oracle,
+            proot,
+            &internal,
+            &input,
+            &mut new_par,
+            &mut stats,
+            self.strategy,
+        );
+        cur.idx = TreeIndex::from_parent_slice(&new_par, proot);
+        cur.stats.push(stats);
+        self.pending.push(update.clone());
+        self.absorptions += 1;
+        inserted_user
     }
 
     /// The preprocessed DFS tree (internal ids).
@@ -262,8 +391,14 @@ impl FaultTolerantDfs {
     /// Compute a DFS tree of the graph obtained by applying `updates`
     /// (user ids) to the preprocessed graph. The preprocessed structure is not
     /// modified; the overlay used during the computation is discarded at the
-    /// end, so the call can be repeated with arbitrary other batches.
+    /// end, so the call can be repeated with arbitrary other batches. Any
+    /// maintainer-style pending batch is unaffected: its overlay records are
+    /// stashed for the duration of the call and replayed afterwards.
     pub fn tree_after(&mut self, updates: &[Update]) -> FtResult {
+        // Maintainer-style absorptions keep their overlay alive in `d`; a
+        // query-style batch is relative to the *preprocessed* graph, so it
+        // must see a pristine overlay.
+        self.d.clear_overlay();
         let proot = self.aug.pseudo_root();
         let mut graph_aug = self.aug.clone();
         let mut idx = self.original_idx.clone();
@@ -316,7 +451,7 @@ impl FaultTolerantDfs {
                 new_par.resize(graph_aug.graph().capacity(), NO_VERTEX);
             }
             let oracle = FaultOracle::new(&self.d);
-            let jobs = reduce_update(
+            reduce_and_reroot(
                 &idx,
                 &oracle,
                 proot,
@@ -324,10 +459,8 @@ impl FaultTolerantDfs {
                 &input,
                 &mut new_par,
                 &mut stats,
+                self.strategy,
             );
-            stats.reroot_jobs = jobs.len() as u64;
-            let engine = Rerooter::new(&idx, &oracle, self.strategy);
-            stats.reroot = engine.run(&jobs, &mut new_par);
 
             // The tree index is local O(n) state and may be rebuilt freely;
             // only D is frozen.
@@ -335,8 +468,10 @@ impl FaultTolerantDfs {
             all_stats.push(stats);
         }
 
-        // Restore the preprocessed structure for the next batch.
+        // Restore the preprocessed structure, then the maintainer-style
+        // overlay (if a pending batch exists), for the next call.
         self.d.clear_overlay();
+        self.replay_notes();
 
         FtResult {
             idx,
@@ -353,38 +488,30 @@ impl DfsMaintainer for FaultTolerantDfs {
     }
 
     fn apply_update(&mut self, update: &Update) -> Option<Vertex> {
-        self.pending.push(update.clone());
-        // `tree_after` needs `&mut self` (the overlay of `D`); lend it the
-        // pending batch without copying the updates.
-        let pending = std::mem::take(&mut self.pending);
-        let result = self.tree_after(&pending);
-        self.pending = pending;
-        let inserted = match update {
-            Update::InsertVertex { .. } => result.inserted.last().copied(),
-            _ => None,
-        };
-        self.current = Some(result);
-        inserted
+        // Resume from the current tree: the shared overlay already describes
+        // the pending batch, so the i-th update costs one absorption.
+        self.absorb_one(update)
     }
 
     fn apply_batch(&mut self, updates: &[Update]) -> BatchReport {
-        // Native batch path: one absorption of the extended pending batch
-        // instead of one replay per update.
-        let already_applied = self.pending.len();
+        // Native batch path: absorb each new update once, resuming from the
+        // current tree — O(k) absorptions for the whole batch.
+        if updates.is_empty() {
+            return BatchReport::default();
+        }
+        let already_applied = self.current.as_ref().map(|r| r.stats.len()).unwrap_or(0);
         let already_inserted = self.current.as_ref().map(|r| r.inserted.len()).unwrap_or(0);
-        self.pending.extend(updates.iter().cloned());
-        let pending = std::mem::take(&mut self.pending);
-        let result = self.tree_after(&pending);
-        self.pending = pending;
-        let report = BatchReport {
-            inserted: result.inserted[already_inserted..].to_vec(),
-            per_update: result.stats[already_applied..]
+        for update in updates {
+            self.absorb_one(update);
+        }
+        let cur = self.current.as_ref().expect("batch absorbed above");
+        BatchReport {
+            inserted: cur.inserted[already_inserted..].to_vec(),
+            per_update: cur.stats[already_applied..]
                 .iter()
                 .map(|&s| StatsReport::FaultTolerant(s))
                 .collect(),
-        };
-        self.current = Some(result);
-        report
+        }
     }
 
     fn tree(&self) -> &TreeIndex {
@@ -530,6 +657,91 @@ mod tests {
             r2.augmented_graph().has_edge(1, 2),
             "vertex 12 must still exist"
         );
+    }
+
+    #[test]
+    fn maintainer_style_absorption_count_is_linear_in_k() {
+        // The old implementation replayed the whole accumulated batch on
+        // every apply_update (k(k+1)/2 absorptions for k updates); the
+        // resumable overlay makes it exactly k.
+        let mut rng = ChaCha8Rng::seed_from_u64(31);
+        let g = generators::random_connected_gnm(30, 70, &mut rng);
+        let k = 12;
+        let updates = random_update_sequence(&g, k, &UpdateMix::default(), &mut rng);
+        let mut ft = FaultTolerantDfs::new(&g);
+        for u in &updates {
+            DfsMaintainer::apply_update(&mut ft, u);
+            DfsMaintainer::check(&ft).unwrap();
+        }
+        assert_eq!(ft.absorptions(), k as u64, "one absorption per update");
+        assert_eq!(ft.pending_updates().len(), k);
+    }
+
+    #[test]
+    fn maintainer_style_batches_also_absorb_linearly() {
+        let mut rng = ChaCha8Rng::seed_from_u64(32);
+        let g = generators::random_connected_gnm(25, 60, &mut rng);
+        let updates = random_update_sequence(&g, 9, &UpdateMix::default(), &mut rng);
+        let mut ft = FaultTolerantDfs::new(&g);
+        let r1 = DfsMaintainer::apply_batch(&mut ft, &updates[..4]);
+        assert_eq!(r1.applied(), 4);
+        let r2 = DfsMaintainer::apply_batch(&mut ft, &updates[4..]);
+        assert_eq!(r2.applied(), 5);
+        DfsMaintainer::check(&ft).unwrap();
+        assert_eq!(ft.absorptions(), 9);
+        // Per-update reports cover only the new updates, not the backlog.
+        assert_eq!(r2.per_update.len(), 5);
+        // Empty batches are free.
+        let r3 = DfsMaintainer::apply_batch(&mut ft, &[]);
+        assert!(r3.is_empty());
+        assert_eq!(ft.absorptions(), 9);
+    }
+
+    #[test]
+    fn query_style_calls_do_not_disturb_the_pending_batch() {
+        // Interleave maintainer-style updates with query-style tree_after
+        // calls: the pending batch's overlay must survive the query-style
+        // clear/restore cycle, and both styles must stay correct.
+        let g = generators::grid(5, 5);
+        let mut ft = FaultTolerantDfs::new(&g);
+        DfsMaintainer::apply_update(&mut ft, &Update::DeleteEdge(0, 1));
+        DfsMaintainer::apply_update(&mut ft, &Update::InsertVertex { edges: vec![3, 17] });
+        DfsMaintainer::check(&ft).unwrap();
+        let roots_before = DfsMaintainer::forest_roots(&ft);
+
+        // A query-style batch relative to the *preprocessed* graph: it must
+        // still see edge (0,1) and must not see the inserted vertex.
+        let q = ft.tree_after(&[Update::DeleteVertex(12)]);
+        q.check().unwrap();
+        assert!(q.augmented_graph().has_edge(1, 2), "(0,1) untouched");
+        assert_eq!(q.num_vertices(), 24, "25 - the deleted vertex");
+
+        // The maintainer state is unchanged and can keep absorbing.
+        assert_eq!(DfsMaintainer::forest_roots(&ft), roots_before);
+        DfsMaintainer::apply_update(&mut ft, &Update::DeleteEdge(12, 13));
+        DfsMaintainer::check(&ft).unwrap();
+        assert_eq!(ft.absorptions(), 3);
+        assert_eq!(DfsMaintainer::num_vertices(&ft), 26, "25 + inserted");
+    }
+
+    #[test]
+    fn reset_drops_the_batch_and_its_overlay() {
+        let g = generators::path(10);
+        let mut ft = FaultTolerantDfs::new(&g);
+        let words = ft.structure_words();
+        DfsMaintainer::apply_update(&mut ft, &Update::DeleteEdge(4, 5));
+        DfsMaintainer::apply_update(&mut ft, &Update::InsertEdge(0, 9));
+        assert!(ft.structure_words() > words, "overlay holds records");
+        ft.reset();
+        assert_eq!(ft.pending_updates().len(), 0);
+        assert_eq!(ft.structure_words(), words, "overlay gone");
+        DfsMaintainer::check(&ft).unwrap();
+        assert_eq!(DfsMaintainer::num_edges(&ft), 9, "back to preprocessed");
+        // And the structure is reusable in either style afterwards.
+        let r = ft.tree_after(&[Update::DeleteEdge(4, 5)]);
+        r.check().unwrap();
+        DfsMaintainer::apply_update(&mut ft, &Update::DeleteEdge(7, 8));
+        DfsMaintainer::check(&ft).unwrap();
     }
 
     #[test]

@@ -17,9 +17,12 @@
 //!   tree `T*`, and splits into new components via batched `D` queries
 //!   (the components property, Lemma 1).
 //! * [`dynamic`] — Theorem 13: the fully dynamic maintainer. After every
-//!   update the tree index and `D` are rebuilt (the `m`-processor
-//!   preprocessing of Theorem 8), so the next update again sees a clean
-//!   all-back-edge structure.
+//!   update only the `O(n)` tree index is rebuilt; `D` stays anchored to the
+//!   tree of its last build, absorbing updates through its overlay and
+//!   answering current-tree queries via the Theorem 9 segment decomposition.
+//!   A configurable [`RebuildPolicy`] (default: overlay > `m / log₂ n`)
+//!   decides when the `m`-processor preprocessing of Theorem 8 re-runs, so
+//!   rebuilds are amortized instead of per-update.
 //! * [`fault`] — Theorem 14: the fault tolerant maintainer. `D` is built
 //!   *once*; a batch of `k` updates is absorbed by decomposing every queried
 //!   path of the evolving tree into ancestor–descendant segments of the
@@ -60,7 +63,7 @@ pub use pardfs_api::stats;
 
 pub use dynamic::DynamicDfs;
 pub use fault::{FaultTolerantDfs, FtResult};
-pub use pardfs_api::{BatchReport, DfsMaintainer, StatsReport};
+pub use pardfs_api::{BatchReport, DfsMaintainer, RebuildPolicy, RebuildPolicyStats, StatsReport};
 pub use reduction::reduce_update;
 pub use reroot::{RerootJob, Rerooter, Strategy};
 pub use stats::{RerootStats, TraversalKind, UpdateStats};

@@ -101,6 +101,18 @@ impl UpdateMix {
         }
     }
 
+    /// Mostly deletions (edges and vertices), the workload that stresses the
+    /// overlay's removed/dead masks and the subtree re-attachment paths.
+    pub fn delete_heavy() -> Self {
+        UpdateMix {
+            insert_edge: 1,
+            delete_edge: 5,
+            insert_vertex: 0,
+            delete_vertex: 2,
+            max_new_vertex_degree: 0,
+        }
+    }
+
     /// Only vertex updates.
     pub fn vertices_only(max_degree: usize) -> Self {
         UpdateMix {

@@ -1,5 +1,38 @@
 //! The data structure `D`: post-order sorted adjacency lists with an update
 //! overlay (Theorems 8 and 9).
+//!
+//! ## The overlay / rebuild contract
+//!
+//! `D` is built **once** on a DFS tree (the *base* tree) of a graph in which
+//! every edge is a back edge of that tree. From then on, two parties share
+//! responsibility for keeping queries truthful:
+//!
+//! * **Callers** route every subsequent mutation through the overlay
+//!   (`note_insert_edge` / `note_delete_edge` / `note_insert_vertex` /
+//!   `note_delete_vertex`) *before* querying, obeying the update vocabulary's
+//!   contract (inserted edges do not already exist, deleted edges/vertices do
+//!   exist). Queries keep speaking in **base-tree paths**: a caller whose
+//!   current tree has diverged from the base tree decomposes its paths into
+//!   base-tree segments first (`QueryOracle::decompose_path`, the Theorem 9
+//!   argument) — inserted vertices, which the base tree has never heard of,
+//!   travel as `near == far` singleton queries.
+//! * **`D` itself** answers every query over the *net* edge set: the sorted
+//!   base adjacency minus `removed`/`dead` masks plus the `extra` lists,
+//!   scanned linearly. After `k` overlay records a query costs
+//!   `O(log n + k)`.
+//!
+//! ## The amortization argument
+//!
+//! The `O(log n + k)` query bound is why incremental maintainers may *skip*
+//! the `O(m)` rebuild: with `O(log² n)` query sets per update (Theorem 3),
+//! letting the overlay grow to `k ≈ c · m / log n` keeps the accumulated
+//! per-query penalty of the whole epoch within a constant factor of the one
+//! rebuild that ends it — so the rebuild amortizes to `O(log n)` per update
+//! instead of costing `O(m)` on every one. `overlay_updates()` is the
+//! quantity rebuild policies compare against that threshold, and
+//! `clear_overlay()` (or a fresh `build` on the current tree) starts the next
+//! epoch. The fault tolerant algorithm is the `c → ∞` extreme: one build,
+//! overlays forever, `reset` between batches.
 
 use crate::oracle::{EdgeHit, QueryOracle, VertexQuery};
 use pardfs_graph::{Graph, Vertex};

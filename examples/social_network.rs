@@ -10,14 +10,19 @@
 //! A DFS forest is exactly the right index for this: connectivity is "same
 //! tree root", and the tree (plus back edges) supports biconnectivity
 //! analysis. The example maintains the forest through the unified
-//! `DfsMaintainer` surface (the backend is one `MaintainerBuilder` line)
-//! under churn and answers queries after every batch, comparing the
-//! per-update cost against recomputing the forest from scratch.
+//! `DfsMaintainer` surface under churn and answers queries after every batch.
+//!
+//! It is also the headline demo for the **amortized rebuild policy**: the
+//! same update stream is absorbed by an incremental maintainer (overlay +
+//! occasional `D` rebuild, the default), by a maintainer that rebuilds `D`
+//! after every update (the pre-incremental behaviour), and by full
+//! recomputation from scratch — the timing line at the end shows the
+//! incremental maintainer winning on this medium-sized graph.
 
 use pardfs::graph::{generators, Graph, Update};
 use pardfs::seq::articulation::articulation_points;
 use pardfs::seq::static_dfs::static_dfs;
-use pardfs::{Backend, MaintainerBuilder};
+use pardfs::{Backend, MaintainerBuilder, RebuildPolicy};
 use rand::prelude::*;
 use rand_chacha::ChaCha8Rng;
 use std::time::Instant;
@@ -29,11 +34,19 @@ fn main() {
     let n = graph.num_vertices();
     println!("social graph: {n} users, {} friendships", graph.num_edges());
 
+    // The maintainer under demo: incremental D with the default amortized
+    // rebuild policy (rebuild when overlay > m / log₂ n).
     let mut dfs = MaintainerBuilder::new(Backend::Parallel).build(&graph);
+    // The ablation: identical algorithm, but D is rebuilt on every update.
+    let mut rebuilder = MaintainerBuilder::new(Backend::Parallel)
+        .rebuild_policy(RebuildPolicy::EveryUpdate)
+        .build(&graph);
     let mut mirror: Graph = graph.clone();
 
-    let mut dynamic_total = 0u128;
+    let mut incremental_total = 0u128;
+    let mut rebuild_total = 0u128;
     let mut static_total = 0u128;
+    let mut updates_applied = 0usize;
 
     for day in 0..10 {
         // Each "day": a few friendships form, a few dissolve, one account is
@@ -62,8 +75,14 @@ fn main() {
         for update in &updates {
             let t = Instant::now();
             dfs.apply_update(update);
-            dynamic_total += t.elapsed().as_micros();
+            incremental_total += t.elapsed().as_micros();
+
+            let t = Instant::now();
+            rebuilder.apply_update(update);
+            rebuild_total += t.elapsed().as_micros();
+
             mirror.apply(update);
+            updates_applied += 1;
 
             // Baseline: full recomputation of a DFS forest of the mirror.
             let t = Instant::now();
@@ -72,6 +91,7 @@ fn main() {
             static_total += t.elapsed().as_micros();
         }
         dfs.check().expect("DFS forest must stay valid");
+        rebuilder.check().expect("ablation forest must stay valid");
 
         // Application queries on the maintained forest.
         let components = dfs.forest_roots().len();
@@ -87,9 +107,21 @@ fn main() {
         );
     }
 
+    let policy = dfs
+        .stats()
+        .rebuild_policy()
+        .copied()
+        .expect("parallel backend reports policy stats");
     println!(
-        "\ncumulative update time: dynamic DFS {:.2} ms vs full recompute {:.2} ms",
-        dynamic_total as f64 / 1000.0,
+        "\nrebuild policy: {} D rebuilds over {} updates \
+         (threshold {}, overlay now {})",
+        policy.rebuilds, updates_applied, policy.threshold, policy.overlay_updates,
+    );
+    println!(
+        "cumulative update time: incremental DFS {:.2} ms vs rebuild-every-update {:.2} ms \
+         vs full recompute {:.2} ms",
+        incremental_total as f64 / 1000.0,
+        rebuild_total as f64 / 1000.0,
         static_total as f64 / 1000.0
     );
 }

@@ -5,7 +5,7 @@
 //! factory lives here; the trait it hands out ([`DfsMaintainer`]) lives in
 //! `pardfs-api` and is implemented by each backend crate.
 
-use pardfs_api::{BatchReport, DfsMaintainer, StatsReport};
+use pardfs_api::{BatchReport, DfsMaintainer, RebuildPolicy, StatsReport};
 use pardfs_congest::DistributedDynamicDfs;
 use pardfs_core::{DynamicDfs, FaultTolerantDfs, Strategy};
 use pardfs_graph::{Graph, Update, Vertex};
@@ -85,22 +85,34 @@ pub struct MaintainerBuilder {
     backend: Backend,
     strategy: Strategy,
     check_mode: CheckMode,
+    rebuild_policy: RebuildPolicy,
 }
 
 impl MaintainerBuilder {
-    /// Start a builder for the given backend with the phased strategy and no
-    /// automatic checking.
+    /// Start a builder for the given backend with the phased strategy, no
+    /// automatic checking and the default amortized rebuild policy.
     pub fn new(backend: Backend) -> Self {
         MaintainerBuilder {
             backend,
             strategy: Strategy::Phased,
             check_mode: CheckMode::Never,
+            rebuild_policy: RebuildPolicy::default(),
         }
     }
 
     /// Select the rerooting strategy (ignored by [`Backend::Sequential`]).
     pub fn strategy(mut self, strategy: Strategy) -> Self {
         self.strategy = strategy;
+        self
+    }
+
+    /// Select when the incremental maintainer folds `D`'s overlay back into
+    /// a fresh build. Consulted by [`Backend::Parallel`] (the other backends
+    /// manage `D` per their own model: the fault tolerant backend never
+    /// rebuilds, the sequential/streaming/CONGEST backends rebuild per their
+    /// theorems).
+    pub fn rebuild_policy(mut self, rebuild_policy: RebuildPolicy) -> Self {
+        self.rebuild_policy = rebuild_policy;
         self
     }
 
@@ -118,7 +130,11 @@ impl MaintainerBuilder {
     /// Construct the maintainer over `user_graph`.
     pub fn build(&self, user_graph: &Graph) -> Box<dyn DfsMaintainer> {
         let inner: Box<dyn DfsMaintainer> = match self.backend {
-            Backend::Parallel => Box::new(DynamicDfs::with_strategy(user_graph, self.strategy)),
+            Backend::Parallel => Box::new(DynamicDfs::with_config(
+                user_graph,
+                self.strategy,
+                self.rebuild_policy,
+            )),
             Backend::Sequential => Box::new(SeqRerootDfs::new(user_graph)),
             Backend::Streaming => Box::new(StreamingDynamicDfs::with_strategy(
                 user_graph,
@@ -277,6 +293,34 @@ mod tests {
     }
 
     #[test]
+    fn rebuild_policy_reaches_the_parallel_backend() {
+        let g = generators::grid(5, 5);
+        let updates = [
+            Update::DeleteEdge(0, 1),
+            Update::InsertEdge(0, 24),
+            Update::DeleteEdge(12, 13),
+        ];
+        let mut never = MaintainerBuilder::new(Backend::Parallel)
+            .rebuild_policy(RebuildPolicy::Never)
+            .check_mode(CheckMode::EveryUpdate)
+            .build(&g);
+        let mut always = MaintainerBuilder::new(Backend::Parallel)
+            .rebuild_policy(RebuildPolicy::EveryUpdate)
+            .check_mode(CheckMode::EveryUpdate)
+            .build(&g);
+        for u in &updates {
+            never.apply_update(u);
+            always.apply_update(u);
+        }
+        let p_never = *never.stats().rebuild_policy().unwrap();
+        let p_always = *always.stats().rebuild_policy().unwrap();
+        assert_eq!(p_never.rebuilds, 0);
+        assert_eq!(p_never.overlay_updates, updates.len() as u64);
+        assert_eq!(p_always.rebuilds, updates.len() as u64);
+        assert_eq!(p_always.overlay_updates, 0);
+    }
+
+    #[test]
     #[should_panic(expected = "invalid DFS tree")]
     fn checked_mode_panics_on_corruption() {
         // A maintainer whose check always fails.
@@ -310,7 +354,10 @@ mod tests {
                 Err("intentionally broken".into())
             }
             fn stats(&self) -> StatsReport {
-                StatsReport::Parallel(Default::default())
+                StatsReport::Parallel {
+                    engine: Default::default(),
+                    rebuild: Default::default(),
+                }
             }
         }
         let idx = TreeIndex::from_parent_slice(&[0], 0);

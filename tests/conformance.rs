@@ -9,11 +9,13 @@
 
 use pardfs::graph::updates::{random_update_sequence, UpdateMix};
 use pardfs::graph::{connected_components, generators, Graph, Update};
-use pardfs::{Backend, CheckMode, DfsMaintainer, MaintainerBuilder, Strategy};
+use pardfs::{Backend, CheckMode, DfsMaintainer, MaintainerBuilder, RebuildPolicy, Strategy};
 use rand::prelude::*;
 use rand_chacha::ChaCha8Rng;
 
-/// Every backend configuration under conformance test.
+/// Every backend configuration under conformance test. The parallel backend
+/// appears at three rebuild policies so the incremental `D` path (overlay +
+/// base-tree decomposition) is exercised in lockstep with the others.
 fn contenders() -> Vec<(String, MaintainerBuilder)> {
     let mut out = vec![
         (
@@ -23,6 +25,14 @@ fn contenders() -> Vec<(String, MaintainerBuilder)> {
         (
             "parallel/phased".to_string(),
             MaintainerBuilder::new(Backend::Parallel).strategy(Strategy::Phased),
+        ),
+        (
+            "parallel/rebuild-every".to_string(),
+            MaintainerBuilder::new(Backend::Parallel).rebuild_policy(RebuildPolicy::EveryUpdate),
+        ),
+        (
+            "parallel/rebuild-never".to_string(),
+            MaintainerBuilder::new(Backend::Parallel).rebuild_policy(RebuildPolicy::Never),
         ),
         (
             "sequential".to_string(),
@@ -140,6 +150,61 @@ fn conformance_edge_churn_on_adversarial_shapes() {
     for (name, g) in shapes {
         let updates = random_update_sequence(&g, 12, &UpdateMix::edges_only(), &mut rng);
         conformance_run(name, &g, &updates);
+    }
+}
+
+#[test]
+fn conformance_delete_heavy_workloads() {
+    // Deletions dominate: stresses the overlay's removed/dead masks, subtree
+    // re-attachment through surviving edges, and (for the incremental
+    // parallel configurations) queries against heavily masked base trees.
+    let mut rng = ChaCha8Rng::seed_from_u64(4242);
+    for (name, g) in [
+        (
+            "dense-random",
+            generators::random_connected_gnm(24, 90, &mut rng),
+        ),
+        ("grid", generators::grid(5, 6)),
+        ("path_of_cliques", generators::path_of_cliques(5, 5)),
+    ] {
+        let updates = random_update_sequence(&g, 14, &UpdateMix::delete_heavy(), &mut rng);
+        conformance_run(&format!("delete-heavy {name}"), &g, &updates);
+    }
+}
+
+#[test]
+fn conformance_vertex_churn_workloads() {
+    // Vertex insertions/deletions only: the id space grows past the build
+    // capacity and shrinks again, exercising overlay growth and the
+    // inserted-vertex singleton decomposition on every backend.
+    let mut rng = ChaCha8Rng::seed_from_u64(31337);
+    for trial in 0..2 {
+        let n = 18 + 8 * trial;
+        let g = generators::random_connected_gnm(n, 2 * n, &mut rng);
+        let updates = random_update_sequence(&g, 12, &UpdateMix::vertices_only(5), &mut rng);
+        conformance_run(&format!("vertex-churn trial {trial}"), &g, &updates);
+    }
+}
+
+#[test]
+fn conformance_seeded_regression_corpus() {
+    // Seeds that produced interesting structure during development (threshold
+    // crossings mid-sequence, deletions that split off single vertices,
+    // re-insertion of just-deleted edges). Proptest counterexamples get
+    // appended here with their generating parameters.
+    let corpus: &[(u64, usize, usize, usize)] = &[
+        // (seed, n, extra edges, updates)
+        (7, 20, 20, 18),
+        (99, 12, 4, 20),
+        (2024, 33, 60, 16),
+        (550, 25, 10, 22),
+    ];
+    for &(seed, n, extra, count) in corpus {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let m = (n - 1 + extra).min(n * (n - 1) / 2);
+        let g = generators::random_connected_gnm(n, m, &mut rng);
+        let updates = random_update_sequence(&g, count, &UpdateMix::delete_heavy(), &mut rng);
+        conformance_run(&format!("corpus seed {seed}"), &g, &updates);
     }
 }
 

@@ -1,14 +1,24 @@
 //! Property-based tests (proptest): for arbitrary random graphs and arbitrary
 //! valid update sequences, every maintainer always produces a valid DFS
 //! forest, and the data structure `D` always agrees with a brute-force scan.
+//!
+//! The **differential suite** locks in the incremental `StructureD`
+//! maintenance: after any random interleaving of inserts and deletes, the
+//! overlay-carrying structure must answer every `VertexQuery` identically to
+//! a fresh `StructureD::build` on the final graph (where the final graph is
+//! buildable on the base tree) and to an independent brute-force model
+//! (always). Deeper runs: set `PROPTEST_CASES` and/or run the `--ignored`
+//! stress targets.
 
 use pardfs::graph::updates::{random_update_sequence, UpdateMix};
-use pardfs::graph::{generators, Graph};
-use pardfs::query::{QueryOracle, StructureD, VertexQuery};
+use pardfs::graph::{generators, Graph, Update, Vertex};
+use pardfs::query::{EdgeHit, QueryOracle, StructureD, VertexQuery};
 use pardfs::seq::augment::AugmentedGraph;
 use pardfs::seq::static_dfs::static_dfs;
 use pardfs::tree::TreeIndex;
-use pardfs::{DynamicDfs, FaultTolerantDfs, Strategy, StreamingDynamicDfs};
+use pardfs::{
+    DfsMaintainer, DynamicDfs, FaultTolerantDfs, RebuildPolicy, Strategy, StreamingDynamicDfs,
+};
 use proptest::prelude::*;
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
@@ -26,6 +36,266 @@ fn graph_and_updates(
     let g = generators::random_connected_gnm(n, m, &mut rng);
     let ups = random_update_sequence(&g, updates, &UpdateMix::default(), &mut rng);
     (g, ups)
+}
+
+/// Build (augmented graph, base tree index, D) for a fresh random connected
+/// graph — the starting point of every differential run.
+fn build_base(seed: u64, n: usize, extra_edges: usize) -> (Graph, TreeIndex, StructureD) {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let m = (n - 1 + extra_edges).min(n * (n - 1) / 2);
+    let g = generators::random_connected_gnm(n, m, &mut rng);
+    let aug = AugmentedGraph::new(&g);
+    let idx = TreeIndex::build(&static_dfs(aug.graph(), aug.pseudo_root()));
+    let d = StructureD::build(aug.graph(), idx.clone());
+    (aug.graph().clone(), idx, d)
+}
+
+/// A random ancestor–descendant pair of the base tree (either orientation).
+fn random_tree_path(idx: &TreeIndex, rng: &mut impl Rng) -> (Vertex, Vertex) {
+    let verts = idx.pre_order_vertices();
+    let a = verts[rng.gen_range(0..verts.len())];
+    let b = idx.ancestor_at_level(a, rng.gen_range(0..=idx.level(a)));
+    if rng.gen_bool(0.5) {
+        (a, b)
+    } else {
+        (b, a)
+    }
+}
+
+/// Independent brute-force model of the *current* edge set: base graph plus
+/// net overlay records (`extra` inserted, `removed` deleted, `dead` masked).
+/// Mirrors the query semantics of [`VertexQuery`] with O(n) scans.
+fn brute_force_query(
+    g: &Graph,
+    idx: &TreeIndex,
+    extra: &[(Vertex, Vertex)],
+    removed: &[(Vertex, Vertex)],
+    dead: &[Vertex],
+    q: VertexQuery,
+) -> Option<EdgeHit> {
+    if dead.contains(&q.w) {
+        return None;
+    }
+    let single_new = q.near == q.far && !idx.contains(q.near);
+    let on_path = |z: Vertex| {
+        idx.contains(z)
+            && idx.contains(q.near)
+            && idx.contains(q.far)
+            && ((idx.is_ancestor(q.near, z) && idx.is_ancestor(z, q.far))
+                || (idx.is_ancestor(q.far, z) && idx.is_ancestor(z, q.near)))
+    };
+    let mut nbrs: Vec<Vertex> = if (q.w as usize) < g.capacity() {
+        g.neighbors(q.w).to_vec()
+    } else {
+        Vec::new()
+    };
+    for &(a, b) in extra {
+        if a == q.w {
+            nbrs.push(b);
+        }
+        if b == q.w {
+            nbrs.push(a);
+        }
+    }
+    nbrs.retain(|&z| {
+        !removed.contains(&(q.w.min(z), q.w.max(z)))
+            && !dead.contains(&z)
+            && if single_new { z == q.near } else { on_path(z) }
+    });
+    let near_level = if idx.contains(q.near) {
+        idx.level(q.near)
+    } else {
+        0
+    };
+    nbrs.into_iter()
+        .map(|z| {
+            let rank = if single_new {
+                0
+            } else {
+                idx.level(z).abs_diff(near_level)
+            };
+            (rank, z)
+        })
+        .min()
+        .map(|(rank, z)| EdgeHit {
+            from: q.w,
+            on_path: z,
+            rank_from_near: rank,
+        })
+}
+
+fn remove_pair(list: &mut Vec<(Vertex, Vertex)>, key: (Vertex, Vertex)) -> bool {
+    if let Some(pos) = list.iter().position(|&p| p == key) {
+        list.swap_remove(pos);
+        true
+    } else {
+        false
+    }
+}
+
+/// Drive one differential run with arbitrary interleavings (cross-edge
+/// inserts, deletes of any non-pseudo edge, vertex insert/delete,
+/// re-insertions that cancel deletions) and compare `D` against the
+/// brute-force model on `queries_per_step` random queries after every step.
+fn differential_overlay_run(seed: u64, n: usize, extra_edges: usize, steps: usize) {
+    let (g, idx, mut d) = build_base(seed, n, extra_edges);
+    let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0xD1FF);
+    let proot = idx.root();
+
+    // Net overlay model, maintained with the same cancellation rules the
+    // overlay documents (but as flat lists, not sorted windows).
+    let mut extra: Vec<(Vertex, Vertex)> = Vec::new();
+    let mut removed: Vec<(Vertex, Vertex)> = Vec::new();
+    let mut dead: Vec<Vertex> = Vec::new();
+    let mut new_vertices: Vec<Vertex> = Vec::new();
+    let mut next_id = g.capacity() as Vertex;
+
+    let cap = g.capacity() as Vertex;
+    let live_pairs = |rng: &mut ChaCha8Rng| {
+        let u = rng.gen_range(1..cap);
+        let v = rng.gen_range(1..cap);
+        (u, v)
+    };
+
+    for step in 0..steps {
+        match rng.gen_range(0..10) {
+            // Insert an edge (possibly a cross edge, possibly cancelling an
+            // earlier deletion). Skipped when the edge is currently present —
+            // the overlay's contract, like the update vocabulary's, is that
+            // inserted edges do not already exist.
+            0..=3 => {
+                let (u, v) = live_pairs(&mut rng);
+                if u == v {
+                    continue;
+                }
+                let key = (u.min(v), u.max(v));
+                let present = (g.has_edge(u, v) && !removed.contains(&key)) || extra.contains(&key);
+                if present {
+                    continue;
+                }
+                d.note_insert_edge(u, v);
+                if !remove_pair(&mut removed, key) {
+                    extra.push(key);
+                }
+            }
+            // Delete a currently present edge — base or overlay-inserted —
+            // but never a pseudo edge.
+            4..=7 => {
+                let choice = generators::sample_edges(&g, 1, &mut rng)
+                    .into_iter()
+                    .map(|(a, b)| (a.min(b), a.max(b)))
+                    .find(|&(a, b)| a != proot && b != proot && !removed.contains(&(a, b)))
+                    .or_else(|| extra.first().copied());
+                if let Some((u, v)) = choice {
+                    d.note_delete_edge(u, v);
+                    if !remove_pair(&mut extra, (u, v)) {
+                        removed.push((u, v));
+                    }
+                }
+            }
+            // Insert a fresh vertex with a few incident edges.
+            8 => {
+                let nv = next_id;
+                next_id += 1;
+                let k = rng.gen_range(1..4);
+                let nbrs: Vec<Vertex> = (0..k).map(|_| rng.gen_range(1..cap)).collect();
+                d.note_insert_vertex(nv, &nbrs);
+                new_vertices.push(nv);
+                for &u in &nbrs {
+                    let key = (nv.min(u), nv.max(u));
+                    if !extra.contains(&key) {
+                        extra.push(key);
+                    }
+                }
+            }
+            // Delete a vertex (base or inserted).
+            _ => {
+                let v = if !new_vertices.is_empty() && rng.gen_bool(0.3) {
+                    new_vertices[rng.gen_range(0..new_vertices.len())]
+                } else {
+                    rng.gen_range(1..cap)
+                };
+                d.note_delete_vertex(v);
+                if !dead.contains(&v) {
+                    dead.push(v);
+                }
+            }
+        }
+
+        // Differential check: 20 random queries per step, mixing tree paths
+        // with queries targeting inserted vertices.
+        for _ in 0..20 {
+            let w = if !new_vertices.is_empty() && rng.gen_bool(0.2) {
+                new_vertices[rng.gen_range(0..new_vertices.len())]
+            } else {
+                rng.gen_range(0..cap)
+            };
+            let (near, far) = if !new_vertices.is_empty() && rng.gen_bool(0.2) {
+                let nv = new_vertices[rng.gen_range(0..new_vertices.len())];
+                (nv, nv)
+            } else {
+                random_tree_path(&idx, &mut rng)
+            };
+            let q = VertexQuery::new(w, near, far);
+            let got = d.query_vertex(q).map(|h| h.rank_from_near);
+            let want =
+                brute_force_query(&g, &idx, &extra, &removed, &dead, q).map(|h| h.rank_from_near);
+            assert_eq!(
+                got, want,
+                "seed {seed}, step {step}: query {q:?} diverged from the model"
+            );
+        }
+    }
+}
+
+/// Drive one differential run restricted to updates that keep the final
+/// graph buildable on the base tree (back-edge inserts, arbitrary non-pseudo
+/// edge deletes), and compare the overlay-carrying `D` against a **fresh
+/// `StructureD::build` on the final graph** query-for-query.
+fn differential_fresh_rebuild_run(seed: u64, n: usize, extra_edges: usize, steps: usize) {
+    let (g, idx, mut d) = build_base(seed, n, extra_edges);
+    let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0xF2E5);
+    let proot = idx.root();
+    let mut mirror = g.clone();
+
+    for _ in 0..steps {
+        if rng.gen_bool(0.5) {
+            // Insert a back edge of the base tree (below the pseudo root).
+            let verts = idx.pre_order_vertices();
+            let a = verts[rng.gen_range(0..verts.len())];
+            if idx.level(a) < 2 {
+                continue;
+            }
+            let anc = idx.ancestor_at_level(a, rng.gen_range(1..idx.level(a)));
+            if anc == proot || mirror.has_edge(a, anc) {
+                continue;
+            }
+            d.note_insert_edge(a, anc);
+            mirror.apply(&Update::InsertEdge(a, anc));
+        } else {
+            // Delete any current non-pseudo edge (tree edges included).
+            if let Some((u, v)) = generators::sample_edges(&mirror, 1, &mut rng)
+                .into_iter()
+                .find(|&(a, b)| a != proot && b != proot)
+            {
+                d.note_delete_edge(u, v);
+                mirror.apply(&Update::DeleteEdge(u, v));
+            }
+        }
+    }
+
+    let fresh = StructureD::build(&mirror, idx.clone());
+    for _ in 0..150 {
+        let w = rng.gen_range(0..g.capacity() as Vertex);
+        let (near, far) = random_tree_path(&idx, &mut rng);
+        let q = VertexQuery::new(w, near, far);
+        let incremental = d.query_vertex(q).map(|h| h.rank_from_near);
+        let rebuilt = fresh.query_vertex(q).map(|h| h.rank_from_near);
+        assert_eq!(
+            incremental, rebuilt,
+            "seed {seed}: incremental D diverged from a fresh build on {q:?}"
+        );
+    }
 }
 
 proptest! {
@@ -111,6 +381,99 @@ proptest! {
                 .min();
             prop_assert_eq!(got.map(|h| h.rank_from_near), expected);
         }
+    }
+
+    #[test]
+    fn incremental_structure_d_matches_brute_force_model(
+        seed in any::<u64>(),
+        n in 8usize..40,
+        extra in 0usize..60,
+    ) {
+        // Arbitrary interleavings: cross-edge inserts, deletes (incl. tree
+        // edges), vertex churn, cancellations — checked against an
+        // independent O(n)-scan model after every step.
+        differential_overlay_run(seed, n, extra, 25);
+    }
+
+    #[test]
+    fn incremental_structure_d_matches_fresh_rebuild(
+        seed in any::<u64>(),
+        n in 8usize..40,
+        extra in 0usize..60,
+    ) {
+        // Inserts/deletes that keep the final graph buildable on the base
+        // tree: the overlay-carrying D must answer identically to a fresh
+        // StructureD::build on the final graph.
+        differential_fresh_rebuild_run(seed, n, extra, 30);
+    }
+
+    #[test]
+    fn incremental_dynamic_dfs_matches_rebuild_every_update(
+        seed in any::<u64>(),
+        n in 5usize..35,
+        extra in 0usize..50,
+    ) {
+        // Maintainer-level differential with deletes enabled: the same mixed
+        // sequence through a never-rebuilding and an always-rebuilding
+        // maintainer must stay valid and component-identical at every step.
+        let (g, updates) = graph_and_updates(seed, n, extra, 15);
+        let mut inc = DynamicDfs::with_config(&g, Strategy::Phased, RebuildPolicy::Never);
+        let mut full = DynamicDfs::with_config(&g, Strategy::Phased, RebuildPolicy::EveryUpdate);
+        for u in &updates {
+            inc.apply_update(u);
+            full.apply_update(u);
+            prop_assert!(inc.check().is_ok(), "incremental after {u:?}: {:?}", inc.check());
+            prop_assert!(full.check().is_ok());
+            prop_assert_eq!(inc.forest_roots().len(), full.forest_roots().len());
+        }
+        prop_assert_eq!(inc.policy_stats().rebuilds, 0);
+    }
+
+    #[test]
+    fn fault_tolerant_maintainer_absorbs_each_update_once(
+        seed in any::<u64>(),
+        n in 5usize..30,
+        extra in 0usize..40,
+        k in 1usize..8,
+    ) {
+        let (g, updates) = graph_and_updates(seed, n, extra, k);
+        let mut ft = FaultTolerantDfs::new(&g);
+        for u in &updates {
+            DfsMaintainer::apply_update(&mut ft, u);
+            prop_assert!(DfsMaintainer::check(&ft).is_ok());
+        }
+        prop_assert_eq!(ft.absorptions(), updates.len() as u64);
+    }
+}
+
+/// Deep sweeps of the differential harnesses — too slow for tier-1, run
+/// explicitly (`cargo test --release --test property -- --ignored`, the CI
+/// property-stress job) for coverage far beyond the default 24 cases.
+#[test]
+#[ignore = "stress target: run with `--ignored` (CI property-stress job)"]
+fn stress_differential_overlay_deep() {
+    for trial in 0..50u64 {
+        let seed = trial.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        differential_overlay_run(
+            seed,
+            8 + (trial as usize * 3) % 48,
+            (trial as usize * 7) % 96,
+            40,
+        );
+    }
+}
+
+#[test]
+#[ignore = "stress target: run with `--ignored` (CI property-stress job)"]
+fn stress_differential_fresh_rebuild_deep() {
+    for trial in 0..50u64 {
+        let seed = trial.wrapping_mul(0xD1B5_4A32_D192_ED03);
+        differential_fresh_rebuild_run(
+            seed,
+            8 + (trial as usize * 5) % 48,
+            (trial as usize * 11) % 96,
+            60,
+        );
     }
 }
 

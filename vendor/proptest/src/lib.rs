@@ -8,7 +8,9 @@
 //!   strategies (`5usize..40`, `0u32..=7`, ...);
 //! * [`prop_assert!`] / [`prop_assert_eq!`] (mapped to `assert!` forms).
 //!
-//! Each test runs `config.cases` random cases from a ChaCha stream seeded by
+//! Each test runs `config.cases` random cases (overridable via the
+//! `PROPTEST_CASES` environment variable, as with the real crate) from a
+//! ChaCha stream seeded by
 //! the test's name, so failures are deterministic per test binary. There is
 //! **no shrinking**: a failing case panics with the generated arguments
 //! printed, which is enough to reproduce (the workspace's strategies already
@@ -88,6 +90,16 @@ macro_rules! impl_range_strategy {
 }
 impl_range_strategy!(u8, u16, u32, u64, usize, i32, i64);
 
+/// Resolve the case count for one test: the `PROPTEST_CASES` environment
+/// variable overrides the configured value (matching the real crate's
+/// behaviour), letting CI deepen coverage without code changes.
+pub fn resolve_cases(configured: u32) -> u32 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(configured)
+}
+
 /// Derive a per-test seed from the test's name (FNV-1a).
 pub fn seed_for(test_name: &str) -> u64 {
     let mut h = 0xcbf2_9ce4_8422_2325u64;
@@ -127,7 +139,7 @@ macro_rules! proptest {
                 let mut __proptest_rng = <$crate::TestRng as rand::SeedableRng>::seed_from_u64(
                     $crate::seed_for(concat!(module_path!(), "::", stringify!($name))),
                 );
-                for __case in 0..config.cases {
+                for __case in 0..$crate::resolve_cases(config.cases) {
                     $( let $arg = $crate::Strategy::generate(&$strat, &mut __proptest_rng); )*
                     let __case_desc = format!(
                         concat!("case {} of ", stringify!($name), "(", $(stringify!($arg), " = {:?}, ",)* ")"),
