@@ -21,7 +21,11 @@
 //!   bench harness read them from one place;
 //! * [`RebuildPolicy`] / [`RebuildPolicyStats`] — the amortized rebuild
 //!   policy of incremental maintainers: when to fold `D`'s update overlay
-//!   back into a fresh build, and what the policy did.
+//!   back into a fresh build, and what the policy did;
+//! * [`IndexPolicy`] / [`IndexMaintenanceStats`] / [`maintain_index`] — the
+//!   same amortization idea one layer down: when to splice an update's
+//!   `TreePatch` into the tree index versus rebuilding it, shared by every
+//!   backend.
 //!
 //! The crate deliberately depends only on `pardfs-graph` and `pardfs-tree`;
 //! backend crates depend on it, never the other way around. Runtime backend
@@ -37,7 +41,9 @@ pub mod report;
 pub mod stats;
 
 pub use maintainer::DfsMaintainer;
-pub use policy::{RebuildPolicy, RebuildPolicyStats};
+pub use policy::{
+    maintain_index, IndexMaintenanceStats, IndexPolicy, RebuildPolicy, RebuildPolicyStats,
+};
 pub use report::{BatchReport, StatsReport};
 pub use stats::{
     CongestStats, RerootStats, SeqUpdateStats, StreamStats, TraversalKind, UpdateStats,

@@ -1,7 +1,16 @@
-//! The amortized rebuild policy for maintainers that keep the structure `D`
-//! across updates instead of rebuilding it every time.
+//! Amortized maintenance policies: when to rebuild a structure from scratch
+//! instead of maintaining it incrementally.
 //!
-//! ## The amortization argument
+//! The same amortization idea governs **two** structures, at two layers:
+//!
+//! * the `O(m)` structure `D` ([`RebuildPolicy`] / [`RebuildPolicyStats`],
+//!   introduced for the incremental parallel maintainer), and
+//! * the `O(n)` tree index ([`IndexPolicy`] / [`IndexMaintenanceStats`]): the
+//!   reroot engine emits a `TreePatch` and the index is delta-patched in
+//!   `O(|region| · log n)` unless the patch's region outgrows the policy's
+//!   threshold, in which case a full `from_parent_slice` rebuild is cheaper.
+//!
+//! ## The amortization argument (structure `D`)
 //!
 //! Rebuilding `D` costs `O(m)` work (Theorem 8). Skipping the rebuild and
 //! recording the update in `D`'s overlay instead costs `O(degree)` once plus
@@ -13,8 +22,17 @@
 //! `O(m)` cost, which is exactly why the paper confines the heavy work to
 //! preprocessing.
 //!
-//! [`RebuildPolicy`] encodes when to rebuild; [`RebuildPolicyStats`] reports
-//! what the policy did, carried by `StatsReport::Parallel`.
+//! ## The same argument for the index
+//!
+//! A patch splice costs `O(|region| · log n)` with non-trivial bookkeeping;
+//! a rebuild costs `O(n)`–`O(n log n)` with a cache-friendly linear sweep.
+//! Below a constant fraction of `n`, the splice wins (and the paper's
+//! rerooting procedure guarantees most updates touch only the affected
+//! subtrees); past it, the rebuild does. Membership-changing updates (vertex
+//! insertions/deletions renumber every later vertex) always rebuild —
+//! there is no sublinear splice for them, as `pardfs-tree::patch` documents.
+//!
+//! [`maintain_index`] is the one shared decision point every backend calls.
 
 /// When an incremental maintainer rebuilds its structure `D` from scratch.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -102,6 +120,130 @@ impl RebuildPolicyStats {
     }
 }
 
+/// When a maintainer rebuilds its tree index from scratch instead of splicing
+/// the update's `TreePatch` into it — the index-layer mirror of
+/// [`RebuildPolicy`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum IndexPolicy {
+    /// Rebuild `TreeIndex::from_parent_slice` after every update (the
+    /// pre-delta-patching behaviour; `O(n)`–`O(n log n)` per update).
+    EveryUpdate,
+    /// Splice the patch whenever its region holds at most
+    /// `max_fraction · n` vertices; rebuild otherwise. `max_fraction = 0.5`
+    /// is the default: past half the tree, the cache-friendly linear rebuild
+    /// beats the splice's bookkeeping.
+    Patched {
+        /// Largest patchable region, as a fraction of the tree size.
+        max_fraction: f64,
+    },
+    /// Splice every spliceable patch regardless of region size
+    /// (membership-changing updates still rebuild — no splice exists for
+    /// them). Useful for tests and for measuring the splice's own ceiling.
+    PatchAlways,
+}
+
+impl Default for IndexPolicy {
+    fn default() -> Self {
+        IndexPolicy::Patched { max_fraction: 0.5 }
+    }
+}
+
+impl IndexPolicy {
+    /// The region-size limit (in vertices) for a tree of `n_tree` vertices.
+    /// `None` means "never patch".
+    pub fn region_limit(&self, n_tree: usize) -> Option<usize> {
+        match self {
+            IndexPolicy::EveryUpdate => None,
+            IndexPolicy::PatchAlways => Some(usize::MAX),
+            IndexPolicy::Patched { max_fraction } => {
+                Some(((max_fraction * n_tree as f64).ceil() as usize).max(1))
+            }
+        }
+    }
+}
+
+/// What the index-maintenance policy has done over a maintainer's lifetime
+/// (all counters are cumulative and monotone).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IndexMaintenanceStats {
+    /// Updates whose `TreePatch` was spliced into the index in place.
+    pub patches_applied: u64,
+    /// Total vertices whose index entries the splices recomputed (the
+    /// `Σ |region|` the sublinearity claim is about).
+    pub vertices_touched: u64,
+    /// Full rebuilds taken because a patch was refused (membership change,
+    /// region past the policy threshold, inapplicable patch).
+    pub fallback_rebuilds: u64,
+    /// Full rebuilds of any cause — fallbacks plus the rebuilds an
+    /// [`IndexPolicy::EveryUpdate`] configuration performs unconditionally.
+    pub full_rebuilds: u64,
+}
+
+impl IndexMaintenanceStats {
+    /// Fraction of updates that went through the patch path.
+    pub fn patch_rate(&self) -> f64 {
+        let total = self.patches_applied + self.full_rebuilds;
+        if total == 0 {
+            0.0
+        } else {
+            self.patches_applied as f64 / total as f64
+        }
+    }
+
+    /// Counter-wise difference since an `earlier` snapshot (per-run deltas
+    /// out of a cumulative census).
+    pub fn since(&self, earlier: &IndexMaintenanceStats) -> IndexMaintenanceStats {
+        IndexMaintenanceStats {
+            patches_applied: self.patches_applied - earlier.patches_applied,
+            vertices_touched: self.vertices_touched - earlier.vertices_touched,
+            fallback_rebuilds: self.fallback_rebuilds - earlier.fallback_rebuilds,
+            full_rebuilds: self.full_rebuilds - earlier.full_rebuilds,
+        }
+    }
+
+    /// Counter-wise accumulation of another census.
+    pub fn merge(&mut self, other: &IndexMaintenanceStats) {
+        self.patches_applied += other.patches_applied;
+        self.vertices_touched += other.vertices_touched;
+        self.fallback_rebuilds += other.fallback_rebuilds;
+        self.full_rebuilds += other.full_rebuilds;
+    }
+}
+
+/// Maintain `idx` after one update: splice `patch` if `policy` allows and the
+/// patch is spliceable, otherwise rebuild from the authoritative parent array
+/// `new_par`. The one decision point every backend routes through.
+pub fn maintain_index(
+    idx: &mut pardfs_tree::TreeIndex,
+    patch: &pardfs_tree::TreePatch,
+    new_par: &[pardfs_graph::Vertex],
+    root: pardfs_graph::Vertex,
+    policy: IndexPolicy,
+    stats: &mut IndexMaintenanceStats,
+) {
+    use pardfs_tree::PatchOutcome;
+    let rebuild = |idx: &mut pardfs_tree::TreeIndex| {
+        *idx = pardfs_tree::TreeIndex::from_parent_slice(new_par, root);
+    };
+    match policy.region_limit(idx.num_vertices()) {
+        None => {
+            rebuild(idx);
+            stats.full_rebuilds += 1;
+        }
+        Some(limit) => match idx.apply_patch(patch, limit) {
+            PatchOutcome::Applied { vertices_touched } => {
+                stats.patches_applied += 1;
+                stats.vertices_touched += vertices_touched as u64;
+            }
+            PatchOutcome::RegionTooLarge { .. } | PatchOutcome::Unsupported(_) => {
+                rebuild(idx);
+                stats.fallback_rebuilds += 1;
+                stats.full_rebuilds += 1;
+            }
+        },
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -148,6 +290,110 @@ mod tests {
         assert_eq!(p.threshold(1, 2), Some(1));
         assert!(!p.should_rebuild(1, 1, 2));
         assert!(p.should_rebuild(2, 1, 2));
+    }
+
+    #[test]
+    fn index_policy_region_limits() {
+        assert_eq!(IndexPolicy::EveryUpdate.region_limit(1000), None);
+        assert_eq!(
+            IndexPolicy::PatchAlways.region_limit(1000),
+            Some(usize::MAX)
+        );
+        assert_eq!(
+            IndexPolicy::Patched { max_fraction: 0.5 }.region_limit(1000),
+            Some(500)
+        );
+        // Degenerate sizes still allow trivial patches.
+        assert_eq!(
+            IndexPolicy::Patched { max_fraction: 0.1 }.region_limit(1),
+            Some(1)
+        );
+        assert_eq!(
+            IndexPolicy::default(),
+            IndexPolicy::Patched { max_fraction: 0.5 }
+        );
+    }
+
+    #[test]
+    fn maintain_index_patches_small_and_rebuilds_large_or_unsupported() {
+        use pardfs_tree::{TreeIndex, TreePatch, NO_VERTEX};
+        // Path 0-1-...-7.
+        let mut parent: Vec<u32> = (0..8u32).map(|v| v.saturating_sub(1)).collect();
+        parent[0] = 0;
+        let mut idx = TreeIndex::from_parent_slice(&parent, 0);
+        let mut stats = IndexMaintenanceStats::default();
+
+        // Small patch: leaf 7 re-hangs under 3 — the region is subtree(3),
+        // 5 of 8 vertices, spliced under a generous fraction.
+        let mut new_par = parent.clone();
+        new_par[7] = 3;
+        let mut patch = TreePatch::new();
+        patch.assign(7, 3);
+        maintain_index(
+            &mut idx,
+            &patch,
+            &new_par,
+            0,
+            IndexPolicy::Patched { max_fraction: 0.7 },
+            &mut stats,
+        );
+        assert_eq!(stats.patches_applied, 1);
+        assert!(stats.vertices_touched >= 2);
+        assert_eq!(stats.full_rebuilds, 0);
+        assert_eq!(idx.parent(7), Some(3));
+
+        // Oversized region under a tight policy — fallback rebuild.
+        let mut new_par2 = new_par.clone();
+        new_par2[1] = 3; // would-be region is nearly the whole path
+        new_par2[2] = 1;
+        new_par2[3] = 0;
+        let mut patch = TreePatch::new();
+        patch.assign(3, 0);
+        patch.assign(2, 1);
+        patch.assign(1, 3);
+        maintain_index(
+            &mut idx,
+            &patch,
+            &new_par2,
+            0,
+            IndexPolicy::Patched { max_fraction: 0.1 },
+            &mut stats,
+        );
+        assert_eq!(stats.fallback_rebuilds, 1);
+        assert_eq!(stats.full_rebuilds, 1);
+        assert_eq!(idx.parent(1), Some(3), "rebuilt from the parent array");
+
+        // Membership change — always a fallback, even under PatchAlways.
+        let mut new_par3: Vec<u32> = new_par2.clone();
+        new_par3[7] = NO_VERTEX;
+        let mut patch = TreePatch::new();
+        patch.record_removed(7);
+        maintain_index(
+            &mut idx,
+            &patch,
+            &new_par3,
+            0,
+            IndexPolicy::PatchAlways,
+            &mut stats,
+        );
+        assert_eq!(stats.fallback_rebuilds, 2);
+        assert!(!idx.contains(7));
+
+        // EveryUpdate never patches.
+        let mut patch = TreePatch::new();
+        patch.assign(2, 1); // no-op vs new_par3 but policy rebuilds anyway
+        maintain_index(
+            &mut idx,
+            &patch,
+            &new_par3,
+            0,
+            IndexPolicy::EveryUpdate,
+            &mut stats,
+        );
+        assert_eq!(stats.full_rebuilds, 3);
+        assert_eq!(stats.fallback_rebuilds, 2);
+        assert_eq!(stats.patches_applied, 1);
+        assert!(stats.patch_rate() > 0.24 && stats.patch_rate() < 0.26);
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! Unified statistics and batch reporting across backends.
 
-use crate::policy::RebuildPolicyStats;
+use crate::policy::{IndexMaintenanceStats, RebuildPolicyStats};
 use crate::stats::{CongestStats, SeqUpdateStats, StreamStats, UpdateStats};
 use pardfs_graph::Vertex;
 
@@ -11,6 +11,9 @@ use pardfs_graph::Vertex;
 /// quantities so generic drivers (the bench harness, the conformance tests)
 /// can compare backends without matching on the variant; the per-variant
 /// accessors expose the model-specific counters when callers want them.
+/// Every variant also carries the maintainer's cumulative
+/// [`IndexMaintenanceStats`] — all five backends keep their tree index by
+/// delta-patching now, so the patch/fallback census is model-independent.
 #[derive(Debug, Clone)]
 pub enum StatsReport {
     /// Shared-memory parallel maintainer (Theorem 13).
@@ -20,18 +23,32 @@ pub enum StatsReport {
         /// What the amortized rebuild policy has done so far
         /// ([`crate::RebuildPolicy`]).
         rebuild: RebuildPolicyStats,
+        /// What the index-maintenance policy has done so far.
+        index: IndexMaintenanceStats,
     },
     /// Sequential baseline maintainer (reference [6] of the paper).
-    Sequential(SeqUpdateStats),
+    Sequential {
+        /// Engine statistics of the update.
+        engine: SeqUpdateStats,
+        /// What the index-maintenance policy has done so far.
+        index: IndexMaintenanceStats,
+    },
     /// Fault tolerant maintainer (Theorem 14); engine statistics of the
     /// update, answered from the frozen preprocessed structure.
-    FaultTolerant(UpdateStats),
+    FaultTolerant {
+        /// Engine statistics of the update.
+        engine: UpdateStats,
+        /// What the index-maintenance policy has done so far.
+        index: IndexMaintenanceStats,
+    },
     /// Semi-streaming maintainer (Theorem 15).
     Streaming {
         /// Engine statistics (reduction + reroot).
         engine: UpdateStats,
         /// Stream-access statistics of the same update.
         stream: StreamStats,
+        /// What the index-maintenance policy has done so far.
+        index: IndexMaintenanceStats,
     },
     /// Distributed CONGEST maintainer (Theorem 16).
     Congest {
@@ -39,6 +56,8 @@ pub enum StatsReport {
         engine: UpdateStats,
         /// Simulated network cost of the same update.
         congest: CongestStats,
+        /// What the index-maintenance policy has done so far.
+        index: IndexMaintenanceStats,
     },
 }
 
@@ -47,8 +66,8 @@ impl StatsReport {
     pub fn backend(&self) -> &'static str {
         match self {
             StatsReport::Parallel { .. } => "parallel",
-            StatsReport::Sequential(_) => "sequential",
-            StatsReport::FaultTolerant(_) => "fault-tolerant",
+            StatsReport::Sequential { .. } => "sequential",
+            StatsReport::FaultTolerant { .. } => "fault-tolerant",
             StatsReport::Streaming { .. } => "streaming",
             StatsReport::Congest { .. } => "congest",
         }
@@ -60,9 +79,9 @@ impl StatsReport {
     /// `answer_batch` call count (its batches run one after another).
     pub fn total_query_sets(&self) -> u64 {
         match self {
-            StatsReport::FaultTolerant(s) => s.total_query_sets(),
-            StatsReport::Sequential(s) => s.query_batches as u64,
-            StatsReport::Parallel { engine, .. }
+            StatsReport::Sequential { engine, .. } => engine.query_batches as u64,
+            StatsReport::FaultTolerant { engine, .. }
+            | StatsReport::Parallel { engine, .. }
             | StatsReport::Streaming { engine, .. }
             | StatsReport::Congest { engine, .. } => engine.total_query_sets(),
         }
@@ -71,9 +90,9 @@ impl StatsReport {
     /// Number of vertices whose parent pointer the update rewrote.
     pub fn relinked_vertices(&self) -> u64 {
         match self {
-            StatsReport::FaultTolerant(s) => s.reroot.relinked_vertices,
-            StatsReport::Sequential(s) => s.relinked_vertices as u64,
-            StatsReport::Parallel { engine, .. }
+            StatsReport::Sequential { engine, .. } => engine.relinked_vertices as u64,
+            StatsReport::FaultTolerant { engine, .. }
+            | StatsReport::Parallel { engine, .. }
             | StatsReport::Streaming { engine, .. }
             | StatsReport::Congest { engine, .. } => engine.reroot.relinked_vertices,
         }
@@ -82,11 +101,23 @@ impl StatsReport {
     /// Number of independent subtree reroots the reduction produced.
     pub fn reroot_jobs(&self) -> u64 {
         match self {
-            StatsReport::FaultTolerant(s) => s.reroot_jobs,
-            StatsReport::Sequential(s) => s.reroot_jobs as u64,
-            StatsReport::Parallel { engine, .. }
+            StatsReport::Sequential { engine, .. } => engine.reroot_jobs as u64,
+            StatsReport::FaultTolerant { engine, .. }
+            | StatsReport::Parallel { engine, .. }
             | StatsReport::Streaming { engine, .. }
             | StatsReport::Congest { engine, .. } => engine.reroot_jobs,
+        }
+    }
+
+    /// Cumulative index-maintenance census (patches spliced, vertices
+    /// touched, fallback rebuilds) — carried by every variant.
+    pub fn index_maintenance(&self) -> &IndexMaintenanceStats {
+        match self {
+            StatsReport::Parallel { index, .. }
+            | StatsReport::Sequential { index, .. }
+            | StatsReport::FaultTolerant { index, .. }
+            | StatsReport::Streaming { index, .. }
+            | StatsReport::Congest { index, .. } => index,
         }
     }
 
@@ -94,11 +125,11 @@ impl StatsReport {
     /// rerooting engine (everything except the sequential baseline).
     pub fn engine(&self) -> Option<&UpdateStats> {
         match self {
-            StatsReport::FaultTolerant(s) => Some(s),
-            StatsReport::Parallel { engine, .. }
+            StatsReport::FaultTolerant { engine, .. }
+            | StatsReport::Parallel { engine, .. }
             | StatsReport::Streaming { engine, .. }
             | StatsReport::Congest { engine, .. } => Some(engine),
-            StatsReport::Sequential(_) => None,
+            StatsReport::Sequential { .. } => None,
         }
     }
 
@@ -115,7 +146,7 @@ impl StatsReport {
     /// Sequential-baseline statistics, when this report came from it.
     pub fn sequential(&self) -> Option<&SeqUpdateStats> {
         match self {
-            StatsReport::Sequential(s) => Some(s),
+            StatsReport::Sequential { engine, .. } => Some(engine),
             _ => None,
         }
     }
@@ -197,6 +228,7 @@ mod tests {
                 ..Default::default()
             },
             rebuild: RebuildPolicyStats::default(),
+            index: IndexMaintenanceStats::default(),
         }
     }
 
@@ -204,20 +236,31 @@ mod tests {
     fn normalised_accessors_cover_every_variant() {
         let reports = [
             parallel_report(4, 7),
-            StatsReport::Sequential(SeqUpdateStats {
-                reroot_jobs: 2,
-                relinked_vertices: 5,
-                queries: 40,
-                query_batches: 3,
-            }),
-            StatsReport::FaultTolerant(UpdateStats::default()),
+            StatsReport::Sequential {
+                engine: SeqUpdateStats {
+                    reroot_jobs: 2,
+                    relinked_vertices: 5,
+                    queries: 40,
+                    query_batches: 3,
+                },
+                index: IndexMaintenanceStats {
+                    patches_applied: 9,
+                    ..Default::default()
+                },
+            },
+            StatsReport::FaultTolerant {
+                engine: UpdateStats::default(),
+                index: IndexMaintenanceStats::default(),
+            },
             StatsReport::Streaming {
                 engine: UpdateStats::default(),
                 stream: StreamStats::default(),
+                index: IndexMaintenanceStats::default(),
             },
             StatsReport::Congest {
                 engine: UpdateStats::default(),
                 congest: CongestStats::default(),
+                index: IndexMaintenanceStats::default(),
             },
         ];
         let names: Vec<&str> = reports.iter().map(|r| r.backend()).collect();
@@ -240,6 +283,10 @@ mod tests {
         assert!(reports[1].rebuild_policy().is_none());
         assert!(reports[3].stream().is_some());
         assert!(reports[4].congest().is_some());
+        for r in &reports {
+            let _ = r.index_maintenance(); // every variant carries it
+        }
+        assert_eq!(reports[1].index_maintenance().patches_applied, 9);
     }
 
     #[test]

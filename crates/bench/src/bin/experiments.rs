@@ -1,27 +1,48 @@
-//! Print the experiment tables of EXPERIMENTS.md.
+//! Print the experiment tables of EXPERIMENTS.md and write their
+//! machine-readable companions (`BENCH_E*.json`).
 //!
 //! ```text
 //! cargo run -p pardfs-bench --release --bin experiments -- all          # quick scale
 //! cargo run -p pardfs-bench --release --bin experiments -- all --full  # recorded scale
+//! cargo run -p pardfs-bench --release --bin experiments -- e10 e11 --tiny  # CI smoke
 //! cargo run -p pardfs-bench --release --bin experiments -- e3 e5       # selected tables
 //! ```
+//!
+//! Experiments that carry [`pardfs_bench::BenchRecord`] rows (E1, E9, E10,
+//! E11) also emit `BENCH_<id>.json` into the current directory (override
+//! with `--json-dir <dir>`), so the perf trajectory is recorded as data, not
+//! just prose.
 
 use pardfs_bench::experiments as exp;
 use pardfs_bench::experiments::Scale;
 use pardfs_bench::Table;
+use std::path::PathBuf;
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let scale = if args.iter().any(|a| a == "--full") {
-        Scale::Full
-    } else {
-        Scale::Quick
-    };
-    let selected: Vec<String> = args
-        .iter()
-        .filter(|a| !a.starts_with("--"))
-        .map(|a| a.to_lowercase())
-        .collect();
+    // One pass over the arguments: flags (and their values) are consumed
+    // here, everything else is an experiment id.
+    let mut scale = Scale::Quick;
+    let mut json_dir = PathBuf::from(".");
+    let mut selected: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--full" => scale = Scale::Full,
+            "--tiny" => scale = Scale::Tiny,
+            "--json-dir" => match args.next() {
+                Some(dir) => json_dir = PathBuf::from(dir),
+                None => {
+                    eprintln!("--json-dir requires a directory argument");
+                    std::process::exit(2);
+                }
+            },
+            flag if flag.starts_with("--") => {
+                eprintln!("unknown flag {flag}; use --full, --tiny or --json-dir <dir>");
+                std::process::exit(2);
+            }
+            id => selected.push(id.to_lowercase()),
+        }
+    }
     let want = |id: &str| selected.is_empty() || selected.iter().any(|s| s == id || s == "all");
 
     let mut tables: Vec<Table> = Vec::new();
@@ -58,12 +79,28 @@ fn main() {
     if want("e10") {
         tables.push(exp::e10_rebuild_policy(scale));
     }
+    if want("e11") {
+        tables.push(exp::e11_index_patching(scale));
+    }
 
     if tables.is_empty() {
-        eprintln!("unknown experiment id; use e1 e2 e3 e3b e4 e5 e6 e7 e8 e9 e10 or all");
+        eprintln!("unknown experiment id; use e1 e2 e3 e3b e4 e5 e6 e7 e8 e9 e10 e11 or all");
         std::process::exit(2);
     }
-    for t in tables {
+    for t in &tables {
         println!("{}", t.render());
+    }
+    for t in &tables {
+        let Some(json) = t.records_json() else {
+            continue;
+        };
+        let path = json_dir.join(format!("BENCH_{}.json", t.id));
+        match std::fs::write(&path, json) {
+            Ok(()) => eprintln!("wrote {} ({} records)", path.display(), t.records.len()),
+            Err(e) => {
+                eprintln!("failed to write {}: {e}", path.display());
+                std::process::exit(1);
+            }
+        }
     }
 }

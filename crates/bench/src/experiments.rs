@@ -8,7 +8,7 @@
 //! of the collected [`pardfs::StatsReport`]s.
 
 use crate::driver::{drive, DriveSummary};
-use crate::table::Table;
+use crate::table::{BenchRecord, Table};
 use crate::workloads::{edge_workload, rng, workload, Family, Workload};
 use pardfs::congest::network::diameter;
 use pardfs::core::FaultTolerantDfs;
@@ -17,15 +17,19 @@ use pardfs::query::StructureD;
 use pardfs::seq::augment::AugmentedGraph;
 use pardfs::seq::static_dfs::static_dfs;
 use pardfs::tree::TreeIndex;
-use pardfs::{Backend, DfsMaintainer, MaintainerBuilder, RebuildPolicy, Strategy};
+use pardfs::{Backend, DfsMaintainer, IndexPolicy, MaintainerBuilder, RebuildPolicy, Strategy};
 use std::collections::HashMap;
 use std::time::Instant;
 
-/// Experiment scale: `quick` keeps every table under a few seconds, `full`
-/// uses the sizes recorded in EXPERIMENTS.md.
+/// Experiment scale: `tiny` is the CI smoke configuration (seconds, tiny n),
+/// `quick` keeps every table under a few seconds, `full` uses the sizes
+/// recorded in EXPERIMENTS.md.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Scale {
-    /// Small sizes for CI and smoke testing.
+    /// Minimal sizes for the CI quick-bench smoke step — just enough to
+    /// exercise every measured path and emit the JSON records.
+    Tiny,
+    /// Small sizes for local iteration and smoke testing.
     Quick,
     /// The sizes used for the recorded results.
     Full,
@@ -34,6 +38,7 @@ pub enum Scale {
 impl Scale {
     fn sizes(&self) -> Vec<usize> {
         match self {
+            Scale::Tiny => vec![64, 128],
             Scale::Quick => vec![256, 512, 1024],
             Scale::Full => vec![1024, 2048, 4096, 8192, 16384],
         }
@@ -41,6 +46,7 @@ impl Scale {
 
     fn updates(&self) -> usize {
         match self {
+            Scale::Tiny => 10,
             Scale::Quick => 20,
             Scale::Full => 60,
         }
@@ -79,6 +85,7 @@ pub fn e1_update_time(scale: Scale) -> Table {
             "phased reroot only",
         ],
     );
+    t.id = "E1".into();
     let contenders = [
         ("seq", MaintainerBuilder::new(Backend::Sequential)),
         (
@@ -117,6 +124,20 @@ pub fn e1_update_time(scale: Scale) -> Table {
                 .map(|(label, builder)| (*label, run_backend(*builder, &w)))
                 .collect();
 
+            for (label, backend) in [
+                ("seq", "sequential"),
+                ("simple", "parallel"),
+                ("phased", "parallel"),
+            ] {
+                t.records.push(BenchRecord {
+                    n,
+                    m,
+                    backend: backend.into(),
+                    policy: format!("{}/{label}", family.label()),
+                    ns_per_update: summaries[label].mean_micros() * 1e3,
+                    index_ns_per_update: None,
+                });
+            }
             t.push_row(vec![
                 family.label().into(),
                 n.to_string(),
@@ -135,6 +156,7 @@ pub fn e1_update_time(scale: Scale) -> Table {
 /// E2 — wall-clock scalability of one update with the number of rayon threads.
 pub fn e2_scalability(scale: Scale) -> Table {
     let n = match scale {
+        Scale::Tiny => 256,
         Scale::Quick => 2048,
         Scale::Full => 16384,
     };
@@ -238,6 +260,7 @@ pub fn e3b_ablation(scale: Scale) -> Table {
 /// preprocessed structure vs processing them fully dynamically (Theorem 14).
 pub fn e4_fault_tolerant(scale: Scale) -> Table {
     let n = match scale {
+        Scale::Tiny => 128,
         Scale::Quick => 1024,
         Scale::Full => 8192,
     };
@@ -321,6 +344,7 @@ pub fn e5_streaming(scale: Scale) -> Table {
 /// different diameters (Theorem 16).
 pub fn e6_congest(scale: Scale) -> Table {
     let n = match scale {
+        Scale::Tiny => 100,
         Scale::Quick => 400,
         Scale::Full => 2048,
     };
@@ -422,6 +446,7 @@ pub fn e7_preprocess(scale: Scale) -> Table {
 /// E8 — per-update-kind latency breakdown of the parallel maintainer.
 pub fn e8_update_kinds(scale: Scale) -> Table {
     let n = match scale {
+        Scale::Tiny => 128,
         Scale::Quick => 1024,
         Scale::Full => 8192,
     };
@@ -475,6 +500,7 @@ pub fn e8_update_kinds(scale: Scale) -> Table {
 /// workload through the one trait driver, side by side.
 pub fn e9_backend_matrix(scale: Scale) -> Table {
     let n = match scale {
+        Scale::Tiny => 128,
         Scale::Quick => 512,
         Scale::Full => 4096,
     };
@@ -488,13 +514,23 @@ pub fn e9_backend_matrix(scale: Scale) -> Table {
             "relinked/update",
         ],
     );
+    t.id = "E9".into();
     let w = workload(Family::Sparse, n, scale.updates(), 123);
+    let m = w.graph.num_edges();
     for backend in Backend::all_default() {
         let mut dfs = MaintainerBuilder::new(backend).build(&w.graph);
         let name = dfs.backend_name();
         let summary = drive(dfs.as_mut(), &w.updates);
         let relinked = summary.collect(|r| r.relinked_vertices() as f64);
         let relinked_mean = relinked.iter().sum::<f64>() / relinked.len().max(1) as f64;
+        t.records.push(BenchRecord {
+            n,
+            m,
+            backend: name.into(),
+            policy: "default".into(),
+            ns_per_update: summary.mean_micros() * 1e3,
+            index_ns_per_update: None,
+        });
         t.push_row(vec![
             name.into(),
             format!("{:.0}", summary.mean_micros()),
@@ -511,6 +547,7 @@ pub fn e9_backend_matrix(scale: Scale) -> Table {
 /// incrementally through the overlay.
 pub fn e10_rebuild_policy(scale: Scale) -> Table {
     let n = match scale {
+        Scale::Tiny => 128,
         Scale::Quick => 1024,
         Scale::Full => 8192,
     };
@@ -527,6 +564,7 @@ pub fn e10_rebuild_policy(scale: Scale) -> Table {
             "mean query sets",
         ],
     );
+    t.id = "E10".into();
     // Twice the usual sequence length so amortized policies actually cross
     // their thresholds at quick scale.
     let w = workload(Family::Sparse, n, scale.updates() * 2, 777);
@@ -548,6 +586,14 @@ pub fn e10_rebuild_policy(scale: Scale) -> Table {
             .rebuild_policy(policy)
             .build(&w.graph);
         let summary = drive(dfs.as_mut(), &w.updates);
+        t.records.push(BenchRecord {
+            n,
+            m: w.graph.num_edges(),
+            backend: "parallel".into(),
+            policy: label.into(),
+            ns_per_update: summary.mean_micros() * 1e3,
+            index_ns_per_update: None,
+        });
         let final_p = dfs.stats().rebuild_policy().copied().unwrap_or_default();
         let peak_overlay = summary
             .per_update
@@ -572,6 +618,96 @@ pub fn e10_rebuild_policy(scale: Scale) -> Table {
     t
 }
 
+/// E11 — delta-patched tree indexing: per-update cost of maintaining the
+/// index (the quantity the delta-patch layer changed), patched vs rebuilt
+/// every update, across `n`.
+///
+/// `D` runs under `RebuildPolicy::Never` for every contender so the
+/// maintainers' "rebuild step" timer measures *index* maintenance alone;
+/// each contender is driven twice on a fresh maintainer and the faster run
+/// kept (container timing noise dwarfs the index step at large `n`
+/// otherwise). The patched rows' index column should grow sublinearly — it
+/// follows the patch region, not `n` — while the rebuild rows grow with
+/// `n log n`.
+pub fn e11_index_patching(scale: Scale) -> Table {
+    let sizes: Vec<usize> = match scale {
+        Scale::Tiny => vec![64, 128],
+        Scale::Quick => vec![256, 1024, 4096],
+        Scale::Full => vec![1024, 4096, 8192, 16384],
+    };
+    let mut t = Table::new(
+        "E11: delta-patched index vs rebuild-every-update (sparse, edge updates)",
+        &[
+            "n",
+            "m",
+            "policy",
+            "index ns/update",
+            "total ns/update",
+            "patches",
+            "fallbacks",
+            "touched/patch",
+        ],
+    );
+    t.id = "E11".into();
+    let policies: [(&str, IndexPolicy); 3] = [
+        ("patch always", IndexPolicy::PatchAlways),
+        ("patched (default)", IndexPolicy::default()),
+        ("rebuild every update", IndexPolicy::EveryUpdate),
+    ];
+    for &n in &sizes {
+        // Edge-only updates: the patchable workload (vertex churn always
+        // falls back, as E11's companion property tests pin).
+        let w = edge_workload(Family::Sparse, n, scale.updates() * 2, 911 + n as u64);
+        let m = w.graph.num_edges();
+        for (label, policy) in &policies {
+            let mut best: Option<(f64, f64, pardfs::IndexMaintenanceStats)> = None;
+            for _run in 0..2 {
+                let mut dfs = MaintainerBuilder::new(Backend::Parallel)
+                    .index_policy(*policy)
+                    .rebuild_policy(RebuildPolicy::Never)
+                    .build(&w.graph);
+                let summary = drive(dfs.as_mut(), &w.updates);
+                let index_ns = summary
+                    .collect(|r| r.engine().map_or(0.0, |e| e.rebuild_micros as f64))
+                    .iter()
+                    .sum::<f64>()
+                    / w.updates.len().max(1) as f64
+                    * 1e3;
+                let total_ns = summary.mean_micros() * 1e3;
+                let idx = *dfs.stats().index_maintenance();
+                if best.is_none() || index_ns < best.as_ref().unwrap().0 {
+                    best = Some((index_ns, total_ns, idx));
+                }
+            }
+            let (index_ns, total_ns, idx) = best.expect("two runs measured");
+            t.records.push(BenchRecord {
+                n,
+                m,
+                backend: "parallel".into(),
+                policy: (*label).into(),
+                ns_per_update: total_ns,
+                index_ns_per_update: Some(index_ns),
+            });
+            let touched_per_patch = if idx.patches_applied > 0 {
+                idx.vertices_touched as f64 / idx.patches_applied as f64
+            } else {
+                0.0
+            };
+            t.push_row(vec![
+                n.to_string(),
+                m.to_string(),
+                (*label).into(),
+                format!("{index_ns:.0}"),
+                format!("{total_ns:.0}"),
+                idx.patches_applied.to_string(),
+                idx.fallback_rebuilds.to_string(),
+                format!("{touched_per_patch:.0}"),
+            ]);
+        }
+    }
+    t
+}
+
 /// All experiments in EXPERIMENTS.md order.
 pub fn all_experiments(scale: Scale) -> Vec<Table> {
     vec![
@@ -586,6 +722,7 @@ pub fn all_experiments(scale: Scale) -> Vec<Table> {
         e8_update_kinds(scale),
         e9_backend_matrix(scale),
         e10_rebuild_policy(scale),
+        e11_index_patching(scale),
     ]
 }
 
@@ -618,6 +755,27 @@ mod tests {
         let peaks: Vec<u64> = t.rows.iter().map(|r| r[4].parse().unwrap()).collect();
         assert_eq!(peaks[0], 0, "every-update never retains overlay");
         assert!(peaks[4] > 0, "never-rebuild retains the whole overlay");
+    }
+
+    #[test]
+    fn index_patching_sweep_patches_and_emits_records() {
+        let t = e11_index_patching(Scale::Tiny);
+        assert_eq!(t.id, "E11");
+        assert_eq!(t.rows.len(), 6, "2 sizes × 3 policies");
+        assert_eq!(t.records.len(), 6);
+        // The patching rows actually spliced; the rebuild rows never did.
+        for (i, row) in t.rows.iter().enumerate() {
+            let patches: u64 = row[5].parse().unwrap();
+            if i % 3 == 2 {
+                assert_eq!(patches, 0, "rebuild row {i} spliced");
+            } else {
+                assert!(patches > 0, "patching row {i} spliced nothing");
+            }
+        }
+        let json = t.records_json().expect("E11 carries records");
+        assert!(json.contains("\"policy\": \"patched (default)\""));
+        assert!(json.contains("\"ns_per_update\""));
+        assert!(json.contains("\"index_ns_per_update\""));
     }
 
     #[test]

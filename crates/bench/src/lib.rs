@@ -17,4 +17,4 @@ pub mod workloads;
 
 pub use driver::{drive, DriveSummary};
 pub use experiments::*;
-pub use table::Table;
+pub use table::{BenchRecord, Table};

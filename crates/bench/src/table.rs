@@ -1,23 +1,90 @@
-//! Minimal plain-text table rendering for the experiment harness.
+//! Plain-text table rendering plus the machine-readable record stream the
+//! experiment binary serialises to `BENCH_E*.json`.
 
-/// A printable table: a title, a header row and data rows.
+/// One machine-readable measurement row of an experiment: enough to plot the
+/// perf trajectory across PRs without re-parsing the ASCII tables.
+#[derive(Debug, Clone)]
+pub struct BenchRecord {
+    /// Number of user vertices of the workload graph.
+    pub n: usize,
+    /// Number of user edges of the workload graph.
+    pub m: usize,
+    /// Backend name ("parallel", "sequential", …).
+    pub backend: String,
+    /// The policy/configuration label the row measures.
+    pub policy: String,
+    /// Mean wall-clock nanoseconds per update.
+    pub ns_per_update: f64,
+    /// Mean nanoseconds per update spent maintaining the tree index
+    /// (patch splice or rebuild) — present for the experiments that isolate
+    /// it (E11).
+    pub index_ns_per_update: Option<f64>,
+}
+
+impl BenchRecord {
+    fn to_json(&self) -> String {
+        let index = match self.index_ns_per_update {
+            Some(v) => format!(", \"index_ns_per_update\": {v:.1}"),
+            None => String::new(),
+        };
+        format!(
+            "{{\"n\": {}, \"m\": {}, \"backend\": {}, \"policy\": {}, \"ns_per_update\": {:.1}{}}}",
+            self.n,
+            self.m,
+            json_string(&self.backend),
+            json_string(&self.policy),
+            self.ns_per_update,
+            index
+        )
+    }
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars) — the
+/// vendored offline environment has no serde.
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// A printable table: a title, a header row and data rows, plus an optional
+/// machine-readable record stream keyed by the experiment id.
 #[derive(Debug, Clone)]
 pub struct Table {
+    /// Experiment id ("E10", "E11", …); empty when the table has no
+    /// machine-readable companion.
+    pub id: String,
     /// Experiment title (printed above the table).
     pub title: String,
     /// Column headers.
     pub header: Vec<String>,
     /// Data rows (already formatted as strings).
     pub rows: Vec<Vec<String>>,
+    /// Machine-readable rows serialised to `BENCH_<id>.json`.
+    pub records: Vec<BenchRecord>,
 }
 
 impl Table {
     /// Create an empty table.
     pub fn new(title: impl Into<String>, header: &[&str]) -> Self {
         Table {
+            id: String::new(),
             title: title.into(),
             header: header.iter().map(|s| s.to_string()).collect(),
             rows: Vec::new(),
+            records: Vec::new(),
         }
     }
 
@@ -55,6 +122,20 @@ impl Table {
         }
         out
     }
+
+    /// The machine-readable companion as a JSON array (one object per
+    /// [`BenchRecord`]), or `None` when the table carries no records.
+    pub fn records_json(&self) -> Option<String> {
+        if self.records.is_empty() {
+            return None;
+        }
+        let rows: Vec<String> = self
+            .records
+            .iter()
+            .map(|r| format!("  {}", r.to_json()))
+            .collect();
+        Some(format!("[\n{}\n]\n", rows.join(",\n")))
+    }
 }
 
 #[cfg(test)]
@@ -77,5 +158,27 @@ mod tests {
     fn rejects_ragged_rows() {
         let mut t = Table::new("demo", &["a", "b"]);
         t.push_row(vec!["1".into()]);
+    }
+
+    #[test]
+    fn records_serialise_to_json() {
+        let mut t = Table::new("demo", &["a"]);
+        assert!(t.records_json().is_none());
+        t.id = "E99".into();
+        t.records.push(BenchRecord {
+            n: 1024,
+            m: 4096,
+            backend: "parallel".into(),
+            policy: "patched \"index\"".into(),
+            ns_per_update: 1234.5,
+            index_ns_per_update: None,
+        });
+        let json = t.records_json().unwrap();
+        assert!(json.starts_with("[\n"));
+        assert!(json.contains("\"n\": 1024"));
+        assert!(json.contains("\"backend\": \"parallel\""));
+        assert!(json.contains("patched \\\"index\\\""));
+        assert!(json.contains("\"ns_per_update\": 1234.5"));
+        assert!(json.trim_end().ends_with(']'));
     }
 }

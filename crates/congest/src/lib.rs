@@ -35,7 +35,7 @@
 pub mod network;
 
 use network::Network;
-use pardfs_api::{DfsMaintainer, StatsReport};
+use pardfs_api::{maintain_index, DfsMaintainer, IndexMaintenanceStats, IndexPolicy, StatsReport};
 use pardfs_core::reduction::ReductionInput;
 use pardfs_core::{reduce_update, Rerooter, Strategy, UpdateStats};
 use pardfs_graph::{Graph, Update, Vertex};
@@ -44,7 +44,7 @@ use pardfs_seq::augment::{self, AugmentedGraph};
 use pardfs_seq::check::check_spanning_dfs_tree;
 use pardfs_seq::static_dfs::static_dfs;
 use pardfs_tree::rooted::NO_VERTEX;
-use pardfs_tree::TreeIndex;
+use pardfs_tree::{TreeIndex, TreePatch};
 use parking_lot::Mutex;
 
 pub use pardfs_api::CongestStats;
@@ -143,6 +143,8 @@ pub struct DistributedDynamicDfs {
     idx: TreeIndex,
     strategy: Strategy,
     bandwidth: usize,
+    index_policy: IndexPolicy,
+    index_stats: IndexMaintenanceStats,
     last_engine_stats: UpdateStats,
     last_congest_stats: CongestStats,
     total_congest_stats: CongestStats,
@@ -164,10 +166,29 @@ impl DistributedDynamicDfs {
             idx,
             strategy,
             bandwidth: bandwidth.max(1),
+            index_policy: IndexPolicy::default(),
+            index_stats: IndexMaintenanceStats::default(),
             last_engine_stats: UpdateStats::default(),
             last_congest_stats: CongestStats::default(),
             total_congest_stats: CongestStats::default(),
         }
+    }
+
+    /// Select when the (per-node) tree index is delta-patched versus rebuilt.
+    /// The broadcast of the changed parent pointers is charged to the network
+    /// either way — patching saves the *local* recomputation at every node.
+    pub fn set_index_policy(&mut self, policy: IndexPolicy) {
+        self.index_policy = policy;
+    }
+
+    /// The index-maintenance policy in use.
+    pub fn index_policy(&self) -> IndexPolicy {
+        self.index_policy
+    }
+
+    /// What the index-maintenance policy has done so far.
+    pub fn index_stats(&self) -> IndexMaintenanceStats {
+        self.index_stats
     }
 
     /// The current DFS tree of the augmented graph.
@@ -282,6 +303,7 @@ impl DistributedDynamicDfs {
         if new_par.len() < self.aug.graph().capacity() {
             new_par.resize(self.aug.graph().capacity(), NO_VERTEX);
         }
+        let mut patch = TreePatch::new();
         let jobs = reduce_update(
             &self.idx,
             &oracle,
@@ -289,11 +311,12 @@ impl DistributedDynamicDfs {
             &internal,
             &input,
             &mut new_par,
+            &mut patch,
             &mut stats,
         );
         stats.reroot_jobs = jobs.len() as u64;
         let engine = Rerooter::new(&self.idx, &oracle, self.strategy);
-        stats.reroot = engine.run(&jobs, &mut new_par);
+        stats.reroot = engine.run(&jobs, &mut new_par, &mut patch);
 
         // 4. Broadcast the new DFS tree (its changed parent pointers) so every
         //    node stores the updated tree.
@@ -304,7 +327,14 @@ impl DistributedDynamicDfs {
         }
         let congest = network.into_inner().finish();
 
-        self.idx = TreeIndex::from_parent_slice(&new_par, proot);
+        maintain_index(
+            &mut self.idx,
+            &patch,
+            &new_par,
+            proot,
+            self.index_policy,
+            &mut self.index_stats,
+        );
         self.last_engine_stats = stats;
         self.last_congest_stats = congest;
         self.total_congest_stats.merge(&congest);
@@ -371,6 +401,7 @@ impl DfsMaintainer for DistributedDynamicDfs {
         StatsReport::Congest {
             engine: self.last_engine_stats,
             congest: self.last_congest_stats,
+            index: self.index_stats,
         }
     }
 }

@@ -3,22 +3,27 @@
 //!
 //! Per update: record the update in `D`'s overlay, apply it to the augmented
 //! graph, run the reduction (Section 3), reroot the affected subtrees with the
-//! parallel engine (Section 4), then rebuild only the `O(n)` tree index on the
-//! new tree. The `O(m)` structure `D` is *not* rebuilt: it stays anchored to
-//! the tree it was last built on (the *base* tree), queries against paths of
-//! the current tree are decomposed into ancestor–descendant segments of the
-//! base tree (the Theorem 9 argument, shared with the fault tolerant
-//! algorithm), and the overlay absorbs the edge/vertex churn. Only when the
-//! overlay outgrows the configured [`RebuildPolicy`] threshold
-//! (`c · m / log₂ n` by default) is `D` rebuilt on the current tree — the
-//! `O(log n)`-time, `m`-processor preprocessing of Theorem 8, now an amortized
-//! rather than per-update event.
+//! parallel engine (Section 4), then **delta-patch** the tree index with the
+//! engine's `TreePatch` (`O(|region| · log n)`, [`IndexPolicy`]); a full
+//! `O(n)` index rebuild happens only when the patch is not spliceable
+//! (vertex churn) or its region outgrows the policy threshold. The `O(m)`
+//! structure `D` is *not* rebuilt either: it stays anchored to the tree it
+//! was last built on (the *base* tree), queries against paths of the current
+//! tree are decomposed into ancestor–descendant segments of the base tree
+//! (the Theorem 9 argument, shared with the fault tolerant algorithm), and
+//! the overlay absorbs the edge/vertex churn. Only when the overlay outgrows
+//! the configured [`RebuildPolicy`] threshold (`c · m / log₂ n` by default)
+//! is `D` rebuilt on the current tree — the `O(log n)`-time, `m`-processor
+//! preprocessing of Theorem 8, now an amortized rather than per-update event.
 
 use crate::fault::FaultOracle;
 use crate::reduction::{reduce_update, ReductionInput};
 use crate::reroot::{RerootJob, Rerooter, Strategy};
 use crate::stats::UpdateStats;
-use pardfs_api::{DfsMaintainer, RebuildPolicy, RebuildPolicyStats, StatsReport};
+use pardfs_api::{
+    maintain_index, DfsMaintainer, IndexMaintenanceStats, IndexPolicy, RebuildPolicy,
+    RebuildPolicyStats, StatsReport,
+};
 use pardfs_graph::{Graph, Update, Vertex};
 use pardfs_query::{QueryOracle, StructureD};
 use pardfs_seq::augment;
@@ -26,7 +31,7 @@ use pardfs_seq::augment::AugmentedGraph;
 use pardfs_seq::check::check_spanning_dfs_tree;
 use pardfs_seq::static_dfs::static_dfs;
 use pardfs_tree::rooted::NO_VERTEX;
-use pardfs_tree::TreeIndex;
+use pardfs_tree::{TreeIndex, TreePatch};
 use std::time::Instant;
 
 /// Parallel fully dynamic DFS of an undirected graph.
@@ -48,14 +53,17 @@ pub struct DynamicDfs {
     strategy: Strategy,
     policy: RebuildPolicy,
     policy_stats: RebuildPolicyStats,
+    index_policy: IndexPolicy,
+    index_stats: IndexMaintenanceStats,
     last_stats: UpdateStats,
     updates_applied: u64,
 }
 
 /// Run the reduction and the rerooting engine for one (already applied)
-/// update through the given oracle, filling `stats` and `new_par`. Shared by
-/// the dynamic and fault tolerant maintainers — the only difference between
-/// them is which oracle (and which lifetime of `D`) they pass in.
+/// update through the given oracle, filling `stats`, `new_par` and the
+/// update's `patch`. Shared by the dynamic and fault tolerant maintainers —
+/// the only difference between them is which oracle (and which lifetime of
+/// `D`) they pass in.
 #[allow(clippy::too_many_arguments)] // mirrors reduce_update's surface plus the strategy
 pub(crate) fn reduce_and_reroot<O: QueryOracle>(
     idx: &TreeIndex,
@@ -64,13 +72,15 @@ pub(crate) fn reduce_and_reroot<O: QueryOracle>(
     update: &Update,
     input: &ReductionInput,
     new_par: &mut [Vertex],
+    patch: &mut TreePatch,
     stats: &mut UpdateStats,
     strategy: Strategy,
 ) {
-    let jobs: Vec<RerootJob> = reduce_update(idx, oracle, proot, update, input, new_par, stats);
+    let jobs: Vec<RerootJob> =
+        reduce_update(idx, oracle, proot, update, input, new_par, patch, stats);
     stats.reroot_jobs = jobs.len() as u64;
     let engine = Rerooter::new(idx, oracle, strategy);
-    stats.reroot = engine.run(&jobs, new_par);
+    stats.reroot = engine.run(&jobs, new_par, patch);
 }
 
 impl DynamicDfs {
@@ -99,6 +109,8 @@ impl DynamicDfs {
             strategy,
             policy,
             policy_stats: RebuildPolicyStats::default(),
+            index_policy: IndexPolicy::default(),
+            index_stats: IndexMaintenanceStats::default(),
             last_stats: UpdateStats::default(),
             updates_applied: 0,
         }
@@ -117,6 +129,21 @@ impl DynamicDfs {
     /// What the rebuild policy has done so far.
     pub fn policy_stats(&self) -> RebuildPolicyStats {
         self.policy_stats
+    }
+
+    /// Select when the tree index is delta-patched versus rebuilt.
+    pub fn set_index_policy(&mut self, policy: IndexPolicy) {
+        self.index_policy = policy;
+    }
+
+    /// The index-maintenance policy in use.
+    pub fn index_policy(&self) -> IndexPolicy {
+        self.index_policy
+    }
+
+    /// What the index-maintenance policy has done so far.
+    pub fn index_stats(&self) -> IndexMaintenanceStats {
+        self.index_stats
     }
 
     /// Number of overlay records currently pending on `D` (0 right after a
@@ -258,6 +285,7 @@ impl DynamicDfs {
         if new_par.len() < self.aug.graph().capacity() {
             new_par.resize(self.aug.graph().capacity(), NO_VERTEX);
         }
+        let mut patch = TreePatch::new();
         if self.d_fresh {
             reduce_and_reroot(
                 &self.idx,
@@ -266,6 +294,7 @@ impl DynamicDfs {
                 update,
                 &input,
                 &mut new_par,
+                &mut patch,
                 &mut stats,
                 self.strategy,
             );
@@ -278,16 +307,26 @@ impl DynamicDfs {
                 update,
                 &input,
                 &mut new_par,
+                &mut patch,
                 &mut stats,
                 self.strategy,
             );
         }
         stats.reroot_micros = reroot_start.elapsed().as_micros() as u64;
 
-        // 3. Rebuild the O(n) tree index on the new tree; leave D anchored to
-        //    its base tree unless the policy says the overlay has outgrown it.
+        // 3. Delta-patch the tree index with the update's rewrites (full
+        //    rebuild only when the patch is not spliceable or too large);
+        //    leave D anchored to its base tree unless the policy says the
+        //    overlay has outgrown it.
         let rebuild_start = Instant::now();
-        self.idx = TreeIndex::from_parent_slice(&new_par, proot);
+        maintain_index(
+            &mut self.idx,
+            &patch,
+            &new_par,
+            proot,
+            self.index_policy,
+            &mut self.index_stats,
+        );
         self.d_fresh = false;
         let (m, n) = (
             self.aug.graph().num_edges(),
@@ -349,6 +388,7 @@ impl DfsMaintainer for DynamicDfs {
         StatsReport::Parallel {
             engine: self.last_stats,
             rebuild: self.policy_stats,
+            index: self.index_stats,
         }
     }
 }

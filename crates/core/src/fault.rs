@@ -19,14 +19,16 @@ use crate::dynamic::{old_parents, reduce_and_reroot};
 use crate::reduction::ReductionInput;
 use crate::reroot::Strategy;
 use crate::stats::UpdateStats;
-use pardfs_api::{BatchReport, DfsMaintainer, StatsReport};
+use pardfs_api::{
+    maintain_index, BatchReport, DfsMaintainer, IndexMaintenanceStats, IndexPolicy, StatsReport,
+};
 use pardfs_graph::{Graph, Update, Vertex};
 use pardfs_query::{EdgeHit, QueryOracle, StructureD, VertexQuery};
 use pardfs_seq::augment::{self, AugmentedGraph};
 use pardfs_seq::check::check_spanning_dfs_tree;
 use pardfs_seq::static_dfs::static_dfs;
 use pardfs_tree::rooted::NO_VERTEX;
-use pardfs_tree::TreeIndex;
+use pardfs_tree::{TreeIndex, TreePatch};
 
 /// Oracle adapter for the fault tolerant algorithm: answers come from the
 /// original `D` (plus its overlay), and query paths of the current tree are
@@ -127,6 +129,15 @@ pub struct FtResult {
     pub stats: Vec<UpdateStats>,
     /// User ids of the vertices created by `InsertVertex` updates, in order.
     pub inserted: Vec<Vertex>,
+    /// Index-maintenance census accumulated while computing this result
+    /// (patches spliced vs fallback rebuilds of the per-batch tree index).
+    pub index: IndexMaintenanceStats,
+    /// Cumulative index census *after each update* of this result, aligned
+    /// with [`FtResult::stats`] — so per-update deltas can be recovered with
+    /// [`IndexMaintenanceStats::since`], matching the snapshot semantics of
+    /// `DfsMaintainer::stats` elsewhere. The last entry equals
+    /// [`FtResult::index`].
+    pub index_per_update: Vec<IndexMaintenanceStats>,
 }
 
 impl FtResult {
@@ -179,7 +190,8 @@ impl FtResult {
             per_update: self
                 .stats
                 .iter()
-                .map(|&s| StatsReport::FaultTolerant(s))
+                .zip(&self.index_per_update)
+                .map(|(&s, &index)| StatsReport::FaultTolerant { engine: s, index })
                 .collect(),
         }
     }
@@ -221,6 +233,10 @@ pub struct FaultTolerantDfs {
     /// Total single-update absorptions performed in maintainer style (the
     /// quantity the `O(k)` claim bounds; tests pin it).
     absorptions: u64,
+    /// When the per-absorption tree index is delta-patched vs rebuilt.
+    index_policy: IndexPolicy,
+    /// What the index-maintenance policy did (both usage styles).
+    index_stats: IndexMaintenanceStats,
 }
 
 /// One overlay record of the maintainer-style pending batch, in internal ids.
@@ -257,7 +273,25 @@ impl FaultTolerantDfs {
             notes: Vec::new(),
             current: None,
             absorptions: 0,
+            index_policy: IndexPolicy::default(),
+            index_stats: IndexMaintenanceStats::default(),
         }
+    }
+
+    /// Select when the per-absorption tree index is delta-patched vs rebuilt.
+    pub fn set_index_policy(&mut self, policy: IndexPolicy) {
+        self.index_policy = policy;
+    }
+
+    /// The index-maintenance policy in use.
+    pub fn index_policy(&self) -> IndexPolicy {
+        self.index_policy
+    }
+
+    /// What the index-maintenance policy has done so far (across both the
+    /// maintainer-style and query-style paths).
+    pub fn index_stats(&self) -> IndexMaintenanceStats {
+        self.index_stats
     }
 
     /// The updates accumulated in maintainer style since the last reset.
@@ -308,6 +342,8 @@ impl FaultTolerantDfs {
                 aug: self.aug.clone(),
                 stats: Vec::new(),
                 inserted: Vec::new(),
+                index: IndexMaintenanceStats::default(),
+                index_per_update: Vec::new(),
             });
         }
         let proot = self.aug.pseudo_root();
@@ -359,6 +395,7 @@ impl FaultTolerantDfs {
         if new_par.len() < cur.aug.graph().capacity() {
             new_par.resize(cur.aug.graph().capacity(), NO_VERTEX);
         }
+        let mut patch = TreePatch::new();
         let oracle = FaultOracle::new(&self.d);
         reduce_and_reroot(
             &cur.idx,
@@ -367,10 +404,21 @@ impl FaultTolerantDfs {
             &internal,
             &input,
             &mut new_par,
+            &mut patch,
             &mut stats,
             self.strategy,
         );
-        cur.idx = TreeIndex::from_parent_slice(&new_par, proot);
+        let before = self.index_stats;
+        maintain_index(
+            &mut cur.idx,
+            &patch,
+            &new_par,
+            proot,
+            self.index_policy,
+            &mut self.index_stats,
+        );
+        cur.index.merge(&self.index_stats.since(&before));
+        cur.index_per_update.push(cur.index);
         cur.stats.push(stats);
         self.pending.push(update.clone());
         self.absorptions += 1;
@@ -403,7 +451,9 @@ impl FaultTolerantDfs {
         let mut graph_aug = self.aug.clone();
         let mut idx = self.original_idx.clone();
         let mut all_stats = Vec::with_capacity(updates.len());
+        let mut all_index = Vec::with_capacity(updates.len());
         let mut all_inserted = Vec::new();
+        let index_before = self.index_stats;
 
         for update in updates {
             let internal = graph_aug.translate(update);
@@ -450,6 +500,7 @@ impl FaultTolerantDfs {
             if new_par.len() < graph_aug.graph().capacity() {
                 new_par.resize(graph_aug.graph().capacity(), NO_VERTEX);
             }
+            let mut patch = TreePatch::new();
             let oracle = FaultOracle::new(&self.d);
             reduce_and_reroot(
                 &idx,
@@ -458,13 +509,22 @@ impl FaultTolerantDfs {
                 &internal,
                 &input,
                 &mut new_par,
+                &mut patch,
                 &mut stats,
                 self.strategy,
             );
 
-            // The tree index is local O(n) state and may be rebuilt freely;
-            // only D is frozen.
-            idx = TreeIndex::from_parent_slice(&new_par, proot);
+            // The tree index is local O(n) state; only D is frozen — so it
+            // is delta-patched like every other backend's.
+            maintain_index(
+                &mut idx,
+                &patch,
+                &new_par,
+                proot,
+                self.index_policy,
+                &mut self.index_stats,
+            );
+            all_index.push(self.index_stats.since(&index_before));
             all_stats.push(stats);
         }
 
@@ -478,6 +538,8 @@ impl FaultTolerantDfs {
             aug: graph_aug,
             stats: all_stats,
             inserted: all_inserted,
+            index: self.index_stats.since(&index_before),
+            index_per_update: all_index,
         }
     }
 }
@@ -509,7 +571,8 @@ impl DfsMaintainer for FaultTolerantDfs {
             inserted: cur.inserted[already_inserted..].to_vec(),
             per_update: cur.stats[already_applied..]
                 .iter()
-                .map(|&s| StatsReport::FaultTolerant(s))
+                .zip(&cur.index_per_update[already_applied..])
+                .map(|(&s, &index)| StatsReport::FaultTolerant { engine: s, index })
                 .collect(),
         }
     }
@@ -555,12 +618,14 @@ impl DfsMaintainer for FaultTolerantDfs {
     }
 
     fn stats(&self) -> StatsReport {
-        StatsReport::FaultTolerant(
-            self.current
+        StatsReport::FaultTolerant {
+            engine: self
+                .current
                 .as_ref()
                 .and_then(|r| r.stats.last().copied())
                 .unwrap_or_default(),
-        )
+            index: self.index_stats,
+        }
     }
 }
 
@@ -695,6 +760,27 @@ mod tests {
         let r3 = DfsMaintainer::apply_batch(&mut ft, &[]);
         assert!(r3.is_empty());
         assert_eq!(ft.absorptions(), 9);
+    }
+
+    #[test]
+    fn batch_reports_carry_per_update_index_snapshots() {
+        // Each per-update report holds the cumulative index census *as of
+        // that update*, not the batch-final census duplicated — so diffing
+        // consecutive entries recovers the per-update work.
+        let g = generators::grid(4, 4);
+        let mut ft = FaultTolerantDfs::new(&g);
+        let r = DfsMaintainer::apply_batch(
+            &mut ft,
+            &[Update::DeleteEdge(0, 1), Update::DeleteEdge(5, 6)],
+        );
+        let censuses: Vec<_> = r.per_update.iter().map(|s| *s.index_maintenance()).collect();
+        assert_eq!(censuses.len(), 2);
+        assert_eq!(censuses[0].patches_applied + censuses[0].full_rebuilds, 1);
+        assert_eq!(censuses[1].patches_applied + censuses[1].full_rebuilds, 2);
+        // Query style records them per result too.
+        let q = ft.tree_after(&[Update::DeleteEdge(10, 11), Update::InsertEdge(0, 15)]);
+        assert_eq!(q.index_per_update.len(), 2);
+        assert_eq!(*q.index_per_update.last().unwrap(), q.index);
     }
 
     #[test]

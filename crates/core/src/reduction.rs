@@ -12,7 +12,7 @@ use crate::stats::UpdateStats;
 use pardfs_graph::{Update, Vertex};
 use pardfs_query::{QueryOracle, VertexQuery};
 use pardfs_tree::rooted::NO_VERTEX;
-use pardfs_tree::TreeIndex;
+use pardfs_tree::{TreeIndex, TreePatch};
 
 /// Context of a reduction: which internal vertex was just inserted (for vertex
 /// insertions) and which internal vertices it is adjacent to (excluding the
@@ -27,11 +27,13 @@ pub struct ReductionInput {
 
 /// Reduce an update (internal ids) on the DFS tree `idx` (rooted at the pseudo
 /// root `proot`) into reroot jobs, applying the trivial parent rewrites
-/// (deleted-vertex removal, inserted-vertex attachment) directly to `new_par`.
+/// (deleted-vertex removal, inserted-vertex attachment) directly to `new_par`
+/// and recording them — plus any vertex-set change — into `patch`.
 ///
 /// The graph must already reflect the update; the oracle must reflect it too
 /// (deleted edges/vertices masked, inserted edges visible), so that "lowest
 /// edge" queries never return a stale edge.
+#[allow(clippy::too_many_arguments)] // the full update context plus both output sinks
 pub fn reduce_update<O: QueryOracle>(
     idx: &TreeIndex,
     oracle: &O,
@@ -39,6 +41,7 @@ pub fn reduce_update<O: QueryOracle>(
     update: &Update,
     input: &ReductionInput,
     new_par: &mut [Vertex],
+    patch: &mut TreePatch,
     stats: &mut UpdateStats,
 ) -> Vec<RerootJob> {
     match update {
@@ -83,6 +86,7 @@ pub fn reduce_update<O: QueryOracle>(
             let children: Vec<Vertex> = idx.children(*u).to_vec();
             let hits = lowest_edges_from_subtrees(idx, oracle, &children, anchor, proot, stats);
             new_par[*u as usize] = NO_VERTEX;
+            patch.record_removed(*u);
             children
                 .iter()
                 .zip(hits)
@@ -103,6 +107,8 @@ pub fn reduce_update<O: QueryOracle>(
                 .expect("vertex insertion provides the inserted id");
             let vj = input.inserted_neighbors.first().copied().unwrap_or(proot);
             new_par[nv as usize] = vj;
+            patch.record_added(nv);
+            patch.assign(nv, vj);
             let mut jobs: Vec<RerootJob> = Vec::new();
             for &vi in input.inserted_neighbors.iter().skip(1) {
                 if idx.is_ancestor(vi, vj) {
@@ -189,6 +195,7 @@ mod tests {
         let (aug, idx, d) = setup(&user);
         let mut stats = UpdateStats::default();
         let mut new_par = vec![NO_VERTEX; aug.graph().capacity()];
+        let mut patch = TreePatch::new();
         let update = aug.translate(&Update::InsertEdge(0, 3));
         let jobs = reduce_update(
             &idx,
@@ -197,6 +204,7 @@ mod tests {
             &update,
             &ReductionInput::default(),
             &mut new_par,
+            &mut patch,
             &mut stats,
         );
         assert!(jobs.is_empty());
@@ -210,6 +218,7 @@ mod tests {
         let (aug, idx, d) = setup(&user);
         let mut stats = UpdateStats::default();
         let mut new_par = vec![NO_VERTEX; aug.graph().capacity()];
+        let mut patch = TreePatch::new();
         let update = aug.translate(&Update::InsertEdge(1, 2));
         let jobs = reduce_update(
             &idx,
@@ -218,6 +227,7 @@ mod tests {
             &update,
             &ReductionInput::default(),
             &mut new_par,
+            &mut patch,
             &mut stats,
         );
         assert_eq!(jobs.len(), 1);
@@ -254,6 +264,7 @@ mod tests {
         aug.apply_internal(&internal);
         let mut stats = UpdateStats::default();
         let mut new_par = vec![NO_VERTEX; aug.graph().capacity()];
+        let mut patch = TreePatch::new();
         let jobs = reduce_update(
             &idx,
             &d,
@@ -261,6 +272,7 @@ mod tests {
             &internal,
             &ReductionInput::default(),
             &mut new_par,
+            &mut patch,
             &mut stats,
         );
         assert_eq!(jobs.len(), 1);
@@ -284,6 +296,7 @@ mod tests {
         aug.apply_internal(&internal);
         let mut stats = UpdateStats::default();
         let mut new_par = vec![NO_VERTEX; aug.graph().capacity()];
+        let mut patch = TreePatch::new();
         let jobs = reduce_update(
             &idx,
             &d,
@@ -291,6 +304,7 @@ mod tests {
             &internal,
             &ReductionInput::default(),
             &mut new_par,
+            &mut patch,
             &mut stats,
         );
         // The DFS tree from the pseudo root rooted the star at some leaf, so the
@@ -318,6 +332,7 @@ mod tests {
         d.note_insert_vertex(nv, &internal_edges);
         let mut stats = UpdateStats::default();
         let mut new_par = vec![NO_VERTEX; aug.graph().capacity()];
+        let mut patch = TreePatch::new();
         let jobs = reduce_update(
             &idx,
             &d,
@@ -328,6 +343,7 @@ mod tests {
                 inserted_neighbors: internal_edges.clone(),
             },
             &mut new_par,
+            &mut patch,
             &mut stats,
         );
         assert_eq!(new_par[nv as usize], internal_edges[0]);

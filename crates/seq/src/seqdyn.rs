@@ -17,11 +17,11 @@
 use crate::augment::{self, AugmentedGraph};
 use crate::check::check_spanning_dfs_tree;
 use crate::static_dfs::static_dfs;
-use pardfs_api::{DfsMaintainer, StatsReport};
+use pardfs_api::{maintain_index, DfsMaintainer, IndexMaintenanceStats, IndexPolicy, StatsReport};
 use pardfs_graph::{Graph, Update, Vertex};
 use pardfs_query::{QueryOracle, StructureD, VertexQuery};
 use pardfs_tree::rooted::NO_VERTEX;
-use pardfs_tree::{RootedTree, TreeIndex};
+use pardfs_tree::{RootedTree, TreeIndex, TreePatch};
 
 pub use pardfs_api::SeqUpdateStats;
 
@@ -42,6 +42,8 @@ pub struct SeqRerootDfs {
     aug: AugmentedGraph,
     idx: TreeIndex,
     d: StructureD,
+    index_policy: IndexPolicy,
+    index_stats: IndexMaintenanceStats,
     last_stats: SeqUpdateStats,
 }
 
@@ -56,8 +58,25 @@ impl SeqRerootDfs {
             aug,
             idx,
             d,
+            index_policy: IndexPolicy::default(),
+            index_stats: IndexMaintenanceStats::default(),
             last_stats: SeqUpdateStats::default(),
         }
+    }
+
+    /// Select when the tree index is delta-patched versus rebuilt.
+    pub fn set_index_policy(&mut self, policy: IndexPolicy) {
+        self.index_policy = policy;
+    }
+
+    /// The index-maintenance policy in use.
+    pub fn index_policy(&self) -> IndexPolicy {
+        self.index_policy
+    }
+
+    /// What the index-maintenance policy has done so far.
+    pub fn index_stats(&self) -> IndexMaintenanceStats {
+        self.index_stats
     }
 
     /// The current DFS tree of the augmented graph (rooted at the pseudo root).
@@ -164,17 +183,24 @@ impl SeqRerootDfs {
             new_par.resize(self.aug.graph().capacity(), NO_VERTEX);
         }
 
-        let jobs = self.reduce(update, inserted, &mut new_par, &mut stats);
+        let mut patch = TreePatch::new();
+        let jobs = self.reduce(update, inserted, &mut new_par, &mut patch, &mut stats);
         stats.reroot_jobs = jobs.len();
         for job in jobs {
-            self.reroot(job, &mut new_par, &mut stats);
+            self.reroot(job, &mut new_par, &mut patch, &mut stats);
         }
 
-        // Freeze the new tree and rebuild D on it.
-        let idx = TreeIndex::from_parent_slice(&new_par, proot);
-        let d = StructureD::build(self.aug.graph(), idx.clone());
-        self.idx = idx;
-        self.d = d;
+        // Delta-patch the tree index with the update's rewrites; `D` is
+        // still rebuilt per update on the new tree (this baseline's model).
+        maintain_index(
+            &mut self.idx,
+            &patch,
+            &new_par,
+            proot,
+            self.index_policy,
+            &mut self.index_stats,
+        );
+        self.d = StructureD::build(self.aug.graph(), self.idx.clone());
         self.last_stats = stats;
         inserted
     }
@@ -187,6 +213,7 @@ impl SeqRerootDfs {
         update: &Update,
         inserted: Option<Vertex>,
         new_par: &mut [Vertex],
+        patch: &mut TreePatch,
         stats: &mut SeqUpdateStats,
     ) -> Vec<RerootJob> {
         let idx = &self.idx;
@@ -243,6 +270,7 @@ impl SeqRerootDfs {
                     });
                 }
                 new_par[*u as usize] = NO_VERTEX;
+                patch.record_removed(*u);
                 stats.relinked_vertices += 1;
                 jobs
             }
@@ -258,6 +286,8 @@ impl SeqRerootDfs {
                     .collect();
                 let vj = nbrs.first().copied().unwrap_or(proot);
                 new_par[nv as usize] = vj;
+                patch.record_added(nv);
+                patch.assign(nv, vj);
                 stats.relinked_vertices += 1;
                 // Group the remaining neighbours by the subtree hanging from
                 // path(vj, root) that contains them; one reroot per subtree.
@@ -309,8 +339,15 @@ impl SeqRerootDfs {
     }
 
     /// Reroot the old subtree `job.sub_root` at `job.new_root`, hanging it from
-    /// `job.attach_parent`, writing the new parents into `new_par`.
-    fn reroot(&self, job: RerootJob, new_par: &mut [Vertex], stats: &mut SeqUpdateStats) {
+    /// `job.attach_parent`, writing the new parents into `new_par` and
+    /// recording them into `patch`.
+    fn reroot(
+        &self,
+        job: RerootJob,
+        new_par: &mut [Vertex],
+        patch: &mut TreePatch,
+        stats: &mut SeqUpdateStats,
+    ) {
         let idx = &self.idx;
         let mut pending = vec![job];
         while let Some(RerootJob {
@@ -323,6 +360,7 @@ impl SeqRerootDfs {
             // root, its internal structure is already a DFS tree — just re-hang.
             if new_root == sub_root {
                 new_par[sub_root as usize] = attach_parent;
+                patch.assign(sub_root, attach_parent);
                 stats.relinked_vertices += 1;
                 continue;
             }
@@ -331,6 +369,7 @@ impl SeqRerootDfs {
             let mut prev = attach_parent;
             for &x in &path {
                 new_par[x as usize] = prev;
+                patch.assign(x, prev);
                 prev = x;
                 stats.relinked_vertices += 1;
             }
@@ -393,7 +432,10 @@ impl DfsMaintainer for SeqRerootDfs {
     }
 
     fn stats(&self) -> StatsReport {
-        StatsReport::Sequential(self.last_stats)
+        StatsReport::Sequential {
+            engine: self.last_stats,
+            index: self.index_stats,
+        }
     }
 }
 

@@ -33,7 +33,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use pardfs_api::{DfsMaintainer, StatsReport};
+use pardfs_api::{maintain_index, DfsMaintainer, IndexMaintenanceStats, IndexPolicy, StatsReport};
 use pardfs_core::reduction::ReductionInput;
 use pardfs_core::{reduce_update, Rerooter, Strategy, UpdateStats};
 use pardfs_graph::{Graph, Update, Vertex};
@@ -42,7 +42,7 @@ use pardfs_seq::augment::{self, AugmentedGraph};
 use pardfs_seq::check::check_spanning_dfs_tree;
 use pardfs_seq::static_dfs::static_dfs;
 use pardfs_tree::rooted::NO_VERTEX;
-use pardfs_tree::TreeIndex;
+use pardfs_tree::{TreeIndex, TreePatch};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 pub use pardfs_api::StreamStats;
@@ -164,6 +164,8 @@ pub struct StreamingDynamicDfs {
     aug: AugmentedGraph,
     idx: TreeIndex,
     strategy: Strategy,
+    index_policy: IndexPolicy,
+    index_stats: IndexMaintenanceStats,
     last_update_stats: UpdateStats,
     last_stream_stats: StreamStats,
     total_stream_stats: StreamStats,
@@ -185,10 +187,29 @@ impl StreamingDynamicDfs {
             aug,
             idx,
             strategy,
+            index_policy: IndexPolicy::default(),
+            index_stats: IndexMaintenanceStats::default(),
             last_update_stats: UpdateStats::default(),
             last_stream_stats: StreamStats::default(),
             total_stream_stats: StreamStats::default(),
         }
+    }
+
+    /// Select when the tree index is delta-patched versus rebuilt. The index
+    /// is `O(n)` local state in this model, so patching it does not change
+    /// the space bound — it removes the per-update rebuild work.
+    pub fn set_index_policy(&mut self, policy: IndexPolicy) {
+        self.index_policy = policy;
+    }
+
+    /// The index-maintenance policy in use.
+    pub fn index_policy(&self) -> IndexPolicy {
+        self.index_policy
+    }
+
+    /// What the index-maintenance policy has done so far.
+    pub fn index_stats(&self) -> IndexMaintenanceStats {
+        self.index_stats
     }
 
     /// The current DFS tree of the augmented graph.
@@ -282,6 +303,7 @@ impl StreamingDynamicDfs {
         if new_par.len() < self.aug.graph().capacity() {
             new_par.resize(self.aug.graph().capacity(), NO_VERTEX);
         }
+        let mut patch = TreePatch::new();
         let oracle = PassOracle::new(self.aug.graph(), &self.idx);
         let jobs = reduce_update(
             &self.idx,
@@ -290,14 +312,22 @@ impl StreamingDynamicDfs {
             &internal,
             &input,
             &mut new_par,
+            &mut patch,
             &mut stats,
         );
         stats.reroot_jobs = jobs.len() as u64;
         let engine = Rerooter::new(&self.idx, &oracle, self.strategy);
-        stats.reroot = engine.run(&jobs, &mut new_par);
+        stats.reroot = engine.run(&jobs, &mut new_par, &mut patch);
 
         let stream_stats = oracle.stats();
-        self.idx = TreeIndex::from_parent_slice(&new_par, proot);
+        maintain_index(
+            &mut self.idx,
+            &patch,
+            &new_par,
+            proot,
+            self.index_policy,
+            &mut self.index_stats,
+        );
         self.last_update_stats = stats;
         self.last_stream_stats = stream_stats;
         self.total_stream_stats.merge(&stream_stats);
@@ -346,6 +376,7 @@ impl DfsMaintainer for StreamingDynamicDfs {
         StatsReport::Streaming {
             engine: self.last_update_stats,
             stream: self.last_stream_stats,
+            index: self.index_stats,
         }
     }
 }

@@ -1,40 +1,140 @@
-//! Immutable index over a rooted tree: orderings, sizes, levels, LCA and
+//! Structural index over a rooted tree: orderings, sizes, levels, LCA and
 //! level-ancestor queries.
 //!
 //! This is the in-memory realisation of the paper's Theorem 4 (Tarjan–Vishkin
 //! tree functions), Theorem 6 (parallel LCA) and Theorem 10 (the operations the
 //! rerooting algorithm needs on `T`). The EREW PRAM *cost accounting* for
 //! building these structures lives in `pardfs-pram`; here we care about
-//! providing the queries in `O(1)`/`O(log n)` after an `O(n log n)` build.
+//! providing the queries in `O(1)`/`O(log n)` after an `O(n)` build.
+//!
+//! The index is no longer rebuilt from scratch after every committed update:
+//! [`crate::patch`] splices the orderings, Euler-tour segment and
+//! binary-lifting rows of the touched subtree in place. The Euler-tour RMQ is
+//! a segment tree (rather than a sparse table) precisely so that a spliced
+//! segment costs `O(|segment| + log n)` to re-index instead of
+//! `O(n)`-per-row table repair.
 
 use crate::rooted::{RootedTree, NO_VERTEX};
 use pardfs_graph::Vertex;
 
-/// Immutable structural index of a rooted tree.
+/// Structural index of a rooted tree.
 ///
 /// Construction performs a single traversal computing pre/post order numbers,
-/// levels, subtree sizes, an Euler tour with a sparse-table RMQ for `O(1)` LCA
-/// queries, and a binary-lifting table for level-ancestor queries.
+/// levels, subtree sizes, an Euler tour with a segment-tree RMQ for
+/// `O(log n)` LCA queries, and a binary-lifting table for level-ancestor
+/// queries. After edge updates the structure can be delta-patched in place by
+/// [`TreeIndex::apply_patch`](crate::patch) instead of rebuilt.
 #[derive(Debug, Clone)]
 pub struct TreeIndex {
-    root: Vertex,
-    parent: Vec<Vertex>,
-    children: Vec<Vec<Vertex>>,
-    pre: Vec<u32>,
-    post: Vec<u32>,
-    level: Vec<u32>,
-    size: Vec<u32>,
-    pre_order: Vec<Vertex>,
-    post_order: Vec<Vertex>,
-    euler: Vec<Vertex>,
-    euler_level: Vec<u32>,
-    first_occ: Vec<u32>,
-    sparse: Vec<Vec<u32>>,
-    up: Vec<Vec<Vertex>>,
-    n_tree: usize,
+    pub(crate) root: Vertex,
+    pub(crate) parent: Vec<Vertex>,
+    pub(crate) children: Vec<Vec<Vertex>>,
+    pub(crate) pre: Vec<u32>,
+    pub(crate) post: Vec<u32>,
+    pub(crate) level: Vec<u32>,
+    pub(crate) size: Vec<u32>,
+    pub(crate) pre_order: Vec<Vertex>,
+    pub(crate) post_order: Vec<Vertex>,
+    pub(crate) euler: Vec<Vertex>,
+    pub(crate) euler_level: Vec<u32>,
+    pub(crate) first_occ: Vec<u32>,
+    pub(crate) rmq: EulerRmq,
+    pub(crate) up: Vec<Vec<Vertex>>,
+    pub(crate) n_tree: usize,
 }
 
-const UNSET: u32 = u32::MAX;
+pub(crate) const UNSET: u32 = u32::MAX;
+
+/// Range-argmin over `euler_level`, stored as a flat segment tree of
+/// *positions* into the Euler tour (so the answering vertex can be recovered).
+///
+/// A sparse table answers in `O(1)` but repairing it after a splice costs
+/// `O(|segment| + 2^k)` entries *per row*; the segment tree answers in
+/// `O(log n)` and repairs a spliced leaf range in `O(|segment| + log n)`
+/// total, which is what makes [`crate::patch`] sublinear.
+#[derive(Debug, Clone)]
+pub(crate) struct EulerRmq {
+    /// Number of leaves actually in use (the Euler tour length).
+    len: usize,
+    /// `2 * p` slots for `p = len.next_power_of_two()`; leaf `i` lives at
+    /// `p + i` and stores `i`; internal nodes store the argmin position of
+    /// their window; padding slots store [`UNSET`].
+    tree: Vec<u32>,
+}
+
+impl EulerRmq {
+    /// Build over the given Euler-level array.
+    pub(crate) fn build(euler_level: &[u32]) -> Self {
+        let len = euler_level.len();
+        let p = len.next_power_of_two().max(1);
+        let mut tree = vec![UNSET; 2 * p];
+        for i in 0..len {
+            tree[p + i] = i as u32;
+        }
+        for i in (1..p).rev() {
+            tree[i] = Self::pick(euler_level, tree[2 * i], tree[2 * i + 1]);
+        }
+        EulerRmq { len, tree }
+    }
+
+    /// Argmin of two positions (either may be [`UNSET`]), preferring the
+    /// earlier position on equal levels (matching the sparse table's `<=`).
+    fn pick(euler_level: &[u32], a: u32, b: u32) -> u32 {
+        if a == UNSET {
+            return b;
+        }
+        if b == UNSET {
+            return a;
+        }
+        if euler_level[a as usize] <= euler_level[b as usize] {
+            a
+        } else {
+            b
+        }
+    }
+
+    /// Re-aggregate after `euler_level[lo..hi)` changed in place (leaf
+    /// positions are unchanged — only the compared levels moved).
+    /// `O((hi - lo) + log n)`.
+    pub(crate) fn refresh_range(&mut self, euler_level: &[u32], lo: usize, hi: usize) {
+        if lo >= hi {
+            return;
+        }
+        let p = self.tree.len() / 2;
+        let (mut l, mut r) = ((p + lo) / 2, (p + hi - 1) / 2);
+        while l >= 1 {
+            for i in l..=r {
+                self.tree[i] = Self::pick(euler_level, self.tree[2 * i], self.tree[2 * i + 1]);
+            }
+            if l == 1 {
+                break;
+            }
+            l /= 2;
+            r /= 2;
+        }
+    }
+
+    /// Argmin position over the inclusive range `[i, j]`.
+    pub(crate) fn query(&self, euler_level: &[u32], i: usize, j: usize) -> usize {
+        debug_assert!(i <= j && j < self.len);
+        let p = self.tree.len() / 2;
+        let (mut l, mut r) = (p + i, p + j + 1);
+        let mut best = UNSET;
+        while l < r {
+            if l & 1 == 1 {
+                best = Self::pick(euler_level, best, self.tree[l]);
+                l += 1;
+            }
+            if r & 1 == 1 {
+                r -= 1;
+                best = Self::pick(euler_level, best, self.tree[r]);
+            }
+            l /= 2;
+            r /= 2;
+        }
+        best as usize
+    }
+}
 
 impl TreeIndex {
     /// Build the index from a [`RootedTree`].
@@ -117,33 +217,9 @@ impl TreeIndex {
             "parent array contains vertices unreachable from the root"
         );
 
-        // Sparse table for range-minimum over euler_level (storing argmin
-        // positions so the answering vertex can be recovered).
-        let m = euler.len();
-        let log_m = if m <= 1 {
-            1
-        } else {
-            (usize::BITS - (m - 1).leading_zeros()) as usize + 1
-        };
-        let mut sparse: Vec<Vec<u32>> = Vec::with_capacity(log_m);
-        sparse.push((0..m as u32).collect());
-        let mut k = 1usize;
-        while (1usize << k) <= m {
-            let half = 1usize << (k - 1);
-            let prev = &sparse[k - 1];
-            let mut row = Vec::with_capacity(m - (1 << k) + 1);
-            for i in 0..=(m - (1 << k)) {
-                let a = prev[i];
-                let b = prev[i + half];
-                row.push(if euler_level[a as usize] <= euler_level[b as usize] {
-                    a
-                } else {
-                    b
-                });
-            }
-            sparse.push(row);
-            k += 1;
-        }
+        // Segment-tree RMQ over euler_level (storing argmin positions so the
+        // answering vertex can be recovered; patchable in place).
+        let rmq = EulerRmq::build(&euler_level);
 
         // Binary lifting table.
         let max_level = pre_order
@@ -187,7 +263,7 @@ impl TreeIndex {
             euler,
             euler_level,
             first_occ,
-            sparse,
+            rmq,
             up,
             n_tree,
         }
@@ -288,16 +364,8 @@ impl TreeIndex {
         if i > j {
             std::mem::swap(&mut i, &mut j);
         }
-        let len = j - i + 1;
-        let k = (usize::BITS - 1 - len.leading_zeros()) as usize;
-        let a = self.sparse[k][i];
-        let b = self.sparse[k][j + 1 - (1 << k)];
-        let arg = if self.euler_level[a as usize] <= self.euler_level[b as usize] {
-            a
-        } else {
-            b
-        };
-        self.euler[arg as usize]
+        let arg = self.rmq.query(&self.euler_level, i, j);
+        self.euler[arg]
     }
 
     /// The ancestor of `v` whose level is `target_level`
@@ -541,5 +609,94 @@ mod tests {
         // Vertices 2 and 3 form a cycle detached from the root.
         let parent = vec![0, 0, 3, 2];
         let _ = TreeIndex::from_parent_slice(&parent, 0);
+    }
+
+    // ---- Edge cases the delta-patch path must also pass (see
+    // `crate::patch::tests`, which replays these shapes through
+    // `apply_patch`). ------------------------------------------------------
+
+    #[test]
+    fn singleton_tree() {
+        let idx = TreeIndex::from_parent_slice(&[0], 0);
+        assert_eq!(idx.num_vertices(), 1);
+        assert_eq!(idx.pre(0), 0);
+        assert_eq!(idx.post(0), 0);
+        assert_eq!(idx.level(0), 0);
+        assert_eq!(idx.size(0), 1);
+        assert_eq!(idx.lca(0, 0), 0);
+        assert_eq!(idx.ancestor_at_level(0, 0), 0);
+        assert_eq!(idx.parent(0), None);
+        assert!(idx.is_ancestor(0, 0));
+        assert_eq!(idx.subtree_vertices(0), &[0]);
+    }
+
+    #[test]
+    fn star_tree_queries() {
+        let n = 64u32;
+        let mut parent = vec![0u32; n as usize];
+        parent[0] = 0;
+        let idx = TreeIndex::from_parent_slice(&parent, 0);
+        assert_eq!(idx.size(0), n);
+        for v in 1..n {
+            assert_eq!(idx.level(v), 1);
+            assert_eq!(idx.size(v), 1);
+            assert_eq!(
+                idx.lca(v, (v % (n - 1)) + 1),
+                if v == (v % (n - 1)) + 1 { v } else { 0 }
+            );
+            assert_eq!(idx.ancestor_at_level(v, 0), 0);
+            assert_eq!(idx.kth_ancestor(v, 1), Some(0));
+            assert_eq!(idx.kth_ancestor(v, 2), None);
+        }
+        // Children come back sorted by id — the invariant the patch splice
+        // preserves so its numbering matches a fresh build's.
+        let kids = idx.children(0);
+        assert!(kids.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn long_path_queries() {
+        let n = 300u32;
+        let mut parent: Vec<Vertex> = (0..n).map(|v| v.saturating_sub(1)).collect();
+        parent[0] = 0;
+        let idx = TreeIndex::from_parent_slice(&parent, 0);
+        assert_eq!(idx.level(n - 1), n - 1);
+        assert_eq!(idx.lca(n - 1, 0), 0);
+        assert_eq!(idx.lca(100, 250), 100);
+        assert_eq!(idx.ancestor_at_level(n - 1, 137), 137);
+        assert_eq!(idx.path_len(10, 290), 280);
+        assert_eq!(idx.pre(200), 200);
+        assert_eq!(idx.post(200), n - 1 - 200);
+    }
+
+    #[test]
+    fn forest_with_no_vertex_holes() {
+        // Capacity 10, but only {0, 2, 3, 7} in the tree — the other slots
+        // are NO_VERTEX holes (deleted / never-inserted ids).
+        let mut parent = vec![NO_VERTEX; 10];
+        parent[0] = 0;
+        parent[2] = 0;
+        parent[3] = 2;
+        parent[7] = 2;
+        let idx = TreeIndex::from_parent_slice(&parent, 0);
+        assert_eq!(idx.num_vertices(), 4);
+        assert_eq!(idx.capacity(), 10);
+        for hole in [1u32, 4, 5, 6, 8, 9] {
+            assert!(!idx.contains(hole), "hole {hole}");
+            assert!(!idx.is_ancestor(hole, 0));
+            assert!(!idx.is_ancestor(0, hole));
+        }
+        assert_eq!(idx.lca(3, 7), 2);
+        assert_eq!(idx.size(2), 3);
+        assert_eq!(idx.subtree_vertices(2), &[2, 3, 7]);
+        assert_eq!(idx.ancestor_at_level(7, 0), 0);
+    }
+
+    #[test]
+    fn out_of_range_ids_are_not_contained() {
+        let idx = TreeIndex::from_parent_slice(&[0, 0], 0);
+        assert!(!idx.contains(5_000));
+        assert!(!idx.is_ancestor(5_000, 0));
+        assert!(!idx.is_back_edge(5_000, 0));
     }
 }

@@ -17,18 +17,28 @@
 //! * [`paths`] — helpers for ancestor–descendant paths: enumeration, length,
 //!   membership, and the "subtrees hanging from a path" primitive.
 //!
-//! All index structures are rebuilt from scratch after every committed update;
-//! their construction is `O(n log n)` work and parallelises trivially, matching
-//! the `O(log n)`-time, `n`-processor bound of Theorem 10 in the EREW PRAM
-//! cost model (see `pardfs-pram` for the explicit accounting).
+//! * [`patch`] — **delta-patching**: the rerooting machinery emits a
+//!   [`TreePatch`] (the parent rewrites of one update) and
+//!   [`TreeIndex::apply_patch`] splices the touched subtree's orderings,
+//!   Euler segment and binary-lifting rows in place in
+//!   `O(|region| · log n)`, falling back to a full rebuild when the patch is
+//!   not spliceable (membership changes) or not worth it (region too large).
+//!
+//! Index construction is `O(n)` work (plus `O(n log n)` for binary lifting)
+//! and parallelises trivially, matching the `O(log n)`-time, `n`-processor
+//! bound of Theorem 10 in the EREW PRAM cost model (see `pardfs-pram` for the
+//! explicit accounting); with delta-patching that cost is paid only when a
+//! patch falls back, not on every committed update.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod index;
+pub mod patch;
 pub mod paths;
 pub mod rooted;
 
 pub use index::TreeIndex;
 pub use pardfs_graph::Vertex;
+pub use patch::{PatchOutcome, TreePatch};
 pub use rooted::{RootedTree, NO_VERTEX};

@@ -1,0 +1,701 @@
+//! Delta-patching the [`TreeIndex`]: the versioned-tree splice that replaces
+//! full `from_parent_slice` rebuilds on the hot path.
+//!
+//! ## The patch / splice contract
+//!
+//! The rerooting engine (Section 4 of the paper) rewrites the parent pointers
+//! of the *affected* subtrees only; everything outside them keeps its
+//! structure. A [`TreePatch`] is the record of exactly those rewrites: the
+//! `(child, new_parent)` assignments the reduction and the reroot emitted,
+//! plus the vertices that entered or left the tree. [`TreeIndex::apply_patch`]
+//! consumes a patch and splices the index in place:
+//!
+//! 1. **Region.** The patch region is the subtree rooted at `a`, the LCA (in
+//!    the *old* tree) of every changed child, its old parent and its new
+//!    parent. Because every rewrite is confined to `subtree(a)` and every new
+//!    parent lies inside it, `subtree(a)` holds the *same vertex set* before
+//!    and after the patch — so its pre-order interval, post-order interval
+//!    and Euler-tour segment keep their global positions and lengths, and
+//!    everything outside the region is untouched.
+//! 2. **Splice.** A local DFS of the region (with the patched children lists,
+//!    kept id-sorted exactly like a fresh build's) recomputes `pre`, `post`,
+//!    `level`, `size`, the order arrays and the Euler segment for region
+//!    vertices only, writing them into the same global slots. The Euler RMQ
+//!    is a segment tree, so re-aggregating the spliced leaf range costs
+//!    `O(|region| + log n)`; binary-lifting rows are recomputed only for
+//!    region vertices (`O(|region| · log n)`). Total:
+//!    `O(|region| · log n)` — the `O(|patch| · polylog n)` bound, since the
+//!    region is the span of the patch.
+//! 3. **Equivalence.** Children lists stay sorted by vertex id, which is the
+//!    traversal order `from_parent_slice` uses, so a patched index is
+//!    *query-for-query identical* to a fresh build on the patched parent
+//!    array — the same pre/post numbers, not merely isomorphic answers. The
+//!    differential property suite pins this for all five backends.
+//!
+//! ## The fallback argument
+//!
+//! Patching is refused — and the caller must rebuild — in exactly three
+//! situations, reported through [`PatchOutcome`]:
+//!
+//! * **Membership changes** (vertex insertions/deletions). A vertex entering
+//!   or leaving the tree shifts the pre/post numbers of every later vertex,
+//!   so no interval-preserving splice exists; a renumbering pass would be
+//!   `O(n)` anyway, which is what the rebuild already costs.
+//! * **Region too large.** When `|region|` exceeds the caller's limit
+//!   (`pardfs-api`'s `IndexPolicy` mirrors the `RebuildPolicy` amortization:
+//!   past a constant fraction of `n` the splice's bookkeeping no longer beats
+//!   the cache-friendly linear rebuild).
+//! * **Inapplicable patches** (unknown vertices, a moved root, a region DFS
+//!   that does not close). These indicate the patch does not describe a
+//!   valid rewrite of this tree; the index is left for the caller to rebuild
+//!   from the authoritative parent array.
+//!
+//! The fallback keeps correctness independent of the patch path: the parent
+//! array the engine produced is always authoritative, and a rebuild from it
+//! is always available.
+
+use crate::index::TreeIndex;
+use crate::rooted::NO_VERTEX;
+use pardfs_graph::Vertex;
+use std::collections::HashMap;
+
+/// The delta the rerooting machinery applied to the DFS tree: new parent
+/// assignments (reversed paths are sequences of such assignments) plus the
+/// vertices that entered or left the tree.
+///
+/// Assignments are recorded in application order; for a child assigned more
+/// than once, the **last** assignment wins (matching the parent array the
+/// engine wrote).
+#[derive(Debug, Clone, Default)]
+pub struct TreePatch {
+    assignments: Vec<(Vertex, Vertex)>,
+    removed: Vec<Vertex>,
+    added: Vec<Vertex>,
+}
+
+impl TreePatch {
+    /// An empty patch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record that `child`'s parent becomes `parent`.
+    pub fn assign(&mut self, child: Vertex, parent: Vertex) {
+        self.assignments.push((child, parent));
+    }
+
+    /// Record that `v` left the tree (vertex deletion).
+    pub fn record_removed(&mut self, v: Vertex) {
+        self.removed.push(v);
+    }
+
+    /// Record that `v` entered the tree (vertex insertion).
+    pub fn record_added(&mut self, v: Vertex) {
+        self.added.push(v);
+    }
+
+    /// The recorded `(child, new_parent)` assignments, in application order.
+    pub fn assignments(&self) -> &[(Vertex, Vertex)] {
+        &self.assignments
+    }
+
+    /// Does the patch change the tree's vertex *set* (insertions/deletions)?
+    /// Such patches cannot be spliced and always fall back to a rebuild.
+    pub fn changes_membership(&self) -> bool {
+        !self.removed.is_empty() || !self.added.is_empty()
+    }
+
+    /// True when nothing was recorded at all.
+    pub fn is_empty(&self) -> bool {
+        self.assignments.is_empty() && !self.changes_membership()
+    }
+
+    /// Number of recorded assignments.
+    pub fn len(&self) -> usize {
+        self.assignments.len()
+    }
+
+    /// Drop all recorded changes (reuse the allocation for the next update).
+    pub fn clear(&mut self) {
+        self.assignments.clear();
+        self.removed.clear();
+        self.added.clear();
+    }
+}
+
+/// What [`TreeIndex::apply_patch`] did.
+///
+/// On every variant other than `Applied` the index was **not** modified and
+/// the caller must rebuild it from the authoritative parent array.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PatchOutcome {
+    /// The patch was spliced in; `vertices_touched` is the region size (0 for
+    /// a patch that turned out to be a no-op, e.g. a back-edge insertion).
+    Applied {
+        /// Number of vertices whose index entries were recomputed.
+        vertices_touched: usize,
+    },
+    /// The affected region exceeded the caller's limit; rebuild instead.
+    RegionTooLarge {
+        /// Size of the subtree the splice would have to recompute.
+        region: usize,
+        /// The limit the caller passed.
+        limit: usize,
+    },
+    /// The patch cannot be spliced (membership change, unknown vertices, …);
+    /// the reason is a short static description for stats/logging.
+    Unsupported(&'static str),
+}
+
+impl TreeIndex {
+    /// Splice `patch` into the index in place, provided the affected region
+    /// holds at most `limit` vertices. See the [module docs](self) for the
+    /// contract; on any outcome other than [`PatchOutcome::Applied`] the
+    /// index is unchanged and the caller is expected to rebuild it with
+    /// [`TreeIndex::from_parent_slice`].
+    pub fn apply_patch(&mut self, patch: &TreePatch, limit: usize) -> PatchOutcome {
+        if patch.changes_membership() {
+            return PatchOutcome::Unsupported("membership change");
+        }
+
+        // Net effect per child (last assignment wins), no-ops dropped.
+        let mut target: HashMap<Vertex, Vertex> = HashMap::new();
+        for &(c, p) in &patch.assignments {
+            target.insert(c, p);
+        }
+        let mut changed: Vec<(Vertex, Vertex)> = Vec::with_capacity(target.len());
+        for (&c, &p) in &target {
+            if !self.contains(c) || !self.contains(p) {
+                return PatchOutcome::Unsupported("vertex outside the tree");
+            }
+            if c == self.root {
+                if p != self.root {
+                    return PatchOutcome::Unsupported("root reassignment");
+                }
+                continue;
+            }
+            if self.parent[c as usize] != p {
+                changed.push((c, p));
+            }
+        }
+        if changed.is_empty() {
+            return PatchOutcome::Applied {
+                vertices_touched: 0,
+            };
+        }
+
+        // Region root: old-tree LCA of every changed child, its old parent
+        // and its new parent. All rewrites are confined to subtree(a), so
+        // subtree(a)'s vertex set — hence its interval positions — survive.
+        let mut a = changed[0].0;
+        for &(c, p) in &changed {
+            a = self.lca(a, c);
+            a = self.lca(a, self.parent[c as usize]);
+            a = self.lca(a, p);
+        }
+        let region = self.size[a as usize] as usize;
+        if region > limit {
+            return PatchOutcome::RegionTooLarge { region, limit };
+        }
+
+        // Patched children lists for the region, kept sorted by id (the
+        // traversal order of a fresh build). Computed up front so a patch
+        // that fails verification leaves the index untouched.
+        let changed_map: HashMap<Vertex, Vertex> = changed.iter().copied().collect();
+        let mut gained: HashMap<Vertex, Vec<Vertex>> = HashMap::new();
+        for &(c, p) in &changed {
+            gained.entry(p).or_default().push(c);
+        }
+        let old_members: Vec<Vertex> = self.subtree_vertices(a).to_vec();
+        let mut new_children: HashMap<Vertex, Vec<Vertex>> =
+            HashMap::with_capacity(old_members.len());
+        for &v in &old_members {
+            let mut kids: Vec<Vertex> = self.children[v as usize]
+                .iter()
+                .copied()
+                .filter(|c| changed_map.get(c).is_none_or(|&np| np == v))
+                .collect();
+            if let Some(extra) = gained.get(&v) {
+                kids.extend(extra.iter().copied().filter(|&c| {
+                    self.parent[c as usize] != v // not already kept above
+                }));
+            }
+            kids.sort_unstable();
+            new_children.insert(v, kids);
+        }
+
+        // Local DFS of the region over the patched children lists, into
+        // scratch buffers (committed only after the traversal closes).
+        let pre_base = self.pre[a as usize];
+        let post_base = self.post[a as usize] + 1 - region as u32;
+        let level_base = self.level[a as usize];
+        let euler_base = self.first_occ[a as usize] as usize;
+        let euler_len = 2 * region - 1;
+
+        let mut order: Vec<Vertex> = Vec::with_capacity(region); // pre-order
+        let mut post_order_loc: Vec<Vertex> = Vec::with_capacity(region);
+        let mut level_loc: HashMap<Vertex, u32> = HashMap::with_capacity(region);
+        let mut size_loc: HashMap<Vertex, u32> = HashMap::with_capacity(region);
+        let mut euler_loc: Vec<Vertex> = Vec::with_capacity(euler_len);
+        let mut first_occ_loc: HashMap<Vertex, u32> = HashMap::with_capacity(region);
+
+        let mut stack: Vec<(Vertex, usize)> = Vec::with_capacity(64);
+        level_loc.insert(a, level_base);
+        order.push(a);
+        first_occ_loc.insert(a, 0);
+        euler_loc.push(a);
+        stack.push((a, 0));
+        let mut escaped = false;
+        while let Some(&mut (v, ref mut ci)) = stack.last_mut() {
+            let kids = &new_children[&v];
+            if *ci < kids.len() {
+                let c = kids[*ci];
+                *ci += 1;
+                if !new_children.contains_key(&c) {
+                    // A child outside the old region: the patch does not
+                    // preserve the region's membership after all.
+                    escaped = true;
+                    break;
+                }
+                level_loc.insert(c, level_loc[&v] + 1);
+                order.push(c);
+                first_occ_loc.insert(c, euler_loc.len() as u32);
+                euler_loc.push(c);
+                stack.push((c, 0));
+            } else {
+                stack.pop();
+                post_order_loc.push(v);
+                let s = 1 + kids.iter().map(|c| size_loc[c]).sum::<u32>();
+                size_loc.insert(v, s);
+                if let Some(&(p, _)) = stack.last() {
+                    euler_loc.push(p);
+                }
+            }
+        }
+        if escaped || order.len() != region {
+            // A cycle or an escaping edge: the patch does not describe a
+            // valid rewrite of this region. Leave the index untouched.
+            return PatchOutcome::Unsupported("patch does not preserve the region");
+        }
+        debug_assert_eq!(euler_loc.len(), euler_len);
+
+        // ---- Commit ------------------------------------------------------
+        for &(c, p) in &changed {
+            self.parent[c as usize] = p;
+        }
+        for (v, kids) in new_children {
+            self.children[v as usize] = kids;
+        }
+        for (i, &v) in order.iter().enumerate() {
+            self.pre[v as usize] = pre_base + i as u32;
+            self.pre_order[(pre_base as usize) + i] = v;
+            self.level[v as usize] = level_loc[&v];
+            self.size[v as usize] = size_loc[&v];
+            self.first_occ[v as usize] = euler_base as u32 + first_occ_loc[&v];
+        }
+        for (i, &v) in post_order_loc.iter().enumerate() {
+            self.post[v as usize] = post_base + i as u32;
+            self.post_order[(post_base as usize) + i] = v;
+        }
+        for (i, &v) in euler_loc.iter().enumerate() {
+            self.euler[euler_base + i] = v;
+            self.euler_level[euler_base + i] = self.level[v as usize];
+        }
+        self.rmq
+            .refresh_range(&self.euler_level, euler_base, euler_base + euler_len);
+
+        // Binary lifting: only region vertices can have changed ancestors.
+        // Rows are recomputed level by level so row k-1 is final everywhere
+        // before row k reads it (mid vertices may also lie in the region).
+        let region_max_level = order.iter().map(|&v| self.level[v as usize]).max().unwrap();
+        let rows_needed = if region_max_level == 0 {
+            1
+        } else {
+            (32 - region_max_level.leading_zeros()) as usize
+        };
+        while self.up.len() < rows_needed {
+            // Depth grew past the table: extend with full rows (rare; each
+            // extension is O(n) and depth doublings are logarithmic).
+            let prev = &self.up[self.up.len() - 1];
+            let mut row = vec![NO_VERTEX; self.parent.len()];
+            for &v in &self.pre_order {
+                let mid = prev[v as usize];
+                if mid != NO_VERTEX {
+                    row[v as usize] = prev[mid as usize];
+                }
+            }
+            self.up.push(row);
+        }
+        for &v in &order {
+            self.up[0][v as usize] = if v == self.root {
+                self.root
+            } else {
+                self.parent[v as usize]
+            };
+        }
+        for k in 1..self.up.len() {
+            let (done, rest) = self.up.split_at_mut(k);
+            let prev = &done[k - 1];
+            let row = &mut rest[0];
+            for &v in &order {
+                let mid = prev[v as usize];
+                row[v as usize] = if mid != NO_VERTEX {
+                    prev[mid as usize]
+                } else {
+                    NO_VERTEX
+                };
+            }
+        }
+
+        PatchOutcome::Applied {
+            vertices_touched: region,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rooted::RootedTree;
+    use rand::prelude::*;
+    use rand_chacha::ChaCha8Rng;
+
+    /// Assert that `idx` answers every structural query identically to a
+    /// fresh `from_parent_slice` build on the same parent array — including
+    /// the raw pre/post numbers, not just derived answers.
+    fn assert_identical_to_fresh(idx: &TreeIndex) {
+        let mut parent = vec![NO_VERTEX; idx.capacity()];
+        for &v in idx.pre_order_vertices() {
+            parent[v as usize] = idx.parent(v).unwrap_or(v);
+        }
+        let fresh = TreeIndex::from_parent_slice(&parent, idx.root());
+        assert_eq!(idx.num_vertices(), fresh.num_vertices());
+        assert_eq!(idx.pre_order_vertices(), fresh.pre_order_vertices());
+        assert_eq!(idx.post_order_vertices(), fresh.post_order_vertices());
+        for v in 0..idx.capacity() as Vertex {
+            assert_eq!(idx.contains(v), fresh.contains(v), "contains({v})");
+            if !idx.contains(v) {
+                continue;
+            }
+            assert_eq!(idx.pre(v), fresh.pre(v), "pre({v})");
+            assert_eq!(idx.post(v), fresh.post(v), "post({v})");
+            assert_eq!(idx.level(v), fresh.level(v), "level({v})");
+            assert_eq!(idx.size(v), fresh.size(v), "size({v})");
+            assert_eq!(idx.parent(v), fresh.parent(v), "parent({v})");
+            assert_eq!(idx.children(v), fresh.children(v), "children({v})");
+        }
+        let verts = fresh.pre_order_vertices();
+        for &u in verts.iter().step_by(3) {
+            for &v in verts.iter().step_by(2) {
+                assert_eq!(idx.lca(u, v), fresh.lca(u, v), "lca({u},{v})");
+            }
+            for l in 0..=fresh.level(u) {
+                assert_eq!(
+                    idx.ancestor_at_level(u, l),
+                    fresh.ancestor_at_level(u, l),
+                    "ancestor_at_level({u},{l})"
+                );
+            }
+        }
+    }
+
+    fn path_index(n: usize) -> TreeIndex {
+        let mut t = RootedTree::new(n, 0);
+        for v in 1..n as Vertex {
+            t.attach(v, v - 1);
+        }
+        TreeIndex::build(&t)
+    }
+
+    #[test]
+    fn empty_patch_is_a_noop() {
+        let mut idx = path_index(6);
+        let patch = TreePatch::new();
+        assert!(patch.is_empty());
+        assert_eq!(
+            idx.apply_patch(&patch, usize::MAX),
+            PatchOutcome::Applied {
+                vertices_touched: 0
+            }
+        );
+        assert_identical_to_fresh(&idx);
+    }
+
+    #[test]
+    fn noop_assignments_touch_nothing() {
+        let mut idx = path_index(5);
+        let mut patch = TreePatch::new();
+        patch.assign(3, 2); // already its parent
+        assert_eq!(
+            idx.apply_patch(&patch, usize::MAX),
+            PatchOutcome::Applied {
+                vertices_touched: 0
+            }
+        );
+    }
+
+    #[test]
+    fn leaf_rehang_touches_only_the_enclosing_subtree() {
+        //      0
+        //     / \
+        //    1   4
+        //   / \
+        //  2   3
+        let mut t = RootedTree::new(5, 0);
+        for (c, p) in [(1, 0), (4, 0), (2, 1), (3, 1)] {
+            t.attach(c, p);
+        }
+        let mut idx = TreeIndex::build(&t);
+        // Move leaf 3 under 2: region is subtree(1), size 3.
+        let mut patch = TreePatch::new();
+        patch.assign(3, 2);
+        assert_eq!(
+            idx.apply_patch(&patch, usize::MAX),
+            PatchOutcome::Applied {
+                vertices_touched: 3
+            }
+        );
+        assert_eq!(idx.parent(3), Some(2));
+        assert_identical_to_fresh(&idx);
+    }
+
+    #[test]
+    fn path_reversal_patch_matches_fresh_build() {
+        // Reverse the lower half of a path below vertex 4 (a reroot of the
+        // subtree at 5 rerooted at 9, reattached under 4) — the classic
+        // engine output shape.
+        let n = 10;
+        let mut idx = path_index(n);
+        let mut patch = TreePatch::new();
+        // 9 hangs from 4; 8 from 9; ...; 5 from 6.
+        patch.assign(9, 4);
+        for v in (5..9).rev() {
+            patch.assign(v as Vertex, v as Vertex + 1);
+        }
+        let out = idx.apply_patch(&patch, usize::MAX);
+        assert!(matches!(out, PatchOutcome::Applied { .. }), "{out:?}");
+        assert_identical_to_fresh(&idx);
+    }
+
+    #[test]
+    fn membership_changes_are_unsupported() {
+        let mut idx = path_index(6);
+        let mut patch = TreePatch::new();
+        patch.record_removed(3);
+        assert_eq!(
+            idx.apply_patch(&patch, usize::MAX),
+            PatchOutcome::Unsupported("membership change")
+        );
+        let mut patch = TreePatch::new();
+        patch.record_added(7);
+        assert!(matches!(
+            idx.apply_patch(&patch, usize::MAX),
+            PatchOutcome::Unsupported(_)
+        ));
+        assert_identical_to_fresh(&idx); // untouched
+    }
+
+    #[test]
+    fn oversized_regions_are_refused() {
+        let mut idx = path_index(16);
+        let mut patch = TreePatch::new();
+        patch.assign(15, 1); // region = subtree(1) = 15 vertices
+        assert_eq!(
+            idx.apply_patch(&patch, 4),
+            PatchOutcome::RegionTooLarge {
+                region: 15,
+                limit: 4
+            }
+        );
+        assert_identical_to_fresh(&idx); // untouched
+    }
+
+    #[test]
+    fn cycle_creating_patch_is_rejected_without_damage() {
+        let mut idx = path_index(6);
+        let snapshot = idx.clone();
+        let mut patch = TreePatch::new();
+        patch.assign(2, 4); // 2 under 4 while 4 still descends from 2: cycle
+        assert_eq!(
+            idx.apply_patch(&patch, usize::MAX),
+            PatchOutcome::Unsupported("patch does not preserve the region")
+        );
+        // Index must be byte-identical to before the attempt.
+        assert_eq!(idx.pre_order_vertices(), snapshot.pre_order_vertices());
+        for v in 0..6 {
+            assert_eq!(idx.parent(v), snapshot.parent(v));
+        }
+    }
+
+    #[test]
+    fn unknown_vertices_are_unsupported() {
+        let mut idx = path_index(4);
+        let mut patch = TreePatch::new();
+        patch.assign(17, 0);
+        assert!(matches!(
+            idx.apply_patch(&patch, usize::MAX),
+            PatchOutcome::Unsupported(_)
+        ));
+    }
+
+    #[test]
+    fn last_assignment_wins() {
+        let mut t = RootedTree::new(4, 0);
+        for (c, p) in [(1, 0), (2, 0), (3, 1)] {
+            t.attach(c, p);
+        }
+        let mut idx = TreeIndex::build(&t);
+        let mut patch = TreePatch::new();
+        patch.assign(3, 2);
+        patch.assign(3, 0); // overrides
+        assert!(matches!(
+            idx.apply_patch(&patch, usize::MAX),
+            PatchOutcome::Applied { .. }
+        ));
+        assert_eq!(idx.parent(3), Some(0));
+        assert_identical_to_fresh(&idx);
+    }
+
+    #[test]
+    fn depth_growth_extends_the_lifting_table() {
+        // A star re-chained into a path quadruples the depth; the patched
+        // binary-lifting table must grow rows accordingly.
+        let n = 34;
+        let mut t = RootedTree::new(n, 0);
+        for v in 1..n as Vertex {
+            t.attach(v, 0);
+        }
+        let mut idx = TreeIndex::build(&t);
+        let mut patch = TreePatch::new();
+        for v in 2..n as Vertex {
+            patch.assign(v, v - 1);
+        }
+        assert!(matches!(
+            idx.apply_patch(&patch, usize::MAX),
+            PatchOutcome::Applied { .. }
+        ));
+        assert_identical_to_fresh(&idx);
+        assert_eq!(idx.level(n as Vertex - 1), n as u32 - 1);
+    }
+
+    #[test]
+    fn root_adjacent_reroot_keeps_lca_level_ancestor_and_orders() {
+        // Move a whole root-child subtree under another root child — the
+        // region is the entire tree below the root, the hardest splice that
+        // is still membership-preserving.
+        //        0
+        //      / | \
+        //     1  4  7
+        //    /|  |  |
+        //   2 3  5  8
+        //        |
+        //        6
+        let mut t = RootedTree::new(9, 0);
+        for (c, p) in [
+            (1, 0),
+            (4, 0),
+            (7, 0),
+            (2, 1),
+            (3, 1),
+            (5, 4),
+            (6, 5),
+            (8, 7),
+        ] {
+            t.attach(c, p);
+        }
+        let mut idx = TreeIndex::build(&t);
+        let mut patch = TreePatch::new();
+        patch.assign(4, 3); // subtree {4,5,6} re-hangs below leaf 3
+        assert!(matches!(
+            idx.apply_patch(&patch, usize::MAX),
+            PatchOutcome::Applied { .. }
+        ));
+        assert_identical_to_fresh(&idx);
+        assert_eq!(idx.lca(6, 2), 1);
+        assert_eq!(idx.lca(6, 8), 0);
+        assert_eq!(idx.ancestor_at_level(6, 1), 1);
+        assert_eq!(idx.level(6), 5);
+        // And a second, root-adjacent move straight back up.
+        let mut patch = TreePatch::new();
+        patch.assign(4, 0);
+        assert!(matches!(
+            idx.apply_patch(&patch, usize::MAX),
+            PatchOutcome::Applied { .. }
+        ));
+        assert_identical_to_fresh(&idx);
+    }
+
+    #[test]
+    fn patching_star_and_hole_shapes_matches_fresh_builds() {
+        // Star: leaf-to-leaf moves (singleton regions never exist — the
+        // region spans both endpoints' subtrees under the centre).
+        let n = 20;
+        let mut parent = vec![0u32; n];
+        parent[0] = 0;
+        let mut idx = TreeIndex::from_parent_slice(&parent, 0);
+        let mut patch = TreePatch::new();
+        patch.assign(7, 3);
+        patch.assign(12, 7);
+        assert!(matches!(
+            idx.apply_patch(&patch, usize::MAX),
+            PatchOutcome::Applied { .. }
+        ));
+        assert_identical_to_fresh(&idx);
+
+        // Forest with NO_VERTEX holes: patch must leave holes untouched.
+        let mut parent = vec![NO_VERTEX; 12];
+        parent[0] = 0;
+        for (c, p) in [(2u32, 0u32), (3, 2), (7, 2), (9, 7)] {
+            parent[c as usize] = p;
+        }
+        let mut idx = TreeIndex::from_parent_slice(&parent, 0);
+        let mut patch = TreePatch::new();
+        patch.assign(9, 3);
+        assert!(matches!(
+            idx.apply_patch(&patch, usize::MAX),
+            PatchOutcome::Applied { .. }
+        ));
+        assert_identical_to_fresh(&idx);
+        assert!(!idx.contains(5));
+    }
+
+    #[test]
+    fn random_subtree_moves_stay_identical_to_fresh_builds() {
+        // Fuzz: repeatedly move a random subtree under a random vertex
+        // outside it (a valid single-subtree reroot-at-own-root), patch, and
+        // compare against a fresh build each time.
+        let mut rng = ChaCha8Rng::seed_from_u64(2026);
+        for trial in 0..20 {
+            let n = rng.gen_range(8..80);
+            let mut parent = vec![NO_VERTEX; n];
+            parent[0] = 0;
+            for v in 1..n as Vertex {
+                parent[v as usize] = rng.gen_range(0..v);
+            }
+            let mut idx = TreeIndex::from_parent_slice(&parent, 0);
+            for step in 0..12 {
+                let c = rng.gen_range(1..n as Vertex);
+                let mut p = rng.gen_range(0..n as Vertex);
+                let mut guard = 0;
+                while idx.is_ancestor(c, p) {
+                    p = rng.gen_range(0..n as Vertex);
+                    guard += 1;
+                    if guard > 200 {
+                        break;
+                    }
+                }
+                if idx.is_ancestor(c, p) {
+                    continue;
+                }
+                let mut patch = TreePatch::new();
+                patch.assign(c, p);
+                let out = idx.apply_patch(&patch, usize::MAX);
+                assert!(
+                    matches!(out, PatchOutcome::Applied { .. }),
+                    "trial {trial} step {step}: {out:?}"
+                );
+                assert_identical_to_fresh(&idx);
+            }
+        }
+    }
+}

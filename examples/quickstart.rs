@@ -58,5 +58,19 @@ fn main() {
         dfs.num_edges(),
         dfs.forest_roots().len()
     );
+
+    // The index-maintenance census: how many updates were absorbed by
+    // splicing a TreePatch into the tree index versus rebuilding it (vertex
+    // churn always rebuilds; oversized regions fall back per the policy).
+    let idx = *dfs.stats().index_maintenance();
+    println!(
+        "tree index: {} patches spliced ({} vertices touched), {} full rebuilds \
+         ({} of them fallbacks) — {:.0}% of updates delta-patched",
+        idx.patches_applied,
+        idx.vertices_touched,
+        idx.full_rebuilds,
+        idx.fallback_rebuilds,
+        idx.patch_rate() * 100.0,
+    );
     println!("every update was absorbed without recomputing the DFS tree from scratch.");
 }

@@ -5,7 +5,7 @@
 //! factory lives here; the trait it hands out ([`DfsMaintainer`]) lives in
 //! `pardfs-api` and is implemented by each backend crate.
 
-use pardfs_api::{BatchReport, DfsMaintainer, RebuildPolicy, StatsReport};
+use pardfs_api::{BatchReport, DfsMaintainer, IndexPolicy, RebuildPolicy, StatsReport};
 use pardfs_congest::DistributedDynamicDfs;
 use pardfs_core::{DynamicDfs, FaultTolerantDfs, Strategy};
 use pardfs_graph::{Graph, Update, Vertex};
@@ -86,17 +86,20 @@ pub struct MaintainerBuilder {
     strategy: Strategy,
     check_mode: CheckMode,
     rebuild_policy: RebuildPolicy,
+    index_policy: IndexPolicy,
 }
 
 impl MaintainerBuilder {
     /// Start a builder for the given backend with the phased strategy, no
-    /// automatic checking and the default amortized rebuild policy.
+    /// automatic checking, the default amortized rebuild policy and the
+    /// default (patched) index-maintenance policy.
     pub fn new(backend: Backend) -> Self {
         MaintainerBuilder {
             backend,
             strategy: Strategy::Phased,
             check_mode: CheckMode::Never,
             rebuild_policy: RebuildPolicy::default(),
+            index_policy: IndexPolicy::default(),
         }
     }
 
@@ -116,6 +119,15 @@ impl MaintainerBuilder {
         self
     }
 
+    /// Select when the tree index is delta-patched with the update's
+    /// `TreePatch` versus rebuilt from the parent array. Consulted by
+    /// **every** backend — index maintenance is model-independent local
+    /// state.
+    pub fn index_policy(mut self, index_policy: IndexPolicy) -> Self {
+        self.index_policy = index_policy;
+        self
+    }
+
     /// Select the automatic-validation mode.
     pub fn check_mode(mut self, check_mode: CheckMode) -> Self {
         self.check_mode = check_mode;
@@ -130,23 +142,32 @@ impl MaintainerBuilder {
     /// Construct the maintainer over `user_graph`.
     pub fn build(&self, user_graph: &Graph) -> Box<dyn DfsMaintainer> {
         let inner: Box<dyn DfsMaintainer> = match self.backend {
-            Backend::Parallel => Box::new(DynamicDfs::with_config(
-                user_graph,
-                self.strategy,
-                self.rebuild_policy,
-            )),
-            Backend::Sequential => Box::new(SeqRerootDfs::new(user_graph)),
-            Backend::Streaming => Box::new(StreamingDynamicDfs::with_strategy(
-                user_graph,
-                self.strategy,
-            )),
-            Backend::Congest { bandwidth } => Box::new(DistributedDynamicDfs::with_strategy(
-                user_graph,
-                bandwidth,
-                self.strategy,
-            )),
+            Backend::Parallel => {
+                let mut dfs =
+                    DynamicDfs::with_config(user_graph, self.strategy, self.rebuild_policy);
+                dfs.set_index_policy(self.index_policy);
+                Box::new(dfs)
+            }
+            Backend::Sequential => {
+                let mut dfs = SeqRerootDfs::new(user_graph);
+                dfs.set_index_policy(self.index_policy);
+                Box::new(dfs)
+            }
+            Backend::Streaming => {
+                let mut dfs = StreamingDynamicDfs::with_strategy(user_graph, self.strategy);
+                dfs.set_index_policy(self.index_policy);
+                Box::new(dfs)
+            }
+            Backend::Congest { bandwidth } => {
+                let mut dfs =
+                    DistributedDynamicDfs::with_strategy(user_graph, bandwidth, self.strategy);
+                dfs.set_index_policy(self.index_policy);
+                Box::new(dfs)
+            }
             Backend::FaultTolerant => {
-                Box::new(FaultTolerantDfs::with_strategy(user_graph, self.strategy))
+                let mut dfs = FaultTolerantDfs::with_strategy(user_graph, self.strategy);
+                dfs.set_index_policy(self.index_policy);
+                Box::new(dfs)
             }
         };
         match self.check_mode {
@@ -321,6 +342,49 @@ mod tests {
     }
 
     #[test]
+    fn index_policy_reaches_every_backend() {
+        let g = generators::grid(5, 5);
+        let updates = [
+            Update::DeleteEdge(0, 1),
+            Update::InsertEdge(0, 24),
+            Update::DeleteEdge(12, 13),
+            Update::InsertEdge(3, 21),
+        ];
+        for backend in Backend::all_default() {
+            // PatchAlways: every edge update must go through the splice.
+            let mut patched = MaintainerBuilder::new(backend)
+                .index_policy(IndexPolicy::PatchAlways)
+                .check_mode(CheckMode::EveryUpdate)
+                .build(&g);
+            // EveryUpdate: the splice must never run.
+            let mut rebuilt = MaintainerBuilder::new(backend)
+                .index_policy(IndexPolicy::EveryUpdate)
+                .check_mode(CheckMode::EveryUpdate)
+                .build(&g);
+            for u in &updates {
+                patched.apply_update(u);
+                rebuilt.apply_update(u);
+            }
+            let p = *patched.stats().index_maintenance();
+            let r = *rebuilt.stats().index_maintenance();
+            assert_eq!(
+                p.patches_applied,
+                updates.len() as u64,
+                "{}: every edge update splices under PatchAlways",
+                patched.backend_name()
+            );
+            assert_eq!(p.full_rebuilds, 0, "{}", patched.backend_name());
+            assert_eq!(r.patches_applied, 0, "{}", rebuilt.backend_name());
+            assert_eq!(
+                r.full_rebuilds,
+                updates.len() as u64,
+                "{}",
+                rebuilt.backend_name()
+            );
+        }
+    }
+
+    #[test]
     #[should_panic(expected = "invalid DFS tree")]
     fn checked_mode_panics_on_corruption() {
         // A maintainer whose check always fails.
@@ -357,6 +421,7 @@ mod tests {
                 StatsReport::Parallel {
                     engine: Default::default(),
                     rebuild: Default::default(),
+                    index: Default::default(),
                 }
             }
         }

@@ -69,7 +69,10 @@ pub use pardfs_stream as stream;
 pub use pardfs_tree as tree;
 
 pub use builder::{Backend, CheckMode, MaintainerBuilder};
-pub use pardfs_api::{BatchReport, DfsMaintainer, RebuildPolicy, RebuildPolicyStats, StatsReport};
+pub use pardfs_api::{
+    BatchReport, DfsMaintainer, IndexMaintenanceStats, IndexPolicy, RebuildPolicy,
+    RebuildPolicyStats, StatsReport,
+};
 pub use pardfs_congest::DistributedDynamicDfs;
 pub use pardfs_core::{DynamicDfs, FaultTolerantDfs, Strategy};
 pub use pardfs_graph::{Graph, Update, Vertex};

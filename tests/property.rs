@@ -15,9 +15,10 @@ use pardfs::graph::{generators, Graph, Update, Vertex};
 use pardfs::query::{EdgeHit, QueryOracle, StructureD, VertexQuery};
 use pardfs::seq::augment::AugmentedGraph;
 use pardfs::seq::static_dfs::static_dfs;
-use pardfs::tree::TreeIndex;
+use pardfs::tree::{TreeIndex, NO_VERTEX};
 use pardfs::{
-    DfsMaintainer, DynamicDfs, FaultTolerantDfs, RebuildPolicy, Strategy, StreamingDynamicDfs,
+    Backend, DfsMaintainer, DynamicDfs, FaultTolerantDfs, IndexPolicy, MaintainerBuilder,
+    RebuildPolicy, Strategy, StreamingDynamicDfs,
 };
 use proptest::prelude::*;
 use rand::{Rng, SeedableRng};
@@ -298,8 +299,98 @@ fn differential_fresh_rebuild_run(seed: u64, n: usize, extra_edges: usize, steps
     }
 }
 
+/// Assert that a (possibly delta-patched) `TreeIndex` answers every
+/// parent / LCA / level-ancestor / pre-post / size / children query
+/// identically to a fresh `from_parent_slice` build on the same parent
+/// array — same raw numbers, not merely isomorphic answers.
+fn assert_index_matches_fresh_build(idx: &TreeIndex, ctx: &str) {
+    let mut parent = vec![NO_VERTEX; idx.capacity()];
+    for &v in idx.pre_order_vertices() {
+        parent[v as usize] = idx.parent(v).unwrap_or(v);
+    }
+    let fresh = TreeIndex::from_parent_slice(&parent, idx.root());
+    assert_eq!(idx.num_vertices(), fresh.num_vertices(), "{ctx}: n");
+    assert_eq!(
+        idx.pre_order_vertices(),
+        fresh.pre_order_vertices(),
+        "{ctx}: pre-order sequence"
+    );
+    assert_eq!(
+        idx.post_order_vertices(),
+        fresh.post_order_vertices(),
+        "{ctx}: post-order sequence"
+    );
+    for v in 0..idx.capacity() as Vertex {
+        assert_eq!(idx.contains(v), fresh.contains(v), "{ctx}: contains({v})");
+        if !idx.contains(v) {
+            continue;
+        }
+        assert_eq!(idx.pre(v), fresh.pre(v), "{ctx}: pre({v})");
+        assert_eq!(idx.post(v), fresh.post(v), "{ctx}: post({v})");
+        assert_eq!(idx.level(v), fresh.level(v), "{ctx}: level({v})");
+        assert_eq!(idx.size(v), fresh.size(v), "{ctx}: size({v})");
+        assert_eq!(idx.parent(v), fresh.parent(v), "{ctx}: parent({v})");
+        assert_eq!(idx.children(v), fresh.children(v), "{ctx}: children({v})");
+    }
+    let verts = fresh.pre_order_vertices();
+    for (i, &u) in verts.iter().enumerate().step_by(3) {
+        for &v in verts.iter().skip(i % 2).step_by(2) {
+            assert_eq!(idx.lca(u, v), fresh.lca(u, v), "{ctx}: lca({u},{v})");
+        }
+        for l in 0..=fresh.level(u) {
+            assert_eq!(
+                idx.ancestor_at_level(u, l),
+                fresh.ancestor_at_level(u, l),
+                "{ctx}: ancestor_at_level({u},{l})"
+            );
+        }
+    }
+}
+
+/// Drive one backend through a mixed update sequence (vertex churn included)
+/// and check the maintained — delta-patched — index against a fresh build
+/// after every update.
+fn patched_index_differential_run(
+    backend: Backend,
+    policy: IndexPolicy,
+    g: &Graph,
+    updates: &[Update],
+) {
+    let mut dfs = MaintainerBuilder::new(backend)
+        .index_policy(policy)
+        .build(g);
+    for (i, u) in updates.iter().enumerate() {
+        dfs.apply_update(u);
+        let ctx = format!(
+            "{} under {policy:?}, update {i} ({u:?})",
+            dfs.backend_name()
+        );
+        assert_index_matches_fresh_build(dfs.tree(), &ctx);
+        dfs.check().unwrap_or_else(|e| panic!("{ctx}: {e}"));
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    #[test]
+    fn patched_index_is_identical_to_fresh_builds_on_every_backend(
+        seed in any::<u64>(),
+        n in 5usize..28,
+        extra in 0usize..40,
+    ) {
+        // The acceptance property of the delta-patched indexing layer:
+        // after arbitrary insert/delete interleavings (vertex churn
+        // included — those updates exercise the fallback), the patched
+        // TreeIndex answers every parent/LCA/level-ancestor/pre-post query
+        // identically to a fresh `from_parent_slice` build, for all five
+        // backends, under both the always-splice and the thresholded policy.
+        let (g, updates) = graph_and_updates(seed, n, extra, 10);
+        for backend in Backend::all_default() {
+            patched_index_differential_run(backend, IndexPolicy::PatchAlways, &g, &updates);
+            patched_index_differential_run(backend, IndexPolicy::default(), &g, &updates);
+        }
+    }
 
     #[test]
     fn dynamic_dfs_is_always_a_dfs_tree(
@@ -474,6 +565,33 @@ fn stress_differential_fresh_rebuild_deep() {
             (trial as usize * 11) % 96,
             60,
         );
+    }
+}
+
+#[test]
+#[ignore = "stress target: run with `--ignored` (CI property-stress job)"]
+fn stress_patched_index_differential_deep() {
+    for trial in 0..12u64 {
+        let seed = trial.wrapping_mul(0xA076_1D64_78BD_642F);
+        let (g, updates) = graph_and_updates(
+            seed,
+            8 + (trial as usize * 5) % 40,
+            (trial as usize * 9) % 80,
+            25,
+        );
+        for backend in Backend::all_default() {
+            patched_index_differential_run(backend, IndexPolicy::PatchAlways, &g, &updates);
+        }
+    }
+}
+
+#[test]
+fn patched_index_differential_smoke() {
+    // A fixed case through every backend so a patch-path regression fails
+    // deterministically even without the proptest harness.
+    let (g, updates) = graph_and_updates(11, 18, 25, 12);
+    for backend in Backend::all_default() {
+        patched_index_differential_run(backend, IndexPolicy::PatchAlways, &g, &updates);
     }
 }
 
