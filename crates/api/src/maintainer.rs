@@ -16,7 +16,14 @@ use pardfs_tree::TreeIndex;
 /// The trait is object safe: the bench harness, examples and conformance
 /// tests drive every backend through `&mut dyn DfsMaintainer`, and the
 /// umbrella crate's `MaintainerBuilder` hands out `Box<dyn DfsMaintainer>`.
-pub trait DfsMaintainer {
+///
+/// `Send` is a supertrait so a boxed maintainer can be driven from inside
+/// `rayon::ThreadPool::install` (the executor is genuinely multi-threaded;
+/// the bench harness's thread-scaling sweep and the umbrella crate's
+/// `MaintainerBuilder::num_threads` pool decorator both move maintainers
+/// onto worker threads). Every backend is plain owned data plus atomics, so
+/// the bound costs implementors nothing.
+pub trait DfsMaintainer: Send {
     /// Short, stable backend name ("parallel", "sequential", "streaming",
     /// "congest", "fault-tolerant"), used in reports and test labels.
     fn backend_name(&self) -> &'static str;

@@ -26,7 +26,7 @@ pub enum StatsReport {
         /// What the index-maintenance policy has done so far.
         index: IndexMaintenanceStats,
     },
-    /// Sequential baseline maintainer (reference [6] of the paper).
+    /// Sequential baseline maintainer (reference \[6\] of the paper).
     Sequential {
         /// Engine statistics of the update.
         engine: SeqUpdateStats,

@@ -1,0 +1,121 @@
+//! CI bench-regression gate: diff freshly generated `BENCH_E*.json` files
+//! against the baselines committed at the repository root.
+//!
+//! ```text
+//! bench_gate --baseline <dir> --fresh <dir> [E2 E10 E11 ...]
+//! ```
+//!
+//! With no explicit ids, every **git-tracked** `BENCH_E*.json` in the
+//! baseline directory is gated — so committing a new baseline automatically
+//! extends the gate, while stray untracked records (the experiments binary
+//! writes into the current directory by default) cannot turn into phantom
+//! baselines on a developer's dirty checkout. Outside a git checkout the
+//! discovery falls back to the raw directory listing. The structural
+//! comparison (files present, records parse, configuration sets match)
+//! fails the process with exit code 1; timing drift is printed as advisory
+//! notes only. See `pardfs_bench::gate` for the exact contract.
+
+use pardfs_bench::gate::{gate_files, render_report};
+use std::path::PathBuf;
+
+fn main() {
+    let mut baseline_dir = PathBuf::from(".");
+    let mut fresh_dir: Option<PathBuf> = None;
+    let mut ids: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--baseline" => match args.next() {
+                Some(dir) => baseline_dir = PathBuf::from(dir),
+                None => usage_error("--baseline requires a directory argument"),
+            },
+            "--fresh" => match args.next() {
+                Some(dir) => fresh_dir = Some(PathBuf::from(dir)),
+                None => usage_error("--fresh requires a directory argument"),
+            },
+            flag if flag.starts_with("--") => {
+                usage_error(&format!("unknown flag {flag}"));
+            }
+            id => ids.push(id.to_uppercase()),
+        }
+    }
+    let Some(fresh_dir) = fresh_dir else {
+        usage_error("--fresh <dir> is required");
+    };
+
+    if ids.is_empty() {
+        // Gate everything the repository has a *committed* baseline for:
+        // prefer `git ls-files` so stray untracked BENCH_E*.json records in
+        // a dirty working tree are not mistaken for baselines.
+        let names: Vec<String> = match git_tracked_bench_files(&baseline_dir) {
+            Some(tracked) => tracked,
+            None => {
+                let entries = std::fs::read_dir(&baseline_dir).unwrap_or_else(|e| {
+                    usage_error(&format!(
+                        "cannot list baseline dir {}: {e}",
+                        baseline_dir.display()
+                    ))
+                });
+                entries
+                    .flatten()
+                    .map(|entry| entry.file_name().to_string_lossy().into_owned())
+                    .collect()
+            }
+        };
+        for name in names {
+            if let Some(id) = name
+                .strip_prefix("BENCH_")
+                .and_then(|rest| rest.strip_suffix(".json"))
+            {
+                ids.push(id.to_string());
+            }
+        }
+        ids.sort();
+    }
+    if ids.is_empty() {
+        usage_error("no experiment ids given and no BENCH_E*.json baselines found");
+    }
+
+    let mut failed = false;
+    for id in &ids {
+        let file = format!("BENCH_{id}.json");
+        let report = gate_files(id, &baseline_dir.join(&file), &fresh_dir.join(&file));
+        print!(
+            "{id}: {}\n{}",
+            if report.passed() { "ok" } else { "FAILED" },
+            render_report(&report)
+        );
+        failed |= !report.passed();
+    }
+    if failed {
+        eprintln!("bench gate failed: the measured-pipeline structure changed (see FAIL lines)");
+        std::process::exit(1);
+    }
+}
+
+fn usage_error(message: &str) -> ! {
+    eprintln!("{message}");
+    eprintln!("usage: bench_gate --baseline <dir> --fresh <dir> [E2 E10 E11 ...]");
+    std::process::exit(2);
+}
+
+/// The git-tracked top-level `BENCH_E*.json` files of `dir`, or `None` when
+/// `dir` is not inside a git checkout (or `git` is unavailable).
+fn git_tracked_bench_files(dir: &std::path::Path) -> Option<Vec<String>> {
+    let output = std::process::Command::new("git")
+        .arg("-C")
+        .arg(dir)
+        .args(["ls-files", "--cached", "--", "BENCH_E*.json"])
+        .output()
+        .ok()?;
+    if !output.status.success() {
+        return None;
+    }
+    Some(
+        String::from_utf8_lossy(&output.stdout)
+            .lines()
+            .map(|line| line.trim().to_string())
+            .filter(|line| !line.is_empty())
+            .collect(),
+    )
+}

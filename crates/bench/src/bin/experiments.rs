@@ -6,12 +6,17 @@
 //! cargo run -p pardfs-bench --release --bin experiments -- all --full  # recorded scale
 //! cargo run -p pardfs-bench --release --bin experiments -- e10 e11 --tiny  # CI smoke
 //! cargo run -p pardfs-bench --release --bin experiments -- e3 e5       # selected tables
+//! cargo run -p pardfs-bench --release --bin experiments -- all --threads 4
 //! ```
 //!
-//! Experiments that carry [`pardfs_bench::BenchRecord`] rows (E1, E9, E10,
-//! E11) also emit `BENCH_<id>.json` into the current directory (override
-//! with `--json-dir <dir>`), so the perf trajectory is recorded as data, not
-//! just prose.
+//! Experiments that carry [`pardfs_bench::BenchRecord`] rows (E1, E2, E9,
+//! E10, E11) also emit `BENCH_<id>.json` into the current directory
+//! (override with `--json-dir <dir>`), so the perf trajectory is recorded as
+//! data, not just prose.
+//!
+//! `--threads N` sizes the global worker pool (equivalent to running with
+//! `PARDFS_THREADS=N`); E2 ignores it — that experiment sweeps its own
+//! explicit pools.
 
 use pardfs_bench::experiments as exp;
 use pardfs_bench::experiments::Scale;
@@ -36,8 +41,25 @@ fn main() {
                     std::process::exit(2);
                 }
             },
+            "--threads" => match args.next().and_then(|t| t.parse::<usize>().ok()) {
+                Some(threads) if threads >= 1 => {
+                    rayon::ThreadPoolBuilder::new()
+                        .num_threads(threads)
+                        .build_global()
+                        .unwrap_or_else(|e| {
+                            eprintln!("--threads: cannot size the global pool: {e}");
+                            std::process::exit(2);
+                        });
+                }
+                _ => {
+                    eprintln!("--threads requires a positive integer argument");
+                    std::process::exit(2);
+                }
+            },
             flag if flag.starts_with("--") => {
-                eprintln!("unknown flag {flag}; use --full, --tiny or --json-dir <dir>");
+                eprintln!(
+                    "unknown flag {flag}; use --full, --tiny, --threads <n> or --json-dir <dir>"
+                );
                 std::process::exit(2);
             }
             id => selected.push(id.to_lowercase()),

@@ -153,30 +153,62 @@ pub fn e1_update_time(scale: Scale) -> Table {
     t
 }
 
-/// E2 — wall-clock scalability of one update with the number of rayon threads.
+/// E2 — wall-clock scalability of one update with the number of executor
+/// worker threads. Since the work-stealing pool landed in `vendor/rayon`
+/// this is a *real* thread-scaling sweep: each row drives a fresh maintainer
+/// inside an explicit pool of that size via `ThreadPool::install`.
+///
+/// The host's available parallelism is recorded in the table title (and
+/// README) because it bounds what the curve can show: on a single-core CI
+/// container every thread count time-shares one core and the speedup column
+/// is structurally ~1.0×, while the cross-thread-count determinism suite
+/// still proves the pool really runs the work on N workers.
 pub fn e2_scalability(scale: Scale) -> Table {
     let n = match scale {
         Scale::Tiny => 256,
         Scale::Quick => 2048,
         Scale::Full => 16384,
     };
+    let host = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
     let mut t = Table::new(
-        format!("E2: per-update time (µs) vs worker threads (dense, n = {n})"),
+        format!(
+            "E2: per-update time (µs) vs worker threads (dense, n = {n}; \
+             host parallelism = {host})"
+        ),
         &["threads", "mean update µs", "speedup vs 1 thread"],
     );
+    t.id = "E2".into();
     let w = workload(Family::Dense, n, scale.updates(), 77);
+    let m = w.graph.num_edges();
     let mut base = None;
     for threads in [1usize, 2, 4, 8] {
         let pool = rayon::ThreadPoolBuilder::new()
             .num_threads(threads)
             .build()
             .expect("thread pool");
-        let mut dfs = MaintainerBuilder::new(Backend::Parallel).build(&w.graph);
-        let us = pool.install(|| drive(dfs.as_mut(), &w.updates).mean_micros());
+        // Best of two runs per thread count: one update sequence is short
+        // enough that scheduler noise otherwise hides the scaling signal.
+        let mut best = f64::INFINITY;
+        for _run in 0..2 {
+            let mut dfs = MaintainerBuilder::new(Backend::Parallel).build(&w.graph);
+            let us = pool.install(|| drive(dfs.as_mut(), &w.updates).mean_micros());
+            best = best.min(us);
+        }
+        let us = best;
         let speedup = base.map(|b: f64| b / us).unwrap_or(1.0);
         if base.is_none() {
             base = Some(us);
         }
+        t.records.push(BenchRecord {
+            n,
+            m,
+            backend: "parallel".into(),
+            policy: format!("threads={threads}"),
+            ns_per_update: us * 1e3,
+            index_ns_per_update: None,
+        });
         t.push_row(vec![
             threads.to_string(),
             format!("{us:.0}"),

@@ -1,0 +1,323 @@
+//! The bench-regression gate: compare freshly generated `BENCH_E*.json`
+//! records against the baselines committed at the repository root.
+//!
+//! CI runs the experiments at tiny scale on shared runners, where wall-clock
+//! numbers are meaningless — so the gate is deliberately two-tier:
+//!
+//! * **Structure is exact.** A fresh file must exist and parse for every
+//!   committed baseline, every record must be well-formed (positive sizes,
+//!   finite positive timings), and the *set of measured configurations* —
+//!   the `(backend, policy)` pairs — must match the baseline exactly. A
+//!   vanished policy row, a renamed label, or an empty/truncated JSON file
+//!   fails the PR: those are pipeline breakages, not noise.
+//! * **Timings are advisory.** Fresh-vs-baseline timing ratios are reported
+//!   per configuration but never fail the gate: the committed baselines are
+//!   full-scale runs, CI's are tiny-scale, and the machines differ.
+//!
+//! Record *multiplicity* per configuration is compared only as "at least
+//! one" rather than exactly, because the experiment scale changes how many
+//! sizes `n` each configuration is measured at (E11 measures 2 sizes at
+//! tiny scale, 4 at full scale); the configuration set itself is
+//! scale-invariant and is what the pipeline guarantees.
+//!
+//! The parser handles exactly the JSON the workspace's own
+//! [`Table::records_json`](crate::Table::records_json) writer emits (one
+//! record object per line); it is not a general JSON parser — there is no
+//! serde in this offline environment.
+
+use std::collections::BTreeSet;
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// One parsed record of a `BENCH_E*.json` file.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GateRecord {
+    /// Workload vertices.
+    pub n: usize,
+    /// Workload edges.
+    pub m: usize,
+    /// Backend label.
+    pub backend: String,
+    /// Policy/configuration label.
+    pub policy: String,
+    /// Mean wall-clock nanoseconds per update.
+    pub ns_per_update: f64,
+}
+
+/// Outcome of gating one experiment id.
+#[derive(Debug, Default)]
+pub struct GateReport {
+    /// Hard failures (structure/parse) — any entry fails the gate.
+    pub errors: Vec<String>,
+    /// Advisory notes (timing drift) — reported, never failing.
+    pub advisories: Vec<String>,
+}
+
+impl GateReport {
+    /// Did this experiment pass the structural gate?
+    pub fn passed(&self) -> bool {
+        self.errors.is_empty()
+    }
+}
+
+/// Pull the JSON value following `"key": ` out of a single-record line.
+fn field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let marker = format!("\"{key}\": ");
+    let start = line.find(&marker)? + marker.len();
+    let rest = &line[start..];
+    if let Some(stripped) = rest.strip_prefix('"') {
+        // String value: scan to the closing unescaped quote.
+        let mut escaped = false;
+        for (i, c) in stripped.char_indices() {
+            match c {
+                '\\' if !escaped => escaped = true,
+                '"' if !escaped => return Some(&stripped[..i]),
+                _ => escaped = false,
+            }
+        }
+        None
+    } else {
+        // Numeric value: up to the next delimiter.
+        let end = rest.find([',', '}']).unwrap_or(rest.len());
+        Some(rest[..end].trim())
+    }
+}
+
+/// Parse the record stream `Table::records_json` emits. Returns an error
+/// message naming the offending line for anything malformed.
+pub fn parse_records(json: &str) -> Result<Vec<GateRecord>, String> {
+    let trimmed = json.trim();
+    if !trimmed.starts_with('[') || !trimmed.ends_with(']') {
+        return Err("not a JSON array (missing [ ... ] delimiters)".into());
+    }
+    let mut out = Vec::new();
+    for (lineno, line) in json.lines().enumerate() {
+        let line = line.trim().trim_end_matches(',');
+        if !line.starts_with('{') {
+            continue;
+        }
+        let record = (|| -> Option<GateRecord> {
+            Some(GateRecord {
+                n: field(line, "n")?.parse().ok()?,
+                m: field(line, "m")?.parse().ok()?,
+                backend: field(line, "backend")?.to_string(),
+                policy: field(line, "policy")?.to_string(),
+                ns_per_update: field(line, "ns_per_update")?.parse().ok()?,
+            })
+        })();
+        match record {
+            Some(r) => out.push(r),
+            None => return Err(format!("malformed record on line {}", lineno + 1)),
+        }
+    }
+    if out.is_empty() {
+        return Err("no records found".into());
+    }
+    Ok(out)
+}
+
+/// The scale-invariant structure of a record set: its configuration pairs.
+fn configurations(records: &[GateRecord]) -> BTreeSet<(String, String)> {
+    records
+        .iter()
+        .map(|r| (r.backend.clone(), r.policy.clone()))
+        .collect()
+}
+
+fn mean_ns(records: &[GateRecord], config: &(String, String)) -> f64 {
+    let matching: Vec<f64> = records
+        .iter()
+        .filter(|r| (&r.backend, &r.policy) == (&config.0, &config.1))
+        .map(|r| r.ns_per_update)
+        .collect();
+    matching.iter().sum::<f64>() / matching.len().max(1) as f64
+}
+
+/// Gate fresh records against baseline records (see the module docs for
+/// what is exact and what is advisory).
+pub fn compare(id: &str, baseline: &[GateRecord], fresh: &[GateRecord]) -> GateReport {
+    let mut report = GateReport::default();
+    for (i, r) in fresh.iter().enumerate() {
+        if r.n == 0 || r.m == 0 {
+            report
+                .errors
+                .push(format!("{id}: fresh record {i} has an empty workload"));
+        }
+        if !(r.ns_per_update.is_finite() && r.ns_per_update > 0.0) {
+            report.errors.push(format!(
+                "{id}: fresh record {i} ({}/{}) has a non-positive timing",
+                r.backend, r.policy
+            ));
+        }
+    }
+    let base_configs = configurations(baseline);
+    let fresh_configs = configurations(fresh);
+    for missing in base_configs.difference(&fresh_configs) {
+        report.errors.push(format!(
+            "{id}: configuration {}/{} present in the baseline but missing from the fresh run",
+            missing.0, missing.1
+        ));
+    }
+    for extra in fresh_configs.difference(&base_configs) {
+        report.errors.push(format!(
+            "{id}: configuration {}/{} measured fresh but absent from the committed baseline \
+             (regenerate and commit BENCH_{id}.json)",
+            extra.0, extra.1
+        ));
+    }
+    for config in base_configs.intersection(&fresh_configs) {
+        let base = mean_ns(baseline, config);
+        let new = mean_ns(fresh, config);
+        if base > 0.0 && new > 0.0 {
+            report.advisories.push(format!(
+                "{id}: {}/{} mean {:.0} ns vs baseline {:.0} ns ({:.2}x; advisory — scales \
+                 and machines differ)",
+                config.0,
+                config.1,
+                new,
+                base,
+                new / base
+            ));
+        }
+    }
+    report
+}
+
+/// Gate one experiment id from files on disk.
+pub fn gate_files(id: &str, baseline_path: &Path, fresh_path: &Path) -> GateReport {
+    let mut report = GateReport::default();
+    let read = |path: &Path, role: &str, errors: &mut Vec<String>| -> Option<Vec<GateRecord>> {
+        match std::fs::read_to_string(path) {
+            Err(e) => {
+                errors.push(format!("{id}: cannot read {role} {}: {e}", path.display()));
+                None
+            }
+            Ok(text) => match parse_records(&text) {
+                Ok(records) => Some(records),
+                Err(e) => {
+                    errors.push(format!("{id}: {role} {} is malformed: {e}", path.display()));
+                    None
+                }
+            },
+        }
+    };
+    let baseline = read(baseline_path, "baseline", &mut report.errors);
+    let fresh = read(fresh_path, "fresh run", &mut report.errors);
+    if let (Some(baseline), Some(fresh)) = (baseline, fresh) {
+        let compared = compare(id, &baseline, &fresh);
+        report.errors.extend(compared.errors);
+        report.advisories.extend(compared.advisories);
+    }
+    report
+}
+
+/// Render a report for terminal output.
+pub fn render_report(report: &GateReport) -> String {
+    let mut out = String::new();
+    for advisory in &report.advisories {
+        let _ = writeln!(out, "  note: {advisory}");
+    }
+    for error in &report.errors {
+        let _ = writeln!(out, "  FAIL: {error}");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::{BenchRecord, Table};
+
+    fn table_json(policies: &[&str]) -> String {
+        let mut t = Table::new("demo", &["a"]);
+        t.id = "E99".into();
+        for (i, p) in policies.iter().enumerate() {
+            t.records.push(BenchRecord {
+                n: 64 * (i + 1),
+                m: 256,
+                backend: "parallel".into(),
+                policy: (*p).into(),
+                ns_per_update: 1000.0 * (i + 1) as f64,
+                index_ns_per_update: if i % 2 == 0 { Some(10.0) } else { None },
+            });
+        }
+        t.records_json().unwrap()
+    }
+
+    #[test]
+    fn parses_the_writers_output_round_trip() {
+        let json = table_json(&["alpha", "with \"quotes\""]);
+        let records = parse_records(&json).unwrap();
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[0].n, 64);
+        assert_eq!(records[0].policy, "alpha");
+        assert_eq!(records[0].ns_per_update, 1000.0);
+        // Escaped quotes survive as the writer's escaped form — equality of
+        // labels is what the gate compares, and both sides use one writer.
+        assert!(records[1].policy.contains("quotes"));
+    }
+
+    #[test]
+    fn identical_structure_passes_with_advisories_only() {
+        let json = table_json(&["alpha", "beta"]);
+        let records = parse_records(&json).unwrap();
+        let report = compare("E99", &records, &records);
+        assert!(report.passed(), "{:?}", report.errors);
+        assert_eq!(report.advisories.len(), 2);
+    }
+
+    #[test]
+    fn different_record_counts_per_config_still_pass() {
+        // Tiny scale measures fewer sizes per configuration than full scale.
+        let baseline = parse_records(&table_json(&["alpha", "alpha", "beta"])).unwrap();
+        let fresh = parse_records(&table_json(&["alpha", "beta"])).unwrap();
+        assert!(compare("E99", &baseline, &fresh).passed());
+    }
+
+    #[test]
+    fn missing_configuration_fails() {
+        let baseline = parse_records(&table_json(&["alpha", "beta"])).unwrap();
+        let fresh = parse_records(&table_json(&["alpha"])).unwrap();
+        let report = compare("E99", &baseline, &fresh);
+        assert!(!report.passed());
+        assert!(report.errors[0].contains("missing from the fresh run"));
+    }
+
+    #[test]
+    fn extra_configuration_fails_and_names_the_fix() {
+        let baseline = parse_records(&table_json(&["alpha"])).unwrap();
+        let fresh = parse_records(&table_json(&["alpha", "gamma"])).unwrap();
+        let report = compare("E99", &baseline, &fresh);
+        assert!(!report.passed());
+        assert!(report.errors[0].contains("regenerate and commit"));
+    }
+
+    #[test]
+    fn malformed_inputs_are_rejected() {
+        assert!(parse_records("").is_err());
+        assert!(parse_records("[\n]\n").is_err());
+        assert!(parse_records("[\n  {\"n\": 1, \"m\": 2},\n]\n").is_err());
+        assert!(parse_records("not json at all").is_err());
+    }
+
+    #[test]
+    fn nonsense_timings_fail_the_fresh_side() {
+        let mut records = parse_records(&table_json(&["alpha"])).unwrap();
+        let baseline = records.clone();
+        records[0].ns_per_update = 0.0;
+        let report = compare("E99", &baseline, &records);
+        assert!(!report.passed());
+        assert!(report.errors[0].contains("non-positive timing"));
+    }
+
+    #[test]
+    fn gate_files_reports_missing_files() {
+        let report = gate_files(
+            "E98",
+            Path::new("/nonexistent/BENCH_E98.json"),
+            Path::new("/nonexistent/fresh/BENCH_E98.json"),
+        );
+        assert!(!report.passed());
+        assert_eq!(report.errors.len(), 2);
+    }
+}

@@ -12,9 +12,11 @@
 
 pub mod driver;
 pub mod experiments;
+pub mod gate;
 pub mod table;
 pub mod workloads;
 
 pub use driver::{drive, DriveSummary};
 pub use experiments::*;
+pub use gate::{GateRecord, GateReport};
 pub use table::{BenchRecord, Table};

@@ -773,7 +773,11 @@ mod tests {
             &mut ft,
             &[Update::DeleteEdge(0, 1), Update::DeleteEdge(5, 6)],
         );
-        let censuses: Vec<_> = r.per_update.iter().map(|s| *s.index_maintenance()).collect();
+        let censuses: Vec<_> = r
+            .per_update
+            .iter()
+            .map(|s| *s.index_maintenance())
+            .collect();
         assert_eq!(censuses.len(), 2);
         assert_eq!(censuses[0].patches_applied + censuses[0].full_rebuilds, 1);
         assert_eq!(censuses[1].patches_applied + censuses[1].full_rebuilds, 2);

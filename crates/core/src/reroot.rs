@@ -13,7 +13,7 @@
 //! * [`Strategy::Simple`] — every component is a single subtree of the old
 //!   tree and the traversal walks from the entry vertex all the way to the
 //!   subtree's root. This is the rerooting procedure of the sequential
-//!   baseline [6], executed level-by-level in parallel; its round depth can be
+//!   baseline \[6\], executed level-by-level in parallel; its round depth can be
 //!   `Θ(n)` in the worst case.
 //! * [`Strategy::Phased`] — components carry untraversed *path* pieces in
 //!   addition to subtrees. A component entered on a path performs *path
@@ -158,6 +158,10 @@ impl<'a, O: QueryOracle> Rerooter<'a, O> {
         while !components.is_empty() {
             stats.rounds += 1;
             stats.components += components.len() as u64;
+            // One traversal per live component, fanned out across the
+            // executor's workers (each `step` is a coarse, independent unit —
+            // exactly the per-round parallelism Theorem 12 charges one
+            // parallel step for). A lone component stays on this thread.
             let outputs: Vec<StepOutput> = if components.len() > 1 {
                 components.par_iter().map(|c| self.step(c)).collect()
             } else {

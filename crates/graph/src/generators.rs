@@ -8,7 +8,7 @@
 //!   complete graphs) — these stress the CONGEST round bound `O(D log^2 n)`;
 //! * adversarial families for the rerooting engine: `caterpillar` and `broom`
 //!   graphs whose DFS trees are a long spine with many hanging subtrees, the
-//!   configuration in which the sequential rerooting of Baswana et al. [6]
+//!   configuration in which the sequential rerooting of Baswana et al. \[6\]
 //!   degenerates and the paper's phased traversals shine.
 
 use crate::graph::{Graph, Vertex};

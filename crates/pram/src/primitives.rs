@@ -124,9 +124,12 @@ impl Pram {
 
     /// Sort a vector by key. Model cost (Cole's parallel merge sort,
     /// Theorem 7): `O(n log n)` work, `O(log n)` depth.
+    ///
+    /// (`T: Sync` because the executor's stable parallel sort orders an
+    /// index permutation against the shared slice — see `rayon::sort`.)
     pub fn sort_by_key<T, K, F>(&self, xs: &mut [T], key: F)
     where
-        T: Send,
+        T: Send + Sync,
         K: Ord + Send,
         F: Fn(&T) -> K + Sync + Send,
     {

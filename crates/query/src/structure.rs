@@ -74,26 +74,31 @@ impl StructureD {
     /// the overlay instead.
     pub fn build(graph: &Graph, idx: TreeIndex) -> Self {
         let cap = graph.capacity().max(idx.capacity());
-        let sorted_adj: Vec<Vec<Vertex>> = (0..cap as Vertex)
-            .into_par_iter()
-            .map(|v| {
-                if !graph.is_active(v) || !idx.contains(v) {
-                    return Vec::new();
-                }
-                let mut nbrs: Vec<Vertex> = graph
-                    .neighbors(v)
-                    .iter()
-                    .copied()
-                    .filter(|&u| idx.contains(u))
-                    .collect();
-                debug_assert!(
-                    nbrs.iter().all(|&u| idx.is_back_edge(u, v)),
-                    "graph contains a cross edge w.r.t. the supplied DFS tree"
-                );
-                nbrs.sort_unstable_by_key(|&u| idx.post(u));
-                nbrs
-            })
-            .collect();
+        let sorted_row = |v: Vertex| {
+            if !graph.is_active(v) || !idx.contains(v) {
+                return Vec::new();
+            }
+            let mut nbrs: Vec<Vertex> = graph
+                .neighbors(v)
+                .iter()
+                .copied()
+                .filter(|&u| idx.contains(u))
+                .collect();
+            debug_assert!(
+                nbrs.iter().all(|&u| idx.is_back_edge(u, v)),
+                "graph contains a cross edge w.r.t. the supplied DFS tree"
+            );
+            nbrs.sort_unstable_by_key(|&u| idx.post(u));
+            nbrs
+        };
+        // Small builds stay on the calling thread: with the executor now
+        // genuinely parallel, entering the pool costs two context switches,
+        // which dwarfs sorting a few dozen adjacency rows.
+        let sorted_adj: Vec<Vec<Vertex>> = if cap < PAR_THRESHOLD {
+            (0..cap as Vertex).map(sorted_row).collect()
+        } else {
+            (0..cap as Vertex).into_par_iter().map(sorted_row).collect()
+        };
         StructureD {
             idx,
             sorted_adj,

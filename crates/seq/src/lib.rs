@@ -3,7 +3,7 @@
 //! Sequential DFS algorithms: the classical static DFS of Tarjan, the ordered
 //! DFS, DFS-tree validity checking, articulation points / bridges, and the
 //! sequential dynamic-DFS baseline in the style of Baswana, Chaudhury,
-//! Choudhary and Khan (SODA 2016, reference [6] of the paper).
+//! Choudhary and Khan (SODA 2016, reference \[6\] of the paper).
 //!
 //! These serve three purposes in the reproduction:
 //!
@@ -11,7 +11,7 @@
 //!    parallel algorithm's preprocessing stage explicitly allows computing it
 //!    with the static algorithm (Section 5.4).
 //! 2. **Baselines** — the experiment harness compares the parallel update
-//!    algorithm against full recomputation ([`static_dfs`]) and against the
+//!    algorithm against full recomputation ([`static_dfs()`]) and against the
 //!    sequential single-update rerooting algorithm ([`SeqRerootDfs`]).
 //! 3. **Oracle of correctness** — [`check_dfs_tree`] verifies the defining
 //!    property of a DFS tree (every non-tree edge is a back edge, and the tree

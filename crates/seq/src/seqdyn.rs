@@ -1,5 +1,5 @@
 //! The sequential dynamic-DFS baseline (Baswana, Chaudhury, Choudhary, Khan —
-//! reference [6] of the paper).
+//! reference \[6\] of the paper).
 //!
 //! A single update is reduced to rerooting disjoint subtrees of the current
 //! DFS tree (Section 3 of the paper); each reroot walks the tree path from the

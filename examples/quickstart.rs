@@ -33,9 +33,16 @@ fn main() {
         .check_mode(CheckMode::EveryUpdate) // panic loudly if the tree breaks
         .build(&graph);
     println!(
-        "initial DFS forest built with the {} backend: {} component root(s)\n",
+        "initial DFS forest built with the {} backend: {} component root(s)",
         dfs.backend_name(),
         dfs.forest_roots().len()
+    );
+    // The executor is genuinely parallel; the worker count comes from
+    // `PARDFS_THREADS` (or the machine), or per-maintainer via
+    // `MaintainerBuilder::num_threads`.
+    println!(
+        "parallel sections run on {} worker thread(s)\n",
+        rayon::current_num_threads()
     );
 
     let updates = random_update_sequence(&graph, 25, &UpdateMix::default(), &mut rng);

@@ -32,7 +32,12 @@ fn main() {
     // Communities: path-of-cliques ⇒ pronounced bridge structure.
     let graph = generators::path_of_cliques(40, 25); // 1000 users
     let n = graph.num_vertices();
-    println!("social graph: {n} users, {} friendships", graph.num_edges());
+    println!(
+        "social graph: {n} users, {} friendships ({} worker thread(s); \
+         set PARDFS_THREADS to change)",
+        graph.num_edges(),
+        rayon::current_num_threads()
+    );
 
     // The maintainer under demo: incremental D with the default amortized
     // rebuild policy (rebuild when overlay > m / log₂ n).

@@ -1,0 +1,209 @@
+//! Cross-thread-count determinism suite.
+//!
+//! The vendored `rayon` executor is genuinely multi-threaded, and its module
+//! docs promise that results are **identical across thread counts** for the
+//! operations this workspace uses (order-preserving collects, exact
+//! reductions, left-tie-broken minima, stable sorts, per-element-disjoint
+//! `for_each` bodies). That promise is load-bearing: a backend whose answer
+//! depends on the thread count has a data race or an order-sensitive
+//! combine, which is exactly the class of bug that otherwise only surfaces
+//! as a rare nightly flake.
+//!
+//! Every test here drives a backend through the same seeded workload under
+//! explicit 1-, 2- and 4-thread pools and pins:
+//!
+//! * the final forest (every vertex's parent and the root set) — not merely
+//!   "some valid DFS tree", the *same* tree;
+//! * the per-update structural [`StatsReport`] fingerprint (query sets,
+//!   relinked vertices, reroot jobs/rounds, index-maintenance and rebuild
+//!   censuses, streaming passes, CONGEST rounds/messages/words). Wall-clock
+//!   fields are deliberately excluded — they are the only quantity allowed
+//!   to vary with the thread count.
+//!
+//! The CI thread-matrix job additionally runs the whole workspace suite
+//! under `PARDFS_THREADS=1,2,4`, which routes every *other* test through
+//! the same three pool sizes.
+
+use pardfs::graph::updates::{random_update_sequence, UpdateMix};
+use pardfs::graph::{generators, Graph, Update, Vertex};
+use pardfs::{Backend, MaintainerBuilder, StatsReport, Strategy};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// The thread counts the suite compares (also the CI matrix axis).
+const THREAD_COUNTS: [usize; 3] = [1, 2, 4];
+
+/// Everything observable about one drive that must not depend on threads.
+#[derive(Debug, PartialEq, Eq)]
+struct Outcome {
+    parents: Vec<Option<Vertex>>,
+    roots: Vec<Vertex>,
+    fingerprints: Vec<Vec<u64>>,
+}
+
+/// Structural (non-timing) projection of a [`StatsReport`].
+fn fingerprint(report: &StatsReport) -> Vec<u64> {
+    let index = report.index_maintenance();
+    let mut out = vec![
+        report.total_query_sets(),
+        report.relinked_vertices(),
+        report.reroot_jobs(),
+        index.patches_applied,
+        index.full_rebuilds,
+        index.fallback_rebuilds,
+        index.vertices_touched,
+    ];
+    if let Some(engine) = report.engine() {
+        out.extend([
+            engine.reduction_query_sets,
+            engine.reroot.rounds,
+            engine.reroot.query_sets,
+            engine.reroot.query_batches,
+            engine.reroot.queries,
+            engine.reroot.components,
+            engine.reroot.trail_attachments,
+        ]);
+    }
+    if let Some(policy) = report.rebuild_policy() {
+        out.extend([policy.rebuilds, policy.overlay_updates]);
+    }
+    if let Some(stream) = report.stream() {
+        out.extend([stream.passes, stream.edges_scanned, stream.queries]);
+    }
+    if let Some(congest) = report.congest() {
+        out.extend([
+            congest.rounds,
+            congest.messages,
+            congest.words,
+            congest.broadcast_phases,
+        ]);
+    }
+    out
+}
+
+/// Drive `builder` over `updates` inside an explicit `threads`-wide pool.
+fn drive(builder: MaintainerBuilder, graph: &Graph, updates: &[Update], threads: usize) -> Outcome {
+    let pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(threads)
+        .build()
+        .expect("build test pool");
+    pool.install(|| {
+        let mut dfs = builder.build(graph);
+        let mut fingerprints = Vec::with_capacity(updates.len());
+        for update in updates {
+            dfs.apply_update(update);
+            fingerprints.push(fingerprint(&dfs.stats()));
+        }
+        dfs.check().expect("maintained tree must stay a DFS tree");
+        let parents = (0..dfs.num_vertices() as Vertex)
+            .map(|v| dfs.forest_parent(v))
+            .collect();
+        Outcome {
+            parents,
+            roots: dfs.forest_roots(),
+            fingerprints,
+        }
+    })
+}
+
+/// Pin `builder`'s outcome identical across [`THREAD_COUNTS`].
+fn assert_thread_count_invariant(
+    label: &str,
+    builder: MaintainerBuilder,
+    graph: &Graph,
+    updates: &[Update],
+) {
+    let baseline = drive(builder, graph, updates, THREAD_COUNTS[0]);
+    for &threads in &THREAD_COUNTS[1..] {
+        let outcome = drive(builder, graph, updates, threads);
+        assert_eq!(
+            baseline.parents, outcome.parents,
+            "{label}: final tree diverged at {threads} threads"
+        );
+        assert_eq!(
+            baseline.roots, outcome.roots,
+            "{label}: forest roots diverged at {threads} threads"
+        );
+        for (i, (a, b)) in baseline
+            .fingerprints
+            .iter()
+            .zip(&outcome.fingerprints)
+            .enumerate()
+        {
+            assert_eq!(
+                a, b,
+                "{label}: stats fingerprint of update {i} diverged at {threads} threads"
+            );
+        }
+    }
+}
+
+/// Seeded mixed workload (edge + vertex churn) over a given graph.
+fn workload(graph: &Graph, updates: usize, seed: u64) -> Vec<Update> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    random_update_sequence(graph, updates, &UpdateMix::default(), &mut rng)
+}
+
+#[test]
+fn every_backend_is_thread_count_invariant() {
+    let mut rng = ChaCha8Rng::seed_from_u64(1701);
+    let graph = generators::random_connected_gnm(600, 2400, &mut rng);
+    let updates = workload(&graph, 40, 99);
+    for backend in Backend::all_default() {
+        let builder = MaintainerBuilder::new(backend);
+        assert_thread_count_invariant(&format!("{backend:?}"), builder, &graph, &updates);
+    }
+}
+
+#[test]
+fn both_strategies_are_thread_count_invariant_on_adversarial_shapes() {
+    // Brooms and near-paths drive the engine through its deepest round
+    // structure — the most reroot components in flight at once.
+    let graph = generators::broom(300, 300);
+    let updates = workload(&graph, 30, 4242);
+    for strategy in [Strategy::Simple, Strategy::Phased] {
+        let builder = MaintainerBuilder::new(Backend::Parallel).strategy(strategy);
+        assert_thread_count_invariant(&format!("{strategy:?}"), builder, &graph, &updates);
+    }
+}
+
+#[test]
+fn large_parallel_workload_is_thread_count_invariant() {
+    // Large enough to cross the PRAM primitives' parallel thresholds
+    // (par-scan, par-sort at n ≥ 4096) and the batched-query threshold, so
+    // the real executor paths — not the sequential small-input fallbacks —
+    // are the thing being compared.
+    let mut rng = ChaCha8Rng::seed_from_u64(7);
+    let graph = generators::random_connected_gnm(5000, 20000, &mut rng);
+    let updates = workload(&graph, 10, 31);
+    let builder = MaintainerBuilder::new(Backend::Parallel);
+    assert_thread_count_invariant("parallel/n=5000", builder, &graph, &updates);
+}
+
+#[test]
+fn builder_num_threads_pools_are_thread_count_invariant() {
+    // Same invariant through the `MaintainerBuilder::num_threads` decorator
+    // (a private pool per maintainer) instead of an ambient `install`.
+    let mut rng = ChaCha8Rng::seed_from_u64(23);
+    let graph = generators::random_connected_gnm(400, 1600, &mut rng);
+    let updates = workload(&graph, 25, 555);
+    let run = |threads: usize| {
+        let mut dfs = MaintainerBuilder::new(Backend::Parallel)
+            .num_threads(threads)
+            .build(&graph);
+        let mut fingerprints = Vec::new();
+        for update in &updates {
+            dfs.apply_update(update);
+            fingerprints.push(fingerprint(&dfs.stats()));
+        }
+        dfs.check().expect("valid tree");
+        let parents: Vec<Option<Vertex>> = (0..dfs.num_vertices() as Vertex)
+            .map(|v| dfs.forest_parent(v))
+            .collect();
+        (parents, dfs.forest_roots(), fingerprints)
+    };
+    let baseline = run(THREAD_COUNTS[0]);
+    for &threads in &THREAD_COUNTS[1..] {
+        assert_eq!(run(threads), baseline, "num_threads({threads}) diverged");
+    }
+}

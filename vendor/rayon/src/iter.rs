@@ -1,0 +1,863 @@
+//! Indexed parallel iterators: producers, adapters, and the join-splitting
+//! drivers behind every consumer.
+//!
+//! Everything this workspace parallelises is *indexed* — slices, chunked
+//! slices, integer ranges, and lock-step `zip`s of those — so the framework
+//! here is deliberately the indexed core of rayon and nothing else:
+//!
+//! * a [`Producer`] is a splittable description of work with a known length;
+//! * a [`ParallelIterator`] is a value that can become a producer, plus the
+//!   adapter ([`map`](ParallelIterator::map), [`zip`](ParallelIterator::zip),
+//!   [`enumerate`](ParallelIterator::enumerate)) and consumer
+//!   ([`for_each`](ParallelIterator::for_each), [`sum`](ParallelIterator::sum),
+//!   [`min_by_key`](ParallelIterator::min_by_key),
+//!   [`collect`](ParallelIterator::collect)) surface;
+//! * a consumer drives the producer by recursively splitting it in half down
+//!   to a grain size and handing one half to [`crate::join`], which publishes
+//!   it for stealing.
+//!
+//! # Determinism contract
+//!
+//! The split tree depends on the pool's thread count (the grain is
+//! `len / (threads · LEAVES_PER_THREAD)`), and which worker runs which leaf
+//! is scheduling noise — but every consumer combines leaf results in a way
+//! that makes the *outcome* independent of both:
+//!
+//! * `collect` writes each item into its index's slot;
+//! * `sum` is used on unsigned integers, where `+` is associative and
+//!   commutative and overflow-free combination order cannot matter;
+//! * `min_by_key` resolves ties towards the leftmost element (matching
+//!   `Iterator::min_by_key`), which is a split-shape-independent rule;
+//! * `for_each` side effects must be disjoint per element — which is exactly
+//!   the EREW contract `pardfs-pram` already imposes on its callers, and the
+//!   `Sync` bounds mean the compiler rejects un-synchronised sharing.
+//!
+//! The cross-thread-count determinism suite in the umbrella crate
+//! (`tests/determinism.rs`) pins this contract end-to-end for every backend.
+
+use crate::registry;
+use std::iter::Sum;
+use std::ops::Range;
+use std::sync::Arc;
+
+/// Leaves produced per worker thread (before stealing re-balances them).
+/// More leaves smooth out uneven per-item cost; fewer leaves cut queue
+/// traffic. Four per thread is rayon's own static-splitting default.
+const LEAVES_PER_THREAD: usize = 4;
+
+/// Grain size: leaf length below which a producer is run sequentially.
+fn grain_for(len: usize, threads: usize) -> usize {
+    (len / (threads * LEAVES_PER_THREAD)).max(1)
+}
+
+/// A splittable, exactly-sized description of parallel work.
+pub trait Producer: Send + Sized {
+    /// The items this producer yields.
+    type Item: Send;
+    /// The sequential iterator a leaf runs.
+    type IntoIter: Iterator<Item = Self::Item>;
+
+    /// Split into `[0, index)` and `[index, len)` parts.
+    fn split_at(self, index: usize) -> (Self, Self);
+
+    /// Run this (leaf) producer sequentially.
+    fn into_iter(self) -> Self::IntoIter;
+}
+
+/// An indexed parallel iterator: the adapter/consumer surface of this crate.
+pub trait ParallelIterator: Send + Sized {
+    /// The items this iterator yields.
+    type Item: Send;
+    /// The producer driving this iterator.
+    type Producer: Producer<Item = Self::Item>;
+
+    /// Exact number of items.
+    fn len(&self) -> usize;
+
+    /// Whether the iterator yields no items.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Convert into the underlying producer.
+    fn into_producer(self) -> Self::Producer;
+
+    /// Map every item through `f` in parallel.
+    fn map<R, F>(self, f: F) -> Map<Self, F>
+    where
+        R: Send,
+        F: Fn(Self::Item) -> R + Sync + Send,
+    {
+        Map { base: self, f }
+    }
+
+    /// Pair items with their index, like [`Iterator::enumerate`].
+    fn enumerate(self) -> Enumerate<Self> {
+        Enumerate { base: self }
+    }
+
+    /// Iterate two parallel iterators in lock-step, truncating to the
+    /// shorter, like [`Iterator::zip`].
+    fn zip<B>(self, other: B) -> Zip<Self, B::Iter>
+    where
+        B: IntoParallelIterator,
+        B::Iter: ParallelIterator,
+    {
+        Zip {
+            a: self,
+            b: other.into_par_iter(),
+        }
+    }
+
+    /// Run `f` on every item in parallel. Side effects must be per-item
+    /// disjoint (see the module-level determinism contract).
+    fn for_each<F>(self, f: F)
+    where
+        F: Fn(Self::Item) + Sync + Send,
+    {
+        let len = self.len();
+        registry::run_in_pool(move |threads| {
+            if threads <= 1 || len <= 1 {
+                self.into_producer().into_iter().for_each(&f);
+            } else {
+                drive_for_each(self.into_producer(), len, grain_for(len, threads), &f);
+            }
+        });
+    }
+
+    /// Sum the items. `S` is typically the item type itself; combination
+    /// order is unobservable for the commutative, overflow-free sums the
+    /// workspace uses (see the module-level determinism contract).
+    fn sum<S>(self) -> S
+    where
+        S: Send + Sum<Self::Item> + Sum<S>,
+    {
+        let len = self.len();
+        registry::run_in_pool(move |threads| {
+            if threads <= 1 || len <= 1 {
+                self.into_producer().into_iter().sum()
+            } else {
+                drive_reduce(
+                    self.into_producer(),
+                    len,
+                    grain_for(len, threads),
+                    &|iter| iter.sum::<S>(),
+                    &|a, b| [a, b].into_iter().sum::<S>(),
+                )
+            }
+        })
+    }
+
+    /// The item minimising `f`, ties towards the first (leftmost) item —
+    /// the same rule as [`Iterator::min_by_key`], and therefore independent
+    /// of how the input was split.
+    fn min_by_key<K, F>(self, f: F) -> Option<Self::Item>
+    where
+        K: Ord + Send,
+        F: Fn(&Self::Item) -> K + Sync + Send,
+    {
+        let len = self.len();
+        registry::run_in_pool(move |threads| {
+            if threads <= 1 || len <= 1 {
+                return self.into_producer().into_iter().min_by_key(|item| f(item));
+            }
+            drive_reduce(
+                self.into_producer(),
+                len,
+                grain_for(len, threads),
+                &|iter| min_pair(iter.map(|item| (f(&item), item))),
+                &|a, b| match (a, b) {
+                    (None, right) => right,
+                    (left, None) => left,
+                    (Some(left), Some(right)) => {
+                        // Strictly-smaller wins; ties keep the left (earlier
+                        // index) — `Iterator::min_by_key` semantics.
+                        if right.0 < left.0 {
+                            Some(right)
+                        } else {
+                            Some(left)
+                        }
+                    }
+                },
+            )
+            .map(|(_, item)| item)
+        })
+    }
+
+    /// Collect into a container, preserving item order.
+    fn collect<C>(self) -> C
+    where
+        C: FromParallelIterator<Self::Item>,
+    {
+        C::from_par_iter(self)
+    }
+}
+
+/// Conversion into a [`ParallelIterator`], mirroring rayon's trait of the
+/// same name (implemented for integer ranges and, blanketly, for every
+/// parallel iterator itself).
+pub trait IntoParallelIterator {
+    /// The resulting iterator.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// The items.
+    type Item: Send;
+
+    /// Convert.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl<I: ParallelIterator> IntoParallelIterator for I {
+    type Iter = I;
+    type Item = I::Item;
+
+    fn into_par_iter(self) -> I {
+        self
+    }
+}
+
+/// Collection from a parallel iterator (rayon's `FromParallelIterator`).
+pub trait FromParallelIterator<T: Send> {
+    /// Build the collection, preserving item order.
+    fn from_par_iter<I>(iter: I) -> Self
+    where
+        I: ParallelIterator<Item = T>;
+}
+
+impl<T: Send> FromParallelIterator<T> for Vec<T> {
+    fn from_par_iter<I>(iter: I) -> Self
+    where
+        I: ParallelIterator<Item = T>,
+    {
+        let len = iter.len();
+        let mut slots: Vec<Option<T>> = Vec::new();
+        registry::run_in_pool(|threads| {
+            slots.resize_with(len, || None);
+            if threads <= 1 || len <= 1 {
+                for (slot, item) in slots.iter_mut().zip(iter.into_producer().into_iter()) {
+                    *slot = Some(item);
+                }
+            } else {
+                drive_collect(
+                    iter.into_producer(),
+                    len,
+                    grain_for(len, threads),
+                    &mut slots,
+                );
+            }
+        });
+        slots
+            .into_iter()
+            .map(|slot| slot.expect("parallel collect produced every item"))
+            .collect()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Drivers: recursive join splitting down to the grain.
+// ---------------------------------------------------------------------------
+
+fn drive_for_each<P, F>(producer: P, len: usize, grain: usize, f: &F)
+where
+    P: Producer,
+    F: Fn(P::Item) + Sync,
+{
+    if len <= grain {
+        producer.into_iter().for_each(f);
+    } else {
+        let mid = len / 2;
+        let (left, right) = producer.split_at(mid);
+        crate::join(
+            || drive_for_each(left, mid, grain, f),
+            || drive_for_each(right, len - mid, grain, f),
+        );
+    }
+}
+
+fn drive_collect<P>(producer: P, len: usize, grain: usize, out: &mut [Option<P::Item>])
+where
+    P: Producer,
+{
+    debug_assert_eq!(len, out.len());
+    if len <= grain {
+        let mut produced = 0;
+        for (slot, item) in out.iter_mut().zip(producer.into_iter()) {
+            *slot = Some(item);
+            produced += 1;
+        }
+        debug_assert_eq!(produced, len, "producer leaf under-produced");
+    } else {
+        let mid = len / 2;
+        let (left, right) = producer.split_at(mid);
+        let (out_left, out_right) = out.split_at_mut(mid);
+        crate::join(
+            || drive_collect(left, mid, grain, out_left),
+            || drive_collect(right, len - mid, grain, out_right),
+        );
+    }
+}
+
+fn drive_reduce<P, T, LEAF, COMBINE>(
+    producer: P,
+    len: usize,
+    grain: usize,
+    leaf: &LEAF,
+    combine: &COMBINE,
+) -> T
+where
+    P: Producer,
+    T: Send,
+    LEAF: Fn(P::IntoIter) -> T + Sync,
+    COMBINE: Fn(T, T) -> T + Sync,
+{
+    if len <= grain {
+        leaf(producer.into_iter())
+    } else {
+        let mid = len / 2;
+        let (left, right) = producer.split_at(mid);
+        let (a, b) = crate::join(
+            || drive_reduce(left, mid, grain, leaf, combine),
+            || drive_reduce(right, len - mid, grain, leaf, combine),
+        );
+        combine(a, b)
+    }
+}
+
+/// First `(key, item)` pair with the minimum key — the leaf fold of
+/// `min_by_key`, keeping the key so the combine step need not re-derive it.
+fn min_pair<K: Ord, T>(iter: impl Iterator<Item = (K, T)>) -> Option<(K, T)> {
+    let mut best: Option<(K, T)> = None;
+    for (key, item) in iter {
+        let better = match &best {
+            None => true,
+            // Strict: ties keep the earlier element.
+            Some((best_key, _)) => key < *best_key,
+        };
+        if better {
+            best = Some((key, item));
+        }
+    }
+    best
+}
+
+// ---------------------------------------------------------------------------
+// Sources: slices, chunked slices, ranges.
+// ---------------------------------------------------------------------------
+
+/// Parallel shared-slice iterator (`par_iter`).
+pub struct SliceParIter<'a, T> {
+    pub(crate) slice: &'a [T],
+}
+
+impl<'a, T: Sync> ParallelIterator for SliceParIter<'a, T> {
+    type Item = &'a T;
+    type Producer = SliceProducer<'a, T>;
+
+    fn len(&self) -> usize {
+        self.slice.len()
+    }
+
+    fn into_producer(self) -> Self::Producer {
+        SliceProducer { slice: self.slice }
+    }
+}
+
+/// Producer behind [`SliceParIter`].
+pub struct SliceProducer<'a, T> {
+    slice: &'a [T],
+}
+
+impl<'a, T: Sync> Producer for SliceProducer<'a, T> {
+    type Item = &'a T;
+    type IntoIter = std::slice::Iter<'a, T>;
+
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let (left, right) = self.slice.split_at(index);
+        (
+            SliceProducer { slice: left },
+            SliceProducer { slice: right },
+        )
+    }
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.slice.iter()
+    }
+}
+
+/// Parallel `chunks` iterator (`par_chunks`).
+pub struct ParChunks<'a, T> {
+    pub(crate) slice: &'a [T],
+    pub(crate) chunk_size: usize,
+}
+
+impl<'a, T: Sync> ParallelIterator for ParChunks<'a, T> {
+    type Item = &'a [T];
+    type Producer = ChunksProducer<'a, T>;
+
+    fn len(&self) -> usize {
+        self.slice.len().div_ceil(self.chunk_size)
+    }
+
+    fn into_producer(self) -> Self::Producer {
+        ChunksProducer {
+            slice: self.slice,
+            chunk_size: self.chunk_size,
+        }
+    }
+}
+
+/// Producer behind [`ParChunks`].
+pub struct ChunksProducer<'a, T> {
+    slice: &'a [T],
+    chunk_size: usize,
+}
+
+impl<'a, T: Sync> Producer for ChunksProducer<'a, T> {
+    type Item = &'a [T];
+    type IntoIter = std::slice::Chunks<'a, T>;
+
+    fn split_at(self, index: usize) -> (Self, Self) {
+        // `index` counts chunks; the element boundary is chunk-aligned so
+        // both halves chunk identically to the unsplit whole.
+        let elements = (index * self.chunk_size).min(self.slice.len());
+        let (left, right) = self.slice.split_at(elements);
+        (
+            ChunksProducer {
+                slice: left,
+                chunk_size: self.chunk_size,
+            },
+            ChunksProducer {
+                slice: right,
+                chunk_size: self.chunk_size,
+            },
+        )
+    }
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.slice.chunks(self.chunk_size)
+    }
+}
+
+/// Parallel `chunks_mut` iterator (`par_chunks_mut`).
+pub struct ParChunksMut<'a, T> {
+    pub(crate) slice: &'a mut [T],
+    pub(crate) chunk_size: usize,
+}
+
+impl<'a, T: Send> ParallelIterator for ParChunksMut<'a, T> {
+    type Item = &'a mut [T];
+    type Producer = ChunksMutProducer<'a, T>;
+
+    fn len(&self) -> usize {
+        self.slice.len().div_ceil(self.chunk_size)
+    }
+
+    fn into_producer(self) -> Self::Producer {
+        ChunksMutProducer {
+            slice: self.slice,
+            chunk_size: self.chunk_size,
+        }
+    }
+}
+
+/// Producer behind [`ParChunksMut`].
+pub struct ChunksMutProducer<'a, T> {
+    slice: &'a mut [T],
+    chunk_size: usize,
+}
+
+impl<'a, T: Send> Producer for ChunksMutProducer<'a, T> {
+    type Item = &'a mut [T];
+    type IntoIter = std::slice::ChunksMut<'a, T>;
+
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let elements = (index * self.chunk_size).min(self.slice.len());
+        let (left, right) = self.slice.split_at_mut(elements);
+        (
+            ChunksMutProducer {
+                slice: left,
+                chunk_size: self.chunk_size,
+            },
+            ChunksMutProducer {
+                slice: right,
+                chunk_size: self.chunk_size,
+            },
+        )
+    }
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.slice.chunks_mut(self.chunk_size)
+    }
+}
+
+/// Unsigned index types whose ranges can be parallel iterators.
+pub trait ParIndex: Copy + Send + Ord {
+    /// `self + offset`, where the result is known in range.
+    fn offset(self, offset: usize) -> Self;
+    /// `end - start` as a `usize` (0 when `end < start`).
+    fn distance(start: Self, end: Self) -> usize;
+}
+
+macro_rules! par_index {
+    ($($t:ty),*) => {$(
+        impl ParIndex for $t {
+            fn offset(self, offset: usize) -> Self {
+                self + offset as $t
+            }
+            fn distance(start: Self, end: Self) -> usize {
+                end.saturating_sub(start) as usize
+            }
+        }
+    )*};
+}
+
+par_index!(u16, u32, u64, usize);
+
+/// Parallel integer-range iterator (`(a..b).into_par_iter()`).
+pub struct RangeParIter<T> {
+    pub(crate) range: Range<T>,
+}
+
+impl<T: ParIndex> ParallelIterator for RangeParIter<T>
+where
+    Range<T>: Iterator<Item = T>,
+{
+    type Item = T;
+    type Producer = RangeProducer<T>;
+
+    fn len(&self) -> usize {
+        T::distance(self.range.start, self.range.end)
+    }
+
+    fn into_producer(self) -> Self::Producer {
+        RangeProducer { range: self.range }
+    }
+}
+
+/// Producer behind [`RangeParIter`].
+pub struct RangeProducer<T> {
+    range: Range<T>,
+}
+
+impl<T: ParIndex> Producer for RangeProducer<T>
+where
+    Range<T>: Iterator<Item = T>,
+{
+    type Item = T;
+    type IntoIter = Range<T>;
+
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let mid = self.range.start.offset(index);
+        (
+            RangeProducer {
+                range: self.range.start..mid,
+            },
+            RangeProducer {
+                range: mid..self.range.end,
+            },
+        )
+    }
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.range
+    }
+}
+
+macro_rules! range_into_par_iter {
+    ($($t:ty),*) => {$(
+        impl IntoParallelIterator for Range<$t> {
+            type Iter = RangeParIter<$t>;
+            type Item = $t;
+
+            fn into_par_iter(self) -> RangeParIter<$t> {
+                RangeParIter { range: self }
+            }
+        }
+    )*};
+}
+
+range_into_par_iter!(u16, u32, u64, usize);
+
+// ---------------------------------------------------------------------------
+// Adapters: map, enumerate, zip.
+// ---------------------------------------------------------------------------
+
+/// Parallel map adapter (see [`ParallelIterator::map`]).
+pub struct Map<I, F> {
+    base: I,
+    f: F,
+}
+
+impl<I, F, R> ParallelIterator for Map<I, F>
+where
+    I: ParallelIterator,
+    F: Fn(I::Item) -> R + Sync + Send,
+    R: Send,
+{
+    type Item = R;
+    type Producer = MapProducer<I::Producer, F>;
+
+    fn len(&self) -> usize {
+        self.base.len()
+    }
+
+    fn into_producer(self) -> Self::Producer {
+        MapProducer {
+            // One Arc per `map` per drive: split producers share the closure.
+            base: self.base.into_producer(),
+            f: Arc::new(self.f),
+        }
+    }
+}
+
+/// Producer behind [`Map`].
+pub struct MapProducer<P, F> {
+    base: P,
+    f: Arc<F>,
+}
+
+impl<P, F, R> Producer for MapProducer<P, F>
+where
+    P: Producer,
+    F: Fn(P::Item) -> R + Sync + Send,
+    R: Send,
+{
+    type Item = R;
+    type IntoIter = MapIter<P::IntoIter, F>;
+
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let (left, right) = self.base.split_at(index);
+        (
+            MapProducer {
+                base: left,
+                f: self.f.clone(),
+            },
+            MapProducer {
+                base: right,
+                f: self.f,
+            },
+        )
+    }
+
+    fn into_iter(self) -> Self::IntoIter {
+        MapIter {
+            base: self.base.into_iter(),
+            f: self.f,
+        }
+    }
+}
+
+/// Leaf iterator of [`MapProducer`].
+pub struct MapIter<I, F> {
+    base: I,
+    f: Arc<F>,
+}
+
+impl<I, F, R> Iterator for MapIter<I, F>
+where
+    I: Iterator,
+    F: Fn(I::Item) -> R,
+{
+    type Item = R;
+
+    fn next(&mut self) -> Option<R> {
+        self.base.next().map(|item| (self.f)(item))
+    }
+}
+
+/// Parallel enumerate adapter (see [`ParallelIterator::enumerate`]).
+pub struct Enumerate<I> {
+    base: I,
+}
+
+impl<I: ParallelIterator> ParallelIterator for Enumerate<I> {
+    type Item = (usize, I::Item);
+    type Producer = EnumerateProducer<I::Producer>;
+
+    fn len(&self) -> usize {
+        self.base.len()
+    }
+
+    fn into_producer(self) -> Self::Producer {
+        EnumerateProducer {
+            base: self.base.into_producer(),
+            offset: 0,
+        }
+    }
+}
+
+/// Producer behind [`Enumerate`].
+pub struct EnumerateProducer<P> {
+    base: P,
+    offset: usize,
+}
+
+impl<P: Producer> Producer for EnumerateProducer<P> {
+    type Item = (usize, P::Item);
+    type IntoIter = EnumerateIter<P::IntoIter>;
+
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let (left, right) = self.base.split_at(index);
+        (
+            EnumerateProducer {
+                base: left,
+                offset: self.offset,
+            },
+            EnumerateProducer {
+                base: right,
+                offset: self.offset + index,
+            },
+        )
+    }
+
+    fn into_iter(self) -> Self::IntoIter {
+        EnumerateIter {
+            base: self.base.into_iter(),
+            next_index: self.offset,
+        }
+    }
+}
+
+/// Leaf iterator of [`EnumerateProducer`].
+pub struct EnumerateIter<I> {
+    base: I,
+    next_index: usize,
+}
+
+impl<I: Iterator> Iterator for EnumerateIter<I> {
+    type Item = (usize, I::Item);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let item = self.base.next()?;
+        let index = self.next_index;
+        self.next_index += 1;
+        Some((index, item))
+    }
+}
+
+/// Parallel zip adapter (see [`ParallelIterator::zip`]).
+pub struct Zip<A, B> {
+    a: A,
+    b: B,
+}
+
+impl<A, B> ParallelIterator for Zip<A, B>
+where
+    A: ParallelIterator,
+    B: ParallelIterator,
+{
+    type Item = (A::Item, B::Item);
+    type Producer = ZipProducer<A::Producer, B::Producer>;
+
+    fn len(&self) -> usize {
+        self.a.len().min(self.b.len())
+    }
+
+    fn into_producer(self) -> Self::Producer {
+        ZipProducer {
+            a: self.a.into_producer(),
+            b: self.b.into_producer(),
+        }
+    }
+}
+
+/// Producer behind [`Zip`]. Splitting at `i` splits both sides at `i`, so
+/// item pairing is preserved across leaves; only the tail past the shorter
+/// side's length is dropped (by the leaf `zip`), exactly like
+/// [`Iterator::zip`].
+pub struct ZipProducer<A, B> {
+    a: A,
+    b: B,
+}
+
+impl<A, B> Producer for ZipProducer<A, B>
+where
+    A: Producer,
+    B: Producer,
+{
+    type Item = (A::Item, B::Item);
+    type IntoIter = std::iter::Zip<A::IntoIter, B::IntoIter>;
+
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let (a_left, a_right) = self.a.split_at(index);
+        let (b_left, b_right) = self.b.split_at(index);
+        (
+            ZipProducer {
+                a: a_left,
+                b: b_left,
+            },
+            ZipProducer {
+                a: a_right,
+                b: b_right,
+            },
+        )
+    }
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.a.into_iter().zip(self.b.into_iter())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Slice extension traits (the `par_iter`/`par_chunks`/`par_chunks_mut`/
+// `par_sort_by_key` surface).
+// ---------------------------------------------------------------------------
+
+/// `par_iter` / `par_chunks` on shared slices.
+pub trait ParallelSlice<T: Sync> {
+    /// Parallel iterator over `&T` items.
+    fn par_iter(&self) -> SliceParIter<'_, T>;
+
+    /// Parallel iterator over `chunk_size`-element chunks (last may be
+    /// shorter). Panics if `chunk_size` is zero, like [`slice::chunks`].
+    fn par_chunks(&self, chunk_size: usize) -> ParChunks<'_, T>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_iter(&self) -> SliceParIter<'_, T> {
+        SliceParIter { slice: self }
+    }
+
+    fn par_chunks(&self, chunk_size: usize) -> ParChunks<'_, T> {
+        assert!(chunk_size != 0, "chunk size must be non-zero");
+        ParChunks {
+            slice: self,
+            chunk_size,
+        }
+    }
+}
+
+/// `par_chunks_mut` / `par_sort_by_key` on mutable slices.
+pub trait ParallelSliceMut<T: Send> {
+    /// Parallel iterator over mutable `chunk_size`-element chunks (last may
+    /// be shorter). Panics if `chunk_size` is zero.
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T>;
+
+    /// Parallel **stable** sort by key, like rayon's method of the same
+    /// name. (Deviation from rayon: requires `T: Sync` too, because the
+    /// implementation sorts a permutation against the shared slice — see
+    /// `crate::sort`.)
+    fn par_sort_by_key<K, F>(&mut self, f: F)
+    where
+        T: Sync,
+        K: Ord,
+        F: Fn(&T) -> K + Sync;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T> {
+        assert!(chunk_size != 0, "chunk size must be non-zero");
+        ParChunksMut {
+            slice: self,
+            chunk_size,
+        }
+    }
+
+    fn par_sort_by_key<K, F>(&mut self, f: F)
+    where
+        T: Sync,
+        K: Ord,
+        F: Fn(&T) -> K + Sync,
+    {
+        crate::sort::par_sort_by_key(self, &f);
+    }
+}

@@ -1,0 +1,192 @@
+//! The `unsafe` heart of the executor: type-erased references to
+//! stack-allocated jobs, and the latch a job's owner blocks on.
+//!
+//! Everything parallel in this crate bottoms out in [`StackJob`]: a closure
+//! plus a result slot plus a [`Latch`], allocated **on the stack of the thread
+//! that wants the work done**. A type-erased [`JobRef`] (a raw pointer and an
+//! execute function) is pushed onto a deque; whichever worker pops it runs the
+//! closure, stores the result, and sets the latch.
+//!
+//! # Safety argument
+//!
+//! This is the one module in the crate allowed to use `unsafe` (the crate is
+//! otherwise `#![deny(unsafe_code)]`; the queues themselves are ordinary
+//! mutex-guarded `VecDeque`s — see the module docs of `registry`). The erased
+//! pointer in a [`JobRef`] is only sound because of a structural invariant
+//! upheld by every caller in `registry.rs` and `iter.rs`:
+//!
+//! > The owner of a [`StackJob`] does **not** return (or unwind) past the
+//! > job's stack frame until the job's latch has been set — i.e. until the
+//! > closure has run to completion (or been reclaimed unexecuted by the owner
+//! > itself). `join` waits for the latch even when its first closure panics.
+//!
+//! Under that invariant the pointee outlives every live `JobRef`, the closure
+//! runs at most once (`Option::take`), and the result slot is written before
+//! the latch's release store and read after its acquire load — so there is no
+//! aliasing, no double-run, and no data race. `Send` bounds on the closure
+//! and result types are enforced at construction, so moving the work to
+//! another thread is type-checked even though the pointer itself is erased.
+
+#![allow(unsafe_code)]
+
+use std::cell::UnsafeCell;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Condvar, Mutex};
+use std::time::Duration;
+
+/// A one-shot completion flag with both a lock-free probe and a blocking wait.
+///
+/// `set` publishes with a release store, `probe` observes with an acquire
+/// load, so anything written before `set` (the job's result slot) is visible
+/// to a thread that saw `probe() == true`.
+pub(crate) struct Latch {
+    set: AtomicBool,
+    lock: Mutex<()>,
+    cond: Condvar,
+}
+
+impl Latch {
+    pub(crate) fn new() -> Latch {
+        Latch {
+            set: AtomicBool::new(false),
+            lock: Mutex::new(()),
+            cond: Condvar::new(),
+        }
+    }
+
+    /// Has the latch been set? (Lock-free; pairs with the release in `set`.)
+    pub(crate) fn probe(&self) -> bool {
+        self.set.load(Ordering::Acquire)
+    }
+
+    /// Set the latch and wake every waiter. Taking the mutex between the
+    /// store and the notify closes the window where a waiter has re-checked
+    /// `probe` but not yet parked on the condvar.
+    pub(crate) fn set(&self) {
+        self.set.store(true, Ordering::Release);
+        drop(self.lock.lock().expect("latch mutex poisoned"));
+        self.cond.notify_all();
+    }
+
+    /// Block until the latch is set. Used by non-worker threads, which must
+    /// not steal work (they have no deque slot).
+    pub(crate) fn wait(&self) {
+        if self.probe() {
+            return;
+        }
+        let mut guard = self.lock.lock().expect("latch mutex poisoned");
+        while !self.probe() {
+            guard = self.cond.wait(guard).expect("latch mutex poisoned");
+        }
+    }
+
+    /// Block until the latch is set or the timeout elapses. Used by workers
+    /// waiting for a stolen job: they re-scan for other work between naps
+    /// instead of sleeping unconditionally.
+    pub(crate) fn wait_timeout(&self, timeout: Duration) {
+        if self.probe() {
+            return;
+        }
+        let guard = self.lock.lock().expect("latch mutex poisoned");
+        if !self.probe() {
+            let _ = self
+                .cond
+                .wait_timeout(guard, timeout)
+                .expect("latch mutex poisoned");
+        }
+    }
+}
+
+/// A type-erased pointer to a job living on some owner's stack.
+pub(crate) struct JobRef {
+    pointer: *const (),
+    execute_fn: unsafe fn(*const ()),
+}
+
+// Safety: a JobRef is only ever created from a `StackJob` whose closure and
+// result types are `Send` (enforced by `StackJob::new`'s bounds), and the
+// owner keeps the pointee alive until the latch is set (module invariant).
+unsafe impl Send for JobRef {}
+
+impl JobRef {
+    /// Identity of the underlying job, used by `join` to recognise its own
+    /// un-stolen job at the front of the deque.
+    pub(crate) fn id(&self) -> *const () {
+        self.pointer
+    }
+
+    /// Run the job. May be called at most once, from any thread.
+    ///
+    /// # Safety
+    /// The pointee must still be alive (module invariant) and no other call
+    /// to `execute` may have happened for this job.
+    pub(crate) unsafe fn execute(self) {
+        (self.execute_fn)(self.pointer)
+    }
+}
+
+/// A job allocated on its owner's stack: closure, result slot, latch.
+pub(crate) struct StackJob<F, R> {
+    func: UnsafeCell<Option<F>>,
+    result: UnsafeCell<Option<std::thread::Result<R>>>,
+    latch: Latch,
+}
+
+impl<F, R> StackJob<F, R>
+where
+    F: FnOnce() -> R + Send,
+    R: Send,
+{
+    pub(crate) fn new(func: F) -> StackJob<F, R> {
+        StackJob {
+            func: UnsafeCell::new(Some(func)),
+            result: UnsafeCell::new(None),
+            latch: Latch::new(),
+        }
+    }
+
+    pub(crate) fn latch(&self) -> &Latch {
+        &self.latch
+    }
+
+    /// Type-erase a reference to this job.
+    ///
+    /// # Safety
+    /// The caller must uphold the module invariant: not let `self` die until
+    /// the latch is set.
+    pub(crate) unsafe fn as_job_ref(&self) -> JobRef {
+        JobRef {
+            pointer: self as *const Self as *const (),
+            execute_fn: execute_erased::<F, R>,
+        }
+    }
+
+    /// Take the result. Must only be called after the latch is set (there is
+    /// a `debug_assert` but the acquire ordering is what makes it sound).
+    pub(crate) fn take_result(&self) -> std::thread::Result<R> {
+        debug_assert!(self.latch.probe(), "job result taken before completion");
+        // Safety: the executor's writes happened before the latch's release
+        // store, which our caller observed; no thread touches the slot again.
+        unsafe { (*self.result.get()).take() }.expect("job completed without storing a result")
+    }
+}
+
+/// The erased execute function for `StackJob<F, R>`.
+///
+/// # Safety
+/// `this` must point at a live `StackJob<F, R>` whose closure has not run.
+unsafe fn execute_erased<F, R>(this: *const ())
+where
+    F: FnOnce() -> R + Send,
+    R: Send,
+{
+    let job = &*(this as *const StackJob<F, R>);
+    let func = (*job.func.get()).take().expect("job executed twice");
+    // Panics are captured here and re-thrown on the owner's thread by
+    // `take_result`'s caller, so a panicking parallel closure unwinds the
+    // caller of `join`/`install`, not a worker's main loop.
+    let result = panic::catch_unwind(AssertUnwindSafe(func));
+    *job.result.get() = Some(result);
+    job.latch.set();
+}

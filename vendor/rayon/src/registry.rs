@@ -1,0 +1,453 @@
+//! The thread pool: worker threads, work queues, stealing, sleeping, `join`.
+//!
+//! # Design
+//!
+//! A [`Registry`] owns `num_threads` worker threads. Each worker has its own
+//! deque of [`JobRef`]s; a shared *injector* queue receives jobs from threads
+//! outside the pool. Workers treat their own deque as a LIFO stack (newest
+//! job first — the cache-hot half of a `join` split) and steal from the
+//! *back* of other workers' deques (oldest job — the biggest unsplit piece of
+//! work). That claiming discipline is the classic work-stealing shape of
+//! Chase–Lev deques, but the queues here are plain `Mutex<VecDeque<JobRef>>`s
+//! — **mutex-sharded** rather than lock-free.
+//!
+//! ## Why mutexes and not a Chase–Lev deque
+//!
+//! A lock-free deque needs `unsafe` (raw atomics over a growable buffer,
+//! epoch reclamation) and is notoriously hard to get right; its payoff is
+//! contention-free push/pop at ~10 ns instead of ~40 ns. Every job this crate
+//! ever queues is a *leaf-sized chunk* of a data-parallel loop (hundreds of
+//! elements or a whole reroot component), so queue operations are thousands
+//! of times rarer than element operations and a mutex per worker is far from
+//! the bottleneck. In exchange the entire queueing layer is safe code, which
+//! keeps the crate's `unsafe` confined to the pointer-erasure module
+//! ([`crate::job`]). If profiling ever shows deque contention, swapping the
+//! sharded mutexes for a Chase–Lev implementation changes only this module.
+//!
+//! ## Sleeping
+//!
+//! Idle workers park on a condvar guarded by a generation counter. Every push
+//! bumps the generation and notifies, and a worker re-reads the generation
+//! *before* scanning the queues, so the "scan found nothing, job arrived,
+//! sleep forever" race is closed: the sleep call returns immediately if the
+//! generation moved since the pre-scan read. Waits are also time-capped, so
+//! the very worst case is a bounded nap, never a hang.
+//!
+//! ## Blocking callers
+//!
+//! A thread outside the pool that needs parallel work done (an `install`, or
+//! a `par_*` call on a non-worker thread) pushes a [`StackJob`] into the
+//! injector and blocks on the job's latch; workers do the rest. A *worker*
+//! that must wait (its `join` partner was stolen) never blocks outright — it
+//! keeps executing other jobs until its latch is set.
+
+use crate::job::{JobRef, Latch, StackJob};
+use crate::ThreadPoolBuildError;
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::panic;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::thread;
+use std::time::Duration;
+
+/// Cap on configurable thread counts — far above anything useful, it exists
+/// only to turn a typo'd `PARDFS_THREADS=10000000` into an error instead of
+/// an attempt to spawn ten million OS threads.
+pub(crate) const MAX_THREADS: usize = 1024;
+
+/// How long an idle worker naps before re-scanning, and how long a worker
+/// waiting on a stolen job naps between steal attempts.
+const IDLE_NAP: Duration = Duration::from_millis(10);
+const STOLEN_WAIT_NAP: Duration = Duration::from_micros(200);
+
+/// A pool of worker threads with mutex-sharded work-stealing queues.
+pub(crate) struct Registry {
+    deques: Vec<Mutex<VecDeque<JobRef>>>,
+    injected: Mutex<VecDeque<JobRef>>,
+    sleep: SleepGate,
+    terminate: AtomicBool,
+}
+
+/// Generation-counted condvar for idle workers (see module docs).
+struct SleepGate {
+    generation: Mutex<u64>,
+    cond: Condvar,
+}
+
+impl SleepGate {
+    fn new() -> SleepGate {
+        SleepGate {
+            generation: Mutex::new(0),
+            cond: Condvar::new(),
+        }
+    }
+
+    fn current(&self) -> u64 {
+        *self.generation.lock().expect("sleep gate poisoned")
+    }
+
+    fn bump(&self) {
+        let mut generation = self.generation.lock().expect("sleep gate poisoned");
+        *generation = generation.wrapping_add(1);
+        drop(generation);
+        self.cond.notify_all();
+    }
+
+    /// Nap until the generation moves past `seen` (or the cap elapses).
+    fn sleep_if_unchanged(&self, seen: u64) {
+        let generation = self.generation.lock().expect("sleep gate poisoned");
+        if *generation != seen {
+            return;
+        }
+        let _ = self
+            .cond
+            .wait_timeout(generation, IDLE_NAP)
+            .expect("sleep gate poisoned");
+    }
+}
+
+thread_local! {
+    /// Set for the lifetime of a worker thread: which registry it belongs to
+    /// and its deque index.
+    static WORKER: RefCell<Option<(Arc<Registry>, usize)>> = const { RefCell::new(None) };
+}
+
+/// The registry and worker index of the current thread, if it is a worker.
+pub(crate) fn current_worker() -> Option<(Arc<Registry>, usize)> {
+    WORKER.with(|w| w.borrow().clone())
+}
+
+impl Registry {
+    /// Spawn a registry with `num_threads` workers. Returns the join handles
+    /// separately so pool owners can join them on drop while the global
+    /// registry detaches them.
+    pub(crate) fn new(
+        num_threads: usize,
+    ) -> Result<(Arc<Registry>, Vec<thread::JoinHandle<()>>), ThreadPoolBuildError> {
+        if num_threads == 0 || num_threads > MAX_THREADS {
+            return Err(ThreadPoolBuildError::new(format!(
+                "thread count must be in 1..={MAX_THREADS}, got {num_threads}"
+            )));
+        }
+        let registry = Arc::new(Registry {
+            deques: (0..num_threads)
+                .map(|_| Mutex::new(VecDeque::new()))
+                .collect(),
+            injected: Mutex::new(VecDeque::new()),
+            sleep: SleepGate::new(),
+            terminate: AtomicBool::new(false),
+        });
+        let mut handles = Vec::with_capacity(num_threads);
+        for index in 0..num_threads {
+            let worker_registry = registry.clone();
+            let spawned = thread::Builder::new()
+                .name(format!("pardfs-rayon-{index}"))
+                .spawn(move || worker_main(worker_registry, index));
+            match spawned {
+                Ok(handle) => handles.push(handle),
+                Err(e) => {
+                    registry.terminate_and_wake();
+                    return Err(ThreadPoolBuildError::new(format!(
+                        "failed to spawn worker thread {index}: {e}"
+                    )));
+                }
+            }
+        }
+        Ok((registry, handles))
+    }
+
+    pub(crate) fn num_threads(&self) -> usize {
+        self.deques.len()
+    }
+
+    /// Ask every worker to exit once its queues drain to it finding nothing.
+    pub(crate) fn terminate_and_wake(&self) {
+        self.terminate.store(true, Ordering::Release);
+        self.sleep.bump();
+    }
+
+    /// Push onto a worker's own deque (LIFO end).
+    fn push_local(&self, index: usize, job: JobRef) {
+        self.deques[index]
+            .lock()
+            .expect("worker deque poisoned")
+            .push_front(job);
+        self.sleep.bump();
+    }
+
+    /// Push onto the shared injector queue (FIFO).
+    pub(crate) fn inject(&self, job: JobRef) {
+        self.injected
+            .lock()
+            .expect("injector poisoned")
+            .push_back(job);
+        self.sleep.bump();
+    }
+
+    /// One scan for work on behalf of worker `index`: own deque first
+    /// (newest), then the injector (oldest), then steal the *oldest* job of
+    /// each other worker, round-robin from our right neighbour.
+    fn find_work(&self, index: usize) -> Option<JobRef> {
+        if let Some(job) = self.deques[index]
+            .lock()
+            .expect("worker deque poisoned")
+            .pop_front()
+        {
+            return Some(job);
+        }
+        if let Some(job) = self.injected.lock().expect("injector poisoned").pop_front() {
+            return Some(job);
+        }
+        let n = self.deques.len();
+        for offset in 1..n {
+            let victim = (index + offset) % n;
+            if let Some(job) = self.deques[victim]
+                .lock()
+                .expect("worker deque poisoned")
+                .pop_back()
+            {
+                return Some(job);
+            }
+        }
+        None
+    }
+
+    /// Keep worker `index` productive until `latch` is set: execute any job
+    /// it can find, napping briefly only when there is nothing to do.
+    fn wait_until(&self, index: usize, latch: &Latch) {
+        while !latch.probe() {
+            if let Some(job) = self.find_work(index) {
+                // Safety: every queued JobRef points at a live StackJob whose
+                // owner is blocked on its latch (module invariant of `job`).
+                #[allow(unsafe_code)]
+                unsafe {
+                    job.execute()
+                };
+            } else {
+                latch.wait_timeout(STOLEN_WAIT_NAP);
+            }
+        }
+    }
+}
+
+/// Main loop of a worker thread.
+fn worker_main(registry: Arc<Registry>, index: usize) {
+    WORKER.with(|w| *w.borrow_mut() = Some((registry.clone(), index)));
+    loop {
+        let seen = registry.sleep.current();
+        if let Some(job) = registry.find_work(index) {
+            // Safety: see `wait_until`.
+            #[allow(unsafe_code)]
+            unsafe {
+                job.execute()
+            };
+            continue;
+        }
+        if registry.terminate.load(Ordering::Acquire) {
+            break;
+        }
+        registry.sleep.sleep_if_unchanged(seen);
+    }
+    WORKER.with(|w| *w.borrow_mut() = None);
+}
+
+/// Run `f` to completion inside `registry`: directly if the current thread
+/// is one of its workers, otherwise by injecting a job and blocking on its
+/// latch. Panics in `f` resurface on the calling thread.
+pub(crate) fn in_registry_worker<F, R>(registry: &Arc<Registry>, f: F) -> R
+where
+    F: FnOnce() -> R + Send,
+    R: Send,
+{
+    if let Some((current, _)) = current_worker() {
+        if Arc::ptr_eq(&current, registry) {
+            return f();
+        }
+    }
+    let job = StackJob::new(f);
+    // Safety: `job` outlives this call, and we do not return until the latch
+    // is set — the invariant of `crate::job`.
+    #[allow(unsafe_code)]
+    let job_ref = unsafe { job.as_job_ref() };
+    registry.inject(job_ref);
+    job.latch().wait();
+    match job.take_result() {
+        Ok(result) => result,
+        Err(payload) => panic::resume_unwind(payload),
+    }
+}
+
+/// Run `f(effective_parallelism)` with a worker context when parallelism is
+/// wanted: on a worker thread already, just run it; on an outside thread,
+/// route into the global pool — unless the pool has a single thread, in
+/// which case running inline on the caller is semantically identical and
+/// skips two context switches. This is the entry point of every
+/// parallel-iterator consumer.
+pub(crate) fn run_in_pool<F, R>(f: F) -> R
+where
+    F: FnOnce(usize) -> R + Send,
+    R: Send,
+{
+    if let Some((registry, _)) = current_worker() {
+        let threads = registry.num_threads();
+        f(threads)
+    } else {
+        let registry = global_registry();
+        let threads = registry.num_threads();
+        if threads <= 1 {
+            f(1)
+        } else {
+            in_registry_worker(registry, move || f(threads))
+        }
+    }
+}
+
+/// Thread count of the pool a `par_*` call issued here would run on.
+pub(crate) fn current_pool_threads() -> usize {
+    match current_worker() {
+        Some((registry, _)) => registry.num_threads(),
+        None => global_registry().num_threads(),
+    }
+}
+
+/// Take two closures and *potentially* run them in parallel: `b` is published
+/// for stealing while the current thread runs `a`; afterwards `b` is either
+/// reclaimed and run inline (nobody stole it — the common, allocation-free
+/// fast path) or its thief is waited for, productively.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    match current_worker() {
+        Some((registry, index)) => {
+            if registry.num_threads() <= 1 {
+                // One worker: nobody could steal `b`; skip the queue traffic.
+                return (a(), b());
+            }
+            join_on_worker(&registry, index, a, b)
+        }
+        None => {
+            let registry = global_registry();
+            if registry.num_threads() <= 1 {
+                return (a(), b());
+            }
+            in_registry_worker(registry, move || join(a, b))
+        }
+    }
+}
+
+fn join_on_worker<A, B, RA, RB>(registry: &Arc<Registry>, index: usize, a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    let job_b = StackJob::new(b);
+    // Safety: `job_b` lives until the end of this function, and the function
+    // does not return (or unwind — see the catch below) before the job has
+    // either been reclaimed un-executed or its latch has been set.
+    #[allow(unsafe_code)]
+    let job_ref = unsafe { job_b.as_job_ref() };
+    let job_id = job_ref.id();
+    registry.push_local(index, job_ref);
+
+    // Run `a` but do not unwind past `job_b`'s frame if it panics: a thief
+    // may hold a pointer into that frame. Wait for `b` first, then re-throw.
+    let result_a = panic::catch_unwind(panic::AssertUnwindSafe(a));
+
+    // Reclaim `b` if it is still at the front of our deque. LIFO discipline
+    // guarantees the front is either our own job (nested joins inside `a`
+    // push and pop symmetrically) or the deque is empty/raided by thieves.
+    let reclaimed = {
+        let mut deque = registry.deques[index]
+            .lock()
+            .expect("worker deque poisoned");
+        match deque.front() {
+            Some(job) if job.id() == job_id => deque.pop_front(),
+            _ => None,
+        }
+    };
+    let result_b = match reclaimed {
+        Some(job) => {
+            // Safety: we just popped the only reference to `job_b`.
+            #[allow(unsafe_code)]
+            unsafe {
+                job.execute()
+            };
+            job_b.take_result()
+        }
+        None => {
+            // Stolen (or already executed by ourselves while `a` waited
+            // inside a nested join). Work on other jobs until it completes.
+            registry.wait_until(index, job_b.latch());
+            job_b.take_result()
+        }
+    };
+    match (result_a, result_b) {
+        (Ok(ra), Ok(rb)) => (ra, rb),
+        (Err(payload), _) => panic::resume_unwind(payload),
+        (_, Err(payload)) => panic::resume_unwind(payload),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The global registry.
+// ---------------------------------------------------------------------------
+
+static GLOBAL: OnceLock<Arc<Registry>> = OnceLock::new();
+
+/// The pool used by `par_*` calls outside any [`crate::ThreadPool`]. Built on
+/// first use from `PARDFS_THREADS` (if set) or the machine's available
+/// parallelism; [`crate::ThreadPoolBuilder::build_global`] can configure it
+/// explicitly before first use.
+pub(crate) fn global_registry() -> &'static Arc<Registry> {
+    GLOBAL.get_or_init(|| {
+        let threads = env_threads().unwrap_or_else(default_parallelism);
+        let (registry, handles) =
+            Registry::new(threads).expect("failed to build the global thread pool");
+        // Global workers live for the process; detach the handles.
+        drop(handles);
+        registry
+    })
+}
+
+/// Install `registry` as the global pool. Fails if the global pool was
+/// already initialized (by an earlier call or lazily by first use).
+pub(crate) fn set_global_registry(registry: Arc<Registry>) -> Result<(), ThreadPoolBuildError> {
+    let installed = GLOBAL.set(registry.clone());
+    match installed {
+        Ok(()) => Ok(()),
+        Err(_) => {
+            registry.terminate_and_wake();
+            Err(ThreadPoolBuildError::new(
+                "the global thread pool has already been initialized".to_string(),
+            ))
+        }
+    }
+}
+
+/// The `PARDFS_THREADS` override. Malformed values panic rather than being
+/// silently ignored: a typo'd thread matrix in CI should fail loudly.
+pub(crate) fn env_threads() -> Option<usize> {
+    let raw = std::env::var("PARDFS_THREADS").ok()?;
+    let trimmed = raw.trim();
+    if trimmed.is_empty() {
+        return None;
+    }
+    match trimmed.parse::<usize>() {
+        Ok(n) if (1..=MAX_THREADS).contains(&n) => Some(n),
+        _ => panic!("PARDFS_THREADS must be an integer in 1..={MAX_THREADS}, got {raw:?}"),
+    }
+}
+
+/// Hardware parallelism, used when nothing else is configured.
+pub(crate) fn default_parallelism() -> usize {
+    thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}

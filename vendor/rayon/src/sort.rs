@@ -1,0 +1,149 @@
+//! Parallel stable sort-by-key via an index permutation.
+//!
+//! Moving values out of overlapping `&mut [T]` halves during a merge needs
+//! either `unsafe` scratch buffers (what rayon and the standard library do)
+//! or `T: Clone`. This crate keeps the queueing and algorithmic layers safe
+//! (see `registry`), so it sorts differently: build the identity permutation
+//! over *indices* (plain `usize`s, freely copyable), parallel-merge-sort the
+//! permutation by comparing keys of the referenced elements, then apply the
+//! permutation to the slice in place with cycle-following swaps. Costs over
+//! an in-place merge sort: `2n` words of transient memory and one extra
+//! `O(n)` swap pass — both negligible next to the `O(n log n)` comparisons.
+//!
+//! The sort is **stable** (leaf runs use the standard library's stable sort;
+//! merges take from the left run on ties), so the result is the unique
+//! stable order: identical for every thread count and split shape, which the
+//! cross-thread-count determinism suite relies on.
+
+use crate::registry;
+
+/// Below this length (or on a single-thread pool) the standard library's
+/// sequential stable sort wins outright.
+const MIN_PAR_SORT_LEN: usize = 4096;
+
+/// Leaf size of the parallel permutation sort.
+const SORT_GRAIN: usize = 1024;
+
+pub(crate) fn par_sort_by_key<T, K, F>(slice: &mut [T], key: &F)
+where
+    T: Send + Sync,
+    K: Ord,
+    F: Fn(&T) -> K + Sync,
+{
+    let len = slice.len();
+    registry::run_in_pool(move |threads| {
+        if threads <= 1 || len < MIN_PAR_SORT_LEN {
+            slice.sort_by_key(|item| key(item));
+            return;
+        }
+        let mut perm: Vec<usize> = (0..len).collect();
+        let grain = (len / threads).max(SORT_GRAIN);
+        sort_perm(&mut perm, slice, key, grain);
+        apply_permutation(slice, &perm);
+    });
+}
+
+/// Stable parallel merge sort of `perm` ordered by `key(&slice[i])`.
+fn sort_perm<T, K, F>(perm: &mut [usize], slice: &[T], key: &F, grain: usize)
+where
+    T: Sync,
+    K: Ord,
+    F: Fn(&T) -> K + Sync,
+{
+    if perm.len() <= grain {
+        // Leaf runs hold ascending indices, so the standard library's stable
+        // sort yields the stable order within the run.
+        perm.sort_by_key(|&i| key(&slice[i]));
+        return;
+    }
+    let mid = perm.len() / 2;
+    {
+        let (left, right) = perm.split_at_mut(mid);
+        crate::join(
+            || sort_perm(left, slice, key, grain),
+            || sort_perm(right, slice, key, grain),
+        );
+    }
+    merge_perm(perm, mid, slice, key);
+}
+
+/// Merge the sorted runs `perm[..mid]` and `perm[mid..]`, left wins ties.
+fn merge_perm<T, K, F>(perm: &mut [usize], mid: usize, slice: &[T], key: &F)
+where
+    K: Ord,
+    F: Fn(&T) -> K,
+{
+    // Already ordered across the boundary: nothing to do (common once the
+    // input is mostly sorted).
+    if mid == 0 || mid == perm.len() || key(&slice[perm[mid - 1]]) <= key(&slice[perm[mid]]) {
+        return;
+    }
+    let mut merged = Vec::with_capacity(perm.len());
+    {
+        let (left, right) = perm.split_at(mid);
+        let (mut i, mut j) = (0, 0);
+        while i < left.len() && j < right.len() {
+            // Stability: only a strictly smaller right key passes the left.
+            if key(&slice[right[j]]) < key(&slice[left[i]]) {
+                merged.push(right[j]);
+                j += 1;
+            } else {
+                merged.push(left[i]);
+                i += 1;
+            }
+        }
+        merged.extend_from_slice(&left[i..]);
+        merged.extend_from_slice(&right[j..]);
+    }
+    perm.copy_from_slice(&merged);
+}
+
+/// Rearrange `slice` so that `new_slice[i] = old_slice[perm[i]]`, in `O(n)`
+/// swaps by walking each permutation cycle once.
+fn apply_permutation<T>(slice: &mut [T], perm: &[usize]) {
+    let mut visited = vec![false; slice.len()];
+    for start in 0..slice.len() {
+        if visited[start] {
+            continue;
+        }
+        visited[start] = true;
+        // Walk the cycle containing `start`: each swap puts the correct
+        // element into `position` and pushes the displaced one onward.
+        let mut position = start;
+        loop {
+            let source = perm[position];
+            if source == start {
+                break;
+            }
+            slice.swap(position, source);
+            visited[source] = true;
+            position = source;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::apply_permutation;
+
+    #[test]
+    fn apply_permutation_matches_definition() {
+        // new[i] = old[perm[i]] for an arbitrary permutation.
+        let old = vec!["a", "b", "c", "d", "e"];
+        let perm = vec![3usize, 0, 4, 1, 2];
+        let mut actual = old.clone();
+        apply_permutation(&mut actual, &perm);
+        let expected: Vec<&str> = perm.iter().map(|&i| old[i]).collect();
+        assert_eq!(actual, expected);
+    }
+
+    #[test]
+    fn apply_permutation_handles_identity_and_rotation() {
+        let mut xs = vec![10, 20, 30, 40];
+        apply_permutation(&mut xs, &[0, 1, 2, 3]);
+        assert_eq!(xs, vec![10, 20, 30, 40]);
+        let mut ys = vec![10, 20, 30, 40];
+        apply_permutation(&mut ys, &[1, 2, 3, 0]);
+        assert_eq!(ys, vec![20, 30, 40, 10]);
+    }
+}
