@@ -42,9 +42,10 @@ pub mod stats;
 
 pub use maintainer::DfsMaintainer;
 pub use policy::{
-    maintain_index, IndexMaintenanceStats, IndexPolicy, RebuildPolicy, RebuildPolicyStats,
+    maintain_index, maintain_index_with, IndexMaintenanceStats, IndexPolicy, RebuildPolicy,
+    RebuildPolicyStats,
 };
-pub use report::{BatchReport, StatsReport};
+pub use report::{BatchReport, StatsReport, StatsRollup};
 pub use stats::{
     CongestStats, RerootStats, SeqUpdateStats, StreamStats, TraversalKind, UpdateStats,
 };

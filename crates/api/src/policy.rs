@@ -221,9 +221,27 @@ pub fn maintain_index(
     policy: IndexPolicy,
     stats: &mut IndexMaintenanceStats,
 ) {
+    maintain_index_with(idx, patch, root, policy, stats, |_| new_par.to_vec());
+}
+
+/// [`maintain_index`] with a **lazily materialised** parent array: `new_par`
+/// is invoked — with the still-unmodified pre-update index — only on the
+/// rebuild paths (policy says rebuild, patch refused). Callers whose engine
+/// does not otherwise need a full parent copy (the sequential baseline:
+/// its reduction and reroots are fully described by the `TreePatch`) use
+/// this to skip the per-update `O(n)` copy entirely on the patch path.
+pub fn maintain_index_with(
+    idx: &mut pardfs_tree::TreeIndex,
+    patch: &pardfs_tree::TreePatch,
+    root: pardfs_graph::Vertex,
+    policy: IndexPolicy,
+    stats: &mut IndexMaintenanceStats,
+    new_par: impl FnOnce(&pardfs_tree::TreeIndex) -> Vec<pardfs_graph::Vertex>,
+) {
     use pardfs_tree::PatchOutcome;
     let rebuild = |idx: &mut pardfs_tree::TreeIndex| {
-        *idx = pardfs_tree::TreeIndex::from_parent_slice(new_par, root);
+        let par = new_par(idx);
+        *idx = pardfs_tree::TreeIndex::from_parent_slice(&par, root);
     };
     match policy.region_limit(idx.num_vertices()) {
         None => {

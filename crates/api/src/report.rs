@@ -170,6 +170,62 @@ impl StatsReport {
     }
 }
 
+/// Aggregation of many per-update [`StatsReport`]s into one structural
+/// roll-up — the quantity a *phase* of a scenario (or any other grouping of
+/// updates) reports. Index-maintenance counters are deliberately absent:
+/// they are cumulative on the maintainer, so groupings difference them via
+/// [`IndexMaintenanceStats::since`] instead of re-summing.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StatsRollup {
+    /// Updates absorbed.
+    pub updates: u64,
+    /// Total sequential query sets across the absorbed updates.
+    pub query_sets: u64,
+    /// Maximum query sets any single absorbed update needed.
+    pub max_query_sets: u64,
+    /// Total vertices whose parent pointer was rewritten.
+    pub relinked_vertices: u64,
+    /// Total independent subtree reroots the reductions produced.
+    pub reroot_jobs: u64,
+}
+
+impl StatsRollup {
+    /// Fold one update's report into the roll-up.
+    pub fn absorb(&mut self, report: &StatsReport) {
+        self.updates += 1;
+        let sets = report.total_query_sets();
+        self.query_sets += sets;
+        self.max_query_sets = self.max_query_sets.max(sets);
+        self.relinked_vertices += report.relinked_vertices();
+        self.reroot_jobs += report.reroot_jobs();
+    }
+
+    /// Fold a whole batch's per-update reports into the roll-up.
+    pub fn absorb_batch(&mut self, batch: &BatchReport) {
+        for report in &batch.per_update {
+            self.absorb(report);
+        }
+    }
+
+    /// Merge another roll-up (sums everywhere, max for the maximum).
+    pub fn merge(&mut self, other: &StatsRollup) {
+        self.updates += other.updates;
+        self.query_sets += other.query_sets;
+        self.max_query_sets = self.max_query_sets.max(other.max_query_sets);
+        self.relinked_vertices += other.relinked_vertices;
+        self.reroot_jobs += other.reroot_jobs;
+    }
+
+    /// Mean query sets per absorbed update.
+    pub fn mean_query_sets(&self) -> f64 {
+        if self.updates == 0 {
+            0.0
+        } else {
+            self.query_sets as f64 / self.updates as f64
+        }
+    }
+}
+
 /// What applying a batch of updates did.
 #[derive(Debug, Clone, Default)]
 pub struct BatchReport {
@@ -287,6 +343,27 @@ mod tests {
             let _ = r.index_maintenance(); // every variant carries it
         }
         assert_eq!(reports[1].index_maintenance().patches_applied, 9);
+    }
+
+    #[test]
+    fn rollup_absorbs_and_merges() {
+        let mut a = StatsRollup::default();
+        a.absorb(&parallel_report(4, 7));
+        a.absorb(&parallel_report(2, 1));
+        assert_eq!(a.updates, 2);
+        assert_eq!(a.query_sets, 6);
+        assert_eq!(a.max_query_sets, 4);
+        assert_eq!(a.relinked_vertices, 8);
+        assert!((a.mean_query_sets() - 3.0).abs() < 1e-9);
+        let mut b = StatsRollup::default();
+        b.absorb_batch(&BatchReport {
+            inserted: vec![],
+            per_update: vec![parallel_report(9, 2)],
+        });
+        a.merge(&b);
+        assert_eq!(a.updates, 3);
+        assert_eq!(a.max_query_sets, 9);
+        assert_eq!(StatsRollup::default().mean_query_sets(), 0.0);
     }
 
     #[test]

@@ -2,7 +2,7 @@
 //! against the baselines committed at the repository root.
 //!
 //! ```text
-//! bench_gate --baseline <dir> --fresh <dir> [E2 E10 E11 ...]
+//! bench_gate --baseline <dir> --fresh <dir> [--summary <file>] [E2 E10 E11 ...]
 //! ```
 //!
 //! With no explicit ids, every **git-tracked** `BENCH_E*.json` in the
@@ -14,13 +14,20 @@
 //! comparison (files present, records parse, configuration sets match)
 //! fails the process with exit code 1; timing drift is printed as advisory
 //! notes only. See `pardfs_bench::gate` for the exact contract.
+//!
+//! A GitHub-flavoured markdown comparison table is additionally written to
+//! `--summary <file>` — or, when that flag is absent, appended to the file
+//! named by the `GITHUB_STEP_SUMMARY` environment variable (set by GitHub
+//! Actions), so pass/fail and the per-configuration timing drift are
+//! readable straight from the Actions run page.
 
-use pardfs_bench::gate::{gate_files, render_report};
+use pardfs_bench::gate::{gate_files, render_markdown, render_report};
 use std::path::PathBuf;
 
 fn main() {
     let mut baseline_dir = PathBuf::from(".");
     let mut fresh_dir: Option<PathBuf> = None;
+    let mut summary_path: Option<PathBuf> = None;
     let mut ids: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -32,6 +39,10 @@ fn main() {
             "--fresh" => match args.next() {
                 Some(dir) => fresh_dir = Some(PathBuf::from(dir)),
                 None => usage_error("--fresh requires a directory argument"),
+            },
+            "--summary" => match args.next() {
+                Some(file) => summary_path = Some(PathBuf::from(file)),
+                None => usage_error("--summary requires a file argument"),
             },
             flag if flag.starts_with("--") => {
                 usage_error(&format!("unknown flag {flag}"));
@@ -77,6 +88,7 @@ fn main() {
     }
 
     let mut failed = false;
+    let mut results = Vec::with_capacity(ids.len());
     for id in &ids {
         let file = format!("BENCH_{id}.json");
         let report = gate_files(id, &baseline_dir.join(&file), &fresh_dir.join(&file));
@@ -86,16 +98,49 @@ fn main() {
             render_report(&report)
         );
         failed |= !report.passed();
+        results.push((id.clone(), report));
     }
+    write_summary(summary_path, &render_markdown(&results));
     if failed {
         eprintln!("bench gate failed: the measured-pipeline structure changed (see FAIL lines)");
         std::process::exit(1);
     }
 }
 
+/// Write the markdown summary to the explicit `--summary` path (truncating)
+/// or append it to `$GITHUB_STEP_SUMMARY` when Actions provides one. A
+/// write failure is itself a gate failure: a pipeline that silently stops
+/// reporting is exactly what the gate exists to catch.
+fn write_summary(explicit: Option<PathBuf>, markdown: &str) {
+    use std::io::Write as _;
+    let (path, append) = match explicit {
+        Some(path) => (path, false),
+        None => match std::env::var_os("GITHUB_STEP_SUMMARY") {
+            Some(path) => (PathBuf::from(path), true),
+            None => return,
+        },
+    };
+    let result = std::fs::OpenOptions::new()
+        .create(true)
+        .append(append)
+        .write(true)
+        .truncate(!append)
+        .open(&path)
+        .and_then(|mut f| f.write_all(markdown.as_bytes()));
+    if let Err(e) = result {
+        eprintln!(
+            "cannot write the markdown summary to {}: {e}",
+            path.display()
+        );
+        std::process::exit(1);
+    }
+}
+
 fn usage_error(message: &str) -> ! {
     eprintln!("{message}");
-    eprintln!("usage: bench_gate --baseline <dir> --fresh <dir> [E2 E10 E11 ...]");
+    eprintln!(
+        "usage: bench_gate --baseline <dir> --fresh <dir> [--summary <file>] [E2 E10 E11 ...]"
+    );
     std::process::exit(2);
 }
 

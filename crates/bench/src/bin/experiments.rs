@@ -10,7 +10,7 @@
 //! ```
 //!
 //! Experiments that carry [`pardfs_bench::BenchRecord`] rows (E1, E2, E9,
-//! E10, E11) also emit `BENCH_<id>.json` into the current directory
+//! E10, E11, E12) also emit `BENCH_<id>.json` into the current directory
 //! (override with `--json-dir <dir>`), so the perf trajectory is recorded as
 //! data, not just prose.
 //!
@@ -104,9 +104,12 @@ fn main() {
     if want("e11") {
         tables.push(exp::e11_index_patching(scale));
     }
+    if want("e12") {
+        tables.push(exp::e12_scenarios(scale));
+    }
 
     if tables.is_empty() {
-        eprintln!("unknown experiment id; use e1 e2 e3 e3b e4 e5 e6 e7 e8 e9 e10 e11 or all");
+        eprintln!("unknown experiment id; use e1 e2 e3 e3b e4 e5 e6 e7 e8 e9 e10 e11 e12 or all");
         std::process::exit(2);
     }
     for t in &tables {

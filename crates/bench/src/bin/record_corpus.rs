@@ -1,0 +1,72 @@
+//! Regenerate the checked-in trace corpus under `tests/corpus/`.
+//!
+//! ```text
+//! cargo run --release -p pardfs-bench --bin record_corpus -- [out_dir]
+//! ```
+//!
+//! Each corpus trace is one scenario family recorded at a small size, then
+//! replayed on **every** backend to (a) sanity-check the replay (valid tree,
+//! cross-backend agreement on the backend-independent fingerprints) and
+//! (b) stamp the recorded fingerprints into the file: `components` and
+//! `queries` once, plus one `tree <backend>` line per backend. The
+//! `scenario-corpus` CI job replays these files at `PARDFS_THREADS=1,4` and
+//! fails on any fingerprint drift — a change that alters what any backend
+//! computes on a frozen workload must regenerate the corpus explicitly
+//! (rerun this binary and commit the diff).
+
+use pardfs::{Backend, MaintainerBuilder, Scenario};
+use std::path::PathBuf;
+
+/// The corpus: `(scenario, n, seed)` triples, one file each. Small enough
+/// to read in a code review, varied enough to cover vertex churn, component
+/// storms, deep reroots, hub cascades and the read-mostly service shape.
+const CORPUS: &[(Scenario, usize, u64)] = &[
+    (Scenario::MergeSplitStorm, 64, 1001),
+    (Scenario::DeepPathStress, 64, 1002),
+    (Scenario::VertexChurn, 48, 1003),
+    (Scenario::HubDeathCascade, 72, 1004),
+    (Scenario::ReadMostly, 64, 1005),
+];
+
+fn main() {
+    let out_dir = std::env::args()
+        .nth(1)
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("tests/corpus"));
+    std::fs::create_dir_all(&out_dir).expect("create corpus directory");
+    for &(scenario, n, seed) in CORPUS {
+        let mut trace = scenario.record(n, seed);
+        let mut reference: Option<(u64, u64)> = None;
+        for backend in Backend::all_default() {
+            let (dfs, outcome) = MaintainerBuilder::new(backend).run_scenario(&trace);
+            dfs.check().unwrap_or_else(|e| {
+                panic!(
+                    "{}: invalid tree after {}: {e}",
+                    outcome.backend, trace.scenario
+                )
+            });
+            match reference {
+                None => {
+                    reference = Some((outcome.components_fingerprint, outcome.queries_fingerprint))
+                }
+                Some(expected) => assert_eq!(
+                    (outcome.components_fingerprint, outcome.queries_fingerprint),
+                    expected,
+                    "{}: backend-independent fingerprints diverged on {}",
+                    outcome.backend,
+                    trace.scenario
+                ),
+            }
+            outcome.stamp(&mut trace);
+        }
+        let path = out_dir.join(format!("{}_n{n}_s{seed}.trace", trace.scenario));
+        std::fs::write(&path, trace.render()).expect("write trace");
+        println!(
+            "wrote {} ({} updates, {} queries, {} fingerprints)",
+            path.display(),
+            trace.num_updates(),
+            trace.num_queries(),
+            trace.fingerprints.len()
+        );
+    }
+}

@@ -17,7 +17,9 @@ use pardfs::query::StructureD;
 use pardfs::seq::augment::AugmentedGraph;
 use pardfs::seq::static_dfs::static_dfs;
 use pardfs::tree::TreeIndex;
-use pardfs::{Backend, DfsMaintainer, IndexPolicy, MaintainerBuilder, RebuildPolicy, Strategy};
+use pardfs::{
+    Backend, DfsMaintainer, IndexPolicy, MaintainerBuilder, RebuildPolicy, Scenario, Strategy,
+};
 use std::collections::HashMap;
 use std::time::Instant;
 
@@ -740,6 +742,70 @@ pub fn e11_index_patching(scale: Scale) -> Table {
     t
 }
 
+/// E12 — the scenario matrix: every backend driven through every named
+/// scenario family's recorded trace by the one [`pardfs::ScenarioRunner`].
+///
+/// Unlike E1–E11's single-mix random workloads, each scenario is a phased,
+/// adversarial interleaving of update batches and query batches (churn
+/// storms, merge/split waves, deep-path reroot stressors, read-mostly
+/// service, …), so this is the table that answers "how does each backend
+/// hold up under a *shaped* workload". The recorded JSON keys rows by
+/// `(backend, scenario)`, which is exactly the configuration set the
+/// hardened `bench_gate` pins: a scenario family or backend silently
+/// dropping out of the matrix fails CI.
+pub fn e12_scenarios(scale: Scale) -> Table {
+    let n = match scale {
+        Scale::Tiny => 64,
+        Scale::Quick => 192,
+        Scale::Full => 768,
+    };
+    let mut t = Table::new(
+        format!("E12: backend × scenario matrix (n ≈ {n}, one trace per scenario)"),
+        &[
+            "scenario",
+            "backend",
+            "n",
+            "m",
+            "updates",
+            "queries",
+            "µs/update",
+            "sets/update",
+            "patches",
+            "rebuilds",
+        ],
+    );
+    t.id = "E12".into();
+    for (i, scenario) in Scenario::all().into_iter().enumerate() {
+        let trace = scenario.record(n, 0xE12 + i as u64);
+        for backend in Backend::all_default() {
+            let (_, outcome) = MaintainerBuilder::new(backend).run_scenario(&trace);
+            t.records.push(BenchRecord {
+                n: trace.n,
+                m: trace.m(),
+                backend: outcome.backend.clone(),
+                policy: scenario.name().into(),
+                ns_per_update: outcome.mean_micros_per_update() * 1e3,
+                index_ns_per_update: None,
+            });
+            let rollup = outcome.rollup();
+            let index = outcome.index();
+            t.push_row(vec![
+                scenario.name().into(),
+                outcome.backend.clone(),
+                trace.n.to_string(),
+                trace.m().to_string(),
+                outcome.updates_applied().to_string(),
+                outcome.queries_answered().to_string(),
+                format!("{:.0}", outcome.mean_micros_per_update()),
+                format!("{:.1}", rollup.mean_query_sets()),
+                index.patches_applied.to_string(),
+                index.full_rebuilds.to_string(),
+            ]);
+        }
+    }
+    t
+}
+
 /// All experiments in EXPERIMENTS.md order.
 pub fn all_experiments(scale: Scale) -> Vec<Table> {
     vec![
@@ -755,6 +821,7 @@ pub fn all_experiments(scale: Scale) -> Vec<Table> {
         e9_backend_matrix(scale),
         e10_rebuild_policy(scale),
         e11_index_patching(scale),
+        e12_scenarios(scale),
     ]
 }
 
@@ -808,6 +875,36 @@ mod tests {
         assert!(json.contains("\"policy\": \"patched (default)\""));
         assert!(json.contains("\"ns_per_update\""));
         assert!(json.contains("\"index_ns_per_update\""));
+    }
+
+    #[test]
+    fn scenario_matrix_covers_every_backend_and_family() {
+        let t = e12_scenarios(Scale::Tiny);
+        assert_eq!(t.id, "E12");
+        assert_eq!(t.rows.len(), 6 * 5, "6 scenarios × 5 backends");
+        assert_eq!(t.records.len(), 6 * 5);
+        for scenario in Scenario::all() {
+            assert!(
+                t.records.iter().any(|r| r.policy == scenario.name()),
+                "{} missing from the records",
+                scenario.name()
+            );
+        }
+        for backend in [
+            "parallel",
+            "sequential",
+            "streaming",
+            "congest",
+            "fault-tolerant",
+        ] {
+            assert_eq!(
+                t.records.iter().filter(|r| r.backend == backend).count(),
+                6,
+                "{backend} must appear once per scenario"
+            );
+        }
+        let json = t.records_json().expect("E12 carries records");
+        assert!(json.contains("\"policy\": \"deep-path-reroot\""));
     }
 
     #[test]

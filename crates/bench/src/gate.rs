@@ -44,6 +44,28 @@ pub struct GateRecord {
     pub ns_per_update: f64,
 }
 
+/// One baseline-vs-fresh timing comparison of a configuration that exists
+/// on both sides (the structured form behind the advisory notes; the
+/// markdown step summary renders these as a table).
+#[derive(Debug, Clone, PartialEq)]
+pub struct GateComparison {
+    /// Backend label of the configuration.
+    pub backend: String,
+    /// Policy/configuration label.
+    pub policy: String,
+    /// Mean ns/update across the baseline's records of this configuration.
+    pub baseline_ns: f64,
+    /// Mean ns/update across the fresh run's records of this configuration.
+    pub fresh_ns: f64,
+}
+
+impl GateComparison {
+    /// Fresh-over-baseline timing ratio.
+    pub fn ratio(&self) -> f64 {
+        self.fresh_ns / self.baseline_ns
+    }
+}
+
 /// Outcome of gating one experiment id.
 #[derive(Debug, Default)]
 pub struct GateReport {
@@ -51,6 +73,8 @@ pub struct GateReport {
     pub errors: Vec<String>,
     /// Advisory notes (timing drift) — reported, never failing.
     pub advisories: Vec<String>,
+    /// The per-configuration timing comparisons behind the advisories.
+    pub comparisons: Vec<GateComparison>,
 }
 
 impl GateReport {
@@ -178,6 +202,12 @@ pub fn compare(id: &str, baseline: &[GateRecord], fresh: &[GateRecord]) -> GateR
                 base,
                 new / base
             ));
+            report.comparisons.push(GateComparison {
+                backend: config.0.clone(),
+                policy: config.1.clone(),
+                baseline_ns: base,
+                fresh_ns: new,
+            });
         }
     }
     report
@@ -207,8 +237,61 @@ pub fn gate_files(id: &str, baseline_path: &Path, fresh_path: &Path) -> GateRepo
         let compared = compare(id, &baseline, &fresh);
         report.errors.extend(compared.errors);
         report.advisories.extend(compared.advisories);
+        report.comparisons.extend(compared.comparisons);
     }
     report
+}
+
+/// Render every gated experiment as one GitHub-flavoured markdown document
+/// — the `$GITHUB_STEP_SUMMARY` payload, so a regression (or the advisory
+/// timing drift) is readable straight from the Actions UI without digging
+/// through logs. Structural failures come first (they fail the job);
+/// the per-configuration comparison table follows.
+pub fn render_markdown(results: &[(String, GateReport)]) -> String {
+    let mut out = String::from("## Bench regression gate\n\n");
+    let failed: Vec<&(String, GateReport)> = results.iter().filter(|(_, r)| !r.passed()).collect();
+    if failed.is_empty() {
+        let _ = writeln!(
+            out,
+            "**Structure: ✅ pass** — every committed baseline has a fresh, well-formed \
+             counterpart with an identical configuration set.\n"
+        );
+    } else {
+        let _ = writeln!(out, "**Structure: ❌ FAIL**\n");
+        for (id, report) in &failed {
+            for error in &report.errors {
+                let _ = writeln!(out, "- ❌ `{id}`: {error}");
+            }
+        }
+        out.push('\n');
+    }
+    let any_comparisons = results.iter().any(|(_, r)| !r.comparisons.is_empty());
+    if any_comparisons {
+        let _ = writeln!(
+            out,
+            "Timings are **advisory only**: committed baselines are full-scale runs on \
+             dedicated hardware, CI re-measures at tiny scale on shared runners.\n"
+        );
+        let _ = writeln!(
+            out,
+            "| experiment | backend | configuration | baseline ns/update | fresh ns/update | ratio |"
+        );
+        let _ = writeln!(out, "|---|---|---|---:|---:|---:|");
+        for (id, report) in results {
+            for c in &report.comparisons {
+                let _ = writeln!(
+                    out,
+                    "| {id} | {} | {} | {:.0} | {:.0} | {:.2}× |",
+                    c.backend,
+                    c.policy,
+                    c.baseline_ns,
+                    c.fresh_ns,
+                    c.ratio()
+                );
+            }
+        }
+    }
+    out
 }
 
 /// Render a report for terminal output.
@@ -308,6 +391,26 @@ mod tests {
         let report = compare("E99", &baseline, &records);
         assert!(!report.passed());
         assert!(report.errors[0].contains("non-positive timing"));
+    }
+
+    #[test]
+    fn markdown_summary_renders_pass_and_fail() {
+        let records = parse_records(&table_json(&["alpha", "beta"])).unwrap();
+        let pass = compare("E99", &records, &records);
+        assert_eq!(pass.comparisons.len(), 2);
+        let md = render_markdown(&[("E99".into(), pass)]);
+        assert!(md.contains("## Bench regression gate"));
+        assert!(md.contains("✅ pass"));
+        assert!(md.contains("| E99 | parallel | alpha |"));
+        assert!(md.contains("1.00×"));
+
+        let fresh = parse_records(&table_json(&["alpha"])).unwrap();
+        let fail = compare("E99", &records, &fresh);
+        let md = render_markdown(&[("E99".into(), fail)]);
+        assert!(md.contains("❌ FAIL"));
+        assert!(md.contains("missing from the fresh run"));
+        // The surviving configuration still gets its comparison row.
+        assert!(md.contains("| E99 | parallel | alpha |"));
     }
 
     #[test]

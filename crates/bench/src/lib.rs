@@ -18,5 +18,5 @@ pub mod workloads;
 
 pub use driver::{drive, DriveSummary};
 pub use experiments::*;
-pub use gate::{GateRecord, GateReport};
+pub use gate::{GateComparison, GateRecord, GateReport};
 pub use table::{BenchRecord, Table};

@@ -1,111 +1,8 @@
 //! Shared workload generation for the experiments.
+//!
+//! The graph families and one-shot workload builders were promoted into the
+//! [`pardfs_workload`] crate (which adds the recordable/replayable scenario
+//! engine on top); this module re-exports them so every historical
+//! `pardfs_bench::workloads::*` path keeps working.
 
-use pardfs_graph::updates::{random_update_sequence, UpdateMix};
-use pardfs_graph::{generators, Graph, Update};
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
-
-/// Deterministic RNG used across all experiments so tables are reproducible.
-pub fn rng(seed: u64) -> ChaCha8Rng {
-    ChaCha8Rng::seed_from_u64(seed)
-}
-
-/// A named graph family at a given size.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum Family {
-    /// Random connected graph with `m ≈ 4n` (sparse).
-    Sparse,
-    /// Random connected graph with `m ≈ n·√n` (dense-ish).
-    Dense,
-    /// Long path with random shortcuts (large diameter, deep DFS tree).
-    NearPath,
-    /// Broom: half path, half fan (very unbalanced DFS tree).
-    Broom,
-    /// 2-D grid.
-    Grid,
-}
-
-impl Family {
-    /// Human-readable label.
-    pub fn label(&self) -> &'static str {
-        match self {
-            Family::Sparse => "sparse (m=4n)",
-            Family::Dense => "dense (m=n*sqrt n)",
-            Family::NearPath => "near-path",
-            Family::Broom => "broom",
-            Family::Grid => "grid",
-        }
-    }
-
-    /// Instantiate the family at roughly `n` vertices.
-    pub fn build(&self, n: usize, rng: &mut ChaCha8Rng) -> Graph {
-        match self {
-            Family::Sparse => generators::random_connected_gnm(n, 4 * n, rng),
-            Family::Dense => {
-                let m = ((n as f64).powf(1.5) as usize).min(n * (n - 1) / 2).max(n);
-                generators::random_connected_gnm(n, m, rng)
-            }
-            Family::NearPath => generators::random_long_range(n, n / 4, 8, rng),
-            Family::Broom => generators::broom(n / 2, n - n / 2),
-            Family::Grid => {
-                let side = (n as f64).sqrt().round() as usize;
-                generators::grid(side.max(2), side.max(2))
-            }
-        }
-    }
-}
-
-/// A benchmark workload: a graph plus a valid update sequence over it.
-#[derive(Debug, Clone)]
-pub struct Workload {
-    /// The starting graph.
-    pub graph: Graph,
-    /// The update sequence.
-    pub updates: Vec<Update>,
-}
-
-/// Build a workload of `count` mixed updates over the given family/size.
-pub fn workload(family: Family, n: usize, count: usize, seed: u64) -> Workload {
-    let mut r = rng(seed);
-    let graph = family.build(n, &mut r);
-    let updates = random_update_sequence(&graph, count, &UpdateMix::default(), &mut r);
-    Workload { graph, updates }
-}
-
-/// Build a workload restricted to edge updates.
-pub fn edge_workload(family: Family, n: usize, count: usize, seed: u64) -> Workload {
-    let mut r = rng(seed);
-    let graph = family.build(n, &mut r);
-    let updates = random_update_sequence(&graph, count, &UpdateMix::edges_only(), &mut r);
-    Workload { graph, updates }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn workloads_are_reproducible() {
-        let a = workload(Family::Sparse, 100, 10, 1);
-        let b = workload(Family::Sparse, 100, 10, 1);
-        assert_eq!(a.updates, b.updates);
-        assert_eq!(a.graph.num_edges(), b.graph.num_edges());
-        assert_eq!(a.graph.num_edges(), 400);
-    }
-
-    #[test]
-    fn all_families_build() {
-        let mut r = rng(2);
-        for f in [
-            Family::Sparse,
-            Family::Dense,
-            Family::NearPath,
-            Family::Broom,
-            Family::Grid,
-        ] {
-            let g = f.build(64, &mut r);
-            assert!(g.num_vertices() >= 60, "{}", f.label());
-            assert!(pardfs_graph::is_connected(&g), "{}", f.label());
-        }
-    }
-}
+pub use pardfs_workload::{edge_workload, rng, workload, Family, Workload};

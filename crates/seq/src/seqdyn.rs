@@ -17,7 +17,9 @@
 use crate::augment::{self, AugmentedGraph};
 use crate::check::check_spanning_dfs_tree;
 use crate::static_dfs::static_dfs;
-use pardfs_api::{maintain_index, DfsMaintainer, IndexMaintenanceStats, IndexPolicy, StatsReport};
+use pardfs_api::{
+    maintain_index_with, DfsMaintainer, IndexMaintenanceStats, IndexPolicy, StatsReport,
+};
 use pardfs_graph::{Graph, Update, Vertex};
 use pardfs_query::{QueryOracle, StructureD, VertexQuery};
 use pardfs_tree::rooted::NO_VERTEX;
@@ -44,6 +46,7 @@ pub struct SeqRerootDfs {
     d: StructureD,
     index_policy: IndexPolicy,
     index_stats: IndexMaintenanceStats,
+    parent_materializations: u64,
     last_stats: SeqUpdateStats,
 }
 
@@ -60,6 +63,7 @@ impl SeqRerootDfs {
             d,
             index_policy: IndexPolicy::default(),
             index_stats: IndexMaintenanceStats::default(),
+            parent_materializations: 0,
             last_stats: SeqUpdateStats::default(),
         }
     }
@@ -77,6 +81,16 @@ impl SeqRerootDfs {
     /// What the index-maintenance policy has done so far.
     pub fn index_stats(&self) -> IndexMaintenanceStats {
         self.index_stats
+    }
+
+    /// How many times an update had to materialise a full `O(n)` parent
+    /// array. Updates are described to the index purely by their
+    /// [`TreePatch`]; the full array is reconstructed **only** when the
+    /// index falls back to a rebuild (membership change, oversized region,
+    /// [`IndexPolicy::EveryUpdate`]) — the patch path never pays the copy
+    /// that used to be taken unconditionally per update.
+    pub fn parent_materializations(&self) -> u64 {
+        self.parent_materializations
     }
 
     /// The current DFS tree of the augmented graph (rooted at the pseudo root).
@@ -176,29 +190,48 @@ impl SeqRerootDfs {
             }
         };
 
-        // New parent array starts as a copy of the old one; the reduction and
-        // the reroots overwrite exactly the affected entries.
-        let mut new_par: Vec<Vertex> = self.idx.capacity_parent_array();
-        if new_par.len() < self.aug.graph().capacity() {
-            new_par.resize(self.aug.graph().capacity(), NO_VERTEX);
-        }
-
+        // The update's parent rewrites are described entirely by the
+        // `TreePatch` — no per-update `O(n)` copy of the old parent array.
         let mut patch = TreePatch::new();
-        let jobs = self.reduce(update, inserted, &mut new_par, &mut patch, &mut stats);
+        let jobs = self.reduce(update, inserted, &mut patch, &mut stats);
         stats.reroot_jobs = jobs.len();
         for job in jobs {
-            self.reroot(job, &mut new_par, &mut patch, &mut stats);
+            self.reroot(job, &mut patch, &mut stats);
         }
 
         // Delta-patch the tree index with the update's rewrites; `D` is
         // still rebuilt per update on the new tree (this baseline's model).
-        maintain_index(
+        // The authoritative parent array is materialised lazily: only the
+        // rebuild fallbacks (membership change, oversized region, an
+        // `EveryUpdate` policy) reconstruct it from the pre-update index
+        // plus the patch.
+        let capacity = self.aug.graph().capacity();
+        let copies = &mut self.parent_materializations;
+        let patch_ref = &patch;
+        maintain_index_with(
             &mut self.idx,
-            &patch,
-            &new_par,
+            patch_ref,
             proot,
             self.index_policy,
             &mut self.index_stats,
+            |old| {
+                *copies += 1;
+                let mut par = vec![NO_VERTEX; capacity.max(old.capacity())];
+                for &v in old.pre_order_vertices() {
+                    par[v as usize] = old.parent(v).unwrap_or(v);
+                }
+                // Assignments replay in application order (last one wins,
+                // matching the array the engine used to write directly);
+                // removals are recorded before any reroot can touch other
+                // vertices, and never conflict with an assignment.
+                for &(child, parent) in patch_ref.assignments() {
+                    par[child as usize] = parent;
+                }
+                for &v in patch_ref.removed() {
+                    par[v as usize] = NO_VERTEX;
+                }
+                par
+            },
         );
         self.d = StructureD::build(self.aug.graph(), self.idx.clone());
         self.last_stats = stats;
@@ -206,13 +239,12 @@ impl SeqRerootDfs {
     }
 
     /// The reduction of Section 3: translate an update into reroot jobs,
-    /// applying the trivial parent rewrites (deleted vertex removal, inserted
-    /// vertex attachment) directly to `new_par`.
+    /// recording the trivial parent rewrites (deleted vertex removal,
+    /// inserted vertex attachment) into `patch`.
     fn reduce(
         &self,
         update: &Update,
         inserted: Option<Vertex>,
-        new_par: &mut [Vertex],
         patch: &mut TreePatch,
         stats: &mut SeqUpdateStats,
     ) -> Vec<RerootJob> {
@@ -269,7 +301,6 @@ impl SeqRerootDfs {
                         attach_parent: hit.1,
                     });
                 }
-                new_par[*u as usize] = NO_VERTEX;
                 patch.record_removed(*u);
                 stats.relinked_vertices += 1;
                 jobs
@@ -285,7 +316,6 @@ impl SeqRerootDfs {
                     .filter(|&x| x != proot)
                     .collect();
                 let vj = nbrs.first().copied().unwrap_or(proot);
-                new_par[nv as usize] = vj;
                 patch.record_added(nv);
                 patch.assign(nv, vj);
                 stats.relinked_vertices += 1;
@@ -338,16 +368,9 @@ impl SeqRerootDfs {
             .map(|h| (h.from, h.on_path))
     }
 
-    /// Reroot the old subtree `job.sub_root` at `job.new_root`, hanging it from
-    /// `job.attach_parent`, writing the new parents into `new_par` and
-    /// recording them into `patch`.
-    fn reroot(
-        &self,
-        job: RerootJob,
-        new_par: &mut [Vertex],
-        patch: &mut TreePatch,
-        stats: &mut SeqUpdateStats,
-    ) {
+    /// Reroot the old subtree `job.sub_root` at `job.new_root`, hanging it
+    /// from `job.attach_parent`, recording the new parents into `patch`.
+    fn reroot(&self, job: RerootJob, patch: &mut TreePatch, stats: &mut SeqUpdateStats) {
         let idx = &self.idx;
         let mut pending = vec![job];
         while let Some(RerootJob {
@@ -359,7 +382,6 @@ impl SeqRerootDfs {
             // Fast path of [6]: if the subtree is re-entered through its old
             // root, its internal structure is already a DFS tree — just re-hang.
             if new_root == sub_root {
-                new_par[sub_root as usize] = attach_parent;
                 patch.assign(sub_root, attach_parent);
                 stats.relinked_vertices += 1;
                 continue;
@@ -368,7 +390,6 @@ impl SeqRerootDfs {
             let path = pardfs_tree::paths::path_vertices(idx, new_root, sub_root);
             let mut prev = attach_parent;
             for &x in &path {
-                new_par[x as usize] = prev;
                 patch.assign(x, prev);
                 prev = x;
                 stats.relinked_vertices += 1;
@@ -436,21 +457,6 @@ impl DfsMaintainer for SeqRerootDfs {
             engine: self.last_stats,
             index: self.index_stats,
         }
-    }
-}
-
-/// Helper: clone the parent array of a [`TreeIndex`] back into mutable form.
-trait ParentArrayExt {
-    fn capacity_parent_array(&self) -> Vec<Vertex>;
-}
-
-impl ParentArrayExt for TreeIndex {
-    fn capacity_parent_array(&self) -> Vec<Vertex> {
-        let mut out = vec![NO_VERTEX; self.capacity()];
-        for &v in self.pre_order_vertices() {
-            out[v as usize] = self.parent(v).unwrap_or(v);
-        }
-        out
     }
 }
 
@@ -557,6 +563,67 @@ mod tests {
                 });
             }
         }
+    }
+
+    #[test]
+    fn patch_path_never_materializes_the_parent_array() {
+        // Edge updates under a splice-everything policy: the index is kept
+        // entirely by TreePatch splices, so the O(n) old-parents copy that
+        // used to run on *every* update must not run at all.
+        let mut rng = ChaCha8Rng::seed_from_u64(77);
+        let g = generators::random_connected_gnm(60, 150, &mut rng);
+        let updates = random_update_sequence(&g, 25, &UpdateMix::edges_only(), &mut rng);
+        let mut dfs = SeqRerootDfs::new(&g);
+        dfs.set_index_policy(IndexPolicy::PatchAlways);
+        for u in &updates {
+            dfs.apply_update(u);
+        }
+        dfs.check().unwrap();
+        assert_eq!(
+            dfs.parent_materializations(),
+            0,
+            "patched edge updates must not copy the parent array"
+        );
+        assert_eq!(dfs.index_stats().patches_applied, updates.len() as u64);
+
+        // Rebuild-every-update pays exactly one materialisation per update —
+        // the pre-fix behaviour, now confined to the rebuild path.
+        let mut rebuilt = SeqRerootDfs::new(&g);
+        rebuilt.set_index_policy(IndexPolicy::EveryUpdate);
+        for u in &updates {
+            rebuilt.apply_update(u);
+        }
+        rebuilt.check().unwrap();
+        assert_eq!(rebuilt.parent_materializations(), updates.len() as u64);
+    }
+
+    #[test]
+    fn lazy_materialization_matches_direct_rebuild_under_churn() {
+        // Vertex churn always falls back to a rebuild; the lazily
+        // materialised parent array (old index + patch) must reproduce the
+        // tree the old eager copy produced — `check` after every update plus
+        // the forest queries pin it.
+        let mut rng = ChaCha8Rng::seed_from_u64(99);
+        let g = generators::random_connected_gnm(40, 100, &mut rng);
+        let updates = random_update_sequence(&g, 30, &UpdateMix::default(), &mut rng);
+        let mut dfs = SeqRerootDfs::new(&g);
+        let churn = updates
+            .iter()
+            .filter(|u| matches!(u, Update::InsertVertex { .. } | Update::DeleteVertex(_)))
+            .count() as u64;
+        for (i, u) in updates.iter().enumerate() {
+            dfs.apply_update(u);
+            dfs.check()
+                .unwrap_or_else(|e| panic!("update {i} ({u:?}) broke the tree: {e}"));
+        }
+        // Only the membership-changing updates (plus any oversized-region
+        // fallbacks) materialised; edge updates stayed on the patch path.
+        assert!(dfs.parent_materializations() >= churn);
+        assert_eq!(
+            dfs.parent_materializations(),
+            dfs.index_stats().full_rebuilds
+        );
+        assert!(dfs.index_stats().patches_applied > 0);
     }
 
     #[test]

@@ -99,6 +99,17 @@ impl TreePatch {
         &self.assignments
     }
 
+    /// The vertices recorded as having left the tree, in application order.
+    pub fn removed(&self) -> &[Vertex] {
+        &self.removed
+    }
+
+    /// The vertices recorded as having entered the tree, in application
+    /// order.
+    pub fn added(&self) -> &[Vertex] {
+        &self.added
+    }
+
     /// Does the patch change the tree's vertex *set* (insertions/deletions)?
     /// Such patches cannot be spliced and always fall back to a rebuild.
     pub fn changes_membership(&self) -> bool {

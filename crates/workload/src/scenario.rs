@@ -1,0 +1,571 @@
+//! The scenario library: six named workload families beyond the static
+//! graphs, each a composable phase sequence recorded into a [`Trace`]
+//! through the validity-enforcing [`TraceBuilder`].
+
+use crate::trace::{Trace, TraceBatch, TracePhase, TraceQuery};
+use pardfs_graph::updates::{random_update_sequence, UpdateMix};
+use pardfs_graph::{generators, Graph, Update, Vertex};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// Incrementally record a [`Trace`]: every pushed update is validated
+/// against (and applied to) a scratch mirror of the evolving graph, so a
+/// finished trace is replayable by construction.
+#[derive(Debug)]
+pub struct TraceBuilder {
+    scenario: String,
+    seed: u64,
+    n: usize,
+    edges: Vec<(Vertex, Vertex)>,
+    scratch: Graph,
+    phases: Vec<TracePhase>,
+    force_new_batch: bool,
+}
+
+impl TraceBuilder {
+    /// Start a trace over `initial`. The graph is canonicalised through its
+    /// edge list immediately (replay reconstructs adjacency in exactly this
+    /// order, and adjacency order shapes every backend's DFS tree).
+    pub fn new(scenario: &str, seed: u64, initial: &Graph) -> Self {
+        let edges: Vec<(Vertex, Vertex)> = initial.edges().map(|e| (e.0, e.1)).collect();
+        let n = initial.capacity();
+        let scratch = Graph::with_edges(n, &edges);
+        TraceBuilder {
+            scenario: scenario.to_string(),
+            seed,
+            n,
+            edges,
+            scratch,
+            phases: Vec::new(),
+            force_new_batch: false,
+        }
+    }
+
+    /// The evolving scratch graph (what the trace built so far produces).
+    pub fn scratch(&self) -> &Graph {
+        &self.scratch
+    }
+
+    /// Open a new named phase (name must be a single whitespace-free token).
+    pub fn phase(&mut self, name: &str) {
+        assert!(
+            !name.is_empty() && !name.contains(char::is_whitespace),
+            "phase name must be a single token, got {name:?}"
+        );
+        self.phases.push(TracePhase {
+            name: name.to_string(),
+            batches: Vec::new(),
+        });
+        self.force_new_batch = false;
+    }
+
+    /// Force the next record into a fresh batch (batch boundaries are part
+    /// of the trace: replay feeds each update batch to `apply_batch` whole).
+    pub fn break_batch(&mut self) {
+        self.force_new_batch = true;
+    }
+
+    fn current_phase(&mut self) -> &mut TracePhase {
+        assert!(!self.phases.is_empty(), "call phase() before recording");
+        self.phases.last_mut().expect("non-empty")
+    }
+
+    /// Would `update` be valid on the current scratch graph?
+    pub fn is_valid(&self, update: &Update) -> bool {
+        let g = &self.scratch;
+        match update {
+            Update::InsertEdge(u, v) => {
+                u != v && g.is_active(*u) && g.is_active(*v) && !g.has_edge(*u, *v)
+            }
+            Update::DeleteEdge(u, v) => g.has_edge(*u, *v),
+            Update::DeleteVertex(v) => g.is_active(*v) && g.num_vertices() > 2,
+            Update::InsertVertex { edges } => {
+                edges.iter().all(|&e| g.is_active(e))
+                    && edges
+                        .iter()
+                        .enumerate()
+                        .all(|(i, e)| !edges[..i].contains(e))
+            }
+        }
+    }
+
+    /// Record one update (panics if invalid — scenario generators are
+    /// expected to propose only valid updates, see [`TraceBuilder::is_valid`]).
+    /// Returns the new vertex id for `InsertVertex`.
+    pub fn push_update(&mut self, update: Update) -> Option<Vertex> {
+        assert!(
+            self.is_valid(&update),
+            "scenario proposed an invalid update {update:?}"
+        );
+        let inserted = self.scratch.apply(&update);
+        let force_new = std::mem::take(&mut self.force_new_batch);
+        let phase = self.current_phase();
+        match phase.batches.last_mut() {
+            Some(TraceBatch::Updates(batch)) if !force_new => batch.push(update),
+            _ => phase.batches.push(TraceBatch::Updates(vec![update])),
+        }
+        inserted
+    }
+
+    /// Record `update` if it is valid right now; report whether it was.
+    pub fn try_push_update(&mut self, update: Update) -> bool {
+        if self.is_valid(&update) {
+            self.push_update(update);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Record one query.
+    pub fn push_query(&mut self, query: TraceQuery) {
+        let force_new = std::mem::take(&mut self.force_new_batch);
+        let phase = self.current_phase();
+        match phase.batches.last_mut() {
+            Some(TraceBatch::Queries(batch)) if !force_new => batch.push(query),
+            _ => phase.batches.push(TraceBatch::Queries(vec![query])),
+        }
+    }
+
+    /// Record `count` random valid updates drawn from `mix`.
+    pub fn random_updates<R: Rng>(&mut self, count: usize, mix: &UpdateMix, rng: &mut R) {
+        for update in random_update_sequence(&self.scratch, count, mix, rng) {
+            self.push_update(update);
+        }
+    }
+
+    /// Record `count` random queries over the currently active vertices
+    /// (~60% `same_component`, ~30% `forest_parent`, ~10% `forest_roots`).
+    pub fn random_queries<R: Rng>(&mut self, count: usize, rng: &mut R) {
+        for _ in 0..count {
+            let Some(a) = self.random_active(rng) else {
+                return;
+            };
+            let pick = rng.gen_range(0u32..10);
+            let query = if pick < 6 {
+                match self.random_active(rng) {
+                    Some(b) => TraceQuery::SameComponent(a, b),
+                    None => TraceQuery::ForestParent(a),
+                }
+            } else if pick < 9 {
+                TraceQuery::ForestParent(a)
+            } else {
+                TraceQuery::ForestRoots
+            };
+            self.push_query(query);
+        }
+    }
+
+    /// A uniformly random active vertex of the scratch graph.
+    pub fn random_active<R: Rng>(&self, rng: &mut R) -> Option<Vertex> {
+        let g = &self.scratch;
+        if g.num_vertices() == 0 {
+            return None;
+        }
+        for _ in 0..64 {
+            let v = rng.gen_range(0..g.capacity() as Vertex);
+            if g.is_active(v) {
+                return Some(v);
+            }
+        }
+        g.vertices().next()
+    }
+
+    /// Finish recording (no fingerprints attached; see
+    /// [`crate::ScenarioOutcome`] for how they are produced).
+    pub fn finish(self) -> Trace {
+        Trace {
+            scenario: self.scenario,
+            seed: self.seed,
+            n: self.n,
+            edges: self.edges,
+            phases: self.phases,
+            fingerprints: Vec::new(),
+        }
+    }
+}
+
+/// The named scenario families. Each expands deterministically from
+/// `(n, seed)` into a [`Trace`] via [`Scenario::record`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scenario {
+    /// Preferential-attachment growth with aging deletions: the graph grows
+    /// by degree-biased vertex insertions, then the oldest cohort dies off.
+    PreferentialGrowth,
+    /// Component merge/split storm: a chain of clusters whose bridges are
+    /// torn down and rebuilt in waves (connectivity churn at its purest).
+    MergeSplitStorm,
+    /// Hub-death cascade on a star-heavy graph: the highest-degree vertices
+    /// are killed (orphaning whole fans at once), then patched back in.
+    HubDeathCascade,
+    /// Adversarial deep-path reroot stressor: long-range edges inserted and
+    /// deleted across a near-path graph, each one rerooting (and patching)
+    /// a constant fraction of the tree — the worst case for `TreePatch`
+    /// regions.
+    DeepPathStress,
+    /// Query-heavy read-mostly service: sparse update trickle drowned in
+    /// connectivity/parent queries.
+    ReadMostly,
+    /// Vertex-churn pipeline: cohorts of vertices are hired with random
+    /// attachments and fired oldest-first, wave after wave.
+    VertexChurn,
+}
+
+impl Scenario {
+    /// All scenario families, in catalog order.
+    pub fn all() -> Vec<Scenario> {
+        vec![
+            Scenario::PreferentialGrowth,
+            Scenario::MergeSplitStorm,
+            Scenario::HubDeathCascade,
+            Scenario::DeepPathStress,
+            Scenario::ReadMostly,
+            Scenario::VertexChurn,
+        ]
+    }
+
+    /// Stable kebab-case name (used in trace headers, tables, CI baselines).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Scenario::PreferentialGrowth => "preferential-growth",
+            Scenario::MergeSplitStorm => "merge-split-storm",
+            Scenario::HubDeathCascade => "hub-death",
+            Scenario::DeepPathStress => "deep-path-reroot",
+            Scenario::ReadMostly => "read-mostly",
+            Scenario::VertexChurn => "vertex-churn",
+        }
+    }
+
+    /// One-line catalog description.
+    pub fn description(&self) -> &'static str {
+        match self {
+            Scenario::PreferentialGrowth => "degree-biased growth, then the oldest cohort ages out",
+            Scenario::MergeSplitStorm => "cluster bridges torn down and rebuilt in waves",
+            Scenario::HubDeathCascade => "highest-degree hubs killed and patched back in",
+            Scenario::DeepPathStress => "long-range edges forcing near-whole-tree reroots",
+            Scenario::ReadMostly => "a query flood over a trickle of updates",
+            Scenario::VertexChurn => "vertex cohorts hired and fired oldest-first",
+        }
+    }
+
+    /// Record the scenario at roughly `n` vertices (clamped to ≥ 32) with
+    /// the given seed. Deterministic: same `(n, seed)` ⇒ byte-identical
+    /// trace.
+    pub fn record(&self, n: usize, seed: u64) -> Trace {
+        let n = n.max(32);
+        let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0x70617264_66730000);
+        match self {
+            Scenario::PreferentialGrowth => preferential_growth(n, seed, &mut rng),
+            Scenario::MergeSplitStorm => merge_split_storm(n, seed, &mut rng),
+            Scenario::HubDeathCascade => hub_death(n, seed, &mut rng),
+            Scenario::DeepPathStress => deep_path_stress(n, seed, &mut rng),
+            Scenario::ReadMostly => read_mostly(n, seed, &mut rng),
+            Scenario::VertexChurn => vertex_churn(n, seed, &mut rng),
+        }
+    }
+}
+
+fn preferential_growth(n: usize, seed: u64, rng: &mut ChaCha8Rng) -> Trace {
+    let base = n / 2;
+    let g = generators::random_connected_gnm(base, 2 * base, rng);
+    let mut b = TraceBuilder::new(Scenario::PreferentialGrowth.name(), seed, &g);
+
+    b.phase("grow");
+    // Endpoint pool: sampling a uniform entry is degree-proportional vertex
+    // sampling (each edge contributes both endpoints), the classic
+    // preferential-attachment construction.
+    let mut pool: Vec<Vertex> = b.scratch().edges().flat_map(|e| [e.0, e.1]).collect();
+    let grow = (n - base).min(48);
+    for _ in 0..grow {
+        let want = rng.gen_range(1..=3usize);
+        let mut targets: Vec<Vertex> = Vec::with_capacity(want);
+        for _ in 0..want {
+            let t = pool[rng.gen_range(0..pool.len())];
+            if !targets.contains(&t) {
+                targets.push(t);
+            }
+        }
+        let nv = b
+            .push_update(Update::InsertVertex {
+                edges: targets.clone(),
+            })
+            .expect("vertex insertion returns the new id");
+        for &t in &targets {
+            pool.push(nv);
+            pool.push(t);
+        }
+    }
+    b.random_queries(6, rng);
+
+    b.phase("age");
+    // Aging deletions: the oldest (lowest-id) cohort of the original base
+    // dies, cutting the preferential hubs' anchor points out from under
+    // them.
+    let die = (base / 3).min(20);
+    for v in 0..die as Vertex {
+        let _ = b.try_push_update(Update::DeleteVertex(v));
+    }
+    b.random_queries(6, rng);
+
+    b.phase("settle");
+    b.random_updates(12, &UpdateMix::default(), rng);
+    b.random_queries(8, rng);
+    b.finish()
+}
+
+fn merge_split_storm(n: usize, seed: u64, rng: &mut ChaCha8Rng) -> Trace {
+    let k = (n / 8).clamp(2, 8);
+    let cs = n / k;
+    let mut g = Graph::new(k * cs);
+    for c in 0..k {
+        let m = (2 * cs).min(cs * (cs - 1) / 2);
+        let cluster = generators::random_connected_gnm(cs, m, rng);
+        let off = (c * cs) as Vertex;
+        for e in cluster.edges() {
+            g.insert_edge(off + e.0, off + e.1);
+        }
+    }
+    let bridge = |c: usize, twist: usize| -> (Vertex, Vertex) {
+        (
+            (c * cs + twist % cs) as Vertex,
+            ((c + 1) * cs + twist % cs) as Vertex,
+        )
+    };
+    let mut bridges: Vec<(Vertex, Vertex)> = (0..k - 1).map(|c| bridge(c, 0)).collect();
+    for &(u, v) in &bridges {
+        g.insert_edge(u, v);
+    }
+    let mut b = TraceBuilder::new(Scenario::MergeSplitStorm.name(), seed, &g);
+    for wave in 0..3usize {
+        b.phase(&format!("split-{wave}"));
+        for &(u, v) in &bridges {
+            let _ = b.try_push_update(Update::DeleteEdge(u, v));
+        }
+        for c in 0..k - 1 {
+            b.push_query(TraceQuery::SameComponent(
+                (c * cs) as Vertex,
+                ((c + 1) * cs) as Vertex,
+            ));
+        }
+        b.push_query(TraceQuery::ForestRoots);
+
+        b.phase(&format!("merge-{wave}"));
+        bridges = (0..k - 1).map(|c| bridge(c, wave + 1)).collect();
+        for &(u, v) in &bridges {
+            let _ = b.try_push_update(Update::InsertEdge(u, v));
+        }
+        b.random_updates(4, &UpdateMix::edges_only(), rng);
+        b.push_query(TraceQuery::ForestRoots);
+        b.random_queries(3, rng);
+    }
+    b.finish()
+}
+
+fn hub_death(n: usize, seed: u64, rng: &mut ChaCha8Rng) -> Trace {
+    let legs = 7;
+    let spine = (n / (legs + 1)).max(3);
+    let mut g = generators::caterpillar(spine, legs);
+    // A few spine shortcuts so hub deaths cascade instead of cleanly
+    // splitting.
+    for _ in 0..spine / 4 {
+        let u = rng.gen_range(0..spine as Vertex);
+        let v = rng.gen_range(0..spine as Vertex);
+        if u != v {
+            g.insert_edge(u, v);
+        }
+    }
+    let mut b = TraceBuilder::new(Scenario::HubDeathCascade.name(), seed, &g);
+    for wave in 0..3usize {
+        b.phase(&format!("death-{wave}"));
+        for _ in 0..2 {
+            // Kill the current highest-degree vertex (ties to the lowest id).
+            let hub = b
+                .scratch()
+                .vertices()
+                .max_by_key(|&v| (b.scratch().degree(v), std::cmp::Reverse(v)));
+            if let Some(hub) = hub {
+                let _ = b.try_push_update(Update::DeleteVertex(hub));
+            }
+        }
+        b.random_queries(4, rng);
+
+        b.phase(&format!("recover-{wave}"));
+        for _ in 0..2 {
+            let mut targets: Vec<Vertex> = Vec::new();
+            for _ in 0..4 {
+                if let Some(t) = b.random_active(rng) {
+                    if !targets.contains(&t) {
+                        targets.push(t);
+                    }
+                }
+            }
+            b.push_update(Update::InsertVertex { edges: targets });
+        }
+        b.random_updates(3, &UpdateMix::edges_only(), rng);
+        b.random_queries(4, rng);
+    }
+    b.finish()
+}
+
+fn deep_path_stress(n: usize, seed: u64, rng: &mut ChaCha8Rng) -> Trace {
+    let g = generators::random_long_range(n, n / 8, 6, rng);
+    let mut b = TraceBuilder::new(Scenario::DeepPathStress.name(), seed, &g);
+
+    b.phase("deep-reroot");
+    // End-to-end chords: inserting (i, n-1-i) makes the far half reroot
+    // through the chord; deleting it immediately reroots everything back.
+    // Each pair is its own batch so the patch regions stay maximal instead
+    // of cancelling inside one batch.
+    for step in 0..6u32 {
+        let a = step as Vertex;
+        let z = (n as Vertex - 1) - step as Vertex;
+        if b.try_push_update(Update::InsertEdge(a, z)) {
+            b.push_update(Update::DeleteEdge(a, z));
+            b.break_batch();
+        }
+    }
+    b.random_queries(4, rng);
+
+    b.phase("mid-reroot");
+    // Chords between the quarter points: the reroot region is pinned near
+    // half the tree, right at the default `IndexPolicy` patch/rebuild
+    // boundary.
+    for step in 0..6u32 {
+        let a = (n as Vertex / 4) + step as Vertex;
+        let z = (3 * n as Vertex / 4) + step as Vertex;
+        if b.try_push_update(Update::InsertEdge(a, z)) {
+            b.push_update(Update::DeleteEdge(a, z));
+            b.break_batch();
+        }
+    }
+    b.random_queries(4, rng);
+
+    b.phase("shuffle");
+    b.random_updates(10, &UpdateMix::edges_only(), rng);
+    b.random_queries(6, rng);
+    b.finish()
+}
+
+fn read_mostly(n: usize, seed: u64, rng: &mut ChaCha8Rng) -> Trace {
+    let g = generators::random_connected_gnm(n, 3 * n, rng);
+    let mut b = TraceBuilder::new(Scenario::ReadMostly.name(), seed, &g);
+    for round in 0..3usize {
+        b.phase(&format!("serve-{round}"));
+        b.random_updates(4, &UpdateMix::edges_only(), rng);
+        b.random_queries(24, rng);
+    }
+    b.phase("drain");
+    b.random_queries(16, rng);
+    b.finish()
+}
+
+fn vertex_churn(n: usize, seed: u64, rng: &mut ChaCha8Rng) -> Trace {
+    let g = generators::random_connected_gnm(n, 2 * n, rng);
+    let mut b = TraceBuilder::new(Scenario::VertexChurn.name(), seed, &g);
+    for wave in 0..3usize {
+        b.phase(&format!("hire-{wave}"));
+        for _ in 0..6 {
+            let want = rng.gen_range(1..=4usize);
+            let mut targets: Vec<Vertex> = Vec::with_capacity(want);
+            for _ in 0..want {
+                if let Some(t) = b.random_active(rng) {
+                    if !targets.contains(&t) {
+                        targets.push(t);
+                    }
+                }
+            }
+            b.push_update(Update::InsertVertex { edges: targets });
+        }
+        b.random_queries(3, rng);
+
+        b.phase(&format!("fire-{wave}"));
+        // Fire oldest-first: the original workforce before any hires.
+        let mut fired = 0;
+        let mut candidate: Vertex = 0;
+        while fired < 6 && (candidate as usize) < b.scratch().capacity() {
+            if b.try_push_update(Update::DeleteVertex(candidate)) {
+                fired += 1;
+            }
+            candidate += 1;
+        }
+        b.random_queries(3, rng);
+    }
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_scenario_records_a_replayable_trace() {
+        for scenario in Scenario::all() {
+            let trace = scenario.record(64, 11);
+            assert_eq!(trace.scenario, scenario.name());
+            assert!(trace.num_updates() >= 10, "{}", scenario.name());
+            assert!(trace.num_queries() >= 6, "{}", scenario.name());
+            assert!(trace.phases.len() >= 3, "{}", scenario.name());
+            // Every update is valid when applied in order (the builder's
+            // contract, re-checked from scratch here).
+            let mut g = trace.initial_graph();
+            for phase in &trace.phases {
+                for batch in &phase.batches {
+                    if let TraceBatch::Updates(updates) = batch {
+                        for u in updates {
+                            let before = (g.num_edges(), g.num_vertices(), g.capacity());
+                            g.apply(u);
+                            let after = (g.num_edges(), g.num_vertices(), g.capacity());
+                            assert_ne!(before, after, "{}: no-op {u:?}", scenario.name());
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn recording_is_deterministic() {
+        for scenario in Scenario::all() {
+            let a = scenario.record(48, 5).render();
+            let b = scenario.record(48, 5).render();
+            assert_eq!(a, b, "{}", scenario.name());
+            let c = scenario.record(48, 6).render();
+            assert_ne!(a, c, "{}: seed must matter", scenario.name());
+        }
+    }
+
+    #[test]
+    fn builder_rejects_invalid_updates() {
+        let g = generators::path(4);
+        let mut b = TraceBuilder::new("demo", 0, &g);
+        b.phase("p");
+        assert!(!b.try_push_update(Update::InsertEdge(0, 1))); // exists
+        assert!(!b.try_push_update(Update::DeleteEdge(0, 2))); // absent
+        assert!(!b.try_push_update(Update::InsertEdge(2, 2))); // loop
+        assert!(b.try_push_update(Update::InsertEdge(0, 2)));
+        assert_eq!(b.scratch().num_edges(), 4);
+    }
+
+    #[test]
+    fn batch_boundaries_are_recorded() {
+        let g = generators::path(6);
+        let mut b = TraceBuilder::new("demo", 0, &g);
+        b.phase("p");
+        b.push_update(Update::InsertEdge(0, 2));
+        b.push_update(Update::InsertEdge(0, 3));
+        b.break_batch();
+        b.push_update(Update::InsertEdge(0, 4));
+        b.push_query(TraceQuery::ForestRoots);
+        b.push_update(Update::InsertEdge(0, 5));
+        let trace = b.finish();
+        let shapes: Vec<usize> = trace.phases[0]
+            .batches
+            .iter()
+            .map(|batch| match batch {
+                TraceBatch::Updates(u) => u.len(),
+                TraceBatch::Queries(q) => q.len(),
+            })
+            .collect();
+        assert_eq!(shapes, vec![2, 1, 1, 1]);
+    }
+}

@@ -1,0 +1,78 @@
+//! Scenario tour: record every named scenario family and replay it through
+//! two backends, printing per-phase roll-ups.
+//!
+//! ```text
+//! cargo run --release --example scenario_tour
+//! ```
+//!
+//! For each of the six scenario families (preferential-attachment growth,
+//! merge/split storms, hub-death cascades, deep-path reroot stressors,
+//! read-mostly service, vertex churn) this records a seeded trace, replays
+//! it on the parallel and sequential backends through the one
+//! `ScenarioRunner`, and prints what each phase cost: updates, queries,
+//! query sets, relinked vertices, and how the index was maintained (patch
+//! splices vs full rebuilds). The backend-independent fingerprints are
+//! asserted equal across the two backends — the same check the corpus CI
+//! job applies to every checked-in trace.
+
+use pardfs::{Backend, MaintainerBuilder, Scenario};
+
+fn main() {
+    let n = 256;
+    println!(
+        "scenario tour at n ≈ {n} (effective workers: {})",
+        rayon::current_num_threads()
+    );
+    for (i, scenario) in Scenario::all().into_iter().enumerate() {
+        let trace = scenario.record(n, 7000 + i as u64);
+        println!(
+            "\n=== {} — {} ===\n    {} initial vertices, {} edges, {} updates, {} queries, \
+             {} phases",
+            scenario.name(),
+            scenario.description(),
+            trace.n,
+            trace.m(),
+            trace.num_updates(),
+            trace.num_queries(),
+            trace.phases.len()
+        );
+        let mut reference = None;
+        for backend in [Backend::Parallel, Backend::Sequential] {
+            let (dfs, outcome) = MaintainerBuilder::new(backend).run_scenario(&trace);
+            dfs.check().expect("replay must leave a valid DFS tree");
+            println!(
+                "  [{}] {:.1} µs/update, final tree {:016x}",
+                outcome.backend,
+                outcome.mean_micros_per_update(),
+                outcome.tree_fingerprint
+            );
+            println!(
+                "    {:<12} {:>7} {:>7} {:>9} {:>9} {:>8} {:>9}",
+                "phase", "updates", "queries", "sets", "relinked", "patches", "rebuilds"
+            );
+            for phase in &outcome.phases {
+                println!(
+                    "    {:<12} {:>7} {:>7} {:>9} {:>9} {:>8} {:>9}",
+                    phase.name,
+                    phase.rollup.updates,
+                    phase.queries,
+                    phase.rollup.query_sets,
+                    phase.rollup.relinked_vertices,
+                    phase.index.patches_applied,
+                    phase.index.full_rebuilds
+                );
+            }
+            match reference {
+                None => {
+                    reference = Some((outcome.components_fingerprint, outcome.queries_fingerprint))
+                }
+                Some(expected) => assert_eq!(
+                    (outcome.components_fingerprint, outcome.queries_fingerprint),
+                    expected,
+                    "backend-independent fingerprints must agree"
+                ),
+            }
+        }
+    }
+    println!("\nall scenarios replayed; backend-independent fingerprints agreed everywhere");
+}

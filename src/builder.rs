@@ -12,6 +12,7 @@ use pardfs_graph::{Graph, Update, Vertex};
 use pardfs_seq::SeqRerootDfs;
 use pardfs_stream::StreamingDynamicDfs;
 use pardfs_tree::TreeIndex;
+use pardfs_workload::{ScenarioOutcome, ScenarioRunner, Trace};
 
 /// Which maintainer implementation to construct.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -207,6 +208,18 @@ impl MaintainerBuilder {
                 })
             }
         }
+    }
+
+    /// Replay a recorded scenario [`Trace`] end to end: build this
+    /// configuration's maintainer over the trace's initial graph, drive it
+    /// through every phase with a [`ScenarioRunner`], and return the
+    /// maintainer (final state inspectable) alongside the per-phase
+    /// [`ScenarioOutcome`](pardfs_workload::ScenarioOutcome).
+    pub fn run_scenario(&self, trace: &Trace) -> (Box<dyn DfsMaintainer>, ScenarioOutcome) {
+        let graph = trace.initial_graph();
+        let mut dfs = self.build(&graph);
+        let outcome = ScenarioRunner::new(trace).run(dfs.as_mut());
+        (dfs, outcome)
     }
 }
 
@@ -507,6 +520,34 @@ mod tests {
         };
         assert_eq!(parents(pooled.as_ref()), parents(plain.as_ref()));
         assert_eq!(pooled.forest_roots(), plain.forest_roots());
+    }
+
+    #[test]
+    fn run_scenario_replays_a_trace_on_every_backend() {
+        let trace = pardfs_workload::Scenario::MergeSplitStorm.record(48, 3);
+        let mut outcomes = Vec::new();
+        for backend in Backend::all_default() {
+            let (dfs, outcome) = MaintainerBuilder::new(backend).run_scenario(&trace);
+            assert!(dfs.check().is_ok(), "{}", dfs.backend_name());
+            assert_eq!(outcome.updates_applied() as usize, trace.num_updates());
+            assert_eq!(outcome.queries_answered() as usize, trace.num_queries());
+            assert_eq!(outcome.phases.len(), trace.phases.len());
+            outcomes.push(outcome);
+        }
+        // The backend-independent fingerprints agree across all five
+        // backends (trees may differ — a graph has many DFS trees).
+        for o in &outcomes[1..] {
+            assert_eq!(
+                o.components_fingerprint, outcomes[0].components_fingerprint,
+                "{} diverged on components",
+                o.backend
+            );
+            assert_eq!(
+                o.queries_fingerprint, outcomes[0].queries_fingerprint,
+                "{} diverged on query answers",
+                o.backend
+            );
+        }
     }
 
     #[test]

@@ -17,11 +17,15 @@
 //! * [`core`] — parallel fully dynamic DFS ([`DynamicDfs`]) and fault tolerant
 //!   DFS ([`FaultTolerantDfs`]) — Theorems 1, 13 and 14;
 //! * [`stream`] — semi-streaming dynamic DFS (Theorem 15);
-//! * [`congest`] — distributed CONGEST(B) dynamic DFS (Theorem 16).
+//! * [`congest`] — distributed CONGEST(B) dynamic DFS (Theorem 16);
+//! * [`scenario`] — the scenario engine: recordable/replayable workload
+//!   traces, six adversarial scenario families and the [`ScenarioRunner`]
+//!   that drives any backend through a [`Trace`] with per-phase roll-ups.
 //!
 //! It also hosts the [`MaintainerBuilder`]: all five backends implement the
 //! same [`DfsMaintainer`] trait, and the builder selects one at runtime by
-//! [`Backend`] × [`Strategy`] × [`CheckMode`].
+//! [`Backend`] × [`Strategy`] × [`CheckMode`] — and replays a recorded
+//! [`Trace`] end to end via [`MaintainerBuilder::run_scenario`].
 //!
 //! ## Quick start
 //!
@@ -67,8 +71,10 @@ pub use pardfs_query as query;
 pub use pardfs_seq as seq;
 pub use pardfs_stream as stream;
 pub use pardfs_tree as tree;
+pub use pardfs_workload as scenario;
 
 pub use builder::{Backend, CheckMode, MaintainerBuilder};
+pub use pardfs_api::StatsRollup;
 pub use pardfs_api::{
     BatchReport, DfsMaintainer, IndexMaintenanceStats, IndexPolicy, RebuildPolicy,
     RebuildPolicyStats, StatsReport,
@@ -78,3 +84,6 @@ pub use pardfs_core::{DynamicDfs, FaultTolerantDfs, Strategy};
 pub use pardfs_graph::{Graph, Update, Vertex};
 pub use pardfs_seq::SeqRerootDfs;
 pub use pardfs_stream::StreamingDynamicDfs;
+pub use pardfs_workload::{
+    PhaseReport, Scenario, ScenarioOutcome, ScenarioRunner, Trace, TraceBuilder,
+};

@@ -26,7 +26,7 @@
 
 use pardfs::graph::updates::{random_update_sequence, UpdateMix};
 use pardfs::graph::{generators, Graph, Update, Vertex};
-use pardfs::{Backend, MaintainerBuilder, StatsReport, Strategy};
+use pardfs::{Backend, MaintainerBuilder, Scenario, StatsReport, Strategy};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
@@ -178,6 +178,50 @@ fn large_parallel_workload_is_thread_count_invariant() {
     let updates = workload(&graph, 10, 31);
     let builder = MaintainerBuilder::new(Backend::Parallel);
     assert_thread_count_invariant("parallel/n=5000", builder, &graph, &updates);
+}
+
+#[test]
+fn scenario_replay_is_thread_count_invariant_for_every_backend() {
+    // The scenario engine's whole regression story rests on this: a trace
+    // replayed through `ScenarioRunner` must produce the same structural
+    // outcome — final tree, backend-independent query answers, per-phase
+    // stats roll-ups — at every pool size, for every backend. (The corpus
+    // CI job then compares 1- and 4-thread replays across *processes*; this
+    // test pins the same invariant in-process, with 2 threads included.)
+    for (scenario, seed) in [
+        (Scenario::DeepPathStress, 17u64),
+        (Scenario::VertexChurn, 18),
+        (Scenario::MergeSplitStorm, 19),
+    ] {
+        let trace = scenario.record(200, seed);
+        for backend in Backend::all_default() {
+            let replay = |threads: usize| {
+                let pool = rayon::ThreadPoolBuilder::new()
+                    .num_threads(threads)
+                    .build()
+                    .expect("build test pool");
+                pool.install(|| {
+                    let (_, outcome) = MaintainerBuilder::new(backend).run_scenario(&trace);
+                    outcome
+                })
+            };
+            let baseline = replay(THREAD_COUNTS[0]);
+            for &threads in &THREAD_COUNTS[1..] {
+                let outcome = replay(threads);
+                assert_eq!(
+                    baseline.structural_fingerprint(),
+                    outcome.structural_fingerprint(),
+                    "{}/{backend:?}: scenario replay diverged at {threads} threads \
+                     (tree {:016x} vs {:016x}, queries {:016x} vs {:016x})",
+                    scenario.name(),
+                    baseline.tree_fingerprint,
+                    outcome.tree_fingerprint,
+                    baseline.queries_fingerprint,
+                    outcome.queries_fingerprint,
+                );
+            }
+        }
+    }
 }
 
 #[test]

@@ -1,0 +1,153 @@
+//! Corpus replay suite: every checked-in trace under `tests/corpus/` is
+//! parsed, round-tripped, and replayed on **all five** backends; the replay
+//! fingerprints must match the ones recorded in the file.
+//!
+//! The `scenario-corpus` CI job runs this at `PARDFS_THREADS=1` and `4`, so
+//! a backend whose answer on a frozen workload drifts — across commits *or*
+//! across thread counts — fails the PR with the exact trace named. A change
+//! that legitimately alters what a backend computes must regenerate the
+//! corpus (`cargo run --release -p pardfs-bench --bin record_corpus`) and
+//! commit the diff, making the behavioural change reviewable.
+//!
+//! The `--ignored` deep sweep re-records every scenario family at a larger
+//! size and replays it everywhere (nightly CI; set `SCENARIO_SWEEP_DIR` to
+//! keep the per-backend roll-up summaries as an artifact).
+
+use pardfs::{Backend, MaintainerBuilder, Scenario, Trace};
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+fn corpus_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/corpus")
+}
+
+fn corpus_traces() -> Vec<(String, Trace, String)> {
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(corpus_dir())
+        .expect("tests/corpus exists")
+        .flatten()
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|e| e == "trace"))
+        .collect();
+    entries.sort();
+    entries
+        .into_iter()
+        .map(|path| {
+            let name = path.file_name().unwrap().to_string_lossy().into_owned();
+            let text = std::fs::read_to_string(&path).expect("readable trace");
+            let trace =
+                Trace::parse(&text).unwrap_or_else(|e| panic!("{name} does not parse: {e}"));
+            (name, trace, text)
+        })
+        .collect()
+}
+
+#[test]
+fn corpus_is_nonempty_and_round_trips_byte_identically() {
+    let traces = corpus_traces();
+    assert!(
+        traces.len() >= 3,
+        "the corpus must hold at least 3 traces, found {}",
+        traces.len()
+    );
+    for (name, trace, text) in &traces {
+        assert_eq!(
+            &trace.render(),
+            text,
+            "{name}: checked-in bytes are not the canonical rendering"
+        );
+        // Every corpus trace must carry the full fingerprint set — the
+        // replay test below silently skips absent keys, so absence here
+        // would hollow the suite out.
+        assert!(trace.fingerprint("components").is_some(), "{name}");
+        assert!(trace.fingerprint("queries").is_some(), "{name}");
+        for backend in [
+            "parallel",
+            "sequential",
+            "streaming",
+            "congest",
+            "fault-tolerant",
+        ] {
+            assert!(
+                trace.fingerprint(&format!("tree {backend}")).is_some(),
+                "{name}: missing tree fingerprint for {backend}"
+            );
+        }
+    }
+}
+
+#[test]
+fn corpus_replays_match_recorded_fingerprints_on_every_backend() {
+    for (name, trace, _) in corpus_traces() {
+        for backend in Backend::all_default() {
+            let (dfs, outcome) = MaintainerBuilder::new(backend).run_scenario(&trace);
+            dfs.check()
+                .unwrap_or_else(|e| panic!("{name}/{}: invalid final tree: {e}", outcome.backend));
+            outcome
+                .verify_against(&trace)
+                .unwrap_or_else(|e| panic!("{name}: {e}"));
+            assert_eq!(
+                outcome.updates_applied() as usize,
+                trace.num_updates(),
+                "{name}/{}: dropped updates",
+                outcome.backend
+            );
+        }
+    }
+}
+
+/// Nightly deep sweep: freshly record every scenario family at a larger
+/// size, replay it on every backend, and require cross-backend agreement on
+/// the backend-independent fingerprints plus a valid tree everywhere.
+#[test]
+#[ignore]
+fn deep_scenario_sweep() {
+    let n = 384;
+    let mut summary = String::new();
+    for (i, scenario) in Scenario::all().into_iter().enumerate() {
+        let trace = scenario.record(n, 0xDEEB + i as u64);
+        let mut reference: Option<(u64, u64)> = None;
+        for backend in Backend::all_default() {
+            let (dfs, outcome) = MaintainerBuilder::new(backend).run_scenario(&trace);
+            dfs.check().unwrap_or_else(|e| {
+                panic!(
+                    "{}/{}: invalid final tree: {e}",
+                    scenario.name(),
+                    outcome.backend
+                )
+            });
+            match reference {
+                None => {
+                    reference = Some((outcome.components_fingerprint, outcome.queries_fingerprint));
+                }
+                Some(expected) => assert_eq!(
+                    (outcome.components_fingerprint, outcome.queries_fingerprint),
+                    expected,
+                    "{}/{}: backend-independent answers diverged",
+                    scenario.name(),
+                    outcome.backend
+                ),
+            }
+            let rollup = outcome.rollup();
+            let _ = writeln!(
+                summary,
+                "{} {} updates={} queries={} query_sets={} relinked={} patches={} rebuilds={} \
+                 tree={:016x}",
+                scenario.name(),
+                outcome.backend,
+                outcome.updates_applied(),
+                outcome.queries_answered(),
+                rollup.query_sets,
+                rollup.relinked_vertices,
+                outcome.index().patches_applied,
+                outcome.index().full_rebuilds,
+                outcome.tree_fingerprint,
+            );
+        }
+    }
+    print!("{summary}");
+    if let Some(dir) = std::env::var_os("SCENARIO_SWEEP_DIR") {
+        let dir = PathBuf::from(dir);
+        std::fs::create_dir_all(&dir).expect("create sweep dir");
+        std::fs::write(dir.join(format!("sweep_n{n}.txt")), summary).expect("write sweep summary");
+    }
+}
