@@ -13,6 +13,9 @@
 //!   updates (single and batched), forest queries (`forest_parent`,
 //!   `forest_roots`, `same_component`), validity checking and unified
 //!   statistics;
+//! * [`ForestQuery`] — the read-only half of that surface, split out so
+//!   immutable published snapshots (the `pardfs-serve` layer) answer the
+//!   same query vocabulary as a live maintainer;
 //! * [`BatchReport`] — what a batch of updates did (applied count, inserted
 //!   vertex ids, per-update statistics);
 //! * [`StatsReport`] — a normalising enum over the per-model statistics
@@ -40,7 +43,7 @@ pub mod policy;
 pub mod report;
 pub mod stats;
 
-pub use maintainer::DfsMaintainer;
+pub use maintainer::{DfsMaintainer, ForestQuery};
 pub use policy::{
     maintain_index, maintain_index_with, IndexMaintenanceStats, IndexPolicy, RebuildPolicy,
     RebuildPolicyStats,

@@ -1,8 +1,42 @@
-//! The [`DfsMaintainer`] trait: one surface over five computation models.
+//! The [`DfsMaintainer`] trait: one surface over five computation models —
+//! and its read-only half, [`ForestQuery`], which immutable snapshots share.
 
 use crate::report::{BatchReport, StatsReport};
 use pardfs_graph::{Update, Vertex};
 use pardfs_tree::TreeIndex;
+
+/// The **read-only query surface** of a maintained DFS forest.
+///
+/// This is the half of [`DfsMaintainer`] that needs no `&mut` access and no
+/// live engine: forest lookups and connectivity answers, all in **user**
+/// vertex ids. It exists as its own object-safe trait so that *published
+/// snapshots* — the immutable per-epoch states the `pardfs-serve` layer
+/// hands to concurrent readers — answer exactly the same query vocabulary as
+/// a live maintainer, and generic query-replay code (the scenario runners)
+/// can be written once against `&dyn ForestQuery`.
+///
+/// `Send + Sync` are supertraits: a query surface is only useful to the
+/// serving layer if any number of reader threads can hold it at once. Every
+/// implementor is plain owned data, so the bounds cost nothing.
+pub trait ForestQuery: Send + Sync {
+    /// Parent of user vertex `v` in the maintained DFS forest (`None` for
+    /// component roots and vertices not present).
+    fn forest_parent(&self, v: Vertex) -> Option<Vertex>;
+
+    /// Roots of the maintained DFS forest (user ids), one per connected
+    /// component of the user graph.
+    fn forest_roots(&self) -> Vec<Vertex>;
+
+    /// Are user vertices `u` and `v` in the same connected component? (A DFS
+    /// forest answers connectivity for free: same tree ⇔ same component.)
+    fn same_component(&self, u: Vertex, v: Vertex) -> bool;
+
+    /// Number of user vertices currently in the graph.
+    fn num_vertices(&self) -> usize;
+
+    /// Number of user edges currently in the graph.
+    fn num_edges(&self) -> usize;
+}
 
 /// A fully dynamic DFS maintainer of an undirected user graph.
 ///
@@ -22,8 +56,11 @@ use pardfs_tree::TreeIndex;
 /// the bench harness's thread-scaling sweep and the umbrella crate's
 /// `MaintainerBuilder::num_threads` pool decorator both move maintainers
 /// onto worker threads). Every backend is plain owned data plus atomics, so
-/// the bound costs implementors nothing.
-pub trait DfsMaintainer: Send {
+/// the bound costs implementors nothing. [`ForestQuery`] is a supertrait so
+/// every live maintainer answers the same read vocabulary as a published
+/// snapshot — the serve layer's `Server` reads through it when capturing an
+/// epoch.
+pub trait DfsMaintainer: Send + ForestQuery {
     /// Short, stable backend name ("parallel", "sequential", "streaming",
     /// "congest", "fault-tolerant"), used in reports and test labels.
     fn backend_name(&self) -> &'static str;
@@ -51,24 +88,6 @@ pub trait DfsMaintainer: Send {
 
     /// The current DFS tree of the augmented graph (internal ids).
     fn tree(&self) -> &TreeIndex;
-
-    /// Parent of user vertex `v` in the maintained DFS forest (`None` for
-    /// component roots and vertices not present).
-    fn forest_parent(&self, v: Vertex) -> Option<Vertex>;
-
-    /// Roots of the maintained DFS forest (user ids), one per connected
-    /// component of the user graph.
-    fn forest_roots(&self) -> Vec<Vertex>;
-
-    /// Are user vertices `u` and `v` in the same connected component? (A DFS
-    /// forest answers connectivity for free: same tree ⇔ same component.)
-    fn same_component(&self, u: Vertex, v: Vertex) -> bool;
-
-    /// Number of user vertices currently in the graph.
-    fn num_vertices(&self) -> usize;
-
-    /// Number of user edges currently in the graph.
-    fn num_edges(&self) -> usize;
 
     /// Validate the maintained tree against the maintained graph
     /// (`O(n + m)`; used by tests and the builder's checked mode).

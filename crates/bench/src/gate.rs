@@ -42,6 +42,9 @@ pub struct GateRecord {
     pub policy: String,
     /// Mean wall-clock nanoseconds per update.
     pub ns_per_update: f64,
+    /// Logical cores of the host that recorded the row, when stamped.
+    /// Baselines committed before the stamp existed parse as `None`.
+    pub host_cores: Option<usize>,
 }
 
 /// One baseline-vs-fresh timing comparison of a configuration that exists
@@ -127,6 +130,7 @@ pub fn parse_records(json: &str) -> Result<Vec<GateRecord>, String> {
                 backend: field(line, "backend")?.to_string(),
                 policy: field(line, "policy")?.to_string(),
                 ns_per_update: field(line, "ns_per_update")?.parse().ok()?,
+                host_cores: field(line, "host_cores").and_then(|v| v.parse().ok()),
             })
         })();
         match record {
@@ -173,6 +177,34 @@ pub fn compare(id: &str, baseline: &[GateRecord], fresh: &[GateRecord]) -> GateR
                 r.backend, r.policy
             ));
         }
+    }
+    // Core-count provenance: advisory only. Timing ratios between runs
+    // recorded on hosts with different logical-core counts say even less
+    // than usual, so the mismatch is surfaced explicitly rather than left
+    // for a reader to guess from the ratios.
+    let cores = |records: &[GateRecord]| -> BTreeSet<Option<usize>> {
+        records.iter().map(|r| r.host_cores).collect()
+    };
+    let base_cores = cores(baseline);
+    let fresh_cores = cores(fresh);
+    if base_cores.contains(&None) {
+        report.advisories.push(format!(
+            "{id}: baseline predates the host_cores stamp — core-count comparison \
+             unavailable (regenerating the baseline will stamp it)"
+        ));
+    } else if base_cores != fresh_cores {
+        let render = |set: &BTreeSet<Option<usize>>| {
+            set.iter()
+                .map(|c| c.map_or("unstamped".into(), |c| c.to_string()))
+                .collect::<Vec<_>>()
+                .join(",")
+        };
+        report.advisories.push(format!(
+            "{id}: fresh run recorded on {} logical cores vs baseline's {} — timing \
+             ratios compare different machines (advisory)",
+            render(&fresh_cores),
+            render(&base_cores)
+        ));
     }
     let base_configs = configurations(baseline);
     let fresh_configs = configurations(fresh);
@@ -322,6 +354,7 @@ mod tests {
                 policy: (*p).into(),
                 ns_per_update: 1000.0 * (i + 1) as f64,
                 index_ns_per_update: if i % 2 == 0 { Some(10.0) } else { None },
+                ..BenchRecord::stamped()
             });
         }
         t.records_json().unwrap()
@@ -335,6 +368,7 @@ mod tests {
         assert_eq!(records[0].n, 64);
         assert_eq!(records[0].policy, "alpha");
         assert_eq!(records[0].ns_per_update, 1000.0);
+        assert_eq!(records[0].host_cores, Some(crate::table::host_cores()));
         // Escaped quotes survive as the writer's escaped form — equality of
         // labels is what the gate compares, and both sides use one writer.
         assert!(records[1].policy.contains("quotes"));
@@ -373,6 +407,32 @@ mod tests {
         let report = compare("E99", &baseline, &fresh);
         assert!(!report.passed());
         assert!(report.errors[0].contains("regenerate and commit"));
+    }
+
+    #[test]
+    fn core_count_mismatch_is_advisory_not_failing() {
+        let baseline = parse_records(&table_json(&["alpha"])).unwrap();
+        let mut fresh = baseline.clone();
+        fresh[0].host_cores = Some(baseline[0].host_cores.unwrap() + 7);
+        let report = compare("E99", &baseline, &fresh);
+        assert!(report.passed(), "{:?}", report.errors);
+        assert!(report
+            .advisories
+            .iter()
+            .any(|a| a.contains("logical cores")));
+    }
+
+    #[test]
+    fn unstamped_baseline_is_advisory_not_failing() {
+        let fresh = parse_records(&table_json(&["alpha"])).unwrap();
+        let mut baseline = fresh.clone();
+        baseline[0].host_cores = None;
+        let report = compare("E99", &baseline, &fresh);
+        assert!(report.passed(), "{:?}", report.errors);
+        assert!(report
+            .advisories
+            .iter()
+            .any(|a| a.contains("predates the host_cores stamp")));
     }
 
     #[test]

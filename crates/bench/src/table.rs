@@ -19,22 +19,61 @@ pub struct BenchRecord {
     /// (patch splice or rebuild) — present for the experiments that isolate
     /// it (E11).
     pub index_ns_per_update: Option<f64>,
+    /// Aggregate read throughput — present for the serving experiments
+    /// (E13), where throughput rather than latency is the headline metric.
+    pub queries_per_sec: Option<f64>,
+    /// Logical cores of the host that recorded the row. The bench gate
+    /// compares this against the committed baseline's stamp and downgrades
+    /// timing differences to an explicit advisory when they differ — the
+    /// "recorded on a one-core container" caveat, machine-checkable.
+    pub host_cores: usize,
+}
+
+/// Logical cores available to this process — the value stamped into every
+/// fresh [`BenchRecord`].
+pub fn host_cores() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
 }
 
 impl BenchRecord {
+    /// A blank record with the host core count stamped — construction sites
+    /// fill the measured fields with functional-update syntax
+    /// (`BenchRecord { n, m, .., ..BenchRecord::stamped() }`) so no site can
+    /// forget the stamp.
+    pub fn stamped() -> Self {
+        BenchRecord {
+            n: 0,
+            m: 0,
+            backend: String::new(),
+            policy: String::new(),
+            ns_per_update: 0.0,
+            index_ns_per_update: None,
+            queries_per_sec: None,
+            host_cores: host_cores(),
+        }
+    }
+
     fn to_json(&self) -> String {
         let index = match self.index_ns_per_update {
             Some(v) => format!(", \"index_ns_per_update\": {v:.1}"),
             None => String::new(),
         };
+        let qps = match self.queries_per_sec {
+            Some(v) => format!(", \"queries_per_sec\": {v:.1}"),
+            None => String::new(),
+        };
         format!(
-            "{{\"n\": {}, \"m\": {}, \"backend\": {}, \"policy\": {}, \"ns_per_update\": {:.1}{}}}",
+            "{{\"n\": {}, \"m\": {}, \"backend\": {}, \"policy\": {}, \"ns_per_update\": {:.1}{}{}, \"host_cores\": {}}}",
             self.n,
             self.m,
             json_string(&self.backend),
             json_string(&self.policy),
             self.ns_per_update,
-            index
+            index,
+            qps,
+            self.host_cores
         )
     }
 }
@@ -171,7 +210,8 @@ mod tests {
             backend: "parallel".into(),
             policy: "patched \"index\"".into(),
             ns_per_update: 1234.5,
-            index_ns_per_update: None,
+            queries_per_sec: Some(50000.5),
+            ..BenchRecord::stamped()
         });
         let json = t.records_json().unwrap();
         assert!(json.starts_with("[\n"));
@@ -179,6 +219,8 @@ mod tests {
         assert!(json.contains("\"backend\": \"parallel\""));
         assert!(json.contains("patched \\\"index\\\""));
         assert!(json.contains("\"ns_per_update\": 1234.5"));
+        assert!(json.contains("\"queries_per_sec\": 50000.5"));
+        assert!(json.contains(&format!("\"host_cores\": {}", host_cores())));
         assert!(json.trim_end().ends_with(']'));
     }
 }

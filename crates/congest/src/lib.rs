@@ -35,7 +35,9 @@
 pub mod network;
 
 use network::Network;
-use pardfs_api::{maintain_index, DfsMaintainer, IndexMaintenanceStats, IndexPolicy, StatsReport};
+use pardfs_api::{
+    maintain_index, DfsMaintainer, ForestQuery, IndexMaintenanceStats, IndexPolicy, StatsReport,
+};
 use pardfs_core::reduction::ReductionInput;
 use pardfs_core::{reduce_update, Rerooter, Strategy, UpdateStats};
 use pardfs_graph::{Graph, Update, Vertex};
@@ -360,19 +362,7 @@ impl DistributedDynamicDfs {
     }
 }
 
-impl DfsMaintainer for DistributedDynamicDfs {
-    fn backend_name(&self) -> &'static str {
-        "congest"
-    }
-
-    fn apply_update(&mut self, update: &Update) -> Option<Vertex> {
-        DistributedDynamicDfs::apply_update(self, update)
-    }
-
-    fn tree(&self) -> &TreeIndex {
-        DistributedDynamicDfs::tree(self)
-    }
-
+impl ForestQuery for DistributedDynamicDfs {
     fn forest_parent(&self, v: Vertex) -> Option<Vertex> {
         DistributedDynamicDfs::forest_parent(self, v)
     }
@@ -391,6 +381,20 @@ impl DfsMaintainer for DistributedDynamicDfs {
 
     fn num_edges(&self) -> usize {
         DistributedDynamicDfs::num_edges(self)
+    }
+}
+
+impl DfsMaintainer for DistributedDynamicDfs {
+    fn backend_name(&self) -> &'static str {
+        "congest"
+    }
+
+    fn apply_update(&mut self, update: &Update) -> Option<Vertex> {
+        DistributedDynamicDfs::apply_update(self, update)
+    }
+
+    fn tree(&self) -> &TreeIndex {
+        DistributedDynamicDfs::tree(self)
     }
 
     fn check(&self) -> Result<(), String> {

@@ -21,7 +21,7 @@ use crate::reduction::{reduce_update, ReductionInput};
 use crate::reroot::{RerootJob, Rerooter, Strategy};
 use crate::stats::UpdateStats;
 use pardfs_api::{
-    maintain_index, DfsMaintainer, IndexMaintenanceStats, IndexPolicy, RebuildPolicy,
+    maintain_index, DfsMaintainer, ForestQuery, IndexMaintenanceStats, IndexPolicy, RebuildPolicy,
     RebuildPolicyStats, StatsReport,
 };
 use pardfs_graph::{Graph, Update, Vertex};
@@ -347,19 +347,7 @@ impl DynamicDfs {
     }
 }
 
-impl DfsMaintainer for DynamicDfs {
-    fn backend_name(&self) -> &'static str {
-        "parallel"
-    }
-
-    fn apply_update(&mut self, update: &Update) -> Option<Vertex> {
-        DynamicDfs::apply_update(self, update)
-    }
-
-    fn tree(&self) -> &TreeIndex {
-        DynamicDfs::tree(self)
-    }
-
+impl ForestQuery for DynamicDfs {
     fn forest_parent(&self, v: Vertex) -> Option<Vertex> {
         DynamicDfs::forest_parent(self, v)
     }
@@ -378,6 +366,20 @@ impl DfsMaintainer for DynamicDfs {
 
     fn num_edges(&self) -> usize {
         DynamicDfs::num_edges(self)
+    }
+}
+
+impl DfsMaintainer for DynamicDfs {
+    fn backend_name(&self) -> &'static str {
+        "parallel"
+    }
+
+    fn apply_update(&mut self, update: &Update) -> Option<Vertex> {
+        DynamicDfs::apply_update(self, update)
+    }
+
+    fn tree(&self) -> &TreeIndex {
+        DynamicDfs::tree(self)
     }
 
     fn check(&self) -> Result<(), String> {

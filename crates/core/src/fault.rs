@@ -20,7 +20,8 @@ use crate::reduction::ReductionInput;
 use crate::reroot::Strategy;
 use crate::stats::UpdateStats;
 use pardfs_api::{
-    maintain_index, BatchReport, DfsMaintainer, IndexMaintenanceStats, IndexPolicy, StatsReport,
+    maintain_index, BatchReport, DfsMaintainer, ForestQuery, IndexMaintenanceStats, IndexPolicy,
+    StatsReport,
 };
 use pardfs_graph::{Graph, Update, Vertex};
 use pardfs_query::{EdgeHit, QueryOracle, StructureD, VertexQuery};
@@ -544,6 +545,34 @@ impl FaultTolerantDfs {
     }
 }
 
+impl ForestQuery for FaultTolerantDfs {
+    fn forest_parent(&self, v: Vertex) -> Option<Vertex> {
+        augment::forest_parent(DfsMaintainer::tree(self), v)
+    }
+
+    fn forest_roots(&self) -> Vec<Vertex> {
+        augment::forest_roots(DfsMaintainer::tree(self))
+    }
+
+    fn same_component(&self, u: Vertex, v: Vertex) -> bool {
+        augment::same_component(DfsMaintainer::tree(self), u, v)
+    }
+
+    fn num_vertices(&self) -> usize {
+        self.current
+            .as_ref()
+            .map(|r| r.num_vertices())
+            .unwrap_or_else(|| self.aug.user_num_vertices())
+    }
+
+    fn num_edges(&self) -> usize {
+        self.current
+            .as_ref()
+            .map(|r| r.num_edges())
+            .unwrap_or_else(|| self.aug.user_num_edges())
+    }
+}
+
 impl DfsMaintainer for FaultTolerantDfs {
     fn backend_name(&self) -> &'static str {
         "fault-tolerant"
@@ -582,32 +611,6 @@ impl DfsMaintainer for FaultTolerantDfs {
             .as_ref()
             .map(|r| r.tree())
             .unwrap_or(&self.original_idx)
-    }
-
-    fn forest_parent(&self, v: Vertex) -> Option<Vertex> {
-        augment::forest_parent(DfsMaintainer::tree(self), v)
-    }
-
-    fn forest_roots(&self) -> Vec<Vertex> {
-        augment::forest_roots(DfsMaintainer::tree(self))
-    }
-
-    fn same_component(&self, u: Vertex, v: Vertex) -> bool {
-        augment::same_component(DfsMaintainer::tree(self), u, v)
-    }
-
-    fn num_vertices(&self) -> usize {
-        self.current
-            .as_ref()
-            .map(|r| r.num_vertices())
-            .unwrap_or_else(|| self.aug.user_num_vertices())
-    }
-
-    fn num_edges(&self) -> usize {
-        self.current
-            .as_ref()
-            .map(|r| r.num_edges())
-            .unwrap_or_else(|| self.aug.user_num_edges())
     }
 
     fn check(&self) -> Result<(), String> {
@@ -797,7 +800,7 @@ mod tests {
         DfsMaintainer::apply_update(&mut ft, &Update::DeleteEdge(0, 1));
         DfsMaintainer::apply_update(&mut ft, &Update::InsertVertex { edges: vec![3, 17] });
         DfsMaintainer::check(&ft).unwrap();
-        let roots_before = DfsMaintainer::forest_roots(&ft);
+        let roots_before = ForestQuery::forest_roots(&ft);
 
         // A query-style batch relative to the *preprocessed* graph: it must
         // still see edge (0,1) and must not see the inserted vertex.
@@ -807,11 +810,11 @@ mod tests {
         assert_eq!(q.num_vertices(), 24, "25 - the deleted vertex");
 
         // The maintainer state is unchanged and can keep absorbing.
-        assert_eq!(DfsMaintainer::forest_roots(&ft), roots_before);
+        assert_eq!(ForestQuery::forest_roots(&ft), roots_before);
         DfsMaintainer::apply_update(&mut ft, &Update::DeleteEdge(12, 13));
         DfsMaintainer::check(&ft).unwrap();
         assert_eq!(ft.absorptions(), 3);
-        assert_eq!(DfsMaintainer::num_vertices(&ft), 26, "25 + inserted");
+        assert_eq!(ForestQuery::num_vertices(&ft), 26, "25 + inserted");
     }
 
     #[test]
@@ -826,7 +829,7 @@ mod tests {
         assert_eq!(ft.pending_updates().len(), 0);
         assert_eq!(ft.structure_words(), words, "overlay gone");
         DfsMaintainer::check(&ft).unwrap();
-        assert_eq!(DfsMaintainer::num_edges(&ft), 9, "back to preprocessed");
+        assert_eq!(ForestQuery::num_edges(&ft), 9, "back to preprocessed");
         // And the structure is reusable in either style afterwards.
         let r = ft.tree_after(&[Update::DeleteEdge(4, 5)]);
         r.check().unwrap();

@@ -18,7 +18,8 @@ use crate::augment::{self, AugmentedGraph};
 use crate::check::check_spanning_dfs_tree;
 use crate::static_dfs::static_dfs;
 use pardfs_api::{
-    maintain_index_with, DfsMaintainer, IndexMaintenanceStats, IndexPolicy, StatsReport,
+    maintain_index_with, DfsMaintainer, ForestQuery, IndexMaintenanceStats, IndexPolicy,
+    StatsReport,
 };
 use pardfs_graph::{Graph, Update, Vertex};
 use pardfs_query::{QueryOracle, StructureD, VertexQuery};
@@ -415,19 +416,7 @@ impl SeqRerootDfs {
     }
 }
 
-impl DfsMaintainer for SeqRerootDfs {
-    fn backend_name(&self) -> &'static str {
-        "sequential"
-    }
-
-    fn apply_update(&mut self, update: &Update) -> Option<Vertex> {
-        SeqRerootDfs::apply_update(self, update)
-    }
-
-    fn tree(&self) -> &TreeIndex {
-        SeqRerootDfs::tree(self)
-    }
-
+impl ForestQuery for SeqRerootDfs {
     fn forest_parent(&self, v: Vertex) -> Option<Vertex> {
         SeqRerootDfs::forest_parent(self, v)
     }
@@ -446,6 +435,20 @@ impl DfsMaintainer for SeqRerootDfs {
 
     fn num_edges(&self) -> usize {
         SeqRerootDfs::num_edges(self)
+    }
+}
+
+impl DfsMaintainer for SeqRerootDfs {
+    fn backend_name(&self) -> &'static str {
+        "sequential"
+    }
+
+    fn apply_update(&mut self, update: &Update) -> Option<Vertex> {
+        SeqRerootDfs::apply_update(self, update)
+    }
+
+    fn tree(&self) -> &TreeIndex {
+        SeqRerootDfs::tree(self)
     }
 
     fn check(&self) -> Result<(), String> {

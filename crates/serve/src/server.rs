@@ -1,0 +1,306 @@
+//! The [`Server`]: single-writer group commit, epoch publication, and the
+//! [`ReadHandle`]/[`WriteHandle`] pair clients hold.
+
+use crate::snapshot::Snapshot;
+use pardfs_api::{BatchReport, DfsMaintainer, ForestQuery, StatsRollup};
+use pardfs_graph::Update;
+use parking_lot::{Condvar, Mutex, RwLock};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// The durable record of one committed epoch, appended to the server's epoch
+/// log **before** the epoch's snapshot is published. The log is the ground
+/// truth the stress suite checks observed snapshots against: every snapshot
+/// a reader ever holds must match exactly one record's fingerprint.
+#[derive(Debug, Clone)]
+pub struct EpochRecord {
+    /// Epoch number (0 = initial state, then one per commit).
+    pub epoch: u64,
+    /// Updates applied by this epoch's single `apply_batch` (0 for epoch 0).
+    pub updates: usize,
+    /// Client submissions the group commit absorbed into that one batch.
+    pub submissions: usize,
+    /// Tree fingerprint of the published snapshot.
+    pub fingerprint: u64,
+    /// User vertices after the commit.
+    pub num_vertices: usize,
+    /// User edges after the commit.
+    pub num_edges: usize,
+    /// Structural roll-up of the epoch's per-update statistics.
+    pub rollup: StatsRollup,
+    /// Wall-clock microseconds the writer spent applying the batch.
+    pub micros: u64,
+}
+
+/// What one [`Server::commit`] did: the epoch's log record plus the full
+/// per-update [`BatchReport`] (callers that replay traces fold successive
+/// reports together with [`BatchReport::merge`]).
+#[derive(Debug, Clone)]
+pub struct CommitStats {
+    /// The record appended to the epoch log.
+    pub record: EpochRecord,
+    /// The per-update report of the epoch's single `apply_batch`.
+    pub report: BatchReport,
+}
+
+/// State shared between the server (writer side) and every handle.
+struct Shared {
+    /// Group-commit queue: submissions accumulate here until the writer
+    /// drains them all into one `apply_batch`.
+    queue: Mutex<QueueState>,
+    /// Signalled on every submission and on every writer-handle drop.
+    queue_cv: Condvar,
+    /// The published snapshot pointer. Readers clone the `Arc` under the
+    /// read lock (a pointer copy — no tree data is copied, and the writer
+    /// is only ever inside the write lock for the swap itself).
+    published: RwLock<Arc<Snapshot>>,
+    /// Epoch log, indexed by epoch number.
+    epochs: Mutex<Vec<EpochRecord>>,
+}
+
+struct QueueState {
+    pending: Vec<Vec<Update>>,
+    writers: usize,
+}
+
+/// Handle through which clients read the served forest, cheaply cloneable
+/// and usable from any number of threads at once.
+///
+/// [`ReadHandle::snapshot`] never blocks on the writer's `apply_batch` —
+/// only on the pointer swap itself, which is a few instructions under the
+/// write lock. The returned [`Snapshot`] stays valid (and constant) for as
+/// long as the caller holds it, however many epochs the writer commits in
+/// the meantime.
+#[derive(Clone)]
+pub struct ReadHandle {
+    shared: Arc<Shared>,
+}
+
+impl ReadHandle {
+    /// The most recently published snapshot.
+    pub fn snapshot(&self) -> Arc<Snapshot> {
+        self.shared.published.read().clone()
+    }
+
+    /// The most recently published epoch number.
+    pub fn epoch(&self) -> u64 {
+        self.shared.published.read().epoch()
+    }
+
+    /// The fingerprint the epoch log records for `epoch`, if that epoch has
+    /// been committed. Because records are appended *before* snapshots are
+    /// published, any epoch observable via [`ReadHandle::snapshot`] is
+    /// already in the log — a `None` for an observed epoch is itself a
+    /// consistency violation.
+    pub fn recorded_fingerprint(&self, epoch: u64) -> Option<u64> {
+        self.shared
+            .epochs
+            .lock()
+            .get(epoch as usize)
+            .map(|r| r.fingerprint)
+    }
+
+    /// A copy of the epoch log so far.
+    pub fn epochs(&self) -> Vec<EpochRecord> {
+        self.shared.epochs.lock().clone()
+    }
+}
+
+/// Handle through which clients submit update batches.
+///
+/// Submissions enqueue; nothing is applied until the server's next commit,
+/// which drains *every* pending submission into one `apply_batch` (group
+/// commit). Dropping the last write handle is the shutdown signal:
+/// [`Server::commit_next`] returns `None` once the queue is empty and no
+/// writer remains.
+pub struct WriteHandle {
+    shared: Arc<Shared>,
+}
+
+impl WriteHandle {
+    /// Enqueue one batch of updates for the next group commit.
+    pub fn submit(&self, updates: Vec<Update>) {
+        self.shared.queue.lock().pending.push(updates);
+        self.shared.queue_cv.notify_all();
+    }
+}
+
+impl Clone for WriteHandle {
+    fn clone(&self) -> Self {
+        self.shared.queue.lock().writers += 1;
+        WriteHandle {
+            shared: self.shared.clone(),
+        }
+    }
+}
+
+impl Drop for WriteHandle {
+    fn drop(&mut self) {
+        self.shared.queue.lock().writers -= 1;
+        // Wake a server blocked in `commit_next` so it can observe shutdown.
+        self.shared.queue_cv.notify_all();
+    }
+}
+
+/// An epoch-snapshot server over one [`DfsMaintainer`].
+///
+/// The server **owns the writer**: all mutation funnels through
+/// [`Server::commit`]/[`Server::commit_next`] on whichever thread owns the
+/// `Server` (it is `Send`, not `Sync` — one writer, by construction). Each
+/// commit drains the group-commit queue into a single `apply_batch`, appends
+/// an [`EpochRecord`] to the log, and then publishes an immutable
+/// [`Snapshot`] that any number of [`ReadHandle`]s query concurrently.
+///
+/// Epoch lifecycle:
+///
+/// 1. clients [`WriteHandle::submit`] batches → queue grows;
+/// 2. the writer drains the whole queue, applies it as **one** batch;
+/// 3. the epoch's record is appended to the log (fingerprint included);
+/// 4. the new snapshot is swapped in — readers from this instant see epoch
+///    `e + 1`; readers holding epoch `e` keep a valid, constant snapshot.
+pub struct Server {
+    dfs: Box<dyn DfsMaintainer>,
+    shared: Arc<Shared>,
+    next_epoch: u64,
+}
+
+impl Server {
+    /// Wrap a maintainer and publish its current state as epoch 0.
+    pub fn new(dfs: Box<dyn DfsMaintainer>) -> Self {
+        let snapshot = Snapshot::capture(0, dfs.as_ref());
+        let record = EpochRecord {
+            epoch: 0,
+            updates: 0,
+            submissions: 0,
+            fingerprint: snapshot.fingerprint(),
+            num_vertices: snapshot.num_vertices(),
+            num_edges: snapshot.num_edges(),
+            rollup: StatsRollup::default(),
+            micros: 0,
+        };
+        Server {
+            dfs,
+            shared: Arc::new(Shared {
+                queue: Mutex::new(QueueState {
+                    pending: Vec::new(),
+                    writers: 0,
+                }),
+                queue_cv: Condvar::new(),
+                published: RwLock::new(Arc::new(snapshot)),
+                epochs: Mutex::new(vec![record]),
+            }),
+            next_epoch: 1,
+        }
+    }
+
+    /// Backend name of the wrapped maintainer.
+    pub fn backend_name(&self) -> &'static str {
+        self.dfs.backend_name()
+    }
+
+    /// A new read handle (cheap; clone freely across reader threads).
+    pub fn read_handle(&self) -> ReadHandle {
+        ReadHandle {
+            shared: self.shared.clone(),
+        }
+    }
+
+    /// A new write handle. The server counts live write handles: once all
+    /// are dropped and the queue is drained, [`Server::commit_next`] returns
+    /// `None`.
+    pub fn write_handle(&self) -> WriteHandle {
+        self.shared.queue.lock().writers += 1;
+        WriteHandle {
+            shared: self.shared.clone(),
+        }
+    }
+
+    /// A copy of the epoch log so far.
+    pub fn epochs(&self) -> Vec<EpochRecord> {
+        self.shared.epochs.lock().clone()
+    }
+
+    /// Commit everything currently queued as one epoch. Returns `None` when
+    /// the queue is empty (no epoch is minted for zero submissions).
+    pub fn commit(&mut self) -> Option<CommitStats> {
+        let drained = {
+            let mut q = self.shared.queue.lock();
+            if q.pending.is_empty() {
+                return None;
+            }
+            std::mem::take(&mut q.pending)
+        };
+        Some(self.commit_batches(drained))
+    }
+
+    /// Block until at least one submission is queued, then commit the whole
+    /// queue as one epoch. Returns `None` when the queue is empty and every
+    /// [`WriteHandle`] has been dropped — the server's shutdown condition,
+    /// so `while let Some(_) = server.commit_next() {}` is a complete
+    /// writer loop.
+    pub fn commit_next(&mut self) -> Option<CommitStats> {
+        let drained = {
+            let mut q = self.shared.queue.lock();
+            loop {
+                if !q.pending.is_empty() {
+                    break std::mem::take(&mut q.pending);
+                }
+                if q.writers == 0 {
+                    return None;
+                }
+                self.shared.queue_cv.wait(&mut q);
+            }
+        };
+        Some(self.commit_batches(drained))
+    }
+
+    /// Run the writer loop to completion: commit until the queue is drained
+    /// and every write handle is dropped. Returns the commits in order.
+    pub fn run(&mut self) -> Vec<CommitStats> {
+        let mut out = Vec::new();
+        while let Some(stats) = self.commit_next() {
+            out.push(stats);
+        }
+        out
+    }
+
+    /// Direct read access to the wrapped maintainer (the writer's view —
+    /// always at the latest epoch).
+    pub fn maintainer(&self) -> &dyn DfsMaintainer {
+        self.dfs.as_ref()
+    }
+
+    /// Unwrap the server, returning the maintainer at its final state.
+    pub fn into_inner(self) -> Box<dyn DfsMaintainer> {
+        self.dfs
+    }
+
+    fn commit_batches(&mut self, batches: Vec<Vec<Update>>) -> CommitStats {
+        let submissions = batches.len();
+        let updates: Vec<Update> = batches.into_iter().flatten().collect();
+        let start = Instant::now();
+        let report = self.dfs.apply_batch(&updates);
+        let micros = start.elapsed().as_micros() as u64;
+        let mut rollup = StatsRollup::default();
+        rollup.absorb_batch(&report);
+        let epoch = self.next_epoch;
+        self.next_epoch += 1;
+        let snapshot = Arc::new(Snapshot::capture(epoch, self.dfs.as_ref()));
+        let record = EpochRecord {
+            epoch,
+            updates: updates.len(),
+            submissions,
+            fingerprint: snapshot.fingerprint(),
+            num_vertices: snapshot.num_vertices(),
+            num_edges: snapshot.num_edges(),
+            rollup,
+            micros,
+        };
+        // Log first, publish second: a reader can then never hold a
+        // snapshot whose epoch is missing from the log, so "observed
+        // fingerprint has no matching record" cleanly means "torn read".
+        self.shared.epochs.lock().push(record.clone());
+        *self.shared.published.write() = snapshot;
+        CommitStats { record, report }
+    }
+}

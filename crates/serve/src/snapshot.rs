@@ -1,0 +1,110 @@
+//! Immutable per-epoch snapshots of a maintained DFS forest.
+
+use pardfs_api::ForestQuery;
+use pardfs_graph::Vertex;
+use pardfs_tree::TreeIndex;
+
+/// The pseudo root's internal vertex id (the augmentation id scheme every
+/// maintainer follows: pseudo root at internal id 0, user `v` at `v + 1` —
+/// see the [`pardfs_api::DfsMaintainer::tree`] contract).
+const PSEUDO_ROOT: Vertex = 0;
+
+/// An **immutable** capture of one epoch of a maintained DFS forest.
+///
+/// A snapshot owns its own [`TreeIndex`] clone, so it stays valid — and
+/// answers in constant state — no matter what the writer does afterwards:
+/// readers holding an `Arc<Snapshot>` never block the writer and never see a
+/// half-applied batch. It answers the full [`ForestQuery`] vocabulary with
+/// exactly the semantics of the live maintainer it was captured from (the
+/// augmentation id shift is replicated here against the cloned index).
+///
+/// Identity is the index's [`TreeIndex::fingerprint`], captured at commit
+/// time. Because the snapshot is immutable, recomputing the fingerprint from
+/// [`Snapshot::tree`] must always reproduce [`Snapshot::fingerprint`]; the
+/// stress suite uses that equation (plus the server's epoch log) as its
+/// torn-read detector.
+#[derive(Debug, Clone)]
+pub struct Snapshot {
+    epoch: u64,
+    backend: &'static str,
+    tree: TreeIndex,
+    num_vertices: usize,
+    num_edges: usize,
+    fingerprint: u64,
+}
+
+impl Snapshot {
+    /// Capture the current state of `dfs` as epoch `epoch`.
+    pub fn capture(epoch: u64, dfs: &dyn pardfs_api::DfsMaintainer) -> Self {
+        let tree = dfs.tree().clone();
+        let fingerprint = tree.fingerprint();
+        Snapshot {
+            epoch,
+            backend: dfs.backend_name(),
+            tree,
+            num_vertices: dfs.num_vertices(),
+            num_edges: dfs.num_edges(),
+            fingerprint,
+        }
+    }
+
+    /// The epoch this snapshot publishes (0 = the pre-update initial state;
+    /// each commit increments it by one).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Backend name of the maintainer this snapshot was captured from.
+    pub fn backend(&self) -> &'static str {
+        self.backend
+    }
+
+    /// The captured DFS tree of the augmented graph (internal ids), same
+    /// contract as [`pardfs_api::DfsMaintainer::tree`].
+    pub fn tree(&self) -> &TreeIndex {
+        &self.tree
+    }
+
+    /// The tree fingerprint captured at commit time
+    /// ([`TreeIndex::fingerprint`] of [`Snapshot::tree`]).
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+}
+
+impl ForestQuery for Snapshot {
+    fn forest_parent(&self, v: Vertex) -> Option<Vertex> {
+        let vi = v + 1;
+        if !self.tree.contains(vi) {
+            return None;
+        }
+        self.tree
+            .parent(vi)
+            .filter(|&p| p != PSEUDO_ROOT)
+            .map(|p| p - 1)
+    }
+
+    fn forest_roots(&self) -> Vec<Vertex> {
+        self.tree
+            .children(PSEUDO_ROOT)
+            .iter()
+            .map(|&c| c - 1)
+            .collect()
+    }
+
+    fn same_component(&self, u: Vertex, v: Vertex) -> bool {
+        let (ui, vi) = (u + 1, v + 1);
+        if !self.tree.contains(ui) || !self.tree.contains(vi) {
+            return false;
+        }
+        self.tree.ancestor_at_level(ui, 1) == self.tree.ancestor_at_level(vi, 1)
+    }
+
+    fn num_vertices(&self) -> usize {
+        self.num_vertices
+    }
+
+    fn num_edges(&self) -> usize {
+        self.num_edges
+    }
+}

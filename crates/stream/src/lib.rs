@@ -33,7 +33,9 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use pardfs_api::{maintain_index, DfsMaintainer, IndexMaintenanceStats, IndexPolicy, StatsReport};
+use pardfs_api::{
+    maintain_index, DfsMaintainer, ForestQuery, IndexMaintenanceStats, IndexPolicy, StatsReport,
+};
 use pardfs_core::reduction::ReductionInput;
 use pardfs_core::{reduce_update, Rerooter, Strategy, UpdateStats};
 use pardfs_graph::{Graph, Update, Vertex};
@@ -335,19 +337,7 @@ impl StreamingDynamicDfs {
     }
 }
 
-impl DfsMaintainer for StreamingDynamicDfs {
-    fn backend_name(&self) -> &'static str {
-        "streaming"
-    }
-
-    fn apply_update(&mut self, update: &Update) -> Option<Vertex> {
-        StreamingDynamicDfs::apply_update(self, update)
-    }
-
-    fn tree(&self) -> &TreeIndex {
-        StreamingDynamicDfs::tree(self)
-    }
-
+impl ForestQuery for StreamingDynamicDfs {
     fn forest_parent(&self, v: Vertex) -> Option<Vertex> {
         StreamingDynamicDfs::forest_parent(self, v)
     }
@@ -366,6 +356,20 @@ impl DfsMaintainer for StreamingDynamicDfs {
 
     fn num_edges(&self) -> usize {
         StreamingDynamicDfs::num_edges(self)
+    }
+}
+
+impl DfsMaintainer for StreamingDynamicDfs {
+    fn backend_name(&self) -> &'static str {
+        "streaming"
+    }
+
+    fn apply_update(&mut self, update: &Update) -> Option<Vertex> {
+        StreamingDynamicDfs::apply_update(self, update)
+    }
+
+    fn tree(&self) -> &TreeIndex {
+        StreamingDynamicDfs::tree(self)
     }
 
     fn check(&self) -> Result<(), String> {

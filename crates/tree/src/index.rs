@@ -331,6 +331,32 @@ impl TreeIndex {
         &self.pre_order
     }
 
+    /// FNV-1a fingerprint of the tree structure: every pre-order vertex id
+    /// and its parent (shifted by one so "root" and "parent 0" differ).
+    ///
+    /// This is the **single source** of tree identity across the workspace:
+    /// the scenario runner's recorded `tree <backend>` fingerprints, the
+    /// serve layer's per-epoch snapshot fingerprints and the torn-read
+    /// detector in the stress suite all call it, so "same fingerprint" means
+    /// "same tree" everywhere. Two indexes answer equal fingerprints iff
+    /// their vertex sets, pre-orders and parent assignments agree.
+    pub fn fingerprint(&self) -> u64 {
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut hash = FNV_OFFSET;
+        let fold = |hash: &mut u64, value: u64| {
+            for byte in value.to_le_bytes() {
+                *hash ^= byte as u64;
+                *hash = hash.wrapping_mul(FNV_PRIME);
+            }
+        };
+        for &v in &self.pre_order {
+            fold(&mut hash, v as u64);
+            fold(&mut hash, self.parent(v).map_or(0, |p| p as u64 + 1));
+        }
+        hash
+    }
+
     /// All tree vertices in post-order.
     pub fn post_order_vertices(&self) -> &[Vertex] {
         &self.post_order
@@ -460,6 +486,28 @@ mod tests {
             parent[v as usize] = rng.gen_range(0..v);
         }
         parent
+    }
+
+    #[test]
+    fn fingerprint_separates_structure_and_tracks_identity() {
+        let mut rng = ChaCha8Rng::seed_from_u64(77);
+        let parent = random_parent_array(40, &mut rng);
+        let idx = TreeIndex::from_parent_slice(&parent, 0);
+        // Identical structure ⇒ identical fingerprint (including via clone).
+        assert_eq!(
+            idx.fingerprint(),
+            TreeIndex::from_parent_slice(&parent, 0).fingerprint()
+        );
+        assert_eq!(idx.fingerprint(), idx.clone().fingerprint());
+        // Rewriting one leaf's parent changes the fingerprint.
+        let leaf = *idx.pre_order_vertices().last().unwrap();
+        let mut altered = parent.clone();
+        let old = altered[leaf as usize];
+        altered[leaf as usize] = if old == 0 { 1 } else { 0 };
+        assert_ne!(
+            idx.fingerprint(),
+            TreeIndex::from_parent_slice(&altered, 0).fingerprint()
+        );
     }
 
     fn naive_lca(parent: &[Vertex], mut u: Vertex, mut v: Vertex) -> Vertex {

@@ -1,0 +1,237 @@
+//! The [`ConcurrentScenarioRunner`]: drive a trace through the serving
+//! layer — one writer thread group-committing the trace's update batches,
+//! `M` reader threads replaying its query batches against live snapshots.
+//!
+//! This is the concurrent counterpart of the
+//! [`ScenarioRunner`](crate::runner::ScenarioRunner): the same trace, but
+//! the queries no longer serialize
+//! through `&mut` access to the maintainer. The writer submits each recorded
+//! update batch as one group-commit epoch (preserving the trace's
+//! `apply_batch` boundaries, so the per-epoch trees — and the final tree —
+//! are *identical* to a single-threaded replay of the same trace on the same
+//! backend). Readers loop over the trace's query batches for the whole
+//! serving window, answering each batch against one coherent snapshot, and
+//! keep a torn-read census by recomputing every newly-observed snapshot's
+//! fingerprint against the server's epoch log.
+//!
+//! The headline metric is [`ConcurrentOutcome::queries_per_sec`]: aggregate
+//! queries answered across all readers over the serving wall-clock. E13
+//! benches it against the single-threaded runner's rate on the same trace.
+
+use crate::trace::{Trace, TraceBatch, TraceQuery};
+use pardfs_api::{BatchReport, DfsMaintainer, ForestQuery};
+use pardfs_serve::{EpochRecord, ReadHandle, Server};
+use std::hint::black_box;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Instant;
+
+/// Everything one concurrent replay observed.
+#[derive(Debug, Clone)]
+pub struct ConcurrentOutcome {
+    /// Scenario name (from the trace).
+    pub scenario: String,
+    /// Backend name of the served maintainer.
+    pub backend: String,
+    /// Number of reader threads.
+    pub readers: usize,
+    /// The server's epoch log: epoch 0 (initial state) plus one record per
+    /// committed update batch, fingerprints included.
+    pub epochs: Vec<EpochRecord>,
+    /// Updates applied across all epochs.
+    pub updates_applied: u64,
+    /// Wall-clock microseconds the writer spent (submit + group commit of
+    /// every update batch).
+    pub writer_micros: u64,
+    /// Wall-clock microseconds of the whole serving window (first submit to
+    /// last reader exit).
+    pub wall_micros: u64,
+    /// Queries answered, summed across all readers and passes.
+    pub queries_answered: u64,
+    /// Full passes over the trace's query batches, summed across readers.
+    pub reader_passes: u64,
+    /// Observed snapshots whose recomputed fingerprint failed to match the
+    /// capture-time fingerprint or the epoch log — **must be zero**; any
+    /// other value means a reader saw a torn tree.
+    pub torn_snapshots: u64,
+    /// Fingerprint of the final tree (equals the single-threaded replay's
+    /// [`tree_fingerprint`](crate::runner::tree_fingerprint) for the same
+    /// trace and backend).
+    pub final_fingerprint: u64,
+}
+
+impl ConcurrentOutcome {
+    /// Aggregate read throughput: queries answered per second of serving
+    /// wall-clock, across all readers.
+    pub fn queries_per_sec(&self) -> f64 {
+        if self.wall_micros == 0 {
+            0.0
+        } else {
+            self.queries_answered as f64 * 1e6 / self.wall_micros as f64
+        }
+    }
+}
+
+/// What one reader thread tallied.
+struct ReaderTally {
+    queries: u64,
+    passes: u64,
+    torn: u64,
+}
+
+/// Drives a maintainer through a trace behind a [`Server`], with `M`
+/// concurrent readers.
+#[derive(Debug, Clone, Copy)]
+pub struct ConcurrentScenarioRunner<'a> {
+    trace: &'a Trace,
+    readers: usize,
+}
+
+impl<'a> ConcurrentScenarioRunner<'a> {
+    /// A runner over `trace` with `readers` reader threads (min 1).
+    pub fn new(trace: &'a Trace, readers: usize) -> Self {
+        ConcurrentScenarioRunner {
+            trace,
+            readers: readers.max(1),
+        }
+    }
+
+    /// The trace being replayed.
+    pub fn trace(&self) -> &Trace {
+        self.trace
+    }
+
+    /// Replay the trace on `dfs` (which must have been built over
+    /// [`Trace::initial_graph`]) behind a server. The calling thread becomes
+    /// the writer; reader threads run until the writer is done and each has
+    /// completed at least one full pass over the query batches.
+    pub fn run(&self, dfs: Box<dyn DfsMaintainer>) -> ConcurrentOutcome {
+        let backend = dfs.backend_name().to_string();
+        let mut server = Server::new(dfs);
+        let read_handle = server.read_handle();
+        let write_handle = server.write_handle();
+
+        let query_batches: Vec<&[TraceQuery]> = self
+            .trace
+            .phases
+            .iter()
+            .flat_map(|p| &p.batches)
+            .filter_map(|b| match b {
+                TraceBatch::Queries(qs) => Some(qs.as_slice()),
+                TraceBatch::Updates(_) => None,
+            })
+            .collect();
+        let update_batches: Vec<&[pardfs_graph::Update]> = self
+            .trace
+            .phases
+            .iter()
+            .flat_map(|p| &p.batches)
+            .filter_map(|b| match b {
+                TraceBatch::Updates(us) => Some(us.as_slice()),
+                TraceBatch::Queries(_) => None,
+            })
+            .collect();
+
+        let done = AtomicBool::new(false);
+        let start = Instant::now();
+        let mut merged = BatchReport::default();
+        let mut writer_micros = 0u64;
+        let mut tallies: Vec<ReaderTally> = Vec::with_capacity(self.readers);
+
+        std::thread::scope(|scope| {
+            let reader_threads: Vec<_> = (0..self.readers)
+                .map(|_| {
+                    let handle = read_handle.clone();
+                    let done = &done;
+                    let batches = &query_batches;
+                    scope.spawn(move || reader_loop(handle, batches, done))
+                })
+                .collect();
+
+            // The calling thread is the writer: one group-commit epoch per
+            // recorded update batch, preserving the trace's `apply_batch`
+            // boundaries so every epoch's tree matches a single-threaded
+            // replay of the same prefix.
+            let writer_start = Instant::now();
+            for batch in &update_batches {
+                write_handle.submit(batch.to_vec());
+                let stats = server
+                    .commit()
+                    .expect("the batch submitted above is queued");
+                merged.merge(stats.report);
+            }
+            writer_micros = writer_start.elapsed().as_micros() as u64;
+            done.store(true, Ordering::Release);
+
+            for thread in reader_threads {
+                tallies.push(thread.join().expect("reader thread panicked"));
+            }
+        });
+        let wall_micros = (start.elapsed().as_micros() as u64).max(1);
+        drop(write_handle);
+
+        ConcurrentOutcome {
+            scenario: self.trace.scenario.clone(),
+            backend,
+            readers: self.readers,
+            epochs: server.epochs(),
+            updates_applied: merged.applied() as u64,
+            writer_micros,
+            wall_micros,
+            queries_answered: tallies.iter().map(|t| t.queries).sum(),
+            reader_passes: tallies.iter().map(|t| t.passes).sum(),
+            torn_snapshots: tallies.iter().map(|t| t.torn).sum(),
+            final_fingerprint: server.maintainer().tree().fingerprint(),
+        }
+    }
+}
+
+/// One reader thread: loop the trace's query batches against live snapshots
+/// until the writer is done and at least one full pass has completed. Each
+/// batch is answered against a single snapshot (batch-coherent reads); each
+/// *newly observed* epoch's snapshot is re-fingerprinted and checked against
+/// the epoch log (the torn-read census — recomputation is amortized over
+/// epoch changes, not per query).
+fn reader_loop(handle: ReadHandle, batches: &[&[TraceQuery]], done: &AtomicBool) -> ReaderTally {
+    let mut tally = ReaderTally {
+        queries: 0,
+        passes: 0,
+        torn: 0,
+    };
+    let mut last_epoch = u64::MAX;
+    loop {
+        for batch in batches {
+            let snap = handle.snapshot();
+            if snap.epoch() != last_epoch {
+                last_epoch = snap.epoch();
+                let recomputed = snap.tree().fingerprint();
+                let logged = handle.recorded_fingerprint(snap.epoch());
+                if recomputed != snap.fingerprint() || logged != Some(recomputed) {
+                    tally.torn += 1;
+                }
+            }
+            for query in *batch {
+                tally.queries += 1;
+                match query {
+                    TraceQuery::SameComponent(u, v) => {
+                        black_box(snap.same_component(*u, *v));
+                    }
+                    TraceQuery::ForestParent(v) => {
+                        black_box(snap.forest_parent(*v));
+                    }
+                    TraceQuery::ForestRoots => {
+                        black_box(snap.forest_roots());
+                    }
+                }
+            }
+        }
+        tally.passes += 1;
+        if done.load(Ordering::Acquire) {
+            break;
+        }
+        if batches.is_empty() {
+            // Nothing to replay: don't busy-spin the queue-less loop.
+            std::thread::yield_now();
+        }
+    }
+    tally
+}

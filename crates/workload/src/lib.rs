@@ -20,7 +20,12 @@
 //!   reroot stressors, query-heavy read-mostly service, vertex-churn
 //!   pipelines), each a composable phase sequence recorded into a [`Trace`];
 //!   and the [`ScenarioRunner`] that drives any `DfsMaintainer` through a
-//!   trace, emitting per-phase [`PhaseReport`] roll-ups.
+//!   trace, emitting per-phase [`PhaseReport`] roll-ups;
+//! * [`concurrent`] — the [`ConcurrentScenarioRunner`]: the same trace
+//!   replayed through the `pardfs-serve` layer, with one writer group
+//!   committing the update batches and `M` reader threads replaying the
+//!   query batches against live epoch snapshots — the scenario families as
+//!   concurrent-serving benchmarks.
 //!
 //! ## Trace format (`pardfs-trace v1`)
 //!
@@ -67,11 +72,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod concurrent;
 pub mod families;
 pub mod runner;
 pub mod scenario;
 pub mod trace;
 
+pub use concurrent::{ConcurrentOutcome, ConcurrentScenarioRunner};
 pub use families::{edge_workload, rng, workload, Family, Workload};
 pub use runner::{tree_fingerprint, PhaseReport, ScenarioOutcome, ScenarioRunner};
 pub use scenario::{Scenario, TraceBuilder};

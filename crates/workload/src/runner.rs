@@ -22,14 +22,12 @@ fn fold(mut hash: u64, value: u64) -> u64 {
 /// their parents, in internal ids). By the executor's determinism contract
 /// this is identical across thread counts for a fixed backend and trace —
 /// which is exactly what the `scenario-corpus` CI job replays and diffs.
+///
+/// Delegates to [`pardfs_tree::TreeIndex::fingerprint`], the workspace's
+/// single source of tree identity — so these fingerprints are directly
+/// comparable with the serve layer's per-epoch snapshot fingerprints.
 pub fn tree_fingerprint(dfs: &dyn DfsMaintainer) -> u64 {
-    let idx = dfs.tree();
-    let mut hash = FNV_OFFSET;
-    for &v in idx.pre_order_vertices() {
-        hash = fold(hash, v as u64);
-        hash = fold(hash, idx.parent(v).map_or(0, |p| p as u64 + 1));
-    }
-    hash
+    dfs.tree().fingerprint()
 }
 
 /// Roll-up of one trace phase on one maintainer.

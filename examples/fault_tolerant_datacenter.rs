@@ -15,7 +15,7 @@
 //! the paper.
 
 use pardfs::graph::{Graph, Update};
-use pardfs::{DfsMaintainer, FaultTolerantDfs};
+use pardfs::{DfsMaintainer, FaultTolerantDfs, ForestQuery};
 
 /// Build a small leaf–spine fabric: `spines` spine switches, `leaves` leaf
 /// switches (each connected to every spine), and `hosts_per_leaf` hosts per

@@ -5,11 +5,14 @@
 //! factory lives here; the trait it hands out ([`DfsMaintainer`]) lives in
 //! `pardfs-api` and is implemented by each backend crate.
 
-use pardfs_api::{BatchReport, DfsMaintainer, IndexPolicy, RebuildPolicy, StatsReport};
+use pardfs_api::{
+    BatchReport, DfsMaintainer, ForestQuery, IndexPolicy, RebuildPolicy, StatsReport,
+};
 use pardfs_congest::DistributedDynamicDfs;
 use pardfs_core::{DynamicDfs, FaultTolerantDfs, Strategy};
 use pardfs_graph::{Graph, Update, Vertex};
 use pardfs_seq::SeqRerootDfs;
+use pardfs_serve::{Server, ShardRouter};
 use pardfs_stream::StreamingDynamicDfs;
 use pardfs_tree::TreeIndex;
 use pardfs_workload::{ScenarioOutcome, ScenarioRunner, Trace};
@@ -89,6 +92,7 @@ pub struct MaintainerBuilder {
     rebuild_policy: RebuildPolicy,
     index_policy: IndexPolicy,
     num_threads: Option<usize>,
+    shards: usize,
 }
 
 impl MaintainerBuilder {
@@ -103,6 +107,7 @@ impl MaintainerBuilder {
             rebuild_policy: RebuildPolicy::default(),
             index_policy: IndexPolicy::default(),
             num_threads: None,
+            shards: 1,
         }
     }
 
@@ -155,9 +160,35 @@ impl MaintainerBuilder {
         self
     }
 
+    /// Number of shards [`MaintainerBuilder::serve`] routes over (replica
+    /// servers with component-affinity reads — see
+    /// [`ShardRouter`]). Clamped to at least 1; default 1.
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.shards = shards.max(1);
+        self
+    }
+
     /// The configured backend.
     pub fn backend(&self) -> Backend {
         self.backend
+    }
+
+    /// Build this configuration's maintainer over `user_graph` and wrap it
+    /// in an epoch-snapshot [`Server`]: submit update batches through a
+    /// [`WriteHandle`](pardfs_serve::WriteHandle), commit group epochs, and
+    /// query published snapshots from any number of
+    /// [`ReadHandle`](pardfs_serve::ReadHandle)s concurrently.
+    pub fn serve_single(&self, user_graph: &Graph) -> Server {
+        Server::new(self.build(user_graph))
+    }
+
+    /// Build one replica maintainer per configured shard (see
+    /// [`MaintainerBuilder::shards`]) over `user_graph` and route them
+    /// behind a [`ShardRouter`]: broadcast writes, component-affinity
+    /// reads, merged roll-ups.
+    pub fn serve(&self, user_graph: &Graph) -> ShardRouter {
+        let replicas = (0..self.shards).map(|_| self.build(user_graph)).collect();
+        ShardRouter::new(replicas, user_graph)
     }
 
     /// Construct the maintainer over `user_graph`.
@@ -232,25 +263,9 @@ struct Threaded {
     inner: Box<dyn DfsMaintainer>,
 }
 
-impl DfsMaintainer for Threaded {
-    fn backend_name(&self) -> &'static str {
-        self.inner.backend_name()
-    }
-
-    fn apply_update(&mut self, update: &Update) -> Option<Vertex> {
-        let inner = &mut self.inner;
-        self.pool.install(|| inner.apply_update(update))
-    }
-
-    fn apply_batch(&mut self, updates: &[Update]) -> BatchReport {
-        let inner = &mut self.inner;
-        self.pool.install(|| inner.apply_batch(updates))
-    }
-
-    fn tree(&self) -> &TreeIndex {
-        self.inner.tree()
-    }
-
+impl ForestQuery for Threaded {
+    // `&self` queries answer on the calling thread: entering the pool costs
+    // two context switches, which would dwarf a parent lookup.
     fn forest_parent(&self, v: Vertex) -> Option<Vertex> {
         self.inner.forest_parent(v)
     }
@@ -270,11 +285,30 @@ impl DfsMaintainer for Threaded {
     fn num_edges(&self) -> usize {
         self.inner.num_edges()
     }
+}
+
+impl DfsMaintainer for Threaded {
+    fn backend_name(&self) -> &'static str {
+        self.inner.backend_name()
+    }
+
+    fn apply_update(&mut self, update: &Update) -> Option<Vertex> {
+        let inner = &mut self.inner;
+        self.pool.install(|| inner.apply_update(update))
+    }
+
+    fn apply_batch(&mut self, updates: &[Update]) -> BatchReport {
+        let inner = &mut self.inner;
+        self.pool.install(|| inner.apply_batch(updates))
+    }
+
+    fn tree(&self) -> &TreeIndex {
+        self.inner.tree()
+    }
 
     fn check(&self) -> Result<(), String> {
-        // `&self` methods answer on the calling thread (installing them
-        // would demand `Sync` of every backend for no perf gain — `check`
-        // is a validation path, not the update hot path).
+        // Also answered on the calling thread — `check` is a validation
+        // path, not the update hot path.
         self.inner.check()
     }
 
@@ -331,6 +365,16 @@ impl DfsMaintainer for Checked {
         self.inner.tree()
     }
 
+    fn check(&self) -> Result<(), String> {
+        self.inner.check()
+    }
+
+    fn stats(&self) -> StatsReport {
+        self.inner.stats()
+    }
+}
+
+impl ForestQuery for Checked {
     fn forest_parent(&self, v: Vertex) -> Option<Vertex> {
         self.inner.forest_parent(v)
     }
@@ -349,14 +393,6 @@ impl DfsMaintainer for Checked {
 
     fn num_edges(&self) -> usize {
         self.inner.num_edges()
-    }
-
-    fn check(&self) -> Result<(), String> {
-        self.inner.check()
-    }
-
-    fn stats(&self) -> StatsReport {
-        self.inner.stats()
     }
 }
 
@@ -551,20 +587,41 @@ mod tests {
     }
 
     #[test]
+    fn serve_wraps_every_backend_and_shards_route() {
+        let g = generators::grid(4, 4);
+        let updates = [Update::DeleteEdge(0, 1), Update::InsertEdge(0, 15)];
+        for backend in Backend::all_default() {
+            // Single server: submit + commit, snapshot tracks the writer.
+            let mut server = MaintainerBuilder::new(backend).serve_single(&g);
+            let reader = server.read_handle();
+            let writer = server.write_handle();
+            writer.submit(updates.to_vec());
+            let stats = server.commit().expect("one submission queued");
+            assert_eq!(stats.record.updates, 2);
+            let snap = reader.snapshot();
+            assert_eq!(snap.epoch(), 1);
+            assert!(snap.same_component(0, 15));
+            assert_eq!(snap.fingerprint(), server.maintainer().tree().fingerprint());
+
+            // Sharded router over the same configuration.
+            let mut router = MaintainerBuilder::new(backend).shards(2).serve(&g);
+            assert_eq!(router.num_shards(), 2);
+            let commits = router.commit(&updates);
+            assert_eq!(commits.len(), 2);
+            assert_eq!(
+                commits[0].record.fingerprint, commits[1].record.fingerprint,
+                "replicas agree"
+            );
+            assert!(router.snapshot_for(3).same_component(0, 15));
+        }
+    }
+
+    #[test]
     #[should_panic(expected = "invalid DFS tree")]
     fn checked_mode_panics_on_corruption() {
         // A maintainer whose check always fails.
         struct Broken(TreeIndex);
-        impl DfsMaintainer for Broken {
-            fn backend_name(&self) -> &'static str {
-                "broken"
-            }
-            fn apply_update(&mut self, _update: &Update) -> Option<Vertex> {
-                None
-            }
-            fn tree(&self) -> &TreeIndex {
-                &self.0
-            }
+        impl ForestQuery for Broken {
             fn forest_parent(&self, _v: Vertex) -> Option<Vertex> {
                 None
             }
@@ -579,6 +636,17 @@ mod tests {
             }
             fn num_edges(&self) -> usize {
                 0
+            }
+        }
+        impl DfsMaintainer for Broken {
+            fn backend_name(&self) -> &'static str {
+                "broken"
+            }
+            fn apply_update(&mut self, _update: &Update) -> Option<Vertex> {
+                None
+            }
+            fn tree(&self) -> &TreeIndex {
+                &self.0
             }
             fn check(&self) -> Result<(), String> {
                 Err("intentionally broken".into())

@@ -20,7 +20,12 @@
 //! * [`congest`] — distributed CONGEST(B) dynamic DFS (Theorem 16);
 //! * [`scenario`] — the scenario engine: recordable/replayable workload
 //!   traces, six adversarial scenario families and the [`ScenarioRunner`]
-//!   that drives any backend through a [`Trace`] with per-phase roll-ups.
+//!   that drives any backend through a [`Trace`] with per-phase roll-ups;
+//! * [`serve`] — the epoch-snapshot concurrent serving layer: a [`Server`]
+//!   wrapping any maintainer with group-committed writes and immutable
+//!   published snapshots, [`ShardRouter`] replica routing, and (in
+//!   [`scenario`]) the [`ConcurrentScenarioRunner`] that turns any trace
+//!   into a concurrent-serving benchmark.
 //!
 //! It also hosts the [`MaintainerBuilder`]: all five backends implement the
 //! same [`DfsMaintainer`] trait, and the builder selects one at runtime by
@@ -69,6 +74,7 @@ pub use pardfs_graph as graph;
 pub use pardfs_pram as pram;
 pub use pardfs_query as query;
 pub use pardfs_seq as seq;
+pub use pardfs_serve as serve;
 pub use pardfs_stream as stream;
 pub use pardfs_tree as tree;
 pub use pardfs_workload as scenario;
@@ -76,14 +82,16 @@ pub use pardfs_workload as scenario;
 pub use builder::{Backend, CheckMode, MaintainerBuilder};
 pub use pardfs_api::StatsRollup;
 pub use pardfs_api::{
-    BatchReport, DfsMaintainer, IndexMaintenanceStats, IndexPolicy, RebuildPolicy,
+    BatchReport, DfsMaintainer, ForestQuery, IndexMaintenanceStats, IndexPolicy, RebuildPolicy,
     RebuildPolicyStats, StatsReport,
 };
 pub use pardfs_congest::DistributedDynamicDfs;
 pub use pardfs_core::{DynamicDfs, FaultTolerantDfs, Strategy};
 pub use pardfs_graph::{Graph, Update, Vertex};
 pub use pardfs_seq::SeqRerootDfs;
+pub use pardfs_serve::{ReadHandle, Server, ShardRouter, Snapshot, WriteHandle};
 pub use pardfs_stream::StreamingDynamicDfs;
 pub use pardfs_workload::{
-    PhaseReport, Scenario, ScenarioOutcome, ScenarioRunner, Trace, TraceBuilder,
+    ConcurrentOutcome, ConcurrentScenarioRunner, PhaseReport, Scenario, ScenarioOutcome,
+    ScenarioRunner, Trace, TraceBuilder,
 };

@@ -225,6 +225,73 @@ fn scenario_replay_is_thread_count_invariant_for_every_backend() {
 }
 
 #[test]
+fn serve_layer_replay_is_thread_count_invariant_for_every_backend() {
+    // The serving layer's regression story: a trace group-committed through
+    // a `Server` (with concurrent readers racing the commits) must land on
+    // the same per-epoch trees — and the same final tree — at every pool
+    // size, for every backend, because the writer preserves the trace's
+    // `apply_batch` boundaries. Query *throughput* is interleaving-dependent
+    // and deliberately unpinned; the structure is not.
+    for (scenario, seed) in [
+        (Scenario::ReadMostly, 27u64),
+        (Scenario::MergeSplitStorm, 28),
+    ] {
+        let trace = scenario.record(96, seed);
+        for backend in Backend::all_default() {
+            let replay = |threads: usize| {
+                let pool = rayon::ThreadPoolBuilder::new()
+                    .num_threads(threads)
+                    .build()
+                    .expect("build test pool");
+                pool.install(|| {
+                    let dfs = MaintainerBuilder::new(backend).build(&trace.initial_graph());
+                    pardfs::ConcurrentScenarioRunner::new(&trace, 2).run(dfs)
+                })
+            };
+            let baseline = replay(THREAD_COUNTS[0]);
+            assert_eq!(baseline.torn_snapshots, 0);
+            let epoch_fingerprints = |run: &pardfs::ConcurrentOutcome| -> Vec<(u64, u64)> {
+                run.epochs
+                    .iter()
+                    .map(|e| (e.epoch, e.fingerprint))
+                    .collect()
+            };
+            for &threads in &THREAD_COUNTS[1..] {
+                let outcome = replay(threads);
+                assert_eq!(outcome.torn_snapshots, 0);
+                assert_eq!(
+                    baseline.final_fingerprint,
+                    outcome.final_fingerprint,
+                    "{}/{backend:?}: served final tree diverged at {threads} threads",
+                    scenario.name()
+                );
+                assert_eq!(
+                    epoch_fingerprints(&baseline),
+                    epoch_fingerprints(&outcome),
+                    "{}/{backend:?}: per-epoch trees diverged at {threads} threads",
+                    scenario.name()
+                );
+                assert_eq!(
+                    baseline.updates_applied,
+                    outcome.updates_applied,
+                    "{}/{backend:?}: applied-update census diverged at {threads} threads",
+                    scenario.name()
+                );
+            }
+            // And the served tree is the single-threaded runner's tree: the
+            // serving layer adds concurrency, not a different algorithm.
+            let (_, reference) = MaintainerBuilder::new(backend).run_scenario(&trace);
+            assert_eq!(
+                baseline.final_fingerprint,
+                reference.tree_fingerprint,
+                "{}/{backend:?}: served tree != ScenarioRunner tree",
+                scenario.name()
+            );
+        }
+    }
+}
+
+#[test]
 fn builder_num_threads_pools_are_thread_count_invariant() {
     // Same invariant through the `MaintainerBuilder::num_threads` decorator
     // (a private pool per maintainer) instead of an ambient `install`.

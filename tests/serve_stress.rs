@@ -1,0 +1,211 @@
+//! Stress suite for the `pardfs-serve` epoch-snapshot serving layer.
+//!
+//! The serving contract under test (see `crates/serve/src/lib.rs`):
+//!
+//! * **No torn reads, ever.** A reader that recomputes the tree fingerprint
+//!   of any snapshot it observes — *while commits are racing* — must get the
+//!   snapshot's own capture-time fingerprint, and that fingerprint must
+//!   appear in the server's epoch log. Readers here check every single
+//!   observation (the `ConcurrentScenarioRunner` amortizes the check over
+//!   epoch changes; this suite does not).
+//! * **Group commit.** Concurrent submissions queued before a commit are
+//!   absorbed into one `apply_batch` epoch, not one epoch each.
+//! * **Serving equivalence.** Replaying a trace through the server (writer
+//!   group-committing the recorded batches) leaves exactly the tree a
+//!   single-threaded `ScenarioRunner` replay leaves, for every backend.
+//! * **Replica agreement.** Every shard of a `ShardRouter` broadcast commit
+//!   holds the same tree, and reads route to a valid shard by component
+//!   affinity.
+//!
+//! The CI `serve-stress` job runs this suite under `PARDFS_THREADS=1,4`, so
+//! the reader/writer interleavings race against both a serial and a genuinely
+//! parallel maintainer underneath.
+
+use pardfs::graph::updates::{random_update_sequence, UpdateMix};
+use pardfs::graph::{generators, Update};
+use pardfs::scenario::ScenarioRunner;
+use pardfs::{Backend, ConcurrentScenarioRunner, ForestQuery, MaintainerBuilder, Scenario, Server};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Seeded update sequence, valid when applied in order to `graph`.
+fn update_sequence(graph: &pardfs::Graph, updates: usize, seed: u64) -> Vec<Update> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    random_update_sequence(graph, updates, &UpdateMix::default(), &mut rng)
+}
+
+#[test]
+fn four_readers_mid_commit_never_observe_a_torn_snapshot() {
+    let mut rng = ChaCha8Rng::seed_from_u64(0x5E21);
+    let graph = generators::random_connected_gnm(128, 384, &mut rng);
+    let updates = update_sequence(&graph, 60, 0x5E22);
+
+    let mut server = Server::new(MaintainerBuilder::new(Backend::Parallel).build(&graph));
+    let write_handle = server.write_handle();
+    let done = AtomicBool::new(false);
+
+    let tallies: Vec<(u64, u64)> = std::thread::scope(|scope| {
+        let readers: Vec<_> = (0..4)
+            .map(|_| {
+                let handle = server.read_handle();
+                let done = &done;
+                scope.spawn(move || {
+                    // Check EVERY observation, not just epoch changes: a torn
+                    // publish that heals before the next epoch would slip an
+                    // amortized census.
+                    let mut observations = 0u64;
+                    let mut torn = 0u64;
+                    let mut last_epoch = 0u64;
+                    loop {
+                        let snap = handle.snapshot();
+                        assert!(
+                            snap.epoch() >= last_epoch,
+                            "published epoch moved backwards"
+                        );
+                        last_epoch = snap.epoch();
+                        let recomputed = snap.tree().fingerprint();
+                        if recomputed != snap.fingerprint()
+                            || handle.recorded_fingerprint(snap.epoch()) != Some(recomputed)
+                        {
+                            torn += 1;
+                        }
+                        observations += 1;
+                        if done.load(Ordering::Acquire) {
+                            break;
+                        }
+                    }
+                    (observations, torn)
+                })
+            })
+            .collect();
+
+        // The writer commits one small epoch per chunk while the readers
+        // hammer the published pointer.
+        for chunk in updates.chunks(3) {
+            write_handle.submit(chunk.to_vec());
+            server
+                .commit()
+                .expect("the chunk submitted above is queued");
+        }
+        done.store(true, Ordering::Release);
+        readers
+            .into_iter()
+            .map(|r| r.join().expect("reader panicked"))
+            .collect()
+    });
+
+    let observations: u64 = tallies.iter().map(|t| t.0).sum();
+    let torn: u64 = tallies.iter().map(|t| t.1).sum();
+    assert!(observations >= 4, "every reader observed at least once");
+    assert_eq!(torn, 0, "torn snapshots across {observations} observations");
+    // The writer committed every chunk: epoch 0 plus one record per chunk.
+    assert_eq!(server.epochs().len(), 1 + updates.chunks(3).count());
+    server.maintainer().check().expect("final tree stays valid");
+}
+
+#[test]
+fn group_commit_absorbs_concurrent_submissions_into_one_epoch() {
+    let mut rng = ChaCha8Rng::seed_from_u64(0x5E23);
+    let graph = generators::random_connected_gnm(96, 288, &mut rng);
+    let updates = update_sequence(&graph, 10, 0x5E24);
+
+    let mut server = Server::new(MaintainerBuilder::new(Backend::Sequential).build(&graph));
+    // Five writers enqueue one batch each before anything commits…
+    std::thread::scope(|scope| {
+        for chunk in updates.chunks(2) {
+            let writer = server.write_handle();
+            scope.spawn(move || writer.submit(chunk.to_vec()));
+        }
+    });
+    // …and one commit drains them all into a single epoch.
+    let stats = server.commit().expect("five batches queued");
+    assert_eq!(stats.record.epoch, 1);
+    assert_eq!(stats.record.submissions, 5);
+    assert_eq!(stats.record.updates, updates.len());
+    assert_eq!(stats.report.applied(), updates.len());
+    assert!(server.commit().is_none(), "queue fully drained");
+    assert_eq!(server.epochs().len(), 2, "epoch 0 + the group commit");
+}
+
+#[test]
+fn serving_a_trace_matches_the_single_threaded_replay_on_every_backend() {
+    let trace = Scenario::ReadMostly.record(64, 0x5E25);
+    for backend in Backend::all_default() {
+        // Single-threaded reference replay of the same trace.
+        let mut reference = MaintainerBuilder::new(backend).build(&trace.initial_graph());
+        let outcome = ScenarioRunner::new(&trace).run(reference.as_mut());
+
+        let served = ConcurrentScenarioRunner::new(&trace, 4)
+            .run(MaintainerBuilder::new(backend).build(&trace.initial_graph()));
+        assert_eq!(served.torn_snapshots, 0, "{backend:?}: torn snapshot");
+        assert_eq!(
+            served.final_fingerprint, outcome.tree_fingerprint,
+            "{backend:?}: served final tree diverged from the single-threaded replay"
+        );
+        assert_eq!(
+            served.updates_applied,
+            outcome.updates_applied(),
+            "{backend:?}: served replay dropped updates"
+        );
+        assert!(
+            served.queries_answered > 0 && served.reader_passes >= 4,
+            "{backend:?}: every reader completes at least one pass"
+        );
+        // One group-commit epoch per recorded update batch, plus epoch 0.
+        let update_batches = trace
+            .phases
+            .iter()
+            .flat_map(|p| &p.batches)
+            .filter(|b| matches!(b, pardfs::scenario::TraceBatch::Updates(_)))
+            .count();
+        assert_eq!(served.epochs.len(), 1 + update_batches, "{backend:?}");
+    }
+}
+
+#[test]
+fn sharded_router_replicas_agree_and_route_by_component() {
+    let mut rng = ChaCha8Rng::seed_from_u64(0x5E26);
+    let graph = generators::random_connected_gnm(80, 240, &mut rng);
+    let updates = update_sequence(&graph, 24, 0x5E27);
+
+    let mut router = MaintainerBuilder::new(Backend::Parallel)
+        .shards(3)
+        .serve(&graph);
+    assert_eq!(router.num_shards(), 3);
+
+    for chunk in updates.chunks(4) {
+        let commits = router.commit(chunk);
+        assert_eq!(commits.len(), 3, "one commit per shard");
+        // Replicated writes: every shard commits the same epoch and lands
+        // on the same tree.
+        for stats in &commits[1..] {
+            assert_eq!(stats.record.epoch, commits[0].record.epoch);
+            assert_eq!(stats.record.fingerprint, commits[0].record.fingerprint);
+        }
+        // The merged roll-up is the whole group's work for the epoch: with
+        // replicated writes, every shard absorbs the full chunk.
+        let rollup = pardfs::ShardRouter::merged_rollup(&commits);
+        assert_eq!(rollup.updates, (3 * chunk.len()) as u64);
+    }
+
+    // Affinity reads: every vertex routes to a valid shard, and the shard's
+    // snapshot answers exactly like shard 0's (replicas agree).
+    let reference = router.read_handle(0).snapshot();
+    for v in 0..reference.num_vertices() as pardfs::Vertex {
+        let shard = router.shard_for(v);
+        assert!(shard < router.num_shards());
+        let snap = router.snapshot_for(v);
+        assert_eq!(
+            snap.forest_parent(v),
+            reference.forest_parent(v),
+            "shard {shard} disagrees on vertex {v}"
+        );
+    }
+    // Whole-forest queries route to shard 0 by the v1 rules.
+    assert_eq!(router.shard_for(u32::MAX), 0);
+    assert_eq!(
+        router.read_handle(0).snapshot().forest_roots(),
+        reference.forest_roots()
+    );
+}

@@ -1,19 +1,76 @@
 //! Offline stand-in for the `parking_lot` crate.
 //!
-//! Provides [`Mutex`] with parking_lot's poison-free `lock()` signature,
-//! backed by `std::sync::Mutex`. A poisoned std mutex (a panic while the lock
-//! was held) propagates the panic into the next `lock()` call, which matches
-//! how the workspace uses the lock (short, panic-free critical sections of
-//! the CONGEST network accountant).
+//! Provides the subset of parking_lot's surface the workspace uses, backed by
+//! `std::sync` primitives:
+//!
+//! * [`Mutex`] / [`MutexGuard`] — poison-free `lock()` (the CONGEST network
+//!   accountant, the serve layer's group-commit queue);
+//! * [`Condvar`] — `wait`/`notify` over a [`MutexGuard`] (the serve layer's
+//!   commit loop blocks on it until work arrives);
+//! * [`RwLock`] — many-reader/one-writer (the serve layer's published
+//!   snapshot pointer: readers clone an `Arc` under the read lock, the
+//!   writer swaps it under the write lock).
+//!
+//! A poisoned std primitive (a panic while a guard was held) propagates the
+//! panic into the next acquisition, which matches how the workspace uses the
+//! locks: short, panic-free critical sections.
+//!
+//! Remaining gaps vs the real crate, deliberate for an offline stand-in:
+//!
+//! * **No fairness or eventual-fairness** — acquisition order is whatever
+//!   the std/OS primitives give; the real crate token-parks waiters and
+//!   hands locks over fairly on timeout.
+//! * **Not word-sized** — each lock carries std's allocation, not the real
+//!   crate's one-byte atomics; cache behaviour under heavy contention
+//!   differs.
+//! * **No timed/try surface beyond what std gives** — `try_lock`,
+//!   `lock_timeout`, upgradable reads and `Condvar::wait_for` are absent
+//!   (nothing in the workspace needs them).
+//! * **Poison → panic, not poison-free** — the real crate simply releases
+//!   on panic; the stand-in converts the std poison error into a panic at
+//!   the next acquisition, which is observationally close enough for
+//!   panic-free critical sections but differs when a panicking holder is
+//!   itself caught and recovered.
 
 #![forbid(unsafe_code)]
 
-use std::sync::{Mutex as StdMutex, MutexGuard as StdMutexGuard};
+use std::ops::{Deref, DerefMut};
+use std::sync::{
+    Condvar as StdCondvar, Mutex as StdMutex, MutexGuard as StdMutexGuard, RwLock as StdRwLock,
+    RwLockReadGuard as StdRwLockReadGuard, RwLockWriteGuard as StdRwLockWriteGuard,
+};
+
+const POISON: &str = "lock poisoned: a previous holder panicked";
 
 /// A mutual-exclusion primitive with parking_lot's API shape.
 #[derive(Debug, Default)]
 pub struct Mutex<T> {
     inner: StdMutex<T>,
+}
+
+/// RAII guard of a [`Mutex`].
+///
+/// Holds the std guard in an `Option` so that [`Condvar::wait`] can take the
+/// guard out by value (std's wait consumes it) and put the re-acquired guard
+/// back — parking_lot's `wait(&mut guard)` signature without `unsafe`. The
+/// `Option` is `None` only *during* a wait, never observably.
+#[derive(Debug)]
+pub struct MutexGuard<'a, T> {
+    inner: Option<StdMutexGuard<'a, T>>,
+}
+
+impl<T> Deref for MutexGuard<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard present outside wait")
+    }
+}
+
+impl<T> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_mut().expect("guard present outside wait")
+    }
 }
 
 impl<T> Mutex<T> {
@@ -25,17 +82,15 @@ impl<T> Mutex<T> {
     }
 
     /// Acquire the lock, blocking the current thread.
-    pub fn lock(&self) -> StdMutexGuard<'_, T> {
-        self.inner
-            .lock()
-            .expect("mutex poisoned: a previous holder panicked")
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        MutexGuard {
+            inner: Some(self.inner.lock().expect(POISON)),
+        }
     }
 
     /// Consume the mutex, returning the inner value.
     pub fn into_inner(self) -> T {
-        self.inner
-            .into_inner()
-            .expect("mutex poisoned: a previous holder panicked")
+        self.inner.into_inner().expect(POISON)
     }
 }
 
@@ -45,9 +100,79 @@ impl<T> From<T> for Mutex<T> {
     }
 }
 
+/// A condition variable with parking_lot's `wait(&mut guard)` shape.
+#[derive(Debug, Default)]
+pub struct Condvar {
+    inner: StdCondvar,
+}
+
+impl Condvar {
+    /// A fresh condition variable.
+    pub fn new() -> Self {
+        Condvar {
+            inner: StdCondvar::new(),
+        }
+    }
+
+    /// Atomically release the mutex behind `guard` and block until notified;
+    /// the mutex is re-acquired before returning. Spurious wakeups are
+    /// possible — callers loop on their predicate, as with any condvar.
+    pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        let std_guard = guard.inner.take().expect("guard present outside wait");
+        guard.inner = Some(self.inner.wait(std_guard).expect(POISON));
+    }
+
+    /// Wake one thread blocked in [`Condvar::wait`] on this variable.
+    pub fn notify_one(&self) {
+        self.inner.notify_one();
+    }
+
+    /// Wake every thread blocked in [`Condvar::wait`] on this variable.
+    pub fn notify_all(&self) {
+        self.inner.notify_all();
+    }
+}
+
+/// A many-reader/one-writer lock with parking_lot's poison-free API shape.
+#[derive(Debug, Default)]
+pub struct RwLock<T> {
+    inner: StdRwLock<T>,
+}
+
+impl<T> RwLock<T> {
+    /// Wrap a value.
+    pub fn new(value: T) -> Self {
+        RwLock {
+            inner: StdRwLock::new(value),
+        }
+    }
+
+    /// Acquire a shared read guard, blocking while a writer holds the lock.
+    pub fn read(&self) -> StdRwLockReadGuard<'_, T> {
+        self.inner.read().expect(POISON)
+    }
+
+    /// Acquire the exclusive write guard, blocking while any guard is held.
+    pub fn write(&self) -> StdRwLockWriteGuard<'_, T> {
+        self.inner.write().expect(POISON)
+    }
+
+    /// Consume the lock, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.inner.into_inner().expect(POISON)
+    }
+}
+
+impl<T> From<T> for RwLock<T> {
+    fn from(value: T) -> Self {
+        RwLock::new(value)
+    }
+}
+
 #[cfg(test)]
 mod tests {
-    use super::Mutex;
+    use super::{Condvar, Mutex, RwLock};
+    use std::sync::Arc;
 
     #[test]
     fn lock_and_into_inner() {
@@ -59,7 +184,7 @@ mod tests {
 
     #[test]
     fn shared_across_threads() {
-        let m = std::sync::Arc::new(Mutex::new(0u64));
+        let m = Arc::new(Mutex::new(0u64));
         let handles: Vec<_> = (0..8)
             .map(|_| {
                 let m = m.clone();
@@ -74,5 +199,63 @@ mod tests {
             h.join().unwrap();
         }
         assert_eq!(*m.lock(), 8000);
+    }
+
+    #[test]
+    fn condvar_hands_a_value_across_threads() {
+        let state = Arc::new((Mutex::new(0u32), Condvar::new()));
+        let consumer = {
+            let state = state.clone();
+            std::thread::spawn(move || {
+                let (lock, cv) = &*state;
+                let mut guard = lock.lock();
+                while *guard == 0 {
+                    cv.wait(&mut guard);
+                }
+                *guard
+            })
+        };
+        {
+            let (lock, cv) = &*state;
+            *lock.lock() = 42;
+            cv.notify_one();
+        }
+        assert_eq!(consumer.join().unwrap(), 42);
+    }
+
+    #[test]
+    fn rwlock_allows_concurrent_readers() {
+        let lock = Arc::new(RwLock::new(vec![1, 2, 3]));
+        // Two read guards coexist on one thread — would deadlock if the
+        // stand-in were secretly exclusive.
+        let a = lock.read();
+        let b = lock.read();
+        assert_eq!(a.len() + b.len(), 6);
+        drop((a, b));
+        lock.write().push(4);
+        assert_eq!(lock.read().len(), 4);
+        assert_eq!(
+            Arc::try_unwrap(lock).unwrap().into_inner(),
+            vec![1, 2, 3, 4]
+        );
+    }
+
+    #[test]
+    fn rwlock_writer_sees_all_reader_increments() {
+        let lock = Arc::new(RwLock::new(0u64));
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let lock = lock.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..500 {
+                        *lock.write() += 1;
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(*lock.read(), 2000);
     }
 }
