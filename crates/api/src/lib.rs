@@ -48,7 +48,7 @@ pub use policy::{
     maintain_index, maintain_index_with, IndexMaintenanceStats, IndexPolicy, RebuildPolicy,
     RebuildPolicyStats,
 };
-pub use report::{BatchReport, StatsReport, StatsRollup};
+pub use report::{BatchReport, RecoveryStats, StatsReport, StatsRollup};
 pub use stats::{
     CongestStats, RerootStats, SeqUpdateStats, StreamStats, TraversalKind, UpdateStats,
 };

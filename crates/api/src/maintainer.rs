@@ -2,7 +2,7 @@
 //! and its read-only half, [`ForestQuery`], which immutable snapshots share.
 
 use crate::report::{BatchReport, StatsReport};
-use pardfs_graph::{Update, Vertex};
+use pardfs_graph::{Graph, Update, Vertex};
 use pardfs_tree::TreeIndex;
 
 /// The **read-only query surface** of a maintained DFS forest.
@@ -88,6 +88,16 @@ pub trait DfsMaintainer: Send + ForestQuery {
 
     /// The current DFS tree of the augmented graph (internal ids).
     fn tree(&self) -> &TreeIndex;
+
+    /// The maintained *augmented* graph (internal ids: pseudo root at 0,
+    /// user `v` at `v + 1`), exactly as held — adjacency order included.
+    ///
+    /// Together with [`DfsMaintainer::tree`] this is the complete
+    /// recoverable state of a maintainer: a durability checkpoint
+    /// serializes both, and a maintainer resumed from them evolves
+    /// identically to the one that crashed (adjacency order is part of the
+    /// contract because DFS tree shape depends on it).
+    fn augmented_graph(&self) -> &Graph;
 
     /// Validate the maintained tree against the maintained graph
     /// (`O(n + m)`; used by tests and the builder's checked mode).

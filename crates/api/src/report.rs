@@ -226,6 +226,29 @@ impl StatsRollup {
     }
 }
 
+/// What a crash recovery did: how far the checkpoint got the state, how much
+/// WAL tail had to be replayed on top, and what (if anything) was dropped as
+/// a torn final record. Produced by the durability layer's `recover` and
+/// surfaced so operators can distinguish "clean restart" from "replayed an
+/// hour of log".
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecoveryStats {
+    /// Epoch of the checkpoint the recovery started from (0 = no
+    /// checkpoint, recovery rebuilt from the WAL's initial state).
+    pub checkpoint_epoch: u64,
+    /// Epoch the recovered state reached after tail replay.
+    pub recovered_epoch: u64,
+    /// Complete WAL records replayed on top of the checkpoint.
+    pub records_replayed: u64,
+    /// Updates those records carried.
+    pub updates_replayed: u64,
+    /// Torn (half-written) trailing records dropped — 0 on a clean
+    /// shutdown, at most 1 after a crash.
+    pub torn_records_dropped: u64,
+    /// Bytes of WAL scanned (the file size at recovery time).
+    pub wal_bytes: u64,
+}
+
 /// What applying a batch of updates did.
 #[derive(Debug, Clone, Default)]
 pub struct BatchReport {

@@ -14,12 +14,13 @@ use pardfs::congest::network::diameter;
 use pardfs::core::FaultTolerantDfs;
 use pardfs::graph::updates::{random_update_sequence, UpdateKind, UpdateMix};
 use pardfs::query::StructureD;
+use pardfs::scenario::TraceBatch;
 use pardfs::seq::augment::AugmentedGraph;
 use pardfs::seq::static_dfs::static_dfs;
 use pardfs::tree::TreeIndex;
 use pardfs::{
-    Backend, ConcurrentScenarioRunner, DfsMaintainer, IndexPolicy, MaintainerBuilder,
-    RebuildPolicy, Scenario, Strategy,
+    Backend, CheckpointPolicy, ConcurrentScenarioRunner, DfsMaintainer, DurabilityConfig,
+    IndexPolicy, MaintainerBuilder, RebuildPolicy, Scenario, Strategy,
 };
 use std::collections::HashMap;
 use std::time::Instant;
@@ -916,6 +917,150 @@ pub fn e13_serving_throughput(scale: Scale) -> Table {
     t
 }
 
+/// E14 — durable-commit overhead: the merge-split-storm trace (write-heavy)
+/// committed through an in-memory `Server` versus a WAL-attached durable
+/// server, per backend. Configurations: `in-memory` (no durability), `wal`
+/// (append + fsync per group commit, checkpoint only at attach) and
+/// `wal+ckpt8` (the default every-8-epochs checkpoint policy, adding
+/// snapshot writes and WAL truncation to the steady state).
+///
+/// The headline metric is mean nanoseconds per committed update; `vs mem`
+/// is the durable/in-memory ratio — the price of crash recoverability. The
+/// final on-disk footprint (WAL + checkpoints) is reported per config. Every
+/// durable run is recovered afterwards and its tree fingerprint compared
+/// against the in-memory server's — a benchmark that measured a
+/// non-recoverable log would abort rather than record a meaningless number.
+pub fn e14_durability_overhead(scale: Scale) -> Table {
+    let n = match scale {
+        Scale::Tiny => 64,
+        Scale::Quick => 192,
+        Scale::Full => 768,
+    };
+    let scenario = Scenario::MergeSplitStorm;
+    let trace = scenario.record(n, 0xE14);
+    let batches: Vec<Vec<pardfs::Update>> = trace
+        .phases
+        .iter()
+        .flat_map(|p| &p.batches)
+        .filter_map(|b| match b {
+            TraceBatch::Updates(u) => Some(u.clone()),
+            TraceBatch::Queries(_) => None,
+        })
+        .collect();
+    let updates_total: usize = batches.iter().map(|b| b.len()).sum();
+    let mut t = Table::new(
+        format!(
+            "E14: durable-commit overhead — merge-split-storm trace (n ≈ {n}, \
+             {updates_total} updates in {} epochs), WAL + checkpoints vs in-memory",
+            batches.len()
+        ),
+        &[
+            "backend",
+            "config",
+            "n",
+            "m",
+            "updates",
+            "epochs",
+            "ns/update",
+            "vs mem",
+            "disk KiB",
+        ],
+    );
+    t.id = "E14".into();
+    let scratch = |tag: &str| {
+        let dir =
+            std::env::temp_dir().join(format!("pardfs-bench-e14-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    };
+    for backend in Backend::all_default() {
+        let builder = MaintainerBuilder::new(backend);
+        let commit_all = |server: &mut pardfs::Server| {
+            let writer = server.write_handle();
+            for batch in &batches {
+                writer.submit(batch.clone());
+                server.commit().expect("queued batch commits");
+            }
+        };
+        // In-memory baseline: best of two (fsync-free, so jitter-dominated).
+        let (mem_micros, backend_name, mem_fp) = (0..2)
+            .map(|_| {
+                let mut server = builder.serve_single(&trace.initial_graph());
+                let micros = micros(|| commit_all(&mut server));
+                let name = server.maintainer().backend_name();
+                let fp = pardfs::scenario::tree_fingerprint(server.maintainer());
+                (micros, name, fp)
+            })
+            .min_by(|a, b| a.0.total_cmp(&b.0))
+            .expect("two runs recorded");
+        let mem_ns = mem_micros * 1e3 / updates_total.max(1) as f64;
+        let mut push = |config: &str, ns: f64, disk: Option<u64>| {
+            t.records.push(BenchRecord {
+                n: trace.n,
+                m: trace.m(),
+                backend: backend_name.into(),
+                policy: config.into(),
+                ns_per_update: ns,
+                ..BenchRecord::stamped()
+            });
+            t.push_row(vec![
+                backend_name.into(),
+                config.into(),
+                trace.n.to_string(),
+                trace.m().to_string(),
+                updates_total.to_string(),
+                batches.len().to_string(),
+                format!("{ns:.0}"),
+                format!("{:.2}x", ns / mem_ns.max(f64::MIN_POSITIVE)),
+                disk.map_or("-".into(), |b| format!("{:.1}", b as f64 / 1024.0)),
+            ]);
+        };
+        push("in-memory", mem_ns, None);
+        for (config, policy) in [
+            ("wal", CheckpointPolicy::Manual),
+            ("wal+ckpt8", CheckpointPolicy::EveryKEpochs(8)),
+        ] {
+            let (durable_micros, disk) = (0..2)
+                .map(|run| {
+                    let dir = scratch(&format!("{backend_name}-{config}-{run}"));
+                    let durability = DurabilityConfig::new(&dir).policy(policy);
+                    let mut server = builder
+                        .serve_durable(&trace.initial_graph(), &durability)
+                        .expect("fresh durability dir attaches");
+                    let micros = micros(|| commit_all(&mut server));
+                    drop(server);
+                    let disk: u64 = std::fs::read_dir(&dir)
+                        .expect("durability dir readable")
+                        .flatten()
+                        .filter_map(|e| e.metadata().ok())
+                        .map(|m| m.len())
+                        .sum();
+                    // The number is only meaningful if the log it measured
+                    // actually recovers onto the same tree.
+                    let recovered = builder
+                        .recover(&durability)
+                        .expect("benchmark WAL recovers");
+                    assert_eq!(
+                        pardfs::scenario::tree_fingerprint(recovered.server.maintainer()),
+                        mem_fp,
+                        "{backend_name}/{config}: recovered tree diverged from in-memory commit"
+                    );
+                    drop(recovered);
+                    let _ = std::fs::remove_dir_all(&dir);
+                    (micros, disk)
+                })
+                .min_by(|a, b| a.0.total_cmp(&b.0))
+                .expect("two runs recorded");
+            push(
+                config,
+                durable_micros * 1e3 / updates_total.max(1) as f64,
+                Some(disk),
+            );
+        }
+    }
+    t
+}
+
 /// All experiments in EXPERIMENTS.md order.
 pub fn all_experiments(scale: Scale) -> Vec<Table> {
     vec![
@@ -933,6 +1078,7 @@ pub fn all_experiments(scale: Scale) -> Vec<Table> {
         e11_index_patching(scale),
         e12_scenarios(scale),
         e13_serving_throughput(scale),
+        e14_durability_overhead(scale),
     ]
 }
 

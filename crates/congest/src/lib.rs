@@ -176,6 +176,39 @@ impl DistributedDynamicDfs {
         }
     }
 
+    /// Resume the maintainer from previously captured state: an augmented
+    /// graph and a DFS tree of it (a durability checkpoint's contents). The
+    /// initial static DFS is skipped — the provided tree *is* the maintained
+    /// tree — so the maintainer continues the crash-time trajectory.
+    pub fn from_state(
+        aug: AugmentedGraph,
+        idx: TreeIndex,
+        bandwidth: usize,
+        strategy: Strategy,
+    ) -> Self {
+        assert_eq!(
+            idx.root(),
+            aug.pseudo_root(),
+            "resumed tree must be rooted at the pseudo root"
+        );
+        assert_eq!(
+            idx.capacity(),
+            aug.graph().capacity(),
+            "resumed tree id space must match the graph"
+        );
+        DistributedDynamicDfs {
+            aug,
+            idx,
+            strategy,
+            bandwidth: bandwidth.max(1),
+            index_policy: IndexPolicy::default(),
+            index_stats: IndexMaintenanceStats::default(),
+            last_engine_stats: UpdateStats::default(),
+            last_congest_stats: CongestStats::default(),
+            total_congest_stats: CongestStats::default(),
+        }
+    }
+
     /// Select when the (per-node) tree index is delta-patched versus rebuilt.
     /// The broadcast of the changed parent pointers is charged to the network
     /// either way — patching saves the *local* recomputation at every node.
@@ -395,6 +428,10 @@ impl DfsMaintainer for DistributedDynamicDfs {
 
     fn tree(&self) -> &TreeIndex {
         DistributedDynamicDfs::tree(self)
+    }
+
+    fn augmented_graph(&self) -> &Graph {
+        self.aug.graph()
     }
 
     fn check(&self) -> Result<(), String> {

@@ -116,6 +116,46 @@ impl DynamicDfs {
         }
     }
 
+    /// Resume the maintainer from previously captured state: an augmented
+    /// graph and a DFS tree of it (a durability checkpoint's contents).
+    /// The static DFS is **skipped** — the provided tree *is* the maintained
+    /// tree, so a maintainer resumed from a crash-time checkpoint continues
+    /// on the exact tree trajectory the crashed one was on. `D` is built
+    /// fresh on the provided tree (an empty overlay answers the same
+    /// queries a carried-over overlay would — the incremental ≡ fresh-build
+    /// equivalence the differential suite pins).
+    pub fn from_state(
+        aug: AugmentedGraph,
+        idx: TreeIndex,
+        strategy: Strategy,
+        policy: RebuildPolicy,
+    ) -> Self {
+        assert_eq!(
+            idx.root(),
+            aug.pseudo_root(),
+            "resumed tree must be rooted at the pseudo root"
+        );
+        assert_eq!(
+            idx.capacity(),
+            aug.graph().capacity(),
+            "resumed tree id space must match the graph"
+        );
+        let d = StructureD::build(aug.graph(), idx.clone());
+        DynamicDfs {
+            aug,
+            idx,
+            d,
+            d_fresh: true,
+            strategy,
+            policy,
+            policy_stats: RebuildPolicyStats::default(),
+            index_policy: IndexPolicy::default(),
+            index_stats: IndexMaintenanceStats::default(),
+            last_stats: UpdateStats::default(),
+            updates_applied: 0,
+        }
+    }
+
     /// The rerooting strategy in use.
     pub fn strategy(&self) -> Strategy {
         self.strategy
@@ -380,6 +420,10 @@ impl DfsMaintainer for DynamicDfs {
 
     fn tree(&self) -> &TreeIndex {
         DynamicDfs::tree(self)
+    }
+
+    fn augmented_graph(&self) -> &Graph {
+        self.aug.graph()
     }
 
     fn check(&self) -> Result<(), String> {

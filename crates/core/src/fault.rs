@@ -279,6 +279,38 @@ impl FaultTolerantDfs {
         }
     }
 
+    /// Resume the maintainer from previously captured state: an augmented
+    /// graph and a DFS tree of it (a durability checkpoint's contents). The
+    /// provided tree becomes the preprocessed `original_idx` — exactly as if
+    /// the maintainer had been preprocessed at the checkpointed moment — so
+    /// the maintained tree continues from the crash-time tree, with an empty
+    /// pending batch.
+    pub fn from_state(aug: AugmentedGraph, idx: TreeIndex, strategy: Strategy) -> Self {
+        assert_eq!(
+            idx.root(),
+            aug.pseudo_root(),
+            "resumed tree must be rooted at the pseudo root"
+        );
+        assert_eq!(
+            idx.capacity(),
+            aug.graph().capacity(),
+            "resumed tree id space must match the graph"
+        );
+        let d = StructureD::build(aug.graph(), idx.clone());
+        FaultTolerantDfs {
+            aug,
+            original_idx: idx,
+            d,
+            strategy,
+            pending: Vec::new(),
+            notes: Vec::new(),
+            current: None,
+            absorptions: 0,
+            index_policy: IndexPolicy::default(),
+            index_stats: IndexMaintenanceStats::default(),
+        }
+    }
+
     /// Select when the per-absorption tree index is delta-patched vs rebuilt.
     pub fn set_index_policy(&mut self, policy: IndexPolicy) {
         self.index_policy = policy;
@@ -611,6 +643,16 @@ impl DfsMaintainer for FaultTolerantDfs {
             .as_ref()
             .map(|r| r.tree())
             .unwrap_or(&self.original_idx)
+    }
+
+    fn augmented_graph(&self) -> &Graph {
+        // The maintained graph, like the maintained tree, lives in the
+        // pending result once maintainer-style updates have been absorbed —
+        // `self.aug` stays frozen at the preprocessed graph.
+        self.current
+            .as_ref()
+            .map(|r| r.augmented_graph())
+            .unwrap_or(self.aug.graph())
     }
 
     fn check(&self) -> Result<(), String> {

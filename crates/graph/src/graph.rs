@@ -44,7 +44,14 @@ pub const INVALID_VERTEX: Vertex = u32::MAX;
 /// * All mutation goes through [`Graph::apply`] or the specific
 ///   `insert_edge` / `delete_edge` / `insert_vertex` / `delete_vertex` methods,
 ///   which keep the edge count and activity flags consistent.
-#[derive(Debug, Clone, Default)]
+///
+/// `PartialEq` compares the *exact* representation — adjacency lists in
+/// stored order, activity flags and counters — not just the edge set. Two
+/// graphs with the same edges but different adjacency order are **not**
+/// equal, which is deliberate: adjacency order determines DFS tree shape, so
+/// representation equality is the property snapshot round-trips
+/// ([`Graph::render_snapshot`] / [`Graph::parse_snapshot`]) must preserve.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Graph {
     adj: Vec<Vec<Vertex>>,
     active: Vec<bool>,
@@ -254,6 +261,135 @@ impl Graph {
             a.sort_unstable();
         }
     }
+
+    /// Render the graph's exact representation as a line-delimited snapshot:
+    ///
+    /// ```text
+    /// graph <capacity> <num_edges>
+    /// adj <v> <n1> <n2> ...     (one line per ACTIVE vertex, ascending v)
+    /// graph-end
+    /// ```
+    ///
+    /// Neighbours appear in **stored adjacency order**, not sorted — a DFS
+    /// tree's shape depends on that order, so a checkpoint that canonicalised
+    /// it would recover a *different* tree than the one that crashed.
+    /// Inactive slots (deleted / never-inserted ids) have no `adj` line;
+    /// [`Graph::parse_snapshot`] reconstructs the activity flags from the
+    /// line set. `parse_snapshot(render_snapshot(g)) == g` exactly
+    /// (representation equality, see the `PartialEq` note on [`Graph`]).
+    pub fn render_snapshot(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "graph {} {}", self.capacity(), self.num_edges);
+        for v in self.vertices() {
+            let _ = write!(out, "adj {v}");
+            for &u in self.neighbors(v) {
+                let _ = write!(out, " {u}");
+            }
+            out.push('\n');
+        }
+        out.push_str("graph-end\n");
+        out
+    }
+
+    /// Parse a snapshot produced by [`Graph::render_snapshot`], validating
+    /// the representation invariants (symmetric adjacency, no self loops or
+    /// duplicates, active endpoints, consistent edge count) so a corrupted
+    /// checkpoint is rejected with a description instead of reconstructing a
+    /// graph the maintainers would silently misbehave on.
+    pub fn parse_snapshot(text: &str) -> Result<Graph, String> {
+        let mut lines = text.lines();
+        let header = lines.next().ok_or("empty graph snapshot")?;
+        let rest = header
+            .strip_prefix("graph ")
+            .ok_or_else(|| format!("expected `graph <capacity> <edges>`, got `{header}`"))?;
+        let (cap_tok, edges_tok) = rest
+            .split_once(' ')
+            .ok_or_else(|| format!("expected `graph <capacity> <edges>`, got `{header}`"))?;
+        let capacity: usize = cap_tok
+            .parse()
+            .map_err(|_| format!("bad graph capacity `{cap_tok}`"))?;
+        let claimed_edges: usize = edges_tok
+            .parse()
+            .map_err(|_| format!("bad graph edge count `{edges_tok}`"))?;
+
+        let mut adj: Vec<Vec<Vertex>> = vec![Vec::new(); capacity];
+        let mut active = vec![false; capacity];
+        let mut last_v: Option<Vertex> = None;
+        loop {
+            let line = lines
+                .next()
+                .ok_or("graph snapshot truncated (missing `graph-end`)")?;
+            if line == "graph-end" {
+                break;
+            }
+            let rest = line
+                .strip_prefix("adj ")
+                .ok_or_else(|| format!("expected `adj <v> ...` or `graph-end`, got `{line}`"))?;
+            let mut it = rest.split(' ');
+            let v: Vertex = it
+                .next()
+                .and_then(|t| t.parse().ok())
+                .ok_or_else(|| format!("bad vertex id in `{line}`"))?;
+            if (v as usize) >= capacity {
+                return Err(format!("adjacency vertex {v} outside capacity {capacity}"));
+            }
+            if last_v.is_some_and(|p| p >= v) {
+                return Err(format!("adjacency lines out of order at vertex {v}"));
+            }
+            last_v = Some(v);
+            active[v as usize] = true;
+            for t in it {
+                let u: Vertex = t
+                    .parse()
+                    .map_err(|_| format!("bad neighbour id `{t}` of vertex {v}"))?;
+                if (u as usize) >= capacity {
+                    return Err(format!("neighbour {u} of vertex {v} outside capacity"));
+                }
+                if u == v {
+                    return Err(format!("self loop on vertex {v}"));
+                }
+                if adj[v as usize].contains(&u) {
+                    return Err(format!("duplicate neighbour {u} of vertex {v}"));
+                }
+                adj[v as usize].push(u);
+            }
+        }
+        if lines.any(|l| !l.is_empty()) {
+            return Err("trailing content after `graph-end`".to_string());
+        }
+
+        // Symmetry + activity of endpoints, then the edge count.
+        let mut directed = 0usize;
+        for v in 0..capacity {
+            for &u in &adj[v] {
+                if !active[u as usize] {
+                    return Err(format!("vertex {v} adjacent to inactive vertex {u}"));
+                }
+                if !adj[u as usize].contains(&(v as Vertex)) {
+                    return Err(format!("asymmetric adjacency: {v} lists {u} but not back"));
+                }
+                directed += 1;
+            }
+        }
+        debug_assert!(
+            directed.is_multiple_of(2),
+            "symmetry check guarantees evenness"
+        );
+        let num_edges = directed / 2;
+        if num_edges != claimed_edges {
+            return Err(format!(
+                "snapshot header claims {claimed_edges} edges, adjacency encodes {num_edges}"
+            ));
+        }
+        let num_active = active.iter().filter(|&&a| a).count();
+        Ok(Graph {
+            adj,
+            active,
+            num_edges,
+            num_active,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -335,6 +471,63 @@ mod tests {
         g.apply(&Update::DeleteVertex(0));
         assert_eq!(g.num_vertices(), 2);
         assert_eq!(g.num_edges(), 1);
+    }
+
+    #[test]
+    fn snapshot_round_trip_preserves_exact_representation() {
+        // Build a graph with history-dependent adjacency order: deletions
+        // swap_remove, vertex churn leaves holes — the representation a
+        // canonical edge list could NOT reproduce.
+        let mut g = Graph::new(5);
+        g.insert_edge(0, 1);
+        g.insert_edge(0, 2);
+        g.insert_edge(0, 3);
+        g.insert_edge(2, 4);
+        g.delete_edge(0, 1); // swap_remove scrambles 0's adjacency
+        g.delete_vertex(3); // hole at id 3
+        let v = g.insert_vertex(&[0, 4]);
+        assert_eq!(v, 5);
+        let text = g.render_snapshot();
+        let back = Graph::parse_snapshot(&text).expect("own snapshot parses");
+        assert_eq!(back, g, "representation equality, not just edge-set");
+        assert_eq!(back.render_snapshot(), text, "byte-stable round trip");
+        assert!(!back.is_active(3));
+        assert_eq!(back.neighbors(0), g.neighbors(0), "adjacency order kept");
+    }
+
+    #[test]
+    fn snapshot_rejects_corruption() {
+        let mut g = Graph::new(4);
+        g.insert_edge(0, 1);
+        g.insert_edge(1, 2);
+        let good = g.render_snapshot();
+        // Asymmetric adjacency.
+        let bad = good.replace("adj 2 1", "adj 2 1 3");
+        assert!(Graph::parse_snapshot(&bad)
+            .unwrap_err()
+            .contains("asymmetric"));
+        // Edge-count mismatch.
+        let bad = good.replace("graph 4 2", "graph 4 3");
+        assert!(Graph::parse_snapshot(&bad).unwrap_err().contains("edges"));
+        // Truncation.
+        let cut = good.strip_suffix("graph-end\n").unwrap();
+        assert!(Graph::parse_snapshot(cut)
+            .unwrap_err()
+            .contains("truncated"));
+        // Self loop and duplicate neighbour.
+        let bad = good.replace("adj 0 1", "adj 0 0");
+        assert!(Graph::parse_snapshot(&bad)
+            .unwrap_err()
+            .contains("self loop"));
+        let bad = good.replace("adj 0 1", "adj 0 1 1");
+        assert!(Graph::parse_snapshot(&bad)
+            .unwrap_err()
+            .contains("duplicate"));
+        // Out-of-order adjacency lines.
+        let reordered = "graph 2 0\nadj 1\nadj 0\ngraph-end\n";
+        assert!(Graph::parse_snapshot(reordered)
+            .unwrap_err()
+            .contains("out of order"));
     }
 
     #[test]

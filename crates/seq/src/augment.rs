@@ -78,6 +78,32 @@ impl AugmentedGraph {
         AugmentedGraph { graph }
     }
 
+    /// Re-wrap an *internal-id* graph (pseudo root and pseudo edges already
+    /// present) — the recovery path: a checkpoint serializes the augmented
+    /// graph exactly (adjacency order included, because DFS tree shape
+    /// depends on it), and this constructor validates the pseudo-root
+    /// invariants before trusting it. Rejects a graph whose vertex 0 is
+    /// inactive, whose active vertices are missing their pseudo edge, or
+    /// whose pseudo root carries edges to nowhere.
+    pub fn from_internal(graph: Graph) -> Result<Self, String> {
+        if !graph.is_active(PSEUDO_ROOT) {
+            return Err("pseudo root (internal id 0) is not active".to_string());
+        }
+        let user_vertices = graph.num_vertices() - 1;
+        if graph.degree(PSEUDO_ROOT) != user_vertices {
+            return Err(format!(
+                "pseudo root has {} edges but there are {user_vertices} user vertices",
+                graph.degree(PSEUDO_ROOT)
+            ));
+        }
+        for v in graph.vertices().filter(|&v| v != PSEUDO_ROOT) {
+            if !graph.has_edge(PSEUDO_ROOT, v) {
+                return Err(format!("active internal vertex {v} lacks its pseudo edge"));
+            }
+        }
+        Ok(AugmentedGraph { graph })
+    }
+
     /// The augmented graph (pseudo root and pseudo edges included), in the
     /// internal id space.
     pub fn graph(&self) -> &Graph {

@@ -69,6 +69,34 @@ impl SeqRerootDfs {
         }
     }
 
+    /// Resume the maintainer from previously captured state: an augmented
+    /// graph and a DFS tree of it (a durability checkpoint's contents). The
+    /// static DFS is skipped — the provided tree *is* the maintained tree —
+    /// so the maintainer continues from the crash-time trajectory rather than
+    /// restarting from a fresh traversal.
+    pub fn from_state(aug: AugmentedGraph, idx: TreeIndex) -> Self {
+        assert_eq!(
+            idx.root(),
+            aug.pseudo_root(),
+            "resumed tree must be rooted at the pseudo root"
+        );
+        assert_eq!(
+            idx.capacity(),
+            aug.graph().capacity(),
+            "resumed tree id space must match the graph"
+        );
+        let d = StructureD::build(aug.graph(), idx.clone());
+        SeqRerootDfs {
+            aug,
+            idx,
+            d,
+            index_policy: IndexPolicy::default(),
+            index_stats: IndexMaintenanceStats::default(),
+            parent_materializations: 0,
+            last_stats: SeqUpdateStats::default(),
+        }
+    }
+
     /// Select when the tree index is delta-patched versus rebuilt.
     pub fn set_index_policy(&mut self, policy: IndexPolicy) {
         self.index_policy = policy;
@@ -449,6 +477,10 @@ impl DfsMaintainer for SeqRerootDfs {
 
     fn tree(&self) -> &TreeIndex {
         SeqRerootDfs::tree(self)
+    }
+
+    fn augmented_graph(&self) -> &Graph {
+        self.aug.graph()
     }
 
     fn check(&self) -> Result<(), String> {

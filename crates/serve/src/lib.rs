@@ -45,7 +45,7 @@ mod server;
 mod shard;
 mod snapshot;
 
-pub use server::{CommitStats, EpochRecord, ReadHandle, Server, WriteHandle};
+pub use server::{CommitLog, CommitStats, EpochRecord, ReadHandle, Server, WriteHandle};
 pub use shard::ShardRouter;
 pub use snapshot::Snapshot;
 

@@ -43,6 +43,32 @@ pub struct CommitStats {
     pub report: BatchReport,
 }
 
+/// A durability sink for committed epochs, called by the server **inside**
+/// the commit path: after `apply_batch` has produced the new state but
+/// *before* the epoch record is appended to the in-memory log and the
+/// snapshot is published. A record the log accepts is therefore durable by
+/// the time any reader can observe its epoch — the write-ahead contract.
+///
+/// The server treats a logging failure as fatal (it panics): returning `Ok`
+/// is a durability promise, and a server that kept publishing epochs its log
+/// lost would silently break recovery.
+pub trait CommitLog: Send {
+    /// Persist one committed epoch: its record, the exact update batch that
+    /// produced it (user ids, application order), and the maintainer holding
+    /// the post-commit state (for checkpointing policies that trigger here).
+    fn log_commit(
+        &mut self,
+        record: &EpochRecord,
+        updates: &[Update],
+        state: &dyn DfsMaintainer,
+    ) -> Result<(), String>;
+
+    /// Take a checkpoint of `state` at `record`'s epoch now, regardless of
+    /// policy (the [`Server::force_checkpoint`] path).
+    fn checkpoint(&mut self, record: &EpochRecord, state: &dyn DfsMaintainer)
+        -> Result<(), String>;
+}
+
 /// State shared between the server (writer side) and every handle.
 struct Shared {
     /// Group-commit queue: submissions accumulate here until the writer
@@ -54,8 +80,11 @@ struct Shared {
     /// read lock (a pointer copy — no tree data is copied, and the writer
     /// is only ever inside the write lock for the swap itself).
     published: RwLock<Arc<Snapshot>>,
-    /// Epoch log, indexed by epoch number.
+    /// Epoch log. Index `i` holds epoch `epoch_offset + i` — the offset is 0
+    /// for a fresh server and the recovery epoch for a resumed one.
     epochs: Mutex<Vec<EpochRecord>>,
+    /// First epoch in `epochs` (see above).
+    epoch_offset: u64,
 }
 
 struct QueueState {
@@ -93,10 +122,11 @@ impl ReadHandle {
     /// already in the log — a `None` for an observed epoch is itself a
     /// consistency violation.
     pub fn recorded_fingerprint(&self, epoch: u64) -> Option<u64> {
+        let index = epoch.checked_sub(self.shared.epoch_offset)?;
         self.shared
             .epochs
             .lock()
-            .get(epoch as usize)
+            .get(index as usize)
             .map(|r| r.fingerprint)
     }
 
@@ -162,14 +192,24 @@ pub struct Server {
     dfs: Box<dyn DfsMaintainer>,
     shared: Arc<Shared>,
     next_epoch: u64,
+    commit_log: Option<Box<dyn CommitLog>>,
 }
 
 impl Server {
     /// Wrap a maintainer and publish its current state as epoch 0.
     pub fn new(dfs: Box<dyn DfsMaintainer>) -> Self {
-        let snapshot = Snapshot::capture(0, dfs.as_ref());
+        Server::resume(dfs, 0)
+    }
+
+    /// Wrap a maintainer whose state is already at `epoch` — the recovery
+    /// path: a maintainer rebuilt from a checkpoint plus WAL replay resumes
+    /// serving at the epoch it had reached, not at 0. The current state is
+    /// published as `epoch`, and the epoch log starts there (records for
+    /// earlier epochs live in the durability layer, not in memory).
+    pub fn resume(dfs: Box<dyn DfsMaintainer>, epoch: u64) -> Self {
+        let snapshot = Snapshot::capture(epoch, dfs.as_ref());
         let record = EpochRecord {
-            epoch: 0,
+            epoch,
             updates: 0,
             submissions: 0,
             fingerprint: snapshot.fingerprint(),
@@ -188,9 +228,40 @@ impl Server {
                 queue_cv: Condvar::new(),
                 published: RwLock::new(Arc::new(snapshot)),
                 epochs: Mutex::new(vec![record]),
+                epoch_offset: epoch,
             }),
-            next_epoch: 1,
+            next_epoch: epoch + 1,
+            commit_log: None,
         }
+    }
+
+    /// Attach a durability sink: every subsequent commit is persisted
+    /// through `log` *before* its snapshot is published (see [`CommitLog`]).
+    pub fn set_commit_log(&mut self, log: Box<dyn CommitLog>) {
+        self.commit_log = Some(log);
+    }
+
+    /// The attached commit log, if any.
+    pub fn commit_log(&self) -> Option<&dyn CommitLog> {
+        self.commit_log.as_deref()
+    }
+
+    /// Checkpoint the current state through the attached [`CommitLog`] now,
+    /// regardless of its policy. Errors if no log is attached or the log's
+    /// checkpoint fails.
+    pub fn force_checkpoint(&mut self) -> Result<(), String> {
+        let log = self
+            .commit_log
+            .as_mut()
+            .ok_or_else(|| "no commit log attached".to_string())?;
+        let record = self
+            .shared
+            .epochs
+            .lock()
+            .last()
+            .expect("the epoch log is never empty")
+            .clone();
+        log.checkpoint(&record, self.dfs.as_ref())
     }
 
     /// Backend name of the wrapped maintainer.
@@ -296,6 +367,14 @@ impl Server {
             rollup,
             micros,
         };
+        // Durability first: the WAL append must succeed before any reader
+        // can observe the epoch. A failed append is fatal — continuing
+        // would publish state the log cannot recover.
+        if let Some(log) = self.commit_log.as_mut() {
+            if let Err(e) = log.log_commit(&record, &updates, self.dfs.as_ref()) {
+                panic!("durability commit log failed at epoch {epoch}: {e}");
+            }
+        }
         // Log first, publish second: a reader can then never hold a
         // snapshot whose epoch is missing from the log, so "observed
         // fingerprint has no matching record" cleanly means "torn read".

@@ -197,6 +197,33 @@ impl StreamingDynamicDfs {
         }
     }
 
+    /// Resume the maintainer from previously captured state: an augmented
+    /// graph and a DFS tree of it (a durability checkpoint's contents). The
+    /// initial static DFS is skipped — the provided tree *is* the maintained
+    /// tree — so the maintainer continues the crash-time trajectory.
+    pub fn from_state(aug: AugmentedGraph, idx: TreeIndex, strategy: Strategy) -> Self {
+        assert_eq!(
+            idx.root(),
+            aug.pseudo_root(),
+            "resumed tree must be rooted at the pseudo root"
+        );
+        assert_eq!(
+            idx.capacity(),
+            aug.graph().capacity(),
+            "resumed tree id space must match the graph"
+        );
+        StreamingDynamicDfs {
+            aug,
+            idx,
+            strategy,
+            index_policy: IndexPolicy::default(),
+            index_stats: IndexMaintenanceStats::default(),
+            last_update_stats: UpdateStats::default(),
+            last_stream_stats: StreamStats::default(),
+            total_stream_stats: StreamStats::default(),
+        }
+    }
+
     /// Select when the tree index is delta-patched versus rebuilt. The index
     /// is `O(n)` local state in this model, so patching it does not change
     /// the space bound — it removes the per-update rebuild work.
@@ -370,6 +397,10 @@ impl DfsMaintainer for StreamingDynamicDfs {
 
     fn tree(&self) -> &TreeIndex {
         StreamingDynamicDfs::tree(self)
+    }
+
+    fn augmented_graph(&self) -> &Graph {
+        self.aug.graph()
     }
 
     fn check(&self) -> Result<(), String> {

@@ -448,6 +448,172 @@ impl TreeIndex {
         self.is_ancestor(u, v) || self.is_ancestor(v, u)
     }
 
+    /// The raw parent array (`parent[root] == root`, [`NO_VERTEX`] holes for
+    /// ids outside the tree). Together with [`TreeIndex::root`] this fully
+    /// determines the index: [`TreeIndex::from_parent_slice`] rebuilds every
+    /// derived structure from it deterministically, which is what makes the
+    /// parent array the *only* tree state a checkpoint needs to serialize.
+    pub fn parent_slice(&self) -> &[Vertex] {
+        &self.parent
+    }
+
+    /// Render the index as a line-delimited snapshot:
+    ///
+    /// ```text
+    /// tree <root> <capacity>
+    /// parents <p0> <p1> ...    (`-` for NO_VERTEX holes)
+    /// tree-end
+    /// ```
+    ///
+    /// Only the parent array and root are stored (see
+    /// [`TreeIndex::parent_slice`]); [`TreeIndex::parse_snapshot`] rebuilds
+    /// the orders, levels, Euler segment, RMQ and lifting table and the
+    /// result is structurally identical to the original
+    /// ([`TreeIndex::structural_eq`]).
+    pub fn render_snapshot(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "tree {} {}", self.root, self.capacity());
+        out.push_str("parents");
+        for &p in &self.parent {
+            if p == NO_VERTEX {
+                out.push_str(" -");
+            } else {
+                let _ = write!(out, " {p}");
+            }
+        }
+        out.push_str("\ntree-end\n");
+        out
+    }
+
+    /// Parse a snapshot produced by [`TreeIndex::render_snapshot`].
+    ///
+    /// The parent array is fully validated (root in range and self-parented,
+    /// parents inside the id space, every non-hole vertex reachable from the
+    /// root) **before** [`TreeIndex::from_parent_slice`] runs, so a corrupted
+    /// checkpoint comes back as a described `Err` rather than a panic inside
+    /// the rebuild.
+    pub fn parse_snapshot(text: &str) -> Result<TreeIndex, String> {
+        let mut lines = text.lines();
+        let header = lines.next().ok_or("empty tree snapshot")?;
+        let rest = header
+            .strip_prefix("tree ")
+            .ok_or_else(|| format!("expected `tree <root> <capacity>`, got `{header}`"))?;
+        let (root_tok, cap_tok) = rest
+            .split_once(' ')
+            .ok_or_else(|| format!("expected `tree <root> <capacity>`, got `{header}`"))?;
+        let root: Vertex = root_tok
+            .parse()
+            .map_err(|_| format!("bad tree root `{root_tok}`"))?;
+        let capacity: usize = cap_tok
+            .parse()
+            .map_err(|_| format!("bad tree capacity `{cap_tok}`"))?;
+
+        let parents_line = lines.next().ok_or("tree snapshot missing `parents` line")?;
+        let rest = parents_line
+            .strip_prefix("parents")
+            .ok_or_else(|| format!("expected `parents ...`, got `{parents_line}`"))?;
+        let mut parent = Vec::with_capacity(capacity);
+        for t in rest.split(' ').filter(|t| !t.is_empty()) {
+            if t == "-" {
+                parent.push(NO_VERTEX);
+            } else {
+                parent.push(t.parse().map_err(|_| format!("bad parent token `{t}`"))?);
+            }
+        }
+        if parent.len() != capacity {
+            return Err(format!(
+                "parents line has {} entries, header capacity is {capacity}",
+                parent.len()
+            ));
+        }
+        match lines.next() {
+            Some("tree-end") => {}
+            other => return Err(format!("expected `tree-end`, got `{other:?}`")),
+        }
+        if lines.any(|l| !l.is_empty()) {
+            return Err("trailing content after `tree-end`".to_string());
+        }
+
+        // Validate before the (assert-happy) rebuild.
+        if (root as usize) >= capacity {
+            return Err(format!("root {root} outside capacity {capacity}"));
+        }
+        if parent[root as usize] != root {
+            return Err(format!("parent[{root}] is not the root itself"));
+        }
+        let mut children: Vec<Vec<Vertex>> = vec![Vec::new(); capacity];
+        let mut in_tree = 0usize;
+        for v in 0..capacity as Vertex {
+            let p = parent[v as usize];
+            if p == NO_VERTEX {
+                continue;
+            }
+            in_tree += 1;
+            if v == root {
+                continue;
+            }
+            if (p as usize) >= capacity {
+                return Err(format!("parent {p} of vertex {v} outside capacity"));
+            }
+            if p == v {
+                return Err(format!("non-root vertex {v} is its own parent"));
+            }
+            if parent[p as usize] == NO_VERTEX {
+                return Err(format!("vertex {v} parented to hole {p}"));
+            }
+            children[p as usize].push(v);
+        }
+        let mut reached = 1usize;
+        let mut stack = vec![root];
+        while let Some(v) = stack.pop() {
+            for &c in &children[v as usize] {
+                reached += 1;
+                stack.push(c);
+            }
+        }
+        if reached != in_tree {
+            return Err(format!(
+                "parent array has {in_tree} tree vertices but only {reached} reachable from root {root} (cycle or detached component)"
+            ));
+        }
+        Ok(TreeIndex::from_parent_slice(&parent, root))
+    }
+
+    /// Deep structural comparison against `other`, checking **every** raw
+    /// field — parent array, children lists, pre/post orders, levels, sizes,
+    /// Euler segment and its RMQ, first occurrences, the binary-lifting
+    /// table and the tree size — naming the first divergent field on
+    /// mismatch. This is the differential "loaded ≡ freshly built" check the
+    /// snapshot round-trip is pinned on; fingerprint equality alone would
+    /// only cover pre-order and parents.
+    pub fn structural_eq(&self, other: &TreeIndex) -> Result<(), String> {
+        fn cmp<T: PartialEq + std::fmt::Debug>(field: &str, a: &T, b: &T) -> Result<(), String> {
+            if a == b {
+                Ok(())
+            } else {
+                Err(format!("field `{field}` diverges: {a:?} vs {b:?}"))
+            }
+        }
+        cmp("root", &self.root, &other.root)?;
+        cmp("n_tree", &self.n_tree, &other.n_tree)?;
+        cmp("parent", &self.parent, &other.parent)?;
+        cmp("children", &self.children, &other.children)?;
+        cmp("pre", &self.pre, &other.pre)?;
+        cmp("post", &self.post, &other.post)?;
+        cmp("level", &self.level, &other.level)?;
+        cmp("size", &self.size, &other.size)?;
+        cmp("pre_order", &self.pre_order, &other.pre_order)?;
+        cmp("post_order", &self.post_order, &other.post_order)?;
+        cmp("euler", &self.euler, &other.euler)?;
+        cmp("euler_level", &self.euler_level, &other.euler_level)?;
+        cmp("first_occ", &self.first_occ, &other.first_occ)?;
+        cmp("rmq.len", &self.rmq.len, &other.rmq.len)?;
+        cmp("rmq.tree", &self.rmq.tree, &other.rmq.tree)?;
+        cmp("up", &self.up, &other.up)?;
+        Ok(())
+    }
+
     /// Starting at `v`, follow the unique chain of descendants whose subtree
     /// size exceeds `threshold`, returning the deepest such vertex.
     ///
@@ -746,5 +912,124 @@ mod tests {
         assert!(!idx.contains(5_000));
         assert!(!idx.is_ancestor(5_000, 0));
         assert!(!idx.is_back_edge(5_000, 0));
+    }
+
+    #[test]
+    fn snapshot_round_trip_is_structurally_identical() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1234);
+        let parent = random_parent_array(60, &mut rng);
+        let idx = TreeIndex::from_parent_slice(&parent, 0);
+        let text = idx.render_snapshot();
+        let loaded = TreeIndex::parse_snapshot(&text).expect("own snapshot parses");
+        loaded.structural_eq(&idx).expect("loaded ≡ original");
+        assert_eq!(loaded.fingerprint(), idx.fingerprint());
+        assert_eq!(loaded.render_snapshot(), text, "byte-stable round trip");
+    }
+
+    #[test]
+    fn snapshot_with_holes_round_trips() {
+        let mut parent = vec![NO_VERTEX; 10];
+        parent[0] = 0;
+        parent[2] = 0;
+        parent[3] = 2;
+        parent[7] = 2;
+        let idx = TreeIndex::from_parent_slice(&parent, 0);
+        let loaded = TreeIndex::parse_snapshot(&idx.render_snapshot()).unwrap();
+        loaded.structural_eq(&idx).expect("holes preserved");
+        assert_eq!(loaded.parent_slice(), idx.parent_slice());
+        assert!(!loaded.contains(4));
+    }
+
+    #[test]
+    fn snapshot_rejects_corruption_without_panicking() {
+        let idx = TreeIndex::from_parent_slice(&[0, 0, 1, NO_VERTEX], 0);
+        let good = idx.render_snapshot();
+        assert_eq!(good, "tree 0 4\nparents 0 0 1 -\ntree-end\n");
+        // Cycle detached from the root.
+        assert!(
+            TreeIndex::parse_snapshot("tree 0 4\nparents 0 0 3 2\ntree-end\n")
+                .unwrap_err()
+                .contains("reachable")
+        );
+        // Root not self-parented.
+        assert!(
+            TreeIndex::parse_snapshot("tree 0 2\nparents 1 0\ntree-end\n")
+                .unwrap_err()
+                .contains("root")
+        );
+        // Parent points at a hole.
+        assert!(
+            TreeIndex::parse_snapshot("tree 0 3\nparents 0 2 -\ntree-end\n")
+                .unwrap_err()
+                .contains("hole")
+        );
+        // Capacity mismatch and truncation.
+        assert!(
+            TreeIndex::parse_snapshot("tree 0 5\nparents 0 0\ntree-end\n")
+                .unwrap_err()
+                .contains("capacity")
+        );
+        assert!(TreeIndex::parse_snapshot("tree 0 2\nparents 0 0\n").is_err());
+    }
+
+    #[test]
+    fn structural_eq_names_the_divergent_field() {
+        let a = TreeIndex::from_parent_slice(&[0, 0, 1], 0);
+        let b = TreeIndex::from_parent_slice(&[0, 0, 0], 0);
+        let err = a.structural_eq(&b).unwrap_err();
+        assert!(err.contains("parent"), "got: {err}");
+        a.structural_eq(&a.clone()).expect("reflexive");
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        /// Random forest-of-one-tree parent arrays *with NO_VERTEX holes*:
+        /// the shape vertex churn leaves behind (deleted ids keep their
+        /// slots). Every present non-root vertex is attached to an earlier
+        /// present vertex, so the array is always valid.
+        fn holey_parent_array(n: usize, seed: u64, hole_bits: u64) -> Vec<Vertex> {
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            let mut parent = vec![NO_VERTEX; n];
+            parent[0] = 0;
+            let mut present = vec![0u32];
+            for v in 1..n as Vertex {
+                if (hole_bits >> (v % 64)) & 1 == 1 {
+                    continue; // a churned-away id
+                }
+                let p = present[rng.gen_range(0..present.len())];
+                parent[v as usize] = p;
+                present.push(v);
+            }
+            parent
+        }
+
+        // The checkpoint differential: load(save(index)) ≡ index on *every*
+        // raw field — pre/post orders, levels, Euler segment + RMQ, lifting
+        // table — and on the fingerprint, including NO_VERTEX holes from
+        // vertex churn. `structural_eq` is what pins the derived structures;
+        // a snapshot format that dropped (say) children order would pass a
+        // fingerprint check but fail here.
+        proptest! {
+            #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+            #[test]
+            fn snapshot_load_is_identical_to_saved_index(
+                n in 1usize..140,
+                seed in any::<u64>(),
+                hole_bits in any::<u64>(),
+            ) {
+                let parent = holey_parent_array(n, seed, hole_bits);
+                let idx = TreeIndex::from_parent_slice(&parent, 0);
+                let text = idx.render_snapshot();
+                let loaded = TreeIndex::parse_snapshot(&text)
+                    .expect("a rendered snapshot always parses");
+                prop_assert!(loaded.structural_eq(&idx).is_ok(),
+                    "{}", loaded.structural_eq(&idx).unwrap_err());
+                prop_assert_eq!(loaded.fingerprint(), idx.fingerprint());
+                prop_assert_eq!(loaded.render_snapshot(), text);
+            }
+        }
     }
 }

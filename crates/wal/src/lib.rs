@@ -1,0 +1,675 @@
+//! # pardfs-wal
+//!
+//! **Trace-as-WAL durability** for pardfs servers: every committed epoch's
+//! update batch is appended to a write-ahead log in the `pardfs-wal v1`
+//! framing of [`pardfs_workload::wal`] (whose record bodies are valid
+//! `pardfs-trace v1` segments — the log *is* a replayable trace), snapshot
+//! **checkpoints** bound replay work, and [`recover_with`] (surfaced as
+//! `MaintainerBuilder::recover` in the umbrella crate) rebuilds a serving
+//! [`Server`] after a crash.
+//!
+//! ## The three pieces
+//!
+//! * [`WalWriter`] — a [`CommitLog`] implementation the server calls inside
+//!   its commit path: append the epoch's framed record, `sync`, and (per
+//!   [`CheckpointPolicy`]) take a checkpoint.
+//! * The **checkpoint** — an atomic snapshot file serializing the
+//!   maintainer's complete recoverable state: the *augmented* graph exactly
+//!   as held (adjacency order included — DFS tree shape depends on it) and
+//!   the maintained tree's parent array. Superseded WAL records are
+//!   truncated once the checkpoint is durable.
+//! * [`recover_with`] — load the latest checkpoint, rebuild the maintainer
+//!   via a caller-supplied factory (the umbrella crate's
+//!   `MaintainerBuilder::build_from_state` — this crate deliberately knows
+//!   no backend), replay the WAL tail **verifying each record's logged tree
+//!   fingerprint**, and resume a [`Server`] at the recovered epoch.
+//!
+//! ## Crash semantics
+//!
+//! A record is only readable by recovery once its `sync` completed, and the
+//! server only publishes an epoch after its record is logged — so no reader
+//! ever observed an epoch recovery cannot reproduce. A crash mid-append
+//! leaves a **torn tail**: recovery drops it and resumes at the last
+//! complete epoch. Damage *before* intact records (interior corruption) is
+//! a hard error naming the epoch — see [`pardfs_workload::wal`] for the
+//! discrimination rule.
+//!
+//! ## Recovery state machine
+//!
+//! ```text
+//! scan dir ─▶ latest checkpoint ─▶ parse graph+tree ─▶ factory(graph, tree)
+//!                  │                                        │
+//!                  ▼                                        ▼
+//!             parse wal.log ──▶ drop torn tail ──▶ replay records > C
+//!                  │                                        │ per record:
+//!                  │ interior corruption?                   │ fingerprint
+//!                  ▼                                        ▼ must match
+//!              hard error                         Server::resume(dfs, E)
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use pardfs_api::{DfsMaintainer, RecoveryStats};
+use pardfs_graph::{Graph, Update};
+use pardfs_serve::{CommitLog, EpochRecord, Server};
+use pardfs_tree::TreeIndex;
+use pardfs_workload::wal::{fnv1a64, parse_wal, WalRecord, WAL_MAGIC};
+use std::fmt::Write as _;
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+/// The magic first line of every checkpoint file.
+pub const CHECKPOINT_MAGIC: &str = "pardfs-checkpoint v1";
+
+/// Name of the WAL file inside a durability directory.
+pub const WAL_FILE: &str = "wal.log";
+
+/// When the [`WalWriter`] takes a checkpoint (and truncates the WAL records
+/// the checkpoint supersedes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CheckpointPolicy {
+    /// After every `k` committed epochs (`k >= 1`).
+    EveryKEpochs(u64),
+    /// Once the WAL has grown past `b` bytes since the last checkpoint.
+    EveryBytes(u64),
+    /// Only when [`Server::force_checkpoint`] is called.
+    Manual,
+}
+
+impl CheckpointPolicy {
+    fn due(&self, epochs_since: u64, bytes_since: u64) -> bool {
+        match *self {
+            CheckpointPolicy::EveryKEpochs(k) => epochs_since >= k.max(1),
+            CheckpointPolicy::EveryBytes(b) => bytes_since >= b,
+            CheckpointPolicy::Manual => false,
+        }
+    }
+}
+
+/// Where and how a server's commits are made durable.
+#[derive(Debug, Clone)]
+pub struct DurabilityConfig {
+    /// Directory holding `wal.log` and `checkpoint-*.ckpt` (created by
+    /// [`DurabilityConfig::attach`] if absent).
+    pub dir: PathBuf,
+    /// Checkpoint cadence.
+    pub policy: CheckpointPolicy,
+}
+
+impl DurabilityConfig {
+    /// Durability in `dir` with a default policy (checkpoint every 8
+    /// epochs).
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        DurabilityConfig {
+            dir: dir.into(),
+            policy: CheckpointPolicy::EveryKEpochs(8),
+        }
+    }
+
+    /// Select the checkpoint cadence.
+    pub fn policy(mut self, policy: CheckpointPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Make `server` durable: create the directory, take an **initial
+    /// checkpoint** of its current state (so recovery always has a base),
+    /// and attach a [`WalWriter`] logging every subsequent commit.
+    ///
+    /// Errors if the directory already holds a WAL or checkpoints — that
+    /// state belongs to a previous server; use [`recover_with`] instead of
+    /// silently overwriting it.
+    pub fn attach(&self, server: &mut Server) -> Result<(), String> {
+        if self.dir.join(WAL_FILE).exists() || latest_checkpoint_path(&self.dir)?.is_some() {
+            return Err(format!(
+                "durability dir {} already holds a WAL/checkpoints — recover from it instead of overwriting",
+                self.dir.display()
+            ));
+        }
+        fs::create_dir_all(&self.dir)
+            .map_err(|e| format!("creating {}: {e}", self.dir.display()))?;
+        let writer = WalWriter::create(self.dir.clone(), self.policy)?;
+        server.set_commit_log(Box::new(writer));
+        // The initial checkpoint makes the pre-WAL state durable.
+        server.force_checkpoint()
+    }
+}
+
+/// A parsed checkpoint file: the complete recoverable state of a maintainer
+/// at one epoch.
+#[derive(Debug, Clone)]
+pub struct Checkpoint {
+    /// Epoch the state was captured at.
+    pub epoch: u64,
+    /// Backend name of the maintainer that produced it (informational —
+    /// recovery may rebuild with any backend via its factory).
+    pub backend: String,
+    /// Tree fingerprint at capture time (verified after load).
+    pub fingerprint: u64,
+    /// The augmented graph, exactly as held.
+    pub graph: Graph,
+    /// The maintained DFS tree.
+    pub tree: TreeIndex,
+}
+
+impl Checkpoint {
+    /// Capture a maintainer's recoverable state at `epoch`.
+    pub fn capture(epoch: u64, state: &dyn DfsMaintainer) -> Checkpoint {
+        Checkpoint {
+            epoch,
+            backend: state.backend_name().to_string(),
+            fingerprint: state.tree().fingerprint(),
+            graph: state.augmented_graph().clone(),
+            tree: state.tree().clone(),
+        }
+    }
+
+    /// Render the checkpoint file: header lines, the graph and tree
+    /// snapshot sections, and a whole-file checksum line.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "{CHECKPOINT_MAGIC}");
+        let _ = writeln!(out, "epoch {}", self.epoch);
+        let _ = writeln!(out, "backend {}", self.backend);
+        let _ = writeln!(out, "fingerprint {:016x}", self.fingerprint);
+        out.push_str(&self.graph.render_snapshot());
+        out.push_str(&self.tree.render_snapshot());
+        let _ = writeln!(out, "checksum {:016x}", fnv1a64(out.as_bytes()));
+        out
+    }
+
+    /// Parse a checkpoint file, verifying the checksum and both snapshot
+    /// sections. A checkpoint is written atomically (tmp + rename), so any
+    /// damage here is storage corruption, never a torn write — callers
+    /// treat an error as fatal.
+    pub fn parse(text: &str) -> Result<Checkpoint, String> {
+        let (payload, tail) = text
+            .rsplit_once("checksum ")
+            .ok_or_else(|| "checkpoint missing its checksum line".to_string())?;
+        let recorded = u64::from_str_radix(tail.trim_end(), 16)
+            .map_err(|_| format!("bad checkpoint checksum value `{}`", tail.trim_end()))?;
+        if fnv1a64(payload.as_bytes()) != recorded {
+            return Err("checkpoint checksum mismatch (file is corrupt)".to_string());
+        }
+        let mut lines = payload.lines();
+        let magic = lines.next().unwrap_or_default();
+        if magic != CHECKPOINT_MAGIC {
+            return Err(format!(
+                "not a pardfs checkpoint (expected `{CHECKPOINT_MAGIC}`, got `{magic}`)"
+            ));
+        }
+        let epoch: u64 = lines
+            .next()
+            .and_then(|l| l.strip_prefix("epoch "))
+            .and_then(|t| t.parse().ok())
+            .ok_or_else(|| "checkpoint missing `epoch <n>` line".to_string())?;
+        let backend = lines
+            .next()
+            .and_then(|l| l.strip_prefix("backend "))
+            .ok_or_else(|| "checkpoint missing `backend <name>` line".to_string())?
+            .to_string();
+        let fingerprint = lines
+            .next()
+            .and_then(|l| l.strip_prefix("fingerprint "))
+            .and_then(|t| u64::from_str_radix(t, 16).ok())
+            .ok_or_else(|| "checkpoint missing `fingerprint <hex16>` line".to_string())?;
+        // The two snapshot sections are delimited by their own end markers.
+        let rest = &payload[payload
+            .find("\ngraph ")
+            .ok_or_else(|| "checkpoint missing its graph section".to_string())?
+            + 1..];
+        let graph_end = rest
+            .find("graph-end\n")
+            .ok_or_else(|| "checkpoint graph section missing `graph-end`".to_string())?
+            + "graph-end\n".len();
+        let graph = Graph::parse_snapshot(&rest[..graph_end])?;
+        let tree = TreeIndex::parse_snapshot(&rest[graph_end..])?;
+        if tree.fingerprint() != fingerprint {
+            return Err(format!(
+                "checkpoint for epoch {epoch}: loaded tree fingerprint {:016x} disagrees with recorded {fingerprint:016x}",
+                tree.fingerprint()
+            ));
+        }
+        Ok(Checkpoint {
+            epoch,
+            backend,
+            fingerprint,
+            graph,
+            tree,
+        })
+    }
+}
+
+fn checkpoint_file_name(epoch: u64) -> String {
+    format!("checkpoint-{epoch:016x}.ckpt")
+}
+
+/// The highest-epoch `checkpoint-*.ckpt` in `dir`, if any.
+fn latest_checkpoint_path(dir: &Path) -> Result<Option<(u64, PathBuf)>, String> {
+    let entries = match fs::read_dir(dir) {
+        Ok(e) => e,
+        Err(_) => return Ok(None), // dir absent → no checkpoints
+    };
+    let mut best: Option<(u64, PathBuf)> = None;
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("listing {}: {e}", dir.display()))?;
+        let name = entry.file_name();
+        let Some(hex) = name
+            .to_str()
+            .and_then(|n| n.strip_prefix("checkpoint-"))
+            .and_then(|n| n.strip_suffix(".ckpt"))
+        else {
+            continue;
+        };
+        let Ok(epoch) = u64::from_str_radix(hex, 16) else {
+            continue;
+        };
+        if best.as_ref().is_none_or(|(e, _)| epoch > *e) {
+            best = Some((epoch, entry.path()));
+        }
+    }
+    Ok(best)
+}
+
+/// The durability sink: appends each committed epoch to `wal.log` with an
+/// explicit `sync` per group commit, and checkpoints per policy. Attach via
+/// [`DurabilityConfig::attach`]; recovery reattaches one automatically.
+pub struct WalWriter {
+    dir: PathBuf,
+    file: fs::File,
+    policy: CheckpointPolicy,
+    last_checkpoint_epoch: u64,
+    epochs_since_checkpoint: u64,
+    bytes_since_checkpoint: u64,
+}
+
+impl WalWriter {
+    /// Create a fresh WAL (magic line only) in `dir`.
+    fn create(dir: PathBuf, policy: CheckpointPolicy) -> Result<WalWriter, String> {
+        let path = dir.join(WAL_FILE);
+        let mut file =
+            fs::File::create(&path).map_err(|e| format!("creating {}: {e}", path.display()))?;
+        file.write_all(format!("{WAL_MAGIC}\n").as_bytes())
+            .and_then(|()| file.sync_data())
+            .map_err(|e| format!("initialising {}: {e}", path.display()))?;
+        Ok(WalWriter {
+            dir,
+            file,
+            policy,
+            last_checkpoint_epoch: 0,
+            epochs_since_checkpoint: 0,
+            bytes_since_checkpoint: 0,
+        })
+    }
+
+    /// Reopen an existing WAL for append after recovery. `valid_len` is the
+    /// verified prefix length — anything after it (a torn tail) is cut off.
+    fn reattach(
+        dir: PathBuf,
+        policy: CheckpointPolicy,
+        checkpoint_epoch: u64,
+        epochs_since: u64,
+        bytes_since: u64,
+        valid_len: u64,
+    ) -> Result<WalWriter, String> {
+        let path = dir.join(WAL_FILE);
+        let file = fs::OpenOptions::new()
+            .append(true)
+            .open(&path)
+            .map_err(|e| format!("reopening {}: {e}", path.display()))?;
+        file.set_len(valid_len)
+            .and_then(|()| file.sync_data())
+            .map_err(|e| format!("truncating torn tail of {}: {e}", path.display()))?;
+        Ok(WalWriter {
+            dir,
+            file,
+            policy,
+            last_checkpoint_epoch: checkpoint_epoch,
+            epochs_since_checkpoint: epochs_since,
+            bytes_since_checkpoint: bytes_since,
+        })
+    }
+
+    /// Epoch of the most recent checkpoint.
+    pub fn last_checkpoint_epoch(&self) -> u64 {
+        self.last_checkpoint_epoch
+    }
+
+    fn take_checkpoint(
+        &mut self,
+        record: &EpochRecord,
+        state: &dyn DfsMaintainer,
+    ) -> Result<(), String> {
+        let ckpt = Checkpoint::capture(record.epoch, state);
+        debug_assert_eq!(
+            ckpt.fingerprint, record.fingerprint,
+            "the maintainer and the epoch record agree on the tree"
+        );
+        let final_path = self.dir.join(checkpoint_file_name(record.epoch));
+        let tmp_path = self.dir.join("checkpoint.tmp");
+        let mut tmp = fs::File::create(&tmp_path)
+            .map_err(|e| format!("creating {}: {e}", tmp_path.display()))?;
+        tmp.write_all(ckpt.render().as_bytes())
+            .and_then(|()| tmp.sync_all())
+            .map_err(|e| format!("writing {}: {e}", tmp_path.display()))?;
+        drop(tmp);
+        fs::rename(&tmp_path, &final_path)
+            .map_err(|e| format!("publishing {}: {e}", final_path.display()))?;
+        // The checkpoint is durable: every logged record it covers is now
+        // superseded — restart the WAL at its magic line.
+        let path = self.dir.join(WAL_FILE);
+        let mut file =
+            fs::File::create(&path).map_err(|e| format!("truncating {}: {e}", path.display()))?;
+        file.write_all(format!("{WAL_MAGIC}\n").as_bytes())
+            .and_then(|()| file.sync_data())
+            .map_err(|e| format!("restarting {}: {e}", path.display()))?;
+        self.file = file;
+        // Older checkpoints are garbage now (best-effort removal).
+        let superseded = latest_checkpoint_path(&self.dir)?;
+        if let Ok(entries) = fs::read_dir(&self.dir) {
+            for entry in entries.flatten() {
+                let p = entry.path();
+                let is_latest = superseded.as_ref().is_some_and(|(_, best)| *best == p);
+                let is_ckpt = p
+                    .file_name()
+                    .and_then(|n| n.to_str())
+                    .is_some_and(|n| n.starts_with("checkpoint-") && n.ends_with(".ckpt"));
+                if is_ckpt && !is_latest {
+                    let _ = fs::remove_file(&p);
+                }
+            }
+        }
+        self.last_checkpoint_epoch = record.epoch;
+        self.epochs_since_checkpoint = 0;
+        self.bytes_since_checkpoint = 0;
+        Ok(())
+    }
+}
+
+impl CommitLog for WalWriter {
+    fn log_commit(
+        &mut self,
+        record: &EpochRecord,
+        updates: &[Update],
+        state: &dyn DfsMaintainer,
+    ) -> Result<(), String> {
+        let wal_record = WalRecord {
+            epoch: record.epoch,
+            updates: updates.to_vec(),
+            fingerprint: record.fingerprint,
+        };
+        let text = wal_record.render();
+        self.file
+            .write_all(text.as_bytes())
+            .and_then(|()| self.file.sync_data())
+            .map_err(|e| format!("appending epoch {} to the WAL: {e}", record.epoch))?;
+        self.epochs_since_checkpoint += 1;
+        self.bytes_since_checkpoint += text.len() as u64;
+        if self
+            .policy
+            .due(self.epochs_since_checkpoint, self.bytes_since_checkpoint)
+        {
+            self.take_checkpoint(record, state)?;
+        }
+        Ok(())
+    }
+
+    fn checkpoint(
+        &mut self,
+        record: &EpochRecord,
+        state: &dyn DfsMaintainer,
+    ) -> Result<(), String> {
+        self.take_checkpoint(record, state)
+    }
+}
+
+/// A recovered server plus the [`RecoveryStats`] describing how it got
+/// there.
+pub struct Recovered {
+    /// The server, resumed at the recovered epoch with a fresh [`WalWriter`]
+    /// attached (subsequent commits keep logging to the same directory).
+    pub server: Server,
+    /// What recovery did.
+    pub stats: RecoveryStats,
+}
+
+/// Recover a server from a durability directory.
+///
+/// `factory` rebuilds a maintainer from the checkpointed state — the
+/// augmented graph (internal ids, exactly as held) and the maintained tree.
+/// The umbrella crate's `MaintainerBuilder::build_from_state` is the usual
+/// factory; this crate takes a closure so it needs no backend dependencies.
+///
+/// After the factory returns, the WAL tail (records past the checkpoint
+/// epoch) is replayed batch by batch, and after **each** batch the rebuilt
+/// maintainer's tree fingerprint must equal the logged one — a divergence
+/// means the recovered trajectory is not the crashed one, and recovery
+/// fails rather than serve silently different state. A torn final record is
+/// dropped (recovering to the last complete epoch); interior corruption is
+/// a hard error naming the epoch.
+pub fn recover_with(
+    config: &DurabilityConfig,
+    factory: impl FnOnce(Graph, TreeIndex) -> Result<Box<dyn DfsMaintainer>, String>,
+) -> Result<Recovered, String> {
+    let (_, ckpt_path) = latest_checkpoint_path(&config.dir)?.ok_or_else(|| {
+        format!(
+            "no checkpoint in {} — nothing to recover",
+            config.dir.display()
+        )
+    })?;
+    let ckpt_text = fs::read_to_string(&ckpt_path)
+        .map_err(|e| format!("reading {}: {e}", ckpt_path.display()))?;
+    let ckpt =
+        Checkpoint::parse(&ckpt_text).map_err(|e| format!("{}: {e}", ckpt_path.display()))?;
+
+    let wal_path = config.dir.join(WAL_FILE);
+    let wal_raw =
+        fs::read(&wal_path).map_err(|e| format!("reading {}: {e}", wal_path.display()))?;
+    let wal_bytes = wal_raw.len() as u64;
+    // The format is pure ASCII; non-UTF-8 bytes can only be corruption, and
+    // the lossy replacement shifts frame lengths so the damaged record fails
+    // its checksum and is handled by the torn/corrupt discrimination below.
+    let wal_text = String::from_utf8_lossy(&wal_raw);
+    let parsed = parse_wal(&wal_text).map_err(|e| e.to_string())?;
+
+    let mut dfs = factory(ckpt.graph, ckpt.tree)?;
+    if dfs.tree().fingerprint() != ckpt.fingerprint {
+        return Err(format!(
+            "rebuilt maintainer's tree fingerprint {:016x} disagrees with the checkpoint's {:016x}",
+            dfs.tree().fingerprint(),
+            ckpt.fingerprint
+        ));
+    }
+
+    let mut stats = RecoveryStats {
+        checkpoint_epoch: ckpt.epoch,
+        recovered_epoch: ckpt.epoch,
+        records_replayed: 0,
+        updates_replayed: 0,
+        torn_records_dropped: parsed.torn_records_dropped,
+        wal_bytes,
+    };
+    let mut bytes_since = 0u64;
+    for record in parsed.records.iter().filter(|r| r.epoch > ckpt.epoch) {
+        if record.epoch != stats.recovered_epoch + 1 {
+            return Err(format!(
+                "WAL resumes at epoch {} but recovery is at epoch {} — a record is missing",
+                record.epoch, stats.recovered_epoch
+            ));
+        }
+        dfs.apply_batch(&record.updates);
+        let got = dfs.tree().fingerprint();
+        if got != record.fingerprint {
+            return Err(format!(
+                "replay diverged at epoch {}: tree fingerprint {got:016x} != logged {:016x}",
+                record.epoch, record.fingerprint
+            ));
+        }
+        stats.recovered_epoch = record.epoch;
+        stats.records_replayed += 1;
+        stats.updates_replayed += record.updates.len() as u64;
+        bytes_since += record.render().len() as u64;
+    }
+
+    let writer = WalWriter::reattach(
+        config.dir.clone(),
+        config.policy,
+        ckpt.epoch,
+        stats.records_replayed,
+        bytes_since,
+        wal_bytes - parsed.torn_bytes_dropped,
+    )?;
+    let mut server = Server::resume(dfs, stats.recovered_epoch);
+    server.set_commit_log(Box::new(writer));
+    Ok(Recovered { server, stats })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pardfs_core::DynamicDfs;
+    use pardfs_graph::generators;
+    use pardfs_seq::AugmentedGraph;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn scratch_dir(tag: &str) -> PathBuf {
+        static COUNTER: AtomicUsize = AtomicUsize::new(0);
+        let id = COUNTER.fetch_add(1, Ordering::Relaxed);
+        let dir =
+            std::env::temp_dir().join(format!("pardfs-wal-test-{}-{tag}-{id}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).expect("scratch dir");
+        dir
+    }
+
+    fn parallel_factory(graph: Graph, tree: TreeIndex) -> Result<Box<dyn DfsMaintainer>, String> {
+        let aug = AugmentedGraph::from_internal(graph)?;
+        Ok(Box::new(DynamicDfs::from_state(
+            aug,
+            tree,
+            pardfs_core::Strategy::Phased,
+            pardfs_api::RebuildPolicy::default(),
+        )))
+    }
+
+    fn durable_server(dir: &Path, policy: CheckpointPolicy) -> (Server, DurabilityConfig) {
+        let g = generators::grid(4, 4);
+        let mut server = Server::new(Box::new(DynamicDfs::new(&g)));
+        let config = DurabilityConfig::new(dir).policy(policy);
+        config.attach(&mut server).expect("attach to empty dir");
+        (server, config)
+    }
+
+    fn commit(server: &mut Server, updates: Vec<Update>) -> u64 {
+        let writer = server.write_handle();
+        writer.submit(updates);
+        server
+            .commit()
+            .expect("queued batch commits")
+            .record
+            .fingerprint
+    }
+
+    #[test]
+    fn attach_log_recover_round_trip() {
+        let dir = scratch_dir("roundtrip");
+        let (mut server, config) = durable_server(&dir, CheckpointPolicy::Manual);
+        commit(&mut server, vec![Update::DeleteEdge(0, 1)]);
+        commit(&mut server, vec![Update::InsertEdge(0, 15)]);
+        let live_fp = commit(
+            &mut server,
+            vec![Update::InsertVertex { edges: vec![2, 9] }],
+        );
+        drop(server); // "crash" after clean syncs
+
+        let recovered = recover_with(&config, parallel_factory).expect("recovery succeeds");
+        assert_eq!(recovered.stats.checkpoint_epoch, 0);
+        assert_eq!(recovered.stats.recovered_epoch, 3);
+        assert_eq!(recovered.stats.records_replayed, 3);
+        assert_eq!(recovered.stats.updates_replayed, 3);
+        assert_eq!(recovered.stats.torn_records_dropped, 0);
+        let server = recovered.server;
+        assert_eq!(server.maintainer().tree().fingerprint(), live_fp);
+        assert_eq!(server.read_handle().epoch(), 3);
+        assert_eq!(server.read_handle().recorded_fingerprint(3), Some(live_fp));
+        // The recovered server keeps logging: another commit + recovery.
+        let mut server = server;
+        let fp4 = commit(&mut server, vec![Update::DeleteEdge(4, 5)]);
+        drop(server);
+        let again = recover_with(&config, parallel_factory).expect("second recovery");
+        assert_eq!(again.stats.recovered_epoch, 4);
+        assert_eq!(again.server.maintainer().tree().fingerprint(), fp4);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn checkpoint_truncates_the_wal_and_bounds_replay() {
+        let dir = scratch_dir("ckpt");
+        let (mut server, config) = durable_server(&dir, CheckpointPolicy::EveryKEpochs(2));
+        for i in 0..5u32 {
+            commit(&mut server, vec![Update::DeleteEdge(i, i + 1)]);
+        }
+        drop(server);
+        // Epochs 2 and 4 took checkpoints; only epoch 5 remains in the WAL.
+        let wal = fs::read_to_string(dir.join(WAL_FILE)).unwrap();
+        assert_eq!(wal.matches("record ").count(), 1, "wal: {wal:?}");
+        assert!(dir.join(checkpoint_file_name(4)).exists());
+        assert!(
+            !dir.join(checkpoint_file_name(2)).exists(),
+            "superseded checkpoint is removed"
+        );
+        let recovered = recover_with(&config, parallel_factory).expect("recovery succeeds");
+        assert_eq!(recovered.stats.checkpoint_epoch, 4);
+        assert_eq!(recovered.stats.records_replayed, 1);
+        assert_eq!(recovered.stats.recovered_epoch, 5);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn attach_refuses_a_populated_dir() {
+        let dir = scratch_dir("refuse");
+        let (server, config) = durable_server(&dir, CheckpointPolicy::Manual);
+        drop(server);
+        let g = generators::path(4);
+        let mut fresh = Server::new(Box::new(DynamicDfs::new(&g)));
+        let err = config.attach(&mut fresh).expect_err("must refuse");
+        assert!(err.contains("recover"), "{err}");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn recovering_an_empty_dir_is_an_error() {
+        let dir = scratch_dir("empty");
+        let err = match recover_with(&DurabilityConfig::new(&dir), parallel_factory) {
+            Err(e) => e,
+            Ok(_) => panic!("recovering an empty dir must fail"),
+        };
+        assert!(err.contains("no checkpoint"), "{err}");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn checkpoint_render_parse_round_trips() {
+        let g = generators::broom(6, 6);
+        let dfs = DynamicDfs::new(&g);
+        let ckpt = Checkpoint::capture(7, &dfs);
+        let text = ckpt.render();
+        let parsed = Checkpoint::parse(&text).expect("canonical checkpoint parses");
+        assert_eq!(parsed.epoch, ckpt.epoch);
+        assert_eq!(parsed.backend, ckpt.backend);
+        assert_eq!(parsed.fingerprint, ckpt.fingerprint);
+        assert_eq!(parsed.graph, ckpt.graph);
+        parsed
+            .tree
+            .structural_eq(&ckpt.tree)
+            .expect("identical tree");
+        assert_eq!(parsed.render(), text);
+        // Any single-byte flip breaks the whole-file checksum.
+        let bad = text.replacen("backend parallel", "backend porallel", 1);
+        assert!(Checkpoint::parse(&bad)
+            .expect_err("corrupt checkpoint rejected")
+            .contains("checksum"));
+    }
+}

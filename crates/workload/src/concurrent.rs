@@ -55,8 +55,17 @@ pub struct ConcurrentOutcome {
     pub torn_snapshots: u64,
     /// Fingerprint of the final tree (equals the single-threaded replay's
     /// [`tree_fingerprint`](crate::runner::tree_fingerprint) for the same
-    /// trace and backend).
+    /// trace and backend). `0` when the writer died before finishing.
     pub final_fingerprint: u64,
+    /// The panic message of a commit that blew up mid-replay (a poisoned
+    /// maintainer, a failed durability log, ...), or `None` on a clean run.
+    /// The runner surfaces the failure here instead of propagating the
+    /// panic out of its writer loop, so the reader census and the epochs
+    /// committed *before* the failure remain inspectable.
+    pub commit_error: Option<String>,
+    /// Reader threads that panicked instead of returning their tally
+    /// (their queries/passes are not counted) — **must be zero**.
+    pub reader_panics: u64,
 }
 
 impl ConcurrentOutcome {
@@ -136,6 +145,8 @@ impl<'a> ConcurrentScenarioRunner<'a> {
         let mut merged = BatchReport::default();
         let mut writer_micros = 0u64;
         let mut tallies: Vec<ReaderTally> = Vec::with_capacity(self.readers);
+        let mut commit_error: Option<String> = None;
+        let mut reader_panics = 0u64;
 
         std::thread::scope(|scope| {
             let reader_threads: Vec<_> = (0..self.readers)
@@ -150,24 +161,47 @@ impl<'a> ConcurrentScenarioRunner<'a> {
             // The calling thread is the writer: one group-commit epoch per
             // recorded update batch, preserving the trace's `apply_batch`
             // boundaries so every epoch's tree matches a single-threaded
-            // replay of the same prefix.
+            // replay of the same prefix. A commit that panics (poisoned
+            // maintainer, failed durability log) must not take the runner
+            // down with it mid-scope — the readers still need their `done`
+            // signal and an orderly join, and the caller gets the failure
+            // as `commit_error` on the outcome.
             let writer_start = Instant::now();
             for batch in &update_batches {
                 write_handle.submit(batch.to_vec());
-                let stats = server
-                    .commit()
-                    .expect("the batch submitted above is queued");
-                merged.merge(stats.report);
+                let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    server
+                        .commit()
+                        .expect("the batch submitted above is queued")
+                }));
+                match result {
+                    Ok(stats) => merged.merge(stats.report),
+                    Err(panic) => {
+                        commit_error = Some(panic_message(panic.as_ref()));
+                        break;
+                    }
+                }
             }
             writer_micros = writer_start.elapsed().as_micros() as u64;
             done.store(true, Ordering::Release);
 
             for thread in reader_threads {
-                tallies.push(thread.join().expect("reader thread panicked"));
+                match thread.join() {
+                    Ok(tally) => tallies.push(tally),
+                    Err(_) => reader_panics += 1,
+                }
             }
         });
         let wall_micros = (start.elapsed().as_micros() as u64).max(1);
         drop(write_handle);
+
+        // After a mid-commit panic the maintainer's state is suspect; even
+        // reading its tree may blow up. The fingerprint is diagnostics, not
+        // ground truth, so fall back to 0 rather than panic on the way out.
+        let final_fingerprint = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            server.maintainer().tree().fingerprint()
+        }))
+        .unwrap_or(0);
 
         ConcurrentOutcome {
             scenario: self.trace.scenario.clone(),
@@ -180,8 +214,22 @@ impl<'a> ConcurrentScenarioRunner<'a> {
             queries_answered: tallies.iter().map(|t| t.queries).sum(),
             reader_passes: tallies.iter().map(|t| t.passes).sum(),
             torn_snapshots: tallies.iter().map(|t| t.torn).sum(),
-            final_fingerprint: server.maintainer().tree().fingerprint(),
+            final_fingerprint,
+            commit_error,
+            reader_panics,
         }
+    }
+}
+
+/// Best-effort extraction of a panic payload's message (panics carry
+/// `&str` or `String` in practice; anything else gets a placeholder).
+fn panic_message(panic: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = panic.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = panic.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "commit panicked with a non-string payload".to_string()
     }
 }
 
@@ -234,4 +282,117 @@ fn reader_loop(handle: ReadHandle, batches: &[&[TraceQuery]], done: &AtomicBool)
         }
     }
     tally
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::{Trace, TracePhase};
+    use pardfs_api::StatsReport;
+    use pardfs_graph::{Graph, Update, Vertex};
+    use pardfs_tree::TreeIndex;
+
+    /// A maintainer whose second batch panics — the "poisoned writer" the
+    /// runner must survive.
+    struct Explosive {
+        tree: TreeIndex,
+        graph: Graph,
+        batches_before_boom: usize,
+    }
+
+    impl ForestQuery for Explosive {
+        fn forest_parent(&self, _v: Vertex) -> Option<Vertex> {
+            None
+        }
+        fn forest_roots(&self) -> Vec<Vertex> {
+            Vec::new()
+        }
+        fn same_component(&self, _u: Vertex, _v: Vertex) -> bool {
+            false
+        }
+        fn num_vertices(&self) -> usize {
+            1
+        }
+        fn num_edges(&self) -> usize {
+            0
+        }
+    }
+
+    impl DfsMaintainer for Explosive {
+        fn backend_name(&self) -> &'static str {
+            "explosive"
+        }
+        fn apply_update(&mut self, _update: &Update) -> Option<Vertex> {
+            if self.batches_before_boom == 0 {
+                panic!("maintainer exploded mid-commit");
+            }
+            self.batches_before_boom -= 1;
+            None
+        }
+        fn tree(&self) -> &TreeIndex {
+            &self.tree
+        }
+        fn augmented_graph(&self) -> &Graph {
+            &self.graph
+        }
+        fn check(&self) -> Result<(), String> {
+            Ok(())
+        }
+        fn stats(&self) -> StatsReport {
+            StatsReport::Parallel {
+                engine: Default::default(),
+                rebuild: Default::default(),
+                index: Default::default(),
+            }
+        }
+    }
+
+    fn two_batch_trace() -> Trace {
+        Trace {
+            scenario: "boom".into(),
+            seed: 0,
+            n: 2,
+            edges: vec![],
+            phases: vec![TracePhase {
+                name: "p".into(),
+                batches: vec![
+                    TraceBatch::Updates(vec![Update::InsertEdge(0, 1)]),
+                    TraceBatch::Updates(vec![Update::DeleteEdge(0, 1)]),
+                ],
+            }],
+            fingerprints: vec![],
+        }
+    }
+
+    #[test]
+    fn a_panicking_commit_is_surfaced_not_propagated() {
+        let trace = two_batch_trace();
+        let dfs = Explosive {
+            tree: TreeIndex::from_parent_slice(&[0], 0),
+            graph: Graph::new(1),
+            batches_before_boom: 1,
+        };
+        // Must not panic: the writer's death is data, not a crash.
+        let outcome = ConcurrentScenarioRunner::new(&trace, 2).run(Box::new(dfs));
+        let err = outcome.commit_error.expect("the second commit died");
+        assert!(err.contains("maintainer exploded"), "{err}");
+        assert_eq!(outcome.reader_panics, 0, "readers exit cleanly");
+        // The first epoch committed before the failure stays inspectable.
+        assert_eq!(outcome.updates_applied, 1);
+        assert_eq!(outcome.epochs.len(), 2, "epoch 0 + the surviving commit");
+    }
+
+    #[test]
+    fn clean_runs_report_no_commit_error() {
+        let trace = two_batch_trace();
+        let dfs = Explosive {
+            tree: TreeIndex::from_parent_slice(&[0], 0),
+            graph: Graph::new(1),
+            batches_before_boom: usize::MAX,
+        };
+        let outcome = ConcurrentScenarioRunner::new(&trace, 1).run(Box::new(dfs));
+        assert_eq!(outcome.commit_error, None);
+        assert_eq!(outcome.reader_panics, 0);
+        assert_eq!(outcome.updates_applied, 2);
+    }
 }

@@ -77,9 +77,11 @@ pub mod families;
 pub mod runner;
 pub mod scenario;
 pub mod trace;
+pub mod wal;
 
 pub use concurrent::{ConcurrentOutcome, ConcurrentScenarioRunner};
 pub use families::{edge_workload, rng, workload, Family, Workload};
 pub use runner::{tree_fingerprint, PhaseReport, ScenarioOutcome, ScenarioRunner};
 pub use scenario::{Scenario, TraceBuilder};
 pub use trace::{Trace, TraceBatch, TracePhase, TraceQuery};
+pub use wal::{parse_wal, render_wal, WalError, WalParse, WalRecord, WAL_MAGIC};

@@ -183,7 +183,7 @@ impl Trace {
     }
 }
 
-fn render_update(u: &Update) -> String {
+pub(crate) fn render_update(u: &Update) -> String {
     match u {
         Update::InsertEdge(a, b) => format!("ie {a} {b}"),
         Update::DeleteEdge(a, b) => format!("de {a} {b}"),
@@ -406,7 +406,7 @@ fn parse_vertex(no: usize, token: Option<&str>) -> Result<Vertex, String> {
         .ok_or_else(|| format!("line {no}: expected a vertex id"))
 }
 
-fn parse_update(line: (usize, &str)) -> Result<Update, String> {
+pub(crate) fn parse_update(line: (usize, &str)) -> Result<Update, String> {
     let (no, text) = line;
     let mut it = text.split(' ');
     match it.next() {

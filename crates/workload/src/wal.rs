@@ -1,0 +1,510 @@
+//! The write-ahead-log record format (`pardfs-wal v1`): trace-as-WAL.
+//!
+//! A WAL is plain UTF-8 text, like a trace — and deliberately *of* the trace
+//! format: each record's **body** is a valid `pardfs-trace v1` body segment
+//! (a `batch update <k>` block in the canonical rendering of
+//! [`trace`](crate::trace), followed by a `fingerprint tree <hex16>` line),
+//! so a WAL can be read with the same eyes (and mostly the same parser) as
+//! the checked-in corpus traces, and the logged batches replay through the
+//! ordinary [`ScenarioRunner`](crate::ScenarioRunner) machinery.
+//!
+//! ## Format
+//!
+//! ```text
+//! pardfs-wal v1                    # magic + format version
+//! record <epoch> <len> <crc16hex>  # framing: epoch id, body byte length,
+//!                                  #   FNV-1a 64 over "epoch <epoch>\n"+body
+//! batch update <k>                 #   body: trace-v1 update batch ...
+//! ie <u> <v>                       #   ... in canonical rendering
+//! fingerprint tree <hex16>         #   post-commit tree fingerprint
+//! sync                             # durability boundary (group commit)
+//! ```
+//!
+//! The `record` header carries the body length *in bytes* so a reader can
+//! frame the body without trusting its content, and a checksum so it can
+//! detect damage. The checksum covers the epoch id too (via the `epoch
+//! <epoch>\n` prefix), so a corrupted epoch token cannot masquerade as a
+//! clean record of a different epoch.
+//!
+//! ## Torn tails versus interior corruption
+//!
+//! A crash mid-append legitimately leaves a half-written final record; a
+//! flipped byte in the *middle* of the log means the storage lied about
+//! previously synced data. [`parse_wal`] distinguishes the two by **resync
+//! scanning**: when a record fails to frame or checksum, it looks ahead for
+//! any later record that parses completely. If one exists the damage is
+//! interior — a hard [`WalError::Corrupt`] naming the epoch; if nothing
+//! valid follows, the failure is a torn tail — the broken suffix is dropped
+//! and recovery proceeds to the last complete epoch ([`WalParse`] reports
+//! how much was dropped).
+
+use crate::trace::{parse_update, render_update};
+use pardfs_graph::Update;
+use std::fmt::Write as _;
+
+/// The magic first line of every WAL file.
+pub const WAL_MAGIC: &str = "pardfs-wal v1";
+
+/// FNV-1a 64 over a byte string — the workspace's standard cheap fingerprint
+/// (the tree fingerprint uses the same constants), reused here as the record
+/// checksum.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// One durable WAL record: the update batch committed as `epoch`, plus the
+/// fingerprint of the maintained tree *after* the batch was applied.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WalRecord {
+    /// The epoch this batch committed as (first update batch = epoch 1;
+    /// epoch 0 is the initial published state and is never logged).
+    pub epoch: u64,
+    /// The committed updates, in application order (user vertex ids).
+    pub updates: Vec<Update>,
+    /// Fingerprint of the maintained DFS tree after the batch — recovery
+    /// verifies replay against this, per batch.
+    pub fingerprint: u64,
+}
+
+impl WalRecord {
+    /// Render the record **body**: a valid `pardfs-trace v1` body segment
+    /// (canonical `batch update <k>` block + `fingerprint tree <hex16>`).
+    pub fn render_body(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "batch update {}", self.updates.len());
+        for u in &self.updates {
+            let _ = writeln!(out, "{}", render_update(u));
+        }
+        let _ = writeln!(out, "fingerprint tree {:016x}", self.fingerprint);
+        out
+    }
+
+    /// Render the full framed record: `record` header, body, `sync` line.
+    pub fn render(&self) -> String {
+        let body = self.render_body();
+        format!(
+            "record {} {} {:016x}\n{body}sync\n",
+            self.epoch,
+            body.len(),
+            self.checksum(&body)
+        )
+    }
+
+    /// The record checksum: FNV-1a 64 over `"epoch <epoch>\n"` + body.
+    fn checksum(&self, body: &str) -> u64 {
+        let mut buf = format!("epoch {}\n", self.epoch).into_bytes();
+        buf.extend_from_slice(body.as_bytes());
+        fnv1a64(&buf)
+    }
+
+    /// Parse a record body (the text between the `record` header and the
+    /// `sync` line) back into updates + fingerprint. The body must be in
+    /// canonical rendering: [`WalRecord::render_body`] of the result is
+    /// byte-identical to the input.
+    pub fn parse_body(epoch: u64, body: &str) -> Result<WalRecord, String> {
+        let mut lines = body.lines().enumerate().map(|(i, l)| (i + 1, l));
+        let (no, head) = lines
+            .next()
+            .ok_or_else(|| "empty record body".to_string())?;
+        let count: usize = head
+            .strip_prefix("batch update ")
+            .and_then(|t| t.parse().ok())
+            .ok_or_else(|| format!("body line {no}: expected `batch update <k>`, got `{head}`"))?;
+        let mut updates = Vec::with_capacity(count);
+        for _ in 0..count {
+            let line = lines
+                .next()
+                .ok_or_else(|| "record body truncated inside its batch".to_string())?;
+            updates.push(parse_update(line)?);
+        }
+        let (no, fp_line) = lines
+            .next()
+            .ok_or_else(|| "record body missing its fingerprint line".to_string())?;
+        let fingerprint = fp_line
+            .strip_prefix("fingerprint tree ")
+            .and_then(|t| u64::from_str_radix(t, 16).ok())
+            .ok_or_else(|| {
+                format!("body line {no}: expected `fingerprint tree <hex16>`, got `{fp_line}`")
+            })?;
+        if let Some((no, extra)) = lines.next() {
+            return Err(format!("body line {no}: trailing content `{extra}`"));
+        }
+        Ok(WalRecord {
+            epoch,
+            updates,
+            fingerprint,
+        })
+    }
+}
+
+/// Render a complete WAL file: magic line + every record framed in order.
+pub fn render_wal(records: &[WalRecord]) -> String {
+    let mut out = String::with_capacity(64 * (records.len() + 1));
+    out.push_str(WAL_MAGIC);
+    out.push('\n');
+    for r in records {
+        out.push_str(&r.render());
+    }
+    out
+}
+
+/// The outcome of parsing a WAL file: the complete records, plus what (if
+/// anything) was dropped from a torn tail.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WalParse {
+    /// Every complete, checksum-verified record, in log order.
+    pub records: Vec<WalRecord>,
+    /// Number of torn records dropped from the tail (0 or 1 — a single
+    /// crash tears at most the record being appended).
+    pub torn_records_dropped: u64,
+    /// Bytes of torn tail dropped (0 when the log ended cleanly).
+    pub torn_bytes_dropped: u64,
+}
+
+/// A WAL that cannot be recovered from, as opposed to a torn tail (which
+/// [`parse_wal`] silently drops and reports in [`WalParse`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WalError {
+    /// The file does not start with the `pardfs-wal v1` magic line.
+    NotAWal(String),
+    /// Interior corruption: a damaged record is *followed by* intact
+    /// records, so the damage is not a crash-torn tail — the storage lost
+    /// synced data. Recovery must not silently skip it.
+    Corrupt {
+        /// The epoch of the damaged record, as best the frame identifies it
+        /// (`None` when the header itself is unreadable).
+        epoch: Option<u64>,
+        /// What exactly failed.
+        detail: String,
+    },
+    /// Records are present but their epochs are not contiguous — the log
+    /// was spliced or a whole record was lost.
+    EpochGap {
+        /// Epoch of the record before the gap.
+        after: u64,
+        /// Epoch actually found next.
+        found: u64,
+    },
+}
+
+impl std::fmt::Display for WalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WalError::NotAWal(got) => {
+                write!(f, "not a pardfs WAL (expected `{WAL_MAGIC}`, got `{got}`)")
+            }
+            WalError::Corrupt { epoch, detail } => match epoch {
+                Some(e) => write!(f, "WAL record for epoch {e} is corrupt: {detail}"),
+                None => write!(f, "WAL record with unreadable header is corrupt: {detail}"),
+            },
+            WalError::EpochGap { after, found } => write!(
+                f,
+                "WAL epoch gap: record {found} follows record {after} (expected {})",
+                after + 1
+            ),
+        }
+    }
+}
+
+/// What one framing attempt at a given offset produced.
+enum Frame {
+    /// A complete, checksum-verified record ending at `next` (byte offset).
+    Ok(WalRecord, usize),
+    /// The bytes at this offset cannot be a complete record; `detail` says
+    /// why and `epoch` is the header's epoch when the header was readable.
+    Broken { epoch: Option<u64>, detail: String },
+}
+
+/// Attempt to frame one record at byte offset `at` of `text`.
+fn frame_record(text: &str, at: usize) -> Frame {
+    let rest = &text[at..];
+    let Some(header_end) = rest.find('\n') else {
+        return Frame::Broken {
+            epoch: None,
+            detail: "unterminated record header".into(),
+        };
+    };
+    let header = &rest[..header_end];
+    let mut it = header
+        .strip_prefix("record ")
+        .map(|r| r.split(' '))
+        .into_iter()
+        .flatten();
+    let epoch: Option<u64> = it.next().and_then(|t| t.parse().ok());
+    let len: Option<usize> = it.next().and_then(|t| t.parse().ok());
+    let crc: Option<u64> = it.next().and_then(|t| u64::from_str_radix(t, 16).ok());
+    let (Some(epoch), Some(len), Some(crc), None) = (epoch, len, crc, it.next()) else {
+        return Frame::Broken {
+            epoch,
+            detail: format!("malformed record header `{header}`"),
+        };
+    };
+    let body_start = header_end + 1;
+    let Some(body) = rest.get(body_start..body_start + len) else {
+        return Frame::Broken {
+            epoch: Some(epoch),
+            detail: format!(
+                "body truncated ({} of {len} bytes)",
+                rest.len() - body_start
+            ),
+        };
+    };
+    let mut buf = format!("epoch {epoch}\n").into_bytes();
+    buf.extend_from_slice(body.as_bytes());
+    if fnv1a64(&buf) != crc {
+        return Frame::Broken {
+            epoch: Some(epoch),
+            detail: "checksum mismatch".into(),
+        };
+    }
+    let after_body = body_start + len;
+    if !rest[after_body..].starts_with("sync\n") {
+        return Frame::Broken {
+            epoch: Some(epoch),
+            detail: "missing `sync` line after body".into(),
+        };
+    }
+    match WalRecord::parse_body(epoch, body) {
+        Ok(record) => Frame::Ok(record, at + after_body + "sync\n".len()),
+        // Checksum passed but the body is not a canonical batch segment:
+        // that is never a torn write, always a writer bug / tamper.
+        Err(detail) => Frame::Broken {
+            epoch: Some(epoch),
+            detail: format!("body is not a canonical trace segment: {detail}"),
+        },
+    }
+}
+
+/// Does any complete record exist at or after byte offset `from`? (The
+/// resync scan that discriminates interior corruption from a torn tail.)
+fn any_complete_record_after(text: &str, from: usize) -> bool {
+    let mut at = from;
+    loop {
+        let rest = &text[at..];
+        let Some(pos) = rest.find("record ") else {
+            return false;
+        };
+        // Only line-initial `record ` tokens are candidate headers.
+        let cand = at + pos;
+        if cand == 0 || text.as_bytes()[cand - 1] == b'\n' {
+            if let Frame::Ok(..) = frame_record(text, cand) {
+                return true;
+            }
+        }
+        at = cand + "record ".len();
+    }
+}
+
+/// Parse a WAL file's full text.
+///
+/// Returns every complete record (in order, epochs verified contiguous)
+/// plus a report of any torn tail dropped. Fails with [`WalError::Corrupt`]
+/// when a damaged record is followed by intact ones — see the module docs
+/// for the discrimination rule.
+pub fn parse_wal(text: &str) -> Result<WalParse, WalError> {
+    let Some(first_nl) = text.find('\n') else {
+        return Err(WalError::NotAWal(text.trim_end().to_string()));
+    };
+    if &text[..first_nl] != WAL_MAGIC {
+        return Err(WalError::NotAWal(text[..first_nl].to_string()));
+    }
+    let mut at = first_nl + 1;
+    let mut records: Vec<WalRecord> = Vec::new();
+    let mut torn_records_dropped = 0;
+    let mut torn_bytes_dropped = 0;
+    while at < text.len() {
+        match frame_record(text, at) {
+            Frame::Ok(record, next) => {
+                if let Some(prev) = records.last() {
+                    if record.epoch != prev.epoch + 1 {
+                        return Err(WalError::EpochGap {
+                            after: prev.epoch,
+                            found: record.epoch,
+                        });
+                    }
+                }
+                records.push(record);
+                at = next;
+            }
+            Frame::Broken { epoch, detail } => {
+                if any_complete_record_after(text, at + 1) {
+                    return Err(WalError::Corrupt { epoch, detail });
+                }
+                torn_records_dropped = 1;
+                torn_bytes_dropped = (text.len() - at) as u64;
+                break;
+            }
+        }
+    }
+    Ok(WalParse {
+        records,
+        torn_records_dropped,
+        torn_bytes_dropped,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo_records() -> Vec<WalRecord> {
+        vec![
+            WalRecord {
+                epoch: 1,
+                updates: vec![
+                    Update::DeleteEdge(1, 2),
+                    Update::InsertVertex { edges: vec![0, 3] },
+                ],
+                fingerprint: 0xdead_beef,
+            },
+            WalRecord {
+                epoch: 2,
+                updates: vec![Update::InsertEdge(0, 4), Update::DeleteVertex(1)],
+                fingerprint: 0x1234_5678_9abc_def0,
+            },
+            WalRecord {
+                epoch: 3,
+                updates: vec![Update::InsertVertex { edges: vec![] }],
+                fingerprint: 7,
+            },
+        ]
+    }
+
+    #[test]
+    fn wal_round_trips_byte_identically() {
+        let records = demo_records();
+        let text = render_wal(&records);
+        let parsed = parse_wal(&text).expect("clean WAL parses");
+        assert_eq!(parsed.records, records);
+        assert_eq!(parsed.torn_records_dropped, 0);
+        assert_eq!(parsed.torn_bytes_dropped, 0);
+        assert_eq!(render_wal(&parsed.records), text);
+    }
+
+    #[test]
+    fn record_bodies_are_valid_trace_segments() {
+        // Splicing every record body into a trace skeleton must yield a
+        // parseable trace whose update batches are the logged batches —
+        // the "trace-as-WAL" contract.
+        let records = demo_records();
+        let mut body = String::new();
+        let mut summary = String::new();
+        let total: usize = records.iter().map(|r| r.updates.len()).sum();
+        summary.push_str(&format!("phase wal updates={total} queries=0\n"));
+        body.push_str("!phase wal\n");
+        for r in &records {
+            // Strip the `fingerprint tree` trailer: inside a trace body,
+            // fingerprints live after the batches. The batch block itself
+            // is spliced verbatim.
+            let rendered = r.render_body();
+            let batch = rendered
+                .rsplit_once("fingerprint tree ")
+                .map(|(head, _)| head)
+                .unwrap();
+            body.push_str(batch);
+        }
+        let text = format!(
+            "pardfs-trace v1\nscenario wal\nseed 0\nn 8\nm 0\n{summary}edges 0\nbody\n{body}end\n"
+        );
+        let trace = crate::Trace::parse(&text).expect("spliced WAL bodies parse as a trace");
+        let replayed: Vec<Update> = trace.phases[0]
+            .batches
+            .iter()
+            .flat_map(|b| match b {
+                crate::TraceBatch::Updates(u) => u.clone(),
+                crate::TraceBatch::Queries(_) => unreachable!(),
+            })
+            .collect();
+        let logged: Vec<Update> = records.iter().flat_map(|r| r.updates.clone()).collect();
+        assert_eq!(replayed, logged);
+    }
+
+    #[test]
+    fn torn_tail_is_dropped_at_every_truncation_offset() {
+        let records = demo_records();
+        let text = render_wal(&records);
+        let last_start = text.find("record 3").unwrap();
+        // Truncating anywhere inside the final record (or just before it)
+        // always recovers the first two records and reports the tear.
+        for cut in last_start..text.len() {
+            let parsed = parse_wal(&text[..cut])
+                .unwrap_or_else(|e| panic!("cut at {cut} must stay recoverable, got {e}"));
+            if cut == last_start {
+                assert_eq!(parsed.torn_records_dropped, 0, "clean cut at {cut}");
+            } else {
+                assert_eq!(parsed.torn_records_dropped, 1, "torn cut at {cut}");
+                assert_eq!(parsed.torn_bytes_dropped as usize, cut - last_start);
+            }
+            assert_eq!(parsed.records, records[..2], "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn interior_corruption_is_a_hard_error_naming_the_epoch() {
+        let records = demo_records();
+        let text = render_wal(&records);
+        // Flip one body byte of record 2 (epoch 2): the `ie 0 4` update.
+        let bad = text.replace("ie 0 4", "ie 0 5");
+        let err = parse_wal(&bad).expect_err("interior damage must not be skipped");
+        match err {
+            WalError::Corrupt { epoch, detail } => {
+                assert_eq!(epoch, Some(2));
+                assert!(detail.contains("checksum"), "{detail}");
+            }
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+        // The same damage in the *final* record is a torn tail instead.
+        let bad_tail = text.replace("iv\nfingerprint", "ix\nfingerprint");
+        assert_ne!(bad_tail, text, "the final record's body was targeted");
+        let parsed = parse_wal(&bad_tail).expect("damaged tail is recoverable");
+        assert_eq!(parsed.records.len(), 2);
+        assert_eq!(parsed.torn_records_dropped, 1);
+    }
+
+    #[test]
+    fn checksum_covers_the_epoch_id() {
+        let records = demo_records();
+        let text = render_wal(&records);
+        // Corrupt epoch 2's *header epoch token* only. The body is intact,
+        // but the checksum binds the epoch id, so the record cannot pass
+        // itself off as epoch 4 — and with intact records following, that
+        // is interior corruption.
+        let bad = text.replacen("record 2 ", "record 4 ", 1);
+        let err = parse_wal(&bad).expect_err("forged epoch id must fail");
+        assert!(
+            matches!(err, WalError::Corrupt { epoch: Some(4), .. }),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn epoch_gaps_are_rejected() {
+        let mut records = demo_records();
+        records[2].epoch = 5; // splice: 1, 2, 5
+        let text = render_wal(&records);
+        let err = parse_wal(&text).expect_err("gapped epochs must fail");
+        assert_eq!(err, WalError::EpochGap { after: 2, found: 5 });
+        assert!(err.to_string().contains("expected 3"), "{err}");
+    }
+
+    #[test]
+    fn non_wal_files_are_rejected() {
+        assert!(matches!(parse_wal(""), Err(WalError::NotAWal(_))));
+        assert!(matches!(
+            parse_wal("pardfs-trace v1\n"),
+            Err(WalError::NotAWal(_))
+        ));
+    }
+
+    #[test]
+    fn empty_wal_is_clean() {
+        let parsed = parse_wal("pardfs-wal v1\n").expect("magic-only WAL parses");
+        assert!(parsed.records.is_empty());
+        assert_eq!(parsed.torn_records_dropped, 0);
+    }
+}

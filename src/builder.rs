@@ -11,10 +11,11 @@ use pardfs_api::{
 use pardfs_congest::DistributedDynamicDfs;
 use pardfs_core::{DynamicDfs, FaultTolerantDfs, Strategy};
 use pardfs_graph::{Graph, Update, Vertex};
-use pardfs_seq::SeqRerootDfs;
+use pardfs_seq::{AugmentedGraph, SeqRerootDfs};
 use pardfs_serve::{Server, ShardRouter};
 use pardfs_stream::StreamingDynamicDfs;
 use pardfs_tree::TreeIndex;
+use pardfs_wal::{recover_with, DurabilityConfig, Recovered};
 use pardfs_workload::{ScenarioOutcome, ScenarioRunner, Trace};
 
 /// Which maintainer implementation to construct.
@@ -182,6 +183,32 @@ impl MaintainerBuilder {
         Server::new(self.build(user_graph))
     }
 
+    /// [`MaintainerBuilder::serve_single`] plus durability: the server's
+    /// pre-commit state is checkpointed into `config.dir` and every
+    /// subsequent commit is write-ahead logged there, so a crash at any
+    /// point is recoverable via [`MaintainerBuilder::recover`]. Errors if
+    /// the directory already holds a WAL (recover from it instead).
+    pub fn serve_durable(
+        &self,
+        user_graph: &Graph,
+        config: &DurabilityConfig,
+    ) -> Result<Server, String> {
+        let mut server = self.serve_single(user_graph);
+        config.attach(&mut server)?;
+        Ok(server)
+    }
+
+    /// Recover a durable server from `config.dir`: load the latest
+    /// checkpoint, rebuild **this configuration's** backend from it via
+    /// [`MaintainerBuilder::build_from_state`], replay the WAL tail with
+    /// per-batch fingerprint verification, and resume serving at the
+    /// recovered epoch (with logging reattached). The configured backend
+    /// does not need to match the crashed one — any backend continues from
+    /// the checkpointed tree.
+    pub fn recover(&self, config: &DurabilityConfig) -> Result<Recovered, String> {
+        recover_with(config, |graph, tree| self.build_from_state(graph, tree))
+    }
+
     /// Build one replica maintainer per configured shard (see
     /// [`MaintainerBuilder::shards`]) over `user_graph` and route them
     /// behind a [`ShardRouter`]: broadcast writes, component-affinity
@@ -239,6 +266,84 @@ impl MaintainerBuilder {
                 })
             }
         }
+    }
+
+    /// Construct the maintainer from previously captured state: an
+    /// *augmented* graph (internal ids, pseudo root and pseudo edges already
+    /// present — what [`DfsMaintainer::augmented_graph`] exposes) and a DFS
+    /// tree of it. This is the recovery path: a durability checkpoint
+    /// serializes both, and the maintainer built here skips the static DFS
+    /// and continues the crash-time tree trajectory exactly.
+    ///
+    /// Errors if the graph violates the pseudo-root invariants (it was
+    /// corrupted, or is a plain user graph — use
+    /// [`MaintainerBuilder::build`] for those).
+    pub fn build_from_state(
+        &self,
+        aug_graph: Graph,
+        index: TreeIndex,
+    ) -> Result<Box<dyn DfsMaintainer>, String> {
+        let aug = AugmentedGraph::from_internal(aug_graph)?;
+        if index.root() != aug.pseudo_root() {
+            return Err(format!(
+                "resumed tree is rooted at {} but the pseudo root is {}",
+                index.root(),
+                aug.pseudo_root()
+            ));
+        }
+        if index.capacity() != aug.graph().capacity() {
+            return Err(format!(
+                "resumed tree has capacity {} but the graph has {}",
+                index.capacity(),
+                aug.graph().capacity()
+            ));
+        }
+        let inner: Box<dyn DfsMaintainer> = match self.backend {
+            Backend::Parallel => {
+                let mut dfs =
+                    DynamicDfs::from_state(aug, index, self.strategy, self.rebuild_policy);
+                dfs.set_index_policy(self.index_policy);
+                Box::new(dfs)
+            }
+            Backend::Sequential => {
+                let mut dfs = SeqRerootDfs::from_state(aug, index);
+                dfs.set_index_policy(self.index_policy);
+                Box::new(dfs)
+            }
+            Backend::Streaming => {
+                let mut dfs = StreamingDynamicDfs::from_state(aug, index, self.strategy);
+                dfs.set_index_policy(self.index_policy);
+                Box::new(dfs)
+            }
+            Backend::Congest { bandwidth } => {
+                let mut dfs =
+                    DistributedDynamicDfs::from_state(aug, index, bandwidth, self.strategy);
+                dfs.set_index_policy(self.index_policy);
+                Box::new(dfs)
+            }
+            Backend::FaultTolerant => {
+                let mut dfs = FaultTolerantDfs::from_state(aug, index, self.strategy);
+                dfs.set_index_policy(self.index_policy);
+                Box::new(dfs)
+            }
+        };
+        let checked = match self.check_mode {
+            CheckMode::Never => inner,
+            CheckMode::EveryUpdate => Box::new(Checked { inner }),
+        };
+        Ok(match self.num_threads {
+            None => checked,
+            Some(n) => {
+                let pool = rayon::ThreadPoolBuilder::new()
+                    .num_threads(n)
+                    .build()
+                    .expect("failed to build the maintainer's thread pool");
+                Box::new(Threaded {
+                    pool,
+                    inner: checked,
+                })
+            }
+        })
     }
 
     /// Replay a recorded scenario [`Trace`] end to end: build this
@@ -306,6 +411,10 @@ impl DfsMaintainer for Threaded {
         self.inner.tree()
     }
 
+    fn augmented_graph(&self) -> &Graph {
+        self.inner.augmented_graph()
+    }
+
     fn check(&self) -> Result<(), String> {
         // Also answered on the calling thread — `check` is a validation
         // path, not the update hot path.
@@ -363,6 +472,10 @@ impl DfsMaintainer for Checked {
 
     fn tree(&self) -> &TreeIndex {
         self.inner.tree()
+    }
+
+    fn augmented_graph(&self) -> &Graph {
+        self.inner.augmented_graph()
     }
 
     fn check(&self) -> Result<(), String> {
@@ -620,7 +733,7 @@ mod tests {
     #[should_panic(expected = "invalid DFS tree")]
     fn checked_mode_panics_on_corruption() {
         // A maintainer whose check always fails.
-        struct Broken(TreeIndex);
+        struct Broken(TreeIndex, Graph);
         impl ForestQuery for Broken {
             fn forest_parent(&self, _v: Vertex) -> Option<Vertex> {
                 None
@@ -648,6 +761,9 @@ mod tests {
             fn tree(&self) -> &TreeIndex {
                 &self.0
             }
+            fn augmented_graph(&self) -> &Graph {
+                &self.1
+            }
             fn check(&self) -> Result<(), String> {
                 Err("intentionally broken".into())
             }
@@ -661,7 +777,7 @@ mod tests {
         }
         let idx = TreeIndex::from_parent_slice(&[0], 0);
         let mut checked = Checked {
-            inner: Box::new(Broken(idx)),
+            inner: Box::new(Broken(idx, Graph::new(1))),
         };
         checked.apply_update(&Update::InsertEdge(0, 1));
     }

@@ -25,7 +25,10 @@
 //!   wrapping any maintainer with group-committed writes and immutable
 //!   published snapshots, [`ShardRouter`] replica routing, and (in
 //!   [`scenario`]) the [`ConcurrentScenarioRunner`] that turns any trace
-//!   into a concurrent-serving benchmark.
+//!   into a concurrent-serving benchmark;
+//! * [`wal`] — trace-as-WAL durability: write-ahead logging of committed
+//!   epochs, snapshot checkpoints, crash recovery
+//!   ([`MaintainerBuilder::serve_durable`] / [`MaintainerBuilder::recover`]).
 //!
 //! It also hosts the [`MaintainerBuilder`]: all five backends implement the
 //! same [`DfsMaintainer`] trait, and the builder selects one at runtime by
@@ -77,6 +80,7 @@ pub use pardfs_seq as seq;
 pub use pardfs_serve as serve;
 pub use pardfs_stream as stream;
 pub use pardfs_tree as tree;
+pub use pardfs_wal as wal;
 pub use pardfs_workload as scenario;
 
 pub use builder::{Backend, CheckMode, MaintainerBuilder};
@@ -91,6 +95,7 @@ pub use pardfs_graph::{Graph, Update, Vertex};
 pub use pardfs_seq::SeqRerootDfs;
 pub use pardfs_serve::{ReadHandle, Server, ShardRouter, Snapshot, WriteHandle};
 pub use pardfs_stream::StreamingDynamicDfs;
+pub use pardfs_wal::{CheckpointPolicy, DurabilityConfig, Recovered};
 pub use pardfs_workload::{
     ConcurrentOutcome, ConcurrentScenarioRunner, PhaseReport, Scenario, ScenarioOutcome,
     ScenarioRunner, Trace, TraceBuilder,
