@@ -1061,6 +1061,141 @@ pub fn e14_durability_overhead(scale: Scale) -> Table {
     t
 }
 
+/// E15 — checkpoint codec: the legacy line-oriented text format versus the
+/// `pardfs-snap v1` binary container, per backend, on the state a
+/// merge-split-storm trace leaves behind. For each codec the benchmark
+/// measures the full durability round trip the WAL performs — render +
+/// write + `sync_all` on the way down, read + parse (framing checks,
+/// representation validation, fingerprint verification and the index
+/// rebuild) on the way up — plus the on-disk checkpoint size. Both codecs
+/// pay the same index rebuild, so the ratio isolates the serialization
+/// itself: token scanning versus flat little-endian arrays.
+///
+/// Records stamp `disk_bytes` (checkpoint file size) and `adjacency_words`
+/// (the arena memory accountant at capture time) so codec and footprint
+/// regressions surface in the same gate.
+pub fn e15_snapshot_codec(scale: Scale) -> Table {
+    use std::io::Write as _;
+    let sizes: Vec<usize> = match scale {
+        Scale::Tiny => vec![64],
+        Scale::Quick => vec![192],
+        Scale::Full => vec![1024, 4096],
+    };
+    let mut t = Table::new(
+        "E15: checkpoint codec — text vs pardfs-snap v1 binary, write + recover round trip",
+        &[
+            "backend",
+            "codec",
+            "n",
+            "m",
+            "adj words",
+            "write ms",
+            "recover ms",
+            "total ms",
+            "vs text",
+            "disk KiB",
+        ],
+    );
+    t.id = "E15".into();
+    for &n in &sizes {
+        let trace = Scenario::MergeSplitStorm.record(n, 0xE15);
+        let batches: Vec<Vec<pardfs::Update>> = trace
+            .phases
+            .iter()
+            .flat_map(|p| &p.batches)
+            .filter_map(|b| match b {
+                TraceBatch::Updates(u) => Some(u.clone()),
+                TraceBatch::Queries(_) => None,
+            })
+            .collect();
+        let updates_total: usize = batches.iter().map(|b| b.len()).sum();
+        for backend in Backend::all_default() {
+            let builder = MaintainerBuilder::new(backend);
+            let mut server = builder.serve_single(&trace.initial_graph());
+            let writer = server.write_handle();
+            for batch in &batches {
+                writer.submit(batch.clone());
+                server.commit().expect("queued batch commits");
+            }
+            let epoch = server.read_handle().epoch();
+            let ckpt = pardfs::wal::Checkpoint::capture(epoch, server.maintainer());
+            let backend_name = server.maintainer().backend_name();
+            let words = ckpt.graph.adjacency_words();
+            let dir = std::env::temp_dir().join(format!(
+                "pardfs-bench-e15-{}-{backend_name}-{n}",
+                std::process::id()
+            ));
+            let _ = std::fs::remove_dir_all(&dir);
+            std::fs::create_dir_all(&dir).expect("scratch dir");
+            let mut text_total_us = f64::NAN;
+            for codec in ["text", "binary"] {
+                let path = dir.join(format!("checkpoint.{codec}"));
+                let body: Vec<u8> = match codec {
+                    "text" => ckpt.render().into_bytes(),
+                    _ => ckpt.render_binary(),
+                };
+                // Best of two round trips (fsync and page-cache jitter).
+                let (write_us, recover_us, disk) = (0..2)
+                    .map(|_| {
+                        let write_us = micros(|| {
+                            let rendered: Vec<u8> = match codec {
+                                "text" => ckpt.render().into_bytes(),
+                                _ => ckpt.render_binary(),
+                            };
+                            let mut f =
+                                std::fs::File::create(&path).expect("checkpoint file creates");
+                            f.write_all(&rendered)
+                                .and_then(|()| f.sync_all())
+                                .expect("checkpoint file writes");
+                        });
+                        let disk = std::fs::metadata(&path).expect("written file").len();
+                        assert_eq!(disk as usize, body.len());
+                        let recover_us = micros(|| {
+                            let bytes = std::fs::read(&path).expect("checkpoint file reads");
+                            let loaded = pardfs::wal::Checkpoint::parse_any(&bytes)
+                                .expect("own checkpoint parses");
+                            assert_eq!(
+                                loaded.fingerprint, ckpt.fingerprint,
+                                "{backend_name}/{codec}: recovered tree diverged"
+                            );
+                        });
+                        (write_us, recover_us, disk)
+                    })
+                    .min_by(|a, b| (a.0 + a.1).total_cmp(&(b.0 + b.1)))
+                    .expect("two runs recorded");
+                let total_us = write_us + recover_us;
+                if codec == "text" {
+                    text_total_us = total_us;
+                }
+                t.records.push(BenchRecord {
+                    n: trace.n,
+                    m: trace.m(),
+                    backend: backend_name.into(),
+                    policy: codec.into(),
+                    ns_per_update: total_us * 1e3 / updates_total.max(1) as f64,
+                    disk_bytes: Some(disk),
+                    adjacency_words: Some(words),
+                    ..BenchRecord::stamped()
+                });
+                t.push_row(vec![
+                    backend_name.into(),
+                    codec.into(),
+                    trace.n.to_string(),
+                    trace.m().to_string(),
+                    words.to_string(),
+                    format!("{:.3}", write_us / 1e3),
+                    format!("{:.3}", recover_us / 1e3),
+                    format!("{:.3}", total_us / 1e3),
+                    format!("{:.2}x", text_total_us / total_us.max(f64::MIN_POSITIVE)),
+                    format!("{:.1}", disk as f64 / 1024.0),
+                ]);
+            }
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+    }
+    t
+}
+
 /// All experiments in EXPERIMENTS.md order.
 pub fn all_experiments(scale: Scale) -> Vec<Table> {
     vec![
@@ -1079,6 +1214,7 @@ pub fn all_experiments(scale: Scale) -> Vec<Table> {
         e12_scenarios(scale),
         e13_serving_throughput(scale),
         e14_durability_overhead(scale),
+        e15_snapshot_codec(scale),
     ]
 }
 

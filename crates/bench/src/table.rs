@@ -22,6 +22,14 @@ pub struct BenchRecord {
     /// Aggregate read throughput — present for the serving experiments
     /// (E13), where throughput rather than latency is the headline metric.
     pub queries_per_sec: Option<f64>,
+    /// On-disk footprint of the durability directory in bytes — present for
+    /// the checkpoint/codec experiments (E14, E15).
+    pub disk_bytes: Option<u64>,
+    /// [`pardfs_graph::Graph::adjacency_words`] of the workload graph at
+    /// measurement time — the streaming memory accountant, stamped by the
+    /// codec experiment (E15) so footprint regressions show up next to the
+    /// timing ones.
+    pub adjacency_words: Option<usize>,
     /// Logical cores of the host that recorded the row. The bench gate
     /// compares this against the committed baseline's stamp and downgrades
     /// timing differences to an explicit advisory when they differ — the
@@ -51,6 +59,8 @@ impl BenchRecord {
             ns_per_update: 0.0,
             index_ns_per_update: None,
             queries_per_sec: None,
+            disk_bytes: None,
+            adjacency_words: None,
             host_cores: host_cores(),
         }
     }
@@ -64,8 +74,16 @@ impl BenchRecord {
             Some(v) => format!(", \"queries_per_sec\": {v:.1}"),
             None => String::new(),
         };
+        let disk = match self.disk_bytes {
+            Some(v) => format!(", \"disk_bytes\": {v}"),
+            None => String::new(),
+        };
+        let words = match self.adjacency_words {
+            Some(v) => format!(", \"adjacency_words\": {v}"),
+            None => String::new(),
+        };
         format!(
-            "{{\"n\": {}, \"m\": {}, \"backend\": {}, \"policy\": {}, \"ns_per_update\": {:.1}{}{}, \"host_cores\": {}}}",
+            "{{\"n\": {}, \"m\": {}, \"backend\": {}, \"policy\": {}, \"ns_per_update\": {:.1}{}{}{}{}, \"host_cores\": {}}}",
             self.n,
             self.m,
             json_string(&self.backend),
@@ -73,6 +91,8 @@ impl BenchRecord {
             self.ns_per_update,
             index,
             qps,
+            disk,
+            words,
             self.host_cores
         )
     }
@@ -211,6 +231,8 @@ mod tests {
             policy: "patched \"index\"".into(),
             ns_per_update: 1234.5,
             queries_per_sec: Some(50000.5),
+            disk_bytes: Some(8192),
+            adjacency_words: Some(4096),
             ..BenchRecord::stamped()
         });
         let json = t.records_json().unwrap();
@@ -220,6 +242,8 @@ mod tests {
         assert!(json.contains("patched \\\"index\\\""));
         assert!(json.contains("\"ns_per_update\": 1234.5"));
         assert!(json.contains("\"queries_per_sec\": 50000.5"));
+        assert!(json.contains("\"disk_bytes\": 8192"));
+        assert!(json.contains("\"adjacency_words\": 4096"));
         assert!(json.contains(&format!("\"host_cores\": {}", host_cores())));
         assert!(json.trim_end().ends_with(']'));
     }

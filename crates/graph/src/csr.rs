@@ -18,6 +18,12 @@ pub struct Csr {
 
 impl Csr {
     /// Build a CSR snapshot from a dynamic graph.
+    ///
+    /// This is a *compaction of the adjacency arena*: every per-vertex
+    /// neighbour list is already a contiguous block in the graph's flat pool,
+    /// so the build is a sequence of block copies in vertex order — no
+    /// per-vertex pointer chasing — and the result is simply the arena view
+    /// with slack and holes squeezed out.
     pub fn from_graph(g: &Graph) -> Self {
         let cap = g.capacity();
         let mut offsets = Vec::with_capacity(cap + 1);

@@ -9,9 +9,12 @@
 //! arbitrary set of incident edges). This crate provides:
 //!
 //! * [`Graph`] — an adjacency-list dynamic undirected graph with stable vertex
-//!   identifiers, supporting all four update kinds.
+//!   identifiers, supporting all four update kinds, stored in a flat
+//!   [`AdjacencyArena`] (one contiguous pool for every neighbour list).
 //! * [`Csr`] — an immutable compressed-sparse-row snapshot for cache-friendly
-//!   static traversals.
+//!   static traversals (a compaction of the arena).
+//! * [`snap`] — the `pardfs-snap v1` versioned binary snapshot container used
+//!   by the graph/tree binary codecs and the WAL's binary checkpoints.
 //! * [`Update`] and [`UpdateBatch`] — the update vocabulary shared by the
 //!   sequential baseline, the parallel engine, and the streaming/distributed
 //!   adaptations.
@@ -25,13 +28,17 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod arena;
 pub mod connectivity;
 pub mod csr;
 pub mod generators;
 pub mod graph;
+pub mod snap;
 pub mod updates;
 
+pub use arena::AdjacencyArena;
 pub use connectivity::{connected_components, is_connected, DisjointSets};
 pub use csr::Csr;
 pub use graph::{Edge, Graph, Vertex, INVALID_VERTEX};
+pub use snap::{SnapReader, SnapWriter};
 pub use updates::{Update, UpdateBatch, UpdateKind};

@@ -1,0 +1,300 @@
+//! `pardfs-snap v1` — the versioned binary snapshot container.
+//!
+//! Every binary snapshot in the workspace (graph snapshots, tree snapshots,
+//! WAL checkpoint bodies) is one self-describing file in this framing:
+//!
+//! ```text
+//! offset 0        8 bytes   magic  b"PDFSNAP1"   (format + version)
+//! offset 8        4 bytes   section count        (u32 LE)
+//! offset 12      20 bytes   per section: tag [u8;4], offset u64 LE, len u64 LE
+//! ...                       section payloads (little-endian scalar arrays)
+//! last 8 bytes              FNV-1a64 checksum of every preceding byte (LE)
+//! ```
+//!
+//! Sections are looked up by four-byte tag, so consumers can compose: a WAL
+//! checkpoint embeds its own header sections next to the graph's and the
+//! tree's in a single container with a single whole-file checksum. Readers
+//! verify magic, checksum and table bounds **before** any section is
+//! interpreted, so truncation and bit flips are rejected with a description
+//! rather than misread.
+//!
+//! All multi-byte scalars are little-endian. Writers emit sections in a
+//! deterministic order from logical state only, which is what makes
+//! `parse(render(x))` byte-stable for the graph and tree codecs built on
+//! this module.
+
+/// The 8-byte magic prefix of every `pardfs-snap v1` file.
+pub const SNAP_MAGIC: [u8; 8] = *b"PDFSNAP1";
+
+/// FNV-1a 64-bit hash — the whole-file checksum of the container (the same
+/// construction the WAL framing and the tree fingerprint use).
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut hash = FNV_OFFSET;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(FNV_PRIME);
+    }
+    hash
+}
+
+/// Append a `u32` little-endian.
+pub fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Append a `u64` little-endian.
+pub fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Builder for a `pardfs-snap v1` container: append tagged sections, then
+/// [`finish`](SnapWriter::finish) into the framed byte vector.
+#[derive(Debug, Default)]
+pub struct SnapWriter {
+    sections: Vec<([u8; 4], Vec<u8>)>,
+}
+
+impl SnapWriter {
+    /// An empty container.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Start a new section with `tag` and return its payload buffer.
+    /// Sections are written in the order they were started.
+    pub fn section(&mut self, tag: [u8; 4]) -> &mut Vec<u8> {
+        debug_assert!(
+            !self.sections.iter().any(|(t, _)| *t == tag),
+            "duplicate section tag {tag:?}"
+        );
+        self.sections.push((tag, Vec::new()));
+        &mut self.sections.last_mut().expect("just pushed").1
+    }
+
+    /// Frame the sections: magic, table, payloads, whole-file checksum.
+    pub fn finish(self) -> Vec<u8> {
+        let table_end = 8 + 4 + 20 * self.sections.len();
+        let payload: usize = self.sections.iter().map(|(_, b)| b.len()).sum();
+        let mut out = Vec::with_capacity(table_end + payload + 8);
+        out.extend_from_slice(&SNAP_MAGIC);
+        put_u32(&mut out, self.sections.len() as u32);
+        let mut offset = table_end as u64;
+        for (tag, body) in &self.sections {
+            out.extend_from_slice(tag);
+            put_u64(&mut out, offset);
+            put_u64(&mut out, body.len() as u64);
+            offset += body.len() as u64;
+        }
+        for (_, body) in &self.sections {
+            out.extend_from_slice(body);
+        }
+        let checksum = fnv1a64(&out);
+        put_u64(&mut out, checksum);
+        out
+    }
+}
+
+/// A verified view into a `pardfs-snap v1` container: magic, checksum and
+/// section-table bounds are checked up front, then sections are served as
+/// borrowed byte slices.
+#[derive(Debug)]
+pub struct SnapReader<'a> {
+    sections: Vec<([u8; 4], &'a [u8])>,
+}
+
+impl<'a> SnapReader<'a> {
+    /// Verify the container framing and index its sections.
+    pub fn parse(bytes: &'a [u8]) -> Result<SnapReader<'a>, String> {
+        if bytes.len() < 8 + 4 + 8 {
+            return Err(format!(
+                "binary snapshot truncated: {} bytes is smaller than the minimal frame",
+                bytes.len()
+            ));
+        }
+        if bytes[..8] != SNAP_MAGIC {
+            return Err("not a pardfs-snap v1 container (bad magic)".to_string());
+        }
+        let body_end = bytes.len() - 8;
+        let recorded = u64::from_le_bytes(bytes[body_end..].try_into().expect("8 bytes"));
+        if fnv1a64(&bytes[..body_end]) != recorded {
+            return Err("binary snapshot checksum mismatch (file is corrupt)".to_string());
+        }
+        let count = u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes")) as usize;
+        let table_end = 8usize + 4 + 20 * count;
+        if table_end > body_end {
+            return Err(format!(
+                "binary snapshot section table ({count} sections) exceeds the file"
+            ));
+        }
+        let mut sections = Vec::with_capacity(count);
+        for i in 0..count {
+            let at = 12 + 20 * i;
+            let tag: [u8; 4] = bytes[at..at + 4].try_into().expect("4 bytes");
+            let offset = u64::from_le_bytes(bytes[at + 4..at + 12].try_into().expect("8 bytes"));
+            let len = u64::from_le_bytes(bytes[at + 12..at + 20].try_into().expect("8 bytes"));
+            let (Ok(offset), Ok(len)) = (usize::try_from(offset), usize::try_from(len)) else {
+                return Err(format!("section {tag:?} offset/length overflows"));
+            };
+            let end = offset
+                .checked_add(len)
+                .ok_or_else(|| format!("section {tag:?} offset/length overflows"))?;
+            if offset < table_end || end > body_end {
+                return Err(format!(
+                    "section {tag:?} [{offset}, {end}) escapes the container body"
+                ));
+            }
+            if sections.iter().any(|(t, _): &([u8; 4], _)| *t == tag) {
+                return Err(format!("duplicate section tag {tag:?}"));
+            }
+            sections.push((tag, &bytes[offset..end]));
+        }
+        Ok(SnapReader { sections })
+    }
+
+    /// The payload of the section tagged `tag`.
+    pub fn section(&self, tag: [u8; 4]) -> Result<&'a [u8], String> {
+        self.sections
+            .iter()
+            .find(|(t, _)| *t == tag)
+            .map(|(_, body)| *body)
+            .ok_or_else(|| {
+                format!(
+                    "binary snapshot is missing its `{}` section",
+                    String::from_utf8_lossy(&tag)
+                )
+            })
+    }
+}
+
+/// Sequential little-endian scalar reader over a section payload.
+#[derive(Debug)]
+pub struct Cursor<'a> {
+    data: &'a [u8],
+    at: usize,
+    tag: [u8; 4],
+}
+
+impl<'a> Cursor<'a> {
+    /// A cursor at the start of `data` (`tag` names the section in errors).
+    pub fn new(tag: [u8; 4], data: &'a [u8]) -> Self {
+        Cursor { data, at: 0, tag }
+    }
+
+    fn need(&mut self, n: usize) -> Result<&'a [u8], String> {
+        if self.at + n > self.data.len() {
+            return Err(format!(
+                "section `{}` truncated: needed {n} bytes at offset {}, have {}",
+                String::from_utf8_lossy(&self.tag),
+                self.at,
+                self.data.len() - self.at
+            ));
+        }
+        let out = &self.data[self.at..self.at + n];
+        self.at += n;
+        Ok(out)
+    }
+
+    /// Read one `u32` LE.
+    pub fn u32(&mut self) -> Result<u32, String> {
+        Ok(u32::from_le_bytes(self.need(4)?.try_into().expect("4")))
+    }
+
+    /// Read one `u64` LE.
+    pub fn u64(&mut self) -> Result<u64, String> {
+        Ok(u64::from_le_bytes(self.need(8)?.try_into().expect("8")))
+    }
+
+    /// Read `n` consecutive `u32` LE values in one bounds check — the array
+    /// fast path the flat-section parsers are built on.
+    pub fn u32s(&mut self, n: usize) -> Result<Vec<u32>, String> {
+        let bytes = self.need(4 * n)?;
+        Ok(bytes
+            .chunks_exact(4)
+            .map(|c| u32::from_le_bytes(c.try_into().expect("4")))
+            .collect())
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.data.len() - self.at
+    }
+
+    /// Assert the section was consumed exactly.
+    pub fn finish(self) -> Result<(), String> {
+        if self.remaining() != 0 {
+            return Err(format!(
+                "section `{}` has {} trailing bytes",
+                String::from_utf8_lossy(&self.tag),
+                self.remaining()
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_two_sections() {
+        let mut w = SnapWriter::new();
+        put_u64(w.section(*b"AAAA"), 7);
+        let b = w.section(*b"BBBB");
+        put_u32(b, 1);
+        put_u32(b, 2);
+        let bytes = w.finish();
+        assert_eq!(&bytes[..8], &SNAP_MAGIC);
+
+        let r = SnapReader::parse(&bytes).expect("own container parses");
+        let mut c = Cursor::new(*b"AAAA", r.section(*b"AAAA").unwrap());
+        assert_eq!(c.u64().unwrap(), 7);
+        c.finish().unwrap();
+        let mut c = Cursor::new(*b"BBBB", r.section(*b"BBBB").unwrap());
+        assert_eq!((c.u32().unwrap(), c.u32().unwrap()), (1, 2));
+        c.finish().unwrap();
+        assert!(r.section(*b"ZZZZ").unwrap_err().contains("missing"));
+    }
+
+    #[test]
+    fn corruption_and_truncation_are_rejected() {
+        let mut w = SnapWriter::new();
+        put_u64(w.section(*b"AAAA"), 7);
+        let good = w.finish();
+
+        // Any single bit flip breaks the whole-file checksum.
+        for at in [0, 9, 13, good.len() / 2] {
+            let mut bad = good.clone();
+            bad[at] ^= 0x40;
+            let err = SnapReader::parse(&bad).unwrap_err();
+            assert!(
+                err.contains("checksum") || err.contains("magic"),
+                "flip at {at}: {err}"
+            );
+        }
+        // Truncation (including a cut inside the trailing checksum).
+        for cut in [0, 8, good.len() - 1, good.len() - 9] {
+            assert!(SnapReader::parse(&good[..cut]).is_err(), "cut at {cut}");
+        }
+        // A section table pointing past the body: rebuild with a lying count.
+        let empty = SnapWriter::new().finish();
+        let mut lying = empty[..empty.len() - 8].to_vec();
+        lying[8] = 3; // claims 3 sections, no table bytes follow
+        let tail = fnv1a64(&lying);
+        put_u64(&mut lying, tail);
+        assert!(SnapReader::parse(&lying)
+            .unwrap_err()
+            .contains("section table"));
+    }
+
+    #[test]
+    fn cursor_reports_truncation_and_trailing_bytes() {
+        let data = [1u8, 0, 0, 0, 9];
+        let mut c = Cursor::new(*b"TEST", &data);
+        assert_eq!(c.u32().unwrap(), 1);
+        assert!(c.u64().unwrap_err().contains("truncated"));
+        assert!(c.finish().unwrap_err().contains("trailing"));
+    }
+}

@@ -15,7 +15,13 @@
 //! `O(n)`-per-row table repair.
 
 use crate::rooted::{RootedTree, NO_VERTEX};
-use pardfs_graph::Vertex;
+use pardfs_graph::snap::{put_u32, put_u64, Cursor, SnapReader, SnapWriter};
+use pardfs_graph::{AdjacencyArena, Vertex};
+
+/// Section tag of the tree binary-snapshot header (root, capacity).
+const SEC_TREE_HEADER: [u8; 4] = *b"THDR";
+/// Section tag of the parent array (`u32` per slot, `u32::MAX` for holes).
+const SEC_TREE_PARENTS: [u8; 4] = *b"TPAR";
 
 /// Structural index of a rooted tree.
 ///
@@ -24,11 +30,17 @@ use pardfs_graph::Vertex;
 /// `O(log n)` LCA queries, and a binary-lifting table for level-ancestor
 /// queries. After edge updates the structure can be delta-patched in place by
 /// [`TreeIndex::apply_patch`](crate::patch) instead of rebuilt.
+///
+/// Every field is a flat array: children lists live in one shared
+/// [`AdjacencyArena`] pool and the binary-lifting table is a single
+/// stride-indexed buffer (`LiftingTable`), so `Clone` — the per-epoch
+/// snapshot capture in `pardfs-serve` — is a fixed handful of `memcpy`-style
+/// buffer copies instead of `O(n)` separate child/lifting-row allocations.
 #[derive(Debug, Clone)]
 pub struct TreeIndex {
     pub(crate) root: Vertex,
     pub(crate) parent: Vec<Vertex>,
-    pub(crate) children: Vec<Vec<Vertex>>,
+    pub(crate) children: AdjacencyArena,
     pub(crate) pre: Vec<u32>,
     pub(crate) post: Vec<u32>,
     pub(crate) level: Vec<u32>,
@@ -39,11 +51,52 @@ pub struct TreeIndex {
     pub(crate) euler_level: Vec<u32>,
     pub(crate) first_occ: Vec<u32>,
     pub(crate) rmq: EulerRmq,
-    pub(crate) up: Vec<Vec<Vertex>>,
+    pub(crate) up: LiftingTable,
     pub(crate) n_tree: usize,
 }
 
 pub(crate) const UNSET: u32 = u32::MAX;
+
+/// The binary-lifting table as one flat buffer: row `k` (ancestors at
+/// distance `2^k`) occupies `data[k * cap .. (k + 1) * cap]`. Replaces the
+/// old `Vec<Vec<Vertex>>` so the whole table clones/serializes as a single
+/// contiguous copy.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct LiftingTable {
+    cap: usize,
+    data: Vec<Vertex>,
+}
+
+impl LiftingTable {
+    /// An empty table over an id space of `cap` slots.
+    pub(crate) fn new(cap: usize) -> Self {
+        LiftingTable {
+            cap,
+            data: Vec::new(),
+        }
+    }
+
+    /// Number of rows (`ceil(log2(max_level))`-ish, grown on demand).
+    pub(crate) fn rows(&self) -> usize {
+        self.data.len().checked_div(self.cap).unwrap_or(0)
+    }
+
+    /// Ancestor of `v` at distance `2^k` ([`NO_VERTEX`] when none).
+    pub(crate) fn get(&self, k: usize, v: usize) -> Vertex {
+        self.data[k * self.cap + v]
+    }
+
+    /// Write the `2^k`-ancestor of `v`.
+    pub(crate) fn set(&mut self, k: usize, v: usize, x: Vertex) {
+        self.data[k * self.cap + v] = x;
+    }
+
+    /// Append a full row (must have exactly `cap` entries).
+    pub(crate) fn push_row(&mut self, row: Vec<Vertex>) {
+        debug_assert_eq!(row.len(), self.cap, "lifting row width mismatch");
+        self.data.extend_from_slice(&row);
+    }
+}
 
 /// Range-argmin over `euler_level`, stored as a flat segment tree of
 /// *positions* into the Euler tour (so the answering vertex can be recovered).
@@ -149,7 +202,11 @@ impl TreeIndex {
         assert!((root as usize) < cap, "root outside id space");
         assert_eq!(parent[root as usize], root, "parent[root] must equal root");
 
-        let mut children: Vec<Vec<Vertex>> = vec![Vec::new(); cap];
+        // Children filled in ascending v keep every list sorted by id — the
+        // invariant the patch splice preserves. Counting first and
+        // bulk-loading the arena replaces per-push block doubling with one
+        // contiguous copy per parent.
+        let mut counts = vec![0usize; cap];
         let mut n_tree = 0usize;
         for v in 0..cap as Vertex {
             let p = parent[v as usize];
@@ -159,9 +216,24 @@ impl TreeIndex {
             n_tree += 1;
             if v != root {
                 assert_ne!(p, v, "non-root vertex {v} is its own parent");
-                children[p as usize].push(v);
+                counts[p as usize] += 1;
             }
         }
+        let mut cursor = Vec::with_capacity(cap);
+        let mut total = 0usize;
+        for &c in &counts {
+            cursor.push(total);
+            total += c;
+        }
+        let mut child_flat = vec![0 as Vertex; total];
+        for v in 0..cap as Vertex {
+            let p = parent[v as usize];
+            if p != NO_VERTEX && v != root {
+                child_flat[cursor[p as usize]] = v;
+                cursor[p as usize] += 1;
+            }
+        }
+        let children = AdjacencyArena::from_packed(&counts, &child_flat);
 
         let mut pre = vec![UNSET; cap];
         let mut post = vec![UNSET; cap];
@@ -185,8 +257,8 @@ impl TreeIndex {
         let mut pre_counter = 1u32;
         let mut post_counter = 0u32;
         while let Some(&mut (v, ref mut ci)) = stack.last_mut() {
-            if *ci < children[v as usize].len() {
-                let c = children[v as usize][*ci];
+            if *ci < children.len_of(v) {
+                let c = children.list(v)[*ci];
                 *ci += 1;
                 level[c as usize] = level[v as usize] + 1;
                 pre[c as usize] = pre_counter;
@@ -201,7 +273,8 @@ impl TreeIndex {
                 post[v as usize] = post_counter;
                 post_counter += 1;
                 post_order.push(v);
-                size[v as usize] = 1 + children[v as usize]
+                size[v as usize] = 1 + children
+                    .list(v)
                     .iter()
                     .map(|&c| size[c as usize])
                     .sum::<u32>();
@@ -232,22 +305,21 @@ impl TreeIndex {
         } else {
             (32 - max_level.leading_zeros()) as usize
         };
-        let mut up: Vec<Vec<Vertex>> = Vec::with_capacity(levels_pow);
+        let mut up = LiftingTable::new(cap);
         let mut base = vec![NO_VERTEX; cap];
         for &v in &pre_order {
             base[v as usize] = if v == root { root } else { parent[v as usize] };
         }
-        up.push(base);
+        up.push_row(base);
         for k in 1..levels_pow {
-            let prev = &up[k - 1];
             let mut row = vec![NO_VERTEX; cap];
             for &v in &pre_order {
-                let mid = prev[v as usize];
+                let mid = up.get(k - 1, v as usize);
                 if mid != NO_VERTEX {
-                    row[v as usize] = prev[mid as usize];
+                    row[v as usize] = up.get(k - 1, mid as usize);
                 }
             }
-            up.push(row);
+            up.push_row(row);
         }
 
         TreeIndex {
@@ -299,9 +371,10 @@ impl TreeIndex {
         }
     }
 
-    /// Children of `v` in traversal order.
+    /// Children of `v` in traversal order — a contiguous slice of the
+    /// shared arena pool.
     pub fn children(&self, v: Vertex) -> &[Vertex] {
-        &self.children[v as usize]
+        self.children.list(v)
     }
 
     /// Pre-order number of `v`.
@@ -404,7 +477,7 @@ impl TreeIndex {
         let mut k = 0usize;
         while diff > 0 {
             if diff & 1 == 1 {
-                cur = self.up[k][cur as usize];
+                cur = self.up.get(k, cur as usize);
             }
             diff >>= 1;
             k += 1;
@@ -535,14 +608,26 @@ impl TreeIndex {
             return Err("trailing content after `tree-end`".to_string());
         }
 
-        // Validate before the (assert-happy) rebuild.
+        Self::validate_parent_array(&parent, root)?;
+        Ok(TreeIndex::from_parent_slice(&parent, root))
+    }
+
+    /// Validate a deserialized parent array before the (assert-happy)
+    /// [`TreeIndex::from_parent_slice`] rebuild — shared by the text and
+    /// binary snapshot parsers so both reject a corrupted checkpoint with a
+    /// described `Err` rather than a panic.
+    fn validate_parent_array(parent: &[Vertex], root: Vertex) -> Result<(), String> {
+        let capacity = parent.len();
         if (root as usize) >= capacity {
             return Err(format!("root {root} outside capacity {capacity}"));
         }
         if parent[root as usize] != root {
             return Err(format!("parent[{root}] is not the root itself"));
         }
-        let mut children: Vec<Vec<Vertex>> = vec![Vec::new(); capacity];
+        // A flat child table (counts + prefix-sum cursor into one array)
+        // instead of per-vertex `Vec`s: validation runs on every recovery,
+        // so it uses the same allocation-light shape as the index build.
+        let mut counts = vec![0usize; capacity];
         let mut in_tree = 0usize;
         for v in 0..capacity as Vertex {
             let p = parent[v as usize];
@@ -562,12 +647,28 @@ impl TreeIndex {
             if parent[p as usize] == NO_VERTEX {
                 return Err(format!("vertex {v} parented to hole {p}"));
             }
-            children[p as usize].push(v);
+            counts[p as usize] += 1;
+        }
+        let mut offsets = Vec::with_capacity(capacity + 1);
+        let mut total = 0usize;
+        for &c in &counts {
+            offsets.push(total);
+            total += c;
+        }
+        offsets.push(total);
+        let mut cursor = offsets.clone();
+        let mut child_flat = vec![0 as Vertex; total];
+        for v in 0..capacity as Vertex {
+            let p = parent[v as usize];
+            if p != NO_VERTEX && v != root {
+                child_flat[cursor[p as usize]] = v;
+                cursor[p as usize] += 1;
+            }
         }
         let mut reached = 1usize;
         let mut stack = vec![root];
         while let Some(v) = stack.pop() {
-            for &c in &children[v as usize] {
+            for &c in &child_flat[offsets[v as usize]..offsets[v as usize + 1]] {
                 reached += 1;
                 stack.push(c);
             }
@@ -577,7 +678,63 @@ impl TreeIndex {
                 "parent array has {in_tree} tree vertices but only {reached} reachable from root {root} (cycle or detached component)"
             ));
         }
+        Ok(())
+    }
+
+    /// Write the tree's `pardfs-snap v1` sections into an open container
+    /// (used by [`TreeIndex::render_snapshot_binary`] and by the WAL's
+    /// composite checkpoint container):
+    ///
+    /// * `THDR` — root id and capacity (`u64` each),
+    /// * `TPAR` — the parent array, `u32` per slot with `u32::MAX` marking
+    ///   [`NO_VERTEX`] holes.
+    ///
+    /// Only the parent array and root are stored (see
+    /// [`TreeIndex::parent_slice`]), exactly as in the text codec; the reader
+    /// rebuilds every derived structure deterministically, so
+    /// `parse(render(t))` is byte-stable.
+    pub fn write_snap_sections(&self, w: &mut SnapWriter) {
+        let hdr = w.section(SEC_TREE_HEADER);
+        put_u64(hdr, self.root as u64);
+        put_u64(hdr, self.capacity() as u64);
+        let par = w.section(SEC_TREE_PARENTS);
+        for &p in &self.parent {
+            put_u32(par, p);
+        }
+    }
+
+    /// Read the tree sections written by [`TreeIndex::write_snap_sections`]
+    /// out of a verified container, applying the **same** parent-array
+    /// validation as the text parser before the rebuild.
+    pub fn read_snap_sections(r: &SnapReader<'_>) -> Result<TreeIndex, String> {
+        let mut hdr = Cursor::new(SEC_TREE_HEADER, r.section(SEC_TREE_HEADER)?);
+        let root_raw = hdr.u64()?;
+        let capacity = usize::try_from(hdr.u64()?).map_err(|_| "tree capacity overflows")?;
+        hdr.finish()?;
+        let root = Vertex::try_from(root_raw)
+            .map_err(|_| format!("tree root {root_raw} overflows the vertex id space"))?;
+        let mut par = Cursor::new(SEC_TREE_PARENTS, r.section(SEC_TREE_PARENTS)?);
+        let parent = par.u32s(capacity)?;
+        par.finish()?;
+        Self::validate_parent_array(&parent, root)?;
         Ok(TreeIndex::from_parent_slice(&parent, root))
+    }
+
+    /// Render the index as a standalone `pardfs-snap v1` binary snapshot.
+    /// See [`TreeIndex::write_snap_sections`] for the section layout.
+    pub fn render_snapshot_binary(&self) -> Vec<u8> {
+        let mut w = SnapWriter::new();
+        self.write_snap_sections(&mut w);
+        w.finish()
+    }
+
+    /// Parse a binary snapshot produced by
+    /// [`TreeIndex::render_snapshot_binary`]. Framing damage and parent-array
+    /// violations are both rejected with a description, exactly like
+    /// [`TreeIndex::parse_snapshot`].
+    pub fn parse_snapshot_binary(bytes: &[u8]) -> Result<TreeIndex, String> {
+        let r = SnapReader::parse(bytes)?;
+        Self::read_snap_sections(&r)
     }
 
     /// Deep structural comparison against `other`, checking **every** raw
@@ -927,6 +1084,49 @@ mod tests {
     }
 
     #[test]
+    fn binary_snapshot_round_trip_is_structurally_identical() {
+        let mut rng = ChaCha8Rng::seed_from_u64(4321);
+        let parent = random_parent_array(60, &mut rng);
+        let idx = TreeIndex::from_parent_slice(&parent, 0);
+        let bytes = idx.render_snapshot_binary();
+        let loaded = TreeIndex::parse_snapshot_binary(&bytes).expect("own binary snapshot parses");
+        loaded.structural_eq(&idx).expect("loaded ≡ original");
+        assert_eq!(loaded.fingerprint(), idx.fingerprint());
+        assert_eq!(
+            loaded.render_snapshot_binary(),
+            bytes,
+            "parse(render(t)) is byte-stable"
+        );
+        // Cross-codec equivalence: text and binary loads agree structurally.
+        let via_text = TreeIndex::parse_snapshot(&idx.render_snapshot()).unwrap();
+        via_text.structural_eq(&loaded).expect("text ≡ binary load");
+    }
+
+    #[test]
+    fn binary_snapshot_rejects_corruption() {
+        let idx = TreeIndex::from_parent_slice(&[0, 0, 1, NO_VERTEX], 0);
+        let good = idx.render_snapshot_binary();
+        let mut bad = good.clone();
+        bad[good.len() / 2] ^= 1;
+        assert!(TreeIndex::parse_snapshot_binary(&bad)
+            .unwrap_err()
+            .contains("checksum"));
+        assert!(TreeIndex::parse_snapshot_binary(&good[..good.len() - 5]).is_err());
+        // Parent-array damage behind a *valid* frame: a detached cycle.
+        let mut w = SnapWriter::new();
+        let hdr = w.section(SEC_TREE_HEADER);
+        put_u64(hdr, 0);
+        put_u64(hdr, 4);
+        let par = w.section(SEC_TREE_PARENTS);
+        for p in [0u32, 0, 3, 2] {
+            put_u32(par, p);
+        }
+        assert!(TreeIndex::parse_snapshot_binary(&w.finish())
+            .unwrap_err()
+            .contains("reachable"));
+    }
+
+    #[test]
     fn snapshot_with_holes_round_trips() {
         let mut parent = vec![NO_VERTEX; 10];
         parent[0] = 0;
@@ -1029,6 +1229,13 @@ mod tests {
                     "{}", loaded.structural_eq(&idx).unwrap_err());
                 prop_assert_eq!(loaded.fingerprint(), idx.fingerprint());
                 prop_assert_eq!(loaded.render_snapshot(), text);
+                // The binary codec must satisfy the same differential.
+                let bytes = idx.render_snapshot_binary();
+                let bin = TreeIndex::parse_snapshot_binary(&bytes)
+                    .expect("a rendered binary snapshot always parses");
+                prop_assert!(bin.structural_eq(&idx).is_ok(),
+                    "{}", bin.structural_eq(&idx).unwrap_err());
+                prop_assert_eq!(bin.render_snapshot_binary(), bytes);
             }
         }
     }

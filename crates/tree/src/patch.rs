@@ -221,7 +221,9 @@ impl TreeIndex {
         let mut new_children: HashMap<Vertex, Vec<Vertex>> =
             HashMap::with_capacity(old_members.len());
         for &v in &old_members {
-            let mut kids: Vec<Vertex> = self.children[v as usize]
+            let mut kids: Vec<Vertex> = self
+                .children
+                .list(v)
                 .iter()
                 .copied()
                 .filter(|c| changed_map.get(c).is_none_or(|&np| np == v))
@@ -295,7 +297,7 @@ impl TreeIndex {
             self.parent[c as usize] = p;
         }
         for (v, kids) in new_children {
-            self.children[v as usize] = kids;
+            self.children.replace(v, &kids);
         }
         for (i, &v) in order.iter().enumerate() {
             self.pre[v as usize] = pre_base + i as u32;
@@ -324,37 +326,36 @@ impl TreeIndex {
         } else {
             (32 - region_max_level.leading_zeros()) as usize
         };
-        while self.up.len() < rows_needed {
+        while self.up.rows() < rows_needed {
             // Depth grew past the table: extend with full rows (rare; each
             // extension is O(n) and depth doublings are logarithmic).
-            let prev = &self.up[self.up.len() - 1];
+            let last = self.up.rows() - 1;
             let mut row = vec![NO_VERTEX; self.parent.len()];
             for &v in &self.pre_order {
-                let mid = prev[v as usize];
+                let mid = self.up.get(last, v as usize);
                 if mid != NO_VERTEX {
-                    row[v as usize] = prev[mid as usize];
+                    row[v as usize] = self.up.get(last, mid as usize);
                 }
             }
-            self.up.push(row);
+            self.up.push_row(row);
         }
         for &v in &order {
-            self.up[0][v as usize] = if v == self.root {
+            let p = if v == self.root {
                 self.root
             } else {
                 self.parent[v as usize]
             };
+            self.up.set(0, v as usize, p);
         }
-        for k in 1..self.up.len() {
-            let (done, rest) = self.up.split_at_mut(k);
-            let prev = &done[k - 1];
-            let row = &mut rest[0];
+        for k in 1..self.up.rows() {
             for &v in &order {
-                let mid = prev[v as usize];
-                row[v as usize] = if mid != NO_VERTEX {
-                    prev[mid as usize]
+                let mid = self.up.get(k - 1, v as usize);
+                let x = if mid != NO_VERTEX {
+                    self.up.get(k - 1, mid as usize)
                 } else {
                     NO_VERTEX
                 };
+                self.up.set(k, v as usize, x);
             }
         }
 

@@ -26,13 +26,35 @@
 //!
 //! ## Crash semantics
 //!
-//! A record is only readable by recovery once its `sync` completed, and the
-//! server only publishes an epoch after its record is logged — so no reader
-//! ever observed an epoch recovery cannot reproduce. A crash mid-append
-//! leaves a **torn tail**: recovery drops it and resumes at the last
-//! complete epoch. Damage *before* intact records (interior corruption) is
-//! a hard error naming the epoch — see [`pardfs_workload::wal`] for the
-//! discrimination rule.
+//! Under the default [`SyncPolicy::EveryCommit`], a record is readable by
+//! recovery as soon as its commit is acknowledged, and the server only
+//! publishes an epoch after its record is logged — so no reader ever
+//! observed an epoch recovery cannot reproduce. A crash mid-append leaves a
+//! **torn tail**: recovery drops it and resumes at the last complete epoch.
+//! Damage *before* intact records (interior corruption) is a hard error
+//! naming the epoch — see [`pardfs_workload::wal`] for the discrimination
+//! rule.
+//!
+//! [`SyncPolicy::EveryKCommits`] trades that guarantee for throughput by
+//! grouping `fsync` across commits: records are still *written* (and framed
+//! with per-record checksums) at every commit, but only forced to disk every
+//! `k`-th commit. On a crash, **at most the last `k − 1` acknowledged
+//! epochs may be lost** — they are the newest records, so recovery still
+//! lands on a prefix of the acknowledged history, and a partially persisted
+//! record is still a torn tail (dropped, never misread). Checkpoints always
+//! `sync` regardless of policy, so a checkpoint is never ahead of the
+//! durable WAL.
+//!
+//! ## Checkpoint formats
+//!
+//! Checkpoints are written in the `pardfs-snap v1` **binary** container
+//! (`pardfs_graph::snap`): one section table carrying the WAL header
+//! sections (`CHDR` epoch+fingerprint, `CBKD` backend name) next to the
+//! graph's and the tree's flat-array sections, under a single whole-file
+//! FNV-1a64 checksum. Files produced by older builds in the line-oriented
+//! text format (magic `pardfs-checkpoint v1`) are still recovered:
+//! [`Checkpoint::parse_any`] sniffs the leading magic bytes and dispatches
+//! to the right parser.
 //!
 //! ## Recovery state machine
 //!
@@ -51,7 +73,8 @@
 #![warn(missing_docs)]
 
 use pardfs_api::{DfsMaintainer, RecoveryStats};
-use pardfs_graph::{Graph, Update};
+use pardfs_graph::snap::{put_u64, Cursor, SNAP_MAGIC};
+use pardfs_graph::{Graph, SnapReader, SnapWriter, Update};
 use pardfs_serve::{CommitLog, EpochRecord, Server};
 use pardfs_tree::TreeIndex;
 use pardfs_workload::wal::{fnv1a64, parse_wal, WalRecord, WAL_MAGIC};
@@ -60,8 +83,14 @@ use std::fs;
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
 
-/// The magic first line of every checkpoint file.
+/// The magic first line of every **legacy text** checkpoint file (still
+/// parsed for back-compat; new checkpoints are `pardfs-snap v1` binary).
 pub const CHECKPOINT_MAGIC: &str = "pardfs-checkpoint v1";
+
+/// Section tag of the binary checkpoint header (epoch, fingerprint).
+const SEC_CKPT_HEADER: [u8; 4] = *b"CHDR";
+/// Section tag of the backend name (UTF-8 bytes).
+const SEC_CKPT_BACKEND: [u8; 4] = *b"CBKD";
 
 /// Name of the WAL file inside a durability directory.
 pub const WAL_FILE: &str = "wal.log";
@@ -88,6 +117,30 @@ impl CheckpointPolicy {
     }
 }
 
+/// How often the [`WalWriter`] forces committed records to disk.
+///
+/// See the [module docs](self) for the exact loss bound: with
+/// `EveryKCommits(k)` a crash loses **at most the last `k − 1` acknowledged
+/// epochs**, always a suffix, never a torn/interior read.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SyncPolicy {
+    /// `sync_data` after every commit (no acknowledged epoch is ever lost).
+    #[default]
+    EveryCommit,
+    /// `sync_data` on every `k`-th commit (`k >= 1`; `k == 1` is equivalent
+    /// to [`SyncPolicy::EveryCommit`]).
+    EveryKCommits(u64),
+}
+
+impl SyncPolicy {
+    fn due(&self, commits_since_sync: u64) -> bool {
+        match *self {
+            SyncPolicy::EveryCommit => true,
+            SyncPolicy::EveryKCommits(k) => commits_since_sync >= k.max(1),
+        }
+    }
+}
+
 /// Where and how a server's commits are made durable.
 #[derive(Debug, Clone)]
 pub struct DurabilityConfig {
@@ -96,21 +149,30 @@ pub struct DurabilityConfig {
     pub dir: PathBuf,
     /// Checkpoint cadence.
     pub policy: CheckpointPolicy,
+    /// Fsync cadence for committed records.
+    pub sync: SyncPolicy,
 }
 
 impl DurabilityConfig {
     /// Durability in `dir` with a default policy (checkpoint every 8
-    /// epochs).
+    /// epochs, `fsync` every commit).
     pub fn new(dir: impl Into<PathBuf>) -> Self {
         DurabilityConfig {
             dir: dir.into(),
             policy: CheckpointPolicy::EveryKEpochs(8),
+            sync: SyncPolicy::EveryCommit,
         }
     }
 
     /// Select the checkpoint cadence.
     pub fn policy(mut self, policy: CheckpointPolicy) -> Self {
         self.policy = policy;
+        self
+    }
+
+    /// Select the fsync cadence (see [`SyncPolicy`] for the loss bound).
+    pub fn sync_policy(mut self, sync: SyncPolicy) -> Self {
+        self.sync = sync;
         self
     }
 
@@ -130,7 +192,7 @@ impl DurabilityConfig {
         }
         fs::create_dir_all(&self.dir)
             .map_err(|e| format!("creating {}: {e}", self.dir.display()))?;
-        let writer = WalWriter::create(self.dir.clone(), self.policy)?;
+        let writer = WalWriter::create(self.dir.clone(), self.policy, self.sync)?;
         server.set_commit_log(Box::new(writer));
         // The initial checkpoint makes the pre-WAL state durable.
         server.force_checkpoint()
@@ -166,8 +228,68 @@ impl Checkpoint {
         }
     }
 
-    /// Render the checkpoint file: header lines, the graph and tree
-    /// snapshot sections, and a whole-file checksum line.
+    /// Render the checkpoint as a `pardfs-snap v1` binary container: the
+    /// WAL header sections (`CHDR`, `CBKD`) composed with the graph's and
+    /// the tree's flat-array sections under one whole-file checksum. This is
+    /// the format [`WalWriter`] writes; [`Checkpoint::parse_any`] reads it
+    /// and the legacy text format alike.
+    pub fn render_binary(&self) -> Vec<u8> {
+        let mut w = SnapWriter::new();
+        let hdr = w.section(SEC_CKPT_HEADER);
+        put_u64(hdr, self.epoch);
+        put_u64(hdr, self.fingerprint);
+        w.section(SEC_CKPT_BACKEND)
+            .extend_from_slice(self.backend.as_bytes());
+        self.graph.write_snap_sections(&mut w);
+        self.tree.write_snap_sections(&mut w);
+        w.finish()
+    }
+
+    /// Parse a binary checkpoint produced by [`Checkpoint::render_binary`],
+    /// with the same validation as the text parser: container framing,
+    /// both snapshot sections, and the recorded tree fingerprint.
+    pub fn parse_binary(bytes: &[u8]) -> Result<Checkpoint, String> {
+        let r = SnapReader::parse(bytes)?;
+        let mut hdr = Cursor::new(SEC_CKPT_HEADER, r.section(SEC_CKPT_HEADER)?);
+        let epoch = hdr.u64()?;
+        let fingerprint = hdr.u64()?;
+        hdr.finish()?;
+        let backend = std::str::from_utf8(r.section(SEC_CKPT_BACKEND)?)
+            .map_err(|_| "checkpoint backend name is not UTF-8".to_string())?
+            .to_string();
+        let graph = Graph::read_snap_sections(&r)?;
+        let tree = TreeIndex::read_snap_sections(&r)?;
+        if tree.fingerprint() != fingerprint {
+            return Err(format!(
+                "checkpoint for epoch {epoch}: loaded tree fingerprint {:016x} disagrees with recorded {fingerprint:016x}",
+                tree.fingerprint()
+            ));
+        }
+        Ok(Checkpoint {
+            epoch,
+            backend,
+            fingerprint,
+            graph,
+            tree,
+        })
+    }
+
+    /// Parse a checkpoint file in either format: `pardfs-snap v1` binary
+    /// (sniffed by its leading magic bytes) or the legacy line-oriented text
+    /// format older builds wrote.
+    pub fn parse_any(bytes: &[u8]) -> Result<Checkpoint, String> {
+        if bytes.starts_with(&SNAP_MAGIC) {
+            return Self::parse_binary(bytes);
+        }
+        let text = std::str::from_utf8(bytes)
+            .map_err(|_| "checkpoint is neither pardfs-snap v1 nor UTF-8 text".to_string())?;
+        Self::parse(text)
+    }
+
+    /// Render the checkpoint in the **legacy text** format: header lines,
+    /// the graph and tree snapshot sections, and a whole-file checksum line.
+    /// Kept for format documentation and back-compat tests; new checkpoints
+    /// are written with [`Checkpoint::render_binary`].
     pub fn render(&self) -> String {
         let mut out = String::new();
         let _ = writeln!(out, "{CHECKPOINT_MAGIC}");
@@ -280,14 +402,21 @@ pub struct WalWriter {
     dir: PathBuf,
     file: fs::File,
     policy: CheckpointPolicy,
+    sync: SyncPolicy,
     last_checkpoint_epoch: u64,
     epochs_since_checkpoint: u64,
     bytes_since_checkpoint: u64,
+    commits_since_sync: u64,
+    syncs: u64,
 }
 
 impl WalWriter {
     /// Create a fresh WAL (magic line only) in `dir`.
-    fn create(dir: PathBuf, policy: CheckpointPolicy) -> Result<WalWriter, String> {
+    fn create(
+        dir: PathBuf,
+        policy: CheckpointPolicy,
+        sync: SyncPolicy,
+    ) -> Result<WalWriter, String> {
         let path = dir.join(WAL_FILE);
         let mut file =
             fs::File::create(&path).map_err(|e| format!("creating {}: {e}", path.display()))?;
@@ -298,17 +427,22 @@ impl WalWriter {
             dir,
             file,
             policy,
+            sync,
             last_checkpoint_epoch: 0,
             epochs_since_checkpoint: 0,
             bytes_since_checkpoint: 0,
+            commits_since_sync: 0,
+            syncs: 0,
         })
     }
 
     /// Reopen an existing WAL for append after recovery. `valid_len` is the
     /// verified prefix length — anything after it (a torn tail) is cut off.
+    #[allow(clippy::too_many_arguments)]
     fn reattach(
         dir: PathBuf,
         policy: CheckpointPolicy,
+        sync: SyncPolicy,
         checkpoint_epoch: u64,
         epochs_since: u64,
         bytes_since: u64,
@@ -326,15 +460,26 @@ impl WalWriter {
             dir,
             file,
             policy,
+            sync,
             last_checkpoint_epoch: checkpoint_epoch,
             epochs_since_checkpoint: epochs_since,
             bytes_since_checkpoint: bytes_since,
+            commits_since_sync: 0,
+            syncs: 0,
         })
     }
 
     /// Epoch of the most recent checkpoint.
     pub fn last_checkpoint_epoch(&self) -> u64 {
         self.last_checkpoint_epoch
+    }
+
+    /// Number of `sync_data` calls [`CommitLog::log_commit`] has issued over
+    /// this writer's lifetime — the observable for fsync batching: with
+    /// [`SyncPolicy::EveryKCommits`] this grows by one per `k` commits
+    /// instead of one per commit.
+    pub fn syncs_performed(&self) -> u64 {
+        self.syncs
     }
 
     fn take_checkpoint(
@@ -351,7 +496,7 @@ impl WalWriter {
         let tmp_path = self.dir.join("checkpoint.tmp");
         let mut tmp = fs::File::create(&tmp_path)
             .map_err(|e| format!("creating {}: {e}", tmp_path.display()))?;
-        tmp.write_all(ckpt.render().as_bytes())
+        tmp.write_all(&ckpt.render_binary())
             .and_then(|()| tmp.sync_all())
             .map_err(|e| format!("writing {}: {e}", tmp_path.display()))?;
         drop(tmp);
@@ -384,6 +529,8 @@ impl WalWriter {
         self.last_checkpoint_epoch = record.epoch;
         self.epochs_since_checkpoint = 0;
         self.bytes_since_checkpoint = 0;
+        // The restarted WAL was just synced; nothing is pending.
+        self.commits_since_sync = 0;
         Ok(())
     }
 }
@@ -403,8 +550,15 @@ impl CommitLog for WalWriter {
         let text = wal_record.render();
         self.file
             .write_all(text.as_bytes())
-            .and_then(|()| self.file.sync_data())
             .map_err(|e| format!("appending epoch {} to the WAL: {e}", record.epoch))?;
+        self.commits_since_sync += 1;
+        if self.sync.due(self.commits_since_sync) {
+            self.file
+                .sync_data()
+                .map_err(|e| format!("syncing epoch {} to the WAL: {e}", record.epoch))?;
+            self.commits_since_sync = 0;
+            self.syncs += 1;
+        }
         self.epochs_since_checkpoint += 1;
         self.bytes_since_checkpoint += text.len() as u64;
         if self
@@ -459,10 +613,10 @@ pub fn recover_with(
             config.dir.display()
         )
     })?;
-    let ckpt_text = fs::read_to_string(&ckpt_path)
-        .map_err(|e| format!("reading {}: {e}", ckpt_path.display()))?;
+    let ckpt_bytes =
+        fs::read(&ckpt_path).map_err(|e| format!("reading {}: {e}", ckpt_path.display()))?;
     let ckpt =
-        Checkpoint::parse(&ckpt_text).map_err(|e| format!("{}: {e}", ckpt_path.display()))?;
+        Checkpoint::parse_any(&ckpt_bytes).map_err(|e| format!("{}: {e}", ckpt_path.display()))?;
 
     let wal_path = config.dir.join(WAL_FILE);
     let wal_raw =
@@ -516,6 +670,7 @@ pub fn recover_with(
     let writer = WalWriter::reattach(
         config.dir.clone(),
         config.policy,
+        config.sync,
         ckpt.epoch,
         stats.records_replayed,
         bytes_since,
@@ -647,6 +802,123 @@ mod tests {
             Ok(_) => panic!("recovering an empty dir must fail"),
         };
         assert!(err.contains("no checkpoint"), "{err}");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn binary_checkpoint_round_trips_and_rejects_corruption() {
+        let g = generators::broom(6, 6);
+        let dfs = DynamicDfs::new(&g);
+        let ckpt = Checkpoint::capture(9, &dfs);
+        let bytes = ckpt.render_binary();
+        let parsed = Checkpoint::parse_any(&bytes).expect("own binary checkpoint parses");
+        assert_eq!(parsed.epoch, ckpt.epoch);
+        assert_eq!(parsed.backend, ckpt.backend);
+        assert_eq!(parsed.fingerprint, ckpt.fingerprint);
+        assert_eq!(parsed.graph, ckpt.graph);
+        parsed
+            .tree
+            .structural_eq(&ckpt.tree)
+            .expect("identical tree");
+        assert_eq!(parsed.render_binary(), bytes, "byte-stable round trip");
+        // Any single-byte flip breaks the whole-file checksum.
+        let mut bad = bytes.clone();
+        bad[bytes.len() / 2] ^= 1;
+        assert!(Checkpoint::parse_any(&bad)
+            .expect_err("corrupt binary checkpoint rejected")
+            .contains("checksum"));
+        assert!(Checkpoint::parse_any(&bytes[..bytes.len() - 7]).is_err());
+    }
+
+    #[test]
+    fn legacy_text_checkpoints_still_recover() {
+        // Simulate a durability directory written by an older build: a
+        // text-format checkpoint plus an empty (magic-only) WAL.
+        let dir = scratch_dir("legacy");
+        let g = generators::grid(4, 4);
+        let dfs = DynamicDfs::new(&g);
+        let ckpt = Checkpoint::capture(0, &dfs);
+        fs::write(dir.join(checkpoint_file_name(0)), ckpt.render()).unwrap();
+        fs::write(dir.join(WAL_FILE), format!("{WAL_MAGIC}\n")).unwrap();
+
+        let config = DurabilityConfig::new(&dir).policy(CheckpointPolicy::Manual);
+        let recovered = recover_with(&config, parallel_factory).expect("legacy dir recovers");
+        assert_eq!(recovered.stats.checkpoint_epoch, 0);
+        assert_eq!(
+            recovered.server.maintainer().tree().fingerprint(),
+            ckpt.fingerprint
+        );
+        // The recovered server commits and recovers again — the *new*
+        // checkpoint it eventually writes is binary, and both formats
+        // coexist in one history.
+        let mut server = recovered.server;
+        let fp = commit(&mut server, vec![Update::DeleteEdge(0, 1)]);
+        server.force_checkpoint().expect("manual checkpoint");
+        drop(server);
+        let ckpt_bytes = fs::read(dir.join(checkpoint_file_name(1))).unwrap();
+        assert!(
+            ckpt_bytes.starts_with(&SNAP_MAGIC),
+            "new checkpoints are binary"
+        );
+        let again = recover_with(&config, parallel_factory).expect("recovers from binary");
+        assert_eq!(again.server.maintainer().tree().fingerprint(), fp);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn sync_policy_batches_fsyncs() {
+        let g = generators::grid(4, 4);
+        let dfs = DynamicDfs::new(&g);
+        let fabricate = |epoch: u64| EpochRecord {
+            epoch,
+            updates: 0,
+            submissions: 0,
+            fingerprint: dfs.tree().fingerprint(),
+            num_vertices: dfs.augmented_graph().num_vertices(),
+            num_edges: dfs.augmented_graph().num_edges(),
+            rollup: Default::default(),
+            micros: 0,
+        };
+        let drive = |sync: SyncPolicy, commits: u64| -> u64 {
+            let dir = scratch_dir("syncs");
+            let mut w = WalWriter::create(dir.clone(), CheckpointPolicy::Manual, sync).unwrap();
+            for e in 1..=commits {
+                w.log_commit(&fabricate(e), &[], &dfs).unwrap();
+            }
+            let syncs = w.syncs_performed();
+            drop(w);
+            let _ = fs::remove_dir_all(&dir);
+            syncs
+        };
+        assert_eq!(drive(SyncPolicy::EveryCommit, 4), 4);
+        assert_eq!(
+            drive(SyncPolicy::EveryKCommits(1), 4),
+            4,
+            "k=1 ≡ EveryCommit"
+        );
+        assert_eq!(drive(SyncPolicy::EveryKCommits(3), 7), 2, "7 commits, k=3");
+        assert_eq!(drive(SyncPolicy::EveryKCommits(3), 9), 3);
+    }
+
+    #[test]
+    fn batched_sync_still_recovers_every_written_epoch() {
+        // Without a crash, a clean close leaves all records readable even if
+        // the final sync was still pending — and recovery replays them all.
+        let dir = scratch_dir("batched");
+        let g = generators::grid(4, 4);
+        let mut server = Server::new(Box::new(DynamicDfs::new(&g)));
+        let config = DurabilityConfig::new(&dir)
+            .policy(CheckpointPolicy::Manual)
+            .sync_policy(SyncPolicy::EveryKCommits(4));
+        config.attach(&mut server).expect("attach");
+        let mut last_fp = 0;
+        for i in 0..5u32 {
+            last_fp = commit(&mut server, vec![Update::DeleteEdge(i, i + 1)]);
+        }
+        drop(server);
+        let recovered = recover_with(&config, parallel_factory).expect("recovery succeeds");
+        assert_eq!(recovered.stats.recovered_epoch, 5);
+        assert_eq!(recovered.server.maintainer().tree().fingerprint(), last_fp);
         let _ = fs::remove_dir_all(&dir);
     }
 

@@ -95,7 +95,7 @@ pub use pardfs_graph::{Graph, Update, Vertex};
 pub use pardfs_seq::SeqRerootDfs;
 pub use pardfs_serve::{ReadHandle, Server, ShardRouter, Snapshot, WriteHandle};
 pub use pardfs_stream::StreamingDynamicDfs;
-pub use pardfs_wal::{CheckpointPolicy, DurabilityConfig, Recovered};
+pub use pardfs_wal::{CheckpointPolicy, DurabilityConfig, Recovered, SyncPolicy};
 pub use pardfs_workload::{
     ConcurrentOutcome, ConcurrentScenarioRunner, PhaseReport, Scenario, ScenarioOutcome,
     ScenarioRunner, Trace, TraceBuilder,

@@ -1,0 +1,175 @@
+//! Differential suite for the two snapshot codecs: the legacy line-oriented
+//! text format and the `pardfs-snap v1` binary container must describe the
+//! same state, and a binary-loaded structure must be indistinguishable from a
+//! freshly built one — not just equal at load time, but equally *usable*
+//! (further updates applied to both must keep them identical).
+//!
+//! Covered here at the workspace level (each crate pins its own framing
+//! details in unit tests):
+//! * binary round trip ≡ identity for [`Graph`] and
+//!   [`pardfs::tree::TreeIndex`], including byte-stability of
+//!   `render(parse(render(x)))`;
+//! * text ↔ binary cross-codec equivalence: parsing one rendering and
+//!   re-rendering through the other converges;
+//! * a binary-loaded graph stays behaviourally identical under continued
+//!   mutation;
+//! * [`Checkpoint`] containers agree across codecs and corruption anywhere in
+//!   the binary file is rejected rather than silently absorbed.
+
+use pardfs::graph::generators;
+use pardfs::seq::static_dfs_index;
+use pardfs::wal::Checkpoint;
+use pardfs::{Backend, Graph, MaintainerBuilder, Update};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// A connected random graph plus a burst of mutations so the arena has seen
+/// growth, shrinkage and vertex churn (not just a freshly packed layout).
+fn churned_graph(seed: u64) -> Graph {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut g = generators::random_connected_gnm(120, 360, &mut rng);
+    for _ in 0..60 {
+        let u = rng.gen_range(0..g.capacity() as u32);
+        let v = rng.gen_range(0..g.capacity() as u32);
+        if u != v && g.is_active(u) && g.is_active(v) && !g.has_edge(u, v) {
+            g.insert_edge(u, v);
+        }
+    }
+    for _ in 0..40 {
+        let u = rng.gen_range(0..g.capacity() as u32);
+        if g.is_active(u) && g.degree(u) > 2 {
+            let v = g.neighbors(u)[0];
+            g.delete_edge(u, v);
+        }
+    }
+    g
+}
+
+#[test]
+fn binary_loaded_graph_is_indistinguishable_from_a_freshly_built_one() {
+    let fresh = churned_graph(0xC0DEC);
+    let loaded =
+        Graph::parse_snapshot_binary(&fresh.render_snapshot_binary()).expect("own bytes parse");
+    assert_eq!(loaded, fresh, "binary round trip changed the graph");
+
+    // The loaded arena must be fully usable, not merely equal at load time:
+    // drive both copies through the same further mutations and they must
+    // stay identical (including adjacency order, which shapes DFS trees).
+    let mut a = fresh.clone();
+    let mut b = loaded;
+    let w = a.insert_vertex(&[0, 1, 2]);
+    assert_eq!(w, b.insert_vertex(&[0, 1, 2]));
+    a.delete_edge(0, a.neighbors(0)[0]);
+    b.delete_edge(0, b.neighbors(0)[0]);
+    a.insert_edge(w, 5);
+    b.insert_edge(w, 5);
+    assert_eq!(a, b, "binary-loaded graph diverged under further updates");
+    assert_eq!(
+        static_dfs_index(&a, 0).fingerprint(),
+        static_dfs_index(&b, 0).fingerprint(),
+        "binary-loaded graph produced a different DFS tree"
+    );
+}
+
+#[test]
+fn text_and_binary_graph_codecs_agree_and_binary_is_byte_stable() {
+    let g = churned_graph(0xA11CE);
+    let via_text = Graph::parse_snapshot(&g.render_snapshot()).expect("text parses");
+    let via_binary = Graph::parse_snapshot_binary(&g.render_snapshot_binary()).expect("bin parses");
+    assert_eq!(via_text, via_binary, "codecs disagree about the graph");
+
+    // Cross-codec: text-loaded state re-rendered as binary must equal the
+    // direct binary rendering — and parse(render(x)) must be byte-stable.
+    let bytes = g.render_snapshot_binary();
+    assert_eq!(via_text.render_snapshot_binary(), bytes);
+    assert_eq!(
+        Graph::parse_snapshot_binary(&bytes)
+            .unwrap()
+            .render_snapshot_binary(),
+        bytes,
+        "binary rendering is not byte-stable across a round trip"
+    );
+}
+
+#[test]
+fn text_and_binary_tree_codecs_agree_and_binary_is_byte_stable() {
+    let g = churned_graph(0x7EE);
+    let idx = static_dfs_index(&g, 0);
+    let via_text =
+        pardfs::tree::TreeIndex::parse_snapshot(&idx.render_snapshot()).expect("text parses");
+    let via_binary = pardfs::tree::TreeIndex::parse_snapshot_binary(&idx.render_snapshot_binary())
+        .expect("bin parses");
+    via_text
+        .structural_eq(&idx)
+        .expect("text round trip changed the tree");
+    via_binary
+        .structural_eq(&idx)
+        .expect("binary round trip changed the tree");
+    assert_eq!(via_binary.fingerprint(), idx.fingerprint());
+
+    let bytes = idx.render_snapshot_binary();
+    assert_eq!(via_text.render_snapshot_binary(), bytes);
+    assert_eq!(via_binary.render_snapshot_binary(), bytes);
+}
+
+#[test]
+fn checkpoint_codecs_agree_for_every_backend() {
+    let mut rng = ChaCha8Rng::seed_from_u64(0xCC);
+    let g = generators::random_connected_gnm(64, 160, &mut rng);
+    let updates: Vec<Update> = vec![
+        Update::DeleteEdge(0, g.neighbors(0)[0]),
+        Update::InsertEdge(1, 40),
+        Update::InsertVertex {
+            edges: vec![2, 3, 9],
+        },
+    ];
+    for backend in Backend::all_default() {
+        let mut dfs = MaintainerBuilder::new(backend).build(&g);
+        dfs.apply_batch(&updates);
+        let ckpt = Checkpoint::capture(7, dfs.as_ref());
+        let from_text = Checkpoint::parse(&ckpt.render()).expect("text checkpoint parses");
+        let from_binary =
+            Checkpoint::parse_any(&ckpt.render_binary()).expect("binary checkpoint parses");
+        for (label, loaded) in [("text", &from_text), ("binary", &from_binary)] {
+            assert_eq!(loaded.epoch, 7, "{label}: epoch");
+            assert_eq!(loaded.backend, ckpt.backend, "{label}: backend");
+            assert_eq!(loaded.fingerprint, ckpt.fingerprint, "{label}: fingerprint");
+            assert_eq!(loaded.graph, ckpt.graph, "{label}: graph");
+            loaded
+                .tree
+                .structural_eq(&ckpt.tree)
+                .unwrap_or_else(|e| panic!("{label}: tree diverged: {e}"));
+        }
+    }
+}
+
+#[test]
+fn corrupting_any_region_of_a_binary_checkpoint_is_rejected() {
+    let mut rng = ChaCha8Rng::seed_from_u64(0xBAD);
+    let g = generators::random_connected_gnm(48, 100, &mut rng);
+    let dfs = MaintainerBuilder::new(Backend::Sequential).build(&g);
+    let ckpt = Checkpoint::capture(3, dfs.as_ref());
+    let bytes = ckpt.render_binary();
+    assert!(Checkpoint::parse_any(&bytes).is_ok());
+
+    // Flip one byte at a spread of offsets across the whole file — magic,
+    // section table, each payload, checksum. Every flip must surface as an
+    // error: the whole-file checksum guards regions no structural validation
+    // reaches.
+    for i in (0..bytes.len()).step_by(bytes.len() / 37 + 1) {
+        let mut bad = bytes.clone();
+        bad[i] ^= 0x20;
+        assert!(
+            Checkpoint::parse_any(&bad).is_err(),
+            "flip at byte {i}/{} was silently accepted",
+            bytes.len()
+        );
+    }
+    // Truncation at any point is rejected too (never a partial load).
+    for cut in [0, 7, 8, bytes.len() / 2, bytes.len() - 1] {
+        assert!(
+            Checkpoint::parse_any(&bytes[..cut]).is_err(),
+            "truncation to {cut} bytes was silently accepted"
+        );
+    }
+}
