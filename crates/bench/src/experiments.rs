@@ -1196,6 +1196,144 @@ pub fn e15_snapshot_codec(scale: Scale) -> Table {
     t
 }
 
+/// E16 — snapshot open latency: how long until a cold reader answers its
+/// *first* query off a checkpoint file? The v1 path pays the full
+/// materializing parse — copy every array out of the buffer, rebuild the
+/// adjacency arena, rebuild the whole `TreeIndex` (Euler tour, RMQ, binary
+/// lifting — `O(n log n)`) — before it can answer anything. The v2 path
+/// opens the file with [`pardfs::MappedSnapshot`], validates the container
+/// **once** through [`pardfs::CheckpointView`] (checksum, framing, the same
+/// structural validation the parser runs), and then answers straight off
+/// the mapped bytes with zero array bytes copied. Both variants end with
+/// the same pair of first queries (a tree parent probe and a neighbourhood
+/// scan), so the ratio isolates open-to-first-answer latency — the metric
+/// that matters for the publish/open_mapped cross-process serving path.
+/// The state opened is what a deep-path-reroot trace leaves behind (the
+/// paper's adversarial regime: long paths, sparse adjacency) — the regime
+/// where checkpoints are taken most often, and where the `O(n log n)` index
+/// rebuild the v1 path cannot skip is largest relative to `m`.
+///
+/// Records stamp the open-to-first-query latency in `ns_per_update` (there
+/// is no update stream here; the name is the shared JSON field) and the
+/// checkpoint file size in `disk_bytes`.
+pub fn e16_mapped_open(scale: Scale) -> Table {
+    use std::io::Write as _;
+    let sizes: Vec<usize> = match scale {
+        Scale::Tiny => vec![64],
+        Scale::Quick => vec![192],
+        Scale::Full => vec![1024, 4096],
+    };
+    let mut t = Table::new(
+        "E16: snapshot open latency — v1 full parse vs v2 mapped zero-copy view, to first query",
+        &[
+            "backend", "path", "n", "m", "open ms", "vs v1", "mapped", "disk KiB",
+        ],
+    );
+    t.id = "E16".into();
+    for &n in &sizes {
+        let trace = Scenario::DeepPathStress.record(n, 0xE16);
+        let batches: Vec<Vec<pardfs::Update>> = trace
+            .phases
+            .iter()
+            .flat_map(|p| &p.batches)
+            .filter_map(|b| match b {
+                TraceBatch::Updates(u) => Some(u.clone()),
+                TraceBatch::Queries(_) => None,
+            })
+            .collect();
+        for backend in Backend::all_default() {
+            let builder = MaintainerBuilder::new(backend);
+            let mut server = builder.serve_single(&trace.initial_graph());
+            let writer = server.write_handle();
+            for batch in &batches {
+                writer.submit(batch.clone());
+                server.commit().expect("queued batch commits");
+            }
+            let epoch = server.read_handle().epoch();
+            let ckpt = pardfs::wal::Checkpoint::capture(epoch, server.maintainer());
+            let backend_name = server.maintainer().backend_name();
+            let probe = ckpt.tree.children(0).first().copied().unwrap_or(0);
+            let expected_parent = ckpt.tree.parent(probe);
+            let expected_deg = ckpt.graph.neighbors(0).len();
+            let dir = std::env::temp_dir().join(format!(
+                "pardfs-bench-e16-{}-{backend_name}-{n}",
+                std::process::id()
+            ));
+            let _ = std::fs::remove_dir_all(&dir);
+            std::fs::create_dir_all(&dir).expect("scratch dir");
+            let mut v1_us = f64::NAN;
+            for path_kind in ["v1-parse", "v2-mapped-open"] {
+                let file = dir.join(format!("checkpoint.{path_kind}"));
+                let body = match path_kind {
+                    "v1-parse" => ckpt.render_binary_v1(),
+                    _ => ckpt.render_binary(),
+                };
+                let mut f = std::fs::File::create(&file).expect("checkpoint file creates");
+                f.write_all(&body)
+                    .and_then(|()| f.sync_all())
+                    .expect("checkpoint file writes");
+                drop(f);
+                let mut mapped = false;
+                // Best of eight opens (page-cache and allocator jitter —
+                // each open is sub-millisecond, so noise dominates a single
+                // run; the opens are far cheaper than the trace commits).
+                let open_us = (0..8)
+                    .map(|_| {
+                        micros(|| match path_kind {
+                            "v1-parse" => {
+                                let bytes = std::fs::read(&file).expect("checkpoint reads");
+                                let loaded = pardfs::wal::Checkpoint::parse_any(&bytes)
+                                    .expect("own v1 checkpoint parses");
+                                assert_eq!(loaded.tree.parent(probe), expected_parent);
+                                assert_eq!(loaded.graph.neighbors(0).len(), expected_deg);
+                            }
+                            _ => {
+                                let map =
+                                    pardfs::MappedSnapshot::open(&file).expect("checkpoint maps");
+                                mapped = map.is_mapped();
+                                let view = pardfs::CheckpointView::parse(map.bytes())
+                                    .expect("own v2 checkpoint validates");
+                                assert_eq!(view.tree().parent(probe), expected_parent);
+                                assert_eq!(view.graph().neighbours(0).len(), expected_deg);
+                            }
+                        })
+                    })
+                    .min_by(f64::total_cmp)
+                    .expect("two runs recorded");
+                if path_kind == "v1-parse" {
+                    v1_us = open_us;
+                }
+                let disk = std::fs::metadata(&file).expect("written file").len();
+                t.records.push(BenchRecord {
+                    n: trace.n,
+                    m: trace.m(),
+                    backend: backend_name.into(),
+                    policy: path_kind.into(),
+                    ns_per_update: open_us * 1e3,
+                    disk_bytes: Some(disk),
+                    ..BenchRecord::stamped()
+                });
+                t.push_row(vec![
+                    backend_name.into(),
+                    path_kind.into(),
+                    trace.n.to_string(),
+                    trace.m().to_string(),
+                    format!("{:.3}", open_us / 1e3),
+                    format!("{:.2}x", v1_us / open_us.max(f64::MIN_POSITIVE)),
+                    if path_kind == "v1-parse" {
+                        "-".into()
+                    } else {
+                        mapped.to_string()
+                    },
+                    format!("{:.1}", disk as f64 / 1024.0),
+                ]);
+            }
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+    }
+    t
+}
+
 /// All experiments in EXPERIMENTS.md order.
 pub fn all_experiments(scale: Scale) -> Vec<Table> {
     vec![
@@ -1215,6 +1353,7 @@ pub fn all_experiments(scale: Scale) -> Vec<Table> {
         e13_serving_throughput(scale),
         e14_durability_overhead(scale),
         e15_snapshot_codec(scale),
+        e16_mapped_open(scale),
     ]
 }
 
@@ -1325,6 +1464,32 @@ mod tests {
         }
         let json = t.records_json().expect("E13 carries records");
         assert!(json.contains("\"queries_per_sec\""));
+    }
+
+    #[test]
+    fn mapped_open_measures_both_paths_per_backend() {
+        let t = e16_mapped_open(Scale::Tiny);
+        assert_eq!(t.id, "E16");
+        assert_eq!(t.rows.len(), 5 * 2, "5 backends × {{v1 parse, v2 mapped}}");
+        assert_eq!(t.records.len(), 5 * 2);
+        for path in ["v1-parse", "v2-mapped-open"] {
+            assert_eq!(
+                t.records.iter().filter(|r| r.policy == path).count(),
+                5,
+                "{path} must appear once per backend"
+            );
+        }
+        for r in &t.records {
+            assert!(
+                r.ns_per_update.is_finite() && r.ns_per_update > 0.0,
+                "{}/{}",
+                r.backend,
+                r.policy
+            );
+            assert!(r.disk_bytes.unwrap_or(0) > 0, "{}/{}", r.backend, r.policy);
+        }
+        let json = t.records_json().expect("E16 carries records");
+        assert!(json.contains("\"policy\": \"v2-mapped-open\""));
     }
 
     #[test]

@@ -38,13 +38,139 @@ impl Edge {
 pub const INVALID_VERTEX: Vertex = u32::MAX;
 
 /// Section tag of the graph binary-snapshot header (capacity, edge count).
-const SEC_GRAPH_HEADER: [u8; 4] = *b"GHDR";
+pub(crate) const SEC_GRAPH_HEADER: [u8; 4] = *b"GHDR";
 /// Section tag of the activity bitmap (capacity bits, packed into u64 words).
-const SEC_GRAPH_ACTIVE: [u8; 4] = *b"GACT";
+pub(crate) const SEC_GRAPH_ACTIVE: [u8; 4] = *b"GACT";
 /// Section tag of the per-slot degree array (`u32` per slot).
-const SEC_GRAPH_DEGREES: [u8; 4] = *b"GDEG";
+pub(crate) const SEC_GRAPH_DEGREES: [u8; 4] = *b"GDEG";
 /// Section tag of the concatenated adjacency lists, in vertex-id order.
-const SEC_GRAPH_ADJACENCY: [u8; 4] = *b"GADJ";
+pub(crate) const SEC_GRAPH_ADJACENCY: [u8; 4] = *b"GADJ";
+
+/// Validate a flat adjacency encoding — per-slot degrees plus the
+/// concatenated neighbour runs — without materializing anything: endpoint
+/// activity, capacity bounds, self loops, duplicates, symmetry and the
+/// claimed edge count, all in `O(E + n)` counting passes (no sort, no
+/// `contains` scan per edge — the latter degenerates to `O(E·deg)` on the
+/// hub vertices adversarial workloads produce). Shared by the materializing
+/// parsers
+/// ([`Graph::from_validated_flat`]) and the borrowed [`crate::GraphView`],
+/// so copies and views reject exactly the same inputs. The `degree_of` /
+/// `is_active` accessors abstract over owned `Vec`s vs borrowed file bytes.
+pub(crate) fn validate_flat_adjacency(
+    capacity: usize,
+    degree_of: impl Fn(usize) -> usize,
+    is_active: impl Fn(usize) -> bool,
+    flat: &[Vertex],
+    claimed_edges: usize,
+) -> Result<(), String> {
+    // Everything below is `O(E + n)` — two passes over the payload plus a
+    // per-vertex multiset check against counting-sorted incoming edges. This
+    // runs on every snapshot open (zero-copy views and materializing parses
+    // alike), where an earlier sort-based symmetry check dominated cold-open
+    // latency.
+    //
+    // Pass 1: per-entry representation checks, in-degree histogram, and
+    // duplicate detection (`last_from[u]` stamps the most recent vertex that
+    // listed `u` — lists are per-vertex contiguous, so a repeat stamp is a
+    // duplicate neighbour).
+    let mut in_cnt = vec![0u32; capacity];
+    let mut last_from = vec![Vertex::MAX; capacity];
+    let mut off = 0usize;
+    for v in 0..capacity {
+        let d = degree_of(v);
+        if d > flat.len() - off {
+            return Err(format!(
+                "degrees sum past the adjacency payload at vertex {v}"
+            ));
+        }
+        if d > 0 && !is_active(v) {
+            return Err(format!("inactive vertex {v} has nonzero degree"));
+        }
+        for &u in &flat[off..off + d] {
+            if (u as usize) >= capacity {
+                return Err(format!("neighbour {u} of vertex {v} outside capacity"));
+            }
+            if u as usize == v {
+                return Err(format!("self loop on vertex {v}"));
+            }
+            if !is_active(u as usize) {
+                return Err(format!("vertex {v} adjacent to inactive vertex {u}"));
+            }
+            if last_from[u as usize] == v as Vertex {
+                return Err(format!("duplicate neighbour {u} of vertex {v}"));
+            }
+            last_from[u as usize] = v as Vertex;
+            in_cnt[u as usize] += 1;
+        }
+        off += d;
+    }
+    if off != flat.len() {
+        return Err(format!(
+            "adjacency payload has {} entries, degrees sum to {off}",
+            flat.len()
+        ));
+    }
+    // In-degree must equal out-degree vertex-wise (necessary for symmetry),
+    // which also makes `in_off` the prefix sums of the out-degrees.
+    let mut in_off = vec![0u32; capacity + 1];
+    for v in 0..capacity {
+        let d = degree_of(v);
+        if in_cnt[v] as usize != d {
+            return Err(format!(
+                "asymmetric adjacency: vertex {v} has out-degree {d} but in-degree {}",
+                in_cnt[v]
+            ));
+        }
+        in_off[v + 1] = in_off[v] + in_cnt[v];
+    }
+    // Pass 2: counting-sort the incoming edges — `in_src[in_off[v]..
+    // in_off[v+1]]` becomes the multiset of vertices listing `v`, reusing
+    // `in_cnt` as the per-target write cursor.
+    let mut in_src = vec![0 as Vertex; flat.len()];
+    in_cnt.copy_from_slice(&in_off[..capacity]);
+    let mut off = 0usize;
+    for v in 0..capacity {
+        let d = degree_of(v);
+        for &u in &flat[off..off + d] {
+            let cursor = &mut in_cnt[u as usize];
+            in_src[*cursor as usize] = v as Vertex;
+            *cursor += 1;
+        }
+        off += d;
+    }
+    // Pass 3: per vertex, `+1` per outgoing neighbour and `-1` per incoming
+    // source against one shared count scratch. The two runs have equal
+    // length (checked above) and duplicates are already excluded, so on
+    // valid input every touched entry returns to zero — and any asymmetry
+    // forces some decrement negative, which is an unreciprocated edge.
+    let mut count = vec![0i32; capacity];
+    let mut off = 0usize;
+    for v in 0..capacity {
+        let d = degree_of(v);
+        for &u in &flat[off..off + d] {
+            count[u as usize] += 1;
+        }
+        for &s in &in_src[in_off[v] as usize..in_off[v + 1] as usize] {
+            let c = &mut count[s as usize];
+            *c -= 1;
+            if *c < 0 {
+                return Err(format!("asymmetric adjacency: {s} lists {v} but not back"));
+            }
+        }
+        off += d;
+    }
+    debug_assert!(
+        flat.len().is_multiple_of(2),
+        "symmetry check guarantees evenness"
+    );
+    let num_edges = flat.len() / 2;
+    if num_edges != claimed_edges {
+        return Err(format!(
+            "snapshot header claims {claimed_edges} edges, adjacency encodes {num_edges}"
+        ));
+    }
+    Ok(())
+}
 
 /// A dynamic undirected graph stored as adjacency lists in a **flat arena**:
 /// every vertex's neighbour list is a contiguous block inside one shared
@@ -425,61 +551,32 @@ impl Graph {
         active: Vec<bool>,
         claimed_edges: usize,
     ) -> Result<Graph, String> {
-        let capacity = active.len();
-        let mut keys: Vec<u64> = Vec::with_capacity(flat.len());
-        let mut off = 0usize;
-        for (v, &d) in degrees.iter().enumerate() {
-            if d > 0 && !active[v] {
-                return Err(format!("inactive vertex {v} has nonzero degree"));
-            }
-            for &u in &flat[off..off + d] {
-                if (u as usize) >= capacity {
-                    return Err(format!("neighbour {u} of vertex {v} outside capacity"));
-                }
-                if u as usize == v {
-                    return Err(format!("self loop on vertex {v}"));
-                }
-                if !active[u as usize] {
-                    return Err(format!("vertex {v} adjacent to inactive vertex {u}"));
-                }
-                keys.push(((v as u64) << 32) | u as u64);
-            }
-            off += d;
-        }
-        keys.sort_unstable();
-        if let Some(w) = keys.windows(2).find(|w| w[0] == w[1]) {
-            return Err(format!(
-                "duplicate neighbour {} of vertex {}",
-                w[0] as u32,
-                (w[0] >> 32) as u32
-            ));
-        }
-        for &k in &keys {
-            if keys.binary_search(&k.rotate_right(32)).is_err() {
-                return Err(format!(
-                    "asymmetric adjacency: {} lists {} but not back",
-                    k >> 32,
-                    k as u32
-                ));
-            }
-        }
-        debug_assert!(
-            flat.len().is_multiple_of(2),
-            "symmetry check guarantees evenness"
-        );
-        let num_edges = flat.len() / 2;
-        if num_edges != claimed_edges {
-            return Err(format!(
-                "snapshot header claims {claimed_edges} edges, adjacency encodes {num_edges}"
-            ));
-        }
+        validate_flat_adjacency(
+            active.len(),
+            |v| degrees[v],
+            |v| active[v],
+            &flat,
+            claimed_edges,
+        )?;
+        Ok(Self::assemble_validated(&degrees, &flat, active))
+    }
+
+    /// Pack an **already validated** flat adjacency encoding into a graph —
+    /// the shared materialization tail of [`Graph::from_validated_flat`] and
+    /// [`crate::GraphView::to_graph`] (which validated at view-open time and
+    /// must not pay for validation twice).
+    pub(crate) fn assemble_validated(
+        degrees: &[usize],
+        flat: &[Vertex],
+        active: Vec<bool>,
+    ) -> Graph {
         let num_active = active.iter().filter(|&&a| a).count();
-        Ok(Graph {
-            adj: AdjacencyArena::from_packed(&degrees, &flat),
+        Graph {
+            adj: AdjacencyArena::from_packed(degrees, flat),
             active,
-            num_edges,
+            num_edges: flat.len() / 2,
             num_active,
-        })
+        }
     }
 
     /// Write the graph's `pardfs-snap v1` sections into an open container
@@ -498,10 +595,10 @@ impl Graph {
     /// `render(parse(render(g))) == render(g)` byte for byte.
     pub fn write_snap_sections(&self, w: &mut SnapWriter) {
         let cap = self.capacity();
-        let hdr = w.section(SEC_GRAPH_HEADER);
+        let hdr = w.section_aligned(SEC_GRAPH_HEADER, 8);
         put_u64(hdr, cap as u64);
         put_u64(hdr, self.num_edges as u64);
-        let act = w.section(SEC_GRAPH_ACTIVE);
+        let act = w.section_aligned(SEC_GRAPH_ACTIVE, 8);
         for chunk in self.active.chunks(64) {
             let mut word = 0u64;
             for (i, &a) in chunk.iter().enumerate() {
@@ -509,11 +606,11 @@ impl Graph {
             }
             put_u64(act, word);
         }
-        let deg = w.section(SEC_GRAPH_DEGREES);
+        let deg = w.section_aligned(SEC_GRAPH_DEGREES, 8);
         for v in 0..cap as Vertex {
             put_u32(deg, self.degree(v) as u32);
         }
-        let adj = w.section(SEC_GRAPH_ADJACENCY);
+        let adj = w.section_aligned(SEC_GRAPH_ADJACENCY, 8);
         for v in 0..cap as Vertex {
             for &u in self.neighbors(v) {
                 put_u32(adj, u);
@@ -572,6 +669,16 @@ impl Graph {
     /// byte-stability guarantee; [`crate::snap`] documents the framing.
     pub fn render_snapshot_binary(&self) -> Vec<u8> {
         let mut w = SnapWriter::new();
+        self.write_snap_sections(&mut w);
+        w.finish()
+    }
+
+    /// Render the graph as a standalone `pardfs-snap` **v2** binary snapshot:
+    /// same sections as [`Graph::render_snapshot_binary`], but with the
+    /// array payloads 8-byte aligned so [`crate::GraphView`] can serve
+    /// queries straight off the (mapped) bytes without materializing.
+    pub fn render_snapshot_binary_v2(&self) -> Vec<u8> {
+        let mut w = SnapWriter::v2();
         self.write_snap_sections(&mut w);
         w.finish()
     }

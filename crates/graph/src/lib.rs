@@ -13,8 +13,14 @@
 //!   [`AdjacencyArena`] (one contiguous pool for every neighbour list).
 //! * [`Csr`] — an immutable compressed-sparse-row snapshot for cache-friendly
 //!   static traversals (a compaction of the arena).
-//! * [`snap`] — the `pardfs-snap v1` versioned binary snapshot container used
-//!   by the graph/tree binary codecs and the WAL's binary checkpoints.
+//! * [`snap`] — the `pardfs-snap` versioned binary snapshot container (v1
+//!   packed, v2 alignment-padded) used by the graph/tree binary codecs, the
+//!   WAL's binary checkpoints and published serving epochs (normative spec:
+//!   `docs/FORMATS.md`).
+//! * [`view`] / [`mapped`] — zero-copy reading: [`GraphView`] serves
+//!   neighbour queries by borrowing a v2 container's bytes in place
+//!   (validate once, borrow thereafter), and [`MappedSnapshot`] backs that
+//!   with a read-only `mmap` of a snapshot file.
 //! * [`Update`] and [`UpdateBatch`] — the update vocabulary shared by the
 //!   sequential baseline, the parallel engine, and the streaming/distributed
 //!   adaptations.
@@ -25,7 +31,10 @@
 //! * [`connectivity`] — union-find based connectivity helpers used to validate
 //!   DFS forests.
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid` so the one audited FFI/cast module ([`mapped`])
+// can opt in with a scoped `allow`; every other module in the crate remains
+// unsafe-free and the lint catches any new unsafe outside that module.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod arena;
@@ -33,12 +42,16 @@ pub mod connectivity;
 pub mod csr;
 pub mod generators;
 pub mod graph;
+pub mod mapped;
 pub mod snap;
 pub mod updates;
+pub mod view;
 
 pub use arena::AdjacencyArena;
 pub use connectivity::{connected_components, is_connected, DisjointSets};
 pub use csr::Csr;
 pub use graph::{Edge, Graph, Vertex, INVALID_VERTEX};
+pub use mapped::MappedSnapshot;
 pub use snap::{SnapReader, SnapWriter};
 pub use updates::{Update, UpdateBatch, UpdateKind};
+pub use view::GraphView;

@@ -1,7 +1,12 @@
-//! `pardfs-snap v1` — the versioned binary snapshot container.
+//! `pardfs-snap` — the versioned binary snapshot container (v1 and v2).
 //!
 //! Every binary snapshot in the workspace (graph snapshots, tree snapshots,
-//! WAL checkpoint bodies) is one self-describing file in this framing:
+//! WAL checkpoint bodies, published serving epochs) is one self-describing
+//! file in this framing. Two wire versions exist; the normative byte-level
+//! specification of both (with worked hex dumps) lives in `docs/FORMATS.md`
+//! at the repository root.
+//!
+//! **v1** (`PDFSNAP1`) packs payloads back to back:
 //!
 //! ```text
 //! offset 0        8 bytes   magic  b"PDFSNAP1"   (format + version)
@@ -11,20 +16,54 @@
 //! last 8 bytes              FNV-1a64 checksum of every preceding byte (LE)
 //! ```
 //!
+//! **v2** (`PDFSNAP2`) adds per-section **alignment**: each table entry grows
+//! an `align` field (24-byte entries: tag `[u8;4]`, align u32 LE, offset
+//! u64 LE, len u64 LE) and the writer zero-pads between payloads so every
+//! section's offset is a multiple of its declared alignment. v2 also trades
+//! the byte-wise checksum for the word-folded [`fnv1a64_words`] — same
+//! trailing-u64 framing, ~8× less checksum latency on open. Array sections
+//! (`GADJ`/`GDEG`/`GACT`/`TPAR`) declare 8-byte alignment, which is what lets
+//! [`crate::GraphView`] and the tree's `TreeView` serve `u32`/`u64` array
+//! reads *directly out of a mapped file* ([`crate::MappedSnapshot`]) with no
+//! per-array materialization — validate once at open time, borrow thereafter.
+//!
 //! Sections are looked up by four-byte tag, so consumers can compose: a WAL
 //! checkpoint embeds its own header sections next to the graph's and the
 //! tree's in a single container with a single whole-file checksum. Readers
 //! verify magic, checksum and table bounds **before** any section is
 //! interpreted, so truncation and bit flips are rejected with a description
-//! rather than misread.
+//! rather than misread. [`SnapReader::parse`] accepts both versions.
 //!
 //! All multi-byte scalars are little-endian. Writers emit sections in a
 //! deterministic order from logical state only, which is what makes
 //! `parse(render(x))` byte-stable for the graph and tree codecs built on
-//! this module.
+//! this module. The v1 writer's output is byte-for-byte what it has been
+//! since PR 8 — v2 is a new producer, not a change to the old one.
+
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// The 8-byte magic prefix of every `pardfs-snap v1` file.
 pub const SNAP_MAGIC: [u8; 8] = *b"PDFSNAP1";
+
+/// The 8-byte magic prefix of every `pardfs-snap v2` (alignment-padded) file.
+pub const SNAP_MAGIC_V2: [u8; 8] = *b"PDFSNAP2";
+
+/// Largest per-section alignment a v2 table entry may declare (one page).
+pub const MAX_SECTION_ALIGN: u32 = 4096;
+
+/// Process-wide count of array bytes *materialized* (copied out of a snapshot
+/// buffer into freshly allocated `Vec`s) by [`Cursor::u32s`] — the only array
+/// copy point in the container layer.
+///
+/// The zero-copy read path is pinned on this counter: opening a v2 container
+/// through `GraphView`/`TreeView` and answering queries must not move it,
+/// while the materializing v1 parse path must. See `tests/zero_copy.rs`.
+static COPIED_ARRAY_BYTES: AtomicU64 = AtomicU64::new(0);
+
+/// Current value of the process-wide [`Cursor::u32s`] copy counter (bytes).
+pub fn copied_array_bytes() -> u64 {
+    COPIED_ARRAY_BYTES.load(Ordering::Relaxed)
+}
 
 /// FNV-1a 64-bit hash — the whole-file checksum of the container (the same
 /// construction the WAL framing and the tree fingerprint use).
@@ -34,6 +73,36 @@ pub fn fnv1a64(bytes: &[u8]) -> u64 {
     let mut hash = FNV_OFFSET;
     for &b in bytes {
         hash ^= b as u64;
+        hash = hash.wrapping_mul(FNV_PRIME);
+    }
+    hash
+}
+
+/// FNV-1a folded over 64-bit little-endian words — the whole-file checksum
+/// of a **v2** container.
+///
+/// The byte length is folded in first (so buffers differing only in length
+/// of trailing zeros still hash differently), then each 8-byte word of the
+/// body, with the final partial word zero-padded. One multiply per 8 bytes
+/// instead of per byte cuts the checksum pass — a fixed cost *every* reader
+/// pays before it may interpret a single section — to ~1/8th, which matters
+/// on the v2 zero-copy open path where the checksum would otherwise rival
+/// the validators. v1 containers keep the byte-wise [`fnv1a64`]: their
+/// framing has been pinned byte-for-byte since PR 8.
+pub fn fnv1a64_words(bytes: &[u8]) -> u64 {
+    const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut hash = (FNV_OFFSET ^ bytes.len() as u64).wrapping_mul(FNV_PRIME);
+    let mut words = bytes.chunks_exact(8);
+    for w in words.by_ref() {
+        hash ^= u64::from_le_bytes(w.try_into().expect("8 bytes"));
+        hash = hash.wrapping_mul(FNV_PRIME);
+    }
+    let rem = words.remainder();
+    if !rem.is_empty() {
+        let mut tail = [0u8; 8];
+        tail[..rem.len()].copy_from_slice(rem);
+        hash ^= u64::from_le_bytes(tail);
         hash = hash.wrapping_mul(FNV_PRIME);
     }
     hash
@@ -49,63 +118,155 @@ pub fn put_u64(buf: &mut Vec<u8>, v: u64) {
     buf.extend_from_slice(&v.to_le_bytes());
 }
 
-/// Builder for a `pardfs-snap v1` container: append tagged sections, then
+/// Builder for a `pardfs-snap` container: append tagged sections, then
 /// [`finish`](SnapWriter::finish) into the framed byte vector.
-#[derive(Debug, Default)]
+///
+/// [`SnapWriter::new`] builds a v1 container (packed payloads, byte-stable
+/// with every container written since PR 8); [`SnapWriter::v2`] builds a v2
+/// container honouring per-section alignment requests made through
+/// [`SnapWriter::section_aligned`].
+///
+/// # Examples
+///
+/// ```
+/// use pardfs_graph::snap::{put_u64, SnapReader, SnapWriter, SNAP_MAGIC_V2};
+///
+/// let mut w = SnapWriter::v2();
+/// put_u64(w.section_aligned(*b"DATA", 8), 42);
+/// let bytes = w.finish();
+/// assert_eq!(&bytes[..8], &SNAP_MAGIC_V2);
+///
+/// let r = SnapReader::parse(&bytes).unwrap();
+/// assert_eq!(r.version(), 2);
+/// assert_eq!(r.section(*b"DATA").unwrap(), 42u64.to_le_bytes());
+/// ```
+#[derive(Debug)]
 pub struct SnapWriter {
-    sections: Vec<([u8; 4], Vec<u8>)>,
+    version: u8,
+    sections: Vec<([u8; 4], u32, Vec<u8>)>,
+}
+
+impl Default for SnapWriter {
+    fn default() -> Self {
+        SnapWriter::new()
+    }
 }
 
 impl SnapWriter {
-    /// An empty container.
+    /// An empty **v1** container (packed payloads, 20-byte table entries).
     pub fn new() -> Self {
-        Self::default()
+        SnapWriter {
+            version: 1,
+            sections: Vec::new(),
+        }
+    }
+
+    /// An empty **v2** container (aligned payloads, 24-byte table entries).
+    pub fn v2() -> Self {
+        SnapWriter {
+            version: 2,
+            sections: Vec::new(),
+        }
     }
 
     /// Start a new section with `tag` and return its payload buffer.
     /// Sections are written in the order they were started.
     pub fn section(&mut self, tag: [u8; 4]) -> &mut Vec<u8> {
-        debug_assert!(
-            !self.sections.iter().any(|(t, _)| *t == tag),
-            "duplicate section tag {tag:?}"
-        );
-        self.sections.push((tag, Vec::new()));
-        &mut self.sections.last_mut().expect("just pushed").1
+        self.section_aligned(tag, 1)
     }
 
-    /// Frame the sections: magic, table, payloads, whole-file checksum.
+    /// Start a new section with `tag`, requesting that its payload start at
+    /// a multiple of `align` bytes (a power of two, at most
+    /// [`MAX_SECTION_ALIGN`]). In a v1 container the request is recorded
+    /// nowhere and changes nothing — v1 output stays byte-identical — so
+    /// codecs can declare alignment unconditionally and let the container
+    /// version decide.
+    pub fn section_aligned(&mut self, tag: [u8; 4], align: u32) -> &mut Vec<u8> {
+        debug_assert!(
+            align.is_power_of_two() && align <= MAX_SECTION_ALIGN,
+            "section alignment must be a power of two ≤ {MAX_SECTION_ALIGN}, got {align}"
+        );
+        debug_assert!(
+            !self.sections.iter().any(|(t, _, _)| *t == tag),
+            "duplicate section tag {tag:?}"
+        );
+        self.sections.push((tag, align, Vec::new()));
+        &mut self.sections.last_mut().expect("just pushed").2
+    }
+
+    /// Frame the sections: magic, table, payloads (v2: zero-padded to each
+    /// section's alignment), whole-file checksum.
     pub fn finish(self) -> Vec<u8> {
-        let table_end = 8 + 4 + 20 * self.sections.len();
-        let payload: usize = self.sections.iter().map(|(_, b)| b.len()).sum();
-        let mut out = Vec::with_capacity(table_end + payload + 8);
-        out.extend_from_slice(&SNAP_MAGIC);
-        put_u32(&mut out, self.sections.len() as u32);
+        let entry = if self.version == 1 { 20 } else { 24 };
+        let table_end = 8 + 4 + entry * self.sections.len();
+        let mut offsets = Vec::with_capacity(self.sections.len());
         let mut offset = table_end as u64;
-        for (tag, body) in &self.sections {
-            out.extend_from_slice(tag);
-            put_u64(&mut out, offset);
-            put_u64(&mut out, body.len() as u64);
+        for (_, align, body) in &self.sections {
+            if self.version >= 2 {
+                offset = offset.next_multiple_of(*align as u64);
+            }
+            offsets.push(offset);
             offset += body.len() as u64;
         }
-        for (_, body) in &self.sections {
+        let magic = if self.version == 1 {
+            SNAP_MAGIC
+        } else {
+            SNAP_MAGIC_V2
+        };
+        let mut out = Vec::with_capacity(offset as usize + 8);
+        out.extend_from_slice(&magic);
+        put_u32(&mut out, self.sections.len() as u32);
+        for ((tag, align, body), &off) in self.sections.iter().zip(&offsets) {
+            out.extend_from_slice(tag);
+            if self.version >= 2 {
+                put_u32(&mut out, *align);
+            }
+            put_u64(&mut out, off);
+            put_u64(&mut out, body.len() as u64);
+        }
+        for ((_, _, body), &off) in self.sections.iter().zip(&offsets) {
+            out.resize(off as usize, 0); // alignment padding (v2); no-op in v1
             out.extend_from_slice(body);
         }
-        let checksum = fnv1a64(&out);
+        let checksum = if self.version == 1 {
+            fnv1a64(&out)
+        } else {
+            fnv1a64_words(&out)
+        };
         put_u64(&mut out, checksum);
         out
     }
 }
 
-/// A verified view into a `pardfs-snap v1` container: magic, checksum and
-/// section-table bounds are checked up front, then sections are served as
+/// A verified view into a `pardfs-snap` container (v1 or v2): magic, checksum
+/// and section-table bounds are checked up front, then sections are served as
 /// borrowed byte slices.
+///
+/// # Examples
+///
+/// ```
+/// use pardfs_graph::snap::{put_u32, SnapReader, SnapWriter};
+///
+/// let mut w = SnapWriter::new(); // v1
+/// put_u32(w.section(*b"NUMS"), 7);
+/// let bytes = w.finish();
+///
+/// let r = SnapReader::parse(&bytes).unwrap();
+/// assert_eq!(r.version(), 1);
+/// assert_eq!(r.section(*b"NUMS").unwrap(), 7u32.to_le_bytes());
+/// assert!(r.section(*b"ZZZZ").unwrap_err().contains("missing"));
+/// ```
 #[derive(Debug)]
 pub struct SnapReader<'a> {
-    sections: Vec<([u8; 4], &'a [u8])>,
+    version: u8,
+    base: &'a [u8],
+    sections: Vec<([u8; 4], u32, &'a [u8])>,
 }
 
 impl<'a> SnapReader<'a> {
-    /// Verify the container framing and index its sections.
+    /// Verify the container framing and index its sections. Accepts both
+    /// `PDFSNAP1` and `PDFSNAP2` containers; [`SnapReader::version`] reports
+    /// which one was parsed.
     pub fn parse(bytes: &'a [u8]) -> Result<SnapReader<'a>, String> {
         if bytes.len() < 8 + 4 + 8 {
             return Err(format!(
@@ -113,30 +274,56 @@ impl<'a> SnapReader<'a> {
                 bytes.len()
             ));
         }
-        if bytes[..8] != SNAP_MAGIC {
-            return Err("not a pardfs-snap v1 container (bad magic)".to_string());
-        }
+        let version = if bytes[..8] == SNAP_MAGIC {
+            1
+        } else if bytes[..8] == SNAP_MAGIC_V2 {
+            2
+        } else {
+            return Err("not a pardfs-snap v1/v2 container (bad magic)".to_string());
+        };
         let body_end = bytes.len() - 8;
         let recorded = u64::from_le_bytes(bytes[body_end..].try_into().expect("8 bytes"));
-        if fnv1a64(&bytes[..body_end]) != recorded {
+        let actual = if version == 1 {
+            fnv1a64(&bytes[..body_end])
+        } else {
+            fnv1a64_words(&bytes[..body_end])
+        };
+        if actual != recorded {
             return Err("binary snapshot checksum mismatch (file is corrupt)".to_string());
         }
         let count = u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes")) as usize;
-        let table_end = 8usize + 4 + 20 * count;
+        let entry = if version == 1 { 20 } else { 24 };
+        let table_end = 8usize + 4 + entry * count;
         if table_end > body_end {
             return Err(format!(
                 "binary snapshot section table ({count} sections) exceeds the file"
             ));
         }
-        let mut sections = Vec::with_capacity(count);
+        let mut sections: Vec<([u8; 4], u32, &'a [u8])> = Vec::with_capacity(count);
         for i in 0..count {
-            let at = 12 + 20 * i;
+            let at = 12 + entry * i;
             let tag: [u8; 4] = bytes[at..at + 4].try_into().expect("4 bytes");
-            let offset = u64::from_le_bytes(bytes[at + 4..at + 12].try_into().expect("8 bytes"));
-            let len = u64::from_le_bytes(bytes[at + 12..at + 20].try_into().expect("8 bytes"));
+            let (align, at) = if version == 1 {
+                (1u32, at + 4)
+            } else {
+                let a = u32::from_le_bytes(bytes[at + 4..at + 8].try_into().expect("4 bytes"));
+                (a, at + 8)
+            };
+            if !align.is_power_of_two() || align > MAX_SECTION_ALIGN {
+                return Err(format!(
+                    "section {tag:?} declares invalid alignment {align}"
+                ));
+            }
+            let offset = u64::from_le_bytes(bytes[at..at + 8].try_into().expect("8 bytes"));
+            let len = u64::from_le_bytes(bytes[at + 8..at + 16].try_into().expect("8 bytes"));
             let (Ok(offset), Ok(len)) = (usize::try_from(offset), usize::try_from(len)) else {
                 return Err(format!("section {tag:?} offset/length overflows"));
             };
+            if !offset.is_multiple_of(align as usize) {
+                return Err(format!(
+                    "section {tag:?} at offset {offset} violates its declared {align}-byte alignment"
+                ));
+            }
             let end = offset
                 .checked_add(len)
                 .ok_or_else(|| format!("section {tag:?} offset/length overflows"))?;
@@ -145,20 +332,29 @@ impl<'a> SnapReader<'a> {
                     "section {tag:?} [{offset}, {end}) escapes the container body"
                 ));
             }
-            if sections.iter().any(|(t, _): &([u8; 4], _)| *t == tag) {
+            if sections.iter().any(|(t, _, _)| *t == tag) {
                 return Err(format!("duplicate section tag {tag:?}"));
             }
-            sections.push((tag, &bytes[offset..end]));
+            sections.push((tag, align, &bytes[offset..end]));
         }
-        Ok(SnapReader { sections })
+        Ok(SnapReader {
+            version,
+            base: bytes,
+            sections,
+        })
+    }
+
+    /// The container version that was parsed (1 or 2).
+    pub fn version(&self) -> u8 {
+        self.version
     }
 
     /// The payload of the section tagged `tag`.
     pub fn section(&self, tag: [u8; 4]) -> Result<&'a [u8], String> {
         self.sections
             .iter()
-            .find(|(t, _)| *t == tag)
-            .map(|(_, body)| *body)
+            .find(|(t, _, _)| *t == tag)
+            .map(|(_, _, body)| *body)
             .ok_or_else(|| {
                 format!(
                     "binary snapshot is missing its `{}` section",
@@ -166,9 +362,44 @@ impl<'a> SnapReader<'a> {
                 )
             })
     }
+
+    /// The declared alignment of the section tagged `tag` (always 1 in v1).
+    pub fn section_align(&self, tag: [u8; 4]) -> Result<u32, String> {
+        self.sections
+            .iter()
+            .find(|(t, _, _)| *t == tag)
+            .map(|(_, align, _)| *align)
+            .ok_or_else(|| {
+                format!(
+                    "binary snapshot is missing its `{}` section",
+                    String::from_utf8_lossy(&tag)
+                )
+            })
+    }
+
+    /// The `(offset, len)` of the section tagged `tag` within the parsed
+    /// buffer — what a mapped reader records so it can re-bind a borrowed
+    /// view of the same (already validated) bytes later without re-parsing.
+    pub fn section_range(&self, tag: [u8; 4]) -> Result<(usize, usize), String> {
+        let body = self.section(tag)?;
+        let offset = body.as_ptr() as usize - self.base.as_ptr() as usize;
+        Ok((offset, body.len()))
+    }
 }
 
 /// Sequential little-endian scalar reader over a section payload.
+///
+/// # Examples
+///
+/// ```
+/// use pardfs_graph::snap::Cursor;
+///
+/// let data = [7u8, 0, 0, 0, 1, 0, 0, 0, 2, 0, 0, 0];
+/// let mut c = Cursor::new(*b"DEMO", &data);
+/// assert_eq!(c.u32().unwrap(), 7);
+/// assert_eq!(c.u32s(2).unwrap(), vec![1, 2]);
+/// c.finish().unwrap(); // everything consumed, no trailing bytes
+/// ```
 #[derive(Debug)]
 pub struct Cursor<'a> {
     data: &'a [u8],
@@ -207,9 +438,14 @@ impl<'a> Cursor<'a> {
     }
 
     /// Read `n` consecutive `u32` LE values in one bounds check — the array
-    /// fast path the flat-section parsers are built on.
+    /// fast path the materializing flat-section parsers are built on. Every
+    /// call charges `4 * n` bytes to the process-wide
+    /// [`copied_array_bytes`] counter; the borrowed view types
+    /// ([`crate::GraphView`], the tree's `TreeView`) never call it, which is
+    /// how "zero bytes copied on the view read path" is testable.
     pub fn u32s(&mut self, n: usize) -> Result<Vec<u32>, String> {
         let bytes = self.need(4 * n)?;
+        COPIED_ARRAY_BYTES.fetch_add(4 * n as u64, Ordering::Relaxed);
         Ok(bytes
             .chunks_exact(4)
             .map(|c| u32::from_le_bytes(c.try_into().expect("4")))
@@ -249,6 +485,7 @@ mod tests {
         assert_eq!(&bytes[..8], &SNAP_MAGIC);
 
         let r = SnapReader::parse(&bytes).expect("own container parses");
+        assert_eq!(r.version(), 1);
         let mut c = Cursor::new(*b"AAAA", r.section(*b"AAAA").unwrap());
         assert_eq!(c.u64().unwrap(), 7);
         c.finish().unwrap();
@@ -259,24 +496,96 @@ mod tests {
     }
 
     #[test]
-    fn corruption_and_truncation_are_rejected() {
+    fn v1_framing_is_byte_stable() {
+        // The exact bytes the v1 writer has emitted since PR 8 — pinned so
+        // the v2 work provably did not change the legacy producer.
         let mut w = SnapWriter::new();
-        put_u64(w.section(*b"AAAA"), 7);
-        let good = w.finish();
+        put_u32(w.section(*b"ONLY"), 5);
+        let bytes = w.finish();
+        let mut expect = Vec::new();
+        expect.extend_from_slice(b"PDFSNAP1");
+        put_u32(&mut expect, 1); // section count
+        expect.extend_from_slice(b"ONLY");
+        put_u64(&mut expect, 32); // offset: 8 + 4 + 20
+        put_u64(&mut expect, 4); // len
+        put_u32(&mut expect, 5); // payload
+        let sum = fnv1a64(&expect);
+        put_u64(&mut expect, sum);
+        assert_eq!(bytes, expect);
+    }
 
-        // Any single bit flip breaks the whole-file checksum.
-        for at in [0, 9, 13, good.len() / 2] {
-            let mut bad = good.clone();
-            bad[at] ^= 0x40;
-            let err = SnapReader::parse(&bad).unwrap_err();
-            assert!(
-                err.contains("checksum") || err.contains("magic"),
-                "flip at {at}: {err}"
-            );
-        }
-        // Truncation (including a cut inside the trailing checksum).
-        for cut in [0, 8, good.len() - 1, good.len() - 9] {
-            assert!(SnapReader::parse(&good[..cut]).is_err(), "cut at {cut}");
+    #[test]
+    fn v2_sections_honour_their_declared_alignment() {
+        let mut w = SnapWriter::v2();
+        w.section(*b"ODDB").push(0xAB); // 1-byte section to knock offsets askew
+        let b = w.section_aligned(*b"AL8B", 8);
+        put_u64(b, 0x1122_3344_5566_7788);
+        put_u32(w.section_aligned(*b"AL4B", 4), 9);
+        let bytes = w.finish();
+        assert_eq!(&bytes[..8], &SNAP_MAGIC_V2);
+
+        let r = SnapReader::parse(&bytes).expect("own v2 container parses");
+        assert_eq!(r.version(), 2);
+        let (off8, len8) = r.section_range(*b"AL8B").unwrap();
+        assert_eq!(off8 % 8, 0, "AL8B starts at {off8}");
+        assert_eq!(len8, 8);
+        assert_eq!(r.section_align(*b"AL8B").unwrap(), 8);
+        let (off4, _) = r.section_range(*b"AL4B").unwrap();
+        assert_eq!(off4 % 4, 0, "AL4B starts at {off4}");
+        assert_eq!(r.section(*b"ODDB").unwrap(), &[0xAB]);
+        assert_eq!(
+            r.section(*b"AL8B").unwrap(),
+            &0x1122_3344_5566_7788u64.to_le_bytes()
+        );
+    }
+
+    #[test]
+    fn v2_rejects_misaligned_table_entries_and_bad_alignments() {
+        // Hand-corrupt a v2 table so a section's offset violates its declared
+        // alignment, re-stamping the checksum so only the alignment check can
+        // reject it.
+        let mut w = SnapWriter::v2();
+        put_u64(w.section_aligned(*b"AAAA", 8), 7);
+        let good = w.finish();
+        let mut bad = good[..good.len() - 8].to_vec();
+        // Table entry at 12: tag(4) align(4) offset(8). Bump offset by 1.
+        let off = u64::from_le_bytes(bad[20..28].try_into().unwrap());
+        bad[20..28].copy_from_slice(&(off + 1).to_le_bytes());
+        let sum = fnv1a64_words(&bad);
+        put_u64(&mut bad, sum);
+        assert!(SnapReader::parse(&bad).unwrap_err().contains("alignment"));
+
+        // A non-power-of-two declared alignment is rejected outright.
+        let mut bad = good[..good.len() - 8].to_vec();
+        bad[16..20].copy_from_slice(&3u32.to_le_bytes());
+        let sum = fnv1a64_words(&bad);
+        put_u64(&mut bad, sum);
+        assert!(SnapReader::parse(&bad)
+            .unwrap_err()
+            .contains("invalid alignment"));
+    }
+
+    #[test]
+    fn corruption_and_truncation_are_rejected() {
+        for writer in [SnapWriter::new(), SnapWriter::v2()] {
+            let mut w = writer;
+            put_u64(w.section_aligned(*b"AAAA", 8), 7);
+            let good = w.finish();
+
+            // Any single bit flip breaks the whole-file checksum.
+            for at in [0, 9, 13, good.len() / 2] {
+                let mut bad = good.clone();
+                bad[at] ^= 0x40;
+                let err = SnapReader::parse(&bad).unwrap_err();
+                assert!(
+                    err.contains("checksum") || err.contains("magic"),
+                    "flip at {at}: {err}"
+                );
+            }
+            // Truncation (including a cut inside the trailing checksum).
+            for cut in [0, 8, good.len() - 1, good.len() - 9] {
+                assert!(SnapReader::parse(&good[..cut]).is_err(), "cut at {cut}");
+            }
         }
         // A section table pointing past the body: rebuild with a lying count.
         let empty = SnapWriter::new().finish();
@@ -296,5 +605,14 @@ mod tests {
         assert_eq!(c.u32().unwrap(), 1);
         assert!(c.u64().unwrap_err().contains("truncated"));
         assert!(c.finish().unwrap_err().contains("trailing"));
+    }
+
+    #[test]
+    fn u32s_charges_the_copy_counter() {
+        let before = copied_array_bytes();
+        let data = [0u8; 16];
+        let mut c = Cursor::new(*b"TEST", &data);
+        c.u32s(4).unwrap();
+        assert!(copied_array_bytes() >= before + 16);
     }
 }

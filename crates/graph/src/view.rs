@@ -1,0 +1,264 @@
+//! [`GraphView`] — a borrowed, zero-copy read surface over the graph
+//! sections of a `pardfs-snap` container.
+//!
+//! Where [`crate::Graph::read_snap_sections`] copies every array out of the
+//! file into freshly allocated storage and rebuilds the arena, a `GraphView`
+//! **validates once and borrows thereafter**: the one construction pass runs
+//! the exact same representation checks as the materializing parser (shared
+//! code, so both reject the same inputs), and every subsequent
+//! [`GraphView::neighbours`] call is a slice of the original bytes — zero
+//! `GADJ` bytes are ever copied on the read path (pinned by the
+//! [`crate::snap::copied_array_bytes`] counter in `tests/zero_copy.rs`).
+//!
+//! Borrowing `u32` arrays straight out of file bytes requires the payloads
+//! to be 4-byte aligned, which is what the v2 container's 8-byte section
+//! alignment (plus the 8-byte-aligned base of [`crate::MappedSnapshot`])
+//! guarantees; a misaligned buffer is rejected with a description, not
+//! mis-read. See `docs/FORMATS.md` for the byte-level layout.
+
+use crate::graph::{
+    validate_flat_adjacency, Graph, Vertex, SEC_GRAPH_ACTIVE, SEC_GRAPH_ADJACENCY,
+    SEC_GRAPH_DEGREES, SEC_GRAPH_HEADER,
+};
+use crate::mapped::cast_u32s;
+use crate::snap::{Cursor, SnapReader};
+
+/// Is bit `v` set in a little-endian packed `u64`-word bitmap, addressed as
+/// raw bytes? (Bit `v` of LE word `v / 64` is bit `v % 8` of byte `v / 8`.)
+fn bit(bytes: &[u8], v: usize) -> bool {
+    (bytes[v / 8] >> (v % 8)) & 1 == 1
+}
+
+/// A validated, borrowed view of a graph snapshot: the `GHDR`/`GACT`/
+/// `GDEG`/`GADJ` sections served in place.
+///
+/// Construction ([`GraphView::parse`]) is the only pass over the data — it
+/// verifies the same invariants as the materializing parser (activity of
+/// endpoints, capacity bounds, self loops, duplicates, symmetry, claimed
+/// edge count) and derives a prefix-sum offset table over the degrees (the
+/// one small owned allocation, `capacity + 1` words of *metadata*, not
+/// payload). After that, queries are bounds-checked slicing.
+///
+/// # Examples
+///
+/// ```
+/// use pardfs_graph::{Graph, GraphView};
+/// use pardfs_graph::snap::SnapReader;
+///
+/// let mut g = Graph::new(3);
+/// g.insert_edge(0, 1);
+/// g.insert_edge(1, 2);
+///
+/// let bytes = g.render_snapshot_binary_v2();
+/// let r = SnapReader::parse(&bytes).unwrap();
+/// let view = GraphView::parse(&r).unwrap();
+/// assert_eq!(view.num_edges(), 2);
+/// assert_eq!(view.neighbours(1), &[0, 2]); // borrowed straight from `bytes`
+/// assert_eq!(view.to_graph(), g);          // materializes only on request
+/// ```
+#[derive(Debug)]
+pub struct GraphView<'a> {
+    capacity: usize,
+    num_edges: usize,
+    num_active: usize,
+    active: &'a [u8],
+    degrees: &'a [u32],
+    adj: &'a [u32],
+    offsets: Vec<usize>,
+}
+
+impl<'a> GraphView<'a> {
+    /// Validate the graph sections of a parsed container and borrow them.
+    ///
+    /// Requires the `GDEG`/`GADJ` payloads to sit at 4-byte-aligned
+    /// addresses (v2 containers in an aligned buffer always do; v1's packed
+    /// layout or a misaligned buffer is rejected with an error naming the
+    /// alignment problem, and the caller falls back to the copying parser).
+    pub fn parse(r: &SnapReader<'a>) -> Result<GraphView<'a>, String> {
+        let mut hdr = Cursor::new(SEC_GRAPH_HEADER, r.section(SEC_GRAPH_HEADER)?);
+        let capacity = usize::try_from(hdr.u64()?).map_err(|_| "graph capacity overflows")?;
+        let claimed_edges =
+            usize::try_from(hdr.u64()?).map_err(|_| "graph edge count overflows")?;
+        hdr.finish()?;
+
+        let active = r.section(SEC_GRAPH_ACTIVE)?;
+        if active.len() != capacity.div_ceil(64) * 8 {
+            return Err(format!(
+                "activity bitmap is {} bytes for capacity {capacity}",
+                active.len()
+            ));
+        }
+        for v in capacity..active.len() * 8 {
+            if bit(active, v) {
+                return Err("activity bitmap has bits set past the capacity".to_string());
+            }
+        }
+
+        let deg_bytes = r.section(SEC_GRAPH_DEGREES)?;
+        if deg_bytes.len() != 4 * capacity {
+            return Err(format!(
+                "degree section is {} bytes for capacity {capacity}",
+                deg_bytes.len()
+            ));
+        }
+        let degrees = cast_u32s(deg_bytes).map_err(|e| format!("GDEG section: {e}"))?;
+
+        let mut offsets = Vec::with_capacity(capacity + 1);
+        let mut total = 0usize;
+        for &d in degrees {
+            offsets.push(total);
+            total += d as usize;
+        }
+        offsets.push(total);
+
+        let adj_bytes = r.section(SEC_GRAPH_ADJACENCY)?;
+        if adj_bytes.len() != 4 * total {
+            return Err(format!(
+                "adjacency section is {} bytes, degrees sum to {total} entries",
+                adj_bytes.len()
+            ));
+        }
+        let adj = cast_u32s(adj_bytes).map_err(|e| format!("GADJ section: {e}"))?;
+
+        validate_flat_adjacency(
+            capacity,
+            |v| degrees[v] as usize,
+            |v| bit(active, v),
+            adj,
+            claimed_edges,
+        )?;
+        let num_active = (0..capacity).filter(|&v| bit(active, v)).count();
+        Ok(GraphView {
+            capacity,
+            num_edges: claimed_edges,
+            num_active,
+            active,
+            degrees,
+            adj,
+            offsets,
+        })
+    }
+
+    /// Vertex-id space size (including inactive holes).
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of edges.
+    pub fn num_edges(&self) -> usize {
+        self.num_edges
+    }
+
+    /// Number of active vertices.
+    pub fn num_active(&self) -> usize {
+        self.num_active
+    }
+
+    /// Is vertex `v` active?
+    pub fn is_active(&self, v: Vertex) -> bool {
+        (v as usize) < self.capacity && bit(self.active, v as usize)
+    }
+
+    /// Degree of vertex `v` (0 for inactive vertices).
+    pub fn degree(&self, v: Vertex) -> usize {
+        self.degrees[v as usize] as usize
+    }
+
+    /// The neighbour list of `v`, **in stored order**, borrowed straight
+    /// from the snapshot bytes.
+    pub fn neighbours(&self, v: Vertex) -> &'a [Vertex] {
+        &self.adj[self.offsets[v as usize]..self.offsets[v as usize + 1]]
+    }
+
+    /// Materialize an owned [`Graph`] from the view — the one deliberate
+    /// copy point, paid only when a caller genuinely needs a mutable graph
+    /// (e.g. a maintainer's `from_state` resume). Validation already
+    /// happened at [`GraphView::parse`] time and is **not** repeated.
+    pub fn to_graph(&self) -> Graph {
+        let degrees: Vec<usize> = self.degrees.iter().map(|&d| d as usize).collect();
+        let active: Vec<bool> = (0..self.capacity).map(|v| bit(self.active, v)).collect();
+        Graph::assemble_validated(&degrees, self.adj, active)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+    use rand::SeedableRng;
+
+    fn sample() -> Graph {
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(42);
+        generators::random_connected_gnm(48, 120, &mut rng)
+    }
+
+    #[test]
+    fn view_agrees_with_the_materializing_parser() {
+        let g = sample();
+        let bytes = g.render_snapshot_binary_v2();
+        let r = SnapReader::parse(&bytes).unwrap();
+        let view = GraphView::parse(&r).unwrap();
+        assert_eq!(view.capacity(), g.capacity());
+        assert_eq!(view.num_edges(), g.num_edges());
+        assert_eq!(view.num_active(), g.num_vertices());
+        for v in 0..g.capacity() as Vertex {
+            assert_eq!(view.is_active(v), g.is_active(v));
+            assert_eq!(view.neighbours(v), g.neighbors(v), "vertex {v}");
+        }
+        assert_eq!(view.to_graph(), g);
+        // And the v2 bytes also still parse through the copying path.
+        assert_eq!(Graph::parse_snapshot_binary(&bytes).unwrap(), g);
+    }
+
+    #[test]
+    fn view_rejects_misaligned_buffers_instead_of_misreading_them() {
+        // Slide a valid v2 container across every byte residue inside one
+        // allocation: exactly the shifts that land GDEG/GADJ off a 4-byte
+        // boundary must be rejected (with an error naming alignment), and
+        // the aligned shifts must parse identically.
+        let g = sample();
+        let bytes = g.render_snapshot_binary_v2();
+        let r = SnapReader::parse(&bytes).unwrap();
+        let (deg_off, _) = r.section_range(SEC_GRAPH_DEGREES).unwrap();
+        let mut arena = vec![0u8; bytes.len() + 4];
+        let mut saw_misaligned = false;
+        for shift in 0..4usize {
+            arena[shift..shift + bytes.len()].copy_from_slice(&bytes);
+            let slice = &arena[shift..shift + bytes.len()];
+            let r = SnapReader::parse(slice).unwrap();
+            if (slice.as_ptr() as usize + deg_off).is_multiple_of(4) {
+                assert_eq!(GraphView::parse(&r).unwrap().to_graph(), g);
+            } else {
+                saw_misaligned = true;
+                assert!(GraphView::parse(&r).unwrap_err().contains("align"));
+            }
+        }
+        assert!(saw_misaligned, "4 shifts must cover a misaligned residue");
+    }
+
+    #[test]
+    fn view_rejects_structural_corruption_like_the_parser_does() {
+        let g = sample();
+        let good = g.render_snapshot_binary_v2();
+        let r = SnapReader::parse(&good).unwrap();
+        let (adj_off, adj_len) = r.section_range(SEC_GRAPH_ADJACENCY).unwrap();
+        assert!(adj_len >= 8);
+        // Break symmetry: overwrite one adjacency entry, re-stamp checksum.
+        let mut bad = good[..good.len() - 8].to_vec();
+        let cur = u32::from_le_bytes(bad[adj_off..adj_off + 4].try_into().unwrap());
+        let replacement = (0..g.capacity() as Vertex)
+            .find(|&u| g.is_active(u) && u != cur && !g.neighbors(0).contains(&u))
+            .unwrap_or(cur);
+        bad[adj_off..adj_off + 4].copy_from_slice(&replacement.to_le_bytes());
+        let sum = crate::snap::fnv1a64_words(&bad);
+        crate::snap::put_u64(&mut bad, sum);
+        let r = SnapReader::parse(&bad).unwrap();
+        let view_err = GraphView::parse(&r);
+        let parse_err = Graph::read_snap_sections(&r);
+        assert_eq!(
+            view_err.is_err(),
+            parse_err.is_err(),
+            "view and parser must agree"
+        );
+    }
+}

@@ -19,9 +19,9 @@ use pardfs_graph::snap::{put_u32, put_u64, Cursor, SnapReader, SnapWriter};
 use pardfs_graph::{AdjacencyArena, Vertex};
 
 /// Section tag of the tree binary-snapshot header (root, capacity).
-const SEC_TREE_HEADER: [u8; 4] = *b"THDR";
+pub(crate) const SEC_TREE_HEADER: [u8; 4] = *b"THDR";
 /// Section tag of the parent array (`u32` per slot, `u32::MAX` for holes).
-const SEC_TREE_PARENTS: [u8; 4] = *b"TPAR";
+pub(crate) const SEC_TREE_PARENTS: [u8; 4] = *b"TPAR";
 
 /// Structural index of a rooted tree.
 ///
@@ -614,9 +614,10 @@ impl TreeIndex {
 
     /// Validate a deserialized parent array before the (assert-happy)
     /// [`TreeIndex::from_parent_slice`] rebuild — shared by the text and
-    /// binary snapshot parsers so both reject a corrupted checkpoint with a
-    /// described `Err` rather than a panic.
-    fn validate_parent_array(parent: &[Vertex], root: Vertex) -> Result<(), String> {
+    /// binary snapshot parsers **and** the borrowed [`crate::TreeView`], so
+    /// every path rejects a corrupted checkpoint with a described `Err`
+    /// rather than a panic, and views and copies reject the same inputs.
+    pub(crate) fn validate_parent_array(parent: &[Vertex], root: Vertex) -> Result<(), String> {
         let capacity = parent.len();
         if (root as usize) >= capacity {
             return Err(format!("root {root} outside capacity {capacity}"));
@@ -694,10 +695,10 @@ impl TreeIndex {
     /// rebuilds every derived structure deterministically, so
     /// `parse(render(t))` is byte-stable.
     pub fn write_snap_sections(&self, w: &mut SnapWriter) {
-        let hdr = w.section(SEC_TREE_HEADER);
+        let hdr = w.section_aligned(SEC_TREE_HEADER, 8);
         put_u64(hdr, self.root as u64);
         put_u64(hdr, self.capacity() as u64);
-        let par = w.section(SEC_TREE_PARENTS);
+        let par = w.section_aligned(SEC_TREE_PARENTS, 8);
         for &p in &self.parent {
             put_u32(par, p);
         }
@@ -724,6 +725,16 @@ impl TreeIndex {
     /// See [`TreeIndex::write_snap_sections`] for the section layout.
     pub fn render_snapshot_binary(&self) -> Vec<u8> {
         let mut w = SnapWriter::new();
+        self.write_snap_sections(&mut w);
+        w.finish()
+    }
+
+    /// Render the index as a standalone `pardfs-snap` **v2** binary
+    /// snapshot: same sections as [`TreeIndex::render_snapshot_binary`] but
+    /// with the `TPAR` payload 8-byte aligned, so [`crate::TreeView`] can
+    /// answer parent/forest queries straight off the (mapped) bytes.
+    pub fn render_snapshot_binary_v2(&self) -> Vec<u8> {
+        let mut w = SnapWriter::v2();
         self.write_snap_sections(&mut w);
         w.finish()
     }

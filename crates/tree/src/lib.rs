@@ -37,8 +37,10 @@ pub mod index;
 pub mod patch;
 pub mod paths;
 pub mod rooted;
+pub mod view;
 
 pub use index::TreeIndex;
 pub use pardfs_graph::Vertex;
 pub use patch::{PatchOutcome, TreePatch};
 pub use rooted::{RootedTree, NO_VERTEX};
+pub use view::TreeView;

@@ -47,14 +47,17 @@
 //!
 //! ## Checkpoint formats
 //!
-//! Checkpoints are written in the `pardfs-snap v1` **binary** container
-//! (`pardfs_graph::snap`): one section table carrying the WAL header
-//! sections (`CHDR` epoch+fingerprint, `CBKD` backend name) next to the
-//! graph's and the tree's flat-array sections, under a single whole-file
-//! FNV-1a64 checksum. Files produced by older builds in the line-oriented
-//! text format (magic `pardfs-checkpoint v1`) are still recovered:
-//! [`Checkpoint::parse_any`] sniffs the leading magic bytes and dispatches
-//! to the right parser.
+//! Checkpoints are written in the `pardfs-snap` **v2** binary container
+//! (`pardfs_graph::snap`, normative spec in `docs/FORMATS.md`): one section
+//! table carrying the WAL header sections (`CHDR` epoch+fingerprint, `CBKD`
+//! backend name) next to the graph's and the tree's flat-array sections,
+//! under a single whole-file FNV-1a64 checksum, with the array payloads
+//! 8-byte aligned so recovery can open the file as a borrowed
+//! [`CheckpointView`] (validate once on the mapped bytes, materialize
+//! arenas only when the backend factory runs). Files produced by older
+//! builds — `pardfs-snap v1` binary or the line-oriented text format (magic
+//! `pardfs-checkpoint v1`) — are still recovered: [`Checkpoint::parse_any`]
+//! sniffs the leading magic bytes and dispatches to the right parser.
 //!
 //! ## Recovery state machine
 //!
@@ -73,10 +76,10 @@
 #![warn(missing_docs)]
 
 use pardfs_api::{DfsMaintainer, RecoveryStats};
-use pardfs_graph::snap::{put_u64, Cursor, SNAP_MAGIC};
-use pardfs_graph::{Graph, SnapReader, SnapWriter, Update};
+use pardfs_graph::snap::{put_u64, Cursor, SNAP_MAGIC, SNAP_MAGIC_V2};
+use pardfs_graph::{Graph, GraphView, MappedSnapshot, SnapReader, SnapWriter, Update};
 use pardfs_serve::{CommitLog, EpochRecord, Server};
-use pardfs_tree::TreeIndex;
+use pardfs_tree::{TreeIndex, TreeView};
 use pardfs_workload::wal::{fnv1a64, parse_wal, WalRecord, WAL_MAGIC};
 use std::fmt::Write as _;
 use std::fs;
@@ -84,7 +87,7 @@ use std::io::Write as _;
 use std::path::{Path, PathBuf};
 
 /// The magic first line of every **legacy text** checkpoint file (still
-/// parsed for back-compat; new checkpoints are `pardfs-snap v1` binary).
+/// parsed for back-compat; new checkpoints are `pardfs-snap v2` binary).
 pub const CHECKPOINT_MAGIC: &str = "pardfs-checkpoint v1";
 
 /// Section tag of the binary checkpoint header (epoch, fingerprint).
@@ -228,14 +231,28 @@ impl Checkpoint {
         }
     }
 
-    /// Render the checkpoint as a `pardfs-snap v1` binary container: the
-    /// WAL header sections (`CHDR`, `CBKD`) composed with the graph's and
-    /// the tree's flat-array sections under one whole-file checksum. This is
-    /// the format [`WalWriter`] writes; [`Checkpoint::parse_any`] reads it
-    /// and the legacy text format alike.
+    /// Render the checkpoint as a `pardfs-snap` **v2** binary container:
+    /// the WAL header sections (`CHDR`, `CBKD`) composed with the graph's
+    /// and the tree's flat-array sections under one whole-file checksum,
+    /// with the array payloads 8-byte aligned so recovery (and any other
+    /// reader) can serve the file as a borrowed [`CheckpointView`] without
+    /// materializing. This is the format [`WalWriter`] writes;
+    /// [`Checkpoint::parse_any`] reads it, the v1 container and the legacy
+    /// text format alike.
     pub fn render_binary(&self) -> Vec<u8> {
-        let mut w = SnapWriter::new();
-        let hdr = w.section(SEC_CKPT_HEADER);
+        self.render_into(SnapWriter::v2())
+    }
+
+    /// Render the checkpoint as a `pardfs-snap` **v1** (packed) container —
+    /// the format PR 8 builds wrote. Kept as a real producer so the
+    /// cross-version differential tests and the E16 open-latency benchmark
+    /// compare against genuine v1 bytes, not a simulation.
+    pub fn render_binary_v1(&self) -> Vec<u8> {
+        self.render_into(SnapWriter::new())
+    }
+
+    fn render_into(&self, mut w: SnapWriter) -> Vec<u8> {
+        let hdr = w.section_aligned(SEC_CKPT_HEADER, 8);
         put_u64(hdr, self.epoch);
         put_u64(hdr, self.fingerprint);
         w.section(SEC_CKPT_BACKEND)
@@ -274,15 +291,15 @@ impl Checkpoint {
         })
     }
 
-    /// Parse a checkpoint file in either format: `pardfs-snap v1` binary
-    /// (sniffed by its leading magic bytes) or the legacy line-oriented text
-    /// format older builds wrote.
+    /// Parse a checkpoint file in any supported format: `pardfs-snap` v2 or
+    /// v1 binary (sniffed by their leading magic bytes) or the legacy
+    /// line-oriented text format older builds wrote.
     pub fn parse_any(bytes: &[u8]) -> Result<Checkpoint, String> {
-        if bytes.starts_with(&SNAP_MAGIC) {
+        if bytes.starts_with(&SNAP_MAGIC) || bytes.starts_with(&SNAP_MAGIC_V2) {
             return Self::parse_binary(bytes);
         }
         let text = std::str::from_utf8(bytes)
-            .map_err(|_| "checkpoint is neither pardfs-snap v1 nor UTF-8 text".to_string())?;
+            .map_err(|_| "checkpoint is neither pardfs-snap binary nor UTF-8 text".to_string())?;
         Self::parse(text)
     }
 
@@ -361,6 +378,127 @@ impl Checkpoint {
             graph,
             tree,
         })
+    }
+}
+
+/// A **borrowed, zero-copy view** of a `pardfs-snap v2` binary checkpoint:
+/// the header fields plus [`GraphView`]/[`TreeView`]s over the mapped (or
+/// aligned in-memory) bytes.
+///
+/// Parsing validates everything exactly once — container framing and
+/// checksum, then the same graph/tree representation invariants the
+/// materializing [`Checkpoint::parse_binary`] enforces (shared validator
+/// code) — and thereafter every read borrows the underlying buffer. Nothing
+/// is copied until [`CheckpointView::materialize`], which is deliberately
+/// deferred to the moment a backend's `from_state` resume actually needs
+/// owned arenas. The recorded tree fingerprint is verified there (the view
+/// itself cannot compute a pre-order fingerprint without building the
+/// index); until then the whole-file checksum vouches for the bytes.
+///
+/// # Examples
+///
+/// ```
+/// use pardfs_wal::{Checkpoint, CheckpointView};
+/// use pardfs_graph::Graph;
+/// use pardfs_tree::{RootedTree, TreeIndex};
+///
+/// # fn demo() -> Result<(), String> {
+/// let mut g = Graph::new(2);
+/// g.insert_edge(0, 1);
+/// let mut t = RootedTree::new(2, 0);
+/// t.set_parent(1, 0);
+/// let tree = TreeIndex::build(&t);
+/// let ckpt = Checkpoint {
+///     epoch: 9,
+///     backend: "sequential".into(),
+///     fingerprint: tree.fingerprint(),
+///     graph: g,
+///     tree,
+/// };
+/// let bytes = ckpt.render_binary(); // v2 container
+/// let view = CheckpointView::parse(&bytes)?;
+/// assert_eq!(view.epoch, 9);
+/// assert_eq!(view.backend(), "sequential");
+/// assert_eq!(view.graph().neighbours(1), &[0]); // borrowed from `bytes`
+/// let (graph, tree) = view.materialize()?;       // copies, exactly once
+/// assert_eq!(graph, ckpt.graph);
+/// # Ok(()) }
+/// # demo().unwrap();
+/// ```
+#[derive(Debug)]
+pub struct CheckpointView<'a> {
+    /// Epoch the state was captured at.
+    pub epoch: u64,
+    /// Tree fingerprint recorded at capture time (verified on
+    /// [`CheckpointView::materialize`]).
+    pub fingerprint: u64,
+    backend: &'a str,
+    graph: GraphView<'a>,
+    tree: TreeView<'a>,
+}
+
+impl<'a> CheckpointView<'a> {
+    /// Validate a v2 binary checkpoint and borrow its state. Rejects v1
+    /// containers (their packed payloads are not alignment-safe to borrow —
+    /// use [`Checkpoint::parse_any`]) with an error saying so.
+    pub fn parse(bytes: &'a [u8]) -> Result<CheckpointView<'a>, String> {
+        let r = SnapReader::parse(bytes)?;
+        if r.version() < 2 {
+            return Err(
+                "zero-copy checkpoint views need a pardfs-snap v2 container; \
+                 parse v1 checkpoints with the materializing parser"
+                    .to_string(),
+            );
+        }
+        let mut hdr = Cursor::new(SEC_CKPT_HEADER, r.section(SEC_CKPT_HEADER)?);
+        let epoch = hdr.u64()?;
+        let fingerprint = hdr.u64()?;
+        hdr.finish()?;
+        let backend = std::str::from_utf8(r.section(SEC_CKPT_BACKEND)?)
+            .map_err(|_| "checkpoint backend name is not UTF-8".to_string())?;
+        let graph = GraphView::parse(&r)?;
+        let tree = TreeView::parse(&r)?;
+        Ok(CheckpointView {
+            epoch,
+            fingerprint,
+            backend,
+            graph,
+            tree,
+        })
+    }
+
+    /// Backend name of the maintainer that produced the checkpoint.
+    pub fn backend(&self) -> &'a str {
+        self.backend
+    }
+
+    /// The augmented graph, served in place.
+    pub fn graph(&self) -> &GraphView<'a> {
+        &self.graph
+    }
+
+    /// The maintained DFS tree, served in place.
+    pub fn tree(&self) -> &TreeView<'a> {
+        &self.tree
+    }
+
+    /// Materialize owned state for a backend resume — the single copy point
+    /// of the view-based recovery path. Validation is **not** repeated (it
+    /// ran at [`CheckpointView::parse`] time); the recorded tree fingerprint
+    /// is verified against the rebuilt index here, exactly as
+    /// [`Checkpoint::parse_binary`] does.
+    pub fn materialize(&self) -> Result<(Graph, TreeIndex), String> {
+        let graph = self.graph.to_graph();
+        let tree = self.tree.to_index();
+        if tree.fingerprint() != self.fingerprint {
+            return Err(format!(
+                "checkpoint for epoch {}: loaded tree fingerprint {:016x} disagrees with recorded {:016x}",
+                self.epoch,
+                tree.fingerprint(),
+                self.fingerprint
+            ));
+        }
+        Ok((graph, tree))
     }
 }
 
@@ -613,10 +751,25 @@ pub fn recover_with(
             config.dir.display()
         )
     })?;
-    let ckpt_bytes =
-        fs::read(&ckpt_path).map_err(|e| format!("reading {}: {e}", ckpt_path.display()))?;
-    let ckpt =
-        Checkpoint::parse_any(&ckpt_bytes).map_err(|e| format!("{}: {e}", ckpt_path.display()))?;
+    // Open the checkpoint as a mapped, borrowed view when it is a v2
+    // container: one validation pass over the mapped bytes, **no** array
+    // materialization until the backend factory actually needs owned state.
+    // v1-binary and legacy-text checkpoints take the copying parser.
+    let mapped = MappedSnapshot::open(&ckpt_path)
+        .map_err(|e| format!("opening {}: {e}", ckpt_path.display()))?;
+    let ckpt_bytes = mapped.bytes();
+    let (ckpt_epoch, ckpt_fingerprint, graph, tree) = if ckpt_bytes.starts_with(&SNAP_MAGIC_V2) {
+        let view = CheckpointView::parse(ckpt_bytes)
+            .map_err(|e| format!("{}: {e}", ckpt_path.display()))?;
+        let (graph, tree) = view
+            .materialize()
+            .map_err(|e| format!("{}: {e}", ckpt_path.display()))?;
+        (view.epoch, view.fingerprint, graph, tree)
+    } else {
+        let ckpt = Checkpoint::parse_any(ckpt_bytes)
+            .map_err(|e| format!("{}: {e}", ckpt_path.display()))?;
+        (ckpt.epoch, ckpt.fingerprint, ckpt.graph, ckpt.tree)
+    };
 
     let wal_path = config.dir.join(WAL_FILE);
     let wal_raw =
@@ -628,25 +781,25 @@ pub fn recover_with(
     let wal_text = String::from_utf8_lossy(&wal_raw);
     let parsed = parse_wal(&wal_text).map_err(|e| e.to_string())?;
 
-    let mut dfs = factory(ckpt.graph, ckpt.tree)?;
-    if dfs.tree().fingerprint() != ckpt.fingerprint {
+    let mut dfs = factory(graph, tree)?;
+    if dfs.tree().fingerprint() != ckpt_fingerprint {
         return Err(format!(
             "rebuilt maintainer's tree fingerprint {:016x} disagrees with the checkpoint's {:016x}",
             dfs.tree().fingerprint(),
-            ckpt.fingerprint
+            ckpt_fingerprint
         ));
     }
 
     let mut stats = RecoveryStats {
-        checkpoint_epoch: ckpt.epoch,
-        recovered_epoch: ckpt.epoch,
+        checkpoint_epoch: ckpt_epoch,
+        recovered_epoch: ckpt_epoch,
         records_replayed: 0,
         updates_replayed: 0,
         torn_records_dropped: parsed.torn_records_dropped,
         wal_bytes,
     };
     let mut bytes_since = 0u64;
-    for record in parsed.records.iter().filter(|r| r.epoch > ckpt.epoch) {
+    for record in parsed.records.iter().filter(|r| r.epoch > ckpt_epoch) {
         if record.epoch != stats.recovered_epoch + 1 {
             return Err(format!(
                 "WAL resumes at epoch {} but recovery is at epoch {} — a record is missing",
@@ -671,7 +824,7 @@ pub fn recover_with(
         config.dir.clone(),
         config.policy,
         config.sync,
-        ckpt.epoch,
+        ckpt_epoch,
         stats.records_replayed,
         bytes_since,
         wal_bytes - parsed.torn_bytes_dropped,
@@ -857,8 +1010,8 @@ mod tests {
         drop(server);
         let ckpt_bytes = fs::read(dir.join(checkpoint_file_name(1))).unwrap();
         assert!(
-            ckpt_bytes.starts_with(&SNAP_MAGIC),
-            "new checkpoints are binary"
+            ckpt_bytes.starts_with(&SNAP_MAGIC_V2),
+            "new checkpoints are v2 binary"
         );
         let again = recover_with(&config, parallel_factory).expect("recovers from binary");
         assert_eq!(again.server.maintainer().tree().fingerprint(), fp);

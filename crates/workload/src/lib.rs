@@ -13,7 +13,8 @@
 //! * [`trace`] — the versioned, line-delimited **trace format**: a seeded
 //!   header, the initial edge list, and a body of interleaved update batches
 //!   and query batches, with optional recorded fingerprints for regression
-//!   replay (format spec below);
+//!   replay (format spec below and, normatively, in `docs/FORMATS.md` at
+//!   the repository root);
 //! * [`scenario`] + [`runner`] — six named **scenario families** beyond the
 //!   static graphs (preferential-attachment growth with aging deletions,
 //!   component merge/split storms, hub-death cascades, adversarial deep-path

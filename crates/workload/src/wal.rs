@@ -1,7 +1,7 @@
 //! The write-ahead-log record format (`pardfs-wal v1`): trace-as-WAL.
 //!
 //! A WAL is plain UTF-8 text, like a trace — and deliberately *of* the trace
-//! format: each record's **body** is a valid `pardfs-trace v1` body segment
+//! format (normative spec: `docs/FORMATS.md` at the repository root): each record's **body** is a valid `pardfs-trace v1` body segment
 //! (a `batch update <k>` block in the canonical rendering of
 //! [`trace`](crate::trace), followed by a `fingerprint tree <hex16>` line),
 //! so a WAL can be read with the same eyes (and mostly the same parser) as

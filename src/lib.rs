@@ -91,11 +91,12 @@ pub use pardfs_api::{
 };
 pub use pardfs_congest::DistributedDynamicDfs;
 pub use pardfs_core::{DynamicDfs, FaultTolerantDfs, Strategy};
-pub use pardfs_graph::{Graph, Update, Vertex};
+pub use pardfs_graph::{Graph, GraphView, MappedSnapshot, Update, Vertex};
 pub use pardfs_seq::SeqRerootDfs;
-pub use pardfs_serve::{ReadHandle, Server, ShardRouter, Snapshot, WriteHandle};
+pub use pardfs_serve::{MappedEpoch, ReadHandle, Server, ShardRouter, Snapshot, WriteHandle};
 pub use pardfs_stream::StreamingDynamicDfs;
-pub use pardfs_wal::{CheckpointPolicy, DurabilityConfig, Recovered, SyncPolicy};
+pub use pardfs_tree::TreeView;
+pub use pardfs_wal::{CheckpointPolicy, CheckpointView, DurabilityConfig, Recovered, SyncPolicy};
 pub use pardfs_workload::{
     ConcurrentOutcome, ConcurrentScenarioRunner, PhaseReport, Scenario, ScenarioOutcome,
     ScenarioRunner, Trace, TraceBuilder,

@@ -1,8 +1,9 @@
-//! Differential suite for the two snapshot codecs: the legacy line-oriented
-//! text format and the `pardfs-snap v1` binary container must describe the
-//! same state, and a binary-loaded structure must be indistinguishable from a
-//! freshly built one — not just equal at load time, but equally *usable*
-//! (further updates applied to both must keep them identical).
+//! Differential suite for the snapshot codecs: the legacy line-oriented
+//! text format, the `pardfs-snap v1` binary container and the v2
+//! (alignment-padded) container must all describe the same state, and a
+//! binary-loaded structure must be indistinguishable from a freshly built
+//! one — not just equal at load time, but equally *usable* (further updates
+//! applied to both must keep them identical).
 //!
 //! Covered here at the workspace level (each crate pins its own framing
 //! details in unit tests):
@@ -13,12 +14,16 @@
 //!   re-rendering through the other converges;
 //! * a binary-loaded graph stays behaviourally identical under continued
 //!   mutation;
-//! * [`Checkpoint`] containers agree across codecs and corruption anywhere in
-//!   the binary file is rejected rather than silently absorbed.
+//! * [`Checkpoint`] containers agree across **all three** codecs — and the
+//!   zero-copy [`CheckpointView`] over the v2 bytes materializes the same
+//!   state — for every backend;
+//! * corruption at *every byte offset* and truncation at *every length* of
+//!   both binary generations is rejected rather than silently absorbed, by
+//!   the materializing parser and the view alike.
 
 use pardfs::graph::generators;
 use pardfs::seq::static_dfs_index;
-use pardfs::wal::Checkpoint;
+use pardfs::wal::{Checkpoint, CheckpointView};
 use pardfs::{Backend, Graph, MaintainerBuilder, Update};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
@@ -128,9 +133,29 @@ fn checkpoint_codecs_agree_for_every_backend() {
         dfs.apply_batch(&updates);
         let ckpt = Checkpoint::capture(7, dfs.as_ref());
         let from_text = Checkpoint::parse(&ckpt.render()).expect("text checkpoint parses");
-        let from_binary =
-            Checkpoint::parse_any(&ckpt.render_binary()).expect("binary checkpoint parses");
-        for (label, loaded) in [("text", &from_text), ("binary", &from_binary)] {
+        let from_v1 =
+            Checkpoint::parse_any(&ckpt.render_binary_v1()).expect("v1 checkpoint parses");
+        let v2 = ckpt.render_binary();
+        let from_v2 = Checkpoint::parse_any(&v2).expect("v2 checkpoint parses");
+        // The zero-copy view over the v2 bytes must materialize the same
+        // state the copying parsers produce.
+        let view = CheckpointView::parse(&v2).expect("v2 checkpoint validates as a view");
+        assert_eq!(view.epoch, 7);
+        assert_eq!(view.backend(), ckpt.backend);
+        let (view_graph, view_tree) = view.materialize().expect("view materializes");
+        let from_view = Checkpoint {
+            epoch: view.epoch,
+            backend: view.backend().to_string(),
+            fingerprint: view.fingerprint,
+            graph: view_graph,
+            tree: view_tree,
+        };
+        for (label, loaded) in [
+            ("text", &from_text),
+            ("v1", &from_v1),
+            ("v2", &from_v2),
+            ("view", &from_view),
+        ] {
             assert_eq!(loaded.epoch, 7, "{label}: epoch");
             assert_eq!(loaded.backend, ckpt.backend, "{label}: backend");
             assert_eq!(loaded.fingerprint, ckpt.fingerprint, "{label}: fingerprint");
@@ -149,27 +174,58 @@ fn corrupting_any_region_of_a_binary_checkpoint_is_rejected() {
     let g = generators::random_connected_gnm(48, 100, &mut rng);
     let dfs = MaintainerBuilder::new(Backend::Sequential).build(&g);
     let ckpt = Checkpoint::capture(3, dfs.as_ref());
-    let bytes = ckpt.render_binary();
-    assert!(Checkpoint::parse_any(&bytes).is_ok());
+    for (gen, bytes) in [
+        ("v1", ckpt.render_binary_v1()),
+        ("v2", ckpt.render_binary()),
+    ] {
+        assert!(
+            Checkpoint::parse_any(&bytes).is_ok(),
+            "{gen}: good bytes parse"
+        );
 
-    // Flip one byte at a spread of offsets across the whole file — magic,
-    // section table, each payload, checksum. Every flip must surface as an
-    // error: the whole-file checksum guards regions no structural validation
-    // reaches.
-    for i in (0..bytes.len()).step_by(bytes.len() / 37 + 1) {
-        let mut bad = bytes.clone();
-        bad[i] ^= 0x20;
-        assert!(
-            Checkpoint::parse_any(&bad).is_err(),
-            "flip at byte {i}/{} was silently accepted",
-            bytes.len()
-        );
-    }
-    // Truncation at any point is rejected too (never a partial load).
-    for cut in [0, 7, 8, bytes.len() / 2, bytes.len() - 1] {
-        assert!(
-            Checkpoint::parse_any(&bytes[..cut]).is_err(),
-            "truncation to {cut} bytes was silently accepted"
-        );
+        // Flip one byte at *every* offset of the file — magic, section
+        // table, alignment padding, each payload, checksum. Every flip must
+        // surface as an error through the materializing parser, and through
+        // the zero-copy view for v2: the whole-file checksum guards regions
+        // no structural validation reaches.
+        for i in 0..bytes.len() {
+            let mut bad = bytes.clone();
+            bad[i] ^= 0x20;
+            assert!(
+                Checkpoint::parse_any(&bad).is_err(),
+                "{gen}: flip at byte {i}/{} was silently accepted",
+                bytes.len()
+            );
+            if gen == "v2" {
+                assert!(
+                    CheckpointView::parse(&bad).is_err(),
+                    "{gen}: flip at byte {i}/{} was accepted by the view",
+                    bytes.len()
+                );
+            }
+        }
+        // Truncation at *every* length is rejected too (never a partial
+        // load), by both paths.
+        for cut in 0..bytes.len() {
+            assert!(
+                Checkpoint::parse_any(&bytes[..cut]).is_err(),
+                "{gen}: truncation to {cut} bytes was silently accepted"
+            );
+            if gen == "v2" {
+                assert!(
+                    CheckpointView::parse(&bytes[..cut]).is_err(),
+                    "{gen}: truncation to {cut} bytes was accepted by the view"
+                );
+            }
+        }
+        // A v1 body never validates as a zero-copy view (no alignment
+        // guarantee to borrow against) — it must be *rejected*, not
+        // misread.
+        if gen == "v1" {
+            assert!(
+                CheckpointView::parse(&bytes).unwrap_err().contains("v2"),
+                "a v1 checkpoint must not open as a view"
+            );
+        }
     }
 }
