@@ -10,7 +10,7 @@
 //! ```
 //!
 //! Experiments that carry [`pardfs_bench::BenchRecord`] rows (E1, E2, E9,
-//! E10, E11, E12, E13, E14, E15, E16) also emit `BENCH_<id>.json` into the current directory
+//! E10, E11, E12, E13, E14, E15, E16, E17) also emit `BENCH_<id>.json` into the current directory
 //! (override with `--json-dir <dir>`), so the perf trajectory is recorded as
 //! data, not just prose.
 //!
@@ -119,10 +119,13 @@ fn main() {
     if want("e16") {
         tables.push(exp::e16_mapped_open(scale));
     }
+    if want("e17") {
+        tables.push(exp::e17_write_amplification(scale));
+    }
 
     if tables.is_empty() {
         eprintln!(
-            "unknown experiment id; use e1 e2 e3 e3b e4 e5 e6 e7 e8 e9 e10 e11 e12 e13 e14 e15 e16 or all"
+            "unknown experiment id; use e1 e2 e3 e3b e4 e5 e6 e7 e8 e9 e10 e11 e12 e13 e14 e15 e16 e17 or all"
         );
         std::process::exit(2);
     }

@@ -19,13 +19,15 @@ use std::path::PathBuf;
 
 /// The corpus: `(scenario, n, seed)` triples, one file each. Small enough
 /// to read in a code review, varied enough to cover vertex churn, component
-/// storms, deep reroots, hub cascades and the read-mostly service shape.
+/// storms, deep reroots, hub cascades, the read-mostly service shape, and
+/// the multi-component partition storm that stresses sharded serving.
 const CORPUS: &[(Scenario, usize, u64)] = &[
     (Scenario::MergeSplitStorm, 64, 1001),
     (Scenario::DeepPathStress, 64, 1002),
     (Scenario::VertexChurn, 48, 1003),
     (Scenario::HubDeathCascade, 72, 1004),
     (Scenario::ReadMostly, 64, 1005),
+    (Scenario::PartitionStorm, 64, 1006),
 ];
 
 fn main() {

@@ -19,8 +19,8 @@ use pardfs::seq::augment::AugmentedGraph;
 use pardfs::seq::static_dfs::static_dfs;
 use pardfs::tree::TreeIndex;
 use pardfs::{
-    Backend, CheckpointPolicy, ConcurrentScenarioRunner, DfsMaintainer, DurabilityConfig,
-    IndexPolicy, MaintainerBuilder, RebuildPolicy, Scenario, Strategy,
+    Backend, CheckpointPolicy, ConcurrentOutcome, ConcurrentScenarioRunner, DfsMaintainer,
+    DurabilityConfig, IndexPolicy, MaintainerBuilder, RebuildPolicy, Scenario, Strategy,
 };
 use std::collections::HashMap;
 use std::time::Instant;
@@ -1334,6 +1334,225 @@ pub fn e16_mapped_open(scale: Scale) -> Table {
     t
 }
 
+/// The E17 workload: a deterministic **multi-component churn** trace —
+/// four disjoint path clusters, six waves of intra-cluster edge churn and
+/// vertex growth (never bridging), then one final merge wave that bridges
+/// two cluster pairs. This is the steady serving regime partitioned
+/// sharding exists for: components persist, so ownership stays spread
+/// across shards and each shard applies only its own share. (The
+/// `partition-storm` *corpus* trace is deliberately not used here: its
+/// bridge waves merge every cluster into one component, and since splits
+/// never migrate state back, one shard ends up owning the whole forest —
+/// the right stress for the migration differential suite, the wrong regime
+/// for a write-amplification headline.) The final merge wave still forces
+/// cross-shard migrations, so the measured runs exercise the full v2
+/// machinery.
+fn e17_multi_component_trace(n: usize) -> pardfs::Trace {
+    use pardfs::scenario::{TraceBuilder, TraceQuery};
+    use pardfs::Update;
+
+    const CLUSTERS: usize = 4;
+    let cs = (n / CLUSTERS).max(8);
+    let cap = CLUSTERS * cs;
+    let mut edges: Vec<(u32, u32)> = Vec::new();
+    for c in 0..CLUSTERS {
+        let base = (c * cs) as u32;
+        for i in 0..cs as u32 - 1 {
+            edges.push((base + i, base + i + 1));
+        }
+    }
+    let g = pardfs::Graph::with_edges(cap, &edges);
+    let mut b = TraceBuilder::new("multi-component-churn", 0xE17, &g);
+    let mut queries = rng(0xE17);
+    for wave in 0..6u32 {
+        b.phase(&format!("churn-{wave}"));
+        for c in 0..CLUSTERS {
+            let base = (c * cs) as u32;
+            // Rewire one path edge, add a fresh chord, grow the cluster by
+            // one attached vertex (the insert is what exercises the
+            // partitioned router's id-allocation echoes).
+            let i = base + (wave * 3) % (cs as u32 - 1);
+            b.push_update(Update::DeleteEdge(i, i + 1));
+            b.push_update(Update::InsertEdge(i, i + 1));
+            b.push_update(Update::InsertEdge(base, base + 2 + wave));
+            b.push_update(Update::InsertVertex {
+                edges: vec![base + 1],
+            });
+        }
+        b.push_query(TraceQuery::ForestRoots);
+        b.random_queries(8, &mut queries);
+    }
+    // The merge wave: bridge clusters 0–1 and 2–3. Both bridges join
+    // components owned by different shards at k ∈ {2, 3} (labels 0..3 map
+    // to owners 0,1,0,1 and 0,1,2,0), so each forces a state migration.
+    b.phase("merge");
+    b.push_update(Update::InsertEdge(0, cs as u32));
+    b.push_update(Update::InsertEdge((2 * cs) as u32, (3 * cs) as u32));
+    b.push_query(TraceQuery::SameComponent(0, (2 * cs - 1) as u32));
+    b.random_queries(8, &mut queries);
+    b.finish()
+}
+
+/// E17 — sharded write amplification: a multi-component churn trace (four
+/// disjoint clusters, intra-cluster churn, a final cross-cluster merge
+/// wave — see `e17_multi_component_trace`) served through both sharded
+/// routing modes at k ∈ {2, 3} shards, per backend. The **replicated** v1
+/// [`pardfs::ShardRouter`] broadcasts every batch, so each shard applies the
+/// full update stream; the **partitioned** v2 [`pardfs::PartitionedRouter`]
+/// routes each update to the shard owning its component, paying only
+/// id-allocation echoes and cross-shard merge migrations on top of its own
+/// share (normative spec: `docs/SHARDING.md`).
+///
+/// The headline metric is **updates applied per shard** (the busiest
+/// shard's applied count, stamped into `updates_per_shard`): replication
+/// pins it to the whole stream, partitioning must keep it strictly below —
+/// the experiment aborts otherwise, so a committed `BENCH_E17.json` is
+/// itself the proof. `amp` is the aggregate amplification (updates applied
+/// across all shards over distinct updates: exactly `k` for replication,
+/// near 1 for partitioning), `kq/s` the served read throughput at 2
+/// readers, `migr` the cross-shard component merges the partitioned run
+/// survived (the merge wave must force at least one). Every run asserts a
+/// zero torn-view census. `ns_per_update` records mean ns *per query*
+/// (`1e9 / qps`) as in E13, keeping the gate's positive-timing invariant.
+pub fn e17_write_amplification(scale: Scale) -> Table {
+    let n = match scale {
+        Scale::Tiny => 64,
+        Scale::Quick => 192,
+        Scale::Full => 768,
+    };
+    let trace = e17_multi_component_trace(n);
+    let readers = 2usize;
+    let total_updates = trace.num_updates() as u64;
+    let mut t = Table::new(
+        format!(
+            "E17: sharded write amplification — multi-component churn trace (n ≈ {n}), \
+             replicated (v1) vs partitioned (v2) routing at 2/3 shards, {readers} readers"
+        ),
+        &[
+            "backend",
+            "config",
+            "n",
+            "m",
+            "updates",
+            "appl/shard",
+            "amp",
+            "kq/s",
+            "migr",
+            "torn",
+        ],
+    );
+    t.id = "E17".into();
+    for backend in Backend::all_default() {
+        for k in [2usize, 3] {
+            let runner = ConcurrentScenarioRunner::new(&trace, readers);
+            // Best of two runs per config, as in E13: the routing work is
+            // deterministic, only the wall-clock is noisy.
+            let (replicated, partitioned) = {
+                let rep = (0..2)
+                    .map(|_| {
+                        let router = MaintainerBuilder::new(backend)
+                            .shards(k)
+                            .serve(&trace.initial_graph());
+                        runner.run_replicated(router).1
+                    })
+                    .max_by(|a, b| a.queries_per_sec().total_cmp(&b.queries_per_sec()))
+                    .expect("two runs recorded");
+                let par = (0..2)
+                    .map(|_| {
+                        let router = MaintainerBuilder::new(backend)
+                            .partitioned_shards(k)
+                            .serve_partitioned(&trace.initial_graph());
+                        runner.run_partitioned(router)
+                    })
+                    .max_by(|(_, a), (_, b)| a.queries_per_sec().total_cmp(&b.queries_per_sec()))
+                    .expect("two runs recorded");
+                (rep, par)
+            };
+            let (router, par_outcome) = partitioned;
+            let stats = router.stats().clone();
+            for outcome in [&replicated, &par_outcome] {
+                assert_eq!(
+                    outcome.commit_error, None,
+                    "commit died serving {} at k={k}",
+                    outcome.backend
+                );
+                assert_eq!(
+                    outcome.torn_snapshots, 0,
+                    "torn view observed serving {} at k={k}",
+                    outcome.backend
+                );
+                assert_eq!(
+                    outcome.updates_applied, total_updates,
+                    "{} at k={k} dropped updates",
+                    outcome.backend
+                );
+            }
+            assert_eq!(
+                replicated.final_fingerprint, par_outcome.final_fingerprint,
+                "routing modes disagree on the final forest at k={k}"
+            );
+            // The headline invariant — and the E17 acceptance gate: the
+            // busiest partitioned shard applies strictly fewer updates than
+            // any replicated shard (which applies all of them).
+            let replicated_per_shard = total_updates;
+            let partitioned_per_shard = stats.max_applied_per_shard();
+            assert!(
+                partitioned_per_shard < replicated_per_shard,
+                "partitioned routing amplified writes: {partitioned_per_shard} applied on the \
+                 busiest of {k} shards vs {replicated_per_shard} per replicated shard"
+            );
+            assert!(
+                stats.migrations > 0,
+                "the partition storm must force at least one cross-shard merge at k={k}"
+            );
+            let mut push = |config: String,
+                            outcome: &ConcurrentOutcome,
+                            per_shard: u64,
+                            amp: f64,
+                            migr: Option<u64>| {
+                let qps = outcome.queries_per_sec();
+                t.records.push(BenchRecord {
+                    n: trace.n,
+                    m: trace.m(),
+                    backend: outcome.backend.clone(),
+                    policy: config.clone(),
+                    ns_per_update: 1e9 / qps.max(f64::MIN_POSITIVE),
+                    queries_per_sec: Some(qps),
+                    updates_per_shard: Some(per_shard as f64),
+                    ..BenchRecord::stamped()
+                });
+                t.push_row(vec![
+                    outcome.backend.clone(),
+                    config,
+                    trace.n.to_string(),
+                    trace.m().to_string(),
+                    total_updates.to_string(),
+                    per_shard.to_string(),
+                    format!("{amp:.2}x"),
+                    format!("{:.1}", qps / 1e3),
+                    migr.map_or_else(|| "-".into(), |m| m.to_string()),
+                    outcome.torn_snapshots.to_string(),
+                ]);
+            };
+            push(
+                format!("replicated-k{k}"),
+                &replicated,
+                replicated_per_shard,
+                k as f64,
+                None,
+            );
+            push(
+                format!("partitioned-k{k}"),
+                &par_outcome,
+                partitioned_per_shard,
+                stats.total_applied() as f64 / total_updates.max(1) as f64,
+                Some(stats.migrations),
+            );
+        }
+    }
+    t
+}
+
 /// All experiments in EXPERIMENTS.md order.
 pub fn all_experiments(scale: Scale) -> Vec<Table> {
     vec![
@@ -1354,6 +1573,7 @@ pub fn all_experiments(scale: Scale) -> Vec<Table> {
         e14_durability_overhead(scale),
         e15_snapshot_codec(scale),
         e16_mapped_open(scale),
+        e17_write_amplification(scale),
     ]
 }
 
@@ -1413,8 +1633,8 @@ mod tests {
     fn scenario_matrix_covers_every_backend_and_family() {
         let t = e12_scenarios(Scale::Tiny);
         assert_eq!(t.id, "E12");
-        assert_eq!(t.rows.len(), 6 * 5, "6 scenarios × 5 backends");
-        assert_eq!(t.records.len(), 6 * 5);
+        assert_eq!(t.rows.len(), 7 * 5, "7 scenarios × 5 backends");
+        assert_eq!(t.records.len(), 7 * 5);
         for scenario in Scenario::all() {
             assert!(
                 t.records.iter().any(|r| r.policy == scenario.name()),
@@ -1431,7 +1651,7 @@ mod tests {
         ] {
             assert_eq!(
                 t.records.iter().filter(|r| r.backend == backend).count(),
-                6,
+                7,
                 "{backend} must appear once per scenario"
             );
         }
@@ -1464,6 +1684,67 @@ mod tests {
         }
         let json = t.records_json().expect("E13 carries records");
         assert!(json.contains("\"queries_per_sec\""));
+    }
+
+    #[test]
+    fn write_amplification_favors_partitioned_on_every_backend() {
+        let t = e17_write_amplification(Scale::Tiny);
+        assert_eq!(t.id, "E17");
+        assert_eq!(
+            t.rows.len(),
+            5 * 4,
+            "5 backends × {{replicated, partitioned}} × {{k2, k3}}"
+        );
+        assert_eq!(t.records.len(), 5 * 4);
+        for config in [
+            "replicated-k2",
+            "partitioned-k2",
+            "replicated-k3",
+            "partitioned-k3",
+        ] {
+            assert_eq!(
+                t.records.iter().filter(|r| r.policy == config).count(),
+                5,
+                "{config} must appear once per backend"
+            );
+        }
+        // The acceptance invariant, re-checked on the emitted records: the
+        // busiest partitioned shard applies strictly fewer updates than a
+        // replicated shard (which applies the whole stream), at both k.
+        for k in [2, 3] {
+            for backend in [
+                "parallel",
+                "sequential",
+                "streaming",
+                "congest",
+                "fault-tolerant",
+            ] {
+                let per_shard = |mode: &str| {
+                    t.records
+                        .iter()
+                        .find(|r| r.backend == backend && r.policy == format!("{mode}-k{k}"))
+                        .and_then(|r| r.updates_per_shard)
+                        .expect("every E17 row records updates_per_shard")
+                };
+                assert!(
+                    per_shard("partitioned") < per_shard("replicated"),
+                    "{backend} k={k}: partitioned routing failed to cut per-shard writes"
+                );
+            }
+        }
+        for r in &t.records {
+            let qps = r.queries_per_sec.expect("every E17 row records qps");
+            assert!(qps.is_finite() && qps > 0.0, "{}/{}", r.backend, r.policy);
+            assert!(r.ns_per_update.is_finite() && r.ns_per_update > 0.0);
+        }
+        // Torn-view column is all zeros by construction (a torn view panics
+        // inside the experiment), pinned here once more.
+        for row in &t.rows {
+            assert_eq!(row[9], "0");
+        }
+        let json = t.records_json().expect("E17 carries records");
+        assert!(json.contains("\"updates_per_shard\""));
+        assert!(json.contains("\"policy\": \"partitioned-k3\""));
     }
 
     #[test]

@@ -561,6 +561,55 @@ impl Graph {
         Ok(Self::assemble_validated(&degrees, &flat, active))
     }
 
+    /// Build a graph directly from per-vertex adjacency lists **in stored
+    /// order** plus an activity mask, validating the encoding exactly like
+    /// the snapshot parsers (symmetry, no duplicates/self-loops, inactive
+    /// slots empty and unreferenced).
+    ///
+    /// Adjacency order is part of a graph's identity here — DFS tree shape
+    /// depends on it — so this is the constructor for callers that must
+    /// reproduce an *exact* stored state, e.g. the partitioned serving
+    /// layer splitting a graph into component-owned restrictions and
+    /// merging them back after a migration: filtering the source graph's
+    /// lists preserves each retained vertex's neighbour order verbatim,
+    /// which replaying inserts could not (deletion `swap_remove`s leave
+    /// orders no insertion sequence reaches).
+    ///
+    /// `lists.len()` must equal `active.len()` (the slot capacity).
+    ///
+    /// ```
+    /// use pardfs_graph::Graph;
+    ///
+    /// // Slots 0-1 form an edge, slot 2 is an inactive hole.
+    /// let g = Graph::from_adjacency_lists(
+    ///     vec![vec![1], vec![0], vec![]],
+    ///     vec![true, true, false],
+    /// )
+    /// .unwrap();
+    /// assert_eq!(g.num_edges(), 1);
+    /// assert!(!g.is_active(2));
+    ///
+    /// // An unreciprocated edge is rejected.
+    /// let bad = Graph::from_adjacency_lists(vec![vec![1], vec![]], vec![true, true]);
+    /// assert!(bad.unwrap_err().contains("asymmetric"));
+    /// ```
+    pub fn from_adjacency_lists(
+        lists: Vec<Vec<Vertex>>,
+        active: Vec<bool>,
+    ) -> Result<Graph, String> {
+        if lists.len() != active.len() {
+            return Err(format!(
+                "{} adjacency lists but {} activity flags",
+                lists.len(),
+                active.len()
+            ));
+        }
+        let degrees: Vec<usize> = lists.iter().map(Vec::len).collect();
+        let flat: Vec<Vertex> = lists.into_iter().flatten().collect();
+        let claimed = flat.len() / 2;
+        Self::from_validated_flat(degrees, flat, active, claimed)
+    }
+
     /// Pack an **already validated** flat adjacency encoding into a graph —
     /// the shared materialization tail of [`Graph::from_validated_flat`] and
     /// [`crate::GraphView::to_graph`] (which validated at view-open time and

@@ -28,10 +28,15 @@
 //!   publishes the next [`Snapshot`] behind an `Arc`-swapped pointer that
 //!   [`ReadHandle::snapshot`] clones lock-free-ly (a read lock held for a
 //!   pointer copy).
-//! * [`ShardRouter`] — shard-per-component routing over several replica
-//!   servers: writes broadcast, reads route by `component(v) mod k`, and
-//!   per-shard [`StatsRollup`](pardfs_api::StatsRollup)s merge into a group
-//!   total.
+//! * [`ShardRouter`] — **replicated** sharding (v1): writes broadcast to
+//!   every shard (`k` shards ⇒ `k ×` write work), reads route by
+//!   `component(v) mod k`, and per-shard
+//!   [`StatsRollup`](pardfs_api::StatsRollup)s merge into a group total.
+//! * [`PartitionedRouter`] — **partitioned** sharding (v2): each shard owns
+//!   only its components' subtrees, every update applies on exactly one
+//!   shard, and cross-shard component merges migrate state deterministically
+//!   through the [`ComponentExport`] wire format (normative spec:
+//!   `docs/SHARDING.md`).
 //!
 //! ## Consistency contract
 //!
@@ -44,10 +49,15 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod partition;
 mod server;
 mod shard;
 mod snapshot;
 
+pub use partition::{
+    ComponentExport, PartitionedEpoch, PartitionedRouter, PartitionedView, RouterReadHandle,
+    ShardFactory,
+};
 pub use server::{CommitLog, CommitStats, EpochRecord, ReadHandle, Server, WriteHandle};
 pub use shard::ShardRouter;
 pub use snapshot::{MappedEpoch, Snapshot};

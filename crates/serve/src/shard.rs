@@ -12,11 +12,17 @@
 //! shard's caches while other shards serve other components. Whole-forest
 //! queries ([`pardfs_api::ForestQuery::forest_roots`]) go to shard 0.
 //!
-//! True *state partitioning* (each shard holding only its components'
-//! subtrees, with migration on cross-shard merges) is the cross-process
-//! serving item on the ROADMAP; replication keeps v1's per-shard trees
-//! byte-identical to a single server's replay, which is what the
-//! determinism suite pins.
+//! **Cost model** — replication multiplies write work by the shard count:
+//! every update batch is applied `k` times, once per shard, so adding
+//! shards scales *read* throughput only and makes writes strictly more
+//! expensive. When write scalability matters, use the **partitioned**
+//! [`PartitionedRouter`](crate::PartitionedRouter) (v2) instead: each shard
+//! owns only its components' subtrees and applies ~`1/k` of the updates,
+//! with deterministic state migration on cross-shard merges (normative
+//! spec: `docs/SHARDING.md`, cost comparison: experiment E17). Replication
+//! keeps v1's per-shard trees byte-identical to a single server's replay —
+//! which is what the determinism suite pins — and remains the right choice
+//! when queries dominate and the update rate is low.
 
 use crate::server::{CommitStats, Server};
 use crate::{ReadHandle, Snapshot};

@@ -20,7 +20,9 @@
 
 use crate::trace::{Trace, TraceBatch, TraceQuery};
 use pardfs_api::{BatchReport, DfsMaintainer, ForestQuery};
-use pardfs_serve::{EpochRecord, ReadHandle, Server};
+use pardfs_serve::{
+    EpochRecord, PartitionedRouter, ReadHandle, RouterReadHandle, Server, ShardRouter,
+};
 use std::hint::black_box;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Instant;
@@ -219,6 +221,215 @@ impl<'a> ConcurrentScenarioRunner<'a> {
             reader_panics,
         }
     }
+
+    /// Replay the trace through a **partitioned** router (which must have
+    /// been built over [`Trace::initial_graph`]) — the partitioned
+    /// counterpart of [`ConcurrentScenarioRunner::run`]: the calling thread
+    /// routes and commits each recorded update batch as one router epoch,
+    /// readers replay the query batches against published
+    /// [`PartitionedView`](pardfs_serve::PartitionedView)s and keep the
+    /// same torn-read census (recomputing each newly observed view's
+    /// assembled fingerprint against the router's epoch log). The router is
+    /// returned alongside the outcome so callers can inspect its
+    /// [`RoutingStats`](pardfs_api::RoutingStats) — the per-shard
+    /// write-amplification numbers E17 tables.
+    pub fn run_partitioned(
+        &self,
+        mut router: PartitionedRouter,
+    ) -> (PartitionedRouter, ConcurrentOutcome) {
+        let backend = router.servers()[0].backend_name().to_string();
+        let read_handle = router.read_handle();
+
+        let query_batches: Vec<&[TraceQuery]> = self
+            .trace
+            .phases
+            .iter()
+            .flat_map(|p| &p.batches)
+            .filter_map(|b| match b {
+                TraceBatch::Queries(qs) => Some(qs.as_slice()),
+                TraceBatch::Updates(_) => None,
+            })
+            .collect();
+        let update_batches: Vec<&[pardfs_graph::Update]> = self
+            .trace
+            .phases
+            .iter()
+            .flat_map(|p| &p.batches)
+            .filter_map(|b| match b {
+                TraceBatch::Updates(us) => Some(us.as_slice()),
+                TraceBatch::Queries(_) => None,
+            })
+            .collect();
+
+        let done = AtomicBool::new(false);
+        let start = Instant::now();
+        let mut updates_applied = 0u64;
+        let mut writer_micros = 0u64;
+        let mut tallies: Vec<ReaderTally> = Vec::with_capacity(self.readers);
+        let mut commit_error: Option<String> = None;
+        let mut reader_panics = 0u64;
+
+        std::thread::scope(|scope| {
+            let reader_threads: Vec<_> = (0..self.readers)
+                .map(|_| {
+                    let handle = read_handle.clone();
+                    let done = &done;
+                    let batches = &query_batches;
+                    scope.spawn(move || partitioned_reader_loop(handle, batches, done))
+                })
+                .collect();
+
+            let writer_start = Instant::now();
+            for batch in &update_batches {
+                let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    router.commit(batch).expect("trace batches are non-empty")
+                }));
+                match result {
+                    Ok(record) => updates_applied += record.updates as u64,
+                    Err(panic) => {
+                        commit_error = Some(panic_message(panic.as_ref()));
+                        break;
+                    }
+                }
+            }
+            writer_micros = writer_start.elapsed().as_micros() as u64;
+            done.store(true, Ordering::Release);
+
+            for thread in reader_threads {
+                match thread.join() {
+                    Ok(tally) => tallies.push(tally),
+                    Err(_) => reader_panics += 1,
+                }
+            }
+        });
+        let wall_micros = (start.elapsed().as_micros() as u64).max(1);
+        let final_fingerprint = read_handle.view().fingerprint();
+
+        let outcome = ConcurrentOutcome {
+            scenario: self.trace.scenario.clone(),
+            backend,
+            readers: self.readers,
+            epochs: read_handle
+                .epochs()
+                .iter()
+                .map(|e| e.as_epoch_record())
+                .collect(),
+            updates_applied,
+            writer_micros,
+            wall_micros,
+            queries_answered: tallies.iter().map(|t| t.queries).sum(),
+            reader_passes: tallies.iter().map(|t| t.passes).sum(),
+            torn_snapshots: tallies.iter().map(|t| t.torn).sum(),
+            final_fingerprint,
+            commit_error,
+            reader_panics,
+        };
+        (router, outcome)
+    }
+
+    /// Replay the trace through a **replicated** (v1) [`ShardRouter`] — the
+    /// broadcast counterpart of [`ConcurrentScenarioRunner::run_partitioned`]
+    /// and the other half of the E17 write-amplification comparison. The
+    /// calling thread broadcasts each recorded update batch to every shard
+    /// as one epoch; reader `i` is pinned to shard `i mod k` (every shard is
+    /// a full replica, so any shard answers any query authoritatively) and
+    /// keeps the usual torn-read census against that shard's epoch log.
+    ///
+    /// `updates_applied` on the outcome counts *distinct* updates (shard 0's
+    /// commits) — replication multiplies the applied work by the shard
+    /// count, not the number of logical updates, and E17 reports the
+    /// amplification from that invariant rather than from a counter.
+    pub fn run_replicated(&self, mut router: ShardRouter) -> (ShardRouter, ConcurrentOutcome) {
+        let backend = router.servers()[0].backend_name().to_string();
+
+        let query_batches: Vec<&[TraceQuery]> = self
+            .trace
+            .phases
+            .iter()
+            .flat_map(|p| &p.batches)
+            .filter_map(|b| match b {
+                TraceBatch::Queries(qs) => Some(qs.as_slice()),
+                TraceBatch::Updates(_) => None,
+            })
+            .collect();
+        let update_batches: Vec<&[pardfs_graph::Update]> = self
+            .trace
+            .phases
+            .iter()
+            .flat_map(|p| &p.batches)
+            .filter_map(|b| match b {
+                TraceBatch::Updates(us) => Some(us.as_slice()),
+                TraceBatch::Queries(_) => None,
+            })
+            .collect();
+
+        let shards = router.num_shards();
+        let read_handles: Vec<ReadHandle> =
+            (0..shards).map(|shard| router.read_handle(shard)).collect();
+
+        let done = AtomicBool::new(false);
+        let start = Instant::now();
+        let mut updates_applied = 0u64;
+        let mut writer_micros = 0u64;
+        let mut tallies: Vec<ReaderTally> = Vec::with_capacity(self.readers);
+        let mut commit_error: Option<String> = None;
+        let mut reader_panics = 0u64;
+
+        std::thread::scope(|scope| {
+            let reader_threads: Vec<_> = (0..self.readers)
+                .map(|i| {
+                    let handle = read_handles[i % shards].clone();
+                    let done = &done;
+                    let batches = &query_batches;
+                    scope.spawn(move || reader_loop(handle, batches, done))
+                })
+                .collect();
+
+            let writer_start = Instant::now();
+            for batch in &update_batches {
+                let result =
+                    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| router.commit(batch)));
+                match result {
+                    Ok(commits) => updates_applied += commits[0].record.updates as u64,
+                    Err(panic) => {
+                        commit_error = Some(panic_message(panic.as_ref()));
+                        break;
+                    }
+                }
+            }
+            writer_micros = writer_start.elapsed().as_micros() as u64;
+            done.store(true, Ordering::Release);
+
+            for thread in reader_threads {
+                match thread.join() {
+                    Ok(tally) => tallies.push(tally),
+                    Err(_) => reader_panics += 1,
+                }
+            }
+        });
+        let wall_micros = (start.elapsed().as_micros() as u64).max(1);
+        let final_fingerprint = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            router.servers()[0].maintainer().tree().fingerprint()
+        }))
+        .unwrap_or(0);
+
+        let outcome = ConcurrentOutcome {
+            scenario: self.trace.scenario.clone(),
+            backend,
+            readers: self.readers,
+            epochs: router.servers()[0].epochs(),
+            updates_applied,
+            writer_micros,
+            wall_micros,
+            queries_answered: tallies.iter().map(|t| t.queries).sum(),
+            reader_passes: tallies.iter().map(|t| t.passes).sum(),
+            torn_snapshots: tallies.iter().map(|t| t.torn).sum(),
+            final_fingerprint,
+            commit_error,
+            reader_panics,
+        };
+        (router, outcome)
+    }
 }
 
 /// Best-effort extraction of a panic payload's message (panics carry
@@ -278,6 +489,58 @@ fn reader_loop(handle: ReadHandle, batches: &[&[TraceQuery]], done: &AtomicBool)
         }
         if batches.is_empty() {
             // Nothing to replay: don't busy-spin the queue-less loop.
+            std::thread::yield_now();
+        }
+    }
+    tally
+}
+
+/// The partitioned counterpart of [`reader_loop`]: answer query batches
+/// against published [`PartitionedView`](pardfs_serve::PartitionedView)s,
+/// re-fingerprinting each newly observed view (the assembled forest across
+/// all shards) against the router's epoch log.
+fn partitioned_reader_loop(
+    handle: RouterReadHandle,
+    batches: &[&[TraceQuery]],
+    done: &AtomicBool,
+) -> ReaderTally {
+    let mut tally = ReaderTally {
+        queries: 0,
+        passes: 0,
+        torn: 0,
+    };
+    let mut last_epoch = u64::MAX;
+    loop {
+        for batch in batches {
+            let view = handle.view();
+            if view.epoch() != last_epoch {
+                last_epoch = view.epoch();
+                let recomputed = view.recompute_fingerprint();
+                let logged = handle.recorded_fingerprint(view.epoch());
+                if recomputed != view.fingerprint() || logged != Some(recomputed) {
+                    tally.torn += 1;
+                }
+            }
+            for query in *batch {
+                tally.queries += 1;
+                match query {
+                    TraceQuery::SameComponent(u, v) => {
+                        black_box(view.same_component(*u, *v));
+                    }
+                    TraceQuery::ForestParent(v) => {
+                        black_box(view.forest_parent(*v));
+                    }
+                    TraceQuery::ForestRoots => {
+                        black_box(view.forest_roots());
+                    }
+                }
+            }
+        }
+        tally.passes += 1;
+        if done.load(Ordering::Acquire) {
+            break;
+        }
+        if batches.is_empty() {
             std::thread::yield_now();
         }
     }

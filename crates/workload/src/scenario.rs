@@ -209,6 +209,14 @@ pub enum Scenario {
     /// Vertex-churn pipeline: cohorts of vertices are hired with random
     /// attachments and fired oldest-first, wave after wave.
     VertexChurn,
+    /// Partition storm: several clusters that start fully **disjoint**
+    /// (unlike [`Scenario::MergeSplitStorm`], whose clusters begin
+    /// bridged), repeatedly bridged pairwise and cut apart again, with
+    /// cross-cluster vertex growth. The multi-component shape is the
+    /// stress case for **partitioned sharding**: every bridge insertion
+    /// merges components that live on different shards, forcing a
+    /// cross-shard migration.
+    PartitionStorm,
 }
 
 impl Scenario {
@@ -221,6 +229,7 @@ impl Scenario {
             Scenario::DeepPathStress,
             Scenario::ReadMostly,
             Scenario::VertexChurn,
+            Scenario::PartitionStorm,
         ]
     }
 
@@ -233,6 +242,7 @@ impl Scenario {
             Scenario::DeepPathStress => "deep-path-reroot",
             Scenario::ReadMostly => "read-mostly",
             Scenario::VertexChurn => "vertex-churn",
+            Scenario::PartitionStorm => "partition-storm",
         }
     }
 
@@ -245,6 +255,9 @@ impl Scenario {
             Scenario::DeepPathStress => "long-range edges forcing near-whole-tree reroots",
             Scenario::ReadMostly => "a query flood over a trickle of updates",
             Scenario::VertexChurn => "vertex cohorts hired and fired oldest-first",
+            Scenario::PartitionStorm => {
+                "disjoint clusters bridged and cut in waves (cross-shard merge stress)"
+            }
         }
     }
 
@@ -261,6 +274,7 @@ impl Scenario {
             Scenario::DeepPathStress => deep_path_stress(n, seed, &mut rng),
             Scenario::ReadMostly => read_mostly(n, seed, &mut rng),
             Scenario::VertexChurn => vertex_churn(n, seed, &mut rng),
+            Scenario::PartitionStorm => partition_storm(n, seed, &mut rng),
         }
     }
 }
@@ -489,6 +503,65 @@ fn vertex_churn(n: usize, seed: u64, rng: &mut ChaCha8Rng) -> Trace {
             candidate += 1;
         }
         b.random_queries(3, rng);
+    }
+    b.finish()
+}
+
+fn partition_storm(n: usize, seed: u64, rng: &mut ChaCha8Rng) -> Trace {
+    let k = (n / 12).clamp(3, 6);
+    let cs = n / k;
+    let mut g = Graph::new(k * cs);
+    for c in 0..k {
+        let m = (2 * cs).min(cs * (cs - 1) / 2);
+        let cluster = generators::random_connected_gnm(cs, m, rng);
+        let off = (c * cs) as Vertex;
+        for e in cluster.edges() {
+            g.insert_edge(off + e.0, off + e.1);
+        }
+    }
+    // No initial bridges: the trace starts with k disjoint components, so a
+    // partitioned router spreads the clusters across its shards and every
+    // bridge below is a cross-shard merge.
+    let mut b = TraceBuilder::new(Scenario::PartitionStorm.name(), seed, &g);
+    for wave in 0..3usize {
+        b.phase(&format!("bridge-{wave}"));
+        let mut bridges: Vec<(Vertex, Vertex)> = Vec::new();
+        let mut c = wave % 2;
+        while c + 1 < k {
+            let u = (c * cs + (wave * 3) % cs) as Vertex;
+            let v = ((c + 1) * cs + (wave * 5) % cs) as Vertex;
+            if b.try_push_update(Update::InsertEdge(u, v)) {
+                bridges.push((u, v));
+            }
+            b.push_query(TraceQuery::SameComponent(u, v));
+            c += 2;
+        }
+        b.push_query(TraceQuery::ForestRoots);
+
+        b.phase(&format!("grow-{wave}"));
+        // One vertex inside a cluster, and one *spanning* two clusters —
+        // itself a component merge the router must co-locate.
+        let c0 = wave % k;
+        let c1 = (wave + 1) % k;
+        b.push_update(Update::InsertVertex {
+            edges: vec![(c0 * cs) as Vertex + 1],
+        });
+        let span = b
+            .push_update(Update::InsertVertex {
+                edges: vec![(c0 * cs) as Vertex, (c1 * cs) as Vertex],
+            })
+            .expect("vertex insertion returns the new id");
+        b.random_queries(2, rng);
+
+        b.phase(&format!("cut-{wave}"));
+        // Tear every merge of this wave back down (the spanning vertex
+        // included), restoring k disjoint components for the next wave.
+        for (u, v) in bridges {
+            let _ = b.try_push_update(Update::DeleteEdge(u, v));
+        }
+        b.push_update(Update::DeleteVertex(span));
+        b.push_query(TraceQuery::ForestRoots);
+        b.random_queries(2, rng);
     }
     b.finish()
 }

@@ -12,7 +12,7 @@ use pardfs_congest::DistributedDynamicDfs;
 use pardfs_core::{DynamicDfs, FaultTolerantDfs, Strategy};
 use pardfs_graph::{Graph, Update, Vertex};
 use pardfs_seq::{AugmentedGraph, SeqRerootDfs};
-use pardfs_serve::{Server, ShardRouter};
+use pardfs_serve::{PartitionedRouter, Server, ShardFactory, ShardRouter};
 use pardfs_stream::StreamingDynamicDfs;
 use pardfs_tree::TreeIndex;
 use pardfs_wal::{recover_with, DurabilityConfig, Recovered};
@@ -164,7 +164,29 @@ impl MaintainerBuilder {
     /// Number of shards [`MaintainerBuilder::serve`] routes over (replica
     /// servers with component-affinity reads — see
     /// [`ShardRouter`]). Clamped to at least 1; default 1.
+    ///
+    /// **Cost warning** — these shards are full *replicas*: every committed
+    /// batch is applied once per shard, so `k` shards multiply write work
+    /// by `k`. Replication scales read throughput only; when write
+    /// scalability matters, configure
+    /// [`MaintainerBuilder::partitioned_shards`] and serve through
+    /// [`MaintainerBuilder::serve_partitioned`] instead, where each shard
+    /// applies ~`1/k` of the updates (see `docs/SHARDING.md`).
     pub fn shards(mut self, shards: usize) -> Self {
+        self.shards = shards.max(1);
+        self
+    }
+
+    /// Number of shards [`MaintainerBuilder::serve_partitioned`] partitions
+    /// the forest across (component-owned shards with routed commits — see
+    /// [`PartitionedRouter`]). Clamped to at least 1; default 1.
+    ///
+    /// Unlike [`MaintainerBuilder::shards`] replicas, partitioned shards
+    /// each own only their components' subtrees: every update applies on
+    /// exactly one shard, so `k` shards do ~`1/k` of the write work each on
+    /// multi-component workloads, with deterministic component migration
+    /// when a cross-shard edge merges two components (`docs/SHARDING.md`).
+    pub fn partitioned_shards(mut self, shards: usize) -> Self {
         self.shards = shards.max(1);
         self
     }
@@ -216,6 +238,17 @@ impl MaintainerBuilder {
     pub fn serve(&self, user_graph: &Graph) -> ShardRouter {
         let replicas = (0..self.shards).map(|_| self.build(user_graph)).collect();
         ShardRouter::new(replicas, user_graph)
+    }
+
+    /// Partition `user_graph` across the configured shard count (see
+    /// [`MaintainerBuilder::partitioned_shards`]) and serve it through a
+    /// [`PartitionedRouter`]: each shard owns only its components'
+    /// subtrees, commits route to the owning shard, and cross-shard merges
+    /// migrate state deterministically. The builder itself is the router's
+    /// [`ShardFactory`], so migrations resume shards with exactly this
+    /// configuration's backend and policies.
+    pub fn serve_partitioned(&self, user_graph: &Graph) -> PartitionedRouter {
+        PartitionedRouter::new(Box::new(*self), user_graph, self.shards)
     }
 
     /// Construct the maintainer over `user_graph`.
@@ -356,6 +389,20 @@ impl MaintainerBuilder {
         let mut dfs = self.build(&graph);
         let outcome = ScenarioRunner::new(trace).run(dfs.as_mut());
         (dfs, outcome)
+    }
+}
+
+/// The builder is its own [`ShardFactory`]: a [`PartitionedRouter`] built
+/// through [`MaintainerBuilder::serve_partitioned`] constructs every shard —
+/// initial restrictions and migration resumes alike — with this
+/// configuration's backend, strategy and policies.
+impl ShardFactory for MaintainerBuilder {
+    fn build(&self, user_graph: &Graph) -> Box<dyn DfsMaintainer> {
+        MaintainerBuilder::build(self, user_graph)
+    }
+
+    fn resume(&self, aug_graph: Graph, tree: TreeIndex) -> Result<Box<dyn DfsMaintainer>, String> {
+        self.build_from_state(aug_graph, tree)
     }
 }
 
@@ -726,6 +773,38 @@ mod tests {
                 "replicas agree"
             );
             assert!(router.snapshot_for(3).same_component(0, 15));
+        }
+    }
+
+    #[test]
+    fn serve_partitioned_routes_and_migrates_on_every_backend() {
+        // Two disjoint paths 0-3 and 4-7, one shard each at k = 2.
+        let mut g = Graph::new(8);
+        for i in 0..3 {
+            g.insert_edge(i, i + 1);
+            g.insert_edge(i + 4, i + 5);
+        }
+        for backend in Backend::all_default() {
+            let builder = MaintainerBuilder::new(backend).partitioned_shards(2);
+            let mut reference = builder.build(&g);
+            let mut router = builder.serve_partitioned(&g);
+            assert_eq!(router.num_shards(), 2);
+            assert_eq!(router.ownership().counts(), vec![4, 4]);
+            // A cross-shard merge migrates the losing component, and the
+            // assembled forest stays identical to the unsharded replay.
+            let merge = Update::InsertEdge(3, 4);
+            reference.apply_update(&merge);
+            let record = router.commit(&[merge]).unwrap();
+            assert_eq!(record.migrations, 1, "{}", reference.backend_name());
+            assert_eq!(
+                record.fingerprint,
+                reference.tree().fingerprint(),
+                "{}: partitioned ≠ unsharded",
+                reference.backend_name()
+            );
+            assert_eq!(router.ownership().counts(), vec![8, 0]);
+            let view = router.read_handle().view();
+            assert!(view.same_component(0, 7), "{}", reference.backend_name());
         }
     }
 

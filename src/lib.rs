@@ -23,7 +23,9 @@
 //!   that drives any backend through a [`Trace`] with per-phase roll-ups;
 //! * [`serve`] — the epoch-snapshot concurrent serving layer: a [`Server`]
 //!   wrapping any maintainer with group-committed writes and immutable
-//!   published snapshots, [`ShardRouter`] replica routing, and (in
+//!   published snapshots, [`ShardRouter`] replica routing (v1),
+//!   [`PartitionedRouter`] component-owned sharding with routed commits and
+//!   cross-shard merge migration (v2 — `docs/SHARDING.md`), and (in
 //!   [`scenario`]) the [`ConcurrentScenarioRunner`] that turns any trace
 //!   into a concurrent-serving benchmark;
 //! * [`wal`] — trace-as-WAL durability: write-ahead logging of committed
@@ -89,11 +91,15 @@ pub use pardfs_api::{
     BatchReport, DfsMaintainer, ForestQuery, IndexMaintenanceStats, IndexPolicy, RebuildPolicy,
     RebuildPolicyStats, StatsReport,
 };
+pub use pardfs_api::{OwnershipMap, RoutingStats};
 pub use pardfs_congest::DistributedDynamicDfs;
 pub use pardfs_core::{DynamicDfs, FaultTolerantDfs, Strategy};
 pub use pardfs_graph::{Graph, GraphView, MappedSnapshot, Update, Vertex};
 pub use pardfs_seq::SeqRerootDfs;
-pub use pardfs_serve::{MappedEpoch, ReadHandle, Server, ShardRouter, Snapshot, WriteHandle};
+pub use pardfs_serve::{
+    ComponentExport, MappedEpoch, PartitionedEpoch, PartitionedRouter, PartitionedView, ReadHandle,
+    RouterReadHandle, Server, ShardFactory, ShardRouter, Snapshot, WriteHandle,
+};
 pub use pardfs_stream::StreamingDynamicDfs;
 pub use pardfs_tree::TreeView;
 pub use pardfs_wal::{CheckpointPolicy, CheckpointView, DurabilityConfig, Recovered, SyncPolicy};

@@ -1,0 +1,163 @@
+//! Partitioned-vs-unsharded differential suite: the determinism contract of
+//! `docs/SHARDING.md`, pinned on the frozen corpus.
+//!
+//! Every checked-in trace under `tests/corpus/` is replayed through a
+//! [`PartitionedRouter`] at k ∈ {2, 3} shards on every backend, committing
+//! one router epoch per recorded update batch, and **every epoch's**
+//! assembled-forest fingerprint — not just the final one — must equal a
+//! single-threaded unsharded replay of the same prefix on the same backend.
+//! The `partition-storm` trace starts with disjoint clusters and bridges
+//! them in waves, so the suite provably exercises cross-shard component
+//! merges (asserted via the router's migration counter), and the concurrent
+//! test drives the same traces through
+//! [`ConcurrentScenarioRunner::run_partitioned`] with the torn-read census
+//! at zero tolerance.
+
+use pardfs::scenario::TraceBatch;
+use pardfs::{
+    Backend, ConcurrentScenarioRunner, DfsMaintainer, ForestQuery, MaintainerBuilder, Trace, Update,
+};
+use std::path::PathBuf;
+
+fn corpus_traces() -> Vec<(String, Trace)> {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/corpus");
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(dir)
+        .expect("tests/corpus exists")
+        .flatten()
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|e| e == "trace"))
+        .collect();
+    entries.sort();
+    entries
+        .into_iter()
+        .map(|path| {
+            let name = path.file_name().unwrap().to_string_lossy().into_owned();
+            let text = std::fs::read_to_string(&path).expect("readable trace");
+            let trace =
+                Trace::parse(&text).unwrap_or_else(|e| panic!("{name} does not parse: {e}"));
+            (name, trace)
+        })
+        .collect()
+}
+
+fn update_batches(trace: &Trace) -> Vec<&[Update]> {
+    trace
+        .phases
+        .iter()
+        .flat_map(|p| &p.batches)
+        .filter_map(|b| match b {
+            TraceBatch::Updates(us) => Some(us.as_slice()),
+            TraceBatch::Queries(_) => None,
+        })
+        .collect()
+}
+
+#[test]
+fn partitioned_replay_matches_unsharded_per_epoch_on_every_corpus_trace() {
+    let traces = corpus_traces();
+    let mut storm_migrations = 0u64;
+    for (name, trace) in &traces {
+        let batches = update_batches(trace);
+        let graph = trace.initial_graph();
+        for backend in Backend::all_default() {
+            for k in [2usize, 3] {
+                let builder = MaintainerBuilder::new(backend).partitioned_shards(k);
+                let mut reference: Box<dyn DfsMaintainer> = builder.build(&graph);
+                let mut router = builder.serve_partitioned(&graph);
+                let label = format!("{name}/{}/k={k}", reference.backend_name());
+                assert_eq!(
+                    router.read_handle().view().fingerprint(),
+                    reference.tree().fingerprint(),
+                    "{label}: initial assembled forest differs"
+                );
+                for (i, batch) in batches.iter().enumerate() {
+                    reference.apply_batch(batch);
+                    let record = router
+                        .commit(batch)
+                        .expect("corpus update batches are non-empty");
+                    assert_eq!(
+                        record.fingerprint,
+                        reference.tree().fingerprint(),
+                        "{label}: assembled forest diverged at epoch {} (batch {i})",
+                        record.epoch
+                    );
+                    assert_eq!(record.num_vertices, reference.num_vertices(), "{label}");
+                    assert_eq!(record.num_edges, reference.num_edges(), "{label}");
+                }
+                // Final state: full query surface agrees, every shard's
+                // tree is a valid DFS tree of its restriction.
+                let view = router.read_handle().view();
+                assert_eq!(view.forest_roots(), reference.forest_roots(), "{label}");
+                for v in 0..graph.capacity() as u32 + 8 {
+                    assert_eq!(
+                        view.forest_parent(v),
+                        reference.forest_parent(v),
+                        "{label}: forest_parent({v})"
+                    );
+                }
+                for server in router.servers() {
+                    server
+                        .maintainer()
+                        .check()
+                        .unwrap_or_else(|e| panic!("{label}: invalid shard tree: {e}"));
+                }
+                if name.starts_with("partition-storm") {
+                    storm_migrations += router.stats().migrations;
+                }
+            }
+        }
+    }
+    assert!(
+        storm_migrations > 0,
+        "the partition-storm trace must force cross-shard component merges"
+    );
+}
+
+#[test]
+fn concurrent_partitioned_runs_are_torn_free_and_match_the_unsharded_replay() {
+    for (name, trace) in corpus_traces() {
+        let graph = trace.initial_graph();
+        // One backend suffices here — per-epoch equivalence across all five
+        // is pinned above; this test is about the concurrent read path.
+        let builder = MaintainerBuilder::new(Backend::Sequential).partitioned_shards(2);
+        let mut reference = builder.build(&graph);
+        for batch in update_batches(&trace) {
+            reference.apply_batch(batch);
+        }
+        let runner = ConcurrentScenarioRunner::new(&trace, 3);
+        let (router, outcome) = runner.run_partitioned(builder.serve_partitioned(&graph));
+        assert_eq!(outcome.commit_error, None, "{name}");
+        assert_eq!(outcome.reader_panics, 0, "{name}");
+        assert_eq!(
+            outcome.torn_snapshots, 0,
+            "{name}: a reader saw a torn view"
+        );
+        assert_eq!(
+            outcome.final_fingerprint,
+            reference.tree().fingerprint(),
+            "{name}: concurrent partitioned replay diverged"
+        );
+        assert_eq!(
+            outcome.updates_applied as usize,
+            trace.num_updates(),
+            "{name}: dropped updates"
+        );
+        assert_eq!(
+            outcome.epochs.len(),
+            update_batches(&trace).len() + 1,
+            "{name}: epoch log is epoch 0 plus one per batch"
+        );
+        assert!(
+            outcome.queries_answered > 0,
+            "{name}: readers answered nothing"
+        );
+        // Routed writes: every shard applied no more than the total, and
+        // together they applied at least every update once.
+        let stats = router.stats();
+        assert_eq!(stats.updates_routed as usize, trace.num_updates(), "{name}");
+        assert!(
+            stats.total_applied() >= stats.updates_routed,
+            "{name}: applied counts lost updates"
+        );
+    }
+}

@@ -16,6 +16,12 @@
 //! * **Replica agreement.** Every shard of a `ShardRouter` broadcast commit
 //!   holds the same tree, and reads route to a valid shard by component
 //!   affinity.
+//! * **Migration atomicity.** A `PartitionedRouter` cross-shard component
+//!   migration — which tears a component out of one shard's maintainer and
+//!   resumes another shard's from the merged state — must be invisible to
+//!   concurrent readers: every observed view recomputes to its own
+//!   fingerprint and appears in the router's epoch log, even while
+//!   migrations race underneath.
 //!
 //! The CI `serve-stress` job runs this suite under `PARDFS_THREADS=1,4`, so
 //! the reader/writer interleavings race against both a serial and a genuinely
@@ -161,6 +167,113 @@ fn serving_a_trace_matches_the_single_threaded_replay_on_every_backend() {
             .count();
         assert_eq!(served.epochs.len(), 1 + update_batches, "{backend:?}");
     }
+}
+
+#[test]
+fn migrations_under_concurrent_readers_never_tear_a_view() {
+    // Two disjoint 48-vertex clusters on two shards; the writer repeatedly
+    // bridges them (cross-shard merge ⇒ migration), churns, and cuts the
+    // bridge again, while four readers validate every observed view.
+    let mut rng = ChaCha8Rng::seed_from_u64(0x5E28);
+    let cs = 48u32;
+    let mut graph = pardfs::Graph::new(2 * cs as usize);
+    for half in 0..2u32 {
+        let cluster = generators::random_connected_gnm(cs as usize, 3 * cs as usize, &mut rng);
+        for e in cluster.edges() {
+            graph.insert_edge(half * cs + e.0, half * cs + e.1);
+        }
+    }
+    let mut batches: Vec<Vec<Update>> = Vec::new();
+    for wave in 0..12u32 {
+        // Fresh singletons land round-robin on shard `id mod 2`; attaching
+        // each to the cluster the *other* shard owns (ids alternate parity)
+        // makes every attach batch a cross-shard merge ⇒ one migration per
+        // wave racing the readers. (The clusters themselves never move:
+        // the 48-vertex component always beats the singleton.)
+        let new_id = 2 * cs + wave;
+        let target = if new_id.is_multiple_of(2) {
+            cs + wave
+        } else {
+            wave
+        };
+        batches.push(vec![Update::InsertVertex { edges: vec![] }]);
+        batches.push(vec![Update::InsertEdge(new_id, target)]);
+    }
+    // Finish with a whole-cluster migration: bridging the two (now
+    // singleton-augmented, equal-sized) clusters ties on size, so the
+    // smaller component id — cluster 0 — wins and cluster 1 moves wholesale.
+    batches.push(vec![Update::InsertEdge(0, cs)]);
+
+    let mut router = MaintainerBuilder::new(Backend::Parallel)
+        .partitioned_shards(2)
+        .serve_partitioned(&graph);
+    assert_eq!(router.ownership().counts(), vec![cs as usize, cs as usize]);
+    let read_handle = router.read_handle();
+    let done = AtomicBool::new(false);
+
+    let tallies: Vec<(u64, u64)> = std::thread::scope(|scope| {
+        let readers: Vec<_> = (0..4)
+            .map(|_| {
+                let handle = read_handle.clone();
+                let done = &done;
+                scope.spawn(move || {
+                    // Check EVERY observation (the workload runner amortizes
+                    // over epoch changes; this suite does not).
+                    let mut observations = 0u64;
+                    let mut torn = 0u64;
+                    let mut last_epoch = 0u64;
+                    loop {
+                        let view = handle.view();
+                        assert!(
+                            view.epoch() >= last_epoch,
+                            "published epoch moved backwards"
+                        );
+                        last_epoch = view.epoch();
+                        let recomputed = view.recompute_fingerprint();
+                        if recomputed != view.fingerprint()
+                            || handle.recorded_fingerprint(view.epoch()) != Some(recomputed)
+                        {
+                            torn += 1;
+                        }
+                        observations += 1;
+                        if done.load(Ordering::Acquire) {
+                            break;
+                        }
+                    }
+                    (observations, torn)
+                })
+            })
+            .collect();
+
+        for batch in &batches {
+            router.commit(batch).expect("stress batches are non-empty");
+        }
+        done.store(true, Ordering::Release);
+        readers
+            .into_iter()
+            .map(|r| r.join().expect("reader panicked"))
+            .collect()
+    });
+
+    let observations: u64 = tallies.iter().map(|t| t.0).sum();
+    let torn: u64 = tallies.iter().map(|t| t.1).sum();
+    assert!(observations >= 4, "every reader observed at least once");
+    assert_eq!(torn, 0, "torn views across {observations} observations");
+    assert_eq!(
+        router.stats().migrations,
+        13,
+        "one migration per singleton wave plus the final cluster merge"
+    );
+    assert_eq!(read_handle.epochs().len(), 1 + batches.len());
+    // Post-storm: both shards hold valid trees and the assembled forest is
+    // one component on shard 0 (cluster 0 won the final tie).
+    for server in router.servers() {
+        server.maintainer().check().expect("shard tree stays valid");
+    }
+    let view = read_handle.view();
+    assert!(view.same_component(0, cs), "everything merged at the end");
+    assert_eq!(view.num_vertices(), 2 * cs as usize + 12);
+    assert_eq!(router.ownership().counts(), vec![2 * cs as usize + 12, 0]);
 }
 
 #[test]
